@@ -1,0 +1,54 @@
+//! Criterion ablation: enumeration cost under each stage of the SC
+//! pipeline. R-COLLAPSE halves the search (Eq. 29); OC-SHIFT leaves it
+//! unchanged (Theorem 1 — it only compresses the parallel footprint), so
+//! `fs ≈ oc_only > rc_only ≈ sc`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::fixed_density_gas;
+use sc_cell::CellLattice;
+use sc_core::{generate_fs, oc_shift, r_collapse, shift_collapse};
+use sc_md::engine::{visit_triplets, Dedup, PatternPlan};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let rcut = 1.0;
+    let (store, bbox) = fixed_density_gas(6, rcut, 1.5, 11);
+    let mut lat = CellLattice::new(bbox, rcut);
+    lat.rebuild(&store);
+
+    let fs = generate_fs(3);
+    let plans = [
+        ("fs", PatternPlan::new(&fs, Dedup::Guarded)),
+        ("oc_only", PatternPlan::new(&oc_shift(&fs), Dedup::Guarded)),
+        ("rc_only", PatternPlan::new(&r_collapse(&fs), Dedup::Collapsed)),
+        ("sc", PatternPlan::new(&shift_collapse(3), Dedup::Collapsed)),
+    ];
+    let mut g = c.benchmark_group("sc_pipeline_ablation");
+    g.sample_size(20);
+    for (name, plan) in &plans {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut count = 0u64;
+                visit_triplets(&lat, &store, plan, rcut, |_, _, _, _, _| count += 1);
+                black_box(count)
+            })
+        });
+    }
+    // §6 cell-subdivision ablation: the same triplet search with half-size
+    // cells and the reach-2 SC pattern — fewer candidates per accepted
+    // tuple (reach_theory::search_volume_ratio(3, 2) ≈ 0.34).
+    let mut lat_half = CellLattice::new(*lat.bbox(), rcut / 2.0);
+    lat_half.rebuild(&store);
+    let sc_k2 = PatternPlan::new(&sc_core::shift_collapse_reach(3, 2), Dedup::Collapsed);
+    g.bench_function("sc_subdivided_k2", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            visit_triplets(&lat_half, &store, &sc_k2, rcut, |_, _, _, _, _| count += 1);
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion: O(N) cell rebinning — the dynamic part of dynamic n-tuple
+//! computation (the cell domain Ω is reconstructed every step, §3.1.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_bench::fixed_density_gas;
+use sc_cell::CellLattice;
+use std::hint::black_box;
+
+fn bench_binning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell_rebinning");
+    g.sample_size(20);
+    for cells in [8usize, 16] {
+        let (store, bbox) = fixed_density_gas(cells, 1.0, 10.0, 7);
+        let mut lat = CellLattice::new(bbox, 1.0);
+        g.bench_with_input(
+            BenchmarkId::new("rebuild", format!("{}atoms", store.len())),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    lat.rebuild(store);
+                    black_box(lat.mean_cell_density())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_binning);
+criterion_main!(benches);

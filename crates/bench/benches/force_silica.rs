@@ -1,0 +1,36 @@
+//! Criterion: full per-step force computation of the paper's benchmark
+//! application (silica, pair + triplet) under each method — the serial
+//! compute side of Fig. 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_md::{build_silica_like, Method, Simulation};
+use sc_potential::Vashishta;
+use std::hint::black_box;
+
+fn silica_sim(method: Method) -> Simulation {
+    let v = Vashishta::silica();
+    let masses = v.params().masses;
+    let (store, bbox) = build_silica_like(3, 7.16, masses, 0.01, 7);
+    Simulation::builder(store, bbox)
+        .pair_potential(Box::new(v.pair.clone()))
+        .triplet_potential(Box::new(v.triplet.clone()))
+        .method(method)
+        .timestep(0.0005)
+        .build()
+        .expect("valid silica simulation")
+}
+
+fn bench_force_silica(c: &mut Criterion) {
+    let mut g = c.benchmark_group("silica_force_step");
+    g.sample_size(10);
+    for method in Method::ALL {
+        let mut sim = silica_sim(method);
+        g.bench_function(method.name(), |b| {
+            b.iter(|| black_box(sim.compute_forces()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_force_silica);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion: cost of building computation patterns — the SC algorithm
+//! itself (GENERATE-FS → OC-SHIFT → R-COLLAPSE) runs once per simulation,
+//! but its cost grows as 27^{n-1} and is worth tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::{generate_fs, oc_shift, r_collapse, shift_collapse};
+use std::hint::black_box;
+
+fn bench_pattern_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pattern_generation");
+    g.sample_size(20);
+    for n in [2usize, 3, 4] {
+        g.bench_function(format!("generate_fs_n{n}"), |b| {
+            b.iter(|| black_box(generate_fs(n)))
+        });
+        g.bench_function(format!("shift_collapse_n{n}"), |b| {
+            b.iter(|| black_box(shift_collapse(n)))
+        });
+    }
+    // Subroutine split at n = 4 (19 683 paths).
+    let fs4 = generate_fs(4);
+    g.bench_function("oc_shift_n4", |b| b.iter(|| black_box(oc_shift(&fs4))));
+    let oc4 = oc_shift(&fs4);
+    g.bench_function("r_collapse_n4", |b| b.iter(|| black_box(r_collapse(&oc4))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_pattern_gen);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **Fig. 9** — strong-scaling speedup of SC-MD, FS-MD, and Hybrid-MD on
+//! (a) the Intel-Xeon profile (0.88M atoms, 12–768 cores) and (b) the
+//! BlueGene/Q profile (0.79M atoms, 16–8192 cores), from the calibrated
+//! machine model.
+//!
+//! Paper reference points: SC-MD 59.3× (92.6% efficiency) at 768 Xeon
+//! cores vs FS 24.5× and Hybrid 17.1×; SC-MD 465.6× (90.9%) at 8192 BG/Q
+//! cores vs FS 55.1× and Hybrid 95.2×.
+//!
+//! Run: `cargo run -p sc-bench --release --bin fig9_strong_scaling -- xeon`
+//!      `cargo run -p sc-bench --release --bin fig9_strong_scaling -- bgq`
+
+use sc_md::Method;
+use sc_netmodel::{MachineProfile, MdCostModel, SilicaWorkload};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "xeon".into());
+    let (profile, n_total, cores, ref_cores): (MachineProfile, f64, Vec<usize>, usize) =
+        if arg == "bgq" {
+            (
+                MachineProfile::bgq(),
+                0.79e6,
+                vec![16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192],
+                16,
+            )
+        } else {
+            (MachineProfile::xeon(), 0.88e6, vec![12, 24, 48, 96, 192, 384, 768], 12)
+        };
+    let model = MdCostModel::new(SilicaWorkload::silica(), profile);
+    println!(
+        "Fig. 9 — strong scaling on {} ({:.2}M atoms, reference = {} cores; modeled)",
+        model.machine.name,
+        n_total / 1e6,
+        ref_cores
+    );
+    println!(
+        "{:>8} {:>8} | {:>9} {:>6} | {:>9} {:>6} | {:>9} {:>6}",
+        "cores", "N/P", "SC spd", "eff", "FS spd", "eff", "Hyb spd", "eff"
+    );
+    let curves: Vec<_> = Method::ALL
+        .iter()
+        .map(|&m| model.strong_scaling(m, n_total, &cores, ref_cores))
+        .collect();
+    for (i, &p) in cores.iter().enumerate() {
+        let grain = n_total / p as f64;
+        let sc = curves[0][i];
+        let fs = curves[1][i];
+        let hy = curves[2][i];
+        println!(
+            "{:>8} {:>8.0} | {:>9.1} {:>5.1}% | {:>9.1} {:>5.1}% | {:>9.1} {:>5.1}%",
+            p,
+            grain,
+            sc.speedup,
+            sc.efficiency * 100.0,
+            fs.speedup,
+            fs.efficiency * 100.0,
+            hy.speedup,
+            hy.efficiency * 100.0
+        );
+    }
+    println!();
+    if arg == "bgq" {
+        println!("paper at 8192 cores: SC 465.6× (90.9%), FS 55.1× (10.8%), Hybrid 95.2× (18.6%)");
+    } else {
+        println!("paper at 768 cores: SC 59.3× (92.6%), FS 24.5× (38.3%), Hybrid 17.1× (26.8%)");
+    }
+}

@@ -1,0 +1,30 @@
+//! **§5.3 extreme-scale run** — strong scaling of SC-MD for a 50.3M-atom
+//! system on the BlueGene/Q profile, 128 → 524 288 cores (up to 2 097 152
+//! MPI tasks in the paper's 4-tasks/core configuration).
+//!
+//! Paper reference: speedup 3764.6× (91.9% efficiency) at 524 288 cores
+//! relative to the 128-core (8-node) reference.
+//!
+//! Run: `cargo run -p sc-bench --release --bin scaling50m`
+
+use sc_md::Method;
+use sc_netmodel::{MachineProfile, MdCostModel, SilicaWorkload};
+
+fn main() {
+    let model = MdCostModel::new(SilicaWorkload::silica(), MachineProfile::bgq());
+    let n_total = 50.3e6;
+    let cores = [128usize, 512, 2048, 8192, 32_768, 131_072, 524_288];
+    println!("§5.3 — SC-MD strong scaling, 50.3M atoms on BlueGene/Q (modeled)");
+    println!("{:>9} {:>10} {:>11} {:>7}", "cores", "N/P", "speedup", "eff");
+    for p in model.strong_scaling(Method::ShiftCollapse, n_total, &cores, 128) {
+        println!(
+            "{:>9} {:>10.0} {:>11.1} {:>6.1}%",
+            p.cores,
+            n_total / p.cores as f64,
+            p.speedup,
+            p.efficiency * 100.0
+        );
+    }
+    println!();
+    println!("paper at 524 288 cores: 3764.6× speedup, 91.9% parallel efficiency");
+}

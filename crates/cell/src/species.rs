@@ -1,0 +1,47 @@
+//! Compact species identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// A chemical species id — an index into the per-species parameter tables of
+/// the potentials and the mass table of the [`crate::AtomStore`].
+///
+/// Species are deliberately a thin `u8` newtype: the enumeration hot loops
+/// carry one per atom, and potentials index `n_species × n_species` parameter
+/// matrices with them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Species(pub u8);
+
+impl Species {
+    /// Species 0 — used for single-species systems (e.g. Lennard-Jones
+    /// argon, Stillinger-Weber silicon).
+    pub const DEFAULT: Species = Species(0);
+    /// Silicon in the silica benchmark system.
+    pub const SI: Species = Species(0);
+    /// Oxygen in the silica benchmark system.
+    pub const O: Species = Species(1);
+
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u8> for Species {
+    fn from(v: u8) -> Self {
+        Species(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices() {
+        assert_eq!(Species::SI.index(), 0);
+        assert_eq!(Species::O.index(), 1);
+        assert_eq!(Species::from(3).index(), 3);
+        assert_eq!(Species::DEFAULT, Species(0));
+    }
+}

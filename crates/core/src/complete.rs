@@ -1,0 +1,134 @@
+//! n-completeness checking (the paper's Eq. 11) at the cell-chain level.
+//!
+//! A pattern is n-complete when every chain-cutoff n-tuple can be generated.
+//! Because an n-tuple in `Γ*(n)` always occupies a cell chain whose
+//! consecutive cells are nearest neighbours (the induction in Lemma 1), it
+//! suffices — and is necessary, since atoms can sit anywhere inside their
+//! cells — that the pattern generate **every nearest-neighbour cell chain**.
+//! This module checks that by exhaustion on a small periodic lattice.
+
+use crate::ucp::{canonical_chain, ucp_chains, Chain};
+use crate::Pattern;
+use sc_geom::IVec3;
+
+/// Enumerates all canonical reach-`k` chains of length n on a periodic
+/// lattice of `dims` cells — the cell-level image of `Γ*(n)` when the cell
+/// edge is `r_cut / k` (k = 1 is the paper's nearest-neighbour case).
+fn all_neighbor_chains_reach(dims: IVec3, n: usize, k: i32) -> Vec<Chain> {
+    let nbrs: Vec<IVec3> = IVec3::box_iter(IVec3::splat(-k), IVec3::splat(k)).collect();
+    let mut chains: Vec<Chain> = IVec3::box_iter(IVec3::ZERO, dims - IVec3::splat(1))
+        .map(|q| vec![q])
+        .collect();
+    for _ in 1..n {
+        let mut next = Vec::with_capacity(chains.len() * nbrs.len());
+        for c in &chains {
+            let last = *c.last().expect("chains are non-empty");
+            for &d in &nbrs {
+                let mut c2 = c.clone();
+                c2.push((last + d).rem_euclid(dims));
+                next.push(c2);
+            }
+        }
+        chains = next;
+    }
+    let mut out: Vec<Chain> = chains.into_iter().map(canonical_chain).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Whether `pattern` generates every reach-`k` cell chain of its order on a
+/// periodic `dims` lattice — the completeness criterion for subdivided
+/// cells (paper §6; see the [`crate::generate_fs_reach`] family).
+pub fn chain_complete_reach(dims: IVec3, pattern: &Pattern, k: i32) -> bool {
+    let generated = ucp_chains(dims, pattern);
+    all_neighbor_chains_reach(dims, pattern.n(), k)
+        .into_iter()
+        .all(|c| generated.contains(&c))
+}
+
+/// Returns the nearest-neighbour chains of length n that `pattern` fails to
+/// generate on a periodic `dims` lattice. Empty ⇔ the pattern is n-complete
+/// on that lattice (Theorem 2 predicts empty for SC patterns whenever
+/// `dims ≥ n` per axis, so that octant offsets don't alias through the
+/// periodic wrap).
+pub fn missing_chains(dims: IVec3, pattern: &Pattern) -> Vec<Chain> {
+    let generated = ucp_chains(dims, pattern);
+    all_neighbor_chains_reach(dims, pattern.n(), 1)
+        .into_iter()
+        .filter(|c| !generated.contains(c))
+        .collect()
+}
+
+/// Whether `pattern` is n-complete on a periodic `dims` lattice: every
+/// nearest-neighbour cell chain of length n is generated (Eq. 11 at the
+/// cell level).
+pub fn chain_complete(dims: IVec3, pattern: &Pattern) -> bool {
+    missing_chains(dims, pattern).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eighth_shell, full_shell, generate_fs, half_shell, oc_shift, r_collapse, shift_collapse, Path};
+
+    #[test]
+    fn fs_is_complete_lemma1() {
+        for n in 2..=3 {
+            assert!(chain_complete(IVec3::splat(4), &generate_fs(n)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sc_is_complete_theorem2() {
+        for n in 2..=4 {
+            let dims = IVec3::splat((n as i32).max(4));
+            assert!(chain_complete(dims, &shift_collapse(n)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn classical_pair_patterns_are_complete() {
+        let dims = IVec3::splat(4);
+        assert!(chain_complete(dims, &full_shell()));
+        assert!(chain_complete(dims, &half_shell()));
+        assert!(chain_complete(dims, &eighth_shell()));
+    }
+
+    #[test]
+    fn intermediate_stages_are_complete() {
+        // Lemma 2 and Lemma 4: OC-SHIFT and R-COLLAPSE preserve the force
+        // set, hence completeness, at every stage of the SC pipeline.
+        let dims = IVec3::splat(4);
+        let fs = generate_fs(3);
+        let oc = oc_shift(&fs);
+        let rc = r_collapse(&oc);
+        assert!(chain_complete(dims, &oc));
+        assert!(chain_complete(dims, &rc));
+    }
+
+    #[test]
+    fn crippled_pattern_is_detected_incomplete() {
+        // Drop one path from the eighth shell: chains of the dropped
+        // direction go missing.
+        let es = eighth_shell();
+        let kept: Vec<Path> = es.iter().skip(1).cloned().collect();
+        let crippled = Pattern::new(kept);
+        let missing = missing_chains(IVec3::splat(4), &crippled);
+        assert!(!missing.is_empty());
+        assert!(!chain_complete(IVec3::splat(4), &crippled));
+    }
+
+    #[test]
+    fn missing_chains_empty_for_complete_pattern() {
+        assert!(missing_chains(IVec3::splat(4), &eighth_shell()).is_empty());
+    }
+
+    #[test]
+    fn nonuniform_lattice_dims() {
+        // Completeness is not an artifact of cubic lattices.
+        let dims = IVec3::new(4, 5, 6);
+        assert!(chain_complete(dims, &shift_collapse(2)));
+        assert!(chain_complete(dims, &shift_collapse(3)));
+    }
+}

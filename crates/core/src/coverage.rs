@@ -1,0 +1,163 @@
+//! Parallel-MD coverage geometry: which cells (and which neighbour ranks) a
+//! pattern forces a domain to import (paper §3.1.3 and §4.2).
+
+use crate::Pattern;
+use sc_geom::{CellRegion, IVec3};
+use std::collections::BTreeSet;
+
+/// The set of cells outside `region` that evaluating `pattern` on every cell
+/// of `region` requires — `ω(Ω, Ψ) = Π(Ω, Ψ) − Ω` (Eq. 14 numerator).
+/// Indices are unwrapped (global lattice coordinates); callers apply periodic
+/// wrapping when mapping to owner ranks.
+pub fn domain_import_cells(region: &CellRegion, pattern: &Pattern) -> Vec<IVec3> {
+    let coverage = pattern.cell_coverage();
+    let mut out: BTreeSet<IVec3> = BTreeSet::new();
+    for q in region.iter() {
+        for &v in &coverage {
+            let c = q + v;
+            if !region.contains(c) {
+                out.insert(c);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// The import volume `Vω` for a cubic domain of `l` cells per edge — the
+/// quantity Eq. 33 closes in analytic form for SC patterns.
+pub fn import_volume_cubic(l: u32, pattern: &Pattern) -> u64 {
+    let region = CellRegion::new(IVec3::ZERO, IVec3::splat(l as i32));
+    domain_import_cells(&region, pattern).len() as u64
+}
+
+/// The set of neighbour-rank block offsets (in `{-1,0,1}³ \ {0}`) a domain of
+/// `extent` cells per axis must communicate with under `pattern`. For the SC
+/// pattern this is the 7 first-octant neighbours (§4.2: "we only need to
+/// import atom data from 7 nearest processors"), provided `n−1 ≤ extent`.
+pub fn neighbor_rank_offsets(region_extent: IVec3, pattern: &Pattern) -> Vec<IVec3> {
+    let region = CellRegion::new(IVec3::ZERO, region_extent);
+    let mut blocks: BTreeSet<IVec3> = BTreeSet::new();
+    for c in domain_import_cells(&region, pattern) {
+        let block = IVec3::new(
+            block_of(c.x, region_extent.x),
+            block_of(c.y, region_extent.y),
+            block_of(c.z, region_extent.z),
+        );
+        blocks.insert(block);
+    }
+    blocks.into_iter().collect()
+}
+
+/// Which side of a domain of extent `l` a (possibly out-of-range) coordinate
+/// falls on: −1 below, 0 inside, +1 above. Coordinates beyond the immediate
+/// neighbour domain still map to ±1 because forwarded routing delivers them
+/// through the face neighbours.
+fn block_of(x: i32, l: i32) -> i32 {
+    if x < 0 {
+        -1
+    } else if x >= l {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eighth_shell, full_shell, generate_fs, half_shell, shift_collapse, theory};
+
+    #[test]
+    fn sc_import_matches_eq33() {
+        for n in 2..=4usize {
+            let sc = shift_collapse(n);
+            for l in 1..=5u32 {
+                assert_eq!(
+                    import_volume_cubic(l, &sc),
+                    theory::sc_import_volume(l as u64, n),
+                    "l = {l}, n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fs_import_matches_formula() {
+        for n in 2..=3usize {
+            let fs = generate_fs(n);
+            for l in 1..=4u32 {
+                assert_eq!(
+                    import_volume_cubic(l, &fs),
+                    theory::fs_import_volume(l as u64, n),
+                    "l = {l}, n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hs_import_matches_exact_count() {
+        // r_collapse keeps the lexicographically-positive twin, so the
+        // constructed half shell must match the exact Minkowski-sum count in
+        // theory::hs_import_volume.
+        let hs = half_shell();
+        for l in 1..=5u32 {
+            assert_eq!(import_volume_cubic(l, &hs), theory::hs_import_volume(l as u64), "l={l}");
+        }
+    }
+
+    #[test]
+    fn single_cell_imports() {
+        // The classic single-cell counts: FS 26, HS 13, ES/SC 7.
+        assert_eq!(import_volume_cubic(1, &full_shell()), 26);
+        assert_eq!(import_volume_cubic(1, &half_shell()), 13);
+        assert_eq!(import_volume_cubic(1, &eighth_shell()), 7);
+        assert_eq!(import_volume_cubic(1, &shift_collapse(2)), 7);
+    }
+
+    #[test]
+    fn sc_talks_to_seven_neighbor_ranks() {
+        for n in 2..=4 {
+            let sc = shift_collapse(n);
+            let extent = IVec3::splat((n as i32 - 1).max(2));
+            let ranks = neighbor_rank_offsets(extent, &sc);
+            assert_eq!(ranks.len(), 7, "n = {n}");
+            assert!(ranks.iter().all(|r| r.in_first_octant() && *r != IVec3::ZERO));
+        }
+    }
+
+    #[test]
+    fn fs_talks_to_26_neighbor_ranks() {
+        let fs = generate_fs(2);
+        let ranks = neighbor_rank_offsets(IVec3::splat(3), &fs);
+        assert_eq!(ranks.len(), 26);
+    }
+
+    #[test]
+    fn hs_neighbor_blocks() {
+        let hs = half_shell();
+        // At single-cell granularity HS touches the classical 13 neighbours…
+        assert_eq!(neighbor_rank_offsets(IVec3::splat(1), &hs).len(), 13);
+        // …but for multi-cell domains the diagonal half-shell directions
+        // leak into 4 extra blocks (e.g. (1,-1,0) imports cells on the −y
+        // side), giving 17. This is exactly the irregularity octant
+        // compression removes: SC always needs 7.
+        assert_eq!(neighbor_rank_offsets(IVec3::splat(3), &hs).len(), 17);
+    }
+
+    #[test]
+    fn import_cells_are_disjoint_from_domain() {
+        let region = CellRegion::new(IVec3::ZERO, IVec3::splat(3));
+        for cells in [
+            domain_import_cells(&region, &shift_collapse(3)),
+            domain_import_cells(&region, &generate_fs(2)),
+        ] {
+            assert!(cells.iter().all(|&c| !region.contains(c)));
+            // Sorted and unique by construction.
+            let mut sorted = cells.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted, cells);
+        }
+    }
+}

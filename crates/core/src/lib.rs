@@ -1,0 +1,82 @@
+//! # sc-core — computation-pattern algebra and the shift-collapse algorithm
+//!
+//! This crate implements the primary contribution of
+//!
+//! > M. Kunaseth, R. K. Kalia, A. Nakano, K. Nomura, P. Vashishta,
+//! > *"A Scalable Parallel Algorithm for Dynamic Range-Limited n-Tuple
+//! > Computation in Many-Body Molecular Dynamics Simulation"*, SC'13.
+//!
+//! ## The algebra (paper §3.1)
+//!
+//! Cell-based MD divides the simulation volume into a lattice of cells of
+//! edge ≥ the interaction cutoff. A **computation path** for n-tuple
+//! computation is a list of n cell offsets `p = (v0, …, v_{n-1}) ∈ Lⁿ`
+//! ([`Path`]); a **computation pattern** `Ψ = {p}` is a set of paths
+//! ([`Pattern`]). Applying a pattern to every cell `c(q)` of a cell domain Ω
+//! generates the **force set**
+//!
+//! ```text
+//! S = UCP(Ω, Ψ) = ⋃_{c(q) ∈ Ω} Scell(c(q), Ψ),
+//! Scell(c(q), Ψ) = { (r0…r_{n-1}) | ∀p ∈ Ψ, ∀k: r_k ∈ c(q + v_k) }
+//! ```
+//!
+//! (the paper's Eqs. 9–10). A pattern is **n-complete** when the force set
+//! bounds `Γ*(n)`, the set of all chain-cutoff n-tuples. The [`ucp`] module
+//! implements this machinery at the *cell-chain* level (abstract atoms), which
+//! is what the paper's invariance proofs quantify over; the `sc-md` crate
+//! instantiates it over real atoms.
+//!
+//! ## The shift-collapse algorithm (paper §3.2)
+//!
+//! [`shift_collapse`] = [`generate_fs`] → [`oc_shift`] → [`r_collapse`]:
+//!
+//! 1. **GENERATE-FS(n)** enumerates all `27^{n-1}` nearest-neighbour walks of
+//!    length n starting at the origin cell — complete by construction
+//!    (Lemma 1).
+//! 2. **OC-SHIFT** translates every path so its bounding-box corner sits at
+//!    the origin, compressing the pattern's cell coverage into the first
+//!    octant `[0, n-1]³` (path-shift invariance, Theorem 1). This generalizes
+//!    the eighth-shell import-volume trick to any n.
+//! 3. **R-COLLAPSE** deletes one path of every reflective twin pair
+//!    `σ(p') = σ(p⁻¹)` (reflective invariance, Lemma 3; twin uniqueness,
+//!    Lemma 6). This generalizes the half-shell redundancy removal.
+//!
+//! For n = 2 the result *is* the eighth-shell method; [`half_shell`] and
+//! [`eighth_shell`] are provided as the classical special cases.
+//!
+//! ## Theory (paper §4)
+//!
+//! The [`theory`] module carries the closed-form counts — `|Ψ_FS| = 27^{n-1}`
+//! (Eq. 25), the self-reflective path count (Eq. 27), `|Ψ_SC|` (Eq. 29), and
+//! the SC import volume `(l+n-1)³ − l³` (Eq. 33) — all of which are verified
+//! against the constructive algorithms in this crate's tests.
+//!
+//! Note on Eq. 27: the published text renders the self-reflective count as
+//! `27^{⌈(n+1)/2⌉-1}`, which evaluates to 27 at n = 2 and contradicts the
+//! paper's own `|Ψ_HS| = 14 = (27+1)/2`. Deriving it from the palindromic
+//! constraint `v_k = v_{n-1-k}` gives `27^{⌊(n-1)/2⌋}` (1 at n = 2, 27 at
+//! n = 3 and 4, 729 at n = 5 …), which reproduces every count the paper
+//! states; we implement that and flag the published exponent as a typo.
+
+#![warn(missing_docs)]
+
+mod complete;
+mod coverage;
+mod generate;
+mod path;
+mod pattern;
+mod reach;
+mod viz;
+pub mod theory;
+pub mod ucp;
+
+pub use complete::{chain_complete, chain_complete_reach, missing_chains};
+pub use coverage::{domain_import_cells, import_volume_cubic, neighbor_rank_offsets};
+pub use generate::{
+    eighth_shell, full_shell, generate_fs, half_shell, oc_shift, r_collapse, shift_collapse,
+    PatternKind,
+};
+pub use path::Path;
+pub use pattern::Pattern;
+pub use reach::{generate_fs_reach, reach_theory, shift_collapse_reach};
+pub use viz::{coverage_ascii, coverage_summary};

@@ -1,0 +1,237 @@
+//! Computation paths `p = (v0, …, v_{n-1})` and their algebra.
+
+use sc_geom::IVec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An n-tuple computation path: a list of n cell offsets in the cell-index
+/// lattice `L` (paper §3.1.2).
+///
+/// Applying a path to a base cell `c(q)` selects the cell chain
+/// `(c(q+v0), …, c(q+v_{n-1}))`; the k-th atom of every generated tuple comes
+/// from the k-th cell of that chain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Path {
+    v: Box<[IVec3]>,
+}
+
+impl Path {
+    /// Creates a path from its offset vectors.
+    ///
+    /// # Panics
+    /// Panics if fewer than two offsets are given (n ≥ 2 in every n-tuple
+    /// computation the paper considers).
+    pub fn new(offsets: impl Into<Vec<IVec3>>) -> Self {
+        let v: Vec<IVec3> = offsets.into();
+        assert!(v.len() >= 2, "a computation path needs n ≥ 2 offsets, got {}", v.len());
+        Path { v: v.into_boxed_slice() }
+    }
+
+    /// The tuple order n (number of offsets).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.v.len()
+    }
+
+    /// The offset vectors.
+    #[inline]
+    pub fn offsets(&self) -> &[IVec3] {
+        &self.v
+    }
+
+    /// The k-th offset.
+    #[inline]
+    pub fn offset(&self, k: usize) -> IVec3 {
+        self.v[k]
+    }
+
+    /// The inverse path `p⁻¹ = (v_{n-1}, …, v0)`.
+    pub fn inverse(&self) -> Path {
+        let mut v: Vec<IVec3> = self.v.to_vec();
+        v.reverse();
+        Path::new(v)
+    }
+
+    /// The differential representation
+    /// `σ(p) = (v1 − v0, …, v_{n-1} − v_{n-2}) ∈ L^{n-1}`.
+    ///
+    /// Two paths generate the same force set iff their differentials are
+    /// equal (translation, Theorem 1) or reverse-related (reflection,
+    /// Lemma 3), so σ is the invariant the collapse step compares.
+    pub fn sigma(&self) -> Vec<IVec3> {
+        self.v.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Path shifting `p + Δ = (v0 + Δ, …, v_{n-1} + Δ)` (paper §3.2).
+    pub fn shifted(&self, delta: IVec3) -> Path {
+        Path::new(self.v.iter().map(|&v| v + delta).collect::<Vec<_>>())
+    }
+
+    /// Component-wise minimum corner of the path's bounding box.
+    pub fn min_corner(&self) -> IVec3 {
+        self.v.iter().copied().fold(self.v[0], IVec3::min)
+    }
+
+    /// Component-wise maximum corner of the path's bounding box.
+    pub fn max_corner(&self) -> IVec3 {
+        self.v.iter().copied().fold(self.v[0], IVec3::max)
+    }
+
+    /// Octant compression of a single path: shift so the bounding-box minimum
+    /// corner lands on the origin, leaving every offset in the first octant.
+    /// This is the per-path operation `OC-SHIFT` applies (Table 4); by
+    /// Theorem 1 it leaves the generated force set unchanged.
+    pub fn octant_compressed(&self) -> Path {
+        self.shifted(-self.min_corner())
+    }
+
+    /// Whether consecutive offsets are nearest neighbours
+    /// (`‖v_{k+1} − v_k‖_∞ ≤ 1`), the structural invariant of full-shell
+    /// paths that makes them chain-complete (Lemma 1).
+    pub fn is_neighbor_walk(&self) -> bool {
+        self.v.windows(2).all(|w| (w[1] - w[0]).linf_norm() <= 1)
+    }
+
+    /// Whether the path is *self-reflective*: `σ(p) = σ(p⁻¹)`, i.e. the path
+    /// is its own reflective twin (Corollary 1). Self-reflective paths are
+    /// non-collapsible, and tuple enumeration must instead break the
+    /// reflection symmetry per-tuple (by canonical atom ordering).
+    pub fn is_self_reflective(&self) -> bool {
+        self.sigma() == self.inverse().sigma()
+    }
+
+    /// The reflective path twin `RPT(p) = p⁻¹ − v_{n-1}` (Lemma 6): the
+    /// unique *origin-anchored* path generating the same force set as `p`.
+    /// For paths with `v0 = 0` (full-shell form), `RPT(p)` also has its first
+    /// offset at the origin.
+    pub fn reflective_twin(&self) -> Path {
+        let last = self.v[self.v.len() - 1];
+        self.inverse().shifted(-last)
+    }
+
+    /// Whether `other` generates the same force set as `self` on every cell
+    /// domain: equal differentials (translation) or reflected differentials
+    /// (reflection). This is the equivalence R-COLLAPSE tests (Table 5).
+    pub fn is_equivalent(&self, other: &Path) -> bool {
+        if self.n() != other.n() {
+            return false;
+        }
+        let s = self.sigma();
+        let o = other.sigma();
+        s == o || o == self.inverse().sigma()
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.v.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(offsets: &[[i32; 3]]) -> Path {
+        Path::new(offsets.iter().map(|&a| IVec3::from_array(a)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn sigma_is_differences() {
+        let path = p(&[[0, 0, 0], [1, 0, 0], [1, 1, 0]]);
+        assert_eq!(
+            path.sigma(),
+            vec![IVec3::new(1, 0, 0), IVec3::new(0, 1, 0)]
+        );
+    }
+
+    #[test]
+    fn sigma_is_shift_invariant() {
+        let path = p(&[[0, 0, 0], [1, -1, 0], [2, -1, 1]]);
+        let shifted = path.shifted(IVec3::new(5, -3, 2));
+        assert_eq!(path.sigma(), shifted.sigma());
+        assert_ne!(path, shifted);
+    }
+
+    #[test]
+    fn inverse_twice_is_identity() {
+        let path = p(&[[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 1, 1]]);
+        assert_eq!(path.inverse().inverse(), path);
+    }
+
+    #[test]
+    fn octant_compression_lands_in_first_octant() {
+        let path = p(&[[0, 0, 0], [-1, 1, 0], [-2, 0, -1]]);
+        let oc = path.octant_compressed();
+        assert!(oc.offsets().iter().all(|v| v.in_first_octant()));
+        assert_eq!(oc.min_corner(), IVec3::ZERO);
+        // Shifting preserves σ — the force set is unchanged (Theorem 1).
+        assert_eq!(oc.sigma(), path.sigma());
+    }
+
+    #[test]
+    fn octant_compression_is_idempotent() {
+        let path = p(&[[0, 0, 0], [1, 1, 1]]);
+        assert_eq!(path.octant_compressed(), path);
+        let path2 = p(&[[0, 0, 0], [-1, -1, -1]]).octant_compressed();
+        assert_eq!(path2, p(&[[1, 1, 1], [0, 0, 0]]));
+        assert_eq!(path2.octant_compressed(), path2);
+    }
+
+    #[test]
+    fn reflective_twin_matches_lemma6() {
+        // RPT(p) = p⁻¹ − v_{n-1}: same force set, origin-anchored.
+        let path = p(&[[0, 0, 0], [1, 0, 0], [1, 1, 0]]);
+        let twin = path.reflective_twin();
+        assert_eq!(twin.offset(0), IVec3::ZERO);
+        // σ(twin) = σ(p⁻¹).
+        assert_eq!(twin.sigma(), path.inverse().sigma());
+        assert!(path.is_equivalent(&twin));
+        // The twin's twin is the original.
+        assert_eq!(twin.reflective_twin(), path);
+    }
+
+    #[test]
+    fn self_reflective_paths() {
+        // Pair in the same cell: p = (0, 0) is its own twin.
+        assert!(p(&[[0, 0, 0], [0, 0, 0]]).is_self_reflective());
+        // Out-and-back triplet.
+        assert!(p(&[[0, 0, 0], [1, 0, 0], [0, 0, 0]]).is_self_reflective());
+        // A generic straight pair is not.
+        assert!(!p(&[[0, 0, 0], [1, 0, 0]]).is_self_reflective());
+        // Self-reflective ⇒ RPT(p) = p (Corollary 1) for origin-anchored p.
+        let s = p(&[[0, 0, 0], [1, 1, 0], [0, 0, 0]]);
+        assert_eq!(s.reflective_twin(), s);
+    }
+
+    #[test]
+    fn neighbor_walk_detection() {
+        assert!(p(&[[0, 0, 0], [1, 1, 1], [0, 1, 2]]).is_neighbor_walk());
+        assert!(!p(&[[0, 0, 0], [2, 0, 0]]).is_neighbor_walk());
+    }
+
+    #[test]
+    fn equivalence_includes_translation_and_reflection() {
+        let a = p(&[[0, 0, 0], [1, 0, 0], [1, 1, 0]]);
+        let translated = a.shifted(IVec3::new(3, 3, 3));
+        let reflected = a.reflective_twin().shifted(IVec3::new(-2, 0, 1));
+        let different = p(&[[0, 0, 0], [0, 1, 0], [1, 1, 0]]);
+        assert!(a.is_equivalent(&translated));
+        assert!(a.is_equivalent(&reflected));
+        assert!(!a.is_equivalent(&different));
+        assert!(!a.is_equivalent(&p(&[[0, 0, 0], [1, 0, 0]])));
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_offset_path_rejected() {
+        let _ = Path::new(vec![IVec3::ZERO]);
+    }
+}

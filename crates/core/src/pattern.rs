@@ -1,0 +1,208 @@
+//! Computation patterns `Ψ = {p}` and their coverage geometry.
+
+use crate::Path;
+use sc_geom::IVec3;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A computation pattern: a set of computation paths of a common order n
+/// (paper §3.1.2). The pattern plays the role a stencil plays in grid
+/// computations — it is applied at every cell of the domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    n: usize,
+    paths: Vec<Path>,
+}
+
+impl Pattern {
+    /// Creates a pattern from paths.
+    ///
+    /// # Panics
+    /// Panics if `paths` is empty or the paths disagree on n.
+    pub fn new(paths: Vec<Path>) -> Self {
+        assert!(!paths.is_empty(), "a pattern needs at least one path");
+        let n = paths[0].n();
+        assert!(
+            paths.iter().all(|p| p.n() == n),
+            "all paths in a pattern must share the same tuple order n"
+        );
+        Pattern { n, paths }
+    }
+
+    /// The tuple order n of every path in the pattern.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The number of paths `|Ψ|` — by Lemma 5 the n-tuple search cost is
+    /// proportional to this.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the pattern has no paths (never true for constructed patterns).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The paths.
+    #[inline]
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Iterates over the paths.
+    pub fn iter(&self) -> impl Iterator<Item = &Path> {
+        self.paths.iter()
+    }
+
+    /// The cell coverage `Π(Ψ)` relative to the base cell: the set of cell
+    /// offsets any path touches (paper §3.1.3). Sorted and deduplicated.
+    pub fn cell_coverage(&self) -> Vec<IVec3> {
+        let set: BTreeSet<IVec3> =
+            self.paths.iter().flat_map(|p| p.offsets().iter().copied()).collect();
+        set.into_iter().collect()
+    }
+
+    /// The cell footprint `|Π(Ψ)|` — the number of distinct cells needed to
+    /// evaluate one cell's search space.
+    pub fn footprint(&self) -> usize {
+        self.cell_coverage().len()
+    }
+
+    /// The coverage offsets that are *not* the base cell itself — for a
+    /// single-cell domain this is exactly what must be imported.
+    pub fn import_offsets(&self) -> Vec<IVec3> {
+        self.cell_coverage().into_iter().filter(|&v| v != IVec3::ZERO).collect()
+    }
+
+    /// Bounding box `[lo, hi]` (inclusive) of the coverage.
+    pub fn coverage_bounds(&self) -> (IVec3, IVec3) {
+        let mut lo = self.paths[0].offset(0);
+        let mut hi = lo;
+        for p in &self.paths {
+            lo = lo.min(p.min_corner());
+            hi = hi.max(p.max_corner());
+        }
+        (lo, hi)
+    }
+
+    /// Whether every path offset lies in the first octant — the invariant
+    /// established by OC-SHIFT, which is what shrinks the parallel import
+    /// volume to `(l+n-1)³ − l³`.
+    pub fn is_first_octant(&self) -> bool {
+        self.paths.iter().all(|p| p.offsets().iter().all(|v| v.in_first_octant()))
+    }
+
+    /// Returns the pattern with paths sorted lexicographically — a canonical
+    /// form so that structurally equal patterns compare equal.
+    pub fn canonicalized(mut self) -> Pattern {
+        self.paths.sort();
+        self.paths.dedup();
+        self
+    }
+
+    /// Counts the self-reflective (non-collapsible) paths in the pattern.
+    pub fn self_reflective_count(&self) -> usize {
+        self.paths.iter().filter(|p| p.is_self_reflective()).count()
+    }
+
+    /// Estimated search cost per cell in units of tuples, assuming a uniform
+    /// atom density of `rho` atoms per cell: `|Ψ| · ρⁿ` candidate tuples
+    /// (each of the n cells on a path contributes a factor ρ; Lemma 5 states
+    /// the proportionality to `|Ψ|`).
+    pub fn search_cost_per_cell(&self, rho: f64) -> f64 {
+        self.len() as f64 * rho.powi(self.n as i32)
+    }
+}
+
+impl<'a> IntoIterator for &'a Pattern {
+    type Item = &'a Path;
+    type IntoIter = std::slice::Iter<'a, Path>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.paths.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(offsets: &[[i32; 3]]) -> Path {
+        Path::new(offsets.iter().map(|&a| IVec3::from_array(a)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn coverage_and_footprint() {
+        let pat = Pattern::new(vec![
+            p(&[[0, 0, 0], [1, 0, 0]]),
+            p(&[[0, 0, 0], [0, 1, 0]]),
+            p(&[[0, 0, 0], [1, 0, 0]]), // duplicate path — coverage dedups
+        ]);
+        let cov = pat.cell_coverage();
+        assert_eq!(cov.len(), 3);
+        assert_eq!(pat.footprint(), 3);
+        assert_eq!(pat.import_offsets().len(), 2);
+        assert!(cov.contains(&IVec3::ZERO));
+    }
+
+    #[test]
+    fn coverage_bounds() {
+        let pat = Pattern::new(vec![
+            p(&[[0, 0, 0], [-1, 2, 0]]),
+            p(&[[0, 0, 0], [1, -1, 3]]),
+        ]);
+        let (lo, hi) = pat.coverage_bounds();
+        assert_eq!(lo, IVec3::new(-1, -1, 0));
+        assert_eq!(hi, IVec3::new(1, 2, 3));
+    }
+
+    #[test]
+    fn first_octant_detection() {
+        let yes = Pattern::new(vec![p(&[[0, 0, 0], [1, 1, 0]])]);
+        let no = Pattern::new(vec![p(&[[0, 0, 0], [-1, 0, 0]])]);
+        assert!(yes.is_first_octant());
+        assert!(!no.is_first_octant());
+    }
+
+    #[test]
+    fn canonical_form_dedups_and_sorts() {
+        let a = Pattern::new(vec![
+            p(&[[0, 0, 0], [1, 0, 0]]),
+            p(&[[0, 0, 0], [0, 1, 0]]),
+            p(&[[0, 0, 0], [1, 0, 0]]),
+        ])
+        .canonicalized();
+        let b = Pattern::new(vec![
+            p(&[[0, 0, 0], [0, 1, 0]]),
+            p(&[[0, 0, 0], [1, 0, 0]]),
+        ])
+        .canonicalized();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn search_cost_scales_with_pattern_size() {
+        let pat = Pattern::new(vec![p(&[[0, 0, 0], [1, 0, 0]]), p(&[[0, 0, 0], [0, 1, 0]])]);
+        assert_eq!(pat.search_cost_per_cell(3.0), 2.0 * 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_order_rejected() {
+        let _ = Pattern::new(vec![
+            p(&[[0, 0, 0], [1, 0, 0]]),
+            p(&[[0, 0, 0], [1, 0, 0], [1, 1, 0]]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_pattern_rejected() {
+        let _ = Pattern::new(vec![]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Closed-form counts from the paper's §4 analysis.
+//!
+//! Every formula here is checked against the constructive algorithms in
+//! `generate.rs` by tests, so the theory and the implementation cannot
+//! silently drift apart.
+
+/// `|Ψ_FS(n)| = 27^{n-1}` (Eq. 25): each of the n−1 steps of a full-shell
+/// walk picks one of the 27 offsets in `{-1,0,1}³`.
+pub fn fs_path_count(n: usize) -> u64 {
+    assert!(n >= 2);
+    27u64.pow(n as u32 - 1)
+}
+
+/// The number of self-reflective (non-collapsible) paths in `Ψ_FS(n)`
+/// (Eq. 27, with the exponent corrected to `⌊(n−1)/2⌋` — see the crate-level
+/// docs for why the published `⌈(n+1)/2⌉−1` is a typo).
+///
+/// Derivation: `p = p⁻¹` forces the palindrome `v_k = v_{n-1-k}`; with
+/// `v0 = 0` fixed and the walk constraint automatically satisfied by
+/// symmetry, `⌊(n−1)/2⌋` offsets remain free, each with 27 choices:
+///
+/// * n = 2 → 1 (only the in-cell pair path),
+/// * n = 3 → 27 (out-and-back triplets),
+/// * n = 4 → 27, n = 5 → 729, …
+pub fn self_reflective_count(n: usize) -> u64 {
+    assert!(n >= 2);
+    27u64.pow(((n - 1) / 2) as u32)
+}
+
+/// `|Ψ_SC(n)| = (27^{n-1} + s(n)) / 2` where `s` is
+/// [`self_reflective_count`] — equivalently Eq. 29's
+/// `½(27^{n-1} − s) + s`: half of the collapsible paths plus all
+/// non-collapsible ones.
+///
+/// * n = 2 → 14 (the half/eighth-shell count),
+/// * n = 3 → 378, n = 4 → 9 855, n = 5 → 266 085.
+pub fn sc_path_count(n: usize) -> u64 {
+    (fs_path_count(n) + self_reflective_count(n)) / 2
+}
+
+/// The asymptotic search-cost ratio `|Ψ_FS| / |Ψ_SC| → 2` the paper's Fig. 7
+/// measures (≈ 1.93 at n = 3; the measured force-set ratio in the paper is
+/// ≈ 2.13 because FS also retains reflective tuple duplicates).
+pub fn fs_over_sc_ratio(n: usize) -> f64 {
+    fs_path_count(n) as f64 / sc_path_count(n) as f64
+}
+
+/// SC import volume for a cubic cell domain of edge `l` cells (Eq. 33):
+/// `Vω(Ω, Ψ_SC(n)) = (l+n−1)³ − l³`. First-octant coverage imports an
+/// (n−1)-cell-thick upper corner shell.
+pub fn sc_import_volume(l: u64, n: usize) -> u64 {
+    assert!(n >= 2);
+    let k = (n - 1) as u64;
+    (l + k).pow(3) - l.pow(3)
+}
+
+/// Full-shell import volume for a cubic domain of edge `l` cells: coverage
+/// extends (n−1) cells in *both* directions per axis, so
+/// `Vω(Ω, Ψ_FS(n)) = (l+2(n−1))³ − l³`. The paper's Hybrid-MD baseline has
+/// the same import volume as FS (§5 preamble).
+pub fn fs_import_volume(l: u64, n: usize) -> u64 {
+    assert!(n >= 2);
+    let k = 2 * (n - 1) as u64;
+    (l + k).pow(3) - l.pow(3)
+}
+
+/// Half-shell pair-computation (n = 2) import volume for a cubic domain of
+/// edge `l` cells, computed exactly.
+///
+/// HS keeps the 13 lexicographically-positive pair directions
+/// `D = {d ∈ {-1,0,1}³ : d > 0 lex}`. The import region is the Minkowski sum
+/// `(R ⊕ D) \ R`, which is **not** a clean half shell for multi-cell domains:
+/// a diagonal direction like `(1,-1,0)` drags in cells on the −y side of the
+/// domain. There is no tidy closed form, so we count directly — the point of
+/// the eighth-shell/SC octant compression is precisely that its import region
+/// *does* have the closed form of Eq. 33.
+pub fn hs_import_volume(l: u64) -> u64 {
+    let li = l as i64;
+    let lex_positive = |d: [i64; 3]| -> bool {
+        if d[0] != 0 {
+            d[0] > 0
+        } else if d[1] != 0 {
+            d[1] > 0
+        } else {
+            d[2] > 0
+        }
+    };
+    let dirs: Vec<[i64; 3]> = {
+        let mut v = vec![];
+        for x in -1..=1i64 {
+            for y in -1..=1i64 {
+                for z in -1..=1i64 {
+                    if (x, y, z) != (0, 0, 0) && lex_positive([x, y, z]) {
+                        v.push([x, y, z]);
+                    }
+                }
+            }
+        }
+        v
+    };
+    let in_region = |c: [i64; 3]| c.iter().all(|&x| x >= 0 && x < li);
+    let mut count = 0u64;
+    for cx in -1..=li {
+        for cy in -1..=li {
+            for cz in -1..=li {
+                let c = [cx, cy, cz];
+                if in_region(c) {
+                    continue;
+                }
+                let imported =
+                    dirs.iter().any(|d| in_region([c[0] - d[0], c[1] - d[1], c[2] - d[2]]));
+                if imported {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Midpoint-method import volume for a cubic domain of `l` cells (Bowers,
+/// Dror & Shaw 2006; the paper's §6 compares SC against it).
+///
+/// Under midpoint assignment a tuple is computed by the rank owning its
+/// midpoint, so every atom of an n-tuple lies within `(n−1)·r_cut/2` of the
+/// owning domain — an import halo of `(n−1)/2` cells on *all six* sides:
+/// `(l + n − 1)³ − l³`, numerically **equal** to the SC volume of Eq. 33
+/// but split across 26 neighbour directions instead of SC's 7-neighbour
+/// first octant. SC additionally removes the reflective search redundancy,
+/// which is the §6 claim that "the SC algorithm improves the midpoint
+/// method by further eliminating redundant searches".
+pub fn midpoint_import_volume(l: u64, n: usize) -> u64 {
+    assert!(n >= 2);
+    let k = (n - 1) as u64;
+    (l + k).pow(3) - l.pow(3)
+}
+
+/// Search cost per cell (in candidate tuples) for a pattern of size
+/// `pattern_len`, assuming uniform density `rho` atoms per cell: each of the
+/// n cells along a path contributes a factor ρ (Lemma 5 gives the
+/// proportionality `T_UCP ∝ |Ψ|`).
+pub fn search_cost_per_cell(pattern_len: u64, n: usize, rho: f64) -> f64 {
+    pattern_len as f64 * rho.powi(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_counts() {
+        assert_eq!(fs_path_count(2), 27);
+        assert_eq!(fs_path_count(3), 729);
+        assert_eq!(fs_path_count(4), 19_683);
+        assert_eq!(fs_path_count(5), 531_441);
+    }
+
+    #[test]
+    fn self_reflective_counts() {
+        assert_eq!(self_reflective_count(2), 1);
+        assert_eq!(self_reflective_count(3), 27);
+        assert_eq!(self_reflective_count(4), 27);
+        assert_eq!(self_reflective_count(5), 729);
+        assert_eq!(self_reflective_count(6), 729);
+    }
+
+    #[test]
+    fn sc_counts() {
+        assert_eq!(sc_path_count(2), 14); // = |Ψ_HS|, paper §4.3.2
+        assert_eq!(sc_path_count(3), 378);
+        assert_eq!(sc_path_count(4), 9_855);
+        assert_eq!(sc_path_count(5), 266_085);
+    }
+
+    #[test]
+    fn ratio_approaches_two() {
+        assert!((fs_over_sc_ratio(2) - 27.0 / 14.0).abs() < 1e-12);
+        assert!((fs_over_sc_ratio(3) - 729.0 / 378.0).abs() < 1e-12);
+        assert!(fs_over_sc_ratio(5) > 1.99);
+        assert!(fs_over_sc_ratio(5) < 2.0);
+    }
+
+    #[test]
+    fn import_volumes() {
+        // Eq. 33 at n = 2 is the eighth-shell import: (l+1)³ − l³.
+        assert_eq!(sc_import_volume(4, 2), 125 - 64);
+        assert_eq!(sc_import_volume(4, 3), 216 - 64);
+        // FS imports both directions.
+        assert_eq!(fs_import_volume(4, 2), 216 - 64);
+        assert_eq!(fs_import_volume(4, 3), 512 - 64);
+        // SC import is strictly smaller than FS for all n ≥ 2.
+        for n in 2..6 {
+            for l in 1..10 {
+                assert!(sc_import_volume(l, n) < fs_import_volume(l, n));
+            }
+        }
+    }
+
+    #[test]
+    fn hs_import_between_sc_and_fs() {
+        for l in 1..8u64 {
+            let hs = hs_import_volume(l);
+            assert!(hs <= fs_import_volume(l, 2), "l={l}");
+            assert!(hs >= sc_import_volume(l, 2), "l={l}");
+        }
+    }
+
+    #[test]
+    fn hs_import_pair_case() {
+        // l = 1: single cell imports 13 neighbours under HS,
+        // 26 under FS, 7 under SC/ES — the classical counts.
+        assert_eq!(hs_import_volume(1), 13);
+        assert_eq!(fs_import_volume(1, 2), 26);
+        assert_eq!(sc_import_volume(1, 2), 7);
+    }
+
+    #[test]
+    fn midpoint_equals_sc_volume_but_two_sided() {
+        for n in 2..=4 {
+            for l in 1..=5 {
+                assert_eq!(midpoint_import_volume(l, n), sc_import_volume(l, n));
+            }
+        }
+        // The geometric difference is directional: SC's halo fits in the
+        // first octant (7 neighbour ranks, 3 hops), midpoint's wraps the
+        // whole domain (26 neighbours, 6 hops).
+    }
+
+    #[test]
+    fn search_cost_formula() {
+        assert_eq!(search_cost_per_cell(27, 2, 2.0), 27.0 * 4.0);
+        assert_eq!(search_cost_per_cell(378, 3, 10.0), 378.0 * 1000.0);
+    }
+}

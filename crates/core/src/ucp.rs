@@ -1,0 +1,166 @@
+//! Abstract (cell-chain level) UCP: the paper's force-set machinery with
+//! cells as the atoms of discourse.
+//!
+//! The invariance theorems (Theorem 1, Lemma 3) quantify over *all* atom
+//! configurations, which is equivalent to comparing the multisets of cell
+//! chains a pattern generates. This module computes those chain sets for a
+//! periodic cell lattice, giving executable statements of the paper's proofs
+//! that the test suite checks directly. The `sc-md` crate reuses the same
+//! logic with real atoms.
+
+use crate::{Path, Pattern};
+use sc_geom::IVec3;
+use std::collections::{HashMap, HashSet};
+
+/// An absolute, periodic-wrapped cell chain `(c0, …, c_{n-1})` — the cell
+/// part of an n-tuple.
+pub type Chain = Vec<IVec3>;
+
+/// Canonical representative of an *undirected* chain: the lexicographic
+/// minimum of the chain and its reversal. Undirectionality mirrors the
+/// reflective equivalence of n-tuples (paper §2.1): `(r0…r_{n-1})` and
+/// `(r_{n-1}…r0)` denote the same interaction.
+pub fn canonical_chain(mut chain: Chain) -> Chain {
+    let mut rev: Chain = chain.clone();
+    rev.reverse();
+    if rev < chain {
+        chain = rev;
+    }
+    chain
+}
+
+/// Generates the chain for `(q, p)` on a periodic lattice of `dims` cells:
+/// `(c((q+v0) % dims), …)`.
+pub fn chain_of(q: IVec3, p: &Path, dims: IVec3) -> Chain {
+    p.offsets().iter().map(|&v| (q + v).rem_euclid(dims)).collect()
+}
+
+/// The set of undirected chains `UCP(Ω, Ψ)` generates on a periodic lattice
+/// of `dims` cells — the abstract force set.
+pub fn ucp_chains(dims: IVec3, pattern: &Pattern) -> HashSet<Chain> {
+    let mut out = HashSet::new();
+    for q in IVec3::box_iter(IVec3::ZERO, dims - IVec3::splat(1)) {
+        for p in pattern.iter() {
+            out.insert(canonical_chain(chain_of(q, p, dims)));
+        }
+    }
+    out
+}
+
+/// Like [`ucp_chains`] but counts how many `(cell, path)` applications
+/// generate each undirected chain. Full shell generates every chain twice
+/// (its reflective redundancy); shift-collapse generates each exactly once —
+/// which is precisely the search-cost halving of Eq. 29.
+pub fn ucp_chain_multiset(dims: IVec3, pattern: &Pattern) -> HashMap<Chain, u32> {
+    let mut out: HashMap<Chain, u32> = HashMap::new();
+    for q in IVec3::box_iter(IVec3::ZERO, dims - IVec3::splat(1)) {
+        for p in pattern.iter() {
+            *out.entry(canonical_chain(chain_of(q, p, dims))).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// The abstract force set of a single path — used to state Theorem 1 and
+/// Lemma 3 as executable assertions.
+pub fn single_path_chains(dims: IVec3, p: &Path) -> HashSet<Chain> {
+    ucp_chains(dims, &Pattern::new(vec![p.clone()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_fs, shift_collapse};
+
+    fn p(offsets: &[[i32; 3]]) -> Path {
+        Path::new(offsets.iter().map(|&a| IVec3::from_array(a)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn canonical_chain_picks_lexicographic_min() {
+        let a = vec![IVec3::new(1, 0, 0), IVec3::new(0, 0, 0)];
+        let c = canonical_chain(a);
+        assert_eq!(c, vec![IVec3::new(0, 0, 0), IVec3::new(1, 0, 0)]);
+        // Canonicalizing is idempotent.
+        assert_eq!(canonical_chain(c.clone()), c);
+    }
+
+    #[test]
+    fn theorem1_path_shift_invariance() {
+        // UCP(Ω, {p+Δ}) = UCP(Ω, {p}) for arbitrary Δ.
+        let dims = IVec3::splat(4);
+        let path = p(&[[0, 0, 0], [1, 0, 0], [1, 1, 1]]);
+        for delta in [IVec3::new(1, 0, 0), IVec3::new(-2, 3, 5), IVec3::new(7, -7, 0)] {
+            let shifted = path.shifted(delta);
+            assert_eq!(
+                single_path_chains(dims, &path),
+                single_path_chains(dims, &shifted),
+                "Δ = {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma3_reflective_invariance() {
+        // σ(p') = σ(p⁻¹) ⇒ UCP(Ω, {p'}) = UCP(Ω, {p}).
+        let dims = IVec3::splat(5);
+        let path = p(&[[0, 0, 0], [1, 1, 0], [0, 1, 1]]);
+        let twin = path.reflective_twin();
+        assert_eq!(twin.sigma(), path.inverse().sigma());
+        assert_eq!(single_path_chains(dims, &path), single_path_chains(dims, &twin));
+    }
+
+    #[test]
+    fn inequivalent_paths_generate_different_sets() {
+        let dims = IVec3::splat(5);
+        let a = p(&[[0, 0, 0], [1, 0, 0], [2, 0, 0]]);
+        let b = p(&[[0, 0, 0], [1, 0, 0], [1, 1, 0]]);
+        assert!(!a.is_equivalent(&b));
+        assert_ne!(single_path_chains(dims, &a), single_path_chains(dims, &b));
+    }
+
+    #[test]
+    fn sc_and_fs_generate_identical_chain_sets() {
+        // Theorem 2 consequence: the SC pattern loses nothing relative to FS.
+        for n in 2..=3 {
+            let dims = IVec3::splat(4);
+            let fs = ucp_chains(dims, &generate_fs(n));
+            let sc = ucp_chains(dims, &shift_collapse(n));
+            assert_eq!(fs, sc, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fs_generates_chains_twice_sc_once() {
+        let dims = IVec3::splat(4);
+        let n = 2;
+        let fs = ucp_chain_multiset(dims, &generate_fs(n));
+        let sc = ucp_chain_multiset(dims, &shift_collapse(n));
+        // Every chain: FS multiplicity 2, SC multiplicity 1 — except chains
+        // that are their own reflection at the cell level (e.g. both atoms
+        // in one cell), where FS generates once via the self path.
+        for (chain, &m_sc) in &sc {
+            let m_fs = fs[chain];
+            let self_reflected = {
+                let mut r = chain.clone();
+                r.reverse();
+                r == *chain
+            };
+            if self_reflected {
+                assert_eq!(m_sc, 1, "chain {chain:?}");
+                assert_eq!(m_fs, 1, "chain {chain:?}");
+            } else {
+                assert_eq!(m_sc, 1, "chain {chain:?}");
+                assert_eq!(m_fs, 2, "chain {chain:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_wraps_periodically() {
+        let dims = IVec3::splat(3);
+        let path = p(&[[0, 0, 0], [1, 1, 1]]);
+        let chain = chain_of(IVec3::new(2, 2, 2), &path, dims);
+        assert_eq!(chain, vec![IVec3::new(2, 2, 2), IVec3::ZERO]);
+    }
+}

@@ -1,0 +1,103 @@
+//! ASCII rendering of pattern coverage — the paper's Figs. 5–6 in text
+//! form, for docs, examples, and debugging new patterns.
+
+use crate::Pattern;
+use sc_geom::IVec3;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// Renders the z-slices of a pattern's cell coverage around the base cell.
+///
+/// Legend: `O` the base cell (when covered), `#` a covered cell, `.` an
+/// uncovered cell inside the bounding box. Slices are separated by blank
+/// lines and labelled with their z offset, lowest z first; within a slice,
+/// y grows upward and x to the right (the paper's figure convention).
+///
+/// ```
+/// use sc_core::{eighth_shell, coverage_ascii};
+/// let art = coverage_ascii(&eighth_shell());
+/// // The eighth shell covers exactly the first octant: a 2×2 block in
+/// // both z-slices, anchored at the base cell.
+/// assert!(art.contains('O'));
+/// assert_eq!(art.matches('#').count(), 7);
+/// ```
+pub fn coverage_ascii(pattern: &Pattern) -> String {
+    let cov: BTreeSet<IVec3> = pattern.cell_coverage().into_iter().collect();
+    let (lo, hi) = pattern.coverage_bounds();
+    let mut out = String::new();
+    for z in lo.z..=hi.z {
+        writeln!(out, "z = {z:+}").expect("write to string");
+        for y in (lo.y..=hi.y).rev() {
+            for x in lo.x..=hi.x {
+                let q = IVec3::new(x, y, z);
+                let c = if q == IVec3::ZERO && cov.contains(&q) {
+                    'O'
+                } else if cov.contains(&q) {
+                    '#'
+                } else {
+                    '.'
+                };
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line coverage summary: footprint, bounds, and octant flag.
+pub fn coverage_summary(pattern: &Pattern) -> String {
+    let (lo, hi) = pattern.coverage_bounds();
+    format!(
+        "n = {}, |Ψ| = {}, footprint = {} cells in [{}..{}]³{}",
+        pattern.n(),
+        pattern.len(),
+        pattern.footprint(),
+        lo.x.min(lo.y).min(lo.z),
+        hi.x.max(hi.y).max(hi.z),
+        if pattern.is_first_octant() { ", first octant" } else { "" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eighth_shell, full_shell, shift_collapse};
+
+    #[test]
+    fn full_shell_renders_three_full_slices() {
+        let art = coverage_ascii(&full_shell());
+        // 27 covered cells: 26 '#' + the base 'O'.
+        assert_eq!(art.matches('#').count(), 26);
+        assert_eq!(art.matches('O').count(), 1);
+        assert_eq!(art.matches('.').count(), 0);
+        assert!(art.contains("z = -1") && art.contains("z = +1"));
+    }
+
+    #[test]
+    fn eighth_shell_renders_first_octant_block() {
+        let art = coverage_ascii(&eighth_shell());
+        assert_eq!(art.matches('#').count(), 7);
+        assert_eq!(art.matches('O').count(), 1);
+        // Bounding box is exactly the octant — no uncovered filler.
+        assert_eq!(art.matches('.').count(), 0);
+        assert!(!art.contains("z = -1"));
+    }
+
+    #[test]
+    fn sc3_covers_the_27_cell_octant() {
+        let art = coverage_ascii(&shift_collapse(3));
+        assert_eq!(art.matches('#').count() + art.matches('O').count(), 27);
+        assert!(art.contains("z = +2"));
+    }
+
+    #[test]
+    fn summary_mentions_octant() {
+        let s = coverage_summary(&shift_collapse(3));
+        assert!(s.contains("first octant"));
+        assert!(s.contains("|Ψ| = 378"));
+        let f = coverage_summary(&full_shell());
+        assert!(!f.contains("first octant"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the pattern algebra: the paper's §3 invariants
+//! quantified over random paths, patterns, shifts, and lattice sizes.
+
+use proptest::prelude::*;
+use sc_core::ucp::{canonical_chain, single_path_chains, ucp_chains};
+use sc_core::{
+    generate_fs, import_volume_cubic, oc_shift, r_collapse, shift_collapse, theory, Path, Pattern,
+};
+use sc_geom::IVec3;
+
+fn ivec(range: std::ops::RangeInclusive<i32>) -> impl Strategy<Value = IVec3> {
+    let r = range;
+    (r.clone(), r.clone(), r).prop_map(|(x, y, z)| IVec3::new(x, y, z))
+}
+
+/// A random path of order n with offsets in [-3, 3]³ (not necessarily a
+/// neighbour walk — the algebra holds for any path).
+fn path(n: usize) -> impl Strategy<Value = Path> {
+    proptest::collection::vec(ivec(-3..=3), n).prop_map(Path::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// σ is translation-invariant and reverses under inversion:
+    /// σ(p⁻¹) = reverse(−σ(p)).
+    #[test]
+    fn sigma_algebra(p in path(4), d in ivec(-6..=6)) {
+        prop_assert_eq!(p.sigma(), p.shifted(d).sigma());
+        let mut rev_neg: Vec<IVec3> = p.sigma().into_iter().map(|v| -v).collect();
+        rev_neg.reverse();
+        prop_assert_eq!(p.inverse().sigma(), rev_neg);
+    }
+
+    /// Theorem 1 over random paths, shifts, and lattice sizes.
+    #[test]
+    fn shift_invariance(p in path(3), d in ivec(-7..=7), l in 4i32..7) {
+        let dims = IVec3::splat(l);
+        prop_assert_eq!(
+            single_path_chains(dims, &p),
+            single_path_chains(dims, &p.shifted(d))
+        );
+    }
+
+    /// The reflective twin is an involution and produces the same chains.
+    #[test]
+    fn twin_involution(p in path(3)) {
+        let t = p.reflective_twin();
+        prop_assert_eq!(t.reflective_twin().sigma(), p.sigma());
+        prop_assert!(p.is_equivalent(&t));
+        let dims = IVec3::splat(5);
+        prop_assert_eq!(single_path_chains(dims, &p), single_path_chains(dims, &t));
+    }
+
+    /// Octant compression never changes σ, always lands in the first
+    /// octant, and is idempotent.
+    #[test]
+    fn octant_compression_properties(p in path(4)) {
+        let oc = p.octant_compressed();
+        prop_assert_eq!(oc.sigma(), p.sigma());
+        prop_assert!(oc.offsets().iter().all(|v| v.in_first_octant()));
+        prop_assert_eq!(oc.octant_compressed(), oc);
+    }
+
+    /// For whole patterns: OC-SHIFT preserves the generated chain set
+    /// (Lemma 2), R-COLLAPSE preserves it too (Lemma 4).
+    #[test]
+    fn pipeline_stages_preserve_chains(paths in proptest::collection::vec(path(3), 1..12)) {
+        let pat = Pattern::new(paths);
+        let dims = IVec3::splat(5);
+        let base = ucp_chains(dims, &pat);
+        prop_assert_eq!(&ucp_chains(dims, &oc_shift(&pat)), &base);
+        prop_assert_eq!(&ucp_chains(dims, &r_collapse(&pat)), &base);
+        prop_assert_eq!(&ucp_chains(dims, &r_collapse(&oc_shift(&pat))), &base);
+    }
+
+    /// R-COLLAPSE never grows a pattern and removes at most half (+ self-
+    /// reflective remainder).
+    #[test]
+    fn collapse_bounds(paths in proptest::collection::vec(path(3), 1..16)) {
+        let pat = Pattern::new(paths);
+        let rc = r_collapse(&pat);
+        prop_assert!(rc.len() <= pat.len());
+        prop_assert!(rc.len() * 2 > pat.len() - pat.self_reflective_count());
+    }
+
+    /// Canonical chains: reversal-invariant and idempotent.
+    #[test]
+    fn canonical_chain_props(chain in proptest::collection::vec(ivec(0..=4), 2..5)) {
+        let mut rev = chain.clone();
+        rev.reverse();
+        let a = canonical_chain(chain);
+        let b = canonical_chain(rev);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(canonical_chain(a.clone()), a);
+    }
+
+    /// Import volume: monotone in domain size and in n; SC matches Eq. 33.
+    #[test]
+    fn import_volume_monotonicity(l in 1u32..5) {
+        for n in 2..=3usize {
+            let sc = shift_collapse(n);
+            let v_l = import_volume_cubic(l, &sc);
+            let v_l1 = import_volume_cubic(l + 1, &sc);
+            prop_assert!(v_l1 > v_l);
+            prop_assert_eq!(v_l, theory::sc_import_volume(l as u64, n));
+            // FS dominates SC for every l and n.
+            prop_assert!(import_volume_cubic(l, &generate_fs(n)) > v_l);
+        }
+    }
+}

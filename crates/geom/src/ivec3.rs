@@ -1,0 +1,254 @@
+//! 3-component `i32` vector for cell indices and cell offsets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A 3-component `i32` vector.
+///
+/// This is the element of the paper's cell-index vector space `L`: both
+/// absolute cell coordinates `q = (q_x, q_y, q_z)` and the offsets
+/// `v_k` that make up a computation path are `IVec3`s. The algebra the
+/// shift-collapse algorithm manipulates (path shifting `p + Δ`, differential
+/// representation `σ(p)`, octant compression) is plain `IVec3` arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct IVec3 {
+    /// x component.
+    pub x: i32,
+    /// y component.
+    pub y: i32,
+    /// z component.
+    pub z: i32,
+}
+
+impl IVec3 {
+    /// The zero vector (the origin cell offset).
+    pub const ZERO: IVec3 = IVec3 { x: 0, y: 0, z: 0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: i32, y: i32, z: i32) -> Self {
+        IVec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: i32) -> Self {
+        IVec3::new(v, v, v)
+    }
+
+    /// Euclidean (always non-negative) modulo, component-wise against the
+    /// lattice extents `dims`. This is exactly the paper's cell-offset
+    /// operation `q'_α = (q_α + Δ_α) % L_α` under periodic boundaries.
+    #[inline]
+    pub fn rem_euclid(self, dims: IVec3) -> IVec3 {
+        IVec3::new(
+            self.x.rem_euclid(dims.x),
+            self.y.rem_euclid(dims.y),
+            self.z.rem_euclid(dims.z),
+        )
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: IVec3) -> IVec3 {
+        IVec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: IVec3) -> IVec3 {
+        IVec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Sum of components — handy for counting and for lexicographic tricks.
+    #[inline]
+    pub fn sum(self) -> i32 {
+        self.x + self.y + self.z
+    }
+
+    /// Product of components (e.g. number of cells in an `Lx×Ly×Lz` lattice).
+    #[inline]
+    pub fn product(self) -> i64 {
+        self.x as i64 * self.y as i64 * self.z as i64
+    }
+
+    /// Chebyshev (L∞) norm: the maximum absolute component. Two cells are
+    /// nearest neighbours (26-neighbourhood) iff the Chebyshev distance of
+    /// their indices is ≤ 1, which is the adjacency `GENERATE-FS` walks.
+    #[inline]
+    pub fn linf_norm(self) -> i32 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+
+    /// Returns `true` if every component is non-negative — i.e. the vector
+    /// lies in the first octant, which is the invariant `OC-SHIFT`
+    /// establishes for whole paths relative to their octant corner.
+    #[inline]
+    pub fn in_first_octant(self) -> bool {
+        self.x >= 0 && self.y >= 0 && self.z >= 0
+    }
+
+    /// Returns the components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [i32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from an array `[x, y, z]`.
+    #[inline]
+    pub fn from_array(a: [i32; 3]) -> Self {
+        IVec3::new(a[0], a[1], a[2])
+    }
+
+    /// Iterates over every lattice point of the axis-aligned box
+    /// `[lo, hi]` (inclusive on both ends), in z-fastest order.
+    pub fn box_iter(lo: IVec3, hi: IVec3) -> impl Iterator<Item = IVec3> {
+        (lo.x..=hi.x).flat_map(move |x| {
+            (lo.y..=hi.y).flat_map(move |y| (lo.z..=hi.z).map(move |z| IVec3::new(x, y, z)))
+        })
+    }
+}
+
+impl fmt::Display for IVec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+impl Index<usize> for IVec3 {
+    type Output = i32;
+    #[inline]
+    fn index(&self, i: usize) -> &i32 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("IVec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for IVec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut i32 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("IVec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Add for IVec3 {
+    type Output = IVec3;
+    #[inline]
+    fn add(self, rhs: IVec3) -> IVec3 {
+        IVec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for IVec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: IVec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for IVec3 {
+    type Output = IVec3;
+    #[inline]
+    fn sub(self, rhs: IVec3) -> IVec3 {
+        IVec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for IVec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: IVec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<i32> for IVec3 {
+    type Output = IVec3;
+    #[inline]
+    fn mul(self, s: i32) -> IVec3 {
+        IVec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for IVec3 {
+    type Output = IVec3;
+    #[inline]
+    fn neg(self) -> IVec3 {
+        IVec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = IVec3::new(1, -2, 3);
+        let b = IVec3::new(4, 5, -6);
+        assert_eq!(a + b, IVec3::new(5, 3, -3));
+        assert_eq!(a - b, IVec3::new(-3, -7, 9));
+        assert_eq!(a * 2, IVec3::new(2, -4, 6));
+        assert_eq!(-a, IVec3::new(-1, 2, -3));
+    }
+
+    #[test]
+    fn rem_euclid_is_always_nonnegative() {
+        let dims = IVec3::new(4, 5, 6);
+        let v = IVec3::new(-1, -6, 13);
+        let w = v.rem_euclid(dims);
+        assert_eq!(w, IVec3::new(3, 4, 1));
+        assert!(w.in_first_octant());
+        // Wrapping twice is idempotent.
+        assert_eq!(w.rem_euclid(dims), w);
+    }
+
+    #[test]
+    fn linf_norm_describes_26_neighbourhood() {
+        assert_eq!(IVec3::ZERO.linf_norm(), 0);
+        assert_eq!(IVec3::new(1, -1, 1).linf_norm(), 1);
+        assert_eq!(IVec3::new(0, 2, -1).linf_norm(), 2);
+        // All 27 offsets with L∞ ≤ 1:
+        let n = IVec3::box_iter(IVec3::splat(-1), IVec3::splat(1)).count();
+        assert_eq!(n, 27);
+    }
+
+    #[test]
+    fn box_iter_covers_box_without_duplicates() {
+        let lo = IVec3::new(-1, 0, 2);
+        let hi = IVec3::new(1, 2, 3);
+        let pts: Vec<_> = IVec3::box_iter(lo, hi).collect();
+        assert_eq!(pts.len(), 3 * 3 * 2);
+        let set: std::collections::HashSet<_> = pts.iter().copied().collect();
+        assert_eq!(set.len(), pts.len());
+        for p in pts {
+            assert!(p.x >= lo.x && p.x <= hi.x);
+            assert!(p.y >= lo.y && p.y <= hi.y);
+            assert!(p.z >= lo.z && p.z <= hi.z);
+        }
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Derived Ord is lexicographic on (x, y, z); the pattern canonical
+        // form relies on this being a total order.
+        assert!(IVec3::new(0, 0, 1) < IVec3::new(0, 1, 0));
+        assert!(IVec3::new(0, 1, 0) < IVec3::new(1, 0, 0));
+    }
+
+    #[test]
+    fn product_and_sum() {
+        let v = IVec3::new(4, 5, 6);
+        assert_eq!(v.product(), 120);
+        assert_eq!(v.sum(), 15);
+    }
+}

@@ -1,0 +1,147 @@
+//! Periodic orthorhombic simulation box.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An orthorhombic simulation volume `[0, Lx) × [0, Ly) × [0, Lz)` with
+/// periodic boundary conditions in all three Cartesian directions, as assumed
+/// throughout the paper (§3.1.1).
+///
+/// The box provides the two operations MD needs constantly:
+/// [`SimulationBox::wrap`] maps any position back into the primary image, and
+/// [`SimulationBox::min_image`] returns the minimum-image displacement
+/// between two (wrapped) positions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationBox {
+    lengths: Vec3,
+}
+
+impl SimulationBox {
+    /// Creates a box with the given edge lengths.
+    ///
+    /// # Panics
+    /// Panics if any length is not strictly positive and finite.
+    pub fn new(lengths: Vec3) -> Self {
+        assert!(
+            lengths.x > 0.0 && lengths.y > 0.0 && lengths.z > 0.0 && lengths.is_finite(),
+            "box lengths must be positive and finite, got {lengths:?}"
+        );
+        SimulationBox { lengths }
+    }
+
+    /// Creates a cubic box with edge `l`.
+    pub fn cubic(l: f64) -> Self {
+        SimulationBox::new(Vec3::splat(l))
+    }
+
+    /// Edge lengths of the box.
+    #[inline]
+    pub fn lengths(&self) -> Vec3 {
+        self.lengths
+    }
+
+    /// Box volume.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.lengths.x * self.lengths.y * self.lengths.z
+    }
+
+    /// Wraps a position into the primary image `[0, L)` per axis.
+    #[inline]
+    pub fn wrap(&self, r: Vec3) -> Vec3 {
+        Vec3::new(
+            r.x.rem_euclid(self.lengths.x),
+            r.y.rem_euclid(self.lengths.y),
+            r.z.rem_euclid(self.lengths.z),
+        )
+    }
+
+    /// Returns `true` if `r` lies in the primary image.
+    #[inline]
+    pub fn contains(&self, r: Vec3) -> bool {
+        (0.0..self.lengths.x).contains(&r.x)
+            && (0.0..self.lengths.y).contains(&r.y)
+            && (0.0..self.lengths.z).contains(&r.z)
+    }
+
+    /// Minimum-image displacement `r_j − r_i`, i.e. the shortest periodic
+    /// image of the separation vector. Valid for separations up to half the
+    /// box length per axis, which the cell method guarantees whenever the
+    /// lattice has ≥ 3 cells per axis (cell edge ≥ cutoff).
+    #[inline]
+    pub fn min_image(&self, ri: Vec3, rj: Vec3) -> Vec3 {
+        let mut d = rj - ri;
+        for a in 0..3 {
+            let l = self.lengths[a];
+            if d[a] > 0.5 * l {
+                d[a] -= l;
+            } else if d[a] < -0.5 * l {
+                d[a] += l;
+            }
+        }
+        d
+    }
+
+    /// Minimum-image distance squared between two positions.
+    #[inline]
+    pub fn dist_sq(&self, ri: Vec3, rj: Vec3) -> f64 {
+        self.min_image(ri, rj).norm_sq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_brings_positions_into_box() {
+        let b = SimulationBox::new(Vec3::new(10.0, 20.0, 30.0));
+        let r = b.wrap(Vec3::new(-1.0, 25.0, 61.0));
+        assert!(b.contains(r));
+        assert!((r.x - 9.0).abs() < 1e-12);
+        assert!((r.y - 5.0).abs() < 1e-12);
+        assert!((r.z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_is_idempotent() {
+        let b = SimulationBox::cubic(7.3);
+        let r = b.wrap(Vec3::new(-13.4, 100.0, 3.6));
+        assert_eq!(b.wrap(r), r);
+    }
+
+    #[test]
+    fn min_image_shorter_than_half_box() {
+        let b = SimulationBox::cubic(10.0);
+        let ri = Vec3::new(0.5, 0.5, 0.5);
+        let rj = Vec3::new(9.5, 9.5, 9.5);
+        let d = b.min_image(ri, rj);
+        // Nearest image of rj is at (-0.5,-0.5,-0.5): displacement -1 per axis.
+        assert!((d.x + 1.0).abs() < 1e-12);
+        assert!((d.y + 1.0).abs() < 1e-12);
+        assert!((d.z + 1.0).abs() < 1e-12);
+        assert!((b.dist_sq(ri, rj) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_antisymmetric() {
+        let b = SimulationBox::new(Vec3::new(8.0, 9.0, 10.0));
+        let ri = Vec3::new(7.9, 0.1, 5.0);
+        let rj = Vec3::new(0.2, 8.8, 5.2);
+        let dij = b.min_image(ri, rj);
+        let dji = b.min_image(rj, ri);
+        assert!((dij + dji).norm() < 1e-12);
+    }
+
+    #[test]
+    fn volume() {
+        let b = SimulationBox::new(Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.volume(), 24.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_rejected() {
+        let _ = SimulationBox::new(Vec3::new(0.0, 1.0, 1.0));
+    }
+}

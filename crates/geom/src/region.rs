@@ -1,0 +1,139 @@
+//! Half-open boxes of integer cell indices.
+
+use crate::IVec3;
+use serde::{Deserialize, Serialize};
+
+/// A half-open axis-aligned box of cell indices `[lo, hi)`.
+///
+/// Domain decomposition assigns each rank a `CellRegion` of the global cell
+/// lattice; import-volume bookkeeping (`Vω = |Π(Ω,Ψ) − Ω|`, Eq. 14 of the
+/// paper) is intersection/containment arithmetic on such regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellRegion {
+    /// Inclusive lower corner.
+    pub lo: IVec3,
+    /// Exclusive upper corner.
+    pub hi: IVec3,
+}
+
+impl CellRegion {
+    /// Creates a region; `hi` must dominate `lo` component-wise.
+    ///
+    /// # Panics
+    /// Panics if the region would be empty or inverted on any axis.
+    pub fn new(lo: IVec3, hi: IVec3) -> Self {
+        assert!(
+            lo.x < hi.x && lo.y < hi.y && lo.z < hi.z,
+            "empty or inverted region: lo={lo}, hi={hi}"
+        );
+        CellRegion { lo, hi }
+    }
+
+    /// The region `[0, dims)` covering a whole lattice.
+    pub fn whole(dims: IVec3) -> Self {
+        CellRegion::new(IVec3::ZERO, dims)
+    }
+
+    /// Extent per axis.
+    #[inline]
+    pub fn extent(&self) -> IVec3 {
+        self.hi - self.lo
+    }
+
+    /// Number of cells in the region.
+    #[inline]
+    pub fn cell_count(&self) -> i64 {
+        self.extent().product()
+    }
+
+    /// Returns `true` if `q` lies inside the region.
+    #[inline]
+    pub fn contains(&self, q: IVec3) -> bool {
+        q.x >= self.lo.x
+            && q.x < self.hi.x
+            && q.y >= self.lo.y
+            && q.y < self.hi.y
+            && q.z >= self.lo.z
+            && q.z < self.hi.z
+    }
+
+    /// Grows the region by `minus` cells on the low side and `plus` cells on
+    /// the high side of every axis. This is how a rank's owned region is
+    /// expanded to its *coverage*: the SC pattern needs `plus = n−1, minus = 0`
+    /// (first-octant import), full shell needs `plus = minus = n−1`.
+    pub fn grown(&self, minus: i32, plus: i32) -> CellRegion {
+        CellRegion::new(self.lo - IVec3::splat(minus), self.hi + IVec3::splat(plus))
+    }
+
+    /// Iterates over all cell indices in the region (unwrapped; callers apply
+    /// periodic wrapping where needed).
+    pub fn iter(&self) -> impl Iterator<Item = IVec3> {
+        IVec3::box_iter(self.lo, self.hi - IVec3::splat(1))
+    }
+
+    /// Intersection with another region, or `None` if disjoint.
+    pub fn intersect(&self, other: &CellRegion) -> Option<CellRegion> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo.x < hi.x && lo.y < hi.y && lo.z < hi.z {
+            Some(CellRegion::new(lo, hi))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_containment() {
+        let r = CellRegion::new(IVec3::new(1, 1, 1), IVec3::new(4, 5, 6));
+        assert_eq!(r.cell_count(), 3 * 4 * 5);
+        assert!(r.contains(IVec3::new(1, 1, 1)));
+        assert!(!r.contains(IVec3::new(4, 1, 1))); // hi is exclusive
+        assert!(!r.contains(IVec3::new(0, 1, 1)));
+    }
+
+    #[test]
+    fn grown_matches_import_volume_formula() {
+        // Eq. 33 of the paper: Vω(Ω, Ψ_SC) = (l+n−1)³ − l³ for a cubic
+        // domain of l cells and first-octant coverage of depth n−1.
+        for l in 1..6i64 {
+            for n in 2..6i32 {
+                let r = CellRegion::new(IVec3::ZERO, IVec3::splat(l as i32));
+                let cov = r.grown(0, n - 1);
+                let vol = cov.cell_count() - r.cell_count();
+                let expect = (l + (n as i64) - 1).pow(3) - l.pow(3);
+                assert_eq!(vol, expect, "l={l}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_visits_each_cell_once() {
+        let r = CellRegion::new(IVec3::new(0, 0, 0), IVec3::new(2, 3, 2));
+        let cells: Vec<_> = r.iter().collect();
+        assert_eq!(cells.len() as i64, r.cell_count());
+        let set: std::collections::HashSet<_> = cells.iter().copied().collect();
+        assert_eq!(set.len(), cells.len());
+        assert!(cells.iter().all(|&q| r.contains(q)));
+    }
+
+    #[test]
+    fn intersect() {
+        let a = CellRegion::new(IVec3::ZERO, IVec3::splat(4));
+        let b = CellRegion::new(IVec3::splat(2), IVec3::splat(6));
+        let c = a.intersect(&b).unwrap();
+        assert_eq!(c, CellRegion::new(IVec3::splat(2), IVec3::splat(4)));
+        let d = CellRegion::new(IVec3::splat(4), IVec3::splat(5));
+        assert!(a.intersect(&d).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_region_rejected() {
+        let _ = CellRegion::new(IVec3::ZERO, IVec3::new(0, 1, 1));
+    }
+}

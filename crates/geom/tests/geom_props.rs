@@ -1,0 +1,103 @@
+//! Property-based tests of the geometry substrate: wrapping, minimum
+//! image, and region arithmetic under arbitrary inputs.
+
+use proptest::prelude::*;
+use sc_geom::{CellRegion, IVec3, SimulationBox, Vec3};
+
+fn vec3(range: std::ops::Range<f64>) -> impl Strategy<Value = Vec3> {
+    let r = range;
+    (r.clone(), r.clone(), r).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// wrap() lands in the box and is idempotent; wrapping preserves the
+    /// position modulo box vectors.
+    #[test]
+    fn wrap_properties(l in 1.0f64..50.0, r in vec3(-200.0..200.0)) {
+        let bbox = SimulationBox::cubic(l);
+        let w = bbox.wrap(r);
+        prop_assert!(bbox.contains(w));
+        prop_assert!((bbox.wrap(w) - w).norm() < 1e-12);
+        for a in 0..3 {
+            let k = (r[a] - w[a]) / l;
+            prop_assert!((k - k.round()).abs() < 1e-9, "axis {a}: offset {k} not integer");
+        }
+    }
+
+    /// Minimum image: antisymmetric, within half a box per axis, and never
+    /// longer than the raw displacement of wrapped positions.
+    #[test]
+    fn min_image_properties(l in 2.0f64..40.0, a in vec3(-50.0..50.0), b in vec3(-50.0..50.0)) {
+        let bbox = SimulationBox::cubic(l);
+        let (wa, wb) = (bbox.wrap(a), bbox.wrap(b));
+        let d = bbox.min_image(wa, wb);
+        let e = bbox.min_image(wb, wa);
+        prop_assert!((d + e).norm() < 1e-9);
+        for ax in 0..3 {
+            prop_assert!(d[ax].abs() <= 0.5 * l + 1e-9);
+        }
+        prop_assert!(d.norm() <= (wb - wa).norm() + 1e-9);
+        // Displacement is equivalent to the raw one modulo box vectors.
+        for ax in 0..3 {
+            let k = (wb[ax] - wa[ax] - d[ax]) / l;
+            prop_assert!((k - k.round()).abs() < 1e-9);
+        }
+    }
+
+    /// Euclidean modulo on cell indices: always in range, idempotent, and
+    /// compatible with addition.
+    #[test]
+    fn rem_euclid_properties(
+        x in -100i32..100, y in -100i32..100, z in -100i32..100,
+        dx in -100i32..100, dy in -100i32..100, dz in -100i32..100,
+        l in 1i32..12,
+    ) {
+        let dims = IVec3::splat(l);
+        let q = IVec3::new(x, y, z);
+        let d = IVec3::new(dx, dy, dz);
+        let w = q.rem_euclid(dims);
+        prop_assert!(w.in_first_octant());
+        prop_assert!(w.x < l && w.y < l && w.z < l);
+        prop_assert_eq!(w.rem_euclid(dims), w);
+        // (q + d) % L == (q%L + d) % L
+        prop_assert_eq!((q + d).rem_euclid(dims), (w + d).rem_euclid(dims));
+    }
+
+    /// Region intersection is commutative, contained in both operands, and
+    /// grown regions contain the original.
+    #[test]
+    fn region_properties(
+        a_lo in 0i32..4, a_ext in 1i32..5,
+        b_lo in 0i32..4, b_ext in 1i32..5,
+        grow in 0i32..3,
+    ) {
+        let a = CellRegion::new(IVec3::splat(a_lo), IVec3::splat(a_lo + a_ext));
+        let b = CellRegion::new(IVec3::splat(b_lo), IVec3::splat(b_lo + b_ext));
+        match (a.intersect(&b), b.intersect(&a)) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x, y);
+                for q in x.iter() {
+                    prop_assert!(a.contains(q) && b.contains(q));
+                }
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "intersection not commutative"),
+        }
+        let g = a.grown(grow, grow);
+        prop_assert!(g.cell_count() >= a.cell_count());
+        for q in a.iter() {
+            prop_assert!(g.contains(q));
+        }
+    }
+
+    /// Vector algebra: dot/cross identities.
+    #[test]
+    fn vec3_identities(a in vec3(-10.0..10.0), b in vec3(-10.0..10.0), s in -5.0f64..5.0) {
+        prop_assert!((a.cross(b) + b.cross(a)).norm() < 1e-12);
+        prop_assert!(a.cross(b).dot(a).abs() < 1e-9);
+        prop_assert!(((a * s).dot(b) - s * a.dot(b)).abs() < 1e-9);
+        prop_assert!((a.norm_sq() - a.dot(a)).abs() < 1e-12);
+    }
+}

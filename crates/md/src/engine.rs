@@ -1,0 +1,672 @@
+//! Cell-based n-tuple enumeration: the executable form of the paper's UCP
+//! algorithm (Table 1) with chain-cutoff filtering.
+//!
+//! For each cell `c(q)` of the lattice and each path `p = (v0…v_{n-1})` of
+//! the computation pattern, the visitor enumerates candidate tuples with the
+//! k-th atom drawn from `c(q + v_k)`, filters them by the chain-cutoff
+//! condition `r_{k,k+1} < r_cut-n` (Eq. 6), rejects repeated atoms, and
+//! applies the reflective-duplicate guard so that **every undirected tuple
+//! is visited exactly once** regardless of the pattern's redundancy:
+//!
+//! * [`Dedup::Collapsed`] — for R-COLLAPSE'd patterns (SC, HS): only
+//!   *self-reflective* paths generate each tuple twice (once per direction),
+//!   so only those paths carry the canonical-order guard.
+//! * [`Dedup::Guarded`] — for redundant patterns (FS): every undirected
+//!   tuple is generated twice (by a path and its reflective twin), so the
+//!   guard applies to every path. This is exactly the "filtering out the
+//!   unnecessary tuples" whose cost Eq. 12 charges to FS-MD.
+//!
+//! The guard compares **global atom ids**, not local slots, so the same
+//! rule stays consistent when tuples straddle rank boundaries in the
+//! distributed runtime: for a pair owned by two different ranks, exactly one
+//! rank's directed generation passes the guard.
+//!
+//! Enumeration is generic over [`TupleSource`] — the serial engine runs it
+//! on a periodic [`CellLattice`] (minimum-image displacements), the
+//! distributed runtime on a rank-local ghost lattice (plain differences,
+//! since ghosts are image-shifted into the local frame).
+
+use sc_cell::{AtomStore, CellLattice};
+use sc_core::{Path, Pattern};
+use sc_geom::{IVec3, Vec3};
+
+/// How reflective tuple duplicates are suppressed during enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dedup {
+    /// The pattern has been R-COLLAPSE'd: guard only self-reflective paths.
+    Collapsed,
+    /// The pattern retains reflective twins (e.g. full shell): guard every
+    /// path with the canonical-order test.
+    Guarded,
+}
+
+/// A pattern compiled for enumeration: per-path offsets plus the
+/// reflective-duplicate guard flag.
+#[derive(Debug, Clone)]
+pub struct PatternPlan {
+    n: usize,
+    paths: Vec<(Vec<IVec3>, bool)>,
+}
+
+impl PatternPlan {
+    /// Compiles `pattern` for the given dedup mode.
+    pub fn new(pattern: &Pattern, dedup: Dedup) -> Self {
+        let paths = pattern
+            .iter()
+            .map(|p: &Path| {
+                let guard = match dedup {
+                    Dedup::Guarded => true,
+                    Dedup::Collapsed => p.is_self_reflective(),
+                };
+                (p.offsets().to_vec(), guard)
+            })
+            .collect();
+        PatternPlan { n: pattern.n(), paths }
+    }
+
+    /// The tuple order n.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the plan has no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Enumeration statistics: the search-cost observables of the paper's
+/// Lemma 5 / Fig. 7.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VisitStats {
+    /// Candidate tuples examined (the size of the searched space `S_cell`).
+    pub candidates: u64,
+    /// Tuples that passed cutoff, distinctness, and guard — i.e. members of
+    /// the filtered force set handed to the potential.
+    pub accepted: u64,
+}
+
+impl VisitStats {
+    /// Accumulates another stats record.
+    pub fn merge(&mut self, o: VisitStats) {
+        self.candidates += o.candidates;
+        self.accepted += o.accepted;
+    }
+}
+
+/// What tuple enumeration needs from the world: cell bins, positions,
+/// global ids, and a displacement rule.
+pub trait TupleSource {
+    /// Atom slots binned into cell `q` (indexing convention is the
+    /// implementor's — periodic for the global lattice, bounded-local for
+    /// ghost lattices).
+    fn atoms_in(&self, q: IVec3) -> &[u32];
+    /// Position of slot `i`.
+    fn pos(&self, i: u32) -> Vec3;
+    /// Stable global id of slot `i` (guards compare these).
+    fn gid(&self, i: u32) -> u64;
+    /// Displacement `r_j − r_i` under this source's geometry.
+    fn disp(&self, i: u32, j: u32) -> Vec3;
+}
+
+/// [`TupleSource`] over the global periodic lattice: minimum-image
+/// displacements.
+pub struct PeriodicSource<'a> {
+    lat: &'a CellLattice,
+    store: &'a AtomStore,
+}
+
+impl<'a> PeriodicSource<'a> {
+    /// Wraps a lattice + store.
+    pub fn new(lat: &'a CellLattice, store: &'a AtomStore) -> Self {
+        PeriodicSource { lat, store }
+    }
+}
+
+impl TupleSource for PeriodicSource<'_> {
+    #[inline]
+    fn atoms_in(&self, q: IVec3) -> &[u32] {
+        self.lat.cell_atoms(q)
+    }
+    #[inline]
+    fn pos(&self, i: u32) -> Vec3 {
+        self.store.positions()[i as usize]
+    }
+    #[inline]
+    fn gid(&self, i: u32) -> u64 {
+        self.store.ids()[i as usize]
+    }
+    #[inline]
+    fn disp(&self, i: u32, j: u32) -> Vec3 {
+        self.lat.bbox().min_image(self.pos(i), self.pos(j))
+    }
+}
+
+/// Visits every undirected pair generated by `plan` at base cell `q`.
+///
+/// The callback receives `(i, j, d_ij, r)` with `d_ij` the displacement
+/// `r_j − r_i` and `r = |d_ij| < rcut`.
+pub fn visit_pairs_in_cell_src(
+    src: &impl TupleSource,
+    plan: &PatternPlan,
+    rcut: f64,
+    q: IVec3,
+    mut f: impl FnMut(u32, u32, Vec3, f64),
+) -> VisitStats {
+    debug_assert_eq!(plan.n, 2);
+    let rc2 = rcut * rcut;
+    let mut stats = VisitStats::default();
+    for (offsets, guard) in &plan.paths {
+        let cell_i = src.atoms_in(q + offsets[0]);
+        let cell_j = src.atoms_in(q + offsets[1]);
+        for &i in cell_i {
+            for &j in cell_j {
+                stats.candidates += 1;
+                if i == j || (*guard && src.gid(i) > src.gid(j)) {
+                    continue;
+                }
+                let d = src.disp(i, j);
+                let r2 = d.norm_sq();
+                if r2 < rc2 {
+                    stats.accepted += 1;
+                    f(i, j, d, r2.sqrt());
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Visits every undirected chain triplet `(i0, i1, i2)` generated by `plan`
+/// at base cell `q`, with both legs shorter than `rcut`.
+///
+/// The callback receives `(i0, i1, i2, d01, d12)` where `d01 = r1 − r0` and
+/// `d12 = r2 − r1` are link displacement vectors.
+pub fn visit_triplets_in_cell_src(
+    src: &impl TupleSource,
+    plan: &PatternPlan,
+    rcut: f64,
+    q: IVec3,
+    mut f: impl FnMut(u32, u32, u32, Vec3, Vec3),
+) -> VisitStats {
+    debug_assert_eq!(plan.n, 3);
+    let rc2 = rcut * rcut;
+    let mut stats = VisitStats::default();
+    for (offsets, guard) in &plan.paths {
+        let cell_0 = src.atoms_in(q + offsets[0]);
+        let cell_1 = src.atoms_in(q + offsets[1]);
+        let cell_2 = src.atoms_in(q + offsets[2]);
+        for &i0 in cell_0 {
+            for &i1 in cell_1 {
+                if i1 == i0 {
+                    stats.candidates += cell_2.len() as u64;
+                    continue;
+                }
+                let d01 = src.disp(i0, i1);
+                if d01.norm_sq() >= rc2 {
+                    stats.candidates += cell_2.len() as u64;
+                    continue;
+                }
+                for &i2 in cell_2 {
+                    stats.candidates += 1;
+                    if i2 == i1 || i2 == i0 || (*guard && src.gid(i0) > src.gid(i2)) {
+                        continue;
+                    }
+                    let d12 = src.disp(i1, i2);
+                    if d12.norm_sq() < rc2 {
+                        stats.accepted += 1;
+                        f(i0, i1, i2, d01, d12);
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Visits every undirected chain quadruplet generated by `plan` at base cell
+/// `q`, with all three links shorter than `rcut`.
+///
+/// The callback receives `(ids, d01, d12, d23)`.
+pub fn visit_quadruplets_in_cell_src(
+    src: &impl TupleSource,
+    plan: &PatternPlan,
+    rcut: f64,
+    q: IVec3,
+    mut f: impl FnMut([u32; 4], Vec3, Vec3, Vec3),
+) -> VisitStats {
+    debug_assert_eq!(plan.n, 4);
+    let rc2 = rcut * rcut;
+    let mut stats = VisitStats::default();
+    for (offsets, guard) in &plan.paths {
+        let cell_0 = src.atoms_in(q + offsets[0]);
+        let cell_1 = src.atoms_in(q + offsets[1]);
+        let cell_2 = src.atoms_in(q + offsets[2]);
+        let cell_3 = src.atoms_in(q + offsets[3]);
+        for &i0 in cell_0 {
+            for &i1 in cell_1 {
+                if i1 == i0 {
+                    stats.candidates += (cell_2.len() * cell_3.len()) as u64;
+                    continue;
+                }
+                let d01 = src.disp(i0, i1);
+                if d01.norm_sq() >= rc2 {
+                    stats.candidates += (cell_2.len() * cell_3.len()) as u64;
+                    continue;
+                }
+                for &i2 in cell_2 {
+                    if i2 == i1 || i2 == i0 {
+                        stats.candidates += cell_3.len() as u64;
+                        continue;
+                    }
+                    let d12 = src.disp(i1, i2);
+                    if d12.norm_sq() >= rc2 {
+                        stats.candidates += cell_3.len() as u64;
+                        continue;
+                    }
+                    for &i3 in cell_3 {
+                        stats.candidates += 1;
+                        if i3 == i2
+                            || i3 == i1
+                            || i3 == i0
+                            || (*guard && src.gid(i0) > src.gid(i3))
+                        {
+                            continue;
+                        }
+                        let d23 = src.disp(i2, i3);
+                        if d23.norm_sq() < rc2 {
+                            stats.accepted += 1;
+                            f([i0, i1, i2, i3], d01, d12, d23);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Visits every undirected chain n-tuple for **arbitrary n** at base cell
+/// `q` — the fully general form of the paper's UCP search (ReaxFF-style
+/// force fields reach n = 6 through chain-rule terms, §1). The callback
+/// receives the atom slots of each accepted chain.
+///
+/// The specialized n = 2..4 visitors above are what the force loops use;
+/// this recursive form serves statistics and enumeration at higher n.
+pub fn visit_ntuples_in_cell_src(
+    src: &impl TupleSource,
+    plan: &PatternPlan,
+    rcut: f64,
+    q: IVec3,
+    mut f: impl FnMut(&[u32]),
+) -> VisitStats {
+    let n = plan.n;
+    let rc2 = rcut * rcut;
+    let mut stats = VisitStats::default();
+    let mut chain: Vec<u32> = Vec::with_capacity(n);
+
+    fn descend(
+        src: &impl TupleSource,
+        cells: &[IVec3],
+        guard: bool,
+        rc2: f64,
+        chain: &mut Vec<u32>,
+        stats: &mut VisitStats,
+        f: &mut impl FnMut(&[u32]),
+    ) {
+        let depth = chain.len();
+        let n = cells.len();
+        if depth == n {
+            stats.accepted += 1;
+            f(chain);
+            return;
+        }
+        let last = chain.last().copied();
+        for &i in src.atoms_in(cells[depth]) {
+            // Count the candidate subtree size when pruning at the leaf
+            // level only (cheap approximation: count leaves).
+            if depth == n - 1 {
+                stats.candidates += 1;
+            }
+            if chain.contains(&i) {
+                continue;
+            }
+            if let Some(prev) = last {
+                if src.disp(prev, i).norm_sq() >= rc2 {
+                    continue;
+                }
+            }
+            if depth == n - 1 && guard && src.gid(chain[0]) > src.gid(i) {
+                continue;
+            }
+            chain.push(i);
+            descend(src, cells, guard, rc2, chain, stats, f);
+            chain.pop();
+        }
+    }
+
+    for (offsets, guard) in &plan.paths {
+        let cells: Vec<IVec3> = offsets.iter().map(|&v| q + v).collect();
+        descend(src, &cells, *guard, rc2, &mut chain, &mut stats, &mut f);
+    }
+    stats
+}
+
+/// Runs the arbitrary-n visitor over every cell of the lattice (serial).
+pub fn visit_ntuples(
+    lat: &CellLattice,
+    store: &AtomStore,
+    plan: &PatternPlan,
+    rcut: f64,
+    mut f: impl FnMut(&[u32]),
+) -> VisitStats {
+    let src = PeriodicSource::new(lat, store);
+    let mut stats = VisitStats::default();
+    for q in lat.cells() {
+        stats.merge(visit_ntuples_in_cell_src(&src, plan, rcut, q, &mut f));
+    }
+    stats
+}
+
+/// Per-cell pair visitor over the global periodic lattice.
+pub fn visit_pairs_in_cell(
+    lat: &CellLattice,
+    store: &AtomStore,
+    plan: &PatternPlan,
+    rcut: f64,
+    q: IVec3,
+    f: impl FnMut(u32, u32, Vec3, f64),
+) -> VisitStats {
+    visit_pairs_in_cell_src(&PeriodicSource::new(lat, store), plan, rcut, q, f)
+}
+
+/// Per-cell triplet visitor over the global periodic lattice.
+pub fn visit_triplets_in_cell(
+    lat: &CellLattice,
+    store: &AtomStore,
+    plan: &PatternPlan,
+    rcut: f64,
+    q: IVec3,
+    f: impl FnMut(u32, u32, u32, Vec3, Vec3),
+) -> VisitStats {
+    visit_triplets_in_cell_src(&PeriodicSource::new(lat, store), plan, rcut, q, f)
+}
+
+/// Per-cell quadruplet visitor over the global periodic lattice.
+pub fn visit_quadruplets_in_cell(
+    lat: &CellLattice,
+    store: &AtomStore,
+    plan: &PatternPlan,
+    rcut: f64,
+    q: IVec3,
+    f: impl FnMut([u32; 4], Vec3, Vec3, Vec3),
+) -> VisitStats {
+    visit_quadruplets_in_cell_src(&PeriodicSource::new(lat, store), plan, rcut, q, f)
+}
+
+/// Runs a pair visitor over every cell of the lattice (serial).
+pub fn visit_pairs(
+    lat: &CellLattice,
+    store: &AtomStore,
+    plan: &PatternPlan,
+    rcut: f64,
+    mut f: impl FnMut(u32, u32, Vec3, f64),
+) -> VisitStats {
+    let mut stats = VisitStats::default();
+    for q in lat.cells() {
+        stats.merge(visit_pairs_in_cell(lat, store, plan, rcut, q, &mut f));
+    }
+    stats
+}
+
+/// Runs a triplet visitor over every cell of the lattice (serial).
+pub fn visit_triplets(
+    lat: &CellLattice,
+    store: &AtomStore,
+    plan: &PatternPlan,
+    rcut: f64,
+    mut f: impl FnMut(u32, u32, u32, Vec3, Vec3),
+) -> VisitStats {
+    let mut stats = VisitStats::default();
+    for q in lat.cells() {
+        stats.merge(visit_triplets_in_cell(lat, store, plan, rcut, q, &mut f));
+    }
+    stats
+}
+
+/// Runs a quadruplet visitor over every cell of the lattice (serial).
+pub fn visit_quadruplets(
+    lat: &CellLattice,
+    store: &AtomStore,
+    plan: &PatternPlan,
+    rcut: f64,
+    mut f: impl FnMut([u32; 4], Vec3, Vec3, Vec3),
+) -> VisitStats {
+    let mut stats = VisitStats::default();
+    for q in lat.cells() {
+        stats.merge(visit_quadruplets_in_cell(lat, store, plan, rcut, q, &mut f));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_gas;
+    use sc_core::{generate_fs, shift_collapse};
+    use std::collections::HashSet;
+
+    fn setup(n_atoms: usize, box_l: f64, rcut: f64) -> (CellLattice, AtomStore) {
+        let (store, bbox) = random_gas(n_atoms, box_l, 7);
+        let mut lat = CellLattice::new(bbox, rcut);
+        lat.rebuild(&store);
+        (lat, store)
+    }
+
+    fn pair_set(
+        lat: &CellLattice,
+        store: &AtomStore,
+        plan: &PatternPlan,
+        rcut: f64,
+    ) -> HashSet<(u32, u32)> {
+        let mut out = HashSet::new();
+        visit_pairs(lat, store, plan, rcut, |i, j, _, _| {
+            let key = (i.min(j), i.max(j));
+            assert!(out.insert(key), "pair {key:?} visited twice");
+        });
+        out
+    }
+
+    #[test]
+    fn fs_and_sc_visit_identical_pair_sets() {
+        let rcut = 1.0;
+        let (lat, store) = setup(120, 4.0, rcut);
+        let fs = PatternPlan::new(&generate_fs(2), Dedup::Guarded);
+        let sc = PatternPlan::new(&shift_collapse(2), Dedup::Collapsed);
+        let a = pair_set(&lat, &store, &fs, rcut);
+        let b = pair_set(&lat, &store, &sc, rcut);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn fs_and_sc_visit_identical_triplet_sets() {
+        let rcut = 1.0;
+        let (lat, store) = setup(80, 4.0, rcut);
+        let collect = |plan: &PatternPlan| {
+            let mut out = HashSet::new();
+            visit_triplets(&lat, &store, plan, rcut, |i, j, k, _, _| {
+                let key = (i.min(k), j, i.max(k));
+                assert!(out.insert(key), "triplet {key:?} visited twice");
+            });
+            out
+        };
+        let a = collect(&PatternPlan::new(&generate_fs(3), Dedup::Guarded));
+        let b = collect(&PatternPlan::new(&shift_collapse(3), Dedup::Collapsed));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn fs_and_sc_visit_identical_quadruplet_sets() {
+        let rcut = 1.0;
+        let (lat, store) = setup(40, 4.0, rcut);
+        let collect = |plan: &PatternPlan| {
+            let mut out = HashSet::new();
+            visit_quadruplets(&lat, &store, plan, rcut, |ids, _, _, _| {
+                let key = if ids[0] < ids[3] {
+                    ids
+                } else {
+                    [ids[3], ids[2], ids[1], ids[0]]
+                };
+                assert!(out.insert(key), "quad {key:?} visited twice");
+            });
+            out
+        };
+        let a = collect(&PatternPlan::new(&generate_fs(4), Dedup::Guarded));
+        let b = collect(&PatternPlan::new(&shift_collapse(4), Dedup::Collapsed));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn fs_examines_about_twice_the_candidates_of_sc() {
+        // The search-cost halving of Eq. 29, observed on real data (Fig. 7).
+        let rcut = 1.0;
+        let (lat, store) = setup(200, 4.0, rcut);
+        let fs = PatternPlan::new(&generate_fs(3), Dedup::Guarded);
+        let sc = PatternPlan::new(&shift_collapse(3), Dedup::Collapsed);
+        let s_fs = visit_triplets(&lat, &store, &fs, rcut, |_, _, _, _, _| {});
+        let s_sc = visit_triplets(&lat, &store, &sc, rcut, |_, _, _, _, _| {});
+        let ratio = s_fs.candidates as f64 / s_sc.candidates as f64;
+        assert!(
+            (1.7..2.2).contains(&ratio),
+            "FS/SC candidate ratio {ratio}, expected ≈ 729/378 = 1.93"
+        );
+        // Both accept the same number of (undirected) tuples.
+        assert_eq!(s_fs.accepted, s_sc.accepted);
+    }
+
+    #[test]
+    fn accepted_pairs_respect_cutoff() {
+        let rcut = 0.8;
+        let (lat, store) = setup(100, 4.0, rcut);
+        let sc = PatternPlan::new(&shift_collapse(2), Dedup::Collapsed);
+        visit_pairs(&lat, &store, &sc, rcut, |i, j, d, r| {
+            assert!(r < rcut);
+            assert!(i != j);
+            assert!((d.norm() - r).abs() < 1e-12);
+            // d is the minimum-image displacement.
+            let expect = lat
+                .bbox()
+                .min_image(store.positions()[i as usize], store.positions()[j as usize]);
+            assert!((d - expect).norm() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn generic_visitor_agrees_with_specialized_ones() {
+        let rcut = 1.0;
+        let (lat, store) = setup(60, 4.0, rcut);
+        for n in [2usize, 3, 4] {
+            let plan = PatternPlan::new(&shift_collapse(n), Dedup::Collapsed);
+            let mut generic: Vec<Vec<u32>> = vec![];
+            visit_ntuples(&lat, &store, &plan, rcut, |chain| {
+                let mut c = chain.to_vec();
+                let mut r = c.clone();
+                r.reverse();
+                if r < c {
+                    c = r;
+                }
+                generic.push(c);
+            });
+            generic.sort();
+            let mut specialized: Vec<Vec<u32>> = vec![];
+            match n {
+                2 => {
+                    visit_pairs(&lat, &store, &plan, rcut, |i, j, _, _| {
+                        specialized.push(vec![i.min(j), i.max(j)]);
+                    });
+                }
+                3 => {
+                    visit_triplets(&lat, &store, &plan, rcut, |i, j, k, _, _| {
+                        specialized.push(vec![i.min(k), j, i.max(k)]);
+                    });
+                }
+                4 => {
+                    visit_quadruplets(&lat, &store, &plan, rcut, |ids, _, _, _| {
+                        let mut c = ids.to_vec();
+                        let mut r = c.clone();
+                        r.reverse();
+                        if r < c {
+                            c = r;
+                        }
+                        specialized.push(c);
+                    });
+                }
+                _ => unreachable!(),
+            }
+            specialized.sort();
+            assert_eq!(generic, specialized, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn generic_visitor_reaches_n5() {
+        // n = 5 chains (ReaxFF-regime statistics): SC(5) and FS(5) must
+        // find the same undirected chain set.
+        let rcut = 1.0;
+        let (store, bbox) = random_gas(14, 5.0, 3);
+        let mut lat = CellLattice::new(bbox, rcut);
+        lat.rebuild(&store);
+        let collect = |plan: &PatternPlan| {
+            let mut out: Vec<Vec<u32>> = vec![];
+            visit_ntuples(&lat, &store, plan, rcut, |chain| {
+                let mut c = chain.to_vec();
+                let mut r = c.clone();
+                r.reverse();
+                if r < c {
+                    c = r;
+                }
+                out.push(c);
+            });
+            out.sort();
+            out.dedup();
+            out
+        };
+        let sc = collect(&PatternPlan::new(&shift_collapse(5), Dedup::Collapsed));
+        let fs = collect(&PatternPlan::new(&generate_fs(5), Dedup::Guarded));
+        assert_eq!(sc, fs);
+    }
+
+    #[test]
+    fn guard_uses_global_ids_not_slots() {
+        // Two atoms whose slot order and id order disagree: the pair must
+        // still be visited exactly once under the Guarded mode.
+        let bbox = sc_geom::SimulationBox::cubic(4.0);
+        let mut store = AtomStore::single_species();
+        store.push(100, sc_cell::Species::DEFAULT, Vec3::new(1.0, 1.0, 1.0), Vec3::ZERO);
+        store.push(5, sc_cell::Species::DEFAULT, Vec3::new(1.4, 1.0, 1.0), Vec3::ZERO);
+        let mut lat = CellLattice::new(bbox, 1.0);
+        lat.rebuild(&store);
+        let fs = PatternPlan::new(&generate_fs(2), Dedup::Guarded);
+        let mut hits = vec![];
+        visit_pairs(&lat, &store, &fs, 1.0, |i, j, _, _| hits.push((i, j)));
+        assert_eq!(hits.len(), 1);
+        // The accepted direction runs from the smaller gid (atom slot 1).
+        assert_eq!(hits[0], (1, 0));
+    }
+
+    #[test]
+    fn plan_metadata() {
+        let p = PatternPlan::new(&shift_collapse(2), Dedup::Collapsed);
+        assert_eq!(p.n(), 2);
+        assert_eq!(p.len(), 14);
+        assert!(!p.is_empty());
+    }
+}

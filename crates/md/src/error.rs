@@ -1,0 +1,81 @@
+//! Typed configuration errors for the simulation builder.
+
+use std::fmt;
+
+/// Why a [`crate::SimulationBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// No potential term was supplied.
+    NoTerms,
+    /// Hybrid-MD requires a pair potential (its Verlet list is built from
+    /// the pair cutoff).
+    HybridNeedsPair,
+    /// An n ≥ 3 cutoff exceeds the pair cutoff, so Hybrid's pair list
+    /// cannot cover the term.
+    CutoffOrder {
+        /// The offending tuple order.
+        n: usize,
+        /// Its cutoff.
+        rcut_n: f64,
+        /// The pair cutoff it exceeds.
+        rcut2: f64,
+    },
+    /// The periodic box cannot host the cell lattice a term needs (fewer
+    /// than 3 cutoffs per axis, or reach-k offsets would alias through the
+    /// wrap).
+    BoxTooSmall {
+        /// The tuple order whose lattice failed.
+        n: usize,
+        /// The term's cutoff.
+        rcut: f64,
+        /// The configured cell subdivision.
+        subdivision: i32,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoTerms => {
+                write!(f, "simulation needs at least one potential term")
+            }
+            BuildError::HybridNeedsPair => write!(
+                f,
+                "Hybrid-MD requires a pair potential (the Verlet list is built from it)"
+            ),
+            BuildError::CutoffOrder { n, rcut_n, rcut2 } => write!(
+                f,
+                "Hybrid-MD needs rcut{n} ({rcut_n}) ≤ rcut2 ({rcut2})"
+            ),
+            BuildError::BoxTooSmall { n, rcut, subdivision } => write!(
+                f,
+                "box too small for the n={n} lattice with cutoff {rcut} (subdivision {subdivision})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(BuildError::NoTerms.to_string().contains("potential term"));
+        assert!(BuildError::HybridNeedsPair.to_string().contains("pair"));
+        assert!(BuildError::CutoffOrder { n: 3, rcut_n: 2.0, rcut2: 1.0 }
+            .to_string()
+            .contains("rcut3"));
+        assert!(BuildError::BoxTooSmall { n: 2, rcut: 2.5, subdivision: 1 }
+            .to_string()
+            .contains("too small"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(BuildError::NoTerms);
+        assert!(!e.to_string().is_empty());
+    }
+}

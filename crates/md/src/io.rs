@@ -1,0 +1,159 @@
+//! Trajectory I/O: the extended-XYZ format every MD visualizer reads.
+
+use sc_cell::{AtomStore, Species};
+use sc_geom::{SimulationBox, Vec3};
+use std::io::{self, BufRead, Write};
+
+/// Default species → element-symbol mapping (Si/O for the silica system,
+/// Ar for single-species runs beyond index 1).
+fn symbol(species: Species, n_species: usize) -> &'static str {
+    if n_species >= 2 {
+        match species.index() {
+            0 => "Si",
+            1 => "O",
+            _ => "X",
+        }
+    } else {
+        "Ar"
+    }
+}
+
+/// Writes one snapshot in extended-XYZ: atom count, a comment line carrying
+/// the cubic box edge (`Lattice="L 0 0 0 L 0 0 0 L"`), then
+/// `symbol x y z vx vy vz` rows in id order.
+pub fn write_xyz(
+    out: &mut impl Write,
+    store: &AtomStore,
+    bbox: &SimulationBox,
+    comment: &str,
+) -> io::Result<()> {
+    let l = bbox.lengths();
+    writeln!(out, "{}", store.len())?;
+    writeln!(
+        out,
+        "Lattice=\"{} 0 0 0 {} 0 0 0 {}\" Properties=species:S:1:pos:R:3:vel:R:3 {comment}",
+        l.x, l.y, l.z
+    )?;
+    let ns = store.species_masses().len();
+    // Emit in id order so snapshots are comparable across runs.
+    let mut order: Vec<usize> = (0..store.len()).collect();
+    order.sort_by_key(|&i| store.ids()[i]);
+    for i in order {
+        let r = store.positions()[i];
+        let v = store.velocities()[i];
+        writeln!(
+            out,
+            "{} {:.12} {:.12} {:.12} {:.12} {:.12} {:.12}",
+            symbol(store.species()[i], ns),
+            r.x,
+            r.y,
+            r.z,
+            v.x,
+            v.y,
+            v.z
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads one extended-XYZ snapshot written by [`write_xyz`]. Returns the
+/// store (ids assigned in row order) and the box parsed from the lattice
+/// header. `masses` supplies the per-species mass table (symbols map back
+/// to indices: Si→0, O→1, anything else→0).
+pub fn read_xyz(
+    input: &mut impl BufRead,
+    masses: Vec<f64>,
+) -> io::Result<(AtomStore, SimulationBox)> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let mut line = String::new();
+    input.read_line(&mut line)?;
+    let n: usize = line.trim().parse().map_err(|_| bad("bad atom count"))?;
+    line.clear();
+    input.read_line(&mut line)?;
+    let lat_start = line.find("Lattice=\"").ok_or_else(|| bad("missing Lattice"))? + 9;
+    let lat_end = line[lat_start..].find('"').ok_or_else(|| bad("unterminated Lattice"))?;
+    let nums: Vec<f64> = line[lat_start..lat_start + lat_end]
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad lattice number")))
+        .collect::<Result<_, _>>()?;
+    if nums.len() != 9 {
+        return Err(bad("lattice needs 9 numbers"));
+    }
+    let bbox = SimulationBox::new(Vec3::new(nums[0], nums[4], nums[8]));
+    let multi = masses.len() >= 2;
+    let mut store = AtomStore::new(masses);
+    for id in 0..n {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Err(bad("truncated snapshot"));
+        }
+        let mut tok = line.split_whitespace();
+        let sym = tok.next().ok_or_else(|| bad("missing symbol"))?;
+        let sp = if multi && sym == "O" { Species::O } else { Species(0) };
+        let mut vals = [0.0f64; 6];
+        for v in &mut vals {
+            *v = tok
+                .next()
+                .ok_or_else(|| bad("missing coordinate"))?
+                .parse()
+                .map_err(|_| bad("bad coordinate"))?;
+        }
+        store.push(
+            id as u64,
+            sp,
+            Vec3::new(vals[0], vals[1], vals[2]),
+            Vec3::new(vals[3], vals[4], vals[5]),
+        );
+    }
+    Ok((store, bbox))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::build_silica_like;
+    use std::io::BufReader;
+
+    #[test]
+    fn xyz_roundtrip_preserves_everything() {
+        let (store, bbox) = build_silica_like(2, 7.16, [28.0855, 15.999], 0.3, 9);
+        let mut buf = Vec::new();
+        write_xyz(&mut buf, &store, &bbox, "step=42").unwrap();
+        let (back, bbox2) =
+            read_xyz(&mut BufReader::new(buf.as_slice()), vec![28.0855, 15.999]).unwrap();
+        assert_eq!(back.len(), store.len());
+        assert_eq!(bbox2.lengths(), bbox.lengths());
+        for i in 0..store.len() {
+            assert_eq!(back.species()[i], store.species()[i]);
+            assert!((back.positions()[i] - store.positions()[i]).norm() < 1e-9);
+            assert!((back.velocities()[i] - store.velocities()[i]).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn header_carries_comment_and_counts() {
+        let (store, bbox) = build_silica_like(2, 7.16, [28.0855, 15.999], 0.0, 9);
+        let mut buf = Vec::new();
+        write_xyz(&mut buf, &store, &bbox, "test-comment").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap().trim(), store.len().to_string());
+        let header = lines.next().unwrap();
+        assert!(header.contains("Lattice="));
+        assert!(header.contains("test-comment"));
+        // Si and O both present.
+        assert!(text.lines().any(|l| l.starts_with("Si ")));
+        assert!(text.lines().any(|l| l.starts_with("O ")));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        let cases = ["", "3\nno lattice here\n", "2\nLattice=\"1 0 0 0 1 0 0 0 1\"\nAr 0 0 0 0 0 0\n"];
+        for c in cases {
+            assert!(
+                read_xyz(&mut BufReader::new(c.as_bytes()), vec![1.0]).is_err(),
+                "case {c:?} should fail"
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # sc-md — the UCP molecular-dynamics engine
+//!
+//! This crate turns the abstract computation-pattern algebra of `sc-core`
+//! into a working MD engine: dynamic range-limited n-tuple enumeration over
+//! a cell lattice, force evaluation for many-body potentials, and the three
+//! simulation drivers the paper benchmarks against each other (§5):
+//!
+//! * **SC-MD** ([`Method::ShiftCollapse`]) — per-n shift-collapse patterns,
+//!   redundancy-free enumeration, per-term cell lattices sized to each
+//!   cutoff.
+//! * **FS-MD** ([`Method::FullShell`]) — full-shell patterns with explicit
+//!   reflective-duplicate filtering (the paper's naive baseline).
+//! * **Hybrid-MD** ([`Method::Hybrid`]) — the production-code baseline: a
+//!   Verlet pair neighbour list built from the full-shell pair pattern, with
+//!   triplets (and quadruplets) pruned *from the pair list* instead of the
+//!   cell structure, exploiting `r_cut-3 < r_cut-2`.
+//!
+//! The engine layers:
+//!
+//! * [`engine`] — per-cell tuple visitors for n = 2, 3, 4 with chain-cutoff
+//!   filtering and per-path reflective-duplicate guards.
+//! * [`methods`] — the method drivers mapping [`Method`] to patterns, dedup
+//!   modes, and neighbour-list strategies.
+//! * [`Simulation`] — the user-facing facade: velocity-Verlet NVE (plus an
+//!   optional Berendsen thermostat), per-step force computation, energy and
+//!   tuple-count accounting.
+//! * [`mod@reference`] — O(Nⁿ) brute-force tuple enumeration and forces, the
+//!   ground truth the test suite compares every method against.
+//! * workload builders ([`build_fcc_lattice`], [`build_silica_like`],
+//!   [`random_gas`]) for the benchmark systems.
+
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod engine;
+pub mod io;
+pub mod methods;
+pub mod reference;
+
+mod error;
+mod integrate;
+mod sim;
+mod stats;
+mod workload;
+
+pub use diagnostics::{
+    chain_statistics,
+    coordination_histogram, pair_virial_pressure, pair_virial_tensor, BondAngleDistribution,
+    MeanSquaredDisplacement, RadialDistribution,
+};
+pub use engine::{Dedup, PatternPlan};
+pub use error::BuildError;
+pub use integrate::{berendsen_rescale, velocity_verlet_step};
+pub use methods::Method;
+pub use sim::{Simulation, SimulationBuilder};
+pub use stats::{EnergyBreakdown, StepStats, TupleCounts};
+pub use io::{read_xyz, write_xyz};
+pub use workload::{build_fcc_lattice, build_silica_like, random_gas, thermalize, LatticeSpec};

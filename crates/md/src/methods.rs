@@ -1,0 +1,375 @@
+//! The three n-tuple computation methods the paper benchmarks (§5).
+
+use crate::engine::{self, Dedup, PatternPlan, VisitStats};
+use sc_cell::{AtomStore, CellLattice};
+use sc_core::PatternKind;
+use sc_geom::{SimulationBox, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Which n-tuple search strategy a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// FS-MD: full-shell patterns for every n, reflective duplicates
+    /// filtered during enumeration, widest import volume.
+    FullShell,
+    /// SC-MD: shift-collapse patterns for every n — the paper's algorithm.
+    ShiftCollapse,
+    /// Hybrid-MD: the production baseline of the paper — cell-based
+    /// full-shell pair search feeding a Verlet pair list; n ≥ 3 terms are
+    /// pruned from the pair list rather than the cell structure.
+    Hybrid,
+}
+
+impl Method {
+    /// All methods, in the order the paper's figures list them.
+    pub const ALL: [Method; 3] = [Method::ShiftCollapse, Method::FullShell, Method::Hybrid];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::FullShell => "FS-MD",
+            Method::ShiftCollapse => "SC-MD",
+            Method::Hybrid => "Hybrid-MD",
+        }
+    }
+
+    /// The cell pattern and dedup mode used for tuple order `n` — Hybrid
+    /// uses the cell structure only for pairs (n = 2).
+    pub fn plan_for(self, n: usize) -> PatternPlan {
+        match self {
+            Method::FullShell | Method::Hybrid => {
+                PatternPlan::new(&PatternKind::FullShell.build(n), Dedup::Guarded)
+            }
+            Method::ShiftCollapse => {
+                PatternPlan::new(&PatternKind::ShiftCollapse.build(n), Dedup::Collapsed)
+            }
+        }
+    }
+}
+
+/// A Verlet pair neighbour list: for every atom, the neighbours within the
+/// pair cutoff, stored in CSR form. Hybrid-MD rebuilds this every step from
+/// the full-shell pair search and prunes all n ≥ 3 tuples from it.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborList {
+    starts: Vec<u32>,
+    /// Neighbour atom index and the minimum-image displacement to it.
+    entries: Vec<(u32, Vec3)>,
+}
+
+impl NeighborList {
+    /// Builds the symmetric neighbour list (each pair appears in both rows)
+    /// from a cell-based pair sweep over the global periodic lattice. The
+    /// returned statistics account Hybrid's pair-search cost like the other
+    /// methods'.
+    pub fn build(
+        lat: &CellLattice,
+        store: &AtomStore,
+        plan: &PatternPlan,
+        rcut: f64,
+    ) -> (NeighborList, VisitStats) {
+        let cells: Vec<sc_geom::IVec3> = lat.cells().collect();
+        NeighborList::build_from_cells(
+            &engine::PeriodicSource::new(lat, store),
+            &cells,
+            store.len(),
+            plan,
+            rcut,
+        )
+    }
+
+    /// Builds the list from an arbitrary [`engine::TupleSource`] sweeping
+    /// the given base cells — used by the distributed runtime, whose pair
+    /// sweep runs over a rank-local ghost lattice.
+    pub fn build_from_cells(
+        src: &impl engine::TupleSource,
+        cells: &[sc_geom::IVec3],
+        n: usize,
+        plan: &PatternPlan,
+        rcut: f64,
+    ) -> (NeighborList, VisitStats) {
+        let mut pairs: Vec<(u32, u32, Vec3)> = Vec::new();
+        let mut stats = VisitStats::default();
+        for &q in cells {
+            stats.merge(engine::visit_pairs_in_cell_src(src, plan, rcut, q, |i, j, d, _| {
+                pairs.push((i, j, d));
+            }));
+        }
+        let mut counts = vec![0u32; n + 1];
+        for &(i, j, _) in &pairs {
+            counts[i as usize + 1] += 1;
+            counts[j as usize + 1] += 1;
+        }
+        for k in 0..n {
+            counts[k + 1] += counts[k];
+        }
+        let mut entries = vec![(0u32, Vec3::ZERO); pairs.len() * 2];
+        let mut cursor = counts.clone();
+        for &(i, j, d) in &pairs {
+            entries[cursor[i as usize] as usize] = (j, d);
+            cursor[i as usize] += 1;
+            entries[cursor[j as usize] as usize] = (i, -d);
+            cursor[j as usize] += 1;
+        }
+        (NeighborList { starts: counts, entries }, stats)
+    }
+
+    /// Neighbours of atom `i`: `(j, d_ij)` with `d_ij = r_j − r_i`
+    /// (minimum image).
+    #[inline]
+    pub fn neighbors(&self, i: u32) -> &[(u32, Vec3)] {
+        &self.entries[self.starts[i as usize] as usize..self.starts[i as usize + 1] as usize]
+    }
+
+    /// Number of atoms the list covers.
+    pub fn len(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of directed neighbour entries (2× the pair count).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Visits every undirected triplet `(i, j, k)` (vertex `j`) whose two
+    /// legs are shorter than `rcut3`, pruned from the pair list — the
+    /// Hybrid-MD triplet search. The callback receives
+    /// `(i, j, k, d_ji, d_jk)` converted to the engine's chain convention
+    /// `(i0, i1, i2, d01, d12)` by the caller.
+    pub fn visit_triplets(
+        &self,
+        rcut3: f64,
+        mut f: impl FnMut(u32, u32, u32, Vec3, Vec3),
+    ) -> VisitStats {
+        let rc2 = rcut3 * rcut3;
+        let mut stats = VisitStats::default();
+        for j in 0..self.len() as u32 {
+            let nbrs = self.neighbors(j);
+            for (a, &(i, d_ji)) in nbrs.iter().enumerate() {
+                if d_ji.norm_sq() >= rc2 {
+                    continue;
+                }
+                for &(k, d_jk) in &nbrs[a + 1..] {
+                    stats.candidates += 1;
+                    if d_jk.norm_sq() >= rc2 {
+                        continue;
+                    }
+                    stats.accepted += 1;
+                    // Chain convention: (i, j, k) with d01 = r_j − r_i = −d_ji.
+                    f(i, j, k, -d_ji, d_jk);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Visits every undirected bonded chain `(i, j, k, l)` with all three
+    /// links shorter than `rcut4`, pruned from the pair list — the
+    /// Hybrid-MD quadruplet search. Callback receives
+    /// `(ids, d01, d12, d23)` in chain convention.
+    pub fn visit_quadruplets(
+        &self,
+        rcut4: f64,
+        mut f: impl FnMut([u32; 4], Vec3, Vec3, Vec3),
+    ) -> VisitStats {
+        let rc2 = rcut4 * rcut4;
+        let mut stats = VisitStats::default();
+        for j in 0..self.len() as u32 {
+            for &(k, d_jk) in self.neighbors(j) {
+                // Each undirected centre bond once.
+                if k <= j || d_jk.norm_sq() >= rc2 {
+                    continue;
+                }
+                for &(i, d_ji) in self.neighbors(j) {
+                    if i == k || d_ji.norm_sq() >= rc2 {
+                        continue;
+                    }
+                    for &(l, d_kl) in self.neighbors(k) {
+                        stats.candidates += 1;
+                        if l == j || l == i || d_kl.norm_sq() >= rc2 {
+                            continue;
+                        }
+                        stats.accepted += 1;
+                        f([i, j, k, l], -d_ji, d_jk, d_kl);
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Builds a cell lattice for one n-body term: cell edge = the term's cutoff
+/// (SC-MD and FS-MD size the cell structure to each `r_cut-n`; Hybrid only
+/// ever builds the pair lattice).
+pub fn lattice_for_cutoff(bbox: &SimulationBox, rcut: f64, n: usize) -> CellLattice {
+    lattice_for_cutoff_subdivided(bbox, rcut, n, 1)
+}
+
+/// Like [`lattice_for_cutoff`] but with cells subdivided `k`-fold
+/// (edge ≥ `rcut/k`), for reach-k patterns (paper §6 / the midpoint-method
+/// regime). Rejects lattices where reach-k pattern offsets (up to
+/// `k·(n−1)`) would alias through the periodic wrap, or boxes below 3
+/// cutoffs where the minimum-image convention would break.
+pub fn lattice_for_cutoff_subdivided(
+    bbox: &SimulationBox,
+    rcut: f64,
+    n: usize,
+    k: i32,
+) -> CellLattice {
+    assert!(k >= 1, "subdivision must be ≥ 1");
+    let l = bbox.lengths();
+    assert!(
+        l.x >= 3.0 * rcut && l.y >= 3.0 * rcut && l.z >= 3.0 * rcut,
+        "box {l:?} below 3 cutoffs ({rcut}); minimum-image breaks"
+    );
+    let lat = CellLattice::new(*bbox, rcut / k as f64);
+    let dims = lat.dims();
+    let min_dim = dims.x.min(dims.y).min(dims.z);
+    let span = k * (n as i32 - 1);
+    assert!(
+        min_dim > span,
+        "lattice {dims} too small for reach-{k} n = {n} tuples (offset span {span}): \
+         pattern offsets would alias through the periodic wrap"
+    );
+    lat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_gas;
+    use std::collections::HashSet;
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(Method::ShiftCollapse.name(), "SC-MD");
+        assert_eq!(Method::FullShell.plan_for(2).len(), 27);
+        assert_eq!(Method::ShiftCollapse.plan_for(2).len(), 14);
+        assert_eq!(Method::ShiftCollapse.plan_for(3).len(), 378);
+        assert_eq!(Method::Hybrid.plan_for(2).len(), 27);
+    }
+
+    fn setup(n_atoms: usize, box_l: f64, rcut: f64) -> (CellLattice, AtomStore) {
+        let (store, bbox) = random_gas(n_atoms, box_l, 11);
+        let mut lat = CellLattice::new(bbox, rcut);
+        lat.rebuild(&store);
+        (lat, store)
+    }
+
+    #[test]
+    fn neighbor_list_is_symmetric_and_complete() {
+        let rcut = 1.2;
+        let (lat, store) = setup(100, 4.0, rcut);
+        let plan = Method::Hybrid.plan_for(2);
+        let (nl, stats) = NeighborList::build(&lat, &store, &plan, rcut);
+        assert!(stats.accepted > 0);
+        assert_eq!(nl.entry_count() as u64, stats.accepted * 2);
+        // Symmetry: j in N(i) ⇔ i in N(j), with opposite displacements.
+        for i in 0..store.len() as u32 {
+            for &(j, d) in nl.neighbors(i) {
+                let back = nl
+                    .neighbors(j)
+                    .iter()
+                    .find(|&&(k, _)| k == i)
+                    .expect("asymmetric neighbour list");
+                assert!((back.1 + d).norm() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_triplets_match_cell_triplets() {
+        // The Hybrid Verlet-list triplet search must produce exactly the
+        // same undirected triplet set as the SC cell search with rcut3.
+        let rcut2 = 1.2;
+        let rcut3 = 0.6; // ≈ half, like the silica benchmark
+        let (lat, store) = setup(150, 4.0, rcut2);
+        let (nl, _) = NeighborList::build(&lat, &store, &Method::Hybrid.plan_for(2), rcut2);
+        let mut hybrid = HashSet::new();
+        nl.visit_triplets(rcut3, |i, j, k, _, _| {
+            let key = (i.min(k), j, i.max(k));
+            assert!(hybrid.insert(key), "duplicate hybrid triplet {key:?}");
+        });
+        // SC cell-based search with a lattice sized to rcut3.
+        let mut lat3 = CellLattice::new(*lat.bbox(), rcut3);
+        lat3.rebuild(&store);
+        let plan3 = Method::ShiftCollapse.plan_for(3);
+        let mut sc = HashSet::new();
+        engine::visit_triplets(&lat3, &store, &plan3, rcut3, |i, j, k, _, _| {
+            let key = (i.min(k), j, i.max(k));
+            assert!(sc.insert(key), "duplicate SC triplet {key:?}");
+        });
+        assert_eq!(hybrid, sc);
+        assert!(!sc.is_empty());
+    }
+
+    #[test]
+    fn hybrid_quadruplets_match_cell_quadruplets() {
+        let rcut2 = 1.2;
+        let rcut4 = 0.9;
+        let (lat, store) = setup(60, 4.0, rcut2);
+        let (nl, _) = NeighborList::build(&lat, &store, &Method::Hybrid.plan_for(2), rcut2);
+        let canon = |ids: [u32; 4]| {
+            if ids[0] < ids[3] || (ids[0] == ids[3] && ids[1] <= ids[2]) {
+                ids
+            } else {
+                [ids[3], ids[2], ids[1], ids[0]]
+            }
+        };
+        let mut hybrid = HashSet::new();
+        nl.visit_quadruplets(rcut4, |ids, _, _, _| {
+            assert!(hybrid.insert(canon(ids)), "duplicate hybrid quad {ids:?}");
+        });
+        let mut lat4 = CellLattice::new(*lat.bbox(), rcut4);
+        lat4.rebuild(&store);
+        let plan4 = Method::ShiftCollapse.plan_for(4);
+        let mut sc = HashSet::new();
+        engine::visit_quadruplets(&lat4, &store, &plan4, rcut4, |ids, _, _, _| {
+            assert!(sc.insert(canon(ids)), "duplicate SC quad {ids:?}");
+        });
+        assert_eq!(hybrid, sc);
+        assert!(!sc.is_empty());
+    }
+
+    #[test]
+    fn hybrid_triplet_search_is_cheaper_with_short_cutoff() {
+        // The Hybrid advantage the paper describes: with rcut3 ≈ 0.47·rcut2
+        // the Verlet-list triplet search examines far fewer candidates than
+        // the rcut2-cell search would, and fewer even than the rcut3-cell
+        // SC search (pair lists localize better than cells).
+        let rcut2 = 1.5;
+        let rcut3 = 0.7;
+        let (lat, store) = setup(250, 4.5, rcut2);
+        let (nl, _) = NeighborList::build(&lat, &store, &Method::Hybrid.plan_for(2), rcut2);
+        let h = nl.visit_triplets(rcut3, |_, _, _, _, _| {});
+        let mut lat3 = CellLattice::new(*lat.bbox(), rcut3);
+        lat3.rebuild(&store);
+        let s = engine::visit_triplets(
+            &lat3,
+            &store,
+            &Method::ShiftCollapse.plan_for(3),
+            rcut3,
+            |_, _, _, _, _| {},
+        );
+        assert!(
+            h.candidates < s.candidates,
+            "hybrid triplet candidates {} ≥ SC cell candidates {}",
+            h.candidates,
+            s.candidates
+        );
+        assert_eq!(h.accepted, s.accepted);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn aliasing_lattice_rejected() {
+        let bbox = SimulationBox::cubic(3.0);
+        let _ = lattice_for_cutoff(&bbox, 1.0, 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! O(Nⁿ) brute-force reference: ground truth for enumeration and forces.
+//!
+//! The paper defines the target of any n-tuple search as `Γ*(n)` — all
+//! undirected chains of distinct atoms with every consecutive link shorter
+//! than the cutoff (Eq. 6). This module materializes `Γ*(n)` by exhaustive
+//! search (no cells, no patterns) so the test suite can check that every
+//! method finds exactly this set and produces exactly these forces.
+
+use sc_cell::AtomStore;
+use sc_geom::SimulationBox;
+use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
+use std::collections::HashSet;
+
+/// All undirected cutoff pairs `(i, j)` with `i < j`.
+pub fn all_pairs(store: &AtomStore, bbox: &SimulationBox, rcut: f64) -> HashSet<(u32, u32)> {
+    let n = store.len();
+    let rc2 = rcut * rcut;
+    let pos = store.positions();
+    let mut out = HashSet::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if bbox.dist_sq(pos[i], pos[j]) < rc2 {
+                out.insert((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// All undirected chain triplets, canonicalized as `(min(i,k), j, max(i,k))`
+/// with vertex `j` in the middle.
+pub fn all_triplets(
+    store: &AtomStore,
+    bbox: &SimulationBox,
+    rcut: f64,
+) -> HashSet<(u32, u32, u32)> {
+    let n = store.len();
+    let rc2 = rcut * rcut;
+    let pos = store.positions();
+    let mut out = HashSet::new();
+    for j in 0..n {
+        for i in 0..n {
+            if i == j || bbox.dist_sq(pos[j], pos[i]) >= rc2 {
+                continue;
+            }
+            for k in (i + 1)..n {
+                if k == j || bbox.dist_sq(pos[j], pos[k]) >= rc2 {
+                    continue;
+                }
+                out.insert((i as u32, j as u32, k as u32));
+            }
+        }
+    }
+    out
+}
+
+/// All undirected chain quadruplets `(i, j, k, l)` (links i–j, j–k, k–l),
+/// canonicalized so the lexicographically smaller direction is stored.
+pub fn all_quadruplets(
+    store: &AtomStore,
+    bbox: &SimulationBox,
+    rcut: f64,
+) -> HashSet<[u32; 4]> {
+    let n = store.len();
+    let rc2 = rcut * rcut;
+    let pos = store.positions();
+    let mut out = HashSet::new();
+    for j in 0..n {
+        for k in 0..n {
+            if k == j || bbox.dist_sq(pos[j], pos[k]) >= rc2 {
+                continue;
+            }
+            for i in 0..n {
+                if i == j || i == k || bbox.dist_sq(pos[i], pos[j]) >= rc2 {
+                    continue;
+                }
+                for l in 0..n {
+                    if l == i || l == j || l == k || bbox.dist_sq(pos[k], pos[l]) >= rc2 {
+                        continue;
+                    }
+                    let ids = [i as u32, j as u32, k as u32, l as u32];
+                    let rev = [ids[3], ids[2], ids[1], ids[0]];
+                    out.insert(if ids <= rev { ids } else { rev });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Brute-force pair forces and energy, accumulating into `store.forces_mut`.
+pub fn pair_forces(store: &mut AtomStore, bbox: &SimulationBox, pot: &dyn PairPotential) -> f64 {
+    let pairs = all_pairs(store, bbox, pot.cutoff());
+    let mut energy = 0.0;
+    for (i, j) in pairs {
+        let (si, sj) = (store.species()[i as usize], store.species()[j as usize]);
+        if !pot.applies(si, sj) {
+            continue;
+        }
+        let d = bbox.min_image(store.positions()[i as usize], store.positions()[j as usize]);
+        let r = d.norm();
+        let (u, du) = pot.eval(si, sj, r);
+        energy += u;
+        let fj = -(du / r) * d;
+        store.forces_mut()[j as usize] += fj;
+        store.forces_mut()[i as usize] -= fj;
+    }
+    energy
+}
+
+/// Brute-force triplet forces and energy.
+pub fn triplet_forces(
+    store: &mut AtomStore,
+    bbox: &SimulationBox,
+    pot: &dyn TripletPotential,
+) -> f64 {
+    let triplets = all_triplets(store, bbox, pot.cutoff());
+    let mut energy = 0.0;
+    for (i, j, k) in triplets {
+        let (s0, s1, s2) = (
+            store.species()[i as usize],
+            store.species()[j as usize],
+            store.species()[k as usize],
+        );
+        if !pot.applies(s0, s1, s2) {
+            continue;
+        }
+        let d10 = bbox.min_image(store.positions()[j as usize], store.positions()[i as usize]);
+        let d12 = bbox.min_image(store.positions()[j as usize], store.positions()[k as usize]);
+        let (u, f0, f1, f2) = pot.eval(s0, s1, s2, d10, d12);
+        energy += u;
+        store.forces_mut()[i as usize] += f0;
+        store.forces_mut()[j as usize] += f1;
+        store.forces_mut()[k as usize] += f2;
+    }
+    energy
+}
+
+/// Brute-force quadruplet forces and energy.
+pub fn quadruplet_forces(
+    store: &mut AtomStore,
+    bbox: &SimulationBox,
+    pot: &dyn QuadrupletPotential,
+) -> f64 {
+    let quads = all_quadruplets(store, bbox, pot.cutoff());
+    let mut energy = 0.0;
+    for ids in quads {
+        let sp = [
+            store.species()[ids[0] as usize],
+            store.species()[ids[1] as usize],
+            store.species()[ids[2] as usize],
+            store.species()[ids[3] as usize],
+        ];
+        if !pot.applies(sp) {
+            continue;
+        }
+        let p = store.positions();
+        let d01 = bbox.min_image(p[ids[0] as usize], p[ids[1] as usize]);
+        let d12 = bbox.min_image(p[ids[1] as usize], p[ids[2] as usize]);
+        let d23 = bbox.min_image(p[ids[2] as usize], p[ids[3] as usize]);
+        let (u, f) = pot.eval(sp, d01, d12, d23);
+        energy += u;
+        for (slot, force) in ids.iter().zip(f) {
+            store.forces_mut()[*slot as usize] += force;
+        }
+    }
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_gas;
+    use sc_potential::LennardJones;
+
+    #[test]
+    fn pair_count_matches_direct_formula() {
+        let (store, bbox) = random_gas(30, 4.0, 3);
+        let pairs = all_pairs(&store, &bbox, 1.0);
+        // Check a couple of membership facts directly.
+        for &(i, j) in &pairs {
+            assert!(i < j);
+            assert!(bbox.dist_sq(store.positions()[i as usize], store.positions()[j as usize]) < 1.0);
+        }
+        // Complement check: no missed pair.
+        let n = store.len() as u32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let close =
+                    bbox.dist_sq(store.positions()[i as usize], store.positions()[j as usize])
+                        < 1.0;
+                assert_eq!(close, pairs.contains(&(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn triplets_are_vertex_canonical() {
+        let (store, bbox) = random_gas(25, 4.0, 4);
+        for (i, j, k) in all_triplets(&store, &bbox, 1.2) {
+            assert!(i < k);
+            assert!(i != j && j != k);
+        }
+    }
+
+    #[test]
+    fn brute_force_forces_conserve_momentum() {
+        let (mut store, bbox) = random_gas(40, 5.0, 5);
+        let lj = LennardJones::reduced(1.5);
+        store.zero_forces();
+        let e = pair_forces(&mut store, &bbox, &lj);
+        assert!(e.is_finite());
+        // Random-gas overlaps make individual forces huge; compare the net
+        // force against the force scale, not absolutely.
+        let scale: f64 =
+            store.forces().iter().map(|f| f.norm()).fold(1.0, f64::max);
+        assert!(
+            store.net_force().norm() < 1e-10 * scale,
+            "net force {:?} vs scale {scale}",
+            store.net_force()
+        );
+    }
+}

@@ -1,0 +1,1196 @@
+//! The user-facing simulation driver.
+
+use crate::engine::{self, PatternPlan, VisitStats};
+use crate::error::BuildError;
+use crate::integrate::{berendsen_rescale, velocity_verlet_finish, velocity_verlet_start};
+use crate::methods::{Method, NeighborList};
+use crate::stats::{EnergyBreakdown, StepStats, TupleCounts};
+use rayon::prelude::*;
+use sc_cell::{AtomStore, CellLattice};
+use sc_geom::{SimulationBox, Vec3};
+use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
+
+/// Builder for [`Simulation`]. Obtained from [`Simulation::builder`].
+pub struct SimulationBuilder {
+    store: AtomStore,
+    bbox: SimulationBox,
+    method: Method,
+    dt: f64,
+    pair: Option<Box<dyn PairPotential>>,
+    triplet: Option<Box<dyn TripletPotential>>,
+    quadruplet: Option<Box<dyn QuadrupletPotential>>,
+    thermostat: Option<(f64, f64)>,
+    barostat: Option<(f64, f64)>,
+    subdivision: i32,
+    skin: f64,
+}
+
+impl SimulationBuilder {
+    /// Sets the pair (n = 2) potential term.
+    pub fn pair_potential(mut self, p: Box<dyn PairPotential>) -> Self {
+        self.pair = Some(p);
+        self
+    }
+
+    /// Sets the triplet (n = 3) potential term.
+    pub fn triplet_potential(mut self, p: Box<dyn TripletPotential>) -> Self {
+        self.triplet = Some(p);
+        self
+    }
+
+    /// Sets the quadruplet (n = 4) potential term.
+    pub fn quadruplet_potential(mut self, p: Box<dyn QuadrupletPotential>) -> Self {
+        self.quadruplet = Some(p);
+        self
+    }
+
+    /// Selects the n-tuple computation method (default:
+    /// [`Method::ShiftCollapse`]).
+    pub fn method(mut self, m: Method) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Sets the integration timestep (default 0.001).
+    pub fn timestep(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0);
+        self.dt = dt;
+        self
+    }
+
+    /// Enables a Berendsen thermostat with target temperature and coupling
+    /// ratio `dt/τ ∈ (0, 1]`.
+    pub fn thermostat(mut self, target: f64, dt_over_tau: f64) -> Self {
+        assert!(target >= 0.0 && (0.0..=1.0).contains(&dt_over_tau));
+        self.thermostat = Some((target, dt_over_tau));
+        self
+    }
+
+    /// Enables a Berendsen barostat: weak pressure coupling toward
+    /// `p_target` with strength `beta_dt_over_tau` (compressibility × dt/τ).
+    /// Each step the box and all positions are rescaled by
+    /// `μ = (1 − β·(P_target − P))^{1/3}`, clamped to ±5% per step.
+    pub fn barostat(mut self, p_target: f64, beta_dt_over_tau: f64) -> Self {
+        assert!(beta_dt_over_tau > 0.0 && beta_dt_over_tau.is_finite());
+        self.barostat = Some((p_target, beta_dt_over_tau));
+        self
+    }
+
+    /// Sets a Verlet-list skin for Hybrid-MD (ignored by the cell-sweep
+    /// methods): the pair list is built with cutoff `r_cut2 + skin` and
+    /// reused until an atom moves more than `skin/2`. Zero (the default)
+    /// rebuilds every step — the fully dynamic mode the paper benchmarks.
+    pub fn verlet_skin(mut self, skin: f64) -> Self {
+        assert!(skin >= 0.0 && skin.is_finite());
+        self.skin = skin;
+        self
+    }
+
+    /// Subdivides cells `k`-fold (edge ≥ `r_cut/k`) and uses reach-k
+    /// patterns — the §6 generalization toward the midpoint method. Smaller
+    /// cells prune the candidate space faster than the pattern grows
+    /// (`reach_theory::search_volume_ratio`), at the cost of more cells.
+    /// Default 1 (the paper's main setting).
+    pub fn cell_subdivision(mut self, k: i32) -> Self {
+        assert!((1..=3).contains(&k), "supported subdivisions: 1..=3");
+        self.subdivision = k;
+        self
+    }
+
+    /// Validates the configuration and builds the simulation.
+    ///
+    /// # Errors
+    /// See [`BuildError`] — no terms, Hybrid without a pair term, cutoff
+    /// ordering violations, or a box too small for some term's lattice.
+    pub fn build(self) -> Result<Simulation, BuildError> {
+        if self.pair.is_none() && self.triplet.is_none() && self.quadruplet.is_none() {
+            return Err(BuildError::NoTerms);
+        }
+        if self.method == Method::Hybrid {
+            let rc2 = self.pair.as_ref().ok_or(BuildError::HybridNeedsPair)?.cutoff();
+            if let Some(t) = &self.triplet {
+                if t.cutoff() > rc2 {
+                    return Err(BuildError::CutoffOrder { n: 3, rcut_n: t.cutoff(), rcut2: rc2 });
+                }
+            }
+            if let Some(q) = &self.quadruplet {
+                if q.cutoff() > rc2 {
+                    return Err(BuildError::CutoffOrder { n: 4, rcut_n: q.cutoff(), rcut2: rc2 });
+                }
+            }
+        }
+        let k = self.subdivision;
+        let build_lat = |rcut: f64, n: usize| -> Result<CellLattice, BuildError> {
+            std::panic::catch_unwind(|| {
+                crate::methods::lattice_for_cutoff_subdivided(&self.bbox, rcut, n, k)
+            })
+            .map_err(|_| BuildError::BoxTooSmall { n, rcut, subdivision: k })
+        };
+        let mut pair_lat = None;
+        let mut triplet_lat = None;
+        let mut quad_lat = None;
+        if let Some(p) = &self.pair {
+            // Hybrid's list cutoff includes the skin; its cells must too,
+            // or the 27-cell sweep would miss skin-shell pairs.
+            let pair_cut = if self.method == Method::Hybrid {
+                p.cutoff() + self.skin
+            } else {
+                p.cutoff()
+            };
+            pair_lat = Some(build_lat(pair_cut, 2)?);
+        }
+        match self.method {
+            Method::Hybrid => {
+                // Hybrid prunes n ≥ 3 tuples from the pair list: no extra
+                // lattices, but a pair lattice must exist (validated above).
+            }
+            Method::FullShell | Method::ShiftCollapse => {
+                if let Some(t) = &self.triplet {
+                    triplet_lat = Some(build_lat(t.cutoff(), 3)?);
+                }
+                if let Some(q) = &self.quadruplet {
+                    quad_lat = Some(build_lat(q.cutoff(), 4)?);
+                }
+            }
+        }
+        let has_pair = self.pair.is_some();
+        let has_triplet = self.triplet.is_some();
+        let has_quad = self.quadruplet.is_some();
+        let method = self.method;
+        Ok(Simulation {
+            store: self.store,
+            bbox: self.bbox,
+            method,
+            dt: self.dt,
+            pair: self.pair,
+            triplet: self.triplet,
+            quadruplet: self.quadruplet,
+            // Plans are built only for the terms actually present — a
+            // reach-k quadruplet pattern can run to millions of paths.
+            pair_plan: has_pair
+                .then(|| PatternPlan::new(&method.plan_pattern_reach(2, k), method.dedup())),
+            triplet_plan: has_triplet
+                .then(|| PatternPlan::new(&method.plan_pattern_reach(3, k), method.dedup())),
+            quad_plan: has_quad
+                .then(|| PatternPlan::new(&method.plan_pattern_reach(4, k), method.dedup())),
+            pair_lat,
+            triplet_lat,
+            quad_lat,
+            thermostat: self.thermostat,
+            barostat: self.barostat,
+            skin: self.skin,
+            subdivision: k,
+            hybrid_cache: None,
+            last_stats: StepStats::default(),
+            steps_done: 0,
+        })
+    }
+}
+
+/// A complete MD simulation: atoms + box + potential terms + an n-tuple
+/// computation method, integrating NVE (optionally thermostatted) with
+/// velocity Verlet and recomputing the dynamic tuple sets every step.
+pub struct Simulation {
+    store: AtomStore,
+    bbox: SimulationBox,
+    method: Method,
+    dt: f64,
+    pair: Option<Box<dyn PairPotential>>,
+    triplet: Option<Box<dyn TripletPotential>>,
+    quadruplet: Option<Box<dyn QuadrupletPotential>>,
+    pair_plan: Option<PatternPlan>,
+    triplet_plan: Option<PatternPlan>,
+    quad_plan: Option<PatternPlan>,
+    pair_lat: Option<CellLattice>,
+    triplet_lat: Option<CellLattice>,
+    quad_lat: Option<CellLattice>,
+    thermostat: Option<(f64, f64)>,
+    barostat: Option<(f64, f64)>,
+    skin: f64,
+    subdivision: i32,
+    hybrid_cache: Option<HybridCache>,
+    last_stats: StepStats,
+    steps_done: u64,
+}
+
+/// Cached Verlet list for Hybrid-MD with a skin.
+struct HybridCache {
+    list: NeighborList,
+    ref_positions: Vec<Vec3>,
+    build_stats: VisitStats,
+    rebuilds: u64,
+}
+
+impl Method {
+    /// Reach-k pattern for subdivided cells (paper §6); k = 1 is the
+    /// paper's main setting.
+    pub(crate) fn plan_pattern_reach(self, n: usize, k: i32) -> sc_core::Pattern {
+        match self {
+            Method::FullShell | Method::Hybrid => sc_core::generate_fs_reach(n, k),
+            Method::ShiftCollapse => sc_core::shift_collapse_reach(n, k),
+        }
+    }
+
+    pub(crate) fn dedup(self) -> engine::Dedup {
+        match self {
+            Method::FullShell | Method::Hybrid => engine::Dedup::Guarded,
+            Method::ShiftCollapse => engine::Dedup::Collapsed,
+        }
+    }
+}
+
+impl Simulation {
+    /// Starts building a simulation over `store` in `bbox`.
+    pub fn builder(store: AtomStore, bbox: SimulationBox) -> SimulationBuilder {
+        SimulationBuilder {
+            store,
+            bbox,
+            method: Method::ShiftCollapse,
+            dt: 0.001,
+            pair: None,
+            triplet: None,
+            quadruplet: None,
+            thermostat: None,
+            barostat: None,
+            subdivision: 1,
+            skin: 0.0,
+        }
+    }
+
+    /// The atoms.
+    pub fn store(&self) -> &AtomStore {
+        &self.store
+    }
+
+    /// Mutable atom access (e.g. to perturb positions in tests).
+    pub fn store_mut(&mut self) -> &mut AtomStore {
+        &mut self.store
+    }
+
+    /// The periodic box.
+    pub fn bbox(&self) -> &SimulationBox {
+        &self.bbox
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Statistics of the most recent force computation.
+    pub fn last_stats(&self) -> StepStats {
+        self.last_stats
+    }
+
+    /// Number of completed steps.
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// Recomputes all forces and energies from the current positions —
+    /// rebinning the cell lattices (dynamic tuple computation), running the
+    /// per-term UCP searches, and accumulating forces. Returns the step's
+    /// statistics (also stored in [`Simulation::last_stats`]).
+    pub fn compute_forces(&mut self) -> StepStats {
+        self.store.zero_forces();
+        let mut energy = EnergyBreakdown::default();
+        let mut tuples = TupleCounts::default();
+        let mut virial = 0.0;
+        match self.method {
+            Method::FullShell | Method::ShiftCollapse => {
+                if let Some(p) = &self.pair {
+                    let lat = self.pair_lat.as_mut().expect("pair lattice");
+                    lat.rebuild(&self.store);
+                    let plan = self.pair_plan.as_ref().expect("pair plan");
+                    let (e, w, s) = par_pair_forces(lat, &mut self.store, plan, p.as_ref());
+                    energy.pair = e;
+                    virial += w;
+                    tuples.pair = s;
+                }
+                if let Some(t) = &self.triplet {
+                    let lat = self.triplet_lat.as_mut().expect("triplet lattice");
+                    lat.rebuild(&self.store);
+                    let plan = self.triplet_plan.as_ref().expect("triplet plan");
+                    let (e, w, s) = par_triplet_forces(lat, &mut self.store, plan, t.as_ref());
+                    energy.triplet = e;
+                    virial += w;
+                    tuples.triplet = s;
+                }
+                if let Some(q) = &self.quadruplet {
+                    let lat = self.quad_lat.as_mut().expect("quadruplet lattice");
+                    lat.rebuild(&self.store);
+                    let plan = self.quad_plan.as_ref().expect("quadruplet plan");
+                    let (e, w, s) = par_quad_forces(lat, &mut self.store, plan, q.as_ref());
+                    energy.quadruplet = e;
+                    virial += w;
+                    tuples.quadruplet = s;
+                }
+            }
+            Method::Hybrid => {
+                virial = self.compute_hybrid(&mut energy, &mut tuples);
+            }
+        }
+        self.last_stats = StepStats { energy, tuples, virial };
+        self.last_stats
+    }
+
+    /// Instantaneous pressure `P = (N k_B T + W/3)/V` from the most recent
+    /// force computation's virial (recomputes forces to stay current).
+    pub fn pressure(&mut self) -> f64 {
+        let stats = self.compute_forces();
+        let n = self.store.len() as f64;
+        (n * self.store.temperature() + stats.virial / 3.0) / self.bbox.volume()
+    }
+
+    /// Hybrid-MD force computation. With `verlet_skin > 0` the pair list is
+    /// built with cutoff `r_cut2 + skin` and reused across steps until some
+    /// atom has moved more than `skin/2` since the build (the classical
+    /// Verlet-list reuse criterion); displacements are always recomputed
+    /// from the current positions, so reuse changes cost, never physics.
+    fn compute_hybrid(&mut self, energy: &mut EnergyBreakdown, tuples: &mut TupleCounts) -> f64 {
+        let p = self.pair.as_ref().expect("hybrid has a pair term");
+        let rcut2 = p.cutoff();
+        let list_cut = rcut2 + self.skin;
+        let rebuild = match &self.hybrid_cache {
+            None => true,
+            Some(cache) if self.skin == 0.0 => {
+                let _ = cache;
+                true
+            }
+            Some(cache) => {
+                let half_skin_sq = 0.25 * self.skin * self.skin;
+                cache
+                    .ref_positions
+                    .iter()
+                    .zip(self.store.positions())
+                    .any(|(r0, r1)| self.bbox.dist_sq(*r0, *r1) > half_skin_sq)
+            }
+        };
+        if rebuild {
+            let lat = self.pair_lat.as_mut().expect("pair lattice");
+            lat.rebuild(&self.store);
+            let (nl, pair_stats) = NeighborList::build(
+                lat,
+                &self.store,
+                self.pair_plan.as_ref().expect("pair plan"),
+                list_cut,
+            );
+            self.hybrid_cache = Some(HybridCache {
+                list: nl,
+                ref_positions: self.store.positions().to_vec(),
+                build_stats: pair_stats,
+                rebuilds: self.hybrid_cache.as_ref().map_or(1, |c| c.rebuilds + 1),
+            });
+        }
+        let cache = self.hybrid_cache.as_ref().expect("hybrid cache");
+        let nl = &cache.list;
+        tuples.pair = cache.build_stats;
+        let positions = self.store.positions().to_vec();
+        let species = self.store.species().to_vec();
+        let bbox = self.bbox;
+        let rc2sq = rcut2 * rcut2;
+        // Pair forces from the list (each undirected pair once), with
+        // displacements recomputed from the *current* positions.
+        let mut virial = 0.0;
+        let mut e_pair = 0.0;
+        for i in 0..self.store.len() as u32 {
+            let si = species[i as usize];
+            for &(j, _) in nl.neighbors(i) {
+                if j <= i {
+                    continue;
+                }
+                let d = bbox.min_image(positions[i as usize], positions[j as usize]);
+                if d.norm_sq() >= rc2sq {
+                    continue; // in the skin shell, outside the true cutoff
+                }
+                let sj = species[j as usize];
+                if !p.applies(si, sj) {
+                    continue;
+                }
+                let r = d.norm();
+                let (u, du) = p.eval(si, sj, r);
+                e_pair += u;
+                let fj = d * (-(du / r));
+                virial += d.dot(fj);
+                self.store.forces_mut()[j as usize] += fj;
+                self.store.forces_mut()[i as usize] -= fj;
+            }
+        }
+        energy.pair = e_pair;
+
+        if let Some(t) = &self.triplet {
+            let rc3sq = t.cutoff() * t.cutoff();
+            let mut e3 = 0.0;
+            let mut stats = VisitStats::default();
+            let forces = self.store.forces_mut();
+            for j in 0..positions.len() as u32 {
+                let nbrs = nl.neighbors(j);
+                for (a, &(i, _)) in nbrs.iter().enumerate() {
+                    let d_ji = bbox.min_image(positions[j as usize], positions[i as usize]);
+                    if d_ji.norm_sq() >= rc3sq {
+                        continue;
+                    }
+                    for &(k, _) in &nbrs[a + 1..] {
+                        stats.candidates += 1;
+                        let d_jk =
+                            bbox.min_image(positions[j as usize], positions[k as usize]);
+                        if d_jk.norm_sq() >= rc3sq {
+                            continue;
+                        }
+                        stats.accepted += 1;
+                        let (s0, s1, s2) =
+                            (species[i as usize], species[j as usize], species[k as usize]);
+                        if !t.applies(s0, s1, s2) {
+                            continue;
+                        }
+                        let (u, f0, f1, f2) = t.eval(s0, s1, s2, d_ji, d_jk);
+                        e3 += u;
+                        virial += f0.dot(d_ji) + f2.dot(d_jk);
+                        forces[i as usize] += f0;
+                        forces[j as usize] += f1;
+                        forces[k as usize] += f2;
+                    }
+                }
+            }
+            energy.triplet = e3;
+            tuples.triplet = stats;
+        }
+
+        if let Some(qp) = &self.quadruplet {
+            let rc4sq = qp.cutoff() * qp.cutoff();
+            let mut e4 = 0.0;
+            let mut stats = VisitStats::default();
+            let forces = self.store.forces_mut();
+            for j in 0..positions.len() as u32 {
+                for &(k, _) in nl.neighbors(j) {
+                    if k <= j {
+                        continue;
+                    }
+                    let d_jk = bbox.min_image(positions[j as usize], positions[k as usize]);
+                    if d_jk.norm_sq() >= rc4sq {
+                        continue;
+                    }
+                    for &(i, _) in nl.neighbors(j) {
+                        if i == k {
+                            continue;
+                        }
+                        let d_ji =
+                            bbox.min_image(positions[j as usize], positions[i as usize]);
+                        if d_ji.norm_sq() >= rc4sq {
+                            continue;
+                        }
+                        for &(l, _) in nl.neighbors(k) {
+                            stats.candidates += 1;
+                            if l == j || l == i {
+                                continue;
+                            }
+                            let d_kl =
+                                bbox.min_image(positions[k as usize], positions[l as usize]);
+                            if d_kl.norm_sq() >= rc4sq {
+                                continue;
+                            }
+                            stats.accepted += 1;
+                            let sp = [
+                                species[i as usize],
+                                species[j as usize],
+                                species[k as usize],
+                                species[l as usize],
+                            ];
+                            if !qp.applies(sp) {
+                                continue;
+                            }
+                            let (u, f) = qp.eval(sp, -d_ji, d_jk, d_kl);
+                            e4 += u;
+                            // Virial about j: r_i−r_j = d_ji, r_k−r_j = d_jk,
+                            // r_l−r_j = d_jk + d_kl.
+                            virial += f[0].dot(d_ji)
+                                + f[2].dot(d_jk)
+                                + f[3].dot(d_jk + d_kl);
+                            for (slot, force) in [i, j, k, l].iter().zip(f) {
+                                forces[*slot as usize] += force;
+                            }
+                        }
+                    }
+                }
+            }
+            energy.quadruplet = e4;
+            tuples.quadruplet = stats;
+        }
+        virial
+    }
+
+    /// Number of Verlet-list builds performed so far (Hybrid only) — the
+    /// observable the skin optimisation improves.
+    pub fn hybrid_list_builds(&self) -> u64 {
+        self.hybrid_cache.as_ref().map_or(0, |c| c.rebuilds)
+    }
+
+    /// Advances one velocity-Verlet step (with thermostat, if configured).
+    pub fn step(&mut self) -> StepStats {
+        if self.steps_done == 0 {
+            // Prime forces so the first half-kick uses real accelerations.
+            self.compute_forces();
+        }
+        velocity_verlet_start(&mut self.store, &self.bbox, self.dt);
+        let stats = self.compute_forces();
+        velocity_verlet_finish(&mut self.store, self.dt);
+        if let Some((target, c)) = self.thermostat {
+            berendsen_rescale(&mut self.store, target, c);
+        }
+        if let Some((p_target, beta)) = self.barostat {
+            let n = self.store.len() as f64;
+            let p = (n * self.store.temperature() + stats.virial / 3.0) / self.bbox.volume();
+            let mu = (1.0 - beta * (p_target - p)).clamp(0.857, 1.158).cbrt();
+            self.rescale_box(mu);
+        }
+        self.steps_done += 1;
+        stats
+    }
+
+    /// Uniformly rescales the box and all positions by `mu`, rebuilding the
+    /// cell lattices for the new geometry.
+    fn rescale_box(&mut self, mu: f64) {
+        assert!(mu > 0.0 && mu.is_finite());
+        let new_len = self.bbox.lengths() * mu;
+        self.bbox = SimulationBox::new(new_len);
+        for r in self.store.positions_mut() {
+            *r *= mu;
+        }
+        let k = self.subdivision;
+        if let Some(p) = &self.pair {
+            let cut = if self.method == Method::Hybrid { p.cutoff() + self.skin } else { p.cutoff() };
+            self.pair_lat =
+                Some(crate::methods::lattice_for_cutoff_subdivided(&self.bbox, cut, 2, k));
+        }
+        if self.method != Method::Hybrid {
+            if let Some(t) = &self.triplet {
+                self.triplet_lat =
+                    Some(crate::methods::lattice_for_cutoff_subdivided(&self.bbox, t.cutoff(), 3, k));
+            }
+            if let Some(q) = &self.quadruplet {
+                self.quad_lat =
+                    Some(crate::methods::lattice_for_cutoff_subdivided(&self.bbox, q.cutoff(), 4, k));
+            }
+        }
+        // A rescale invalidates any cached Verlet list.
+        self.hybrid_cache = None;
+    }
+
+    /// Runs `n` steps, returning the last step's statistics.
+    pub fn run(&mut self, n: usize) -> StepStats {
+        let mut last = self.last_stats;
+        for _ in 0..n {
+            last = self.step();
+        }
+        last
+    }
+
+    /// Total (kinetic + potential) energy at the current positions.
+    /// Recomputes forces as a side effect.
+    pub fn total_energy(&mut self) -> f64 {
+        let stats = self.compute_forces();
+        stats.energy.total() + self.store.kinetic_energy()
+    }
+}
+
+/// Parallel pair-force evaluation: rayon fold over cells with per-thread
+/// force accumulators, reduced by vector addition. On a single-core host
+/// this degrades to the serial loop.
+fn par_pair_forces(
+    lat: &CellLattice,
+    store: &mut AtomStore,
+    plan: &PatternPlan,
+    pot: &dyn PairPotential,
+) -> (f64, f64, VisitStats) {
+    let n = store.len();
+    let dims = lat.dims();
+    let species = store.species();
+    let positions_owned = store.positions();
+    let _ = positions_owned;
+    let cells: Vec<sc_geom::IVec3> =
+        sc_geom::IVec3::box_iter(sc_geom::IVec3::ZERO, dims - sc_geom::IVec3::splat(1)).collect();
+    let rcut = pot.cutoff();
+    let (forces, energy, virial, stats) = cells
+        .par_iter()
+        .fold(
+            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
+            |(mut f, mut e, mut w, mut st), &q| {
+                let s = engine::visit_pairs_in_cell(lat, store, plan, rcut, q, |i, j, d, r| {
+                    let (si, sj) = (species[i as usize], species[j as usize]);
+                    if !pot.applies(si, sj) {
+                        return;
+                    }
+                    let (u, du) = pot.eval(si, sj, r);
+                    e += u;
+                    let fj = d * (-(du / r));
+                    // Pair virial: d · f_j = −du·r.
+                    w += d.dot(fj);
+                    f[j as usize] += fj;
+                    f[i as usize] -= fj;
+                });
+                st.merge(s);
+                (f, e, w, st)
+            },
+        )
+        .reduce(
+            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
+            |(mut fa, ea, wa, mut sa), (fb, eb, wb, sb)| {
+                for (a, b) in fa.iter_mut().zip(fb) {
+                    *a += b;
+                }
+                sa.merge(sb);
+                (fa, ea + eb, wa + wb, sa)
+            },
+        );
+    for (slot, f) in store.forces_mut().iter_mut().zip(forces) {
+        *slot += f;
+    }
+    (energy, virial, stats)
+}
+
+/// Parallel triplet-force evaluation (same scheme as [`par_pair_forces`]).
+fn par_triplet_forces(
+    lat: &CellLattice,
+    store: &mut AtomStore,
+    plan: &PatternPlan,
+    pot: &dyn TripletPotential,
+) -> (f64, f64, VisitStats) {
+    let n = store.len();
+    let dims = lat.dims();
+    let species = store.species();
+    let cells: Vec<sc_geom::IVec3> =
+        sc_geom::IVec3::box_iter(sc_geom::IVec3::ZERO, dims - sc_geom::IVec3::splat(1)).collect();
+    let rcut = pot.cutoff();
+    let (forces, energy, virial, stats) = cells
+        .par_iter()
+        .fold(
+            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
+            |(mut f, mut e, mut w, mut st), &q| {
+                let s = engine::visit_triplets_in_cell(
+                    lat,
+                    store,
+                    plan,
+                    rcut,
+                    q,
+                    |i0, i1, i2, d01, d12| {
+                        let (s0, s1, s2) =
+                            (species[i0 as usize], species[i1 as usize], species[i2 as usize]);
+                        if !pot.applies(s0, s1, s2) {
+                            return;
+                        }
+                        let (u, f0, f1, f2) = pot.eval(s0, s1, s2, -d01, d12);
+                        e += u;
+                        // Tuple virial about the vertex: Σ_k f_k·(r_k − r1).
+                        w += f0.dot(-d01) + f2.dot(d12);
+                        let _ = f1;
+                        f[i0 as usize] += f0;
+                        f[i1 as usize] += f1;
+                        f[i2 as usize] += f2;
+                    },
+                );
+                st.merge(s);
+                (f, e, w, st)
+            },
+        )
+        .reduce(
+            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
+            |(mut fa, ea, wa, mut sa), (fb, eb, wb, sb)| {
+                for (a, b) in fa.iter_mut().zip(fb) {
+                    *a += b;
+                }
+                sa.merge(sb);
+                (fa, ea + eb, wa + wb, sa)
+            },
+        );
+    for (slot, f) in store.forces_mut().iter_mut().zip(forces) {
+        *slot += f;
+    }
+    (energy, virial, stats)
+}
+
+/// Parallel quadruplet-force evaluation.
+fn par_quad_forces(
+    lat: &CellLattice,
+    store: &mut AtomStore,
+    plan: &PatternPlan,
+    pot: &dyn QuadrupletPotential,
+) -> (f64, f64, VisitStats) {
+    let n = store.len();
+    let dims = lat.dims();
+    let species = store.species();
+    let cells: Vec<sc_geom::IVec3> =
+        sc_geom::IVec3::box_iter(sc_geom::IVec3::ZERO, dims - sc_geom::IVec3::splat(1)).collect();
+    let rcut = pot.cutoff();
+    let (forces, energy, virial, stats) = cells
+        .par_iter()
+        .fold(
+            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
+            |(mut f, mut e, mut w, mut st), &q| {
+                let s = engine::visit_quadruplets_in_cell(
+                    lat,
+                    store,
+                    plan,
+                    rcut,
+                    q,
+                    |ids, d01, d12, d23| {
+                        let sp = [
+                            species[ids[0] as usize],
+                            species[ids[1] as usize],
+                            species[ids[2] as usize],
+                            species[ids[3] as usize],
+                        ];
+                        if !pot.applies(sp) {
+                            return;
+                        }
+                        let (u, forces4) = pot.eval(sp, d01, d12, d23);
+                        e += u;
+                        // Virial about atom 1: r0−r1 = −d01, r2−r1 = d12,
+                        // r3−r1 = d12 + d23.
+                        w += forces4[0].dot(-d01)
+                            + forces4[2].dot(d12)
+                            + forces4[3].dot(d12 + d23);
+                        for (slot, force) in ids.iter().zip(forces4) {
+                            f[*slot as usize] += force;
+                        }
+                    },
+                );
+                st.merge(s);
+                (f, e, w, st)
+            },
+        )
+        .reduce(
+            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
+            |(mut fa, ea, wa, mut sa), (fb, eb, wb, sb)| {
+                for (a, b) in fa.iter_mut().zip(fb) {
+                    *a += b;
+                }
+                sa.merge(sb);
+                (fa, ea + eb, wa + wb, sa)
+            },
+        );
+    for (slot, f) in store.forces_mut().iter_mut().zip(forces) {
+        *slot += f;
+    }
+    (energy, virial, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{build_fcc_lattice, random_gas, LatticeSpec};
+    use crate::{reference, Method};
+    use sc_potential::{LennardJones, StillingerWeber, TorsionToy, Vashishta};
+
+    fn lj_sim(method: Method) -> Simulation {
+        let (store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(6, 1.5599), 0.1, 42);
+        Simulation::builder(store, bbox)
+            .pair_potential(Box::new(LennardJones::reduced(2.5)))
+            .method(method)
+            .timestep(0.002)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_potentials() {
+        let (store, bbox) = random_gas(10, 8.0, 1);
+        assert!(Simulation::builder(store, bbox).build().is_err());
+    }
+
+    #[test]
+    fn hybrid_requires_pair_term() {
+        let (store, bbox) = random_gas(10, 8.0, 1);
+        let err = match Simulation::builder(store, bbox)
+            .triplet_potential(Box::new(StillingerWeber::silicon()))
+            .method(Method::Hybrid)
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("hybrid without pair term should fail"),
+        };
+        assert_eq!(err, crate::BuildError::HybridNeedsPair);
+    }
+
+    #[test]
+    fn all_methods_agree_on_lj_forces() {
+        let mut sims: Vec<Simulation> = Method::ALL.iter().map(|&m| lj_sim(m)).collect();
+        let energies: Vec<f64> = sims.iter_mut().map(|s| s.compute_forces().energy.pair).collect();
+        let tol = 1e-11 * energies[0].abs();
+        for e in &energies[1..] {
+            assert!((e - energies[0]).abs() < tol, "pair energies differ: {energies:?}");
+        }
+        let f0: Vec<Vec3> = sims[0].store().forces().to_vec();
+        for sim in &sims[1..] {
+            for (a, b) in f0.iter().zip(sim.store().forces()) {
+                assert!((*a - *b).norm() < 1e-8);
+            }
+        }
+        // And they agree with the brute-force reference.
+        let mut store = sims[0].store().clone();
+        store.zero_forces();
+        let e_ref =
+            reference::pair_forces(&mut store, sims[0].bbox(), &LennardJones::reduced(2.5));
+        assert!((e_ref - energies[0]).abs() < tol);
+        for (a, b) in f0.iter().zip(store.forces()) {
+            assert!((*a - *b).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn net_force_vanishes_for_every_method() {
+        for &m in &Method::ALL {
+            let mut sim = lj_sim(m);
+            sim.compute_forces();
+            assert!(
+                sim.store().net_force().norm() < 1e-9,
+                "{} net force {:?}",
+                m.name(),
+                sim.store().net_force()
+            );
+        }
+    }
+
+    #[test]
+    fn lj_nve_conserves_energy() {
+        let mut sim = lj_sim(Method::ShiftCollapse);
+        let e0 = sim.total_energy();
+        sim.run(50);
+        let e1 = sim.total_energy();
+        assert!(
+            ((e1 - e0) / e0.abs()).abs() < 1e-3,
+            "NVE drift over 50 steps: {e0} → {e1}"
+        );
+    }
+
+    #[test]
+    fn methods_produce_identical_trajectories() {
+        // Same initial conditions, same forces ⇒ same trajectory (up to
+        // floating-point addition order; LJ with f64 stays bit-stable for
+        // tens of steps at this tolerance).
+        let mut sims: Vec<Simulation> = Method::ALL.iter().map(|&m| lj_sim(m)).collect();
+        for _ in 0..10 {
+            for sim in &mut sims {
+                sim.step();
+            }
+        }
+        let p0 = sims[0].store().positions();
+        for sim in &sims[1..] {
+            for (a, b) in p0.iter().zip(sim.store().positions()) {
+                assert!(
+                    (*a - *b).norm() < 1e-7,
+                    "{} diverged from SC-MD",
+                    sim.method().name()
+                );
+            }
+        }
+    }
+
+    fn silica_sim(method: Method) -> Simulation {
+        let v = Vashishta::silica();
+        let masses = v.params().masses;
+        let (store, bbox) = crate::workload::build_silica_like(3, 7.16, masses, 0.01, 7);
+        Simulation::builder(store, bbox)
+            .pair_potential(Box::new(v.pair.clone()))
+            .triplet_potential(Box::new(v.triplet.clone()))
+            .method(method)
+            .timestep(0.0005)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn silica_methods_agree_with_reference() {
+        let v = Vashishta::silica();
+        let mut sims: Vec<Simulation> = Method::ALL.iter().map(|&m| silica_sim(m)).collect();
+        let stats: Vec<_> = sims.iter_mut().map(|s| s.compute_forces()).collect();
+        // Reference forces.
+        let mut store = sims[0].store().clone();
+        store.zero_forces();
+        let e2 = reference::pair_forces(&mut store, sims[0].bbox(), &v.pair);
+        let e3 = reference::triplet_forces(&mut store, sims[0].bbox(), &v.triplet);
+        for (sim, st) in sims.iter().zip(&stats) {
+            assert!(
+                (st.energy.pair - e2).abs() < 1e-7 * e2.abs().max(1.0),
+                "{} pair energy {} vs reference {e2}",
+                sim.method().name(),
+                st.energy.pair
+            );
+            assert!(
+                (st.energy.triplet - e3).abs() < 1e-7 * e3.abs().max(1.0),
+                "{} triplet energy {} vs reference {e3}",
+                sim.method().name(),
+                st.energy.triplet
+            );
+            for (a, b) in store.forces().iter().zip(sim.store().forces()) {
+                assert!((*a - *b).norm() < 1e-7, "{} forces differ", sim.method().name());
+            }
+        }
+        // Triplet term is genuinely active in this configuration.
+        assert!(stats[0].tuples.triplet.accepted > 0);
+    }
+
+    #[test]
+    fn sc_searches_fewer_candidates_than_fs() {
+        let mut sc = silica_sim(Method::ShiftCollapse);
+        let mut fs = silica_sim(Method::FullShell);
+        let s_sc = sc.compute_forces();
+        let s_fs = fs.compute_forces();
+        let ratio =
+            s_fs.tuples.triplet.candidates as f64 / s_sc.tuples.triplet.candidates as f64;
+        assert!(ratio > 1.7, "FS/SC triplet candidate ratio {ratio}");
+        // Identical accepted tuple counts: same force set.
+        assert_eq!(s_fs.tuples.triplet.accepted, s_sc.tuples.triplet.accepted);
+    }
+
+    #[test]
+    fn quadruplet_term_runs_under_all_methods() {
+        let torsion = TorsionToy::new(0.05, 1.0, 0.3);
+        let build = |m: Method| {
+            // FCC with nearest-neighbour distance a/√2 ≈ 0.85 < rcut4 = 1.0,
+            // so bonded chains exist; the crystal keeps pair forces bounded.
+            let (store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(4, 1.2), 0.02, 13);
+            Simulation::builder(store, bbox)
+                .pair_potential(Box::new(LennardJones::reduced(1.2)))
+                .quadruplet_potential(Box::new(torsion))
+                .method(m)
+                .build()
+                .unwrap()
+        };
+        let mut energies = vec![];
+        let mut forces = vec![];
+        for &m in &Method::ALL {
+            let mut sim = build(m);
+            let st = sim.compute_forces();
+            energies.push(st.energy.quadruplet);
+            forces.push(sim.store().forces().to_vec());
+            assert!(st.tuples.quadruplet.accepted > 0, "{} found no quads", m.name());
+        }
+        for e in &energies[1..] {
+            assert!((e - energies[0]).abs() < 1e-8, "quad energies {energies:?}");
+        }
+        for f in &forces[1..] {
+            for (a, b) in forces[0].iter().zip(f) {
+                assert!((*a - *b).norm() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn subdivided_cells_reproduce_forces_exactly() {
+        // §6 extension: reach-2 patterns on half-size cells find the same
+        // force set, hence identical energies and forces.
+        let build = |k: i32, method: Method| {
+            let (store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(6, 1.5599), 0.1, 42);
+            Simulation::builder(store, bbox)
+                .pair_potential(Box::new(LennardJones::reduced(2.5)))
+                .method(method)
+                .cell_subdivision(k)
+                .build()
+                .unwrap()
+        };
+        for method in [Method::ShiftCollapse, Method::FullShell] {
+            let mut base = build(1, method);
+            let mut sub = build(2, method);
+            let e1 = base.compute_forces();
+            let e2 = sub.compute_forces();
+            assert!(
+                (e1.energy.pair - e2.energy.pair).abs() < 1e-10 * e1.energy.pair.abs(),
+                "{}: k=1 energy {} vs k=2 {}",
+                method.name(),
+                e1.energy.pair,
+                e2.energy.pair
+            );
+            // Identical accepted pair sets.
+            assert_eq!(e1.tuples.pair.accepted, e2.tuples.pair.accepted);
+            for (a, b) in base.store().forces().iter().zip(sub.store().forces()) {
+                assert!((*a - *b).norm() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn subdivided_triplet_search_examines_fewer_candidates() {
+        // The §6 trade-off: at silica-like density, reach-2 cells prune the
+        // triplet candidate space (reach_theory::search_volume_ratio < 1).
+        let v = Vashishta::silica();
+        let masses = v.params().masses;
+        let build = |k: i32| {
+            let (store, bbox) = crate::workload::build_silica_like(3, 7.16, masses, 0.01, 7);
+            Simulation::builder(store, bbox)
+                .pair_potential(Box::new(v.pair.clone()))
+                .triplet_potential(Box::new(v.triplet.clone()))
+                .method(Method::ShiftCollapse)
+                .cell_subdivision(k)
+                .build()
+                .unwrap()
+        };
+        let s1 = build(1).compute_forces();
+        let s2 = build(2).compute_forces();
+        assert_eq!(s1.tuples.triplet.accepted, s2.tuples.triplet.accepted);
+        assert!(
+            s2.tuples.triplet.candidates < s1.tuples.triplet.candidates,
+            "k=2 candidates {} should be below k=1 candidates {}",
+            s2.tuples.triplet.candidates,
+            s1.tuples.triplet.candidates
+        );
+        assert!(
+            (s1.energy.triplet - s2.energy.triplet).abs()
+                < 1e-9 * s1.energy.triplet.abs().max(1.0)
+        );
+    }
+
+    /// Potential energy of a uniformly dilated copy of a simulation's
+    /// system: positions and box scaled by λ.
+    fn dilated_energy(
+        base_store: &sc_cell::AtomStore,
+        base_box: &SimulationBox,
+        lambda: f64,
+        build: impl Fn(sc_cell::AtomStore, SimulationBox) -> Simulation,
+    ) -> f64 {
+        let mut store = base_store.clone();
+        for r in store.positions_mut() {
+            *r *= lambda;
+        }
+        let bbox = SimulationBox::new(base_box.lengths() * lambda);
+        let mut sim = build(store, bbox);
+        sim.compute_forces().energy.total()
+    }
+
+    #[test]
+    fn many_body_virial_matches_dilation_derivative() {
+        // W = −dU/dλ at λ = 1 under uniform dilation — checks the pair,
+        // triplet, and quadruplet virial formulas at once.
+        let torsion = TorsionToy::new(0.05, 1.0, 0.3);
+        let sw = {
+            let mut s = StillingerWeber::silicon();
+            let scale = 0.9 / (s.a * s.sigma);
+            s.sigma *= scale;
+            s
+        };
+        // a = 1.25 keeps every FCC neighbour shell comfortably away from
+        // the LJ cutoff (1.2): nearest 0.884, second 1.25. A shell sitting
+        // exactly on the cutoff would put the dilation derivative on a
+        // tuple-set knife edge.
+        let (store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(5, 1.25), 0.02, 23);
+        let build = |st: sc_cell::AtomStore, bb: SimulationBox| {
+            Simulation::builder(st, bb)
+                .pair_potential(Box::new(LennardJones::reduced(1.2)))
+                .triplet_potential(Box::new(sw))
+                .quadruplet_potential(Box::new(torsion))
+                .method(Method::ShiftCollapse)
+                .build()
+                .unwrap()
+        };
+        let mut sim = build(store.clone(), bbox);
+        let w = sim.compute_forces().virial;
+        let h = 1e-6;
+        let up = dilated_energy(&store, &bbox, 1.0 + h, build);
+        let um = dilated_energy(&store, &bbox, 1.0 - h, build);
+        let dudl = (up - um) / (2.0 * h);
+        assert!(
+            (w + dudl).abs() < 1e-4 * w.abs().max(1.0),
+            "virial {w} vs -dU/dlambda {}",
+            -dudl
+        );
+    }
+
+    #[test]
+    fn hybrid_virial_matches_cell_methods() {
+        let v = Vashishta::silica();
+        let masses = v.params().masses;
+        let mut virials = vec![];
+        for method in Method::ALL {
+            let (store, bbox) = crate::workload::build_silica_like(3, 7.16, masses, 0.01, 7);
+            let mut sim = Simulation::builder(store, bbox)
+                .pair_potential(Box::new(v.pair.clone()))
+                .triplet_potential(Box::new(v.triplet.clone()))
+                .method(method)
+                .build()
+                .unwrap();
+            virials.push(sim.compute_forces().virial);
+        }
+        for w in &virials[1..] {
+            assert!(
+                (w - virials[0]).abs() < 1e-7 * virials[0].abs().max(1.0),
+                "virials differ: {virials:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn barostat_relaxes_pressure_toward_target() {
+        // A compressed LJ crystal has a large positive pressure; the
+        // barostat must expand the box and bring P down toward the target.
+        let (store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(6, 1.35), 0.05, 3);
+        let mut sim = Simulation::builder(store, bbox)
+            .pair_potential(Box::new(LennardJones::reduced(2.5)))
+            .thermostat(0.8, 0.05)
+            .barostat(0.5, 0.002)
+            .timestep(0.002)
+            .build()
+            .unwrap();
+        let p0 = sim.pressure();
+        let v0 = sim.bbox().volume();
+        assert!(p0 > 5.0, "compressed crystal should start high: P = {p0}");
+        sim.run(300);
+        let p1 = sim.pressure();
+        let v1 = sim.bbox().volume();
+        assert!(v1 > v0, "box must expand: {v0} -> {v1}");
+        assert!(p1 < 0.5 * p0, "pressure must relax: {p0} -> {p1}");
+        // Atoms stay inside the rescaled box.
+        assert!(sim.store().positions().iter().all(|&r| sim.bbox().contains(r)));
+    }
+
+    #[test]
+    fn verlet_skin_preserves_physics_and_saves_rebuilds() {
+        let v = Vashishta::silica();
+        let masses = v.params().masses;
+        let build = |skin: f64| {
+            let (store, bbox) = crate::workload::build_silica_like(3, 7.16, masses, 0.05, 7);
+            Simulation::builder(store, bbox)
+                .pair_potential(Box::new(v.pair.clone()))
+                .triplet_potential(Box::new(v.triplet.clone()))
+                .method(Method::Hybrid)
+                .verlet_skin(skin)
+                .timestep(0.0005)
+                .build()
+                .unwrap()
+        };
+        let mut fresh = build(0.0);
+        let mut skinned = build(0.5);
+        for _ in 0..10 {
+            fresh.step();
+            skinned.step();
+        }
+        // Identical trajectories (reuse changes cost, not physics).
+        for (a, b) in fresh.store().positions().iter().zip(skinned.store().positions()) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+        let e_f = fresh.last_stats().energy;
+        let e_s = skinned.last_stats().energy;
+        assert!((e_f.pair - e_s.pair).abs() < 1e-9 * e_f.pair.abs().max(1.0));
+        assert!((e_f.triplet - e_s.triplet).abs() < 1e-9 * e_f.triplet.abs().max(1.0));
+        // And the skin actually avoids rebuilds.
+        assert!(
+            skinned.hybrid_list_builds() < fresh.hybrid_list_builds(),
+            "skin rebuilds {} should be below fresh rebuilds {}",
+            skinned.hybrid_list_builds(),
+            fresh.hybrid_list_builds()
+        );
+        assert!(skinned.hybrid_list_builds() >= 1);
+    }
+
+    #[test]
+    fn thermostat_drives_temperature() {
+        let (store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(5, 1.7), 0.5, 3);
+        let mut sim = Simulation::builder(store, bbox)
+            .pair_potential(Box::new(LennardJones::reduced(2.5)))
+            .thermostat(0.7, 0.1)
+            .timestep(0.002)
+            .build()
+            .unwrap();
+        sim.run(200);
+        let t = sim.store().temperature();
+        assert!((t - 0.7).abs() < 0.2, "temperature {t} should approach 0.7");
+    }
+}

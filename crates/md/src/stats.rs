@@ -1,0 +1,77 @@
+//! Per-step accounting: energies and tuple-search statistics.
+
+use crate::engine::VisitStats;
+
+/// Potential-energy breakdown by n-body term (the paper's Φ₂ + Φ₃ + Φ₄,
+/// Eq. 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Pair-term energy Φ₂.
+    pub pair: f64,
+    /// Triplet-term energy Φ₃.
+    pub triplet: f64,
+    /// Quadruplet-term energy Φ₄.
+    pub quadruplet: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total potential energy.
+    pub fn total(&self) -> f64 {
+        self.pair + self.triplet + self.quadruplet
+    }
+}
+
+/// Search statistics per tuple order — the measurable form of the paper's
+/// search-cost analysis (Fig. 7 plots `accepted` for n = 3; `candidates`
+/// is the `|S_cell|` sum of Eq. 12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TupleCounts {
+    /// Pair-search statistics.
+    pub pair: VisitStats,
+    /// Triplet-search statistics.
+    pub triplet: VisitStats,
+    /// Quadruplet-search statistics.
+    pub quadruplet: VisitStats,
+}
+
+impl TupleCounts {
+    /// Total candidates across all tuple orders.
+    pub fn total_candidates(&self) -> u64 {
+        self.pair.candidates + self.triplet.candidates + self.quadruplet.candidates
+    }
+
+    /// Total accepted tuples across all orders.
+    pub fn total_accepted(&self) -> u64 {
+        self.pair.accepted + self.triplet.accepted + self.quadruplet.accepted
+    }
+}
+
+/// Everything one force computation reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepStats {
+    /// Potential energies by term.
+    pub energy: EnergyBreakdown,
+    /// Search statistics by term.
+    pub tuples: TupleCounts,
+    /// Scalar virial `W = Σ_tuples Σ_k f_k · (r_k − r_ref)` over all terms —
+    /// the potential part of the pressure `P = (N k_B T + W/3) / V`.
+    pub virial: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let e = EnergyBreakdown { pair: 1.0, triplet: 2.0, quadruplet: 3.0 };
+        assert_eq!(e.total(), 6.0);
+        let t = TupleCounts {
+            pair: VisitStats { candidates: 10, accepted: 4 },
+            triplet: VisitStats { candidates: 100, accepted: 7 },
+            quadruplet: VisitStats::default(),
+        };
+        assert_eq!(t.total_candidates(), 110);
+        assert_eq!(t.total_accepted(), 11);
+    }
+}

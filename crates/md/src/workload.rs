@@ -1,0 +1,276 @@
+//! Deterministic workload builders for examples, tests, and benchmarks.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sc_cell::{AtomStore, Species};
+use sc_geom::{SimulationBox, Vec3};
+
+/// Specification of a cubic crystal workload.
+#[derive(Debug, Clone, Copy)]
+pub struct LatticeSpec {
+    /// Unit cells per axis.
+    pub cells: usize,
+    /// Lattice constant (edge of one unit cell).
+    pub a: f64,
+}
+
+impl LatticeSpec {
+    /// A cubic lattice of `cells³` unit cells with lattice constant `a`.
+    pub fn cubic(cells: usize, a: f64) -> Self {
+        assert!(cells >= 1 && a > 0.0);
+        LatticeSpec { cells, a }
+    }
+
+    /// Box edge length.
+    pub fn box_edge(&self) -> f64 {
+        self.cells as f64 * self.a
+    }
+}
+
+/// Builds an FCC crystal of single-species atoms (4 per unit cell) with
+/// small Gaussian-ish velocity noise of scale `v_scale`, drift removed —
+/// the standard Lennard-Jones starting configuration.
+///
+/// Returns the store and its periodic box.
+pub fn build_fcc_lattice(spec: &LatticeSpec, v_scale: f64, seed: u64) -> (AtomStore, SimulationBox) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut store = AtomStore::single_species();
+    let bbox = SimulationBox::cubic(spec.box_edge());
+    let basis = [
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(0.5, 0.5, 0.0),
+        Vec3::new(0.5, 0.0, 0.5),
+        Vec3::new(0.0, 0.5, 0.5),
+    ];
+    let mut id = 0u64;
+    for cx in 0..spec.cells {
+        for cy in 0..spec.cells {
+            for cz in 0..spec.cells {
+                let corner = Vec3::new(cx as f64, cy as f64, cz as f64) * spec.a;
+                for b in basis {
+                    let r = corner + b * spec.a;
+                    let v = Vec3::new(
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ) * v_scale;
+                    store.push(id, Species::DEFAULT, bbox.wrap(r), v);
+                    id += 1;
+                }
+            }
+        }
+    }
+    store.remove_drift();
+    (store, bbox)
+}
+
+/// Builds a β-cristobalite-like SiO₂ configuration: Si on a diamond
+/// lattice, O at the midpoint of every Si–Si nearest-neighbour bond —
+/// giving the 2:1 O:Si stoichiometry and tetrahedral O–Si–O angles the
+/// Vashishta 3-body term expects. Velocities are small random noise with
+/// drift removed.
+///
+/// `cells` is the number of conventional diamond cells per axis and `a` the
+/// cell constant (≈ 7.16 Å gives silica-like density). Returns the store
+/// (masses in `sc_potential`-style Si/O ordering: species 0 = Si,
+/// 1 = O) and its box.
+pub fn build_silica_like(
+    cells: usize,
+    a: f64,
+    masses: [f64; 2],
+    v_scale: f64,
+    seed: u64,
+) -> (AtomStore, SimulationBox) {
+    assert!(cells >= 1 && a > 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut store = AtomStore::new(vec![masses[0], masses[1]]);
+    let bbox = SimulationBox::cubic(cells as f64 * a);
+    // Diamond lattice = FCC + basis (¼,¼,¼).
+    let fcc = [
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(0.5, 0.5, 0.0),
+        Vec3::new(0.5, 0.0, 0.5),
+        Vec3::new(0.0, 0.5, 0.5),
+    ];
+    let mut si_sites: Vec<Vec3> = Vec::new();
+    for cx in 0..cells {
+        for cy in 0..cells {
+            for cz in 0..cells {
+                let corner = Vec3::new(cx as f64, cy as f64, cz as f64) * a;
+                for b in fcc {
+                    si_sites.push(corner + b * a);
+                    si_sites.push(corner + (b + Vec3::splat(0.25)) * a);
+                }
+            }
+        }
+    }
+    let mut id = 0u64;
+    let rand_v = |rng: &mut ChaCha8Rng| {
+        Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            * v_scale
+    };
+    for &r in &si_sites {
+        store.push(id, Species::SI, bbox.wrap(r), rand_v(&mut rng));
+        id += 1;
+    }
+    // O at each Si→(+¼,+¼,+¼)-type bond midpoint: every second diamond site
+    // has 4 bonds along (±¼,±¼,±¼)·a; place O on the 4 bonds emanating from
+    // the FCC sublattice sites to count each bond once.
+    for cx in 0..cells {
+        for cy in 0..cells {
+            for cz in 0..cells {
+                let corner = Vec3::new(cx as f64, cy as f64, cz as f64) * a;
+                for b in fcc {
+                    let si = corner + b * a;
+                    for d in [
+                        Vec3::new(0.25, 0.25, 0.25),
+                        Vec3::new(0.25, -0.25, -0.25),
+                        Vec3::new(-0.25, 0.25, -0.25),
+                        Vec3::new(-0.25, -0.25, 0.25),
+                    ] {
+                        let o = si + d * (a * 0.5);
+                        store.push(id, Species::O, bbox.wrap(o), rand_v(&mut rng));
+                        id += 1;
+                    }
+                }
+            }
+        }
+    }
+    store.remove_drift();
+    (store, bbox)
+}
+
+/// Draws Maxwell-Boltzmann velocities at temperature `t` (k_B = 1) via
+/// Box-Muller, removes the centre-of-mass drift, and rescales so the
+/// instantaneous temperature is exactly `t` — the standard MD velocity
+/// initialization.
+pub fn thermalize(store: &mut AtomStore, t: f64, seed: u64) {
+    assert!(t >= 0.0);
+    if store.is_empty() || t == 0.0 {
+        return;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let gauss = move |rng: &mut ChaCha8Rng| -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    for i in 0..store.len() {
+        let sigma = (t / store.mass(i as u32)).sqrt();
+        store.velocities_mut()[i] = Vec3::new(
+            sigma * gauss(&mut rng),
+            sigma * gauss(&mut rng),
+            sigma * gauss(&mut rng),
+        );
+    }
+    store.remove_drift();
+    store.rescale_to_temperature(t);
+}
+
+/// A uniform random single-species gas of `n` atoms in a cubic box of edge
+/// `box_l` — the workload for enumeration correctness tests and Fig. 7
+/// (uniform atom distribution, as the paper's Lemma 5 assumes).
+pub fn random_gas(n: usize, box_l: f64, seed: u64) -> (AtomStore, SimulationBox) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let bbox = SimulationBox::cubic(box_l);
+    let mut store = AtomStore::single_species();
+    for id in 0..n {
+        let r = Vec3::new(
+            rng.gen_range(0.0..box_l),
+            rng.gen_range(0.0..box_l),
+            rng.gen_range(0.0..box_l),
+        );
+        store.push(id as u64, Species::DEFAULT, r, Vec3::ZERO);
+    }
+    (store, bbox)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcc_counts_and_box() {
+        let spec = LatticeSpec::cubic(3, 1.6);
+        let (store, bbox) = build_fcc_lattice(&spec, 0.1, 1);
+        assert_eq!(store.len(), 4 * 27);
+        assert!((bbox.lengths().x - 4.8).abs() < 1e-12);
+        // Zero net momentum after drift removal.
+        assert!(store.net_momentum().norm() < 1e-10);
+        // All positions inside the box.
+        assert!(store.positions().iter().all(|&r| bbox.contains(r)));
+    }
+
+    #[test]
+    fn fcc_is_deterministic_per_seed() {
+        let spec = LatticeSpec::cubic(2, 1.6);
+        let (a, _) = build_fcc_lattice(&spec, 0.1, 42);
+        let (b, _) = build_fcc_lattice(&spec, 0.1, 42);
+        let (c, _) = build_fcc_lattice(&spec, 0.1, 43);
+        assert_eq!(a.velocities(), b.velocities());
+        assert_ne!(a.velocities(), c.velocities());
+    }
+
+    #[test]
+    fn silica_stoichiometry() {
+        let (store, _) = build_silica_like(2, 7.16, [28.0855, 15.999], 0.01, 5);
+        let n_si = store.species().iter().filter(|s| **s == Species::SI).count();
+        let n_o = store.species().iter().filter(|s| **s == Species::O).count();
+        assert_eq!(n_si, 8 * 8); // 8 diamond sites per cell × 2³ cells
+        assert_eq!(n_o, 2 * n_si); // SiO₂
+    }
+
+    #[test]
+    fn silica_bond_geometry() {
+        // Every O must sit ~a·√3/8 from its two Si neighbours.
+        let a = 7.16;
+        let (store, bbox) = build_silica_like(2, a, [28.0855, 15.999], 0.0, 5);
+        let bond = a * 0.25 * 3f64.sqrt() * 0.5;
+        let si: Vec<Vec3> = store
+            .positions()
+            .iter()
+            .zip(store.species())
+            .filter(|(_, s)| **s == Species::SI)
+            .map(|(r, _)| *r)
+            .collect();
+        for (r, s) in store.positions().iter().zip(store.species()) {
+            if *s != Species::O {
+                continue;
+            }
+            let close = si
+                .iter()
+                .filter(|&&p| (bbox.dist_sq(*r, p)).sqrt() < bond + 1e-6)
+                .count();
+            assert_eq!(close, 2, "O atom at {r:?} has {close} Si neighbours at bond length");
+        }
+    }
+
+    #[test]
+    fn thermalize_hits_temperature_with_zero_drift() {
+        let (mut store, _) = build_silica_like(2, 7.16, [28.0855, 15.999], 0.0, 3);
+        thermalize(&mut store, 0.05, 11);
+        assert!((store.temperature() - 0.05).abs() < 1e-12);
+        assert!(store.net_momentum().norm() < 1e-10);
+        // Velocity components look Gaussian-ish: kinetic energy split
+        // roughly equally across heavy and light species per equipartition.
+        let mut ek = [0.0f64; 2];
+        let mut n = [0usize; 2];
+        for i in 0..store.len() {
+            let s = store.species()[i].index();
+            ek[s] += 0.5 * store.mass(i as u32) * store.velocities()[i].norm_sq();
+            n[s] += 1;
+        }
+        let per_atom = [ek[0] / n[0] as f64, ek[1] / n[1] as f64];
+        assert!(
+            (per_atom[0] / per_atom[1] - 1.0).abs() < 0.3,
+            "equipartition violated: {per_atom:?}"
+        );
+    }
+
+    #[test]
+    fn random_gas_in_box() {
+        let (store, bbox) = random_gas(50, 4.0, 9);
+        assert_eq!(store.len(), 50);
+        assert!(store.positions().iter().all(|&r| bbox.contains(r)));
+    }
+}

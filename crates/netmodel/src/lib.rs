@@ -1,0 +1,34 @@
+//! # sc-netmodel — calibrated machine model for the paper's performance figures
+//!
+//! **Substitution note (DESIGN.md §3).** The paper's granularity and
+//! strong-scaling results (Figs. 8–9, §5.2–5.3) were measured on a 768-core
+//! Intel Xeon cluster and on BlueGene/Q. This reproduction runs on a
+//! single-core host, so those *wall-clock* experiments cannot be re-measured
+//! directly. What the paper itself argues — and what this crate implements —
+//! is that the performance is governed by a small set of quantities that our
+//! implementation computes exactly:
+//!
+//! * the n-tuple **search-space sizes** per method (|Ψ|·ρⁿ per cell, Lemma 5
+//!   and Eq. 29) and the force-evaluation counts,
+//! * the **import volume** per method (Eq. 33 vs. the two-sided full-shell
+//!   halo) plus per-ghost processing,
+//! * the **communication model** `T_comm = c_bw·V_import + c_lat·n_msg`
+//!   (Eq. 31), with 12 messages/step for SC (3 ghost hops + 3 reduction
+//!   hops + 6 migration) vs. 18 for FS/Hybrid.
+//!
+//! [`MdCostModel`] combines these with a [`MachineProfile`] whose constants
+//! are set to public characteristics of the two platforms (per-task
+//! instruction rate, MPI latency, link bandwidth). The claims reproduced are
+//! *shape* claims: who wins at which granularity, where the SC→Hybrid
+//! crossover falls, and how strong-scaling efficiency decays — not absolute
+//! seconds.
+
+#![warn(missing_docs)]
+
+mod model;
+mod profile;
+mod workload;
+
+pub use model::{CostConsts, MdCostModel, MethodCosts, ScalingPoint};
+pub use profile::MachineProfile;
+pub use workload::SilicaWorkload;

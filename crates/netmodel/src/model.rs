@@ -1,0 +1,381 @@
+//! The per-step cost model: search + force + ghosts + communication.
+//!
+//! The model is *continuum*: cell counts and per-cell densities use the
+//! ideal values (`cells = (d/r_cut)³`, `ρ_cell = ρ·r_cut³`) rather than the
+//! integer cell grids the runtime builds. This removes integer-granularity
+//! jitter from the curves while preserving every method-distinguishing term
+//! the paper analyses: pattern sizes (Eq. 25/29), import volumes (Eq. 33 vs
+//! the two-sided full-shell halo), and message counts (§4.2).
+
+use crate::{MachineProfile, SilicaWorkload};
+use sc_core::theory;
+use sc_md::Method;
+use serde::{Deserialize, Serialize};
+
+/// Abstract operation counts for the cost components. These are kernel
+/// weights (an exp-heavy Vashishta force evaluation costs far more than a
+/// distance-squared candidate check), shared by all platforms; the platform
+/// profile sets the rate at which they execute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostConsts {
+    /// Ops per candidate examined in a cell pair sweep.
+    pub cand_ops: f64,
+    /// Ops per candidate in a cell *triplet* sweep (chain step: extra
+    /// distance checks, species filters, index juggling).
+    pub trip_cand_ops: f64,
+    /// Ops per candidate in a neighbour-list scan (cheaper: contiguous).
+    pub list_cand_ops: f64,
+    /// Ops per accepted pair force evaluation.
+    pub pair_force_ops: f64,
+    /// Ops per accepted triplet force evaluation.
+    pub triplet_force_ops: f64,
+    /// Ops per imported ghost (unpack + bin + pack forces back).
+    pub ghost_ops: f64,
+    /// Extra ops per ghost for Hybrid's list rows (0 = rows built during
+    /// the sweep, already counted there).
+    pub ghost_list_ops: f64,
+    /// Ops per owned atom (integration, rebinning, thermo).
+    pub atom_ops: f64,
+}
+
+impl Default for CostConsts {
+    fn default() -> Self {
+        CostConsts {
+            cand_ops: 1.0,
+            trip_cand_ops: 3.0,
+            list_cand_ops: 0.5,
+            pair_force_ops: 30.0,
+            triplet_force_ops: 60.0,
+            ghost_ops: 300.0,
+            ghost_list_ops: 0.0,
+            atom_ops: 40.0,
+        }
+    }
+}
+
+/// The modelled per-step cost of one method at one granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MethodCosts {
+    /// Compute seconds (search + force + ghost processing + per-atom).
+    pub compute_s: f64,
+    /// Communication seconds (latency + bandwidth terms).
+    pub comm_s: f64,
+    /// Ghost atoms imported per rank.
+    pub ghosts: f64,
+    /// Messages per rank per step.
+    pub messages: f64,
+    /// Bytes sent per rank per step.
+    pub bytes: f64,
+}
+
+impl MethodCosts {
+    /// Total step time.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.comm_s
+    }
+}
+
+/// One point of a strong-scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Core (task) count.
+    pub cores: usize,
+    /// Speedup over the reference configuration.
+    pub speedup: f64,
+    /// Parallel efficiency `speedup / (cores / ref_cores)`.
+    pub efficiency: f64,
+    /// Modelled step time (seconds).
+    pub step_s: f64,
+}
+
+/// The cost model: workload × machine × kernel constants.
+#[derive(Debug, Clone)]
+pub struct MdCostModel {
+    /// The workload.
+    pub workload: SilicaWorkload,
+    /// The machine.
+    pub machine: MachineProfile,
+    /// Kernel weights.
+    pub consts: CostConsts,
+}
+
+/// Ghost-message wire bytes (id + species + position), matching
+/// `sc_parallel::msg::GhostMsg::WIRE_BYTES`.
+const GHOST_BYTES: f64 = 33.0;
+/// Force-return wire bytes.
+const FORCE_BYTES: f64 = 32.0;
+/// Migration wire bytes.
+const MIGRATE_BYTES: f64 = 57.0;
+
+impl MdCostModel {
+    /// Builds a model with default kernel constants.
+    pub fn new(workload: SilicaWorkload, machine: MachineProfile) -> Self {
+        MdCostModel { workload, machine, consts: CostConsts::default() }
+    }
+
+    /// Ghost atoms imported per rank for a halo of `lo + hi` one-sided
+    /// depths at rank edge `d`.
+    fn ghost_count(&self, d: f64, lo: f64, hi: f64) -> f64 {
+        self.workload.density * ((d + lo + hi).powi(3) - d.powi(3))
+    }
+
+    /// The real-space halo depth: `max(r_cut2, 2·r_cut3)`.
+    fn halo_width(&self) -> f64 {
+        self.workload.rcut2.max(2.0 * self.workload.rcut3)
+    }
+
+    /// Cell-sweep candidate count per rank for a term: continuum cells of
+    /// edge = cutoff, `cells · |Ψ| · ρ_cellⁿ`.
+    fn sweep_candidates(&self, d: f64, rcut: f64, n: i32, psize: f64) -> f64 {
+        let cells = (d / rcut).powi(3);
+        let rho_cell = self.workload.density * rcut.powi(3);
+        cells * psize * rho_cell.powi(n)
+    }
+
+    /// Models one step of `method` at `n` atoms per task (n ≥ ρ·rcut2³ so a
+    /// rank sub-box fits the cutoff, as the real runtime requires).
+    pub fn step_time(&self, method: Method, n: f64) -> MethodCosts {
+        let w = &self.workload;
+        let c = &self.consts;
+        let d = w.rank_edge(n);
+        let halo = self.halo_width();
+        let sc3 = theory::sc_path_count(3) as f64;
+        let fs3 = theory::fs_path_count(3) as f64;
+        let sc2 = theory::sc_path_count(2) as f64;
+        let fs2 = theory::fs_path_count(2) as f64;
+
+        // --- search ops ---
+        let search_ops = match method {
+            Method::ShiftCollapse => {
+                c.cand_ops * self.sweep_candidates(d, w.rcut2, 2, sc2)
+                    + c.trip_cand_ops * self.sweep_candidates(d, w.rcut3, 3, sc3)
+            }
+            Method::FullShell => {
+                c.cand_ops * self.sweep_candidates(d, w.rcut2, 2, fs2)
+                    + c.trip_cand_ops * self.sweep_candidates(d, w.rcut3, 3, fs3)
+            }
+            Method::Hybrid => {
+                // Pair-list build: a full-shell pair sweep whose base cells
+                // include the two-sided ghost shell (boundary triplets need
+                // rows for ghosts), i.e. (d + 2·halo)³ worth of cells.
+                let rho_cell = w.density * w.rcut2.powi(3);
+                let sweep_cells = ((d + 2.0 * halo) / w.rcut2).powi(3);
+                let list_build = sweep_cells * fs2 * rho_cell * rho_cell;
+                // Triplet pruning from the pair list: scan each owned row
+                // (nb2 entries), expand the nb3 short ones over the rest.
+                let trip_scan = n * (w.nb2() + w.nb3() * w.nb2() / 2.0);
+                c.cand_ops * list_build + c.list_cand_ops * trip_scan
+            }
+        };
+
+        // --- force ops: identical accepted-tuple counts for every method ---
+        let force_ops = n
+            * (w.pairs_per_atom() * c.pair_force_ops
+                + w.triplets_per_atom() * c.triplet_force_ops);
+
+        // --- ghosts ---
+        let ghosts = match method {
+            Method::ShiftCollapse => self.ghost_count(d, 0.0, halo),
+            Method::FullShell | Method::Hybrid => self.ghost_count(d, halo, halo),
+        };
+        let ghost_ops = match method {
+            Method::Hybrid => ghosts * (c.ghost_ops + c.ghost_list_ops),
+            _ => ghosts * c.ghost_ops,
+        };
+
+        let compute_ops = search_ops + force_ops + ghost_ops + n * c.atom_ops;
+        let compute_s = compute_ops / self.machine.ops_per_sec;
+
+        // --- communication (Eq. 31) ---
+        // SC uses 3-hop forwarded routing (§4.2): 3 ghost sends + 3 force
+        // returns + 6 migration sends. The paper's production FS/Hybrid
+        // codes exchange with all 26 neighbour sub-volumes: 26 + 26 + 6.
+        let messages = match method {
+            Method::ShiftCollapse => 3.0 + 3.0 + 6.0,
+            _ => 26.0 + 26.0 + 6.0,
+        };
+        let bytes = ghosts * (GHOST_BYTES + FORCE_BYTES)
+            + n * w.migration_fraction * MIGRATE_BYTES;
+        let comm_s = messages * self.machine.latency_s + bytes / self.machine.bandwidth_bps;
+
+        MethodCosts { compute_s, comm_s, ghosts, messages, bytes }
+    }
+
+    /// The finest legal granularity: one rank sub-box must fit the pair
+    /// cutoff.
+    pub fn min_granularity(&self) -> f64 {
+        self.workload.density * self.workload.rcut2.powi(3)
+    }
+
+    /// Finds the granularity where `b` becomes at least as fast as `a`
+    /// (scanning upward from `lo` to `hi`), or `None` if it never does.
+    pub fn crossover(&self, a: Method, b: Method, lo: f64, hi: f64) -> Option<f64> {
+        let mut n = lo.max(self.min_granularity());
+        while n <= hi {
+            if self.step_time(b, n).total_s() <= self.step_time(a, n).total_s() {
+                return Some(n);
+            }
+            n *= 1.02;
+        }
+        None
+    }
+
+    /// Strong-scaling curve for a fixed `n_total` atoms: speedup and
+    /// efficiency at each core count relative to `ref_cores`.
+    pub fn strong_scaling(
+        &self,
+        method: Method,
+        n_total: f64,
+        cores: &[usize],
+        ref_cores: usize,
+    ) -> Vec<ScalingPoint> {
+        let t_ref = self.step_time(method, n_total / ref_cores as f64).total_s();
+        cores
+            .iter()
+            .map(|&p| {
+                let t = self.step_time(method, n_total / p as f64).total_s();
+                let speedup = t_ref / t;
+                let efficiency = speedup / (p as f64 / ref_cores as f64);
+                ScalingPoint { cores: p, speedup, efficiency, step_s: t }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon_model() -> MdCostModel {
+        MdCostModel::new(SilicaWorkload::silica(), MachineProfile::xeon())
+    }
+
+    fn bgq_model() -> MdCostModel {
+        MdCostModel::new(SilicaWorkload::silica(), MachineProfile::bgq())
+    }
+
+    #[test]
+    fn sc_wins_at_fine_grain() {
+        for model in [xeon_model(), bgq_model()] {
+            let n = 24.0;
+            let sc = model.step_time(Method::ShiftCollapse, n).total_s();
+            let fs = model.step_time(Method::FullShell, n).total_s();
+            let hy = model.step_time(Method::Hybrid, n).total_s();
+            assert!(sc < fs && sc < hy, "{}: SC must win at N/P = 24", model.machine.name);
+            // Multi-fold advantages, as in Fig. 8 (9.7×/10.5× on Xeon,
+            // 5.1×/5.7× on BG/Q at the finest grain).
+            assert!(hy / sc > 2.0, "{}: Hybrid/SC = {}", model.machine.name, hy / sc);
+            assert!(fs / sc > 1.8, "{}: FS/SC = {}", model.machine.name, fs / sc);
+        }
+        // The Xeon fine-grain gap exceeds the BG/Q one (9.7× vs 5.1×).
+        let gx = xeon_model().step_time(Method::Hybrid, 24.0).total_s()
+            / xeon_model().step_time(Method::ShiftCollapse, 24.0).total_s();
+        let gb = bgq_model().step_time(Method::Hybrid, 24.0).total_s()
+            / bgq_model().step_time(Method::ShiftCollapse, 24.0).total_s();
+        assert!(gx > gb, "Xeon gap {gx} should exceed BG/Q gap {gb}");
+    }
+
+    #[test]
+    fn hybrid_wins_at_coarse_grain_with_crossover_ordering() {
+        // Fig. 8: crossover at N/P ≈ 2095 (Xeon) and ≈ 425 (BG/Q) —
+        // the BG/Q crossover must come much earlier.
+        let x = xeon_model().crossover(Method::ShiftCollapse, Method::Hybrid, 24.0, 1e6);
+        let b = bgq_model().crossover(Method::ShiftCollapse, Method::Hybrid, 24.0, 1e6);
+        let x = x.expect("Xeon crossover must exist");
+        let b = b.expect("BG/Q crossover must exist");
+        assert!(
+            b < x / 2.0,
+            "BG/Q crossover {b} should be much finer than Xeon {x}"
+        );
+        assert!((800.0..8000.0).contains(&x), "Xeon crossover {x} (paper: 2095)");
+        assert!((150.0..1500.0).contains(&b), "BG/Q crossover {b} (paper: 425)");
+    }
+
+    #[test]
+    fn fs_never_beats_sc() {
+        for n in [24.0, 100.0, 1000.0, 10_000.0, 100_000.0] {
+            for m in [xeon_model(), bgq_model()] {
+                assert!(
+                    m.step_time(Method::ShiftCollapse, n).total_s()
+                        < m.step_time(Method::FullShell, n).total_s(),
+                    "{} n = {n}",
+                    m.machine.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strong_scaling_sc_stays_efficient() {
+        // Fig. 9(a): 0.88M atoms on 12–768 Xeon cores — SC ≈ 90%+ (92.6% in
+        // the paper), FS and Hybrid degrade badly (38.3% / 26.8%).
+        let m = xeon_model();
+        let cores = [12, 48, 192, 768];
+        let sc = m.strong_scaling(Method::ShiftCollapse, 0.88e6, &cores, 12);
+        let fs = m.strong_scaling(Method::FullShell, 0.88e6, &cores, 12);
+        let hy = m.strong_scaling(Method::Hybrid, 0.88e6, &cores, 12);
+        assert!(sc.last().unwrap().efficiency > 0.8, "SC eff {:?}", sc.last().unwrap());
+        assert!(fs.last().unwrap().efficiency < sc.last().unwrap().efficiency);
+        assert!(hy.last().unwrap().efficiency < sc.last().unwrap().efficiency);
+        // Efficiency is monotonically non-increasing with core count.
+        for curve in [&sc, &fs, &hy] {
+            for w in curve.windows(2) {
+                assert!(w[1].efficiency <= w[0].efficiency + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn strong_scaling_bgq_extreme_scale() {
+        // §5.3: 50.3M atoms on up to 524 288 cores (2M tasks) — SC keeps
+        // > 80% efficiency relative to the 128-core reference.
+        let m = bgq_model();
+        let cores = [128, 1024, 8192, 65_536, 524_288];
+        let sc = m.strong_scaling(Method::ShiftCollapse, 50.3e6, &cores, 128);
+        assert!(
+            sc.last().unwrap().efficiency > 0.8,
+            "SC eff at 524k cores: {:?}",
+            sc.last().unwrap()
+        );
+    }
+
+    #[test]
+    #[ignore = "diagnostic dump for calibration"]
+    fn dump_breakdown() {
+        for model in [xeon_model(), bgq_model()] {
+            println!("=== {} ===", model.machine.name);
+            for n in [24.0, 100.0, 425.0, 1000.0, 2095.0, 6000.0, 20000.0] {
+                for m in [Method::ShiftCollapse, Method::FullShell, Method::Hybrid] {
+                    let c = model.step_time(m, n);
+                    println!(
+                        "n={n:>7} {:10} compute={:.3e} comm={:.3e} total={:.3e} ghosts={:.0}",
+                        m.name(),
+                        c.compute_s,
+                        c.comm_s,
+                        c.total_s(),
+                        c.ghosts
+                    );
+                }
+            }
+            let x = model.crossover(Method::ShiftCollapse, Method::Hybrid, 24.0, 1e6);
+            println!("crossover SC->Hybrid: {x:?}");
+        }
+    }
+
+    #[test]
+    fn ghost_counts_ordered() {
+        let m = xeon_model();
+        let n = 500.0;
+        let sc = m.step_time(Method::ShiftCollapse, n);
+        let fs = m.step_time(Method::FullShell, n);
+        assert!(sc.ghosts < fs.ghosts);
+        assert!(sc.messages < fs.messages);
+    }
+
+    #[test]
+    fn min_granularity_matches_cutoff_box() {
+        let m = xeon_model();
+        // ρ·rcut2³ ≈ 11 atoms.
+        assert!((m.min_granularity() - 10.98).abs() < 0.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Workload description: the silica benchmark system of the paper's §5.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// The range-limited n-tuple workload parameters of the benchmark system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SilicaWorkload {
+    /// Number density (atoms/Å³).
+    pub density: f64,
+    /// Pair cutoff (Å).
+    pub rcut2: f64,
+    /// Triplet cutoff (Å) — ≈ 0.47·rcut2 in the paper's silica system.
+    pub rcut3: f64,
+    /// Fraction of a rank's atoms that migrate per step.
+    pub migration_fraction: f64,
+}
+
+impl SilicaWorkload {
+    /// The paper's silica system: amorphous SiO₂ density (≈ 2.2 g/cm³ →
+    /// 0.066 atoms/Å³) with the Vashishta cutoffs.
+    pub fn silica() -> Self {
+        SilicaWorkload { density: 0.066, rcut2: 5.5, rcut3: 2.6, migration_fraction: 0.02 }
+    }
+
+    /// Average pair-cutoff neighbours per atom `(4π/3)·ρ·rcut2³`.
+    pub fn nb2(&self) -> f64 {
+        4.0 * PI / 3.0 * self.density * self.rcut2.powi(3)
+    }
+
+    /// Average triplet-cutoff neighbours per atom.
+    pub fn nb3(&self) -> f64 {
+        4.0 * PI / 3.0 * self.density * self.rcut3.powi(3)
+    }
+
+    /// Undirected cutoff pairs per atom.
+    pub fn pairs_per_atom(&self) -> f64 {
+        self.nb2() / 2.0
+    }
+
+    /// Undirected chain triplets per atom (vertex-centred: `nb3²/2`).
+    pub fn triplets_per_atom(&self) -> f64 {
+        self.nb3() * self.nb3() / 2.0
+    }
+
+    /// Rank sub-box edge at granularity `n` atoms per task.
+    pub fn rank_edge(&self, n: f64) -> f64 {
+        (n / self.density).cbrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silica_numbers_are_sane() {
+        let w = SilicaWorkload::silica();
+        assert!((w.rcut3 / w.rcut2 - 0.47).abs() < 0.01);
+        // ≈ 46 pair-cutoff neighbours, ≈ 4.9 triplet-cutoff neighbours.
+        assert!((w.nb2() - 46.0).abs() < 2.0, "nb2 = {}", w.nb2());
+        assert!((w.nb3() - 4.9).abs() < 0.5, "nb3 = {}", w.nb3());
+        // 24 atoms per task (paper's finest grain) is a ~7.1 Å box.
+        assert!((w.rank_edge(24.0) - 7.13).abs() < 0.05);
+    }
+}

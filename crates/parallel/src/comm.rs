@@ -1,0 +1,184 @@
+//! Communication plans and accounting.
+
+use sc_md::Method;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One routing hop: `(axis, recv_dir)` — the rank receives ghosts from its
+/// `recv_dir` neighbour along `axis` (and therefore *sends* its own boundary
+/// band to the `-recv_dir` neighbour).
+pub type Hop = (usize, i32);
+
+/// The halo-exchange plan of a method: slab widths and the forwarded
+/// routing schedule.
+///
+/// * SC-MD: ghosts only from the + side (first-octant import, Eq. 33),
+///   3 hops — "we only need to import atom data from 7 nearest processors
+///   using only 3 communication steps via forwarded atom-data routing"
+///   (§4.2).
+/// * FS-MD / Hybrid-MD: ghosts from both sides, 6 hops, reaching all 26
+///   neighbours (the paper notes Hybrid's import volume equals FS's).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GhostPlan {
+    /// Ghost slab width below the owned box per axis (real distance).
+    pub lo_width: f64,
+    /// Ghost slab width above the owned box per axis.
+    pub hi_width: f64,
+    /// The routing schedule.
+    pub hops: Vec<Hop>,
+}
+
+impl GhostPlan {
+    /// Builds the plan for a method. `halo_width` is the real-space import
+    /// depth `max_n (n−1)·cell_edge_n` over the active terms.
+    pub fn for_method(method: Method, halo_width: f64) -> Self {
+        assert!(halo_width > 0.0);
+        match method {
+            Method::ShiftCollapse => GhostPlan {
+                lo_width: 0.0,
+                hi_width: halo_width,
+                hops: vec![(0, 1), (1, 1), (2, 1)],
+            },
+            Method::FullShell | Method::Hybrid => GhostPlan {
+                lo_width: halo_width,
+                hi_width: halo_width,
+                hops: vec![(0, 1), (0, -1), (1, 1), (1, -1), (2, 1), (2, -1)],
+            },
+        }
+    }
+
+    /// Number of communication steps per halo exchange.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+}
+
+/// Per-rank communication accounting, the empirical counterpart of the
+/// paper's communication model `T_comm = c_bw·V_import + c_lat·n_msg`
+/// (Eq. 31).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Bytes sent.
+    pub bytes: u64,
+    /// Ghost atoms imported this step (the import volume observable).
+    pub ghosts_imported: u64,
+    /// Atoms migrated away this step.
+    pub atoms_migrated: u64,
+    /// Distinct ranks this rank sent to.
+    pub partners: BTreeSet<usize>,
+}
+
+impl CommStats {
+    /// Records a sent message.
+    pub fn record_send(&mut self, to: usize, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+        self.partners.insert(to);
+    }
+
+    /// Merges another rank's stats (for global totals).
+    pub fn merge(&mut self, o: &CommStats) {
+        self.messages += o.messages;
+        self.bytes += o.bytes;
+        self.ghosts_imported += o.ghosts_imported;
+        self.atoms_migrated += o.atoms_migrated;
+        self.partners.extend(o.partners.iter().copied());
+    }
+
+    /// Clears the per-step counters (partners persist across steps).
+    pub fn reset_step(&mut self) {
+        self.ghosts_imported = 0;
+        self.atoms_migrated = 0;
+    }
+}
+
+/// Wall-clock breakdown of a distributed step by phase — the executable
+/// counterpart of the paper's `T = T_compute + T_comm` decomposition
+/// (Eq. 30), measured rather than modeled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Seconds in atom migration.
+    pub migrate_s: f64,
+    /// Seconds in ghost-position exchange.
+    pub exchange_s: f64,
+    /// Seconds in force computation (binning + enumeration + potentials).
+    pub compute_s: f64,
+    /// Seconds in reverse ghost-force reduction.
+    pub reduce_s: f64,
+    /// Seconds in integration.
+    pub integrate_s: f64,
+}
+
+impl PhaseTimings {
+    /// Total accounted time.
+    pub fn total_s(&self) -> f64 {
+        self.migrate_s + self.exchange_s + self.compute_s + self.reduce_s + self.integrate_s
+    }
+
+    /// The communication share (migration + exchange + reduction).
+    pub fn comm_fraction(&self) -> f64 {
+        let comm = self.migrate_s + self.exchange_s + self.reduce_s;
+        let t = self.total_s();
+        if t > 0.0 {
+            comm / t
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_timings_accounting() {
+        let t = PhaseTimings {
+            migrate_s: 1.0,
+            exchange_s: 2.0,
+            compute_s: 5.0,
+            reduce_s: 1.0,
+            integrate_s: 1.0,
+        };
+        assert_eq!(t.total_s(), 10.0);
+        assert!((t.comm_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(PhaseTimings::default().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sc_plan_is_one_sided_three_hops() {
+        let p = GhostPlan::for_method(Method::ShiftCollapse, 2.5);
+        assert_eq!(p.lo_width, 0.0);
+        assert_eq!(p.hi_width, 2.5);
+        assert_eq!(p.hop_count(), 3);
+        assert!(p.hops.iter().all(|&(_, d)| d == 1));
+    }
+
+    #[test]
+    fn fs_plan_is_two_sided_six_hops() {
+        for m in [Method::FullShell, Method::Hybrid] {
+            let p = GhostPlan::for_method(m, 2.5);
+            assert_eq!(p.lo_width, 2.5);
+            assert_eq!(p.hi_width, 2.5);
+            assert_eq!(p.hop_count(), 6);
+        }
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut s = CommStats::default();
+        s.record_send(3, 100);
+        s.record_send(3, 50);
+        s.record_send(5, 10);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 160);
+        assert_eq!(s.partners.len(), 2);
+        let mut t = CommStats::default();
+        t.record_send(7, 1);
+        t.merge(&s);
+        assert_eq!(t.messages, 4);
+        assert_eq!(t.partners.len(), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! Typed setup errors for the distributed runtime.
+
+use std::fmt;
+
+/// Why a distributed simulation could not be set up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetupError {
+    /// The halo is deeper than one rank sub-box — forwarded routing only
+    /// delivers nearest-neighbour data, so the decomposition is too fine.
+    HaloTooDeep {
+        /// Required halo depth (real distance).
+        halo: f64,
+        /// Rank sub-box extent along the failing axis.
+        sub_box: f64,
+        /// The failing axis (0 = x).
+        axis: usize,
+    },
+    /// A rank sub-box is smaller than some term's cutoff.
+    SubBoxBelowCutoff {
+        /// The cutoff that does not fit.
+        rcut: f64,
+        /// Sub-box extent along the failing axis.
+        sub_box: f64,
+        /// The failing axis.
+        axis: usize,
+    },
+    /// The union of rank lattices is too small for the largest tuple order
+    /// (pattern offsets would alias through the periodic wrap).
+    LatticeTooSmall {
+        /// Global cells along the failing axis.
+        global_cells: i32,
+        /// Required minimum.
+        needed: i32,
+        /// The failing axis.
+        axis: usize,
+    },
+    /// Unsupported cell subdivision factor.
+    UnsupportedSubdivision(i32),
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::HaloTooDeep { halo, sub_box, axis } => write!(
+                f,
+                "halo width {halo} exceeds rank sub-box {sub_box} along axis {axis}; \
+                 use fewer ranks or a bigger box"
+            ),
+            SetupError::SubBoxBelowCutoff { rcut, sub_box, axis } => write!(
+                f,
+                "rank sub-box {sub_box} smaller than cutoff {rcut} along axis {axis}"
+            ),
+            SetupError::LatticeTooSmall { global_cells, needed, axis } => write!(
+                f,
+                "global lattice has {global_cells} cells along axis {axis}, need ≥ {needed}"
+            ),
+            SetupError::UnsupportedSubdivision(k) => {
+                write!(f, "unsupported cell subdivision {k} (supported: 1..=3)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = SetupError::HaloTooDeep { halo: 5.5, sub_box: 2.7, axis: 1 };
+        assert!(e.to_string().contains("halo"));
+        let e = SetupError::SubBoxBelowCutoff { rcut: 2.5, sub_box: 2.2, axis: 0 };
+        assert!(e.to_string().contains("cutoff"));
+        let e = SetupError::LatticeTooSmall { global_cells: 2, needed: 3, axis: 2 };
+        assert!(e.to_string().contains("lattice"));
+        assert!(SetupError::UnsupportedSubdivision(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,318 @@
+//! Bulk-synchronous executor: deterministic reference implementation of the
+//! distributed MD step.
+
+use crate::comm::{CommStats, GhostPlan, PhaseTimings};
+use crate::error::SetupError;
+use crate::grid::RankGrid;
+use crate::msg::{AtomMsg, ForceMsg, GhostMsg};
+use crate::rank::{halo_width_for, ForceField, RankState};
+use rayon::prelude::*;
+use sc_cell::AtomStore;
+use sc_geom::{IVec3, SimulationBox};
+use sc_md::{EnergyBreakdown, TupleCounts};
+
+/// A distributed MD simulation executed bulk-synchronously: all ranks run
+/// each phase in lockstep with messages delivered between phases. Message
+/// content and counts are identical to the threaded executor — only the
+/// scheduling differs — so this is the deterministic reference for
+/// correctness tests and communication accounting.
+pub struct DistributedSim {
+    grid: RankGrid,
+    plan: GhostPlan,
+    ranks: Vec<RankState>,
+    ff: ForceField,
+    dt: f64,
+    steps_done: u64,
+    last_energy: EnergyBreakdown,
+    last_tuples: TupleCounts,
+    timings: PhaseTimings,
+}
+
+impl DistributedSim {
+    /// Decomposes `store` over a `pdims` rank grid.
+    ///
+    /// # Errors
+    /// Rejects configurations where the halo would be deeper than one rank
+    /// sub-box (forwarded routing delivers only nearest-neighbour data) or
+    /// where the global cell lattice is too small for the largest tuple
+    /// order.
+    pub fn new(
+        store: AtomStore,
+        bbox: SimulationBox,
+        pdims: IVec3,
+        ff: ForceField,
+        dt: f64,
+    ) -> Result<Self, SetupError> {
+        Self::new_subdivided(store, bbox, pdims, ff, dt, 1)
+    }
+
+    /// Like [`DistributedSim::new`] with `k`-fold subdivided cells and
+    /// reach-k patterns (paper §6) on every rank.
+    pub fn new_subdivided(
+        store: AtomStore,
+        bbox: SimulationBox,
+        pdims: IVec3,
+        ff: ForceField,
+        dt: f64,
+        k: i32,
+    ) -> Result<Self, SetupError> {
+        if !(1..=3).contains(&k) {
+            return Err(SetupError::UnsupportedSubdivision(k));
+        }
+        let grid = RankGrid::new(pdims, bbox);
+        let width = halo_width_for(&ff, &grid);
+        let sub = grid.rank_box_lengths();
+        for a in 0..3 {
+            if width > sub[a] + 1e-12 {
+                return Err(SetupError::HaloTooDeep { halo: width, sub_box: sub[a], axis: a });
+            }
+        }
+        // Global aliasing check: the union of rank lattices must have ≥ n
+        // (and ≥ 3) cells per axis for every term of order n.
+        for (n, rcut) in ff.terms() {
+            for a in 0..3 {
+                let ext = ((sub[a] / rcut).floor() as i32).max(1);
+                if sub[a] < rcut {
+                    return Err(SetupError::SubBoxBelowCutoff {
+                        rcut,
+                        sub_box: sub[a],
+                        axis: a,
+                    });
+                }
+                let global = ext * pdims[a];
+                if global < (n as i32).max(3) {
+                    return Err(SetupError::LatticeTooSmall {
+                        global_cells: global,
+                        needed: (n as i32).max(3),
+                        axis: a,
+                    });
+                }
+            }
+        }
+        let plan = GhostPlan::for_method(ff.method, width);
+        let ranks: Vec<RankState> = (0..grid.len())
+            .map(|r| RankState::new_subdivided(r, grid, &store, &ff, k))
+            .collect();
+        let total: usize = ranks.iter().map(|r| r.owned()).sum();
+        assert_eq!(total, store.len(), "decomposition lost atoms");
+        Ok(DistributedSim {
+            grid,
+            plan,
+            ranks,
+            ff,
+            dt,
+            steps_done: 0,
+            last_energy: EnergyBreakdown::default(),
+            last_tuples: TupleCounts::default(),
+            timings: PhaseTimings::default(),
+        })
+    }
+
+    /// The rank grid.
+    pub fn grid(&self) -> &RankGrid {
+        &self.grid
+    }
+
+    /// The ghost plan in force.
+    pub fn plan(&self) -> &GhostPlan {
+        &self.plan
+    }
+
+    /// Potential energy of the last force computation.
+    pub fn potential_energy(&self) -> f64 {
+        self.last_energy.total()
+    }
+
+    /// Energy breakdown of the last force computation.
+    pub fn energy_breakdown(&self) -> EnergyBreakdown {
+        self.last_energy
+    }
+
+    /// Tuple statistics of the last force computation (global sums).
+    pub fn tuple_counts(&self) -> TupleCounts {
+        self.last_tuples
+    }
+
+    /// Kinetic energy (global).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.ranks.iter().map(|r| r.kinetic_energy()).sum()
+    }
+
+    /// Total energy; recomputes forces.
+    pub fn total_energy(&mut self) -> f64 {
+        self.exchange_and_compute();
+        self.potential_energy() + self.kinetic_energy()
+    }
+
+    /// Accumulated wall-clock phase breakdown since construction.
+    pub fn timings(&self) -> PhaseTimings {
+        self.timings
+    }
+
+    /// Load imbalance: `max(owned) / mean(owned)` across ranks — 1.0 is a
+    /// perfect partition.
+    pub fn load_imbalance(&self) -> f64 {
+        let counts: Vec<usize> = self.ranks.iter().map(|r| r.owned()).collect();
+        let max = *counts.iter().max().unwrap_or(&0) as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Aggregated communication statistics over all ranks since start.
+    pub fn comm_stats(&self) -> CommStats {
+        let mut total = CommStats::default();
+        for r in &self.ranks {
+            total.merge(&r.stats);
+        }
+        total
+    }
+
+    /// Per-rank communication statistics.
+    pub fn rank_stats(&self) -> Vec<&CommStats> {
+        self.ranks.iter().map(|r| &r.stats).collect()
+    }
+
+    /// Migration: three axis-ordered exchanges; every rank sends both
+    /// directions each axis (empty messages included, as MPI codes do).
+    fn migrate(&mut self) {
+        for axis in 0..3 {
+            let mut outbox: Vec<(usize, Vec<AtomMsg>)> = Vec::new();
+            for r in 0..self.ranks.len() {
+                let (to_minus, to_plus) = self.ranks[r].collect_migrants(axis);
+                let minus = self.grid.neighbor(r, axis, -1);
+                let plus = self.grid.neighbor(r, axis, 1);
+                self.ranks[r]
+                    .stats
+                    .record_send(minus, to_minus.len() as u64 * AtomMsg::WIRE_BYTES);
+                self.ranks[r].stats.record_send(plus, to_plus.len() as u64 * AtomMsg::WIRE_BYTES);
+                outbox.push((minus, to_minus));
+                outbox.push((plus, to_plus));
+            }
+            for (to, atoms) in outbox {
+                self.ranks[to].absorb_migrants(&atoms);
+            }
+        }
+    }
+
+    /// Halo exchange: forwarded routing per the ghost plan.
+    fn exchange_ghosts(&mut self) {
+        for r in &mut self.ranks {
+            r.drop_ghosts();
+        }
+        for (hop, &(axis, recv_dir)) in self.plan.hops.clone().iter().enumerate() {
+            let mut outbox: Vec<(usize, usize, Vec<GhostMsg>)> = Vec::new();
+            for r in 0..self.ranks.len() {
+                let band = self.ranks[r].collect_ghost_band(&self.plan, axis, recv_dir);
+                let to = self.grid.neighbor(r, axis, -recv_dir);
+                self.ranks[r]
+                    .stats
+                    .record_send(to, band.len() as u64 * GhostMsg::WIRE_BYTES);
+                outbox.push((to, r, band));
+            }
+            for (to, from, ghosts) in outbox {
+                self.ranks[to].absorb_ghosts(hop, from, &ghosts);
+            }
+        }
+    }
+
+    /// Reverse force reduction along the reversed routing schedule.
+    fn reduce_forces(&mut self) {
+        for hop in (0..self.plan.hops.len()).rev() {
+            let mut outbox: Vec<(usize, Vec<ForceMsg>)> = Vec::new();
+            let (axis, recv_dir) = self.plan.hops[hop];
+            for r in 0..self.ranks.len() {
+                let (forces, to) = self.ranks[r].collect_ghost_forces(hop);
+                let to = to.unwrap_or_else(|| self.grid.neighbor(r, axis, recv_dir));
+                self.ranks[r].stats.record_send(to, forces.len() as u64 * ForceMsg::WIRE_BYTES);
+                outbox.push((to, forces));
+            }
+            for (to, forces) in outbox {
+                self.ranks[to].absorb_ghost_forces(hop, &forces);
+            }
+        }
+    }
+
+    /// One full ghost-exchange + force-computation + reduction cycle.
+    fn exchange_and_compute(&mut self) {
+        let t0 = std::time::Instant::now();
+        self.exchange_ghosts();
+        let t1 = std::time::Instant::now();
+        self.timings.exchange_s += (t1 - t0).as_secs_f64();
+        let mut energy = EnergyBreakdown::default();
+        let mut tuples = TupleCounts::default();
+        // Ranks compute independently — the BSP phase structure makes this
+        // embarrassingly parallel; summation stays in rank order for
+        // determinism.
+        let ff = &self.ff;
+        let results: Vec<(EnergyBreakdown, TupleCounts)> = self
+            .ranks
+            .par_iter_mut()
+            .map(|r| r.compute_forces(ff))
+            .collect();
+        for (e, t) in results {
+            energy.pair += e.pair;
+            energy.triplet += e.triplet;
+            energy.quadruplet += e.quadruplet;
+            tuples.pair.merge(t.pair);
+            tuples.triplet.merge(t.triplet);
+            tuples.quadruplet.merge(t.quadruplet);
+        }
+        let t2 = std::time::Instant::now();
+        self.timings.compute_s += (t2 - t1).as_secs_f64();
+        self.reduce_forces();
+        self.timings.reduce_s += t2.elapsed().as_secs_f64();
+        self.last_energy = energy;
+        self.last_tuples = tuples;
+    }
+
+    /// One velocity-Verlet step.
+    pub fn step(&mut self) {
+        if self.steps_done == 0 {
+            self.exchange_and_compute();
+        }
+        let t0 = std::time::Instant::now();
+        for r in &mut self.ranks {
+            r.vv_start(self.dt);
+        }
+        for r in &mut self.ranks {
+            r.drop_ghosts();
+        }
+        let t1 = std::time::Instant::now();
+        self.timings.integrate_s += (t1 - t0).as_secs_f64();
+        self.migrate();
+        self.timings.migrate_s += t1.elapsed().as_secs_f64();
+        self.exchange_and_compute();
+        let t2 = std::time::Instant::now();
+        for r in &mut self.ranks {
+            r.vv_finish(self.dt);
+        }
+        self.timings.integrate_s += t2.elapsed().as_secs_f64();
+        self.steps_done += 1;
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Gathers all owned atoms into one store, sorted by global id, with
+    /// positions wrapped into the global box — directly comparable with a
+    /// serial [`sc_md::Simulation`].
+    pub fn gather(&self) -> AtomStore {
+        let mut atoms: Vec<AtomMsg> =
+            self.ranks.iter().flat_map(|r| r.owned_atoms()).collect();
+        atoms.sort_by_key(|a| a.id);
+        let masses = self.ranks[0].store().species_masses().to_vec();
+        let mut out = AtomStore::new(masses);
+        for a in &atoms {
+            out.push(a.id, a.species, a.position, a.velocity);
+        }
+        out
+    }
+}

@@ -1,0 +1,196 @@
+//! Threaded executor: one OS thread per rank, crossbeam channels as the
+//! interconnect — true concurrent message passing with the same per-phase
+//! protocol (and therefore bitwise-identical physics) as the BSP executor.
+
+use crate::comm::{CommStats, GhostPlan};
+use crate::error::SetupError;
+use crate::grid::RankGrid;
+use crate::msg::{AtomMsg, Message, Payload};
+use crate::rank::{halo_width_for, ForceField, RankState};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use sc_cell::AtomStore;
+use sc_geom::{IVec3, SimulationBox};
+use sc_md::EnergyBreakdown;
+use std::sync::Arc;
+
+/// A phase-tagged wire message.
+type Wire = (usize, Message);
+
+/// Buffers out-of-phase messages: a fast neighbour may send phase k+1
+/// traffic while this rank still waits on phase k from a slow one.
+struct Mailbox {
+    rx: Receiver<Wire>,
+    pending: Vec<Wire>,
+}
+
+impl Mailbox {
+    fn recv_phase(&mut self, phase: u64) -> (usize, Payload) {
+        if let Some(pos) = self.pending.iter().position(|(_, m)| m.phase == phase) {
+            let (from, m) = self.pending.swap_remove(pos);
+            return (from, m.payload);
+        }
+        loop {
+            let (from, m) = self.rx.recv().expect("rank channel closed early");
+            if m.phase == phase {
+                return (from, m.payload);
+            }
+            self.pending.push((from, m));
+        }
+    }
+}
+
+/// Runs a distributed simulation with one thread per rank. One-shot: builds
+/// the rank states, runs `steps` velocity-Verlet steps, and returns the
+/// gathered store (sorted by id), the final-step global energy breakdown,
+/// and aggregated communication statistics.
+pub struct ThreadedSim;
+
+impl ThreadedSim {
+    /// Executes the simulation. See [`crate::DistributedSim::new`] for the
+    /// validity requirements (shared via the same constructor checks).
+    pub fn run(
+        store: AtomStore,
+        bbox: SimulationBox,
+        pdims: IVec3,
+        ff: ForceField,
+        dt: f64,
+        steps: usize,
+    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), SetupError> {
+        // Reuse the BSP constructor's validation by building it (cheap) —
+        // the threaded run then constructs its own states.
+        let grid = RankGrid::new(pdims, bbox);
+        let width = halo_width_for(&ff, &grid);
+        let sub = grid.rank_box_lengths();
+        for a in 0..3 {
+            if width > sub[a] + 1e-12 {
+                return Err(SetupError::HaloTooDeep { halo: width, sub_box: sub[a], axis: a });
+            }
+        }
+        let plan = GhostPlan::for_method(ff.method, width);
+        let ff = Arc::new(ff);
+        let nranks = grid.len();
+        let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(nranks);
+        let mut rxs: Vec<Receiver<Wire>> = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let states: Vec<RankState> =
+            (0..nranks).map(|r| RankState::new(r, grid, &store, &ff)).collect();
+
+        let results: Vec<(RankState, EnergyBreakdown)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nranks);
+            for (rank, state) in states.into_iter().enumerate() {
+                let txs = txs.clone();
+                let rx = rxs.remove(0);
+                let plan = plan.clone();
+                let ff = Arc::clone(&ff);
+                handles.push(scope.spawn(move || {
+                    rank_main(state, rank, grid, plan, ff, txs, rx, dt, steps)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        });
+
+        let mut energy = EnergyBreakdown::default();
+        let mut stats = CommStats::default();
+        let mut atoms: Vec<AtomMsg> = Vec::new();
+        let mut masses = vec![1.0];
+        for (state, e) in &results {
+            energy.pair += e.pair;
+            energy.triplet += e.triplet;
+            energy.quadruplet += e.quadruplet;
+            stats.merge(&state.stats);
+            atoms.extend(state.owned_atoms());
+            masses = state.store().species_masses().to_vec();
+        }
+        atoms.sort_by_key(|a| a.id);
+        let mut out = AtomStore::new(masses);
+        for a in &atoms {
+            out.push(a.id, a.species, a.position, a.velocity);
+        }
+        Ok((out, energy, stats))
+    }
+}
+
+/// The per-rank thread body: the same phase sequence as the BSP executor.
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    mut state: RankState,
+    rank: usize,
+    grid: RankGrid,
+    plan: GhostPlan,
+    ff: Arc<ForceField>,
+    txs: Vec<Sender<Wire>>,
+    rx: Receiver<Wire>,
+    dt: f64,
+    steps: usize,
+) -> (RankState, EnergyBreakdown) {
+    let mut mailbox = Mailbox { rx, pending: Vec::new() };
+    let mut phase = 0u64;
+    let mut last_energy = EnergyBreakdown::default();
+
+    let send = |state: &mut RankState, to: usize, phase: u64, payload: Payload| {
+        state.stats.record_send(to, payload.wire_bytes());
+        txs[to].send((rank, Message { phase, payload })).expect("send failed");
+    };
+
+    let exchange_and_compute =
+        |state: &mut RankState, phase: &mut u64, mailbox: &mut Mailbox| -> EnergyBreakdown {
+            state.drop_ghosts();
+            for (hop, &(axis, recv_dir)) in plan.hops.iter().enumerate() {
+                let band = state.collect_ghost_band(&plan, axis, recv_dir);
+                let to = grid.neighbor(rank, axis, -recv_dir);
+                send(state, to, *phase, Payload::Ghosts(band));
+                let (from, payload) = mailbox.recv_phase(*phase);
+                match payload {
+                    Payload::Ghosts(g) => state.absorb_ghosts(hop, from, &g),
+                    other => panic!("expected ghosts in phase {}, got {other:?}", *phase),
+                }
+                *phase += 1;
+            }
+            let (energy, _tuples) = state.compute_forces(&ff);
+            for hop in (0..plan.hops.len()).rev() {
+                let (axis, recv_dir) = plan.hops[hop];
+                let (forces, to) = state.collect_ghost_forces(hop);
+                let to = to.unwrap_or_else(|| grid.neighbor(rank, axis, recv_dir));
+                send(state, to, *phase, Payload::Forces(forces));
+                let (_, payload) = mailbox.recv_phase(*phase);
+                match payload {
+                    Payload::Forces(f) => state.absorb_ghost_forces(hop, &f),
+                    other => panic!("expected forces in phase {}, got {other:?}", *phase),
+                }
+                *phase += 1;
+            }
+            energy
+        };
+
+    for step in 0..steps {
+        if step == 0 {
+            // Prime forces; the energy is superseded by the in-step cycle.
+            let _ = exchange_and_compute(&mut state, &mut phase, &mut mailbox);
+        }
+        state.vv_start(dt);
+        state.drop_ghosts();
+        // Migration, axis by axis.
+        for axis in 0..3 {
+            let (to_minus, to_plus) = state.collect_migrants(axis);
+            let minus = grid.neighbor(rank, axis, -1);
+            let plus = grid.neighbor(rank, axis, 1);
+            send(&mut state, minus, phase, Payload::Migrate(to_minus));
+            send(&mut state, plus, phase, Payload::Migrate(to_plus));
+            for _ in 0..2 {
+                let (_, payload) = mailbox.recv_phase(phase);
+                match payload {
+                    Payload::Migrate(a) => state.absorb_migrants(&a),
+                    other => panic!("expected migrants in phase {phase}, got {other:?}"),
+                }
+            }
+            phase += 1;
+        }
+        last_energy = exchange_and_compute(&mut state, &mut phase, &mut mailbox);
+        state.vv_finish(dt);
+    }
+    (state, last_energy)
+}

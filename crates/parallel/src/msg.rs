@@ -1,0 +1,112 @@
+//! Message types exchanged between ranks.
+
+use sc_cell::Species;
+use sc_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A migrating atom: full dynamical state, ownership transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtomMsg {
+    /// Stable global id.
+    pub id: u64,
+    /// Species.
+    pub species: Species,
+    /// Position, already shifted into the receiver's coordinate frame.
+    pub position: Vec3,
+    /// Velocity.
+    pub velocity: Vec3,
+}
+
+impl AtomMsg {
+    /// Serialized size in bytes (id + species + 6 doubles) — used for
+    /// bandwidth accounting.
+    pub const WIRE_BYTES: u64 = 8 + 1 + 48;
+}
+
+/// A ghost (cached) atom: position-only copy for force computation
+/// (the paper's atom-caching import, §1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GhostMsg {
+    /// Stable global id (used to route reduced forces back).
+    pub id: u64,
+    /// Species.
+    pub species: Species,
+    /// Position in the receiver's coordinate frame.
+    pub position: Vec3,
+}
+
+impl GhostMsg {
+    /// Serialized size in bytes (id + species + 3 doubles).
+    pub const WIRE_BYTES: u64 = 8 + 1 + 24;
+}
+
+/// A reduced force contribution flowing back to an atom's owner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForceMsg {
+    /// Global id of the atom the force belongs to.
+    pub id: u64,
+    /// Accumulated force contribution.
+    pub force: Vec3,
+}
+
+impl ForceMsg {
+    /// Serialized size in bytes.
+    pub const WIRE_BYTES: u64 = 8 + 24;
+}
+
+/// The bulk payloads a rank can send in one hop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Migration along one axis.
+    Migrate(Vec<AtomMsg>),
+    /// Ghost-position export for one routing step.
+    Ghosts(Vec<GhostMsg>),
+    /// Ghost-force return for one routing step.
+    Forces(Vec<ForceMsg>),
+}
+
+impl Payload {
+    /// Wire size in bytes for bandwidth accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Payload::Migrate(v) => v.len() as u64 * AtomMsg::WIRE_BYTES,
+            Payload::Ghosts(v) => v.len() as u64 * GhostMsg::WIRE_BYTES,
+            Payload::Forces(v) => v.len() as u64 * ForceMsg::WIRE_BYTES,
+        }
+    }
+}
+
+/// A phase-tagged message: executors match phases so that out-of-order
+/// delivery (possible with the threaded executor) never mixes payloads from
+/// different communication steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Monotone phase counter (each routing step of each MD step is one
+    /// phase).
+    pub phase: u64,
+    /// The payload.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        let m = Payload::Migrate(vec![AtomMsg {
+            id: 1,
+            species: Species(0),
+            position: Vec3::ZERO,
+            velocity: Vec3::ZERO,
+        }]);
+        assert_eq!(m.wire_bytes(), 57);
+        let g = Payload::Ghosts(vec![
+            GhostMsg { id: 1, species: Species(0), position: Vec3::ZERO };
+            3
+        ]);
+        assert_eq!(g.wire_bytes(), 3 * 33);
+        let f = Payload::Forces(vec![]);
+        assert_eq!(f.wire_bytes(), 0);
+    }
+}

@@ -1,0 +1,672 @@
+//! Per-rank state and the message-level algorithms: band collection, ghost
+//! absorption, local force computation, and ghost-force reduction.
+
+use crate::comm::{CommStats, GhostPlan};
+use crate::grid::RankGrid;
+use crate::msg::{AtomMsg, ForceMsg, GhostMsg};
+use sc_cell::{AtomStore, GhostLattice};
+use sc_geom::{IVec3, Vec3};
+use sc_md::engine::{self, Dedup, PatternPlan, TupleSource, VisitStats};
+use sc_md::methods::NeighborList;
+use sc_md::{EnergyBreakdown, Method, TupleCounts};
+use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
+use std::collections::HashMap;
+
+/// The shared, immutable force-field configuration every rank evaluates.
+pub struct ForceField {
+    /// Pair term.
+    pub pair: Option<Box<dyn PairPotential>>,
+    /// Triplet term.
+    pub triplet: Option<Box<dyn TripletPotential>>,
+    /// Quadruplet term.
+    pub quadruplet: Option<Box<dyn QuadrupletPotential>>,
+    /// n-tuple search method.
+    pub method: Method,
+}
+
+impl ForceField {
+    /// Active `(n, cutoff)` pairs.
+    pub fn terms(&self) -> Vec<(usize, f64)> {
+        let mut t = vec![];
+        if let Some(p) = &self.pair {
+            t.push((2, p.cutoff()));
+        }
+        if let Some(p) = &self.triplet {
+            t.push((3, p.cutoff()));
+        }
+        if let Some(p) = &self.quadruplet {
+            t.push((4, p.cutoff()));
+        }
+        t
+    }
+}
+
+/// One term's rank-local search structure.
+struct TermLattice {
+    n: usize,
+    rcut: f64,
+    plan: PatternPlan,
+    lat: GhostLattice,
+}
+
+/// Where a ghost came from, for the reverse force reduction: the routing
+/// hop index it arrived in and the rank that sent it.
+#[derive(Debug, Clone, Copy)]
+struct GhostOrigin {
+    hop: usize,
+    from_rank: usize,
+}
+
+/// [`TupleSource`] over a rank-local ghost lattice: displacements are plain
+/// differences because ghosts are image-shifted into the local frame.
+struct LocalSource<'a> {
+    lat: &'a GhostLattice,
+    store: &'a AtomStore,
+}
+
+impl TupleSource for LocalSource<'_> {
+    #[inline]
+    fn atoms_in(&self, q: IVec3) -> &[u32] {
+        self.lat.cell_atoms_or_empty(q)
+    }
+    #[inline]
+    fn pos(&self, i: u32) -> Vec3 {
+        self.store.positions()[i as usize]
+    }
+    #[inline]
+    fn gid(&self, i: u32) -> u64 {
+        self.store.ids()[i as usize]
+    }
+    #[inline]
+    fn disp(&self, i: u32, j: u32) -> Vec3 {
+        self.pos(j) - self.pos(i)
+    }
+}
+
+/// The full state of one rank: owned atoms (slots `0..owned`), ghosts
+/// appended behind them, per-term search lattices, and communication
+/// accounting.
+pub struct RankState {
+    /// This rank's id.
+    pub rank: usize,
+    grid: RankGrid,
+    store: AtomStore,
+    owned: usize,
+    ghost_origin: Vec<GhostOrigin>,
+    terms: Vec<TermLattice>,
+    hybrid_pair_lat: Option<GhostLattice>,
+    /// Per-step communication statistics.
+    pub stats: CommStats,
+}
+
+impl RankState {
+    /// Creates the rank state, claiming from `all` the atoms whose wrapped
+    /// position this rank owns (subdivision 1 — the paper's main setting).
+    pub fn new(rank: usize, grid: RankGrid, all: &AtomStore, ff: &ForceField) -> Self {
+        Self::new_subdivided(rank, grid, all, ff, 1)
+    }
+
+    /// Creates the rank state with `k`-fold subdivided cells and reach-k
+    /// patterns (paper §6) for the cell-sweep methods.
+    pub fn new_subdivided(
+        rank: usize,
+        grid: RankGrid,
+        all: &AtomStore,
+        ff: &ForceField,
+        k: i32,
+    ) -> Self {
+        assert!((1..=3).contains(&k));
+        let mut store = AtomStore::new(all.species_masses().to_vec());
+        for i in 0..all.len() {
+            let r = grid.bbox().wrap(all.positions()[i]);
+            if grid.owner_of(r) == rank {
+                store.push(all.ids()[i], all.species()[i], r, all.velocities()[i]);
+            }
+        }
+        let owned = store.len();
+        let origin = grid.origin_of(rank);
+        let sub = grid.rank_box_lengths();
+        let mut terms = Vec::new();
+        let mut hybrid_pair_lat = None;
+        for (n, rcut) in ff.terms() {
+            // Local cells: the largest grid with edge ≥ rcut/k.
+            let edge = rcut / k as f64;
+            let ext = IVec3::new(
+                ((sub.x / edge).floor() as i32).max(1),
+                ((sub.y / edge).floor() as i32).max(1),
+                ((sub.z / edge).floor() as i32).max(1),
+            );
+            let cell = Vec3::new(
+                sub.x / ext.x as f64,
+                sub.y / ext.y as f64,
+                sub.z / ext.z as f64,
+            );
+            let m = k * ((n as i32) - 1);
+            let (lo, hi) = match ff.method {
+                Method::ShiftCollapse => (IVec3::ZERO, IVec3::splat(m)),
+                Method::FullShell | Method::Hybrid => (IVec3::splat(m), IVec3::splat(m)),
+            };
+            if ff.method == Method::Hybrid {
+                if n == 2 {
+                    // Hybrid bins everything into the pair lattice; margins
+                    // must hold the full halo width.
+                    let width = halo_width_for(ff, &grid);
+                    let mc = IVec3::new(
+                        (width / cell.x).ceil() as i32,
+                        (width / cell.y).ceil() as i32,
+                        (width / cell.z).ceil() as i32,
+                    );
+                    hybrid_pair_lat =
+                        Some(GhostLattice::new(origin, cell, ext, mc, mc));
+                }
+                continue;
+            }
+            let pattern = match ff.method {
+                Method::ShiftCollapse => sc_core::shift_collapse_reach(n, k),
+                _ => sc_core::generate_fs_reach(n, k),
+            };
+            let dedup = match ff.method {
+                Method::ShiftCollapse => Dedup::Collapsed,
+                _ => Dedup::Guarded,
+            };
+            terms.push(TermLattice {
+                n,
+                rcut,
+                plan: PatternPlan::new(&pattern, dedup),
+                lat: GhostLattice::new(origin, cell, ext, lo, hi),
+            });
+        }
+        RankState {
+            rank,
+            grid,
+            store,
+            owned,
+            ghost_origin: Vec::new(),
+            terms,
+            hybrid_pair_lat,
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Owned-atom count.
+    pub fn owned(&self) -> usize {
+        self.owned
+    }
+
+    /// The atom store (owned atoms first, then ghosts).
+    pub fn store(&self) -> &AtomStore {
+        &self.store
+    }
+
+    /// Drops all ghosts (start of a new exchange cycle).
+    pub fn drop_ghosts(&mut self) {
+        self.store.truncate(self.owned);
+        self.ghost_origin.clear();
+    }
+
+    /// First velocity-Verlet half-step (half-kick + drift) on owned atoms.
+    /// Positions are *not* wrapped — migration moves boundary-crossers to
+    /// their new owner, which re-expresses them in its frame.
+    pub fn vv_start(&mut self, dt: f64) {
+        for i in 0..self.owned {
+            let m = self.store.mass(i as u32);
+            let a = self.store.forces()[i] / m;
+            self.store.velocities_mut()[i] += a * (0.5 * dt);
+            let v = self.store.velocities()[i];
+            self.store.positions_mut()[i] += v * dt;
+        }
+    }
+
+    /// Second velocity-Verlet half-kick on owned atoms.
+    pub fn vv_finish(&mut self, dt: f64) {
+        for i in 0..self.owned {
+            let m = self.store.mass(i as u32);
+            let a = self.store.forces()[i] / m;
+            self.store.velocities_mut()[i] += a * (0.5 * dt);
+        }
+    }
+
+    /// Kinetic energy of owned atoms.
+    pub fn kinetic_energy(&self) -> f64 {
+        (0..self.owned)
+            .map(|i| 0.5 * self.store.mass(i as u32) * self.store.velocities()[i].norm_sq())
+            .sum()
+    }
+
+    /// Collects atoms that left the owned box along `axis`, as
+    /// `(to_minus, to_plus)` message lists with positions shifted into the
+    /// receivers' frames. The atoms are removed from this rank.
+    pub fn collect_migrants(&mut self, axis: usize) -> (Vec<AtomMsg>, Vec<AtomMsg>) {
+        debug_assert_eq!(self.store.len(), self.owned, "migrate with ghosts present");
+        let origin = self.grid.origin_of(self.rank);
+        let sub = self.grid.rank_box_lengths();
+        let lo = origin[axis];
+        let hi = origin[axis] + sub[axis];
+        let mut to_minus = Vec::new();
+        let mut to_plus = Vec::new();
+        let mut i = 0;
+        while i < self.store.len() {
+            let x = self.store.positions()[i][axis];
+            let dir = if x < lo {
+                -1
+            } else if x >= hi {
+                1
+            } else {
+                i += 1;
+                continue;
+            };
+            let (id, sp, mut r, v) = self.store.swap_remove(i as u32);
+            r += self.grid.send_shift(self.rank, axis, dir);
+            let msg = AtomMsg { id, species: sp, position: r, velocity: v };
+            if dir < 0 {
+                to_minus.push(msg);
+            } else {
+                to_plus.push(msg);
+            }
+            self.stats.atoms_migrated += 1;
+        }
+        self.owned = self.store.len();
+        (to_minus, to_plus)
+    }
+
+    /// Absorbs migrated atoms as owned.
+    pub fn absorb_migrants(&mut self, atoms: &[AtomMsg]) {
+        debug_assert_eq!(self.store.len(), self.owned);
+        for a in atoms {
+            self.store.push(a.id, a.species, a.position, a.velocity);
+        }
+        self.owned = self.store.len();
+    }
+
+    /// Collects the boundary band for one routing hop `(axis, recv_dir)`:
+    /// the atoms this rank must send to its `-recv_dir` neighbour, positions
+    /// shifted into that neighbour's frame.
+    ///
+    /// Forwarded routing includes previously received ghosts — but only
+    /// those that arrived on a *strictly earlier axis*. Forwarding a ghost
+    /// back along the axis it arrived on would bounce it to its sender as a
+    /// coincident duplicate of an owned atom.
+    pub fn collect_ghost_band(&self, plan: &GhostPlan, axis: usize, recv_dir: i32) -> Vec<GhostMsg> {
+        let origin = self.grid.origin_of(self.rank);
+        let sub = self.grid.rank_box_lengths();
+        let send_dir = -recv_dir;
+        let shift = self.grid.send_shift(self.rank, axis, send_dir);
+        let mut out = Vec::new();
+        for i in 0..self.store.len() {
+            if i >= self.owned {
+                let arrived_axis = plan.hops[self.ghost_origin[i - self.owned].hop].0;
+                if arrived_axis >= axis {
+                    continue;
+                }
+            }
+            let x = self.store.positions()[i][axis];
+            let in_band = if recv_dir > 0 {
+                // Receiver needs my low band (its upper ghost region).
+                x < origin[axis] + plan.hi_width
+            } else {
+                // Receiver needs my high band (its lower ghost region).
+                x >= origin[axis] + sub[axis] - plan.lo_width
+            };
+            if in_band {
+                out.push(GhostMsg {
+                    id: self.store.ids()[i],
+                    species: self.store.species()[i],
+                    position: self.store.positions()[i] + shift,
+                });
+            }
+        }
+        out
+    }
+
+    /// Absorbs ghosts received in routing hop `hop` from `from_rank`.
+    pub fn absorb_ghosts(&mut self, hop: usize, from_rank: usize, ghosts: &[GhostMsg]) {
+        for g in ghosts {
+            self.store.push(g.id, g.species, g.position, Vec3::ZERO);
+            self.ghost_origin.push(GhostOrigin { hop, from_rank });
+            self.stats.ghosts_imported += 1;
+        }
+    }
+
+    /// Collects the accumulated forces of all ghosts that arrived in `hop`,
+    /// as messages for the rank they came from, and returns that rank.
+    /// Returns `None` when no ghosts arrived in that hop (an empty message
+    /// must still be sent to keep the executors' message counts fixed —
+    /// callers use the hop's neighbour in that case).
+    pub fn collect_ghost_forces(&self, hop: usize) -> (Vec<ForceMsg>, Option<usize>) {
+        let mut out = Vec::new();
+        let mut to = None;
+        for (k, origin) in self.ghost_origin.iter().enumerate() {
+            if origin.hop != hop {
+                continue;
+            }
+            let slot = self.owned + k;
+            to = Some(origin.from_rank);
+            out.push(ForceMsg { id: self.store.ids()[slot], force: self.store.forces()[slot] });
+        }
+        (out, to)
+    }
+
+    /// Accumulates reduced ghost forces: each force lands on the owned atom
+    /// with that id, or — if this rank only holds the atom as an
+    /// earlier-hop ghost (multi-hop forwarding) — on that ghost slot, whose
+    /// own reduction hop will forward it onward.
+    pub fn absorb_ghost_forces(&mut self, current_hop: usize, forces: &[ForceMsg]) {
+        if forces.is_empty() {
+            return;
+        }
+        // Owned atoms win; otherwise the earliest-hop ghost gets it (its
+        // reduction hop is still ahead of us because hops reduce in reverse
+        // order).
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        for i in 0..self.owned {
+            slot_of.insert(self.store.ids()[i], i);
+        }
+        for (k, origin) in self.ghost_origin.iter().enumerate() {
+            if origin.hop < current_hop {
+                let id = self.store.ids()[self.owned + k];
+                slot_of.entry(id).or_insert(self.owned + k);
+            }
+        }
+        for f in forces {
+            let slot = *slot_of
+                .get(&f.id)
+                .unwrap_or_else(|| panic!("rank {} got force for unknown atom {}", self.rank, f.id));
+            self.store.forces_mut()[slot] += f.force;
+        }
+    }
+
+    /// Rebuilds the per-term lattices and computes forces over this rank's
+    /// owned base cells. Forces accumulate on owned *and ghost* slots; the
+    /// reverse reduction ships the ghost parts home.
+    pub fn compute_forces(&mut self, ff: &ForceField) -> (EnergyBreakdown, TupleCounts) {
+        self.store.zero_forces();
+        let mut energy = EnergyBreakdown::default();
+        let mut tuples = TupleCounts::default();
+        if ff.method == Method::Hybrid {
+            self.compute_forces_hybrid(ff, &mut energy, &mut tuples);
+            return (energy, tuples);
+        }
+        let species = self.store.species().to_vec();
+        let mut fbuf = vec![Vec3::ZERO; self.store.len()];
+        for ti in 0..self.terms.len() {
+            // Split borrow: take the lattice out, rebuild, enumerate.
+            let mut lat = std::mem::replace(
+                &mut self.terms[ti].lat,
+                GhostLattice::new(Vec3::ZERO, Vec3::splat(1.0), IVec3::splat(1), IVec3::ZERO, IVec3::ZERO),
+            );
+            lat.rebuild(&self.store, self.owned);
+            let term = &self.terms[ti];
+            let src = LocalSource { lat: &lat, store: &self.store };
+            let owned_cells: Vec<IVec3> = lat.owned_region().iter().collect();
+            let mut stats = VisitStats::default();
+            match term.n {
+                2 => {
+                    let pot = ff.pair.as_deref().expect("pair term");
+                    let mut e = 0.0;
+                    for q in &owned_cells {
+                        stats.merge(engine::visit_pairs_in_cell_src(
+                            &src,
+                            &term.plan,
+                            term.rcut,
+                            *q,
+                            |i, j, d, r| {
+                                let (si, sj) = (species[i as usize], species[j as usize]);
+                                if !pot.applies(si, sj) {
+                                    return;
+                                }
+                                let (u, du) = pot.eval(si, sj, r);
+                                e += u;
+                                let fj = d * (-(du / r));
+                                fbuf[j as usize] += fj;
+                                fbuf[i as usize] -= fj;
+                            },
+                        ));
+                    }
+                    energy.pair += e;
+                    tuples.pair.merge(stats);
+                }
+                3 => {
+                    let pot = ff.triplet.as_deref().expect("triplet term");
+                    let mut e = 0.0;
+                    for q in &owned_cells {
+                        stats.merge(engine::visit_triplets_in_cell_src(
+                            &src,
+                            &term.plan,
+                            term.rcut,
+                            *q,
+                            |i0, i1, i2, d01, d12| {
+                                let (s0, s1, s2) = (
+                                    species[i0 as usize],
+                                    species[i1 as usize],
+                                    species[i2 as usize],
+                                );
+                                if !pot.applies(s0, s1, s2) {
+                                    return;
+                                }
+                                let (u, f0, f1, f2) = pot.eval(s0, s1, s2, -d01, d12);
+                                e += u;
+                                fbuf[i0 as usize] += f0;
+                                fbuf[i1 as usize] += f1;
+                                fbuf[i2 as usize] += f2;
+                            },
+                        ));
+                    }
+                    energy.triplet += e;
+                    tuples.triplet.merge(stats);
+                }
+                4 => {
+                    let pot = ff.quadruplet.as_deref().expect("quadruplet term");
+                    let mut e = 0.0;
+                    for q in &owned_cells {
+                        stats.merge(engine::visit_quadruplets_in_cell_src(
+                            &src,
+                            &term.plan,
+                            term.rcut,
+                            *q,
+                            |ids, d01, d12, d23| {
+                                let sp = [
+                                    species[ids[0] as usize],
+                                    species[ids[1] as usize],
+                                    species[ids[2] as usize],
+                                    species[ids[3] as usize],
+                                ];
+                                if !pot.applies(sp) {
+                                    return;
+                                }
+                                let (u, f4) = pot.eval(sp, d01, d12, d23);
+                                e += u;
+                                for (slot, force) in ids.iter().zip(f4) {
+                                    fbuf[*slot as usize] += force;
+                                }
+                            },
+                        ));
+                    }
+                    energy.quadruplet += e;
+                    tuples.quadruplet.merge(stats);
+                }
+                n => unreachable!("unsupported tuple order {n}"),
+            }
+            self.terms[ti].lat = lat;
+        }
+        for (slot, f) in self.store.forces_mut().iter_mut().zip(fbuf) {
+            *slot += f;
+        }
+        (energy, tuples)
+    }
+
+    /// Hybrid-MD force computation: local Verlet list, then vertex- and
+    /// bond-owner rules keep every global tuple computed by exactly one
+    /// rank.
+    fn compute_forces_hybrid(
+        &mut self,
+        ff: &ForceField,
+        energy: &mut EnergyBreakdown,
+        tuples: &mut TupleCounts,
+    ) {
+        let pot = ff.pair.as_deref().expect("hybrid has a pair term");
+        let mut lat = self.hybrid_pair_lat.take().expect("hybrid pair lattice");
+        lat.rebuild(&self.store, self.owned);
+        let plan = PatternPlan::new(&sc_core::generate_fs(2), Dedup::Guarded);
+        let src = LocalSource { lat: &lat, store: &self.store };
+        // Sweep *all* local cells so ghost-ghost pairs near the boundary are
+        // in the list too (needed for chain ends of n ≥ 3 tuples).
+        let all_cells: Vec<IVec3> = lat.extended_region().iter().collect();
+        let (nl, pair_stats) =
+            NeighborList::build_from_cells(&src, &all_cells, self.store.len(), &plan, pot.cutoff());
+        tuples.pair.merge(pair_stats);
+        let species = self.store.species().to_vec();
+        let ids = self.store.ids().to_vec();
+        let owned = self.owned as u32;
+        let mut fbuf = vec![Vec3::ZERO; self.store.len()];
+
+        // Pair forces: owned rows, gid guard (cross-rank unique).
+        let mut e2 = 0.0;
+        for i in 0..owned {
+            let si = species[i as usize];
+            for &(j, d) in nl.neighbors(i) {
+                let owned_j = j < owned;
+                if owned_j && ids[j as usize] <= ids[i as usize] {
+                    continue; // counted from the other owned row
+                }
+                if !owned_j && ids[j as usize] < ids[i as usize] {
+                    continue; // the ghost's owner computes it
+                }
+                let sj = species[j as usize];
+                if !pot.applies(si, sj) {
+                    continue;
+                }
+                let r = d.norm();
+                let (u, du) = pot.eval(si, sj, r);
+                e2 += u;
+                let fj = d * (-(du / r));
+                fbuf[j as usize] += fj;
+                fbuf[i as usize] -= fj;
+            }
+        }
+        energy.pair += e2;
+
+        // Triplets: owned-vertex rule.
+        if let Some(t) = &ff.triplet {
+            let rc2 = t.cutoff() * t.cutoff();
+            let mut e3 = 0.0;
+            let mut stats = VisitStats::default();
+            for j in 0..owned {
+                let nbrs = nl.neighbors(j);
+                for (a, &(i, d_ji)) in nbrs.iter().enumerate() {
+                    if d_ji.norm_sq() >= rc2 {
+                        continue;
+                    }
+                    for &(k, d_jk) in &nbrs[a + 1..] {
+                        stats.candidates += 1;
+                        if d_jk.norm_sq() >= rc2 {
+                            continue;
+                        }
+                        stats.accepted += 1;
+                        let (s0, s1, s2) =
+                            (species[i as usize], species[j as usize], species[k as usize]);
+                        if !t.applies(s0, s1, s2) {
+                            continue;
+                        }
+                        let (u, f0, f1, f2) = t.eval(s0, s1, s2, d_ji, d_jk);
+                        e3 += u;
+                        fbuf[i as usize] += f0;
+                        fbuf[j as usize] += f1;
+                        fbuf[k as usize] += f2;
+                    }
+                }
+            }
+            energy.triplet += e3;
+            tuples.triplet.merge(stats);
+        }
+
+        // Quadruplets: owned centre-bond rule (owner of the smaller-gid
+        // bond atom computes the chain).
+        if let Some(qp) = &ff.quadruplet {
+            let rc2 = qp.cutoff() * qp.cutoff();
+            let mut e4 = 0.0;
+            let mut stats = VisitStats::default();
+            for j in 0..owned {
+                for &(k, d_jk) in nl.neighbors(j) {
+                    if d_jk.norm_sq() >= rc2 {
+                        continue;
+                    }
+                    let gid_j = ids[j as usize];
+                    let gid_k = ids[k as usize];
+                    let k_owned = k < owned;
+                    // Unique owner of the centre bond: the rank owning the
+                    // smaller-gid endpoint. Both-owned bonds use the gid
+                    // order to avoid double counting within this rank.
+                    if k_owned && gid_k <= gid_j {
+                        continue;
+                    }
+                    if !k_owned && gid_k < gid_j {
+                        continue;
+                    }
+                    for &(i, d_ji) in nl.neighbors(j) {
+                        if i == k || d_ji.norm_sq() >= rc2 {
+                            continue;
+                        }
+                        for &(l, d_kl) in nl.neighbors(k) {
+                            stats.candidates += 1;
+                            if l == j || l == i || d_kl.norm_sq() >= rc2 {
+                                continue;
+                            }
+                            stats.accepted += 1;
+                            let sp = [
+                                species[i as usize],
+                                species[j as usize],
+                                species[k as usize],
+                                species[l as usize],
+                            ];
+                            if !qp.applies(sp) {
+                                continue;
+                            }
+                            let (u, f4) = qp.eval(sp, -d_ji, d_jk, d_kl);
+                            e4 += u;
+                            fbuf[i as usize] += f4[0];
+                            fbuf[j as usize] += f4[1];
+                            fbuf[k as usize] += f4[2];
+                            fbuf[l as usize] += f4[3];
+                        }
+                    }
+                }
+            }
+            energy.quadruplet += e4;
+            tuples.quadruplet.merge(stats);
+        }
+
+        for (slot, f) in self.store.forces_mut().iter_mut().zip(fbuf) {
+            *slot += f;
+        }
+        self.hybrid_pair_lat = Some(lat);
+    }
+
+    /// Gathers this rank's owned atoms (positions wrapped into the global
+    /// box) for result collection.
+    pub fn owned_atoms(&self) -> Vec<AtomMsg> {
+        (0..self.owned)
+            .map(|i| AtomMsg {
+                id: self.store.ids()[i],
+                species: self.store.species()[i],
+                position: self.grid.bbox().wrap(self.store.positions()[i]),
+                velocity: self.store.velocities()[i],
+            })
+            .collect()
+    }
+}
+
+/// The real-space halo depth a force field needs: `max_n (n−1)·cell_edge_n`
+/// over the active terms, with each term's local cell edge computed from the
+/// rank sub-box exactly as [`RankState::new`] does.
+pub fn halo_width_for(ff: &ForceField, grid: &RankGrid) -> f64 {
+    let sub = grid.rank_box_lengths();
+    let mut w: f64 = 0.0;
+    for (n, rcut) in ff.terms() {
+        for axis in 0..3 {
+            let ext = ((sub[axis] / rcut).floor() as i32).max(1);
+            let cell = sub[axis] / ext as f64;
+            w = w.max((n as f64 - 1.0) * cell);
+        }
+    }
+    w
+}

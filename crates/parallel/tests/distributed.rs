@@ -1,0 +1,380 @@
+//! Distributed-vs-serial equivalence: the correctness contract of the
+//! parallel runtime. Whatever the rank count, method, or executor, the
+//! physics must match the serial engine.
+
+use sc_cell::AtomStore;
+use sc_geom::{IVec3, SimulationBox, Vec3};
+use sc_md::{build_fcc_lattice, build_silica_like, LatticeSpec, Method, Simulation};
+use sc_parallel::rank::ForceField;
+use sc_parallel::{DistributedSim, ThreadedSim};
+use sc_potential::{LennardJones, TorsionToy, Vashishta};
+
+fn lj_system() -> (AtomStore, SimulationBox) {
+    build_fcc_lattice(&LatticeSpec::cubic(7, 1.5599), 0.1, 42)
+}
+
+fn lj_ff(method: Method) -> ForceField {
+    ForceField {
+        pair: Some(Box::new(LennardJones::reduced(2.5))),
+        triplet: None,
+        quadruplet: None,
+        method,
+    }
+}
+
+fn serial_lj(method: Method) -> Simulation {
+    let (store, bbox) = lj_system();
+    Simulation::builder(store, bbox)
+        .pair_potential(Box::new(LennardJones::reduced(2.5)))
+        .method(method)
+        .timestep(0.002)
+        .build()
+        .unwrap()
+}
+
+/// Compares per-atom positions/velocities of a gathered store against a
+/// serial store (both sorted by id), up to periodic wrapping.
+fn assert_stores_match(bbox: &SimulationBox, a: &AtomStore, b: &AtomStore, tol: f64, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: atom counts differ");
+    for i in 0..a.len() {
+        assert_eq!(a.ids()[i], b.ids()[i], "{what}: id order differs at {i}");
+        let dr = bbox.min_image(a.positions()[i], b.positions()[i]).norm();
+        let dv = (a.velocities()[i] - b.velocities()[i]).norm();
+        assert!(dr < tol, "{what}: atom {i} position differs by {dr}");
+        assert!(dv < tol, "{what}: atom {i} velocity differs by {dv}");
+    }
+}
+
+fn serial_snapshot(sim: &Simulation) -> AtomStore {
+    // Serial store is already sorted by id (built in id order).
+    sim.store().clone()
+}
+
+#[test]
+fn single_rank_matches_serial_lj() {
+    let (store, bbox) = lj_system();
+    let mut dist =
+        DistributedSim::new(store, bbox, IVec3::splat(1), lj_ff(Method::ShiftCollapse), 0.002)
+            .unwrap();
+    let mut serial = serial_lj(Method::ShiftCollapse);
+    let e_d = dist.total_energy();
+    let e_s = serial.total_energy();
+    assert!(
+        (e_d - e_s).abs() < 1e-9 * e_s.abs(),
+        "single-rank energy {e_d} vs serial {e_s}"
+    );
+    dist.run(5);
+    serial.run(5);
+    assert_stores_match(&bbox, &dist.gather(), &serial_snapshot(&serial), 1e-8, "1-rank LJ");
+}
+
+#[test]
+fn eight_ranks_match_serial_all_methods() {
+    for method in Method::ALL {
+        let (store, bbox) = lj_system();
+        let mut dist =
+            DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(method), 0.002).unwrap();
+        let mut serial = serial_lj(method);
+        let e_d = dist.total_energy();
+        let e_s = serial.total_energy();
+        assert!(
+            (e_d - e_s).abs() < 1e-9 * e_s.abs(),
+            "{}: energy {e_d} vs serial {e_s}",
+            method.name()
+        );
+        dist.run(5);
+        serial.run(5);
+        assert_stores_match(
+            &bbox,
+            &dist.gather(),
+            &serial_snapshot(&serial),
+            1e-7,
+            method.name(),
+        );
+    }
+}
+
+#[test]
+fn anisotropic_rank_grid_matches_serial() {
+    let (store, bbox) = lj_system();
+    let mut dist = DistributedSim::new(
+        store,
+        bbox,
+        IVec3::new(2, 1, 2),
+        lj_ff(Method::ShiftCollapse),
+        0.002,
+    )
+    .unwrap();
+    let mut serial = serial_lj(Method::ShiftCollapse);
+    dist.run(4);
+    serial.run(4);
+    assert_stores_match(&bbox, &dist.gather(), &serial_snapshot(&serial), 1e-7, "2x1x2");
+}
+
+#[test]
+fn silica_distributed_matches_serial() {
+    let v = Vashishta::silica();
+    let masses = v.params().masses;
+    for method in Method::ALL {
+        let (store, bbox) = build_silica_like(4, 7.16, masses, 0.01, 7);
+        let ff = ForceField {
+            pair: Some(Box::new(v.pair.clone())),
+            triplet: Some(Box::new(v.triplet.clone())),
+            quadruplet: None,
+            method,
+        };
+        let mut dist = DistributedSim::new(store.clone(), bbox, IVec3::splat(2), ff, 0.0005)
+            .unwrap();
+        let mut serial = Simulation::builder(store, bbox)
+            .pair_potential(Box::new(v.pair.clone()))
+            .triplet_potential(Box::new(v.triplet.clone()))
+            .method(method)
+            .timestep(0.0005)
+            .build()
+            .unwrap();
+        let e_d = dist.total_energy();
+        let e_s = serial.total_energy();
+        assert!(
+            (e_d - e_s).abs() < 1e-8 * e_s.abs().max(1.0),
+            "{}: silica energy {e_d} vs serial {e_s}",
+            method.name()
+        );
+        // Triplet work is real.
+        assert!(dist.tuple_counts().triplet.accepted > 0);
+        dist.run(3);
+        serial.run(3);
+        assert_stores_match(
+            &bbox,
+            &dist.gather(),
+            &serial_snapshot(&serial),
+            1e-6,
+            &format!("silica {}", method.name()),
+        );
+    }
+}
+
+#[test]
+fn quadruplet_distributed_matches_serial() {
+    let torsion = TorsionToy::new(0.05, 1.0, 0.3);
+    for method in Method::ALL {
+        let (store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(6, 1.2), 0.02, 13);
+        let ff = ForceField {
+            pair: Some(Box::new(LennardJones::reduced(1.2))),
+            triplet: None,
+            quadruplet: Some(Box::new(torsion)),
+            method,
+        };
+        let mut dist =
+            DistributedSim::new(store.clone(), bbox, IVec3::splat(2), ff, 0.001).unwrap();
+        let mut serial = Simulation::builder(store, bbox)
+            .pair_potential(Box::new(LennardJones::reduced(1.2)))
+            .quadruplet_potential(Box::new(torsion))
+            .method(method)
+            .timestep(0.001)
+            .build()
+            .unwrap();
+        let e_d = dist.total_energy();
+        let serial_stats = serial.compute_forces();
+        let e_s = serial_stats.energy.total() + serial.store().kinetic_energy();
+        assert!(
+            (e_d - e_s).abs() < 1e-8 * e_s.abs().max(1.0),
+            "{}: quad energy {e_d} vs serial {e_s}",
+            method.name()
+        );
+        assert!(dist.tuple_counts().quadruplet.accepted > 0, "{}", method.name());
+        assert_eq!(
+            dist.tuple_counts().quadruplet.accepted,
+            serial_stats.tuples.quadruplet.accepted,
+            "{}: distributed and serial find different quad counts",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn threaded_executor_handles_silica_full_shell() {
+    // The threaded path with the two-sided (6-hop) plan and a many-body
+    // force field — the most message-intensive configuration.
+    let v = Vashishta::silica();
+    let masses = v.params().masses;
+    let (store, bbox) = build_silica_like(4, 7.16, masses, 0.01, 5);
+    let mk_ff = || ForceField {
+        pair: Some(Box::new(v.pair.clone())),
+        triplet: Some(Box::new(v.triplet.clone())),
+        quadruplet: None,
+        method: Method::FullShell,
+    };
+    let mut bsp = DistributedSim::new(store.clone(), bbox, IVec3::new(2, 2, 2), mk_ff(), 0.0005)
+        .unwrap();
+    bsp.run(3);
+    let (gathered, energy, _) =
+        ThreadedSim::run(store, bbox, IVec3::new(2, 2, 2), mk_ff(), 0.0005, 3).unwrap();
+    assert_stores_match(&bbox, &gathered, &bsp.gather(), 1e-9, "threaded silica FS");
+    assert!(
+        (energy.total() - bsp.energy_breakdown().total()).abs()
+            < 1e-9 * energy.total().abs().max(1.0)
+    );
+}
+
+#[test]
+fn threaded_executor_matches_bsp() {
+    let (store, bbox) = lj_system();
+    let mut bsp = DistributedSim::new(
+        store.clone(),
+        bbox,
+        IVec3::splat(2),
+        lj_ff(Method::ShiftCollapse),
+        0.002,
+    )
+    .unwrap();
+    bsp.run(5);
+    let (gathered, energy, stats) =
+        ThreadedSim::run(store, bbox, IVec3::splat(2), lj_ff(Method::ShiftCollapse), 0.002, 5)
+            .unwrap();
+    assert_stores_match(&bbox, &gathered, &bsp.gather(), 1e-9, "threaded vs BSP");
+    assert!(
+        (energy.total() - bsp.energy_breakdown().total()).abs()
+            < 1e-9 * energy.total().abs().max(1.0)
+    );
+    assert!(stats.messages > 0 && stats.bytes > 0);
+}
+
+#[test]
+fn sc_imports_less_than_fs() {
+    // The import-volume advantage (Eq. 33 vs the two-sided FS halo),
+    // observed as actual ghost traffic.
+    let run = |method: Method| {
+        let (store, bbox) = lj_system();
+        let mut d = DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(method), 0.002)
+            .unwrap();
+        d.run(2);
+        d.comm_stats()
+    };
+    let sc = run(Method::ShiftCollapse);
+    let fs = run(Method::FullShell);
+    assert!(
+        sc.ghosts_imported < fs.ghosts_imported,
+        "SC imported {} ghosts, FS {}",
+        sc.ghosts_imported,
+        fs.ghosts_imported
+    );
+    // SC's halo runs in 3 hops, FS in 6 → message count is roughly half.
+    assert!(sc.messages < fs.messages);
+}
+
+#[test]
+fn sc_rank_talks_only_to_face_neighbors() {
+    let (store, bbox) = lj_system();
+    let mut d = DistributedSim::new(
+        store,
+        bbox,
+        IVec3::splat(2),
+        lj_ff(Method::ShiftCollapse),
+        0.002,
+    )
+    .unwrap();
+    d.run(2);
+    // Forwarded routing: every rank's direct partners are face neighbours
+    // only (≤ 6 distinct ranks), even though 7 neighbours' data arrives.
+    for (r, stats) in d.rank_stats().iter().enumerate() {
+        assert!(
+            stats.partners.len() <= 6,
+            "rank {r} has {} direct partners",
+            stats.partners.len()
+        );
+    }
+}
+
+#[test]
+fn atom_count_conserved_under_migration() {
+    // Hot gas: lots of migration.
+    let (mut store, bbox) = lj_system();
+    for v in store.velocities_mut() {
+        *v = *v * 20.0 + Vec3::new(5.0, -3.0, 2.0);
+    }
+    let n0 = store.len();
+    let mut d =
+        DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(Method::ShiftCollapse), 0.001)
+            .unwrap();
+    d.run(10);
+    let g = d.gather();
+    assert_eq!(g.len(), n0);
+    let stats = d.comm_stats();
+    assert!(stats.atoms_migrated > 0, "hot gas should migrate atoms");
+    // Gathered ids are exactly 0..n0.
+    for (i, &id) in g.ids().iter().enumerate() {
+        assert_eq!(id, i as u64);
+    }
+}
+
+#[test]
+fn distributed_nve_conserves_energy() {
+    let (store, bbox) = lj_system();
+    let mut d =
+        DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(Method::ShiftCollapse), 0.002)
+            .unwrap();
+    let e0 = d.total_energy();
+    d.run(30);
+    let e1 = d.total_energy();
+    assert!(
+        ((e1 - e0) / e0.abs()).abs() < 1e-3,
+        "distributed NVE drift: {e0} → {e1}"
+    );
+}
+
+#[test]
+fn subdivided_distributed_matches_serial() {
+    // §6 extension under the distributed runtime: reach-2 patterns on
+    // half-size rank-local cells, same physics.
+    let v = Vashishta::silica();
+    let masses = v.params().masses;
+    let (store, bbox) = build_silica_like(4, 7.16, masses, 0.01, 5);
+    let ff = ForceField {
+        pair: Some(Box::new(v.pair.clone())),
+        triplet: Some(Box::new(v.triplet.clone())),
+        quadruplet: None,
+        method: Method::ShiftCollapse,
+    };
+    let mut dist =
+        DistributedSim::new_subdivided(store.clone(), bbox, IVec3::splat(2), ff, 0.0005, 2)
+            .unwrap();
+    let mut serial = Simulation::builder(store, bbox)
+        .pair_potential(Box::new(v.pair.clone()))
+        .triplet_potential(Box::new(v.triplet.clone()))
+        .method(Method::ShiftCollapse)
+        .timestep(0.0005)
+        .build()
+        .unwrap();
+    let e_d = dist.total_energy();
+    let e_s = serial.total_energy();
+    assert!(
+        (e_d - e_s).abs() < 1e-8 * e_s.abs().max(1.0),
+        "subdivided distributed energy {e_d} vs serial {e_s}"
+    );
+    dist.run(3);
+    serial.run(3);
+    assert_stores_match(&bbox, &dist.gather(), &serial_snapshot(&serial), 1e-6, "subdivided");
+}
+
+#[test]
+fn timings_and_load_are_reported() {
+    let (store, bbox) = lj_system();
+    let mut d =
+        DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(Method::ShiftCollapse), 0.002)
+            .unwrap();
+    d.run(3);
+    let t = d.timings();
+    assert!(t.total_s() > 0.0);
+    assert!(t.compute_s > 0.0, "compute must dominate in-process: {t:?}");
+    assert!((0.0..=1.0).contains(&t.comm_fraction()));
+    // A uniform FCC crystal decomposes almost perfectly.
+    let imb = d.load_imbalance();
+    assert!((1.0..1.2).contains(&imb), "imbalance {imb}");
+}
+
+#[test]
+fn too_many_ranks_rejected() {
+    let (store, bbox) = lj_system(); // box ≈ 10.9, rcut 2.5
+    let err = DistributedSim::new(store, bbox, IVec3::splat(5), lj_ff(Method::ShiftCollapse), 0.002);
+    assert!(err.is_err(), "sub-box 2.18 < cutoff 2.5 should be rejected");
+}

@@ -1,0 +1,86 @@
+//! Finite-difference force validation helpers.
+//!
+//! Every analytic force in this crate is checked against central finite
+//! differences of the energy; the helpers live here (not in `#[cfg(test)]`)
+//! so the `sc-md` engine tests can reuse them on whole systems.
+
+use sc_geom::Vec3;
+
+/// Central finite-difference gradient of `energy` with respect to the `i`-th
+/// position, where `energy` is a function of a full position list.
+pub fn fd_gradient(
+    positions: &[Vec3],
+    i: usize,
+    h: f64,
+    mut energy: impl FnMut(&[Vec3]) -> f64,
+) -> Vec3 {
+    let mut g = Vec3::ZERO;
+    let mut work = positions.to_vec();
+    for a in 0..3 {
+        let orig = work[i][a];
+        work[i][a] = orig + h;
+        let ep = energy(&work);
+        work[i][a] = orig - h;
+        let em = energy(&work);
+        work[i][a] = orig;
+        g[a] = (ep - em) / (2.0 * h);
+    }
+    g
+}
+
+/// Asserts that `analytic_forces[i] ≈ -∂E/∂r_i` for every atom, with
+/// relative tolerance `tol` (scaled by the larger of 1 and the force
+/// magnitude so near-zero forces are compared absolutely).
+///
+/// # Panics
+/// Panics with a diagnostic message when any component disagrees.
+pub fn assert_forces_match(
+    positions: &[Vec3],
+    analytic_forces: &[Vec3],
+    h: f64,
+    tol: f64,
+    mut energy: impl FnMut(&[Vec3]) -> f64,
+) {
+    assert_eq!(positions.len(), analytic_forces.len());
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..positions.len() {
+        let fd = -fd_gradient(positions, i, h, &mut energy);
+        let fa = analytic_forces[i];
+        let scale = fa.norm().max(fd.norm()).max(1.0);
+        let err = (fd - fa).norm() / scale;
+        assert!(
+            err < tol,
+            "force mismatch on atom {i}: analytic {fa:?} vs finite-difference {fd:?} (rel err {err:.3e})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_gradient_of_quadratic() {
+        // E = |r0|²  ⇒ ∇E = 2 r0.
+        let pos = vec![Vec3::new(1.0, -2.0, 0.5)];
+        let g = fd_gradient(&pos, 0, 1e-5, |p| p[0].norm_sq());
+        assert!((g - pos[0] * 2.0).norm() < 1e-8);
+    }
+
+    #[test]
+    fn assert_forces_match_accepts_correct_forces() {
+        let pos = vec![Vec3::new(0.3, 0.4, 0.5), Vec3::new(1.0, 1.0, 1.0)];
+        // E = |r0 - r1|² ⇒ f0 = -2(r0-r1), f1 = +2(r0-r1).
+        let d = pos[0] - pos[1];
+        let forces = vec![-d * 2.0, d * 2.0];
+        assert_forces_match(&pos, &forces, 1e-5, 1e-6, |p| (p[0] - p[1]).norm_sq());
+    }
+
+    #[test]
+    #[should_panic(expected = "force mismatch")]
+    fn assert_forces_match_rejects_wrong_forces() {
+        let pos = vec![Vec3::new(0.3, 0.4, 0.5)];
+        let forces = vec![Vec3::new(1.0, 0.0, 0.0)];
+        assert_forces_match(&pos, &forces, 1e-5, 1e-6, |p| p[0].norm_sq());
+    }
+}

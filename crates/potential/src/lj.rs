@@ -1,0 +1,129 @@
+//! Truncated-and-shifted Lennard-Jones pair potential.
+
+use crate::PairPotential;
+use sc_cell::Species;
+use serde::{Deserialize, Serialize};
+
+/// The 12-6 Lennard-Jones potential,
+/// `U(r) = 4ε[(σ/r)¹² − (σ/r)⁶] − U(r_c)`, truncated and shifted to zero at
+/// the cutoff so the energy is continuous there.
+///
+/// Species-independent: every pair interacts with the same (ε, σ). Use
+/// [`LennardJones::reduced`] for the standard reduced-unit liquid
+/// (ε = σ = 1).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LennardJones {
+    /// Well depth ε.
+    pub epsilon: f64,
+    /// Length scale σ.
+    pub sigma: f64,
+    /// Cutoff distance.
+    pub rcut: f64,
+    shift: f64,
+}
+
+impl LennardJones {
+    /// Creates a Lennard-Jones potential with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics unless `0 < sigma < rcut` and `epsilon > 0`.
+    pub fn new(epsilon: f64, sigma: f64, rcut: f64) -> Self {
+        assert!(epsilon > 0.0 && sigma > 0.0 && rcut > sigma, "bad LJ parameters");
+        let sr6 = (sigma / rcut).powi(6);
+        let shift = 4.0 * epsilon * (sr6 * sr6 - sr6);
+        LennardJones { epsilon, sigma, rcut, shift }
+    }
+
+    /// Reduced units: ε = σ = 1 with the given cutoff (2.5 is the
+    /// conventional LJ liquid choice).
+    pub fn reduced(rcut: f64) -> Self {
+        LennardJones::new(1.0, 1.0, rcut)
+    }
+}
+
+impl PairPotential for LennardJones {
+    fn cutoff(&self) -> f64 {
+        self.rcut
+    }
+
+    fn eval(&self, _si: Species, _sj: Species, r: f64) -> (f64, f64) {
+        // The engine filters to r < rcut; direct callers (e.g. tabulation)
+        // may legitimately sample r = rcut itself.
+        debug_assert!(r > 0.0 && r <= self.rcut + 1e-12);
+        let sr = self.sigma / r;
+        let sr6 = sr.powi(6);
+        let sr12 = sr6 * sr6;
+        let u = 4.0 * self.epsilon * (sr12 - sr6) - self.shift;
+        // du/dr = 4ε(−12 σ¹²/r¹³ + 6 σ⁶/r⁷) = (24ε/r)(sr6 − 2 sr12)
+        let du_dr = 24.0 * self.epsilon * (sr6 - 2.0 * sr12) / r;
+        (u, du_dr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::assert_forces_match;
+    use sc_geom::Vec3;
+
+    const S: Species = Species(0);
+
+    #[test]
+    fn minimum_at_two_pow_sixth() {
+        let lj = LennardJones::reduced(2.5);
+        let rmin = 2f64.powf(1.0 / 6.0);
+        let (_, du) = lj.eval(S, S, rmin);
+        assert!(du.abs() < 1e-12, "du/dr at the minimum should vanish, got {du}");
+        // Energy near the minimum ≈ −1 + |shift at 2.5| ≈ −0.9837.
+        let (u, _) = lj.eval(S, S, rmin);
+        assert!((u + 0.9837).abs() < 0.01, "LJ minimum energy {u}");
+    }
+
+    #[test]
+    fn shifted_to_zero_at_cutoff() {
+        let lj = LennardJones::reduced(2.5);
+        let (u, _) = lj.eval(S, S, 2.5 - 1e-9);
+        assert!(u.abs() < 1e-6);
+    }
+
+    #[test]
+    fn repulsive_at_short_range() {
+        let lj = LennardJones::reduced(2.5);
+        let (u, du) = lj.eval(S, S, 0.8);
+        assert!(u > 0.0);
+        assert!(du < 0.0); // force pushes apart: f = -du/dr > 0
+    }
+
+    #[test]
+    fn forces_match_finite_differences() {
+        let lj = LennardJones::reduced(2.5);
+        for r in [0.9, 1.0, 1.12, 1.5, 2.0, 2.4] {
+            let pos = vec![Vec3::ZERO, Vec3::new(r, 0.0, 0.0)];
+            let d = pos[1] - pos[0];
+            let (_, du) = lj.eval(S, S, d.norm());
+            // f1 = -du/dr · d̂ (force on atom 1, pointing away from atom 0
+            // when repulsive).
+            let f1 = -(du / d.norm()) * d;
+            let forces = vec![-f1, f1];
+            assert_forces_match(&pos, &forces, 1e-6, 1e-6, |p| {
+                let r = (p[1] - p[0]).norm();
+                lj.eval(S, S, r).0
+            });
+        }
+    }
+
+    #[test]
+    fn scaling_with_epsilon_and_sigma() {
+        let a = LennardJones::new(2.0, 1.0, 2.5);
+        let b = LennardJones::new(1.0, 1.0, 2.5);
+        let (ua, _) = a.eval(S, S, 1.3);
+        let (ub, _) = b.eval(S, S, 1.3);
+        assert!((ua - 2.0 * ub).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cutoff_below_sigma_rejected() {
+        let _ = LennardJones::new(1.0, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Stillinger-Weber silicon potential (2- + 3-body).
+
+use crate::vashishta::bond_bend_eval;
+use crate::{PairPotential, TripletPotential};
+use sc_cell::Species;
+use sc_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// The Stillinger-Weber potential for silicon
+/// [Stillinger & Weber, PRB 31, 5262 (1985)] — a second, independent
+/// many-body (pair + triplet) force field exercising exactly the dynamic
+/// 2-tuple + 3-tuple computation shape of the paper's silica benchmark, but
+/// with a *single* triplet cutoff equal to the pair cutoff (no Hybrid-MD
+/// shortcut available), which is the regime where SC's smaller search space
+/// matters most.
+///
+/// Standard parameters (ε in eV, σ in Å):
+/// `A = 7.049556277, B = 0.6022245584, p = 4, q = 0, a = 1.8, λ = 21.0,
+/// γ = 1.2, ε = 2.1683, σ = 2.0951`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StillingerWeber {
+    /// Energy scale ε (eV).
+    pub epsilon: f64,
+    /// Length scale σ (Å).
+    pub sigma: f64,
+    /// Reduced cutoff a (cutoff = a·σ).
+    pub a: f64,
+    /// Two-body prefactor A.
+    pub big_a: f64,
+    /// Two-body ratio B.
+    pub big_b: f64,
+    /// Three-body strength λ.
+    pub lambda: f64,
+    /// Three-body screening γ.
+    pub gamma: f64,
+}
+
+impl Default for StillingerWeber {
+    fn default() -> Self {
+        StillingerWeber::silicon()
+    }
+}
+
+impl StillingerWeber {
+    /// The published silicon parameter set.
+    pub fn silicon() -> Self {
+        StillingerWeber {
+            epsilon: 2.1683,
+            sigma: 2.0951,
+            a: 1.8,
+            big_a: 7.049_556_277,
+            big_b: 0.602_224_558_4,
+            lambda: 21.0,
+            gamma: 1.2,
+        }
+    }
+
+    /// The cutoff distance `a·σ` shared by the pair and triplet terms.
+    pub fn rcut(&self) -> f64 {
+        self.a * self.sigma
+    }
+}
+
+impl PairPotential for StillingerWeber {
+    fn cutoff(&self) -> f64 {
+        self.rcut()
+    }
+
+    /// `f₂(r) = A ε [B (σ/r)⁴ − 1] exp(σ / (r − aσ))` for r < aσ. The
+    /// exponential screen drives both energy and derivative smoothly to zero
+    /// at the cutoff.
+    fn eval(&self, _si: Species, _sj: Species, r: f64) -> (f64, f64) {
+        let rc = self.rcut();
+        if r >= rc {
+            return (0.0, 0.0);
+        }
+        let sr = self.sigma / r;
+        let sr4 = sr.powi(4);
+        let screen = (self.sigma / (r - rc)).exp();
+        let poly = self.big_b * sr4 - 1.0;
+        let u = self.big_a * self.epsilon * poly * screen;
+        // du/dr = Aε [poly' · screen + poly · screen']
+        let dpoly = -4.0 * self.big_b * sr4 / r;
+        let dscreen = -self.sigma / ((r - rc) * (r - rc)) * screen;
+        let du = self.big_a * self.epsilon * (dpoly * screen + poly * dscreen);
+        (u, du)
+    }
+}
+
+impl TripletPotential for StillingerWeber {
+    fn cutoff(&self) -> f64 {
+        self.rcut()
+    }
+
+    /// `f₃ = λ ε (cos θ + ⅓)² exp(γσ/(r_a − aσ)) exp(γσ/(r_b − aσ))` with
+    /// the vertex at the chain middle.
+    fn eval(
+        &self,
+        _s0: Species,
+        _s1: Species,
+        _s2: Species,
+        d10: Vec3,
+        d12: Vec3,
+    ) -> (f64, Vec3, Vec3, Vec3) {
+        let rc = self.rcut();
+        let gs = self.gamma * self.sigma;
+        bond_bend_eval(self.lambda * self.epsilon, -1.0 / 3.0, d10, d12, |r| {
+            if r >= rc {
+                (0.0, 0.0)
+            } else {
+                let z = (gs / (r - rc)).exp();
+                (z, -gs / ((r - rc) * (r - rc)) * z)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::assert_forces_match;
+
+    const S: Species = Species::DEFAULT;
+
+    #[test]
+    fn pair_minimum_is_binding() {
+        let sw = StillingerWeber::silicon();
+        // The SW dimer minimum sits near r ≈ 2.35 Å with depth ≈ −ε.
+        let (u, du) = PairPotential::eval(&sw, S, S, 2.35);
+        assert!(u < -2.0, "dimer energy at 2.35 Å: {u}");
+        assert!(du.abs() < 0.3, "near-minimum slope: {du}");
+    }
+
+    #[test]
+    fn pair_vanishes_at_cutoff() {
+        let sw = StillingerWeber::silicon();
+        let (u, du) = PairPotential::eval(&sw, S, S, sw.rcut() - 1e-6);
+        assert!(u.abs() < 1e-3);
+        assert!(du.abs() < 1.0); // screened to ~0, not divergent
+        let (u2, du2) = PairPotential::eval(&sw, S, S, sw.rcut() + 0.1);
+        assert_eq!((u2, du2), (0.0, 0.0));
+    }
+
+    #[test]
+    fn pair_forces_match_finite_differences() {
+        let sw = StillingerWeber::silicon();
+        for r in [2.0, 2.35, 2.8, 3.3] {
+            let pos = vec![Vec3::ZERO, Vec3::new(r, 0.0, 0.0)];
+            let d = pos[1] - pos[0];
+            let (_, du) = PairPotential::eval(&sw, S, S, d.norm());
+            let f1 = -(du / d.norm()) * d;
+            assert_forces_match(&pos, &[-f1, f1], 1e-6, 1e-5, |p| {
+                PairPotential::eval(&sw, S, S, (p[1] - p[0]).norm()).0
+            });
+        }
+    }
+
+    #[test]
+    fn triplet_prefers_tetrahedral_angle() {
+        let sw = StillingerWeber::silicon();
+        let ra = 2.35;
+        let angle_energy = |theta: f64| {
+            let d10 = Vec3::new(ra, 0.0, 0.0);
+            let d12 = Vec3::new(ra * theta.cos(), ra * theta.sin(), 0.0);
+            TripletPotential::eval(&sw, S, S, S, d10, d12).0
+        };
+        let tetra = (-1.0f64 / 3.0).acos();
+        assert!(angle_energy(tetra) < 1e-12);
+        assert!(angle_energy(tetra + 0.3) > 0.0);
+        assert!(angle_energy(tetra - 0.3) > 0.0);
+    }
+
+    #[test]
+    fn triplet_forces_match_finite_differences() {
+        let sw = StillingerWeber::silicon();
+        let r1 = Vec3::ZERO;
+        let r0 = Vec3::new(2.3, 0.2, -0.1);
+        let r2 = Vec3::new(-0.8, 2.2, 0.4);
+        let pos = vec![r0, r1, r2];
+        let (_, f0, f1, f2) = TripletPotential::eval(&sw, S, S, S, r0 - r1, r2 - r1);
+        assert!((f0 + f1 + f2).norm() < 1e-12);
+        assert_forces_match(&pos, &[f0, f1, f2], 1e-6, 1e-5, |p| {
+            TripletPotential::eval(&sw, S, S, S, p[0] - p[1], p[2] - p[1]).0
+        });
+    }
+
+    #[test]
+    fn single_cutoff_for_both_terms() {
+        let sw = StillingerWeber::silicon();
+        assert_eq!(PairPotential::cutoff(&sw), TripletPotential::cutoff(&sw));
+    }
+}

@@ -1,0 +1,137 @@
+//! Potential traits: the contract between force fields and the UCP engine.
+
+use sc_cell::Species;
+use sc_geom::Vec3;
+
+/// A range-limited pair (n = 2) potential.
+///
+/// The engine guarantees `r < cutoff()` before calling [`PairPotential::eval`].
+pub trait PairPotential: Send + Sync {
+    /// The pair cutoff `r_cut-2`.
+    fn cutoff(&self) -> f64;
+
+    /// Energy and radial derivative at separation `r` for a species pair:
+    /// returns `(u, du/dr)`. The engine turns this into forces as
+    /// `f_i = -(du/dr)·(r_i - r_j)/r`, `f_j = -f_i`.
+    fn eval(&self, si: Species, sj: Species, r: f64) -> (f64, f64);
+
+    /// Whether this potential contributes for the species pair at all.
+    /// Defaults to `true`; species-selective fields override it so the
+    /// engine can skip tuples early.
+    fn applies(&self, _si: Species, _sj: Species) -> bool {
+        true
+    }
+}
+
+/// A range-limited triplet (n = 3) potential over the chain
+/// `(r0, r1, r2)` — the *middle* atom is the vertex, and the chain legs
+/// `|r1→r0|, |r1→r2|` are both < [`TripletPotential::cutoff`] (the paper's
+/// `Γ*(3)` chain-cutoff condition, Eq. 6).
+pub trait TripletPotential: Send + Sync {
+    /// The triplet cutoff `r_cut-3` (≈ 0.47 · r_cut-2 in the paper's silica
+    /// benchmark).
+    fn cutoff(&self) -> f64;
+
+    /// Energy and forces for a triplet. `d10 = r0 − r1` and `d12 = r2 − r1`
+    /// are minimum-image leg vectors from the vertex. Returns
+    /// `(u, f0, f1, f2)` with `f0 + f1 + f2 = 0`.
+    fn eval(&self, s0: Species, s1: Species, s2: Species, d10: Vec3, d12: Vec3)
+        -> (f64, Vec3, Vec3, Vec3);
+
+    /// Whether the species combination interacts (vertex in the middle).
+    fn applies(&self, _s0: Species, _s1: Species, _s2: Species) -> bool {
+        true
+    }
+}
+
+/// A range-limited quadruplet (n = 4) potential over the chain
+/// `(r0, r1, r2, r3)` with all three consecutive links shorter than
+/// [`QuadrupletPotential::cutoff`].
+pub trait QuadrupletPotential: Send + Sync {
+    /// The quadruplet cutoff `r_cut-4`.
+    fn cutoff(&self) -> f64;
+
+    /// Energy and forces for the chain. `d01 = r1 − r0`, `d12 = r2 − r1`,
+    /// `d23 = r3 − r2` are minimum-image link vectors. Returns
+    /// `(u, [f0, f1, f2, f3])` with the forces summing to zero.
+    fn eval(
+        &self,
+        species: [Species; 4],
+        d01: Vec3,
+        d12: Vec3,
+        d23: Vec3,
+    ) -> (f64, [Vec3; 4]);
+
+    /// Whether the species chain interacts.
+    fn applies(&self, _species: [Species; 4]) -> bool {
+        true
+    }
+}
+
+/// One n-body term of a many-body potential-energy function
+/// `Φ = Φ₂ + Φ₃ + … + Φ_nmax` (paper Eq. 2). A simulation owns one
+/// `NBodyTerm` per n it computes; the engine builds one computation pattern
+/// per term and runs the UCP search for each (the paper's per-n force sets
+/// `S(n)`).
+pub enum NBodyTerm {
+    /// A pair term Φ₂.
+    Pair(Box<dyn PairPotential>),
+    /// A triplet term Φ₃.
+    Triplet(Box<dyn TripletPotential>),
+    /// A quadruplet term Φ₄.
+    Quadruplet(Box<dyn QuadrupletPotential>),
+}
+
+impl NBodyTerm {
+    /// The tuple order n of the term.
+    pub fn n(&self) -> usize {
+        match self {
+            NBodyTerm::Pair(_) => 2,
+            NBodyTerm::Triplet(_) => 3,
+            NBodyTerm::Quadruplet(_) => 4,
+        }
+    }
+
+    /// The term's chain cutoff `r_cut-n`.
+    pub fn cutoff(&self) -> f64 {
+        match self {
+            NBodyTerm::Pair(p) => p.cutoff(),
+            NBodyTerm::Triplet(t) => t.cutoff(),
+            NBodyTerm::Quadruplet(q) => q.cutoff(),
+        }
+    }
+}
+
+impl std::fmt::Debug for NBodyTerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NBodyTerm(n={}, rcut={})", self.n(), self.cutoff())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl PairPotential for Dummy {
+        fn cutoff(&self) -> f64 {
+            1.5
+        }
+        fn eval(&self, _: Species, _: Species, r: f64) -> (f64, f64) {
+            (r * r, 2.0 * r)
+        }
+    }
+
+    #[test]
+    fn nbody_term_metadata() {
+        let t = NBodyTerm::Pair(Box::new(Dummy));
+        assert_eq!(t.n(), 2);
+        assert_eq!(t.cutoff(), 1.5);
+        assert!(format!("{t:?}").contains("n=2"));
+    }
+
+    #[test]
+    fn default_applies_is_true() {
+        assert!(Dummy.applies(Species(0), Species(1)));
+    }
+}

@@ -1,0 +1,90 @@
+//! A tour of the computation-pattern algebra: build the paper's patterns,
+//! inspect their sizes, footprints, and import volumes, and verify the
+//! invariances of §3 by direct computation.
+//!
+//! Run: `cargo run --release --example pattern_explorer`
+
+use shift_collapse_md::pattern::ucp::{single_path_chains, ucp_chains};
+use shift_collapse_md::pattern::{
+    chain_complete, coverage_ascii, coverage_summary, eighth_shell, full_shell, generate_fs,
+    half_shell, import_volume_cubic, shift_collapse, theory, Path,
+};
+use shift_collapse_md::geom::IVec3;
+
+fn main() {
+    println!("== Cell coverage, drawn (the paper's Figs. 5–6) ==");
+    for (name, pat) in [
+        ("full shell (n = 2)", full_shell()),
+        ("eighth shell / SC(2)", eighth_shell()),
+        ("SC(3)", shift_collapse(3)),
+    ] {
+        println!("--- {name}: {}", coverage_summary(&pat));
+        print!("{}", coverage_ascii(&pat));
+    }
+
+    println!("== The shift-collapse pipeline (n = 3) ==");
+    let fs = generate_fs(3);
+    let sc = shift_collapse(3);
+    println!("GENERATE-FS(3): {} paths (27² = {})", fs.len(), theory::fs_path_count(3));
+    println!(
+        "SC(3):          {} paths  —  Eq. 29: (27² + 27)/2 = {}",
+        sc.len(),
+        theory::sc_path_count(3)
+    );
+    println!(
+        "footprints: FS = {}, SC = {} (first octant [0,2]³ = 27)",
+        fs.footprint(),
+        sc.footprint()
+    );
+    println!(
+        "import volume, 4³-cell domain: FS = {}, SC = {} (Eq. 33: 6³−4³ = {})",
+        import_volume_cubic(4, &fs),
+        import_volume_cubic(4, &sc),
+        theory::sc_import_volume(4, 3)
+    );
+
+    println!();
+    println!("== Classical pair methods as patterns (§4.3) ==");
+    for (name, p) in [("full shell", full_shell()), ("half shell", half_shell()), ("eighth shell", eighth_shell())] {
+        println!(
+            "{name:>13}: |Ψ| = {:>2}, single-cell imports = {:>2}",
+            p.len(),
+            import_volume_cubic(1, &p)
+        );
+    }
+
+    println!();
+    println!("== Theorem 1: path-shift invariance, computed ==");
+    let p = Path::new(vec![IVec3::new(0, 0, 0), IVec3::new(1, 0, 0), IVec3::new(1, 1, 0)]);
+    let shifted = p.shifted(IVec3::new(-3, 5, 2));
+    let dims = IVec3::splat(4);
+    let same = single_path_chains(dims, &p) == single_path_chains(dims, &shifted);
+    println!("UCP(Ω, {{p}}) == UCP(Ω, {{p + Δ}}) on a 4³ domain: {same}");
+
+    println!();
+    println!("== Lemma 3: reflective twins generate the same force set ==");
+    let twin = p.reflective_twin();
+    println!("p    = {p}");
+    println!("RPT  = {twin}");
+    println!(
+        "identical chain sets: {}",
+        single_path_chains(dims, &p) == single_path_chains(dims, &twin)
+    );
+
+    println!();
+    println!("== Theorem 2: completeness of SC, by exhaustion ==");
+    for n in 2..=4 {
+        let pat = shift_collapse(n);
+        let dims = IVec3::splat((n as i32).max(4));
+        println!(
+            "SC({n}) generates every nearest-neighbour {n}-chain on a {dims} lattice: {}",
+            chain_complete(dims, &pat)
+        );
+    }
+
+    println!();
+    println!("== FS and SC force sets coincide (redundancy only) ==");
+    let a = ucp_chains(IVec3::splat(4), &generate_fs(2));
+    let b = ucp_chains(IVec3::splat(4), &shift_collapse(2));
+    println!("pair chain sets equal on 4³: {} ({} chains)", a == b, a.len());
+}

@@ -1,0 +1,49 @@
+//! The paper's benchmark application: silica MD with pair + triplet
+//! dynamic tuple computation (`r_cut3/r_cut2 ≈ 0.47`), run under all three
+//! methods — SC-MD, FS-MD, and the production-style Hybrid-MD — which must
+//! agree on the physics while searching very different tuple spaces.
+//!
+//! Run: `cargo run --release --example silica`
+
+use shift_collapse_md::md::Method;
+use shift_collapse_md::prelude::*;
+
+fn main() {
+    let v = Vashishta::silica();
+    println!(
+        "Vashishta-form silica: rcut2 = {} Å, rcut3 = {} Å (ratio {:.3})",
+        v.params().rcut2,
+        v.params().rcut3,
+        v.params().rcut3 / v.params().rcut2
+    );
+    let masses = v.params().masses;
+
+    for method in Method::ALL {
+        let (store, bbox) = build_silica_like(3, 7.16, masses, 0.02, 7);
+        let n = store.len();
+        let mut sim = Simulation::builder(store, bbox)
+            .pair_potential(Box::new(v.pair.clone()))
+            .triplet_potential(Box::new(v.triplet.clone()))
+            .method(method)
+            .timestep(0.0005)
+            .thermostat(0.03, 0.05)
+            .build()
+            .expect("valid silica simulation");
+        let t0 = std::time::Instant::now();
+        let stats = sim.run(20);
+        let elapsed = t0.elapsed().as_secs_f64() / 20.0;
+        println!(
+            "{:<10} {n} atoms | E2 = {:>9.2}  E3 = {:>7.2} | pair cands {:>9}  triplet cands {:>9} | {:.2} ms/step",
+            method.name(),
+            stats.energy.pair,
+            stats.energy.triplet,
+            stats.tuples.pair.candidates,
+            stats.tuples.triplet.candidates,
+            elapsed * 1e3,
+        );
+    }
+    println!();
+    println!("All three methods compute identical forces; SC-MD searches ~half of");
+    println!("FS-MD's triplet candidates (Eq. 29) while Hybrid-MD prunes triplets");
+    println!("from its Verlet pair list, trading import volume for search cost (§5).");
+}

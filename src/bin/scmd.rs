@@ -1,0 +1,192 @@
+//! `scmd` — command-line driver for the shift-collapse MD library.
+//!
+//! ```text
+//! scmd run      --system lj|silica --cells N --steps N --method sc|fs|hybrid
+//!               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]
+//! scmd patterns [--n N]           # pattern algebra summary
+//! scmd model    --machine xeon|bgq [--grain N]   # cost-model report
+//! ```
+
+use shift_collapse_md::md::{thermalize, write_xyz, Method};
+use shift_collapse_md::pattern::{generate_fs, import_volume_cubic, shift_collapse, theory};
+use shift_collapse_md::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| usage("missing subcommand"));
+    let flags = parse_flags(args);
+    match cmd.as_str() {
+        "run" => run(&flags),
+        "patterns" => patterns(&flags),
+        "model" => model(&flags),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "scmd — shift-collapse molecular dynamics\n\n\
+         USAGE:\n  scmd run      --system lj|silica [--cells N] [--steps N] [--method sc|fs|hybrid]\n\
+         \x20               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]\n\
+         \x20 scmd patterns [--n N]\n\
+         \x20 scmd model    [--machine xeon|bgq] [--grain N]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            usage(&format!("unexpected argument {a:?}"));
+        };
+        let val = args.next().unwrap_or_else(|| usage(&format!("--{key} needs a value")));
+        out.insert(key.to_string(), val);
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .map(|v| v.parse().unwrap_or_else(|_| usage(&format!("bad value for --{key}: {v:?}"))))
+        .unwrap_or(default)
+}
+
+fn method_of(flags: &HashMap<String, String>) -> Method {
+    match flags.get("method").map(String::as_str) {
+        None | Some("sc") => Method::ShiftCollapse,
+        Some("fs") => Method::FullShell,
+        Some("hybrid") => Method::Hybrid,
+        Some(m) => usage(&format!("unknown method {m:?}")),
+    }
+}
+
+fn run(flags: &HashMap<String, String>) {
+    let system = flags.get("system").map(String::as_str).unwrap_or("lj");
+    let steps: usize = get(flags, "steps", 100);
+    let method = method_of(flags);
+    let dt_default = if system == "silica" { 0.0005 } else { 0.002 };
+    let dt: f64 = get(flags, "dt", dt_default);
+    let subdivision: i32 = get(flags, "subdivision", 1);
+    let skin: f64 = get(flags, "skin", 0.0);
+    let mut sim = match system {
+        "lj" => {
+            let cells: usize = get(flags, "cells", 6);
+            let (mut store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(cells, 1.5599), 0.0, 42);
+            thermalize(&mut store, get(flags, "temp", 1.0), 42);
+            Simulation::builder(store, bbox)
+                .pair_potential(Box::new(LennardJones::reduced(2.5)))
+                .method(method)
+                .timestep(dt)
+                .cell_subdivision(subdivision)
+                .verlet_skin(skin)
+                .build()
+        }
+        "silica" => {
+            let cells: usize = get(flags, "cells", 3);
+            let v = Vashishta::silica();
+            let (mut store, bbox) = build_silica_like(cells, 7.16, v.params().masses, 0.0, 42);
+            thermalize(&mut store, get(flags, "temp", 0.05), 42);
+            Simulation::builder(store, bbox)
+                .pair_potential(Box::new(v.pair.clone()))
+                .triplet_potential(Box::new(v.triplet.clone()))
+                .method(method)
+                .timestep(dt)
+                .cell_subdivision(subdivision)
+                .verlet_skin(skin)
+                .build()
+        }
+        other => usage(&format!("unknown system {other:?}")),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "# {} | {} atoms | {} | dt = {dt} | {steps} steps",
+        system,
+        sim.store().len(),
+        sim.method().name()
+    );
+    let e0 = sim.total_energy();
+    let t0 = std::time::Instant::now();
+    let report_every = (steps / 10).max(1);
+    for block in 0..steps.div_ceil(report_every) {
+        let todo = report_every.min(steps - block * report_every);
+        let stats = sim.run(todo);
+        println!(
+            "step {:>6}  E = {:>12.4}  T = {:>8.4}  tuples/step = {}",
+            sim.steps_done(),
+            stats.energy.total() + sim.store().kinetic_energy(),
+            sim.store().temperature(),
+            stats.tuples.total_accepted(),
+        );
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let e1 = sim.total_energy();
+    println!(
+        "# {:.2} ms/step | NVE drift {:.2e} | candidates/step: {}",
+        wall / steps as f64 * 1e3,
+        ((e1 - e0) / e0.abs()).abs(),
+        sim.last_stats().tuples.total_candidates(),
+    );
+    if let Some(path) = flags.get("xyz") {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create xyz"));
+        write_xyz(&mut f, sim.store(), sim.bbox(), &format!("step={}", sim.steps_done()))
+            .expect("write xyz");
+        println!("# final snapshot written to {path}");
+    }
+}
+
+fn patterns(flags: &HashMap<String, String>) {
+    let n: usize = get(flags, "n", 3);
+    let fs = generate_fs(n);
+    let sc = shift_collapse(n);
+    println!("n = {n}");
+    println!("  |Ψ_FS| = {} (27^{} = {})", fs.len(), n - 1, theory::fs_path_count(n));
+    println!("  |Ψ_SC| = {} (Eq. 29: {})", sc.len(), theory::sc_path_count(n));
+    println!("  search ratio FS/SC = {:.3}", theory::fs_over_sc_ratio(n));
+    println!("  SC footprint = {} cells (first octant [0,{}]³)", sc.footprint(), n - 1);
+    for l in [1u32, 2, 4] {
+        println!(
+            "  imports, l = {l}: SC {} | FS {} | midpoint {}",
+            import_volume_cubic(l, &sc),
+            import_volume_cubic(l, &fs),
+            theory::midpoint_import_volume(l as u64, n),
+        );
+    }
+}
+
+fn model(flags: &HashMap<String, String>) {
+    let machine = match flags.get("machine").map(String::as_str) {
+        None | Some("xeon") => MachineProfile::xeon(),
+        Some("bgq") => MachineProfile::bgq(),
+        Some(m) => usage(&format!("unknown machine {m:?}")),
+    };
+    let model = MdCostModel::new(shift_collapse_md::netmodel::SilicaWorkload::silica(), machine);
+    let grain: f64 = get(flags, "grain", 425.0);
+    println!("machine: {} | granularity N/P = {grain}", model.machine.name);
+    for m in Method::ALL {
+        let c = model.step_time(m, grain);
+        println!(
+            "  {:<10} total {:>10.3} ms (compute {:>9.3} ms, comm {:>9.3} ms, {} ghosts)",
+            m.name(),
+            c.total_s() * 1e3,
+            c.compute_s * 1e3,
+            c.comm_s * 1e3,
+            c.ghosts as u64,
+        );
+    }
+    match model.crossover(Method::ShiftCollapse, Method::Hybrid, 24.0, 1e6) {
+        Some(x) => println!("  SC → Hybrid crossover: N/P ≈ {x:.0}"),
+        None => println!("  no SC → Hybrid crossover found"),
+    }
+}

@@ -1,0 +1,73 @@
+//! # shift-collapse-md
+//!
+//! An open-source Rust implementation of the **shift-collapse (SC)
+//! algorithm** for dynamic range-limited n-tuple computation in many-body
+//! molecular dynamics, reproducing
+//!
+//! > M. Kunaseth, R. K. Kalia, A. Nakano, K. Nomura, P. Vashishta,
+//! > *"A Scalable Parallel Algorithm for Dynamic Range-Limited n-Tuple
+//! > Computation in Many-Body Molecular Dynamics Simulation"*,
+//! > Proceedings of SC'13.
+//!
+//! This umbrella crate re-exports the whole workspace under stable paths:
+//!
+//! * [`geom`] — vectors, periodic boxes, cell regions.
+//! * [`pattern`] — the computation-pattern algebra and the SC algorithm
+//!   itself (the paper's core contribution).
+//! * [`cell`] — the linked-cell data structure and atom storage.
+//! * [`potential`] — Lennard-Jones, Vashishta-form silica, Stillinger-Weber,
+//!   and a 4-body torsion potential.
+//! * [`md`] — the UCP enumeration engine and the SC-MD / FS-MD / Hybrid-MD
+//!   simulation drivers.
+//! * [`parallel`] — the thread-based distributed-memory runtime
+//!   (halo exchange, forwarded routing, force reduction, migration).
+//! * [`netmodel`] — calibrated machine profiles used to regenerate the
+//!   paper's granularity and strong-scaling figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use shift_collapse_md::prelude::*;
+//!
+//! // A small Lennard-Jones liquid, integrated with the SC pattern.
+//! let spec = LatticeSpec::cubic(6, 1.5599); // 6³ FCC cells, 864 atoms
+//! let (store, bbox) = build_fcc_lattice(&spec, 0.05, 42);
+//! let lj = LennardJones::reduced(2.5);
+//! let mut sim = Simulation::builder(store, bbox)
+//!     .pair_potential(Box::new(lj))
+//!     .method(Method::ShiftCollapse)
+//!     .timestep(0.002)
+//!     .build()
+//!     .unwrap();
+//! let e0 = sim.total_energy();
+//! sim.run(10);
+//! let e1 = sim.total_energy();
+//! assert!(((e1 - e0) / e0).abs() < 1e-3); // NVE drift is tiny
+//! ```
+
+pub use sc_cell as cell;
+pub use sc_core as pattern;
+pub use sc_geom as geom;
+pub use sc_md as md;
+pub use sc_netmodel as netmodel;
+pub use sc_parallel as parallel;
+pub use sc_potential as potential;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use sc_cell::{AtomStore, CellLattice, Species};
+    pub use sc_core::{
+        eighth_shell, generate_fs, generate_fs_reach, half_shell, shift_collapse,
+        shift_collapse_reach, Path, Pattern, PatternKind,
+    };
+    pub use sc_geom::{CellRegion, IVec3, SimulationBox, Vec3};
+    pub use sc_md::{
+        build_fcc_lattice, build_silica_like, pair_virial_pressure, LatticeSpec,
+        MeanSquaredDisplacement, Method, RadialDistribution, Simulation, SimulationBuilder,
+    };
+    pub use sc_netmodel::{MachineProfile, MdCostModel, MethodCosts};
+    pub use sc_parallel::{DistributedSim, RankGrid, ThreadedSim};
+    pub use sc_potential::{
+        LennardJones, StillingerWeber, TabulatedPair, TorsionToy, Vashishta,
+    };
+}

@@ -1,0 +1,248 @@
+//! Cross-crate end-to-end tests: the full pipeline from pattern algebra
+//! through serial MD to the distributed runtime, exercised through the
+//! umbrella crate's public API exactly as a downstream user would.
+
+use shift_collapse_md::geom::IVec3;
+use shift_collapse_md::md::Method;
+use shift_collapse_md::parallel::rank::ForceField;
+use shift_collapse_md::prelude::*;
+
+#[test]
+fn silica_pipeline_end_to_end() {
+    // The paper's benchmark app: pair + triplet silica, 20 NVE steps.
+    let v = Vashishta::silica();
+    let (store, bbox) = build_silica_like(3, 7.16, v.params().masses, 0.01, 99);
+    let mut sim = Simulation::builder(store, bbox)
+        .pair_potential(Box::new(v.pair.clone()))
+        .triplet_potential(Box::new(v.triplet.clone()))
+        .method(Method::ShiftCollapse)
+        .timestep(0.0005)
+        .build()
+        .unwrap();
+    let e0 = sim.total_energy();
+    sim.run(20);
+    let e1 = sim.total_energy();
+    assert!(
+        ((e1 - e0) / e0.abs()).abs() < 5e-4,
+        "silica NVE drift over 20 steps: {e0} → {e1}"
+    );
+    // Both tuple orders are being computed dynamically.
+    let t = sim.last_stats().tuples;
+    assert!(t.pair.accepted > 0 && t.triplet.accepted > 0);
+    // Momentum conservation through many-body forces.
+    assert!(sim.store().net_force().norm() < 1e-7);
+}
+
+#[test]
+fn serial_and_distributed_silica_agree_through_time() {
+    let v = Vashishta::silica();
+    let (store, bbox) = build_silica_like(4, 7.16, v.params().masses, 0.01, 5);
+    let mut serial = Simulation::builder(store.clone(), bbox)
+        .pair_potential(Box::new(v.pair.clone()))
+        .triplet_potential(Box::new(v.triplet.clone()))
+        .method(Method::ShiftCollapse)
+        .timestep(0.0005)
+        .build()
+        .unwrap();
+    let ff = ForceField {
+        pair: Some(Box::new(v.pair.clone())),
+        triplet: Some(Box::new(v.triplet.clone())),
+        quadruplet: None,
+        method: Method::ShiftCollapse,
+    };
+    let mut dist = DistributedSim::new(store, bbox, IVec3::new(2, 2, 1), ff, 0.0005).unwrap();
+    serial.run(5);
+    dist.run(5);
+    let gathered = dist.gather();
+    let sp = serial.store().positions();
+    for (i, (&id, &r)) in gathered.ids().iter().zip(gathered.positions()).enumerate() {
+        assert_eq!(id, i as u64);
+        let dr = bbox.min_image(r, sp[i]).norm();
+        assert!(dr < 1e-6, "atom {i} drifted {dr} between serial and distributed");
+    }
+}
+
+#[test]
+fn every_method_finds_the_same_physics_with_all_terms() {
+    // LJ + SW-triplet + torsion on one system: n = 2, 3, 4 all active.
+    let torsion = TorsionToy::new(0.02, 1.0, 0.3);
+    let mut energies = vec![];
+    for method in Method::ALL {
+        let (store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(6, 1.2), 0.05, 21);
+        let mut sim = Simulation::builder(store, bbox)
+            .pair_potential(Box::new(LennardJones::reduced(1.2)))
+            .triplet_potential(Box::new(ScaledSw::new(0.9)))
+            .quadruplet_potential(Box::new(torsion))
+            .method(method)
+            .build()
+            .unwrap();
+        let st = sim.compute_forces();
+        assert!(st.tuples.triplet.accepted > 0, "{}", method.name());
+        assert!(st.tuples.quadruplet.accepted > 0, "{}", method.name());
+        energies.push((st.energy.pair, st.energy.triplet, st.energy.quadruplet));
+    }
+    for e in &energies[1..] {
+        assert!((e.0 - energies[0].0).abs() < 1e-8 * energies[0].0.abs().max(1.0));
+        assert!((e.1 - energies[0].1).abs() < 1e-8 * energies[0].1.abs().max(1.0));
+        assert!((e.2 - energies[0].2).abs() < 1e-8 * energies[0].2.abs().max(1.0));
+    }
+}
+
+/// A Stillinger-Weber triplet term rescaled to a shorter cutoff so it fits
+/// the reduced-unit LJ test box (the SW cutoff itself is 3.77 Å).
+struct ScaledSw {
+    inner: StillingerWeber,
+    scale: f64,
+}
+
+impl ScaledSw {
+    fn new(rcut: f64) -> Self {
+        let mut inner = StillingerWeber::silicon();
+        // Shrink σ so a·σ = rcut.
+        let scale = rcut / (inner.a * inner.sigma);
+        inner.sigma *= scale;
+        ScaledSw { inner, scale }
+    }
+}
+
+impl shift_collapse_md::potential::TripletPotential for ScaledSw {
+    fn cutoff(&self) -> f64 {
+        self.inner.a * self.inner.sigma
+    }
+    fn eval(
+        &self,
+        s0: Species,
+        s1: Species,
+        s2: Species,
+        d10: shift_collapse_md::geom::Vec3,
+        d12: shift_collapse_md::geom::Vec3,
+    ) -> (f64, shift_collapse_md::geom::Vec3, shift_collapse_md::geom::Vec3, shift_collapse_md::geom::Vec3)
+    {
+        let _ = self.scale;
+        shift_collapse_md::potential::TripletPotential::eval(&self.inner, s0, s1, s2, d10, d12)
+    }
+}
+
+#[test]
+fn tabulated_silica_pair_term_matches_analytic() {
+    // Swap the Vashishta 2-body term for its cubic-Hermite table: energies
+    // and trajectories must agree to interpolation accuracy.
+    let v = Vashishta::silica();
+    let masses = v.params().masses;
+    let (store, bbox) = build_silica_like(3, 7.16, masses, 0.01, 31);
+    let tab = TabulatedPair::from_potential(&v.pair, 2, 1.0, 8000);
+    let mut analytic = Simulation::builder(store.clone(), bbox)
+        .pair_potential(Box::new(v.pair.clone()))
+        .triplet_potential(Box::new(v.triplet.clone()))
+        .timestep(0.0005)
+        .build()
+        .unwrap();
+    let mut tabulated = Simulation::builder(store, bbox)
+        .pair_potential(Box::new(tab))
+        .triplet_potential(Box::new(v.triplet.clone()))
+        .timestep(0.0005)
+        .build()
+        .unwrap();
+    let ea = analytic.compute_forces().energy.pair;
+    let et = tabulated.compute_forces().energy.pair;
+    assert!(
+        ((ea - et) / ea).abs() < 1e-6,
+        "tabulated pair energy {et} vs analytic {ea}"
+    );
+    analytic.run(5);
+    tabulated.run(5);
+    for (a, b) in analytic.store().positions().iter().zip(tabulated.store().positions()) {
+        assert!(bbox.min_image(*a, *b).norm() < 1e-5);
+    }
+    // The table conserves its own energy as well as the analytic form.
+    let e0 = tabulated.total_energy();
+    tabulated.run(20);
+    let e1 = tabulated.total_energy();
+    assert!(((e1 - e0) / e0.abs()).abs() < 5e-4, "tabulated NVE drift {e0} → {e1}");
+}
+
+#[test]
+fn xyz_roundtrip_through_simulation() {
+    use shift_collapse_md::md::{read_xyz, write_xyz};
+    let (mut store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(4, 1.6), 0.0, 3);
+    shift_collapse_md::md::thermalize(&mut store, 1.2, 7);
+    let mut buf = Vec::new();
+    write_xyz(&mut buf, &store, &bbox, "t=0").unwrap();
+    let (back, bbox2) = read_xyz(&mut std::io::BufReader::new(buf.as_slice()), vec![1.0]).unwrap();
+    assert_eq!(back.len(), store.len());
+    assert!((back.temperature() - store.temperature()).abs() < 1e-9);
+    assert_eq!(bbox2.lengths(), bbox.lengths());
+}
+
+#[test]
+fn pattern_theory_matches_construction_through_public_api() {
+    use shift_collapse_md::pattern::theory;
+    for n in 2..=4 {
+        assert_eq!(generate_fs(n).len() as u64, theory::fs_path_count(n));
+        assert_eq!(shift_collapse(n).len() as u64, theory::sc_path_count(n));
+    }
+    assert_eq!(half_shell().len(), 14);
+    assert_eq!(eighth_shell().import_offsets().len(), 7);
+}
+
+/// Long NVE stability soak — run explicitly with
+/// `cargo test --release -- --ignored long_nve`.
+#[test]
+#[ignore = "soak test: ~minutes in release"]
+fn long_nve_silica_stability() {
+    let v = Vashishta::silica();
+    let (store, bbox) = build_silica_like(3, 7.16, v.params().masses, 0.01, 17);
+    let mut sim = Simulation::builder(store, bbox)
+        .pair_potential(Box::new(v.pair.clone()))
+        .triplet_potential(Box::new(v.triplet.clone()))
+        .timestep(0.0005)
+        .build()
+        .unwrap();
+    let e0 = sim.total_energy();
+    sim.run(2000);
+    let e1 = sim.total_energy();
+    assert!(
+        ((e1 - e0) / e0.abs()).abs() < 5e-3,
+        "2000-step NVE drift: {e0} → {e1}"
+    );
+}
+
+/// Distributed soak: hot LJ gas on 8 ranks for many steps — migration,
+/// ghost exchange, and reduction under sustained churn.
+#[test]
+#[ignore = "soak test: ~minutes in release"]
+fn long_distributed_soak() {
+    let (mut store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(7, 1.5599), 1.0, 42);
+    shift_collapse_md::md::thermalize(&mut store, 2.0, 9);
+    let n0 = store.len();
+    let ff = ForceField {
+        pair: Some(Box::new(LennardJones::reduced(2.5))),
+        triplet: None,
+        quadruplet: None,
+        method: Method::ShiftCollapse,
+    };
+    let mut d = DistributedSim::new(store, bbox, IVec3::splat(2), ff, 0.001).unwrap();
+    let e0 = d.total_energy();
+    d.run(500);
+    let e1 = d.total_energy();
+    assert_eq!(d.gather().len(), n0);
+    assert!(((e1 - e0) / e0.abs()).abs() < 5e-3, "distributed drift {e0} → {e1}");
+    assert!(d.comm_stats().atoms_migrated > 100, "hot gas must migrate plenty");
+}
+
+#[test]
+fn cost_model_reproduces_figure_shapes() {
+    use shift_collapse_md::netmodel::SilicaWorkload;
+    for machine in [MachineProfile::xeon(), MachineProfile::bgq()] {
+        let model = MdCostModel::new(SilicaWorkload::silica(), machine);
+        // SC wins at the paper's finest grain…
+        let sc = model.step_time(Method::ShiftCollapse, 24.0).total_s();
+        let hy = model.step_time(Method::Hybrid, 24.0).total_s();
+        assert!(hy / sc > 2.0);
+        // …and Hybrid takes over at coarse grain.
+        let x = model
+            .crossover(Method::ShiftCollapse, Method::Hybrid, 24.0, 1e6)
+            .expect("crossover exists");
+        assert!(x > 100.0);
+    }
+}
