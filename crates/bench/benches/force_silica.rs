@@ -25,9 +25,7 @@ fn bench_force_silica(c: &mut Criterion) {
     g.sample_size(10);
     for method in Method::ALL {
         let mut sim = silica_sim(method);
-        g.bench_function(method.name(), |b| {
-            b.iter(|| black_box(sim.compute_forces()))
-        });
+        g.bench_function(method.name(), |b| b.iter(|| black_box(sim.compute_forces())));
     }
     g.finish();
 }

@@ -10,9 +10,7 @@ fn bench_pattern_gen(c: &mut Criterion) {
     let mut g = c.benchmark_group("pattern_generation");
     g.sample_size(20);
     for n in [2usize, 3, 4] {
-        g.bench_function(format!("generate_fs_n{n}"), |b| {
-            b.iter(|| black_box(generate_fs(n)))
-        });
+        g.bench_function(format!("generate_fs_n{n}"), |b| b.iter(|| black_box(generate_fs(n))));
         g.bench_function(format!("shift_collapse_n{n}"), |b| {
             b.iter(|| black_box(shift_collapse(n)))
         });

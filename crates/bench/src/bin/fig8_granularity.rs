@@ -30,10 +30,7 @@ fn main() {
         measured();
         return;
     }
-    println!(
-        "Fig. 8 — runtime per MD step vs granularity on {} (modeled)",
-        model.machine.name
-    );
+    println!("Fig. 8 — runtime per MD step vs granularity on {} (modeled)", model.machine.name);
     println!(
         "{:>8}  {:>11}  {:>11}  {:>11}  {:>9}  {:>9}",
         "N/P", "SC-MD", "FS-MD", "Hybrid-MD", "FS/SC", "Hyb/SC"
@@ -78,7 +75,7 @@ fn main() {
 /// cutoffs, so the finest paper grains are unreachable serially — the
 /// distributed runtime covers those in `sc-parallel`'s tests).
 fn measured() {
-    use sc_md::{build_silica_like, Simulation};
+    use sc_md::{build_silica_like, Simulation, StepPhases};
     use sc_potential::Vashishta;
     let v = Vashishta::silica();
     let masses = v.params().masses;
@@ -115,6 +112,43 @@ fn measured() {
     println!();
     println!("expected ordering at silica's cutoff ratio: Hybrid < SC < FS (coarse-grain");
     println!("regime of Fig. 8 — the search-cost side; import costs need the cluster).");
+
+    // Step-phase breakdown: where a force computation actually spends its
+    // time per method. enumerate/eval are summed per-lane seconds; bin and
+    // reduce are wall seconds on the driving thread (exchange is zero in
+    // shared memory).
+    println!();
+    println!("Per-phase breakdown, silica 4³ cells (detailed timing, mean of 5 steps)");
+    println!(
+        "{:>10}  {:>11}  {:>11}  {:>11}  {:>11}  {:>11}",
+        "method", "bin", "exchange", "enumerate", "eval", "reduce"
+    );
+    for method in Method::ALL {
+        let (store, bbox) = build_silica_like(4, 7.16, masses, 0.01, 7);
+        let mut sim = Simulation::builder(store, bbox)
+            .pair_potential(Box::new(v.pair.clone()))
+            .triplet_potential(Box::new(v.triplet.clone()))
+            .method(method)
+            .detailed_timing(true)
+            .build()
+            .expect("valid simulation");
+        sim.compute_forces(); // warm up (first call allocates the scratch pool)
+        let reps = 5u32;
+        let mut phases = StepPhases::default();
+        for _ in 0..reps {
+            phases.accumulate(&sim.compute_forces().phases);
+        }
+        let r = f64::from(reps);
+        println!(
+            "{:>10}  {}  {}  {}  {}  {}",
+            method.name(),
+            fmt_time(phases.bin_s / r),
+            fmt_time(phases.exchange_s / r),
+            fmt_time(phases.enumerate_s / r),
+            fmt_time(phases.eval_s / r),
+            fmt_time(phases.reduce_s / r),
+        );
+    }
 }
 
 /// Ablation: how the SC→Hybrid crossover moves with the cutoff ratio
@@ -122,15 +156,13 @@ fn measured() {
 /// the ratio grows toward 1 the pair list stops paying off and SC wins at
 /// every granularity.
 fn sweep_ratio(base: &MdCostModel) {
-    println!(
-        "Ablation — SC→Hybrid crossover vs r_cut3/r_cut2 on {}",
-        base.machine.name
-    );
+    println!("Ablation — SC→Hybrid crossover vs r_cut3/r_cut2 on {}", base.machine.name);
     println!("{:>8} {:>10}", "ratio", "crossover");
     for ratio in [0.3, 0.4, 0.47, 0.6, 0.7, 0.8, 0.9] {
         let mut w = SilicaWorkload::silica();
         w.rcut3 = w.rcut2 * ratio;
-        let model = MdCostModel { workload: w, machine: base.machine.clone(), consts: base.consts.clone() };
+        let model =
+            MdCostModel { workload: w, machine: base.machine.clone(), consts: base.consts.clone() };
         match model.crossover(Method::ShiftCollapse, Method::Hybrid, 24.0, 1e7) {
             Some(x) => println!("{ratio:>8.2} {x:>10.0}"),
             None => println!("{ratio:>8.2} {:>10}", "none"),

@@ -9,23 +9,24 @@
 //!
 //! Run: `cargo run -p sc-bench --release --bin fig9_strong_scaling -- xeon`
 //!      `cargo run -p sc-bench --release --bin fig9_strong_scaling -- bgq`
+//!      `... -- --measured` (in-process distributed runs with phase timers)
 
 use sc_md::Method;
 use sc_netmodel::{MachineProfile, MdCostModel, SilicaWorkload};
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "xeon".into());
-    let (profile, n_total, cores, ref_cores): (MachineProfile, f64, Vec<usize>, usize) =
-        if arg == "bgq" {
-            (
-                MachineProfile::bgq(),
-                0.79e6,
-                vec![16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192],
-                16,
-            )
-        } else {
-            (MachineProfile::xeon(), 0.88e6, vec![12, 24, 48, 96, 192, 384, 768], 12)
-        };
+    if arg == "--measured" {
+        measured();
+        return;
+    }
+    let (profile, n_total, cores, ref_cores): (MachineProfile, f64, Vec<usize>, usize) = if arg
+        == "bgq"
+    {
+        (MachineProfile::bgq(), 0.79e6, vec![16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192], 16)
+    } else {
+        (MachineProfile::xeon(), 0.88e6, vec![12, 24, 48, 96, 192, 384, 768], 12)
+    };
     let model = MdCostModel::new(SilicaWorkload::silica(), profile);
     println!(
         "Fig. 9 — strong scaling on {} ({:.2}M atoms, reference = {} cores; modeled)",
@@ -37,10 +38,8 @@ fn main() {
         "{:>8} {:>8} | {:>9} {:>6} | {:>9} {:>6} | {:>9} {:>6}",
         "cores", "N/P", "SC spd", "eff", "FS spd", "eff", "Hyb spd", "eff"
     );
-    let curves: Vec<_> = Method::ALL
-        .iter()
-        .map(|&m| model.strong_scaling(m, n_total, &cores, ref_cores))
-        .collect();
+    let curves: Vec<_> =
+        Method::ALL.iter().map(|&m| model.strong_scaling(m, n_total, &cores, ref_cores)).collect();
     for (i, &p) in cores.iter().enumerate() {
         let grain = n_total / p as f64;
         let sc = curves[0][i];
@@ -63,5 +62,65 @@ fn main() {
         println!("paper at 8192 cores: SC 465.6× (90.9%), FS 55.1× (10.8%), Hybrid 95.2× (18.6%)");
     } else {
         println!("paper at 768 cores: SC 59.3× (92.6%), FS 24.5× (38.3%), Hybrid 17.1× (26.8%)");
+    }
+}
+
+/// Real in-process distributed runs grounding the model's executor side:
+/// the BSP executor over a 2×2×2 rank grid on a small silica box, with the
+/// wall-clock phase decomposition (Eq. 30's `T_compute + T_comm`, measured)
+/// and the per-rank compute breakdown underneath it.
+fn measured() {
+    use sc_bench::fmt_time;
+    use sc_geom::IVec3;
+    use sc_md::build_silica_like;
+    use sc_parallel::rank::ForceField;
+    use sc_parallel::DistributedSim;
+    use sc_potential::Vashishta;
+
+    let v = Vashishta::silica();
+    let masses = v.params().masses;
+    let steps = 3;
+    println!("Measured distributed phase breakdown, silica 4³ cells, 2×2×2 ranks, {steps} steps");
+    println!(
+        "{:>6} {:>8}  {:>11}  {:>11}  {:>11}  {:>11}  {:>11}  {:>6}",
+        "method", "atoms", "migrate", "exchange", "compute", "reduce", "integrate", "comm%"
+    );
+    let mut breakdowns = vec![];
+    for method in Method::ALL {
+        let (store, bbox) = build_silica_like(4, 7.16, masses, 0.01, 7);
+        let atoms = store.len();
+        let ff = ForceField {
+            pair: Some(Box::new(v.pair.clone())),
+            triplet: Some(Box::new(v.triplet.clone())),
+            quadruplet: None,
+            method,
+        };
+        let mut d = DistributedSim::new(store, bbox, IVec3::splat(2), ff, 0.001)
+            .expect("valid distributed setup");
+        d.run(steps);
+        let t = d.timings();
+        println!(
+            "{:>6} {:>8}  {}  {}  {}  {}  {}  {:>5.1}%",
+            method.name(),
+            atoms,
+            fmt_time(t.migrate_s),
+            fmt_time(t.exchange_s),
+            fmt_time(t.compute_s),
+            fmt_time(t.reduce_s),
+            fmt_time(t.integrate_s),
+            t.comm_fraction() * 100.0
+        );
+        breakdowns.push((method, d.phase_breakdown()));
+    }
+    println!();
+    println!("Inside compute (summed per-rank seconds): bin / enumerate / scratch-reduce");
+    for (method, p) in breakdowns {
+        println!(
+            "{:>6}  bin {}  enumerate {}  reduce {}",
+            method.name(),
+            fmt_time(p.bin_s),
+            fmt_time(p.enumerate_s),
+            fmt_time(p.reduce_s),
+        );
     }
 }

@@ -51,9 +51,12 @@ fn main() {
 
     println!();
     println!("Classical pair methods (§4.3): paths and single-cell imports");
-    for (name, pat) in
-        [("FS", full_shell()), ("HS", half_shell()), ("ES", eighth_shell()), ("SC(2)", shift_collapse(2))]
-    {
+    for (name, pat) in [
+        ("FS", full_shell()),
+        ("HS", half_shell()),
+        ("ES", eighth_shell()),
+        ("SC(2)", shift_collapse(2)),
+    ] {
         println!(
             "  {:6} |Ψ| = {:>2}, footprint = {:>2}, imports (l=1) = {:>2}",
             name,
@@ -123,10 +126,7 @@ fn reach_table() {
 /// search but keeps the full-shell import; SC does both.
 fn ablation() {
     println!("Ablation — contribution of each subroutine (n = 3, l = 2 domain)");
-    println!(
-        "{:>18} {:>8} {:>10} {:>12}",
-        "pattern", "|Ψ|", "footprint", "imports(l=2)"
-    );
+    println!("{:>18} {:>8} {:>10} {:>12}", "pattern", "|Ψ|", "footprint", "imports(l=2)");
     let fs = generate_fs(3);
     let oc = oc_shift(&fs);
     let rc = r_collapse(&fs);

@@ -247,11 +247,7 @@ mod tests {
         let mut l = lat();
         l.rebuild(&store, 2);
         // Atom 0 is not binned anywhere; atom 1 is.
-        let total: usize = l
-            .extended_region()
-            .iter()
-            .map(|q| l.cell_atoms(q).len())
-            .sum();
+        let total: usize = l.extended_region().iter().map(|q| l.cell_atoms(q).len()).sum();
         assert_eq!(total, 1);
     }
 

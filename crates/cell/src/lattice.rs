@@ -103,11 +103,8 @@ impl CellLattice {
         let ncell = self.num_cells();
         self.starts.clear();
         self.starts.resize(ncell + 1, 0);
-        let cells: Vec<u32> = store
-            .positions()
-            .iter()
-            .map(|&r| self.cell_index(self.cell_of(r)) as u32)
-            .collect();
+        let cells: Vec<u32> =
+            store.positions().iter().map(|&r| self.cell_index(self.cell_of(r)) as u32).collect();
         for &c in &cells {
             self.starts[c as usize + 1] += 1;
         }

@@ -8,7 +8,9 @@ use serde::{Deserialize, Serialize};
 /// Species are deliberately a thin `u8` newtype: the enumeration hot loops
 /// carry one per atom, and potentials index `n_species × n_species` parameter
 /// matrices with them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Species(pub u8);
 
 impl Species {

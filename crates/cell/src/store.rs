@@ -177,8 +177,7 @@ impl AtomStore {
         if self.is_empty() {
             return;
         }
-        let total_mass: f64 =
-            self.species.iter().map(|s| self.species_masses[s.index()]).sum();
+        let total_mass: f64 = self.species.iter().map(|s| self.species_masses[s.index()]).sum();
         let v_cm = self.net_momentum() / total_mass;
         for v in &mut self.velocities {
             *v -= v_cm;

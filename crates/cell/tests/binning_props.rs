@@ -7,7 +7,10 @@ use sc_cell::{AtomStore, CellLattice, GhostLattice, Species};
 use sc_geom::{IVec3, SimulationBox, Vec3};
 
 fn store_strategy() -> impl Strategy<Value = (AtomStore, SimulationBox)> {
-    (4.0f64..12.0, proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, -1.0f64..1.0), 1..80))
+    (
+        4.0f64..12.0,
+        proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, -1.0f64..1.0), 1..80),
+    )
         .prop_map(|(l, rows)| {
             let bbox = SimulationBox::cubic(l);
             let mut store = AtomStore::single_species();

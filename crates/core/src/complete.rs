@@ -16,9 +16,8 @@ use sc_geom::IVec3;
 /// edge is `r_cut / k` (k = 1 is the paper's nearest-neighbour case).
 fn all_neighbor_chains_reach(dims: IVec3, n: usize, k: i32) -> Vec<Chain> {
     let nbrs: Vec<IVec3> = IVec3::box_iter(IVec3::splat(-k), IVec3::splat(k)).collect();
-    let mut chains: Vec<Chain> = IVec3::box_iter(IVec3::ZERO, dims - IVec3::splat(1))
-        .map(|q| vec![q])
-        .collect();
+    let mut chains: Vec<Chain> =
+        IVec3::box_iter(IVec3::ZERO, dims - IVec3::splat(1)).map(|q| vec![q]).collect();
     for _ in 1..n {
         let mut next = Vec::with_capacity(chains.len() * nbrs.len());
         for c in &chains {
@@ -42,9 +41,7 @@ fn all_neighbor_chains_reach(dims: IVec3, n: usize, k: i32) -> Vec<Chain> {
 /// cells (paper §6; see the [`crate::generate_fs_reach`] family).
 pub fn chain_complete_reach(dims: IVec3, pattern: &Pattern, k: i32) -> bool {
     let generated = ucp_chains(dims, pattern);
-    all_neighbor_chains_reach(dims, pattern.n(), k)
-        .into_iter()
-        .all(|c| generated.contains(&c))
+    all_neighbor_chains_reach(dims, pattern.n(), k).into_iter().all(|c| generated.contains(&c))
 }
 
 /// Returns the nearest-neighbour chains of length n that `pattern` fails to
@@ -70,7 +67,10 @@ pub fn chain_complete(dims: IVec3, pattern: &Pattern) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{eighth_shell, full_shell, generate_fs, half_shell, oc_shift, r_collapse, shift_collapse, Path};
+    use crate::{
+        eighth_shell, full_shell, generate_fs, half_shell, oc_shift, r_collapse, shift_collapse,
+        Path,
+    };
 
     #[test]
     fn fs_is_complete_lemma1() {

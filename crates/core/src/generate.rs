@@ -228,10 +228,7 @@ mod tests {
             let fs = generate_fs(n);
             let sc = shift_collapse(n);
             for p in fs.iter() {
-                assert!(
-                    sc.iter().any(|q| q.is_equivalent(p)),
-                    "FS({n}) path {p} lost by SC"
-                );
+                assert!(sc.iter().any(|q| q.is_equivalent(p)), "FS({n}) path {p} lost by SC");
             }
         }
     }

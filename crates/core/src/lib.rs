@@ -66,9 +66,9 @@ mod generate;
 mod path;
 mod pattern;
 mod reach;
-mod viz;
 pub mod theory;
 pub mod ucp;
+mod viz;
 
 pub use complete::{chain_complete, chain_complete_reach, missing_chains};
 pub use coverage::{domain_import_cells, import_volume_cubic, neighbor_rank_offsets};

@@ -146,10 +146,7 @@ mod tests {
     #[test]
     fn sigma_is_differences() {
         let path = p(&[[0, 0, 0], [1, 0, 0], [1, 1, 0]]);
-        assert_eq!(
-            path.sigma(),
-            vec![IVec3::new(1, 0, 0), IVec3::new(0, 1, 0)]
-        );
+        assert_eq!(path.sigma(), vec![IVec3::new(1, 0, 0), IVec3::new(0, 1, 0)]);
     }
 
     #[test]

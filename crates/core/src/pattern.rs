@@ -151,10 +151,7 @@ mod tests {
 
     #[test]
     fn coverage_bounds() {
-        let pat = Pattern::new(vec![
-            p(&[[0, 0, 0], [-1, 2, 0]]),
-            p(&[[0, 0, 0], [1, -1, 3]]),
-        ]);
+        let pat = Pattern::new(vec![p(&[[0, 0, 0], [-1, 2, 0]]), p(&[[0, 0, 0], [1, -1, 3]])]);
         let (lo, hi) = pat.coverage_bounds();
         assert_eq!(lo, IVec3::new(-1, -1, 0));
         assert_eq!(hi, IVec3::new(1, 2, 3));
@@ -176,11 +173,8 @@ mod tests {
             p(&[[0, 0, 0], [1, 0, 0]]),
         ])
         .canonicalized();
-        let b = Pattern::new(vec![
-            p(&[[0, 0, 0], [0, 1, 0]]),
-            p(&[[0, 0, 0], [1, 0, 0]]),
-        ])
-        .canonicalized();
+        let b = Pattern::new(vec![p(&[[0, 0, 0], [0, 1, 0]]), p(&[[0, 0, 0], [1, 0, 0]])])
+            .canonicalized();
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
     }
@@ -194,10 +188,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn mixed_order_rejected() {
-        let _ = Pattern::new(vec![
-            p(&[[0, 0, 0], [1, 0, 0]]),
-            p(&[[0, 0, 0], [1, 0, 0], [1, 1, 0]]),
-        ]);
+        let _ =
+            Pattern::new(vec![p(&[[0, 0, 0], [1, 0, 0]]), p(&[[0, 0, 0], [1, 0, 0], [1, 1, 0]])]);
     }
 
     #[test]

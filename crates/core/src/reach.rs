@@ -118,10 +118,7 @@ mod tests {
 
     #[test]
     fn reach1_reduces_to_classic() {
-        assert_eq!(
-            generate_fs_reach(3, 1).canonicalized(),
-            generate_fs(3).canonicalized()
-        );
+        assert_eq!(generate_fs_reach(3, 1).canonicalized(), generate_fs(3).canonicalized());
         assert_eq!(
             shift_collapse_reach(2, 1).canonicalized().len(),
             shift_collapse(2).canonicalized().len()

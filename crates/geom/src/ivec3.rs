@@ -11,7 +11,9 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// `v_k` that make up a computation path are `IVec3`s. The algebra the
 /// shift-collapse algorithm manipulates (path shifting `p + Δ`, differential
 /// representation `σ(p)`, octant compression) is plain `IVec3` arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct IVec3 {
     /// x component.
     pub x: i32,
@@ -42,11 +44,7 @@ impl IVec3 {
     /// operation `q'_α = (q_α + Δ_α) % L_α` under periodic boundaries.
     #[inline]
     pub fn rem_euclid(self, dims: IVec3) -> IVec3 {
-        IVec3::new(
-            self.x.rem_euclid(dims.x),
-            self.y.rem_euclid(dims.y),
-            self.z.rem_euclid(dims.z),
-        )
+        IVec3::new(self.x.rem_euclid(dims.x), self.y.rem_euclid(dims.y), self.z.rem_euclid(dims.z))
     }
 
     /// Component-wise minimum.

@@ -144,11 +144,7 @@ impl MeanSquaredDisplacement {
         if self.unwrapped.is_empty() {
             return 0.0;
         }
-        self.unwrapped
-            .iter()
-            .zip(&self.reference)
-            .map(|(u, r)| (*u - *r).norm_sq())
-            .sum::<f64>()
+        self.unwrapped.iter().zip(&self.reference).map(|(u, r)| (*u - *r).norm_sq()).sum::<f64>()
             / self.unwrapped.len() as f64
     }
 }
@@ -191,8 +187,7 @@ impl BondAngleDistribution {
         let species = store.species();
         visit_triplets(&lat, store, &plan, self.rcut, |i, j, k, d01, d12| {
             if let Some((a, v, b)) = filter {
-                let (si, sj, sk) =
-                    (species[i as usize], species[j as usize], species[k as usize]);
+                let (si, sj, sk) = (species[i as usize], species[j as usize], species[k as usize]);
                 if sj != v || !((si, sk) == (a, b) || (si, sk) == (b, a)) {
                     return;
                 }
@@ -223,12 +218,7 @@ impl BondAngleDistribution {
 
     /// The modal angle in degrees (0 if nothing accumulated).
     pub fn peak_angle(&self) -> f64 {
-        let (i, _) = self
-            .bins
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap_or((0, &0));
+        let (i, _) = self.bins.iter().enumerate().max_by_key(|(_, &c)| c).unwrap_or((0, &0));
         (i as f64 + 0.5) * 180.0 / self.bins.len() as f64
     }
 }
@@ -273,8 +263,7 @@ pub fn chain_statistics(
     (2..=n_max)
         .map(|n| {
             let plan = PatternPlan::new(&shift_collapse(n), Dedup::Collapsed);
-            let stats =
-                crate::engine::visit_ntuples(&lat, store, &plan, rcut, |_| {});
+            let stats = crate::engine::visit_ntuples(&lat, store, &plan, rcut, |_| {});
             (n, stats.accepted)
         })
         .collect()
@@ -363,10 +352,7 @@ mod tests {
         rdf.accumulate(&store, &bbox);
         let g = rdf.normalized();
         let nn = a / 2f64.sqrt(); // FCC nearest-neighbour distance
-        let peak = g
-            .iter()
-            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
-            .unwrap();
+        let peak = g.iter().max_by(|x, y| x.1.partial_cmp(&y.1).unwrap()).unwrap();
         assert!(
             (peak.0 - nn).abs() < 0.05,
             "peak at {} but nearest-neighbour distance is {nn}",
@@ -412,12 +398,7 @@ mod tests {
         // Make a two-species store: alternate species.
         let mut store = sc_cell::AtomStore::new(vec![1.0, 2.0]);
         for i in 0..store0.len() {
-            store.push(
-                i as u64,
-                Species((i % 2) as u8),
-                store0.positions()[i],
-                Vec3::ZERO,
-            );
+            store.push(i as u64, Species((i % 2) as u8), store0.positions()[i], Vec3::ZERO);
         }
         store0.zero_forces();
         let mut total = RadialDistribution::new(2.5, 20);
@@ -456,30 +437,23 @@ mod tests {
         let mut sio = RadialDistribution::new(4.0, 80).partial(Species::SI, Species::O);
         sio.accumulate(&store, &bbox);
         let bond = a * 0.25 * 3f64.sqrt() * 0.5; // ≈ 1.55 Å
-        let peak = sio
-            .normalized()
-            .into_iter()
-            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
-            .unwrap();
-        assert!(
-            (peak.0 - bond).abs() < 0.1,
-            "Si-O peak at {} Å, bond length {bond} Å",
-            peak.0
-        );
+        let peak =
+            sio.normalized().into_iter().max_by(|x, y| x.1.partial_cmp(&y.1).unwrap()).unwrap();
+        assert!((peak.0 - bond).abs() < 0.1, "Si-O peak at {} Å, bond length {bond} Å", peak.0);
     }
 
     #[test]
     fn silica_bond_angles_peak_at_tetrahedral() {
         // β-cristobalite-like SiO₂: O-Si-O angles are exactly 109.47°.
         let (store, bbox) = crate::workload::build_silica_like(2, 7.16, [28.0855, 15.999], 0.0, 3);
-        let mut bad = BondAngleDistribution::new(2.0, 90)
-            .for_species(Species::O, Species::SI, Species::O);
+        let mut bad =
+            BondAngleDistribution::new(2.0, 90).for_species(Species::O, Species::SI, Species::O);
         bad.accumulate(&store, &bbox);
         let peak = bad.peak_angle();
         assert!((peak - 109.47).abs() < 3.0, "O-Si-O peak at {peak}°");
         // Si-O-Si in the ideal lattice is 180° (straight bridges).
-        let mut sos = BondAngleDistribution::new(2.0, 90)
-            .for_species(Species::SI, Species::O, Species::SI);
+        let mut sos =
+            BondAngleDistribution::new(2.0, 90).for_species(Species::SI, Species::O, Species::SI);
         sos.accumulate(&store, &bbox);
         assert!(sos.peak_angle() > 170.0, "Si-O-Si peak at {}°", sos.peak_angle());
         // The normalized distribution integrates to 1.
@@ -554,14 +528,12 @@ mod tests {
         // Brute-force virial over all cutoff pairs.
         let mut virial = 0.0;
         for (i, j) in crate::reference::all_pairs(&store, &bbox, 2.5) {
-            let r = bbox
-                .min_image(store.positions()[i as usize], store.positions()[j as usize])
-                .norm();
+            let r =
+                bbox.min_image(store.positions()[i as usize], store.positions()[j as usize]).norm();
             let (_, du) = sc_potential::PairPotential::eval(&lj, Species(0), Species(0), r);
             virial += -du * r;
         }
-        let expect =
-            (store.len() as f64 * store.temperature() + virial / 3.0) / bbox.volume();
+        let expect = (store.len() as f64 * store.temperature() + virial / 3.0) / bbox.volume();
         assert!(
             (p - expect).abs() < 1e-9 * expect.abs().max(1.0),
             "P = {p}, brute force = {expect}"

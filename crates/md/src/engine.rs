@@ -271,10 +271,7 @@ pub fn visit_quadruplets_in_cell_src(
                     }
                     for &i3 in cell_3 {
                         stats.candidates += 1;
-                        if i3 == i2
-                            || i3 == i1
-                            || i3 == i0
-                            || (*guard && src.gid(i0) > src.gid(i3))
+                        if i3 == i2 || i3 == i1 || i3 == i0 || (*guard && src.gid(i0) > src.gid(i3))
                         {
                             continue;
                         }
@@ -519,11 +516,7 @@ mod tests {
         let collect = |plan: &PatternPlan| {
             let mut out = HashSet::new();
             visit_quadruplets(&lat, &store, plan, rcut, |ids, _, _, _| {
-                let key = if ids[0] < ids[3] {
-                    ids
-                } else {
-                    [ids[3], ids[2], ids[1], ids[0]]
-                };
+                let key = if ids[0] < ids[3] { ids } else { [ids[3], ids[2], ids[1], ids[0]] };
                 assert!(out.insert(key), "quad {key:?} visited twice");
             });
             out
@@ -562,9 +555,8 @@ mod tests {
             assert!(i != j);
             assert!((d.norm() - r).abs() < 1e-12);
             // d is the minimum-image displacement.
-            let expect = lat
-                .bbox()
-                .min_image(store.positions()[i as usize], store.positions()[j as usize]);
+            let expect =
+                lat.bbox().min_image(store.positions()[i as usize], store.positions()[j as usize]);
             assert!((d - expect).norm() < 1e-12);
         });
     }

@@ -39,14 +39,12 @@ impl fmt::Display for BuildError {
             BuildError::NoTerms => {
                 write!(f, "simulation needs at least one potential term")
             }
-            BuildError::HybridNeedsPair => write!(
-                f,
-                "Hybrid-MD requires a pair potential (the Verlet list is built from it)"
-            ),
-            BuildError::CutoffOrder { n, rcut_n, rcut2 } => write!(
-                f,
-                "Hybrid-MD needs rcut{n} ({rcut_n}) ≤ rcut2 ({rcut2})"
-            ),
+            BuildError::HybridNeedsPair => {
+                write!(f, "Hybrid-MD requires a pair potential (the Verlet list is built from it)")
+            }
+            BuildError::CutoffOrder { n, rcut_n, rcut2 } => {
+                write!(f, "Hybrid-MD needs rcut{n} ({rcut_n}) ≤ rcut2 ({rcut2})")
+            }
             BuildError::BoxTooSmall { n, rcut, subdivision } => write!(
                 f,
                 "box too small for the n={n} lattice with cutoff {rcut} (subdivision {subdivision})"

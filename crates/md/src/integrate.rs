@@ -79,19 +79,15 @@ mod tests {
         };
         // Prime forces.
         spring(&mut store);
-        let energy = |s: &AtomStore| {
-            s.kinetic_energy() + 0.5 * k * (s.positions()[0] - centre).norm_sq()
-        };
+        let energy =
+            |s: &AtomStore| s.kinetic_energy() + 0.5 * k * (s.positions()[0] - centre).norm_sq();
         let e0 = energy(&store);
         let dt = 0.01;
         for _ in 0..10_000 {
             velocity_verlet_step(&mut store, &bbox, dt, spring);
         }
         let e1 = energy(&store);
-        assert!(
-            ((e1 - e0) / e0).abs() < 1e-4,
-            "harmonic energy drift: {e0} → {e1}"
-        );
+        assert!(((e1 - e0) / e0).abs() < 1e-4, "harmonic energy drift: {e0} → {e1}");
         // And the oscillator actually oscillates (period 2π, 100 s ≈ 15.9 periods).
         assert!((store.positions()[0] - centre).norm() <= 1.0 + 1e-6);
     }

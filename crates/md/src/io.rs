@@ -148,7 +148,8 @@ mod tests {
 
     #[test]
     fn malformed_input_is_rejected() {
-        let cases = ["", "3\nno lattice here\n", "2\nLattice=\"1 0 0 0 1 0 0 0 1\"\nAr 0 0 0 0 0 0\n"];
+        let cases =
+            ["", "3\nno lattice here\n", "2\nLattice=\"1 0 0 0 1 0 0 0 1\"\nAr 0 0 0 0 0 0\n"];
         for c in cases {
             assert!(
                 read_xyz(&mut BufReader::new(c.as_bytes()), vec![1.0]).is_err(),

@@ -35,6 +35,7 @@ pub mod diagnostics;
 pub mod engine;
 pub mod io;
 pub mod methods;
+pub mod par;
 pub mod reference;
 
 mod error;
@@ -44,15 +45,15 @@ mod stats;
 mod workload;
 
 pub use diagnostics::{
-    chain_statistics,
-    coordination_histogram, pair_virial_pressure, pair_virial_tensor, BondAngleDistribution,
-    MeanSquaredDisplacement, RadialDistribution,
+    chain_statistics, coordination_histogram, pair_virial_pressure, pair_virial_tensor,
+    BondAngleDistribution, MeanSquaredDisplacement, RadialDistribution,
 };
 pub use engine::{Dedup, PatternPlan};
 pub use error::BuildError;
 pub use integrate::{berendsen_rescale, velocity_verlet_step};
-pub use methods::Method;
-pub use sim::{Simulation, SimulationBuilder};
-pub use stats::{EnergyBreakdown, StepStats, TupleCounts};
 pub use io::{read_xyz, write_xyz};
+pub use methods::Method;
+pub use par::{AccumulatorPool, ForceAccumulator, LaneSlots, ThreadPool};
+pub use sim::{Simulation, SimulationBuilder};
+pub use stats::{EnergyBreakdown, StepPhases, StepStats, TupleCounts};
 pub use workload::{build_fcc_lattice, build_silica_like, random_gas, thermalize, LatticeSpec};

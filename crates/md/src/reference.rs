@@ -56,11 +56,7 @@ pub fn all_triplets(
 
 /// All undirected chain quadruplets `(i, j, k, l)` (links i–j, j–k, k–l),
 /// canonicalized so the lexicographically smaller direction is stored.
-pub fn all_quadruplets(
-    store: &AtomStore,
-    bbox: &SimulationBox,
-    rcut: f64,
-) -> HashSet<[u32; 4]> {
+pub fn all_quadruplets(store: &AtomStore, bbox: &SimulationBox, rcut: f64) -> HashSet<[u32; 4]> {
     let n = store.len();
     let rc2 = rcut * rcut;
     let pos = store.positions();
@@ -117,11 +113,8 @@ pub fn triplet_forces(
     let triplets = all_triplets(store, bbox, pot.cutoff());
     let mut energy = 0.0;
     for (i, j, k) in triplets {
-        let (s0, s1, s2) = (
-            store.species()[i as usize],
-            store.species()[j as usize],
-            store.species()[k as usize],
-        );
+        let (s0, s1, s2) =
+            (store.species()[i as usize], store.species()[j as usize], store.species()[k as usize]);
         if !pot.applies(s0, s1, s2) {
             continue;
         }
@@ -180,15 +173,17 @@ mod tests {
         // Check a couple of membership facts directly.
         for &(i, j) in &pairs {
             assert!(i < j);
-            assert!(bbox.dist_sq(store.positions()[i as usize], store.positions()[j as usize]) < 1.0);
+            assert!(
+                bbox.dist_sq(store.positions()[i as usize], store.positions()[j as usize]) < 1.0
+            );
         }
         // Complement check: no missed pair.
         let n = store.len() as u32;
         for i in 0..n {
             for j in (i + 1)..n {
-                let close =
-                    bbox.dist_sq(store.positions()[i as usize], store.positions()[j as usize])
-                        < 1.0;
+                let close = bbox
+                    .dist_sq(store.positions()[i as usize], store.positions()[j as usize])
+                    < 1.0;
                 assert_eq!(close, pairs.contains(&(i, j)));
             }
         }
@@ -212,8 +207,7 @@ mod tests {
         assert!(e.is_finite());
         // Random-gas overlaps make individual forces huge; compare the net
         // force against the force scale, not absolutely.
-        let scale: f64 =
-            store.forces().iter().map(|f| f.norm()).fold(1.0, f64::max);
+        let scale: f64 = store.forces().iter().map(|f| f.norm()).fold(1.0, f64::max);
         assert!(
             store.net_force().norm() < 1e-10 * scale,
             "net force {:?} vs scale {scale}",

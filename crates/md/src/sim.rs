@@ -4,11 +4,12 @@ use crate::engine::{self, PatternPlan, VisitStats};
 use crate::error::BuildError;
 use crate::integrate::{berendsen_rescale, velocity_verlet_finish, velocity_verlet_start};
 use crate::methods::{Method, NeighborList};
-use crate::stats::{EnergyBreakdown, StepStats, TupleCounts};
-use rayon::prelude::*;
+use crate::par::{AccumulatorPool, ForceAccumulator, LaneSlots, ThreadPool};
+use crate::stats::{EnergyBreakdown, StepPhases, StepStats, TupleCounts};
 use sc_cell::{AtomStore, CellLattice};
-use sc_geom::{SimulationBox, Vec3};
+use sc_geom::{IVec3, SimulationBox, Vec3};
 use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
+use std::time::Instant;
 
 /// Builder for [`Simulation`]. Obtained from [`Simulation::builder`].
 pub struct SimulationBuilder {
@@ -23,6 +24,8 @@ pub struct SimulationBuilder {
     barostat: Option<(f64, f64)>,
     subdivision: i32,
     skin: f64,
+    threads: usize,
+    detailed_timing: bool,
 }
 
 impl SimulationBuilder {
@@ -86,6 +89,22 @@ impl SimulationBuilder {
         self
     }
 
+    /// Sets the number of parallel force-evaluation lanes. `0` (the
+    /// default) sizes the pool to the host's available parallelism; `1`
+    /// runs inline with no worker threads.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Enables per-evaluation timers, splitting `eval_s` out of
+    /// `enumerate_s` in [`StepPhases`]. Costs two clock reads per accepted
+    /// tuple, so it is off by default.
+    pub fn detailed_timing(mut self, on: bool) -> Self {
+        self.detailed_timing = on;
+        self
+    }
+
     /// Subdivides cells `k`-fold (edge ≥ `r_cut/k`) and uses reach-k
     /// patterns — the §6 generalization toward the midpoint method. Smaller
     /// cells prune the candidate space faster than the pattern grows
@@ -132,11 +151,8 @@ impl SimulationBuilder {
         if let Some(p) = &self.pair {
             // Hybrid's list cutoff includes the skin; its cells must too,
             // or the 27-cell sweep would miss skin-shell pairs.
-            let pair_cut = if self.method == Method::Hybrid {
-                p.cutoff() + self.skin
-            } else {
-                p.cutoff()
-            };
+            let pair_cut =
+                if self.method == Method::Hybrid { p.cutoff() + self.skin } else { p.cutoff() };
             pair_lat = Some(build_lat(pair_cut, 2)?);
         }
         match self.method {
@@ -181,6 +197,8 @@ impl SimulationBuilder {
             skin: self.skin,
             subdivision: k,
             hybrid_cache: None,
+            par: ParEngine::new(self.threads),
+            detailed_timing: self.detailed_timing,
             last_stats: StepStats::default(),
             steps_done: 0,
         })
@@ -209,8 +227,28 @@ pub struct Simulation {
     skin: f64,
     subdivision: i32,
     hybrid_cache: Option<HybridCache>,
+    par: ParEngine,
+    detailed_timing: bool,
     last_stats: StepStats,
     steps_done: u64,
+}
+
+/// The simulation's parallel force-evaluation state: the persistent worker
+/// pool, the accumulator pool, and a reusable staging vector holding the
+/// per-lane accumulators of the kernel invocation in flight. All capacity is
+/// established on first use, so steady-state steps allocate nothing.
+struct ParEngine {
+    pool: ThreadPool,
+    accs: AccumulatorPool,
+    staging: Vec<ForceAccumulator>,
+}
+
+impl ParEngine {
+    fn new(threads: usize) -> Self {
+        let pool = if threads == 0 { ThreadPool::auto() } else { ThreadPool::new(threads) };
+        let staging = Vec::with_capacity(pool.lanes());
+        ParEngine { pool, accs: AccumulatorPool::new(), staging }
+    }
 }
 
 /// Cached Verlet list for Hybrid-MD with a skin.
@@ -254,6 +292,8 @@ impl Simulation {
             barostat: None,
             subdivision: 1,
             skin: 0.0,
+            threads: 0,
+            detailed_timing: false,
         }
     }
 
@@ -295,43 +335,87 @@ impl Simulation {
         self.store.zero_forces();
         let mut energy = EnergyBreakdown::default();
         let mut tuples = TupleCounts::default();
+        let mut phases = StepPhases::default();
         let mut virial = 0.0;
+        let detailed = self.detailed_timing;
         match self.method {
             Method::FullShell | Method::ShiftCollapse => {
                 if let Some(p) = &self.pair {
                     let lat = self.pair_lat.as_mut().expect("pair lattice");
+                    let t_bin = Instant::now();
                     lat.rebuild(&self.store);
+                    phases.bin_s += t_bin.elapsed().as_secs_f64();
                     let plan = self.pair_plan.as_ref().expect("pair plan");
-                    let (e, w, s) = par_pair_forces(lat, &mut self.store, plan, p.as_ref());
+                    let (e, w, s) = par_term_forces(
+                        &mut self.par,
+                        lat,
+                        &mut self.store,
+                        plan,
+                        TermPotential::Pair(p.as_ref()),
+                        detailed,
+                        &mut phases,
+                    );
                     energy.pair = e;
                     virial += w;
                     tuples.pair = s;
                 }
                 if let Some(t) = &self.triplet {
                     let lat = self.triplet_lat.as_mut().expect("triplet lattice");
+                    let t_bin = Instant::now();
                     lat.rebuild(&self.store);
+                    phases.bin_s += t_bin.elapsed().as_secs_f64();
                     let plan = self.triplet_plan.as_ref().expect("triplet plan");
-                    let (e, w, s) = par_triplet_forces(lat, &mut self.store, plan, t.as_ref());
+                    let (e, w, s) = par_term_forces(
+                        &mut self.par,
+                        lat,
+                        &mut self.store,
+                        plan,
+                        TermPotential::Triplet(t.as_ref()),
+                        detailed,
+                        &mut phases,
+                    );
                     energy.triplet = e;
                     virial += w;
                     tuples.triplet = s;
                 }
                 if let Some(q) = &self.quadruplet {
                     let lat = self.quad_lat.as_mut().expect("quadruplet lattice");
+                    let t_bin = Instant::now();
                     lat.rebuild(&self.store);
+                    phases.bin_s += t_bin.elapsed().as_secs_f64();
                     let plan = self.quad_plan.as_ref().expect("quadruplet plan");
-                    let (e, w, s) = par_quad_forces(lat, &mut self.store, plan, q.as_ref());
+                    let (e, w, s) = par_term_forces(
+                        &mut self.par,
+                        lat,
+                        &mut self.store,
+                        plan,
+                        TermPotential::Quadruplet(q.as_ref()),
+                        detailed,
+                        &mut phases,
+                    );
                     energy.quadruplet = e;
                     virial += w;
                     tuples.quadruplet = s;
                 }
             }
             Method::Hybrid => {
-                virial = self.compute_hybrid(&mut energy, &mut tuples);
+                virial = self.compute_hybrid(&mut energy, &mut tuples, &mut phases);
             }
         }
-        self.last_stats = StepStats { energy, tuples, virial };
+        self.last_stats = StepStats { energy, tuples, virial, phases };
         self.last_stats
+    }
+
+    /// Number of allocation events (buffer creations or growths) in the
+    /// force-scratch pool since construction. Flat across steps once warm —
+    /// the observable behind the zero-allocation steady-state guarantee.
+    pub fn scratch_allocation_events(&self) -> u64 {
+        self.par.accs.allocation_events()
+    }
+
+    /// Number of parallel force-evaluation lanes in use.
+    pub fn force_lanes(&self) -> usize {
+        self.par.pool.lanes()
     }
 
     /// Instantaneous pressure `P = (N k_B T + W/3)/V` from the most recent
@@ -347,7 +431,12 @@ impl Simulation {
     /// atom has moved more than `skin/2` since the build (the classical
     /// Verlet-list reuse criterion); displacements are always recomputed
     /// from the current positions, so reuse changes cost, never physics.
-    fn compute_hybrid(&mut self, energy: &mut EnergyBreakdown, tuples: &mut TupleCounts) -> f64 {
+    fn compute_hybrid(
+        &mut self,
+        energy: &mut EnergyBreakdown,
+        tuples: &mut TupleCounts,
+        phases: &mut StepPhases,
+    ) -> f64 {
         let p = self.pair.as_ref().expect("hybrid has a pair term");
         let rcut2 = p.cutoff();
         let list_cut = rcut2 + self.skin;
@@ -367,6 +456,9 @@ impl Simulation {
             }
         };
         if rebuild {
+            // Binning under Hybrid covers both the cell rebuild and the
+            // Verlet-list construction it feeds.
+            let t_bin = Instant::now();
             let lat = self.pair_lat.as_mut().expect("pair lattice");
             lat.rebuild(&self.store);
             let (nl, pair_stats) = NeighborList::build(
@@ -381,7 +473,9 @@ impl Simulation {
                 build_stats: pair_stats,
                 rebuilds: self.hybrid_cache.as_ref().map_or(1, |c| c.rebuilds + 1),
             });
+            phases.bin_s += t_bin.elapsed().as_secs_f64();
         }
+        let t_enum = Instant::now();
         let cache = self.hybrid_cache.as_ref().expect("hybrid cache");
         let nl = &cache.list;
         tuples.pair = cache.build_stats;
@@ -432,8 +526,7 @@ impl Simulation {
                     }
                     for &(k, _) in &nbrs[a + 1..] {
                         stats.candidates += 1;
-                        let d_jk =
-                            bbox.min_image(positions[j as usize], positions[k as usize]);
+                        let d_jk = bbox.min_image(positions[j as usize], positions[k as usize]);
                         if d_jk.norm_sq() >= rc3sq {
                             continue;
                         }
@@ -474,8 +567,7 @@ impl Simulation {
                         if i == k {
                             continue;
                         }
-                        let d_ji =
-                            bbox.min_image(positions[j as usize], positions[i as usize]);
+                        let d_ji = bbox.min_image(positions[j as usize], positions[i as usize]);
                         if d_ji.norm_sq() >= rc4sq {
                             continue;
                         }
@@ -484,8 +576,7 @@ impl Simulation {
                             if l == j || l == i {
                                 continue;
                             }
-                            let d_kl =
-                                bbox.min_image(positions[k as usize], positions[l as usize]);
+                            let d_kl = bbox.min_image(positions[k as usize], positions[l as usize]);
                             if d_kl.norm_sq() >= rc4sq {
                                 continue;
                             }
@@ -503,9 +594,7 @@ impl Simulation {
                             e4 += u;
                             // Virial about j: r_i−r_j = d_ji, r_k−r_j = d_jk,
                             // r_l−r_j = d_jk + d_kl.
-                            virial += f[0].dot(d_ji)
-                                + f[2].dot(d_jk)
-                                + f[3].dot(d_jk + d_kl);
+                            virial += f[0].dot(d_ji) + f[2].dot(d_jk) + f[3].dot(d_jk + d_kl);
                             for (slot, force) in [i, j, k, l].iter().zip(f) {
                                 forces[*slot as usize] += force;
                             }
@@ -516,6 +605,7 @@ impl Simulation {
             energy.quadruplet = e4;
             tuples.quadruplet = stats;
         }
+        phases.enumerate_s += t_enum.elapsed().as_secs_f64();
         virial
     }
 
@@ -558,18 +648,27 @@ impl Simulation {
         }
         let k = self.subdivision;
         if let Some(p) = &self.pair {
-            let cut = if self.method == Method::Hybrid { p.cutoff() + self.skin } else { p.cutoff() };
+            let cut =
+                if self.method == Method::Hybrid { p.cutoff() + self.skin } else { p.cutoff() };
             self.pair_lat =
                 Some(crate::methods::lattice_for_cutoff_subdivided(&self.bbox, cut, 2, k));
         }
         if self.method != Method::Hybrid {
             if let Some(t) = &self.triplet {
-                self.triplet_lat =
-                    Some(crate::methods::lattice_for_cutoff_subdivided(&self.bbox, t.cutoff(), 3, k));
+                self.triplet_lat = Some(crate::methods::lattice_for_cutoff_subdivided(
+                    &self.bbox,
+                    t.cutoff(),
+                    3,
+                    k,
+                ));
             }
             if let Some(q) = &self.quadruplet {
-                self.quad_lat =
-                    Some(crate::methods::lattice_for_cutoff_subdivided(&self.bbox, q.cutoff(), 4, k));
+                self.quad_lat = Some(crate::methods::lattice_for_cutoff_subdivided(
+                    &self.bbox,
+                    q.cutoff(),
+                    4,
+                    k,
+                ));
             }
         }
         // A rescale invalidates any cached Verlet list.
@@ -593,184 +692,197 @@ impl Simulation {
     }
 }
 
-/// Parallel pair-force evaluation: rayon fold over cells with per-thread
-/// force accumulators, reduced by vector addition. On a single-core host
-/// this degrades to the serial loop.
-fn par_pair_forces(
+/// One n-body potential term, erased to a shared reference so the unified
+/// kernel can be monomorphised once and dispatch per term.
+#[derive(Clone, Copy)]
+enum TermPotential<'a> {
+    Pair(&'a dyn PairPotential),
+    Triplet(&'a dyn TripletPotential),
+    Quadruplet(&'a dyn QuadrupletPotential),
+}
+
+impl TermPotential<'_> {
+    fn cutoff(&self) -> f64 {
+        match self {
+            TermPotential::Pair(p) => p.cutoff(),
+            TermPotential::Triplet(t) => t.cutoff(),
+            TermPotential::Quadruplet(q) => q.cutoff(),
+        }
+    }
+}
+
+/// Decodes a flat cell index into lattice coordinates (x fastest).
+#[inline]
+fn decode_cell(dims: IVec3, c: usize) -> IVec3 {
+    let dx = dims.x as usize;
+    let dy = dims.y as usize;
+    IVec3::new((c % dx) as i32, ((c / dx) % dy) as i32, (c / (dx * dy)) as i32)
+}
+
+/// The unified parallel n-tuple force kernel (replaces the former
+/// per-order `par_pair_forces` / `par_triplet_forces` / `par_quad_forces`
+/// rayon folds).
+///
+/// The cell range is split into one contiguous span per pool lane; each lane
+/// draws a [`ForceAccumulator`] from the simulation's pool and sweeps its
+/// span with the per-cell UCP visitors. Afterwards the driving thread merges
+/// the dirty slots of every accumulator into the store's force array in lane
+/// order, so results are deterministic for a fixed lane count. Steady-state
+/// invocations perform no heap allocation: the accumulators, the staging
+/// vector, and the pool's dispatch are all reused (see
+/// [`Simulation::scratch_allocation_events`]).
+fn par_term_forces(
+    eng: &mut ParEngine,
     lat: &CellLattice,
     store: &mut AtomStore,
     plan: &PatternPlan,
-    pot: &dyn PairPotential,
+    term: TermPotential<'_>,
+    detailed: bool,
+    phases: &mut StepPhases,
 ) -> (f64, f64, VisitStats) {
     let n = store.len();
     let dims = lat.dims();
-    let species = store.species();
-    let positions_owned = store.positions();
-    let _ = positions_owned;
-    let cells: Vec<sc_geom::IVec3> =
-        sc_geom::IVec3::box_iter(sc_geom::IVec3::ZERO, dims - sc_geom::IVec3::splat(1)).collect();
-    let rcut = pot.cutoff();
-    let (forces, energy, virial, stats) = cells
-        .par_iter()
-        .fold(
-            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
-            |(mut f, mut e, mut w, mut st), &q| {
-                let s = engine::visit_pairs_in_cell(lat, store, plan, rcut, q, |i, j, d, r| {
-                    let (si, sj) = (species[i as usize], species[j as usize]);
-                    if !pot.applies(si, sj) {
-                        return;
+    let ncells = (dims.x as usize) * (dims.y as usize) * (dims.z as usize);
+    let lanes = eng.pool.lanes().min(ncells.max(1));
+    let rcut = term.cutoff();
+    debug_assert!(eng.staging.is_empty());
+    for _ in 0..lanes {
+        eng.staging.push(eng.accs.acquire(n));
+    }
+    {
+        let store_ref: &AtomStore = store;
+        let species = store_ref.species();
+        let slots = LaneSlots::new(eng.staging.as_mut_ptr());
+        let job = move |t: usize| {
+            // SAFETY: lane `t` is the sole accessor of staging slot `t`.
+            let acc = unsafe { &mut *slots.get(t) };
+            let t_lane = Instant::now();
+            let lo = t * ncells / lanes;
+            let hi = (t + 1) * ncells / lanes;
+            match term {
+                TermPotential::Pair(pot) => {
+                    for c in lo..hi {
+                        let q = decode_cell(dims, c);
+                        let s = engine::visit_pairs_in_cell(
+                            lat,
+                            store_ref,
+                            plan,
+                            rcut,
+                            q,
+                            |i, j, d, r| {
+                                let (si, sj) = (species[i as usize], species[j as usize]);
+                                if !pot.applies(si, sj) {
+                                    return;
+                                }
+                                let t_eval = detailed.then(Instant::now);
+                                let (u, du) = pot.eval(si, sj, r);
+                                acc.energy += u;
+                                let fj = d * (-(du / r));
+                                // Pair virial: d · f_j = −du·r.
+                                acc.virial += d.dot(fj);
+                                acc.add(j, fj);
+                                acc.sub(i, fj);
+                                if let Some(t0) = t_eval {
+                                    acc.eval_s += t0.elapsed().as_secs_f64();
+                                }
+                            },
+                        );
+                        acc.stats.merge(s);
                     }
-                    let (u, du) = pot.eval(si, sj, r);
-                    e += u;
-                    let fj = d * (-(du / r));
-                    // Pair virial: d · f_j = −du·r.
-                    w += d.dot(fj);
-                    f[j as usize] += fj;
-                    f[i as usize] -= fj;
-                });
-                st.merge(s);
-                (f, e, w, st)
-            },
-        )
-        .reduce(
-            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
-            |(mut fa, ea, wa, mut sa), (fb, eb, wb, sb)| {
-                for (a, b) in fa.iter_mut().zip(fb) {
-                    *a += b;
                 }
-                sa.merge(sb);
-                (fa, ea + eb, wa + wb, sa)
-            },
-        );
-    for (slot, f) in store.forces_mut().iter_mut().zip(forces) {
-        *slot += f;
-    }
-    (energy, virial, stats)
-}
-
-/// Parallel triplet-force evaluation (same scheme as [`par_pair_forces`]).
-fn par_triplet_forces(
-    lat: &CellLattice,
-    store: &mut AtomStore,
-    plan: &PatternPlan,
-    pot: &dyn TripletPotential,
-) -> (f64, f64, VisitStats) {
-    let n = store.len();
-    let dims = lat.dims();
-    let species = store.species();
-    let cells: Vec<sc_geom::IVec3> =
-        sc_geom::IVec3::box_iter(sc_geom::IVec3::ZERO, dims - sc_geom::IVec3::splat(1)).collect();
-    let rcut = pot.cutoff();
-    let (forces, energy, virial, stats) = cells
-        .par_iter()
-        .fold(
-            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
-            |(mut f, mut e, mut w, mut st), &q| {
-                let s = engine::visit_triplets_in_cell(
-                    lat,
-                    store,
-                    plan,
-                    rcut,
-                    q,
-                    |i0, i1, i2, d01, d12| {
-                        let (s0, s1, s2) =
-                            (species[i0 as usize], species[i1 as usize], species[i2 as usize]);
-                        if !pot.applies(s0, s1, s2) {
-                            return;
-                        }
-                        let (u, f0, f1, f2) = pot.eval(s0, s1, s2, -d01, d12);
-                        e += u;
-                        // Tuple virial about the vertex: Σ_k f_k·(r_k − r1).
-                        w += f0.dot(-d01) + f2.dot(d12);
-                        let _ = f1;
-                        f[i0 as usize] += f0;
-                        f[i1 as usize] += f1;
-                        f[i2 as usize] += f2;
-                    },
-                );
-                st.merge(s);
-                (f, e, w, st)
-            },
-        )
-        .reduce(
-            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
-            |(mut fa, ea, wa, mut sa), (fb, eb, wb, sb)| {
-                for (a, b) in fa.iter_mut().zip(fb) {
-                    *a += b;
+                TermPotential::Triplet(pot) => {
+                    for c in lo..hi {
+                        let q = decode_cell(dims, c);
+                        let s = engine::visit_triplets_in_cell(
+                            lat,
+                            store_ref,
+                            plan,
+                            rcut,
+                            q,
+                            |i0, i1, i2, d01, d12| {
+                                let (s0, s1, s2) = (
+                                    species[i0 as usize],
+                                    species[i1 as usize],
+                                    species[i2 as usize],
+                                );
+                                if !pot.applies(s0, s1, s2) {
+                                    return;
+                                }
+                                let t_eval = detailed.then(Instant::now);
+                                let (u, f0, f1, f2) = pot.eval(s0, s1, s2, -d01, d12);
+                                acc.energy += u;
+                                // Tuple virial about the vertex:
+                                // Σ_k f_k·(r_k − r1).
+                                acc.virial += f0.dot(-d01) + f2.dot(d12);
+                                acc.add(i0, f0);
+                                acc.add(i1, f1);
+                                acc.add(i2, f2);
+                                if let Some(t0) = t_eval {
+                                    acc.eval_s += t0.elapsed().as_secs_f64();
+                                }
+                            },
+                        );
+                        acc.stats.merge(s);
+                    }
                 }
-                sa.merge(sb);
-                (fa, ea + eb, wa + wb, sa)
-            },
-        );
-    for (slot, f) in store.forces_mut().iter_mut().zip(forces) {
-        *slot += f;
-    }
-    (energy, virial, stats)
-}
-
-/// Parallel quadruplet-force evaluation.
-fn par_quad_forces(
-    lat: &CellLattice,
-    store: &mut AtomStore,
-    plan: &PatternPlan,
-    pot: &dyn QuadrupletPotential,
-) -> (f64, f64, VisitStats) {
-    let n = store.len();
-    let dims = lat.dims();
-    let species = store.species();
-    let cells: Vec<sc_geom::IVec3> =
-        sc_geom::IVec3::box_iter(sc_geom::IVec3::ZERO, dims - sc_geom::IVec3::splat(1)).collect();
-    let rcut = pot.cutoff();
-    let (forces, energy, virial, stats) = cells
-        .par_iter()
-        .fold(
-            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
-            |(mut f, mut e, mut w, mut st), &q| {
-                let s = engine::visit_quadruplets_in_cell(
-                    lat,
-                    store,
-                    plan,
-                    rcut,
-                    q,
-                    |ids, d01, d12, d23| {
-                        let sp = [
-                            species[ids[0] as usize],
-                            species[ids[1] as usize],
-                            species[ids[2] as usize],
-                            species[ids[3] as usize],
-                        ];
-                        if !pot.applies(sp) {
-                            return;
-                        }
-                        let (u, forces4) = pot.eval(sp, d01, d12, d23);
-                        e += u;
-                        // Virial about atom 1: r0−r1 = −d01, r2−r1 = d12,
-                        // r3−r1 = d12 + d23.
-                        w += forces4[0].dot(-d01)
-                            + forces4[2].dot(d12)
-                            + forces4[3].dot(d12 + d23);
-                        for (slot, force) in ids.iter().zip(forces4) {
-                            f[*slot as usize] += force;
-                        }
-                    },
-                );
-                st.merge(s);
-                (f, e, w, st)
-            },
-        )
-        .reduce(
-            || (vec![Vec3::ZERO; n], 0.0f64, 0.0f64, VisitStats::default()),
-            |(mut fa, ea, wa, mut sa), (fb, eb, wb, sb)| {
-                for (a, b) in fa.iter_mut().zip(fb) {
-                    *a += b;
+                TermPotential::Quadruplet(pot) => {
+                    for c in lo..hi {
+                        let q = decode_cell(dims, c);
+                        let s = engine::visit_quadruplets_in_cell(
+                            lat,
+                            store_ref,
+                            plan,
+                            rcut,
+                            q,
+                            |ids, d01, d12, d23| {
+                                let sp = [
+                                    species[ids[0] as usize],
+                                    species[ids[1] as usize],
+                                    species[ids[2] as usize],
+                                    species[ids[3] as usize],
+                                ];
+                                if !pot.applies(sp) {
+                                    return;
+                                }
+                                let t_eval = detailed.then(Instant::now);
+                                let (u, forces4) = pot.eval(sp, d01, d12, d23);
+                                acc.energy += u;
+                                // Virial about atom 1: r0−r1 = −d01,
+                                // r2−r1 = d12, r3−r1 = d12 + d23.
+                                acc.virial += forces4[0].dot(-d01)
+                                    + forces4[2].dot(d12)
+                                    + forces4[3].dot(d12 + d23);
+                                for (&slot, force) in ids.iter().zip(forces4) {
+                                    acc.add(slot, force);
+                                }
+                                if let Some(t0) = t_eval {
+                                    acc.eval_s += t0.elapsed().as_secs_f64();
+                                }
+                            },
+                        );
+                        acc.stats.merge(s);
+                    }
                 }
-                sa.merge(sb);
-                (fa, ea + eb, wa + wb, sa)
-            },
-        );
-    for (slot, f) in store.forces_mut().iter_mut().zip(forces) {
-        *slot += f;
+            }
+            acc.lane_s += t_lane.elapsed().as_secs_f64();
+        };
+        eng.pool.run(lanes, &job);
     }
+    let t_reduce = Instant::now();
+    let forces = store.forces_mut();
+    let mut energy = 0.0;
+    let mut virial = 0.0;
+    let mut stats = VisitStats::default();
+    for acc in eng.staging.drain(..) {
+        acc.merge_into(forces);
+        energy += acc.energy;
+        virial += acc.virial;
+        stats.merge(acc.stats);
+        phases.eval_s += acc.eval_s;
+        phases.enumerate_s += acc.lane_s - acc.eval_s;
+        eng.accs.release(acc);
+    }
+    phases.reduce_s += t_reduce.elapsed().as_secs_f64();
     (energy, virial, stats)
 }
 
@@ -828,8 +940,7 @@ mod tests {
         // And they agree with the brute-force reference.
         let mut store = sims[0].store().clone();
         store.zero_forces();
-        let e_ref =
-            reference::pair_forces(&mut store, sims[0].bbox(), &LennardJones::reduced(2.5));
+        let e_ref = reference::pair_forces(&mut store, sims[0].bbox(), &LennardJones::reduced(2.5));
         assert!((e_ref - energies[0]).abs() < tol);
         for (a, b) in f0.iter().zip(store.forces()) {
             assert!((*a - *b).norm() < 1e-8);
@@ -856,10 +967,7 @@ mod tests {
         let e0 = sim.total_energy();
         sim.run(50);
         let e1 = sim.total_energy();
-        assert!(
-            ((e1 - e0) / e0.abs()).abs() < 1e-3,
-            "NVE drift over 50 steps: {e0} → {e1}"
-        );
+        assert!(((e1 - e0) / e0.abs()).abs() < 1e-3, "NVE drift over 50 steps: {e0} → {e1}");
     }
 
     #[test]
@@ -876,11 +984,7 @@ mod tests {
         let p0 = sims[0].store().positions();
         for sim in &sims[1..] {
             for (a, b) in p0.iter().zip(sim.store().positions()) {
-                assert!(
-                    (*a - *b).norm() < 1e-7,
-                    "{} diverged from SC-MD",
-                    sim.method().name()
-                );
+                assert!((*a - *b).norm() < 1e-7, "{} diverged from SC-MD", sim.method().name());
             }
         }
     }
@@ -935,8 +1039,7 @@ mod tests {
         let mut fs = silica_sim(Method::FullShell);
         let s_sc = sc.compute_forces();
         let s_fs = fs.compute_forces();
-        let ratio =
-            s_fs.tuples.triplet.candidates as f64 / s_sc.tuples.triplet.candidates as f64;
+        let ratio = s_fs.tuples.triplet.candidates as f64 / s_sc.tuples.triplet.candidates as f64;
         assert!(ratio > 1.7, "FS/SC triplet candidate ratio {ratio}");
         // Identical accepted tuple counts: same force set.
         assert_eq!(s_fs.tuples.triplet.accepted, s_sc.tuples.triplet.accepted);
@@ -1034,8 +1137,7 @@ mod tests {
             s1.tuples.triplet.candidates
         );
         assert!(
-            (s1.energy.triplet - s2.energy.triplet).abs()
-                < 1e-9 * s1.energy.triplet.abs().max(1.0)
+            (s1.energy.triplet - s2.energy.triplet).abs() < 1e-9 * s1.energy.triplet.abs().max(1.0)
         );
     }
 
@@ -1087,11 +1189,7 @@ mod tests {
         let up = dilated_energy(&store, &bbox, 1.0 + h, build);
         let um = dilated_energy(&store, &bbox, 1.0 - h, build);
         let dudl = (up - um) / (2.0 * h);
-        assert!(
-            (w + dudl).abs() < 1e-4 * w.abs().max(1.0),
-            "virial {w} vs -dU/dlambda {}",
-            -dudl
-        );
+        assert!((w + dudl).abs() < 1e-4 * w.abs().max(1.0), "virial {w} vs -dU/dlambda {}", -dudl);
     }
 
     #[test]
@@ -1192,5 +1290,106 @@ mod tests {
         sim.run(200);
         let t = sim.store().temperature();
         assert!((t - 0.7).abs() < 0.2, "temperature {t} should approach 0.7");
+    }
+
+    /// Builds the same silica system with an explicit lane count.
+    fn silica_sim_threads(method: Method, threads: usize) -> Simulation {
+        let v = Vashishta::silica();
+        let masses = v.params().masses;
+        let (store, bbox) = crate::workload::build_silica_like(3, 7.16, masses, 0.01, 7);
+        Simulation::builder(store, bbox)
+            .pair_potential(Box::new(v.pair.clone()))
+            .triplet_potential(Box::new(v.triplet.clone()))
+            .method(method)
+            .threads(threads)
+            .timestep(0.0005)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_forces_match_serial_pairs_and_triplets() {
+        // The unified kernel must give the same physics regardless of lane
+        // count — one lane runs inline, four lanes exercise the pool and the
+        // per-lane accumulator merge. Floating-point summation order differs
+        // across lane counts, so a tight (but not bitwise) tolerance.
+        for method in [Method::ShiftCollapse, Method::FullShell] {
+            let mut serial = silica_sim_threads(method, 1);
+            let mut par = silica_sim_threads(method, 4);
+            assert_eq!(par.force_lanes(), 4);
+            let s = serial.compute_forces();
+            let p = par.compute_forces();
+            assert!(s.tuples.pair.accepted > 0 && s.tuples.triplet.accepted > 0);
+            assert_eq!(s.tuples, p.tuples, "{method:?}: tuple counts must match exactly");
+            let scale = s.energy.total().abs().max(1.0);
+            assert!(
+                (s.energy.pair - p.energy.pair).abs() < 1e-10 * scale,
+                "{method:?}: pair energy {} vs {}",
+                s.energy.pair,
+                p.energy.pair
+            );
+            assert!(
+                (s.energy.triplet - p.energy.triplet).abs() < 1e-10 * scale,
+                "{method:?}: triplet energy {} vs {}",
+                s.energy.triplet,
+                p.energy.triplet
+            );
+            assert!((s.virial - p.virial).abs() < 1e-9 * scale);
+            for (a, b) in serial.store().forces().iter().zip(par.store().forces()) {
+                assert!((*a - *b).norm() < 1e-9, "{method:?}: force {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_forces_deterministic_for_fixed_lane_count() {
+        // Same lane count ⇒ same task → lane partition ⇒ bitwise-identical
+        // forces across runs (merges happen in lane order).
+        let forces = |_: usize| {
+            let mut sim = silica_sim_threads(Method::ShiftCollapse, 3);
+            sim.compute_forces();
+            sim.store().forces().to_vec()
+        };
+        let a = forces(0);
+        let b = forces(1);
+        assert_eq!(a, b, "fixed lane count must be bitwise deterministic");
+    }
+
+    #[test]
+    fn steady_state_steps_do_not_allocate_scratch() {
+        let mut sim = silica_sim_threads(Method::ShiftCollapse, 2);
+        sim.run(2); // warm up: pool fills with per-lane buffers
+        let warm = sim.scratch_allocation_events();
+        assert!(warm > 0, "warm-up must have populated the pool");
+        sim.run(5);
+        assert_eq!(
+            sim.scratch_allocation_events(),
+            warm,
+            "steady-state steps must reuse pooled accumulators, not allocate"
+        );
+    }
+
+    #[test]
+    fn step_phases_are_recorded() {
+        let mut sim = silica_sim_threads(Method::ShiftCollapse, 2);
+        let stats = sim.compute_forces();
+        assert!(stats.phases.bin_s > 0.0, "binning was timed");
+        assert!(stats.phases.enumerate_s > 0.0, "enumeration was timed");
+        assert!(stats.phases.reduce_s > 0.0, "reduction was timed");
+        assert_eq!(stats.phases.exchange_s, 0.0, "no ghost exchange in shared memory");
+        assert_eq!(stats.phases.eval_s, 0.0, "eval split requires detailed timing");
+
+        let v = Vashishta::silica();
+        let masses = v.params().masses;
+        let (store, bbox) = crate::workload::build_silica_like(3, 7.16, masses, 0.01, 7);
+        let mut detailed = Simulation::builder(store, bbox)
+            .pair_potential(Box::new(v.pair.clone()))
+            .triplet_potential(Box::new(v.triplet.clone()))
+            .detailed_timing(true)
+            .build()
+            .unwrap();
+        let stats = detailed.compute_forces();
+        assert!(stats.phases.eval_s > 0.0, "detailed timing splits out eval");
+        assert!(stats.phases.total_s() > 0.0);
     }
 }

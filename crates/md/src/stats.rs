@@ -46,6 +46,49 @@ impl TupleCounts {
     }
 }
 
+/// Wall-clock breakdown of one force computation by step phase — the
+/// shared-memory counterpart of the paper's `T = T_compute + T_comm`
+/// decomposition, letting the compute/comm crossover (Fig. 8) be read off a
+/// real run instead of the analytic model.
+///
+/// `enumerate_s` and `eval_s` are *summed per-lane CPU seconds* (the lanes
+/// run concurrently), while `bin_s`, `exchange_s`, and `reduce_s` are wall
+/// time on the driving thread. `eval_s` is nonzero only when detailed
+/// timing is enabled (it costs two clock reads per accepted tuple); with it
+/// off, potential evaluation time is folded into `enumerate_s`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepPhases {
+    /// Seconds rebinning atoms into cell lattices (plus Verlet-list builds
+    /// under Hybrid-MD).
+    pub bin_s: f64,
+    /// Seconds in ghost exchange. Always zero for the shared-memory
+    /// [`Simulation`](crate::Simulation); the distributed executors fill it.
+    pub exchange_s: f64,
+    /// Per-lane seconds walking the n-tuple search space (cell sweeps or
+    /// neighbour-list traversal), excluding `eval_s` when that is measured.
+    pub enumerate_s: f64,
+    /// Per-lane seconds inside potential evaluations (detailed timing only).
+    pub eval_s: f64,
+    /// Seconds merging per-lane accumulators into the global force array.
+    pub reduce_s: f64,
+}
+
+impl StepPhases {
+    /// Total accounted seconds.
+    pub fn total_s(&self) -> f64 {
+        self.bin_s + self.exchange_s + self.enumerate_s + self.eval_s + self.reduce_s
+    }
+
+    /// Adds another breakdown (e.g. across steps or ranks) in place.
+    pub fn accumulate(&mut self, o: &StepPhases) {
+        self.bin_s += o.bin_s;
+        self.exchange_s += o.exchange_s;
+        self.enumerate_s += o.enumerate_s;
+        self.eval_s += o.eval_s;
+        self.reduce_s += o.reduce_s;
+    }
+}
+
 /// Everything one force computation reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StepStats {
@@ -56,6 +99,8 @@ pub struct StepStats {
     /// Scalar virial `W = Σ_tuples Σ_k f_k · (r_k − r_ref)` over all terms —
     /// the potential part of the pressure `P = (N k_B T + W/3) / V`.
     pub virial: f64,
+    /// Wall-clock phase breakdown of this computation.
+    pub phases: StepPhases,
 }
 
 #[cfg(test)]
@@ -73,5 +118,19 @@ mod tests {
         };
         assert_eq!(t.total_candidates(), 110);
         assert_eq!(t.total_accepted(), 11);
+    }
+
+    #[test]
+    fn phase_totals_and_accumulation() {
+        let mut p = StepPhases {
+            bin_s: 1.0,
+            exchange_s: 0.5,
+            enumerate_s: 2.0,
+            eval_s: 3.0,
+            reduce_s: 0.25,
+        };
+        assert!((p.total_s() - 6.75).abs() < 1e-12);
+        p.accumulate(&p.clone());
+        assert!((p.total_s() - 13.5).abs() < 1e-12);
     }
 }

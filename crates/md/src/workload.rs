@@ -32,7 +32,11 @@ impl LatticeSpec {
 /// the standard Lennard-Jones starting configuration.
 ///
 /// Returns the store and its periodic box.
-pub fn build_fcc_lattice(spec: &LatticeSpec, v_scale: f64, seed: u64) -> (AtomStore, SimulationBox) {
+pub fn build_fcc_lattice(
+    spec: &LatticeSpec,
+    v_scale: f64,
+    seed: u64,
+) -> (AtomStore, SimulationBox) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut store = AtomStore::single_species();
     let bbox = SimulationBox::cubic(spec.box_edge());
@@ -157,11 +161,8 @@ pub fn thermalize(store: &mut AtomStore, t: f64, seed: u64) {
     };
     for i in 0..store.len() {
         let sigma = (t / store.mass(i as u32)).sqrt();
-        store.velocities_mut()[i] = Vec3::new(
-            sigma * gauss(&mut rng),
-            sigma * gauss(&mut rng),
-            sigma * gauss(&mut rng),
-        );
+        store.velocities_mut()[i] =
+            Vec3::new(sigma * gauss(&mut rng), sigma * gauss(&mut rng), sigma * gauss(&mut rng));
     }
     store.remove_drift();
     store.rescale_to_temperature(t);
@@ -237,10 +238,7 @@ mod tests {
             if *s != Species::O {
                 continue;
             }
-            let close = si
-                .iter()
-                .filter(|&&p| (bbox.dist_sq(*r, p)).sqrt() < bond + 1e-6)
-                .count();
+            let close = si.iter().filter(|&&p| (bbox.dist_sq(*r, p)).sqrt() < bond + 1e-6).count();
             assert_eq!(close, 2, "O atom at {r:?} has {close} Si neighbours at bond length");
         }
     }

@@ -170,8 +170,7 @@ impl MdCostModel {
 
         // --- force ops: identical accepted-tuple counts for every method ---
         let force_ops = n
-            * (w.pairs_per_atom() * c.pair_force_ops
-                + w.triplets_per_atom() * c.triplet_force_ops);
+            * (w.pairs_per_atom() * c.pair_force_ops + w.triplets_per_atom() * c.triplet_force_ops);
 
         // --- ghosts ---
         let ghosts = match method {
@@ -194,8 +193,7 @@ impl MdCostModel {
             Method::ShiftCollapse => 3.0 + 3.0 + 6.0,
             _ => 26.0 + 26.0 + 6.0,
         };
-        let bytes = ghosts * (GHOST_BYTES + FORCE_BYTES)
-            + n * w.migration_fraction * MIGRATE_BYTES;
+        let bytes = ghosts * (GHOST_BYTES + FORCE_BYTES) + n * w.migration_fraction * MIGRATE_BYTES;
         let comm_s = messages * self.machine.latency_s + bytes / self.machine.bandwidth_bps;
 
         MethodCosts { compute_s, comm_s, ghosts, messages, bytes }
@@ -283,10 +281,7 @@ mod tests {
         let b = bgq_model().crossover(Method::ShiftCollapse, Method::Hybrid, 24.0, 1e6);
         let x = x.expect("Xeon crossover must exist");
         let b = b.expect("BG/Q crossover must exist");
-        assert!(
-            b < x / 2.0,
-            "BG/Q crossover {b} should be much finer than Xeon {x}"
-        );
+        assert!(b < x / 2.0, "BG/Q crossover {b} should be much finer than Xeon {x}");
         assert!((800.0..8000.0).contains(&x), "Xeon crossover {x} (paper: 2095)");
         assert!((150.0..1500.0).contains(&b), "BG/Q crossover {b} (paper: 425)");
     }

@@ -1,6 +1,6 @@
 //! Communication plans and accounting.
 
-use sc_md::Method;
+use sc_md::{Method, StepPhases};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -68,6 +68,16 @@ pub struct CommStats {
     pub atoms_migrated: u64,
     /// Distinct ranks this rank sent to.
     pub partners: BTreeSet<usize>,
+    /// Cumulative step-phase breakdown of this rank's work (seconds since
+    /// construction; `merge` sums it across ranks, so the global total is
+    /// summed per-rank CPU time, not wall time). `bin_s`, `enumerate_s`, and
+    /// `reduce_s` are filled by [`RankState::compute_forces`]; `exchange_s`
+    /// is filled by executors that do per-rank communication (the threaded
+    /// executor — the BSP executor reports exchange wall time centrally in
+    /// [`PhaseTimings`] instead).
+    ///
+    /// [`RankState::compute_forces`]: crate::rank::RankState::compute_forces
+    pub phases: StepPhases,
 }
 
 impl CommStats {
@@ -85,6 +95,7 @@ impl CommStats {
         self.ghosts_imported += o.ghosts_imported;
         self.atoms_migrated += o.atoms_migrated;
         self.partners.extend(o.partners.iter().copied());
+        self.phases.accumulate(&o.phases);
     }
 
     /// Clears the per-step counters (partners persist across steps).

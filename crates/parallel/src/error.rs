@@ -46,10 +46,9 @@ impl fmt::Display for SetupError {
                 "halo width {halo} exceeds rank sub-box {sub_box} along axis {axis}; \
                  use fewer ranks or a bigger box"
             ),
-            SetupError::SubBoxBelowCutoff { rcut, sub_box, axis } => write!(
-                f,
-                "rank sub-box {sub_box} smaller than cutoff {rcut} along axis {axis}"
-            ),
+            SetupError::SubBoxBelowCutoff { rcut, sub_box, axis } => {
+                write!(f, "rank sub-box {sub_box} smaller than cutoff {rcut} along axis {axis}")
+            }
             SetupError::LatticeTooSmall { global_cells, needed, axis } => write!(
                 f,
                 "global lattice has {global_cells} cells along axis {axis}, need ≥ {needed}"

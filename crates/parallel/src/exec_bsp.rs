@@ -6,10 +6,9 @@ use crate::error::SetupError;
 use crate::grid::RankGrid;
 use crate::msg::{AtomMsg, ForceMsg, GhostMsg};
 use crate::rank::{halo_width_for, ForceField, RankState};
-use rayon::prelude::*;
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
-use sc_md::{EnergyBreakdown, TupleCounts};
+use sc_md::{EnergyBreakdown, LaneSlots, StepPhases, ThreadPool, TupleCounts};
 
 /// A distributed MD simulation executed bulk-synchronously: all ranks run
 /// each phase in lockstep with messages delivered between phases. Message
@@ -26,6 +25,10 @@ pub struct DistributedSim {
     last_energy: EnergyBreakdown,
     last_tuples: TupleCounts,
     timings: PhaseTimings,
+    pool: ThreadPool,
+    // Per-rank (energy, tuples, phases) slots reused every compute call so
+    // the compute fan-out allocates nothing in steady state.
+    results: Vec<(EnergyBreakdown, TupleCounts, StepPhases)>,
 }
 
 impl DistributedSim {
@@ -73,11 +76,7 @@ impl DistributedSim {
             for a in 0..3 {
                 let ext = ((sub[a] / rcut).floor() as i32).max(1);
                 if sub[a] < rcut {
-                    return Err(SetupError::SubBoxBelowCutoff {
-                        rcut,
-                        sub_box: sub[a],
-                        axis: a,
-                    });
+                    return Err(SetupError::SubBoxBelowCutoff { rcut, sub_box: sub[a], axis: a });
                 }
                 let global = ext * pdims[a];
                 if global < (n as i32).max(3) {
@@ -90,11 +89,11 @@ impl DistributedSim {
             }
         }
         let plan = GhostPlan::for_method(ff.method, width);
-        let ranks: Vec<RankState> = (0..grid.len())
-            .map(|r| RankState::new_subdivided(r, grid, &store, &ff, k))
-            .collect();
+        let ranks: Vec<RankState> =
+            (0..grid.len()).map(|r| RankState::new_subdivided(r, grid, &store, &ff, k)).collect();
         let total: usize = ranks.iter().map(|r| r.owned()).sum();
         assert_eq!(total, store.len(), "decomposition lost atoms");
+        let nranks = ranks.len();
         Ok(DistributedSim {
             grid,
             plan,
@@ -105,6 +104,8 @@ impl DistributedSim {
             last_energy: EnergyBreakdown::default(),
             last_tuples: TupleCounts::default(),
             timings: PhaseTimings::default(),
+            pool: ThreadPool::auto(),
+            results: vec![Default::default(); nranks],
         })
     }
 
@@ -149,6 +150,13 @@ impl DistributedSim {
         self.timings
     }
 
+    /// Aggregated per-rank step-phase breakdown (binning / enumeration /
+    /// scratch reduction) since construction — summed per-rank seconds, the
+    /// fine-grained view inside [`PhaseTimings::compute_s`].
+    pub fn phase_breakdown(&self) -> StepPhases {
+        self.comm_stats().phases
+    }
+
     /// Load imbalance: `max(owned) / mean(owned)` across ranks — 1.0 is a
     /// perfect partition.
     pub fn load_imbalance(&self) -> f64 {
@@ -185,9 +193,7 @@ impl DistributedSim {
                 let (to_minus, to_plus) = self.ranks[r].collect_migrants(axis);
                 let minus = self.grid.neighbor(r, axis, -1);
                 let plus = self.grid.neighbor(r, axis, 1);
-                self.ranks[r]
-                    .stats
-                    .record_send(minus, to_minus.len() as u64 * AtomMsg::WIRE_BYTES);
+                self.ranks[r].stats.record_send(minus, to_minus.len() as u64 * AtomMsg::WIRE_BYTES);
                 self.ranks[r].stats.record_send(plus, to_plus.len() as u64 * AtomMsg::WIRE_BYTES);
                 outbox.push((minus, to_minus));
                 outbox.push((plus, to_plus));
@@ -208,9 +214,7 @@ impl DistributedSim {
             for r in 0..self.ranks.len() {
                 let band = self.ranks[r].collect_ghost_band(&self.plan, axis, recv_dir);
                 let to = self.grid.neighbor(r, axis, -recv_dir);
-                self.ranks[r]
-                    .stats
-                    .record_send(to, band.len() as u64 * GhostMsg::WIRE_BYTES);
+                self.ranks[r].stats.record_send(to, band.len() as u64 * GhostMsg::WIRE_BYTES);
                 outbox.push((to, r, band));
             }
             for (to, from, ghosts) in outbox {
@@ -245,15 +249,23 @@ impl DistributedSim {
         let mut energy = EnergyBreakdown::default();
         let mut tuples = TupleCounts::default();
         // Ranks compute independently — the BSP phase structure makes this
-        // embarrassingly parallel; summation stays in rank order for
+        // embarrassingly parallel; each pool task owns exactly one rank slot
+        // and one result slot, and summation stays in rank order for
         // determinism.
-        let ff = &self.ff;
-        let results: Vec<(EnergyBreakdown, TupleCounts)> = self
-            .ranks
-            .par_iter_mut()
-            .map(|r| r.compute_forces(ff))
-            .collect();
-        for (e, t) in results {
+        {
+            let ff = &self.ff;
+            let nranks = self.ranks.len();
+            let ranks = LaneSlots::new(self.ranks.as_mut_ptr());
+            let out = LaneSlots::new(self.results.as_mut_ptr());
+            self.pool.run(nranks, &move |r| {
+                // SAFETY: task index r is claimed exactly once per run, so
+                // each rank/result slot is touched by a single lane.
+                let rank = unsafe { &mut *ranks.get(r) };
+                let slot = unsafe { &mut *out.get(r) };
+                *slot = rank.compute_forces(ff);
+            });
+        }
+        for (e, t, _phases) in &self.results {
             energy.pair += e.pair;
             energy.triplet += e.triplet;
             energy.quadruplet += e.quadruplet;
@@ -305,8 +317,7 @@ impl DistributedSim {
     /// positions wrapped into the global box — directly comparable with a
     /// serial [`sc_md::Simulation`].
     pub fn gather(&self) -> AtomStore {
-        let mut atoms: Vec<AtomMsg> =
-            self.ranks.iter().flat_map(|r| r.owned_atoms()).collect();
+        let mut atoms: Vec<AtomMsg> = self.ranks.iter().flat_map(|r| r.owned_atoms()).collect();
         atoms.sort_by_key(|a| a.id);
         let masses = self.ranks[0].store().species_masses().to_vec();
         let mut out = AtomStore::new(masses);

@@ -86,9 +86,9 @@ impl ThreadedSim {
                 let rx = rxs.remove(0);
                 let plan = plan.clone();
                 let ff = Arc::clone(&ff);
-                handles.push(scope.spawn(move || {
-                    rank_main(state, rank, grid, plan, ff, txs, rx, dt, steps)
-                }));
+                handles.push(
+                    scope.spawn(move || rank_main(state, rank, grid, plan, ff, txs, rx, dt, steps)),
+                );
             }
             handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
         });
@@ -138,6 +138,7 @@ fn rank_main(
 
     let exchange_and_compute =
         |state: &mut RankState, phase: &mut u64, mailbox: &mut Mailbox| -> EnergyBreakdown {
+            let t_exchange = std::time::Instant::now();
             state.drop_ghosts();
             for (hop, &(axis, recv_dir)) in plan.hops.iter().enumerate() {
                 let band = state.collect_ghost_band(&plan, axis, recv_dir);
@@ -150,7 +151,9 @@ fn rank_main(
                 }
                 *phase += 1;
             }
-            let (energy, _tuples) = state.compute_forces(&ff);
+            state.stats.phases.exchange_s += t_exchange.elapsed().as_secs_f64();
+            let (energy, _tuples, _phases) = state.compute_forces(&ff);
+            let t_reduce = std::time::Instant::now();
             for hop in (0..plan.hops.len()).rev() {
                 let (axis, recv_dir) = plan.hops[hop];
                 let (forces, to) = state.collect_ghost_forces(hop);
@@ -163,6 +166,9 @@ fn rank_main(
                 }
                 *phase += 1;
             }
+            // The reverse ghost-force reduction is communication too; fold
+            // it into the exchange phase of this rank's breakdown.
+            state.stats.phases.exchange_s += t_reduce.elapsed().as_secs_f64();
             energy
         };
 

@@ -75,12 +75,8 @@ impl RankGrid {
     pub fn owner_of(&self, r: Vec3) -> usize {
         let r = self.bbox.wrap(r);
         let sub = self.rank_box_lengths();
-        let b = IVec3::new(
-            (r.x / sub.x) as i32,
-            (r.y / sub.y) as i32,
-            (r.z / sub.z) as i32,
-        )
-        .min(self.pdims - IVec3::splat(1));
+        let b = IVec3::new((r.x / sub.x) as i32, (r.y / sub.y) as i32, (r.z / sub.z) as i32)
+            .min(self.pdims - IVec3::splat(1));
         self.rank_of_block(b)
     }
 

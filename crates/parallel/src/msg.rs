@@ -101,10 +101,8 @@ mod tests {
             velocity: Vec3::ZERO,
         }]);
         assert_eq!(m.wire_bytes(), 57);
-        let g = Payload::Ghosts(vec![
-            GhostMsg { id: 1, species: Species(0), position: Vec3::ZERO };
-            3
-        ]);
+        let g =
+            Payload::Ghosts(vec![GhostMsg { id: 1, species: Species(0), position: Vec3::ZERO }; 3]);
         assert_eq!(g.wire_bytes(), 3 * 33);
         let f = Payload::Forces(vec![]);
         assert_eq!(f.wire_bytes(), 0);

@@ -8,9 +8,10 @@ use sc_cell::{AtomStore, GhostLattice};
 use sc_geom::{IVec3, Vec3};
 use sc_md::engine::{self, Dedup, PatternPlan, TupleSource, VisitStats};
 use sc_md::methods::NeighborList;
-use sc_md::{EnergyBreakdown, Method, TupleCounts};
+use sc_md::{EnergyBreakdown, ForceAccumulator, Method, StepPhases, TupleCounts};
 use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// The shared, immutable force-field configuration every rank evaluates.
 pub struct ForceField {
@@ -95,6 +96,9 @@ pub struct RankState {
     ghost_origin: Vec<GhostOrigin>,
     terms: Vec<TermLattice>,
     hybrid_pair_lat: Option<GhostLattice>,
+    /// Persistent force scratch, reused (and grown, never shrunk) across
+    /// steps so the steady state allocates no per-step force buffer.
+    scratch: ForceAccumulator,
     /// Per-step communication statistics.
     pub stats: CommStats,
 }
@@ -136,11 +140,7 @@ impl RankState {
                 ((sub.y / edge).floor() as i32).max(1),
                 ((sub.z / edge).floor() as i32).max(1),
             );
-            let cell = Vec3::new(
-                sub.x / ext.x as f64,
-                sub.y / ext.y as f64,
-                sub.z / ext.z as f64,
-            );
+            let cell = Vec3::new(sub.x / ext.x as f64, sub.y / ext.y as f64, sub.z / ext.z as f64);
             let m = k * ((n as i32) - 1);
             let (lo, hi) = match ff.method {
                 Method::ShiftCollapse => (IVec3::ZERO, IVec3::splat(m)),
@@ -156,8 +156,7 @@ impl RankState {
                         (width / cell.y).ceil() as i32,
                         (width / cell.z).ceil() as i32,
                     );
-                    hybrid_pair_lat =
-                        Some(GhostLattice::new(origin, cell, ext, mc, mc));
+                    hybrid_pair_lat = Some(GhostLattice::new(origin, cell, ext, mc, mc));
                 }
                 continue;
             }
@@ -184,6 +183,7 @@ impl RankState {
             ghost_origin: Vec::new(),
             terms,
             hybrid_pair_lat,
+            scratch: ForceAccumulator::default(),
             stats: CommStats::default(),
         }
     }
@@ -286,7 +286,12 @@ impl RankState {
     /// those that arrived on a *strictly earlier axis*. Forwarding a ghost
     /// back along the axis it arrived on would bounce it to its sender as a
     /// coincident duplicate of an owned atom.
-    pub fn collect_ghost_band(&self, plan: &GhostPlan, axis: usize, recv_dir: i32) -> Vec<GhostMsg> {
+    pub fn collect_ghost_band(
+        &self,
+        plan: &GhostPlan,
+        axis: usize,
+        recv_dir: i32,
+    ) -> Vec<GhostMsg> {
         let origin = self.grid.origin_of(self.rank);
         let sub = self.grid.rank_box_lengths();
         let send_dir = -recv_dir;
@@ -368,9 +373,9 @@ impl RankState {
             }
         }
         for f in forces {
-            let slot = *slot_of
-                .get(&f.id)
-                .unwrap_or_else(|| panic!("rank {} got force for unknown atom {}", self.rank, f.id));
+            let slot = *slot_of.get(&f.id).unwrap_or_else(|| {
+                panic!("rank {} got force for unknown atom {}", self.rank, f.id)
+            });
             self.store.forces_mut()[slot] += f.force;
         }
     }
@@ -378,27 +383,63 @@ impl RankState {
     /// Rebuilds the per-term lattices and computes forces over this rank's
     /// owned base cells. Forces accumulate on owned *and ghost* slots; the
     /// reverse reduction ships the ghost parts home.
-    pub fn compute_forces(&mut self, ff: &ForceField) -> (EnergyBreakdown, TupleCounts) {
+    ///
+    /// Also returns the step-phase breakdown (binning / enumeration /
+    /// scratch reduction) and folds it into [`CommStats::phases`].
+    pub fn compute_forces(
+        &mut self,
+        ff: &ForceField,
+    ) -> (EnergyBreakdown, TupleCounts, StepPhases) {
         self.store.zero_forces();
         let mut energy = EnergyBreakdown::default();
         let mut tuples = TupleCounts::default();
+        let mut phases = StepPhases::default();
+        let mut acc = std::mem::take(&mut self.scratch);
+        acc.reset();
+        acc.ensure_len(self.store.len());
         if ff.method == Method::Hybrid {
-            self.compute_forces_hybrid(ff, &mut energy, &mut tuples);
-            return (energy, tuples);
+            self.compute_forces_hybrid(ff, &mut acc, &mut energy, &mut tuples, &mut phases);
+        } else {
+            self.compute_forces_cells(ff, &mut acc, &mut energy, &mut tuples, &mut phases);
         }
+        let t_reduce = Instant::now();
+        acc.merge_into(self.store.forces_mut());
+        phases.reduce_s += t_reduce.elapsed().as_secs_f64();
+        self.scratch = acc;
+        self.stats.phases.accumulate(&phases);
+        (energy, tuples, phases)
+    }
+
+    /// Cell-sweep (SC / FS) force computation into the scratch accumulator.
+    fn compute_forces_cells(
+        &mut self,
+        ff: &ForceField,
+        acc: &mut ForceAccumulator,
+        energy: &mut EnergyBreakdown,
+        tuples: &mut TupleCounts,
+        phases: &mut StepPhases,
+    ) {
         let species = self.store.species().to_vec();
-        let mut fbuf = vec![Vec3::ZERO; self.store.len()];
         for ti in 0..self.terms.len() {
             // Split borrow: take the lattice out, rebuild, enumerate.
             let mut lat = std::mem::replace(
                 &mut self.terms[ti].lat,
-                GhostLattice::new(Vec3::ZERO, Vec3::splat(1.0), IVec3::splat(1), IVec3::ZERO, IVec3::ZERO),
+                GhostLattice::new(
+                    Vec3::ZERO,
+                    Vec3::splat(1.0),
+                    IVec3::splat(1),
+                    IVec3::ZERO,
+                    IVec3::ZERO,
+                ),
             );
+            let t_bin = Instant::now();
             lat.rebuild(&self.store, self.owned);
+            phases.bin_s += t_bin.elapsed().as_secs_f64();
             let term = &self.terms[ti];
             let src = LocalSource { lat: &lat, store: &self.store };
             let owned_cells: Vec<IVec3> = lat.owned_region().iter().collect();
             let mut stats = VisitStats::default();
+            let t_enum = Instant::now();
             match term.n {
                 2 => {
                     let pot = ff.pair.as_deref().expect("pair term");
@@ -417,8 +458,8 @@ impl RankState {
                                 let (u, du) = pot.eval(si, sj, r);
                                 e += u;
                                 let fj = d * (-(du / r));
-                                fbuf[j as usize] += fj;
-                                fbuf[i as usize] -= fj;
+                                acc.add(j, fj);
+                                acc.sub(i, fj);
                             },
                         ));
                     }
@@ -445,9 +486,9 @@ impl RankState {
                                 }
                                 let (u, f0, f1, f2) = pot.eval(s0, s1, s2, -d01, d12);
                                 e += u;
-                                fbuf[i0 as usize] += f0;
-                                fbuf[i1 as usize] += f1;
-                                fbuf[i2 as usize] += f2;
+                                acc.add(i0, f0);
+                                acc.add(i1, f1);
+                                acc.add(i2, f2);
                             },
                         ));
                     }
@@ -476,7 +517,7 @@ impl RankState {
                                 let (u, f4) = pot.eval(sp, d01, d12, d23);
                                 e += u;
                                 for (slot, force) in ids.iter().zip(f4) {
-                                    fbuf[*slot as usize] += force;
+                                    acc.add(*slot, force);
                                 }
                             },
                         ));
@@ -486,12 +527,9 @@ impl RankState {
                 }
                 n => unreachable!("unsupported tuple order {n}"),
             }
+            phases.enumerate_s += t_enum.elapsed().as_secs_f64();
             self.terms[ti].lat = lat;
         }
-        for (slot, f) in self.store.forces_mut().iter_mut().zip(fbuf) {
-            *slot += f;
-        }
-        (energy, tuples)
     }
 
     /// Hybrid-MD force computation: local Verlet list, then vertex- and
@@ -500,11 +538,14 @@ impl RankState {
     fn compute_forces_hybrid(
         &mut self,
         ff: &ForceField,
+        acc: &mut ForceAccumulator,
         energy: &mut EnergyBreakdown,
         tuples: &mut TupleCounts,
+        phases: &mut StepPhases,
     ) {
         let pot = ff.pair.as_deref().expect("hybrid has a pair term");
         let mut lat = self.hybrid_pair_lat.take().expect("hybrid pair lattice");
+        let t_bin = Instant::now();
         lat.rebuild(&self.store, self.owned);
         let plan = PatternPlan::new(&sc_core::generate_fs(2), Dedup::Guarded);
         let src = LocalSource { lat: &lat, store: &self.store };
@@ -513,11 +554,12 @@ impl RankState {
         let all_cells: Vec<IVec3> = lat.extended_region().iter().collect();
         let (nl, pair_stats) =
             NeighborList::build_from_cells(&src, &all_cells, self.store.len(), &plan, pot.cutoff());
+        phases.bin_s += t_bin.elapsed().as_secs_f64();
         tuples.pair.merge(pair_stats);
         let species = self.store.species().to_vec();
         let ids = self.store.ids().to_vec();
         let owned = self.owned as u32;
-        let mut fbuf = vec![Vec3::ZERO; self.store.len()];
+        let t_enum = Instant::now();
 
         // Pair forces: owned rows, gid guard (cross-rank unique).
         let mut e2 = 0.0;
@@ -539,8 +581,8 @@ impl RankState {
                 let (u, du) = pot.eval(si, sj, r);
                 e2 += u;
                 let fj = d * (-(du / r));
-                fbuf[j as usize] += fj;
-                fbuf[i as usize] -= fj;
+                acc.add(j, fj);
+                acc.sub(i, fj);
             }
         }
         energy.pair += e2;
@@ -569,9 +611,9 @@ impl RankState {
                         }
                         let (u, f0, f1, f2) = t.eval(s0, s1, s2, d_ji, d_jk);
                         e3 += u;
-                        fbuf[i as usize] += f0;
-                        fbuf[j as usize] += f1;
-                        fbuf[k as usize] += f2;
+                        acc.add(i, f0);
+                        acc.add(j, f1);
+                        acc.add(k, f2);
                     }
                 }
             }
@@ -623,10 +665,10 @@ impl RankState {
                             }
                             let (u, f4) = qp.eval(sp, -d_ji, d_jk, d_kl);
                             e4 += u;
-                            fbuf[i as usize] += f4[0];
-                            fbuf[j as usize] += f4[1];
-                            fbuf[k as usize] += f4[2];
-                            fbuf[l as usize] += f4[3];
+                            acc.add(i, f4[0]);
+                            acc.add(j, f4[1]);
+                            acc.add(k, f4[2]);
+                            acc.add(l, f4[3]);
                         }
                     }
                 }
@@ -635,9 +677,7 @@ impl RankState {
             tuples.quadruplet.merge(stats);
         }
 
-        for (slot, f) in self.store.forces_mut().iter_mut().zip(fbuf) {
-            *slot += f;
-        }
+        phases.enumerate_s += t_enum.elapsed().as_secs_f64();
         self.hybrid_pair_lat = Some(lat);
     }
 

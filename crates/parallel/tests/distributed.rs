@@ -59,10 +59,7 @@ fn single_rank_matches_serial_lj() {
     let mut serial = serial_lj(Method::ShiftCollapse);
     let e_d = dist.total_energy();
     let e_s = serial.total_energy();
-    assert!(
-        (e_d - e_s).abs() < 1e-9 * e_s.abs(),
-        "single-rank energy {e_d} vs serial {e_s}"
-    );
+    assert!((e_d - e_s).abs() < 1e-9 * e_s.abs(), "single-rank energy {e_d} vs serial {e_s}");
     dist.run(5);
     serial.run(5);
     assert_stores_match(&bbox, &dist.gather(), &serial_snapshot(&serial), 1e-8, "1-rank LJ");
@@ -84,27 +81,16 @@ fn eight_ranks_match_serial_all_methods() {
         );
         dist.run(5);
         serial.run(5);
-        assert_stores_match(
-            &bbox,
-            &dist.gather(),
-            &serial_snapshot(&serial),
-            1e-7,
-            method.name(),
-        );
+        assert_stores_match(&bbox, &dist.gather(), &serial_snapshot(&serial), 1e-7, method.name());
     }
 }
 
 #[test]
 fn anisotropic_rank_grid_matches_serial() {
     let (store, bbox) = lj_system();
-    let mut dist = DistributedSim::new(
-        store,
-        bbox,
-        IVec3::new(2, 1, 2),
-        lj_ff(Method::ShiftCollapse),
-        0.002,
-    )
-    .unwrap();
+    let mut dist =
+        DistributedSim::new(store, bbox, IVec3::new(2, 1, 2), lj_ff(Method::ShiftCollapse), 0.002)
+            .unwrap();
     let mut serial = serial_lj(Method::ShiftCollapse);
     dist.run(4);
     serial.run(4);
@@ -123,8 +109,8 @@ fn silica_distributed_matches_serial() {
             quadruplet: None,
             method,
         };
-        let mut dist = DistributedSim::new(store.clone(), bbox, IVec3::splat(2), ff, 0.0005)
-            .unwrap();
+        let mut dist =
+            DistributedSim::new(store.clone(), bbox, IVec3::splat(2), ff, 0.0005).unwrap();
         let mut serial = Simulation::builder(store, bbox)
             .pair_potential(Box::new(v.pair.clone()))
             .triplet_potential(Box::new(v.triplet.clone()))
@@ -204,8 +190,8 @@ fn threaded_executor_handles_silica_full_shell() {
         quadruplet: None,
         method: Method::FullShell,
     };
-    let mut bsp = DistributedSim::new(store.clone(), bbox, IVec3::new(2, 2, 2), mk_ff(), 0.0005)
-        .unwrap();
+    let mut bsp =
+        DistributedSim::new(store.clone(), bbox, IVec3::new(2, 2, 2), mk_ff(), 0.0005).unwrap();
     bsp.run(3);
     let (gathered, energy, _) =
         ThreadedSim::run(store, bbox, IVec3::new(2, 2, 2), mk_ff(), 0.0005, 3).unwrap();
@@ -245,8 +231,8 @@ fn sc_imports_less_than_fs() {
     // observed as actual ghost traffic.
     let run = |method: Method| {
         let (store, bbox) = lj_system();
-        let mut d = DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(method), 0.002)
-            .unwrap();
+        let mut d =
+            DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(method), 0.002).unwrap();
         d.run(2);
         d.comm_stats()
     };
@@ -265,23 +251,14 @@ fn sc_imports_less_than_fs() {
 #[test]
 fn sc_rank_talks_only_to_face_neighbors() {
     let (store, bbox) = lj_system();
-    let mut d = DistributedSim::new(
-        store,
-        bbox,
-        IVec3::splat(2),
-        lj_ff(Method::ShiftCollapse),
-        0.002,
-    )
-    .unwrap();
+    let mut d =
+        DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(Method::ShiftCollapse), 0.002)
+            .unwrap();
     d.run(2);
     // Forwarded routing: every rank's direct partners are face neighbours
     // only (≤ 6 distinct ranks), even though 7 neighbours' data arrives.
     for (r, stats) in d.rank_stats().iter().enumerate() {
-        assert!(
-            stats.partners.len() <= 6,
-            "rank {r} has {} direct partners",
-            stats.partners.len()
-        );
+        assert!(stats.partners.len() <= 6, "rank {r} has {} direct partners", stats.partners.len());
     }
 }
 
@@ -316,10 +293,7 @@ fn distributed_nve_conserves_energy() {
     let e0 = d.total_energy();
     d.run(30);
     let e1 = d.total_energy();
-    assert!(
-        ((e1 - e0) / e0.abs()).abs() < 1e-3,
-        "distributed NVE drift: {e0} → {e1}"
-    );
+    assert!(((e1 - e0) / e0.abs()).abs() < 1e-3, "distributed NVE drift: {e0} → {e1}");
 }
 
 #[test]
@@ -375,6 +349,62 @@ fn timings_and_load_are_reported() {
 #[test]
 fn too_many_ranks_rejected() {
     let (store, bbox) = lj_system(); // box ≈ 10.9, rcut 2.5
-    let err = DistributedSim::new(store, bbox, IVec3::splat(5), lj_ff(Method::ShiftCollapse), 0.002);
+    let err =
+        DistributedSim::new(store, bbox, IVec3::splat(5), lj_ff(Method::ShiftCollapse), 0.002);
     assert!(err.is_err(), "sub-box 2.18 < cutoff 2.5 should be rejected");
+}
+
+#[test]
+fn threaded_single_rank_matches_serial_silica() {
+    // 1×1×1 degenerates every exchange to self-sends; the threaded executor
+    // must still reproduce the serial silica trajectory exactly (one rank ⇒
+    // identical summation order up to the scratch merge).
+    let v = Vashishta::silica();
+    let masses = v.params().masses;
+    let (store, bbox) = build_silica_like(3, 7.16, masses, 0.01, 7);
+    let ff = ForceField {
+        pair: Some(Box::new(v.pair.clone())),
+        triplet: Some(Box::new(v.triplet.clone())),
+        quadruplet: None,
+        method: Method::ShiftCollapse,
+    };
+    let (gathered, energy, stats) =
+        ThreadedSim::run(store.clone(), bbox, IVec3::splat(1), ff, 0.0005, 3).unwrap();
+    let mut serial = Simulation::builder(store, bbox)
+        .pair_potential(Box::new(v.pair.clone()))
+        .triplet_potential(Box::new(v.triplet.clone()))
+        .method(Method::ShiftCollapse)
+        .timestep(0.0005)
+        .build()
+        .unwrap();
+    serial.run(3);
+    assert_stores_match(&bbox, &gathered, &serial_snapshot(&serial), 1e-9, "threaded 1x1x1");
+    let e_s = serial.last_stats().energy.total();
+    assert!(
+        (energy.total() - e_s).abs() < 1e-9 * e_s.abs().max(1.0),
+        "threaded 1x1x1 energy {} vs serial {e_s}",
+        energy.total()
+    );
+    // The per-rank phase metrics rode along in the comm stats.
+    assert!(stats.phases.bin_s > 0.0);
+    assert!(stats.phases.enumerate_s > 0.0);
+    assert!(stats.phases.reduce_s > 0.0);
+    assert!(stats.phases.exchange_s > 0.0, "threaded executor times its exchanges");
+}
+
+#[test]
+fn bsp_phase_breakdown_is_recorded() {
+    let (store, bbox) = lj_system();
+    let mut d =
+        DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(Method::ShiftCollapse), 0.002)
+            .unwrap();
+    d.run(2);
+    let p = d.phase_breakdown();
+    assert!(p.bin_s > 0.0, "ranks timed their binning: {p:?}");
+    assert!(p.enumerate_s > 0.0, "ranks timed their enumeration: {p:?}");
+    assert!(p.reduce_s > 0.0, "ranks timed their scratch merge: {p:?}");
+    assert_eq!(p.exchange_s, 0.0, "BSP exchange time is counted centrally in PhaseTimings");
+    // The fine-grained rank view nests inside the coarse compute wall time.
+    assert!(d.timings().compute_s > 0.0);
+    assert_eq!(p, d.comm_stats().phases);
 }

@@ -43,4 +43,4 @@ pub use sw::StillingerWeber;
 pub use table::TabulatedPair;
 pub use torsion::TorsionToy;
 pub use traits::{NBodyTerm, PairPotential, QuadrupletPotential, TripletPotential};
-pub use vashishta::{Vashishta, VashishtaParams, VashishtaPair, VashishtaTriplet};
+pub use vashishta::{Vashishta, VashishtaPair, VashishtaParams, VashishtaTriplet};

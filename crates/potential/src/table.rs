@@ -52,9 +52,8 @@ impl TabulatedPair {
                 if !source.applies(si, sj) {
                     continue;
                 }
-                let knots: KnotTable = (0..n_points)
-                    .map(|k| source.eval(si, sj, r_min + k as f64 * dr))
-                    .collect();
+                let knots: KnotTable =
+                    (0..n_points).map(|k| source.eval(si, sj, r_min + k as f64 * dr)).collect();
                 tables[i][j] = Some(knots);
             }
         }
@@ -63,13 +62,7 @@ impl TabulatedPair {
 
     /// Number of knots per table.
     pub fn knots(&self) -> usize {
-        self.tables
-            .iter()
-            .flatten()
-            .flatten()
-            .map(Vec::len)
-            .next()
-            .unwrap_or(0)
+        self.tables.iter().flatten().flatten().map(Vec::len).next().unwrap_or(0)
     }
 
     /// Cubic Hermite on segment `[r_k, r_{k+1}]` with knot values and
@@ -184,7 +177,9 @@ mod tests {
     fn species_pairs_tabulated_independently() {
         let v = Vashishta::silica();
         let tab = TabulatedPair::from_potential(&v.pair, 2, 1.0, 1500);
-        for (a, b) in [(Species::SI, Species::SI), (Species::SI, Species::O), (Species::O, Species::O)] {
+        for (a, b) in
+            [(Species::SI, Species::SI), (Species::SI, Species::O), (Species::O, Species::O)]
+        {
             assert!(tab.applies(a, b));
             for r in [1.6, 2.5, 4.0, 5.0] {
                 let (ua, _) = v.pair.eval(a, b, r);
@@ -197,5 +192,3 @@ mod tests {
         }
     }
 }
-
-

@@ -55,13 +55,7 @@ impl QuadrupletPotential for TorsionToy {
         self.rcut
     }
 
-    fn eval(
-        &self,
-        _species: [Species; 4],
-        d01: Vec3,
-        d12: Vec3,
-        d23: Vec3,
-    ) -> (f64, [Vec3; 4]) {
+    fn eval(&self, _species: [Species; 4], d01: Vec3, d12: Vec3, d23: Vec3) -> (f64, [Vec3; 4]) {
         let r01 = d01.norm();
         let r12 = d12.norm();
         let r23 = d23.norm();

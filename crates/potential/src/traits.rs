@@ -35,8 +35,14 @@ pub trait TripletPotential: Send + Sync {
     /// Energy and forces for a triplet. `d10 = r0 − r1` and `d12 = r2 − r1`
     /// are minimum-image leg vectors from the vertex. Returns
     /// `(u, f0, f1, f2)` with `f0 + f1 + f2 = 0`.
-    fn eval(&self, s0: Species, s1: Species, s2: Species, d10: Vec3, d12: Vec3)
-        -> (f64, Vec3, Vec3, Vec3);
+    fn eval(
+        &self,
+        s0: Species,
+        s1: Species,
+        s2: Species,
+        d10: Vec3,
+        d12: Vec3,
+    ) -> (f64, Vec3, Vec3, Vec3);
 
     /// Whether the species combination interacts (vertex in the middle).
     fn applies(&self, _s0: Species, _s1: Species, _s2: Species) -> bool {
@@ -54,13 +60,7 @@ pub trait QuadrupletPotential: Send + Sync {
     /// Energy and forces for the chain. `d01 = r1 − r0`, `d12 = r2 − r1`,
     /// `d23 = r3 − r2` are minimum-image link vectors. Returns
     /// `(u, [f0, f1, f2, f3])` with the forces summing to zero.
-    fn eval(
-        &self,
-        species: [Species; 4],
-        d01: Vec3,
-        d12: Vec3,
-        d23: Vec3,
-    ) -> (f64, [Vec3; 4]);
+    fn eval(&self, species: [Species; 4], d01: Vec3, d12: Vec3, d23: Vec3) -> (f64, [Vec3; 4]);
 
     /// Whether the species chain interacts.
     fn applies(&self, _species: [Species; 4]) -> bool {

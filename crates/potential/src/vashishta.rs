@@ -289,9 +289,7 @@ mod tests {
         let v = Vashishta::silica();
         // Somewhere in the bonding range the Si–O pair energy must be
         // negative (Coulomb attraction beats steric repulsion).
-        let found = (80..300)
-            .map(|i| i as f64 * 0.01)
-            .any(|r| v.pair.eval(SI, O, r).0 < -0.5);
+        let found = (80..300).map(|i| i as f64 * 0.01).any(|r| v.pair.eval(SI, O, r).0 < -0.5);
         assert!(found, "Si-O pair never binds — parameters are broken");
         // While O–O is repulsive at short range.
         assert!(v.pair.eval(O, O, 1.5).0 > 0.0);

@@ -41,10 +41,7 @@ fn main() {
     rdf_hot.accumulate(sim.store(), sim.bbox());
 
     let peak = |rdf: &RadialDistribution| {
-        rdf.normalized()
-            .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
+        rdf.normalized().into_iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap()
     };
     let (rc, gc) = peak(&rdf_cold);
     let (rh, gh) = peak(&rdf_hot);

@@ -4,12 +4,12 @@
 //!
 //! Run: `cargo run --release --example pattern_explorer`
 
+use shift_collapse_md::geom::IVec3;
 use shift_collapse_md::pattern::ucp::{single_path_chains, ucp_chains};
 use shift_collapse_md::pattern::{
     chain_complete, coverage_ascii, coverage_summary, eighth_shell, full_shell, generate_fs,
     half_shell, import_volume_cubic, shift_collapse, theory, Path,
 };
-use shift_collapse_md::geom::IVec3;
 
 fn main() {
     println!("== Cell coverage, drawn (the paper's Figs. 5–6) ==");
@@ -45,7 +45,11 @@ fn main() {
 
     println!();
     println!("== Classical pair methods as patterns (§4.3) ==");
-    for (name, p) in [("full shell", full_shell()), ("half shell", half_shell()), ("eighth shell", eighth_shell())] {
+    for (name, p) in [
+        ("full shell", full_shell()),
+        ("half shell", half_shell()),
+        ("eighth shell", eighth_shell()),
+    ] {
         println!(
             "{name:>13}: |Ψ| = {:>2}, single-cell imports = {:>2}",
             p.len(),

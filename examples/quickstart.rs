@@ -10,11 +10,7 @@ fn main() {
     // thermal noise.
     let spec = LatticeSpec::cubic(6, 1.5599);
     let (store, bbox) = build_fcc_lattice(&spec, 0.5, 42);
-    println!(
-        "Lennard-Jones liquid: {} atoms in a {:.2}³ box",
-        store.len(),
-        bbox.lengths().x
-    );
+    println!("Lennard-Jones liquid: {} atoms in a {:.2}³ box", store.len(), bbox.lengths().x);
 
     let mut sim = Simulation::builder(store, bbox)
         .pair_potential(Box::new(LennardJones::reduced(2.5)))

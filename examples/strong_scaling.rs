@@ -45,10 +45,8 @@ fn main() {
     );
     let cores = [12, 48, 192, 768];
     println!("{:>6} {:>10} {:>10} {:>10}", "cores", "SC eff", "FS eff", "Hybrid eff");
-    let curves: Vec<_> = Method::ALL
-        .iter()
-        .map(|&m| model.strong_scaling(m, 0.88e6, &cores, 12))
-        .collect();
+    let curves: Vec<_> =
+        Method::ALL.iter().map(|&m| model.strong_scaling(m, 0.88e6, &cores, 12)).collect();
     for (i, &p) in cores.iter().enumerate() {
         println!(
             "{:>6} {:>9.1}% {:>9.1}% {:>9.1}%",

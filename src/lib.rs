@@ -67,7 +67,5 @@ pub mod prelude {
     };
     pub use sc_netmodel::{MachineProfile, MdCostModel, MethodCosts};
     pub use sc_parallel::{DistributedSim, RankGrid, ThreadedSim};
-    pub use sc_potential::{
-        LennardJones, StillingerWeber, TabulatedPair, TorsionToy, Vashishta,
-    };
+    pub use sc_potential::{LennardJones, StillingerWeber, TabulatedPair, TorsionToy, Vashishta};
 }

@@ -22,10 +22,7 @@ fn silica_pipeline_end_to_end() {
     let e0 = sim.total_energy();
     sim.run(20);
     let e1 = sim.total_energy();
-    assert!(
-        ((e1 - e0) / e0.abs()).abs() < 5e-4,
-        "silica NVE drift over 20 steps: {e0} → {e1}"
-    );
+    assert!(((e1 - e0) / e0.abs()).abs() < 5e-4, "silica NVE drift over 20 steps: {e0} → {e1}");
     // Both tuple orders are being computed dynamically.
     let t = sim.last_stats().tuples;
     assert!(t.pair.accepted > 0 && t.triplet.accepted > 0);
@@ -116,8 +113,12 @@ impl shift_collapse_md::potential::TripletPotential for ScaledSw {
         s2: Species,
         d10: shift_collapse_md::geom::Vec3,
         d12: shift_collapse_md::geom::Vec3,
-    ) -> (f64, shift_collapse_md::geom::Vec3, shift_collapse_md::geom::Vec3, shift_collapse_md::geom::Vec3)
-    {
+    ) -> (
+        f64,
+        shift_collapse_md::geom::Vec3,
+        shift_collapse_md::geom::Vec3,
+        shift_collapse_md::geom::Vec3,
+    ) {
         let _ = self.scale;
         shift_collapse_md::potential::TripletPotential::eval(&self.inner, s0, s1, s2, d10, d12)
     }
@@ -145,10 +146,7 @@ fn tabulated_silica_pair_term_matches_analytic() {
         .unwrap();
     let ea = analytic.compute_forces().energy.pair;
     let et = tabulated.compute_forces().energy.pair;
-    assert!(
-        ((ea - et) / ea).abs() < 1e-6,
-        "tabulated pair energy {et} vs analytic {ea}"
-    );
+    assert!(((ea - et) / ea).abs() < 1e-6, "tabulated pair energy {et} vs analytic {ea}");
     analytic.run(5);
     tabulated.run(5);
     for (a, b) in analytic.store().positions().iter().zip(tabulated.store().positions()) {
@@ -201,10 +199,7 @@ fn long_nve_silica_stability() {
     let e0 = sim.total_energy();
     sim.run(2000);
     let e1 = sim.total_energy();
-    assert!(
-        ((e1 - e0) / e0.abs()).abs() < 5e-3,
-        "2000-step NVE drift: {e0} → {e1}"
-    );
+    assert!(((e1 - e0) / e0.abs()).abs() < 5e-3, "2000-step NVE drift: {e0} → {e1}");
 }
 
 /// Distributed soak: hot LJ gas on 8 ranks for many steps — migration,

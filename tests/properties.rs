@@ -13,7 +13,11 @@ use std::collections::HashSet;
 
 /// Strategy: a random atom store of 5–60 atoms in a box of edge 3–6 cutoffs.
 fn atoms_in_box() -> impl Strategy<Value = (AtomStore, SimulationBox)> {
-    (3.0f64..6.0, 5usize..60, proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 60))
+    (
+        3.0f64..6.0,
+        5usize..60,
+        proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 60),
+    )
         .prop_map(|(edge, n, coords)| {
             let bbox = SimulationBox::cubic(edge);
             let mut store = AtomStore::single_species();

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace imports (both
+//! as traits and, under the `derive` feature, as the no-op derive macros from
+//! the sibling `serde_derive` shim). The build container has no registry
+//! access; since no crate in the tree performs actual serialization, marker
+//! traits are sufficient to keep every `#[derive(Serialize, Deserialize)]`
+//! site compiling.
+
+/// Marker for types that opt into serialization (no-op in the shim).
+pub trait Serialize {}
+
+/// Marker for types that opt into deserialization (no-op in the shim).
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to keep its public
+//! types serde-ready; nothing actually serializes today (no serde_json or
+//! bincode in the dependency tree). This shim accepts the derive attribute
+//! syntax (including `#[serde(...)]` helper attributes) and expands to an
+//! empty token stream, so the annotated types compile unchanged while the
+//! real implementation can be swapped back in whenever a registry is
+//! available.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
