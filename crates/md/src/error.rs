@@ -31,6 +31,18 @@ pub enum BuildError {
         /// The configured cell subdivision.
         subdivision: i32,
     },
+    /// The integration timestep is not a positive finite number.
+    BadTimestep(
+        /// The offending timestep.
+        f64,
+    ),
+    /// An initial position or velocity is NaN or infinite.
+    NonFiniteAtom {
+        /// Store index of the offending atom.
+        index: usize,
+        /// Which component was non-finite (`"position"` or `"velocity"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -49,6 +61,12 @@ impl fmt::Display for BuildError {
                 f,
                 "box too small for the n={n} lattice with cutoff {rcut} (subdivision {subdivision})"
             ),
+            BuildError::BadTimestep(dt) => {
+                write!(f, "timestep {dt} must be positive and finite")
+            }
+            BuildError::NonFiniteAtom { index, what } => {
+                write!(f, "atom {index} has a non-finite {what}")
+            }
         }
     }
 }
@@ -69,6 +87,10 @@ mod tests {
         assert!(BuildError::BoxTooSmall { n: 2, rcut: 2.5, subdivision: 1 }
             .to_string()
             .contains("too small"));
+        assert!(BuildError::BadTimestep(-0.5).to_string().contains("positive"));
+        assert!(BuildError::NonFiniteAtom { index: 4, what: "velocity" }
+            .to_string()
+            .contains("atom 4"));
     }
 
     #[test]

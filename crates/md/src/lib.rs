@@ -28,15 +28,22 @@
 //!   ground truth the test suite compares every method against.
 //! * workload builders ([`build_fcc_lattice`], [`build_silica_like`],
 //!   [`random_gas`]) for the benchmark systems.
+//! * [`checkpoint`] / [`supervisor`] — fault-tolerant runtime support:
+//!   checksummed binary snapshots of the full dynamic state and a
+//!   physics-invariant supervisor that rolls a [`supervisor::Recoverable`]
+//!   simulation back to the last good checkpoint when a step fails or an
+//!   invariant (finiteness, atom conservation, energy drift) breaks.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod diagnostics;
 pub mod engine;
 pub mod io;
 pub mod methods;
 pub mod par;
 pub mod reference;
+pub mod supervisor;
 
 mod error;
 mod integrate;
@@ -44,6 +51,7 @@ mod sim;
 mod stats;
 mod workload;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use diagnostics::{
     chain_statistics, coordination_histogram, pair_virial_pressure, pair_virial_tensor,
     BondAngleDistribution, MeanSquaredDisplacement, RadialDistribution,
@@ -51,9 +59,10 @@ pub use diagnostics::{
 pub use engine::{Dedup, PatternPlan};
 pub use error::BuildError;
 pub use integrate::{berendsen_rescale, velocity_verlet_step};
-pub use io::{read_xyz, write_xyz};
+pub use io::{read_xyz, write_xyz, XyzError};
 pub use methods::Method;
 pub use par::{AccumulatorPool, ForceAccumulator, LaneSlots, ThreadPool};
 pub use sim::{Simulation, SimulationBuilder};
 pub use stats::{EnergyBreakdown, StepPhases, StepStats, TupleCounts};
+pub use supervisor::{Recoverable, RecoveryStats, Supervisor, SupervisorConfig, SupervisorError};
 pub use workload::{build_fcc_lattice, build_silica_like, random_gas, thermalize, LatticeSpec};

@@ -1,5 +1,6 @@
 //! The user-facing simulation driver.
 
+use crate::checkpoint::Checkpoint;
 use crate::engine::{self, PatternPlan, VisitStats};
 use crate::error::BuildError;
 use crate::integrate::{berendsen_rescale, velocity_verlet_finish, velocity_verlet_start};
@@ -54,9 +55,10 @@ impl SimulationBuilder {
         self
     }
 
-    /// Sets the integration timestep (default 0.001).
+    /// Sets the integration timestep (default 0.001). Validated by
+    /// [`SimulationBuilder::build`]: a non-positive or non-finite value is
+    /// rejected as [`BuildError::BadTimestep`].
     pub fn timestep(mut self, dt: f64) -> Self {
-        assert!(dt > 0.0);
         self.dt = dt;
         self
     }
@@ -120,10 +122,22 @@ impl SimulationBuilder {
     ///
     /// # Errors
     /// See [`BuildError`] — no terms, Hybrid without a pair term, cutoff
-    /// ordering violations, or a box too small for some term's lattice.
+    /// ordering violations, a box too small for some term's lattice, a
+    /// degenerate timestep, or non-finite initial positions/velocities.
     pub fn build(self) -> Result<Simulation, BuildError> {
         if self.pair.is_none() && self.triplet.is_none() && self.quadruplet.is_none() {
             return Err(BuildError::NoTerms);
+        }
+        if !(self.dt > 0.0 && self.dt.is_finite()) {
+            return Err(BuildError::BadTimestep(self.dt));
+        }
+        for i in 0..self.store.len() {
+            if !self.store.positions()[i].is_finite() {
+                return Err(BuildError::NonFiniteAtom { index: i, what: "position" });
+            }
+            if !self.store.velocities()[i].is_finite() {
+                return Err(BuildError::NonFiniteAtom { index: i, what: "velocity" });
+            }
         }
         if self.method == Method::Hybrid {
             let rc2 = self.pair.as_ref().ok_or(BuildError::HybridNeedsPair)?.cutoff();
@@ -646,6 +660,13 @@ impl Simulation {
         for r in self.store.positions_mut() {
             *r *= mu;
         }
+        self.rebuild_lattices();
+    }
+
+    /// Rebuilds every term's cell lattice for the current box and drops the
+    /// cached Verlet list. Used after any geometry change (barostat rescale,
+    /// checkpoint restore).
+    fn rebuild_lattices(&mut self) {
         let k = self.subdivision;
         if let Some(p) = &self.pair {
             let cut =
@@ -671,7 +692,7 @@ impl Simulation {
                 ));
             }
         }
-        // A rescale invalidates any cached Verlet list.
+        // A geometry change invalidates any cached Verlet list.
         self.hybrid_cache = None;
     }
 
@@ -689,6 +710,81 @@ impl Simulation {
     pub fn total_energy(&mut self) -> f64 {
         let stats = self.compute_forces();
         stats.energy.total() + self.store.kinetic_energy()
+    }
+
+    /// The integration timestep.
+    pub fn timestep(&self) -> f64 {
+        self.dt
+    }
+
+    /// Overrides the integration timestep mid-run (used by the
+    /// [`crate::supervisor::Supervisor`] for timestep backoff after
+    /// physics-invariant rollbacks).
+    pub fn set_timestep(&mut self, dt: f64) {
+        assert!(dt > 0.0 && dt.is_finite(), "timestep {dt} must be positive and finite");
+        self.dt = dt;
+    }
+}
+
+impl crate::supervisor::Recoverable for Simulation {
+    /// Serial stepping has no communication layer, so it cannot fail with a
+    /// recoverable fault — only physics-invariant violations (caught by the
+    /// supervisor's own checks) can trigger rollback.
+    type Fault = std::convert::Infallible;
+
+    fn try_step(&mut self) -> Result<(), Self::Fault> {
+        self.step();
+        Ok(())
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::from_store(self.steps_done, self.dt, &self.bbox, &self.store)
+    }
+
+    fn restore(&mut self, cp: &Checkpoint) {
+        self.store = cp.to_store();
+        self.bbox = cp.bbox();
+        self.dt = cp.dt;
+        self.steps_done = cp.step;
+        self.last_stats = StepStats::default();
+        // Restored forces came from the checkpoint, so a step-0 restore must
+        // not re-prime over them — except a checkpoint taken before any force
+        // computation, whose forces are identically zero and whose re-priming
+        // reproduces them.
+        self.rebuild_lattices();
+    }
+
+    fn atom_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Potential energy comes from the most recent force computation (zero
+    /// until the first step primes forces), so with the energy guardrail
+    /// enabled the simulation should take at least one step — or call
+    /// [`Simulation::total_energy`] — before supervision starts.
+    fn total_energy_estimate(&self) -> f64 {
+        self.last_stats.energy.total() + self.store.kinetic_energy()
+    }
+
+    fn state_is_finite(&self) -> bool {
+        let n = self.store.len();
+        (0..n).all(|i| {
+            self.store.positions()[i].is_finite()
+                && self.store.velocities()[i].is_finite()
+                && self.store.forces()[i].is_finite()
+        })
+    }
+
+    fn timestep(&self) -> f64 {
+        self.dt
+    }
+
+    fn set_timestep(&mut self, dt: f64) {
+        Simulation::set_timestep(self, dt);
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.steps_done
     }
 }
 

@@ -1,0 +1,461 @@
+//! Fault-recovery supervision: per-step physics guardrails plus
+//! checkpoint/rollback orchestration over any [`Recoverable`] engine.
+//!
+//! The supervisor sits between a driver loop and a simulation. After every
+//! step it checks invariants no healthy MD trajectory violates — finite
+//! state, conserved atom count, bounded total-energy drift — and on a
+//! violation *or* an unrecovered communication fault it rolls the engine
+//! back to the last [`Checkpoint`] and replays, optionally with a reduced
+//! timestep (graceful degradation). Engines stay decoupled: the serial
+//! [`crate::Simulation`] and the distributed executors in `sc-parallel`
+//! both implement [`Recoverable`].
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use std::fmt;
+use std::path::PathBuf;
+
+/// An engine the [`Supervisor`] can drive, roll back, and degrade.
+pub trait Recoverable {
+    /// The engine's unrecovered-fault type ([`std::convert::Infallible`]
+    /// for engines that cannot fail mid-step).
+    type Fault: std::error::Error;
+
+    /// Advances one step, surfacing unrecovered faults. After an `Err` the
+    /// engine state is unspecified; [`restore`](Recoverable::restore) must
+    /// run before the next step.
+    fn try_step(&mut self) -> Result<(), Self::Fault>;
+
+    /// Snapshots the full phase-space state.
+    fn checkpoint(&self) -> Checkpoint;
+
+    /// Rewinds to a snapshot taken by [`checkpoint`](Recoverable::checkpoint).
+    fn restore(&mut self, cp: &Checkpoint);
+
+    /// Atoms currently in the simulation (conserved in a healthy run).
+    fn atom_count(&self) -> usize;
+
+    /// Total energy from the most recent force computation (no recompute).
+    fn total_energy_estimate(&self) -> f64;
+
+    /// Whether all positions, velocities, and forces are finite.
+    fn state_is_finite(&self) -> bool;
+
+    /// The integration timestep.
+    fn timestep(&self) -> f64;
+
+    /// Changes the integration timestep.
+    fn set_timestep(&mut self, dt: f64);
+
+    /// Steps completed.
+    fn steps_done(&self) -> u64;
+}
+
+/// Supervision policy.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Steps between checkpoints.
+    pub checkpoint_every: u64,
+    /// Consecutive rollbacks (without completing a checkpoint interval)
+    /// before giving up.
+    pub max_rollbacks: u32,
+    /// Relative total-energy drift allowed between checkpoints (`None`
+    /// disables the energy guardrail — e.g. for thermostatted runs).
+    pub energy_drift_tol: Option<f64>,
+    /// Timestep multiplier applied on each physics-invariant rollback
+    /// (1.0 = no degradation). Compounds across repeated violations.
+    pub dt_backoff: f64,
+    /// Floor for the degraded timestep.
+    pub min_dt: f64,
+    /// When set, every checkpoint is also written to
+    /// `<dir>/checkpoint-<step>.sc` for out-of-process recovery.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            checkpoint_every: 10,
+            max_rollbacks: 8,
+            energy_drift_tol: None,
+            dt_backoff: 1.0,
+            min_dt: 0.0,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// Recovery accounting, the supervision counterpart of
+/// [`crate::StepStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Checkpoints taken.
+    pub checkpoints_saved: u64,
+    /// Rollback-and-replay events.
+    pub rollbacks: u64,
+    /// Rollbacks caused by unrecovered communication faults.
+    pub comm_faults: u64,
+    /// Rollbacks caused by physics-invariant violations.
+    pub invariant_violations: u64,
+}
+
+/// Why supervision gave up.
+#[derive(Debug)]
+pub enum SupervisorError {
+    /// The engine kept faulting: the rollback budget was exhausted without
+    /// completing a checkpoint interval.
+    RollbacksExhausted {
+        /// Rollbacks spent on the failing interval.
+        rollbacks: u32,
+        /// Description of the final fault or violation.
+        last_fault: String,
+    },
+    /// A checkpoint could not be written to disk.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::RollbacksExhausted { rollbacks, last_fault } => {
+                write!(f, "gave up after {rollbacks} rollbacks; last fault: {last_fault}")
+            }
+            SupervisorError::Checkpoint(e) => write!(f, "checkpointing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+impl From<CheckpointError> for SupervisorError {
+    fn from(e: CheckpointError) -> Self {
+        SupervisorError::Checkpoint(e)
+    }
+}
+
+/// Drives a [`Recoverable`] engine with guardrails and rollback recovery.
+pub struct Supervisor {
+    config: SupervisorConfig,
+    stats: RecoveryStats,
+    last_good: Option<Checkpoint>,
+    /// Total energy at the last checkpoint, the drift reference.
+    ref_energy: f64,
+    /// Atom count captured at the first checkpoint (the conservation
+    /// baseline).
+    baseline_atoms: Option<usize>,
+    /// Rollbacks since the last completed checkpoint interval.
+    consecutive_rollbacks: u32,
+    /// Compounding timestep degradation factor.
+    dt_scale: f64,
+}
+
+impl Supervisor {
+    /// Creates a supervisor with the given policy.
+    pub fn new(config: SupervisorConfig) -> Self {
+        Supervisor {
+            config,
+            stats: RecoveryStats::default(),
+            last_good: None,
+            ref_energy: 0.0,
+            baseline_atoms: None,
+            consecutive_rollbacks: 0,
+            dt_scale: 1.0,
+        }
+    }
+
+    /// Recovery accounting so far.
+    pub fn stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// The most recent good snapshot, if any.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.last_good.as_ref()
+    }
+
+    fn save_checkpoint<S: Recoverable>(&mut self, sim: &S) -> Result<(), SupervisorError> {
+        let cp = sim.checkpoint();
+        if let Some(dir) = &self.config.checkpoint_dir {
+            cp.save(&dir.join(format!("checkpoint-{}.sc", cp.step)))?;
+        }
+        self.ref_energy = sim.total_energy_estimate();
+        self.baseline_atoms.get_or_insert(sim.atom_count());
+        self.last_good = Some(cp);
+        self.stats.checkpoints_saved += 1;
+        self.consecutive_rollbacks = 0;
+        Ok(())
+    }
+
+    /// The physics guardrails; `None` means the step looks healthy.
+    fn invariant_violation<S: Recoverable>(&self, sim: &S) -> Option<String> {
+        if !sim.state_is_finite() {
+            return Some("non-finite position, velocity, or force".to_string());
+        }
+        if let Some(base) = self.baseline_atoms {
+            let now = sim.atom_count();
+            if now != base {
+                return Some(format!("atom count changed: {base} -> {now}"));
+            }
+        }
+        if let Some(tol) = self.config.energy_drift_tol {
+            let e = sim.total_energy_estimate();
+            let drift = (e - self.ref_energy).abs();
+            if drift > tol * self.ref_energy.abs().max(1.0) {
+                return Some(format!(
+                    "energy drift {drift:.3e} exceeds tolerance (reference {:.6e})",
+                    self.ref_energy
+                ));
+            }
+        }
+        None
+    }
+
+    fn rollback<S: Recoverable>(
+        &mut self,
+        sim: &mut S,
+        physics: bool,
+        why: String,
+    ) -> Result<(), SupervisorError> {
+        if self.consecutive_rollbacks >= self.config.max_rollbacks {
+            return Err(SupervisorError::RollbacksExhausted {
+                rollbacks: self.consecutive_rollbacks,
+                last_fault: why,
+            });
+        }
+        self.consecutive_rollbacks += 1;
+        self.stats.rollbacks += 1;
+        if physics {
+            self.stats.invariant_violations += 1;
+        } else {
+            self.stats.comm_faults += 1;
+        }
+        let cp = self.last_good.as_ref().expect("rollback without a checkpoint");
+        sim.restore(cp);
+        if physics && self.config.dt_backoff < 1.0 {
+            self.dt_scale *= self.config.dt_backoff;
+            let dt = (cp.dt * self.dt_scale).max(self.config.min_dt);
+            sim.set_timestep(dt);
+        }
+        Ok(())
+    }
+
+    /// Runs `steps` supervised steps on top of wherever `sim` currently is.
+    /// Takes an initial checkpoint if none exists yet, then steps, checks,
+    /// and recovers until the target step count is reached.
+    ///
+    /// # Errors
+    /// [`SupervisorError::RollbacksExhausted`] when the same checkpoint
+    /// interval keeps failing, [`SupervisorError::Checkpoint`] when a
+    /// snapshot cannot be written to the configured directory.
+    pub fn run<S: Recoverable>(&mut self, sim: &mut S, steps: u64) -> Result<(), SupervisorError> {
+        if self.last_good.is_none() {
+            self.save_checkpoint(sim)?;
+        }
+        let target = sim.steps_done() + steps;
+        while sim.steps_done() < target {
+            match sim.try_step() {
+                Ok(()) => {
+                    if let Some(why) = self.invariant_violation(sim) {
+                        self.rollback(sim, true, why)?;
+                        continue;
+                    }
+                    let since = sim.steps_done() - self.last_good.as_ref().map_or(0, |cp| cp.step);
+                    if since >= self.config.checkpoint_every {
+                        self.save_checkpoint(sim)?;
+                    }
+                }
+                Err(e) => self.rollback(sim, false, e.to_string())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_geom::Vec3;
+
+    #[derive(Debug)]
+    struct MockFault(&'static str);
+    impl fmt::Display for MockFault {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+    impl std::error::Error for MockFault {}
+
+    /// A scriptable engine: a step counter with injectable comm faults and
+    /// one-shot invariant violations.
+    struct MockSim {
+        step: u64,
+        dt: f64,
+        atoms: usize,
+        energy: f64,
+        finite: bool,
+        /// Steps whose `try_step` fails once (consumed on trigger).
+        comm_fail_at: Vec<u64>,
+        /// Steps after which the state turns non-finite once.
+        blowup_at: Vec<u64>,
+        /// When true, every step fails (for budget-exhaustion tests).
+        always_fail: bool,
+        restores: u32,
+    }
+
+    impl MockSim {
+        fn new() -> Self {
+            MockSim {
+                step: 0,
+                dt: 1.0,
+                atoms: 100,
+                energy: -50.0,
+                finite: true,
+                comm_fail_at: vec![],
+                blowup_at: vec![],
+                always_fail: false,
+                restores: 0,
+            }
+        }
+    }
+
+    impl Recoverable for MockSim {
+        type Fault = MockFault;
+        fn try_step(&mut self) -> Result<(), MockFault> {
+            if self.always_fail {
+                return Err(MockFault("persistent fault"));
+            }
+            if let Some(i) = self.comm_fail_at.iter().position(|&s| s == self.step) {
+                self.comm_fail_at.swap_remove(i);
+                return Err(MockFault("scripted comm fault"));
+            }
+            self.step += 1;
+            if let Some(i) = self.blowup_at.iter().position(|&s| s == self.step) {
+                self.blowup_at.swap_remove(i);
+                self.finite = false;
+            }
+            Ok(())
+        }
+        fn checkpoint(&self) -> Checkpoint {
+            Checkpoint {
+                step: self.step,
+                dt: self.dt,
+                box_lengths: Vec3::splat(1.0),
+                species_masses: vec![1.0],
+                ids: vec![],
+                species: vec![],
+                positions: vec![],
+                velocities: vec![],
+                forces: vec![],
+            }
+        }
+        fn restore(&mut self, cp: &Checkpoint) {
+            self.step = cp.step;
+            self.dt = cp.dt;
+            self.finite = true;
+            self.restores += 1;
+        }
+        fn atom_count(&self) -> usize {
+            self.atoms
+        }
+        fn total_energy_estimate(&self) -> f64 {
+            self.energy
+        }
+        fn state_is_finite(&self) -> bool {
+            self.finite
+        }
+        fn timestep(&self) -> f64 {
+            self.dt
+        }
+        fn set_timestep(&mut self, dt: f64) {
+            self.dt = dt;
+        }
+        fn steps_done(&self) -> u64 {
+            self.step
+        }
+    }
+
+    #[test]
+    fn clean_run_checkpoints_and_finishes() {
+        let mut sim = MockSim::new();
+        let mut sup =
+            Supervisor::new(SupervisorConfig { checkpoint_every: 5, ..Default::default() });
+        sup.run(&mut sim, 20).unwrap();
+        assert_eq!(sim.step, 20);
+        // 1 initial + at steps 5, 10, 15, 20.
+        assert_eq!(sup.stats().checkpoints_saved, 5);
+        assert_eq!(sup.stats().rollbacks, 0);
+    }
+
+    #[test]
+    fn comm_fault_rolls_back_and_replays() {
+        let mut sim = MockSim::new();
+        sim.comm_fail_at = vec![7];
+        let mut sup =
+            Supervisor::new(SupervisorConfig { checkpoint_every: 5, ..Default::default() });
+        sup.run(&mut sim, 10).unwrap();
+        assert_eq!(sim.step, 10);
+        assert_eq!(sim.restores, 1);
+        let s = sup.stats();
+        assert_eq!(s.rollbacks, 1);
+        assert_eq!(s.comm_faults, 1);
+        assert_eq!(s.invariant_violations, 0);
+    }
+
+    #[test]
+    fn invariant_violation_degrades_timestep() {
+        let mut sim = MockSim::new();
+        sim.blowup_at = vec![3];
+        let mut sup = Supervisor::new(SupervisorConfig {
+            checkpoint_every: 10,
+            dt_backoff: 0.5,
+            min_dt: 0.1,
+            ..Default::default()
+        });
+        sup.run(&mut sim, 6).unwrap();
+        assert_eq!(sim.step, 6);
+        assert_eq!(sup.stats().invariant_violations, 1);
+        assert_eq!(sim.dt, 0.5, "timestep halved after the physics rollback");
+    }
+
+    #[test]
+    fn rollback_budget_exhaustion_is_terminal() {
+        let mut sim = MockSim::new();
+        sim.always_fail = true;
+        let mut sup = Supervisor::new(SupervisorConfig { max_rollbacks: 3, ..Default::default() });
+        let err = sup.run(&mut sim, 5).unwrap_err();
+        assert!(matches!(err, SupervisorError::RollbacksExhausted { rollbacks: 3, .. }), "{err}");
+        assert_eq!(sup.stats().rollbacks, 3);
+    }
+
+    #[test]
+    fn energy_drift_guardrail_fires() {
+        let mut sim = MockSim::new();
+        let mut sup = Supervisor::new(SupervisorConfig {
+            checkpoint_every: 100,
+            energy_drift_tol: Some(0.01),
+            max_rollbacks: 1,
+            ..Default::default()
+        });
+        // Prime the reference, then shift the energy beyond 1%.
+        sup.save_checkpoint(&sim).unwrap();
+        sim.energy = -40.0;
+        let err = sup.run(&mut sim, 5).unwrap_err();
+        assert!(err.to_string().contains("energy drift"), "{err}");
+        assert_eq!(sup.stats().invariant_violations, 1);
+    }
+
+    #[test]
+    fn checkpoints_reach_disk_when_configured() {
+        let dir = std::env::temp_dir().join(format!("sc-supervisor-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sim = MockSim::new();
+        let mut sup = Supervisor::new(SupervisorConfig {
+            checkpoint_every: 5,
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        });
+        sup.run(&mut sim, 5).unwrap();
+        let cp = Checkpoint::load(&dir.join("checkpoint-5.sc")).unwrap();
+        assert_eq!(cp.step, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

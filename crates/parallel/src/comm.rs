@@ -1,5 +1,6 @@
 //! Communication plans and accounting.
 
+use crate::error::SetupError;
 use sc_md::{Method, StepPhases};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -31,9 +32,15 @@ pub struct GhostPlan {
 impl GhostPlan {
     /// Builds the plan for a method. `halo_width` is the real-space import
     /// depth `max_n (n−1)·cell_edge_n` over the active terms.
-    pub fn for_method(method: Method, halo_width: f64) -> Self {
-        assert!(halo_width > 0.0);
-        match method {
+    ///
+    /// # Errors
+    /// [`SetupError::NonPositiveHalo`] when `halo_width` is not a positive
+    /// finite number (no active term, a zero cutoff, or a propagated NaN).
+    pub fn for_method(method: Method, halo_width: f64) -> Result<Self, SetupError> {
+        if !(halo_width > 0.0 && halo_width.is_finite()) {
+            return Err(SetupError::NonPositiveHalo { width: halo_width });
+        }
+        Ok(match method {
             Method::ShiftCollapse => GhostPlan {
                 lo_width: 0.0,
                 hi_width: halo_width,
@@ -44,7 +51,7 @@ impl GhostPlan {
                 hi_width: halo_width,
                 hops: vec![(0, 1), (0, -1), (1, 1), (1, -1), (2, 1), (2, -1)],
             },
-        }
+        })
     }
 
     /// Number of communication steps per halo exchange.
@@ -66,6 +73,13 @@ pub struct CommStats {
     pub ghosts_imported: u64,
     /// Atoms migrated away this step.
     pub atoms_migrated: u64,
+    /// Delivery retries performed after a validation failure or loss
+    /// (cumulative; exposed by the `--measured` bench modes as the
+    /// fault-overhead observable).
+    pub retries: u64,
+    /// Validated-exchange failures detected (checksum/epoch mismatches and
+    /// lost payloads), whether or not a retry recovered them.
+    pub faults_detected: u64,
     /// Distinct ranks this rank sent to.
     pub partners: BTreeSet<usize>,
     /// Cumulative step-phase breakdown of this rank's work (seconds since
@@ -94,6 +108,8 @@ impl CommStats {
         self.bytes += o.bytes;
         self.ghosts_imported += o.ghosts_imported;
         self.atoms_migrated += o.atoms_migrated;
+        self.retries += o.retries;
+        self.faults_detected += o.faults_detected;
         self.partners.extend(o.partners.iter().copied());
         self.phases.accumulate(&o.phases);
     }
@@ -160,7 +176,7 @@ mod tests {
 
     #[test]
     fn sc_plan_is_one_sided_three_hops() {
-        let p = GhostPlan::for_method(Method::ShiftCollapse, 2.5);
+        let p = GhostPlan::for_method(Method::ShiftCollapse, 2.5).unwrap();
         assert_eq!(p.lo_width, 0.0);
         assert_eq!(p.hi_width, 2.5);
         assert_eq!(p.hop_count(), 3);
@@ -170,10 +186,18 @@ mod tests {
     #[test]
     fn fs_plan_is_two_sided_six_hops() {
         for m in [Method::FullShell, Method::Hybrid] {
-            let p = GhostPlan::for_method(m, 2.5);
+            let p = GhostPlan::for_method(m, 2.5).unwrap();
             assert_eq!(p.lo_width, 2.5);
             assert_eq!(p.hi_width, 2.5);
             assert_eq!(p.hop_count(), 6);
+        }
+    }
+
+    #[test]
+    fn degenerate_halo_is_rejected_typed() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = GhostPlan::for_method(Method::ShiftCollapse, bad).unwrap_err();
+            assert!(matches!(err, SetupError::NonPositiveHalo { .. }), "width {bad}: {err}");
         }
     }
 

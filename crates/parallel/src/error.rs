@@ -1,5 +1,7 @@
-//! Typed setup errors for the distributed runtime.
+//! Typed errors for the distributed runtime: setup-time rejection and
+//! runtime fault detection.
 
+use crate::msg::Channel;
 use std::fmt;
 
 /// Why a distributed simulation could not be set up.
@@ -36,6 +38,24 @@ pub enum SetupError {
     },
     /// Unsupported cell subdivision factor.
     UnsupportedSubdivision(i32),
+    /// The halo width derived from the force field is not a positive finite
+    /// number (no active term, a zero cutoff, or a NaN propagated in).
+    NonPositiveHalo {
+        /// The offending width.
+        width: f64,
+    },
+    /// A rank-grid dimension is below 1.
+    BadRankGrid {
+        /// The offending grid dimensions.
+        pdims: [i32; 3],
+    },
+    /// The decomposition did not claim every atom exactly once.
+    AtomsLost {
+        /// Atoms in the input store.
+        expected: usize,
+        /// Atoms claimed across all ranks.
+        claimed: usize,
+    },
 }
 
 impl fmt::Display for SetupError {
@@ -56,11 +76,153 @@ impl fmt::Display for SetupError {
             SetupError::UnsupportedSubdivision(k) => {
                 write!(f, "unsupported cell subdivision {k} (supported: 1..=3)")
             }
+            SetupError::NonPositiveHalo { width } => {
+                write!(f, "halo width {width} must be positive and finite")
+            }
+            SetupError::BadRankGrid { pdims } => {
+                write!(f, "rank grid dims {pdims:?} must all be ≥ 1")
+            }
+            SetupError::AtomsLost { expected, claimed } => {
+                write!(f, "decomposition claimed {claimed} of {expected} atoms")
+            }
         }
     }
 }
 
 impl std::error::Error for SetupError {}
+
+/// A fault detected while the distributed runtime was stepping: a validated
+/// exchange failed and bounded retries did not recover it, or received data
+/// was inconsistent with the rank's state. Unlike [`SetupError`], these can
+/// appear on any step; the supervisor layer in `sc-md` responds by rolling
+/// back to the last checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A payload arrived stamped with the wrong step epoch (stale or
+    /// corrupted header).
+    EpochMismatch {
+        /// The receiving rank.
+        rank: usize,
+        /// The epoch the receiver is in.
+        expected: u64,
+        /// The epoch the message claims.
+        got: u64,
+    },
+    /// A payload failed checksum verification (bit corruption in transit).
+    ChecksumMismatch {
+        /// The receiving rank.
+        rank: usize,
+        /// The communication slot the payload was for.
+        channel: Channel,
+        /// The step epoch.
+        epoch: u64,
+    },
+    /// No valid payload for a routing slot arrived within the retry budget.
+    MissingHop {
+        /// The rank that timed out waiting.
+        rank: usize,
+        /// The communication slot that never filled.
+        channel: Channel,
+        /// The step epoch.
+        epoch: u64,
+        /// Delivery attempts made (1 original + retries).
+        attempts: u32,
+    },
+    /// A peer rank stayed unresponsive through the whole retry budget.
+    RankStalled {
+        /// The unresponsive rank.
+        rank: usize,
+        /// The step epoch.
+        epoch: u64,
+        /// Delivery attempts made before escalating.
+        attempts: u32,
+    },
+    /// A payload of the wrong kind arrived for a slot (protocol confusion).
+    WrongPayload {
+        /// The receiving rank.
+        rank: usize,
+        /// The slot the payload was for.
+        channel: Channel,
+    },
+    /// A reduced force arrived for an atom this rank neither owns nor holds
+    /// as a ghost — the exchange delivered inconsistent routing data.
+    UnknownForceTarget {
+        /// The receiving rank.
+        rank: usize,
+        /// The unknown atom's global id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::EpochMismatch { rank, expected, got } => {
+                write!(f, "rank {rank}: payload stamped epoch {got}, expected {expected}")
+            }
+            RuntimeError::ChecksumMismatch { rank, channel, epoch } => {
+                write!(f, "rank {rank}: checksum mismatch on {channel:?} in epoch {epoch}")
+            }
+            RuntimeError::MissingHop { rank, channel, epoch, attempts } => write!(
+                f,
+                "rank {rank}: no valid payload for {channel:?} in epoch {epoch} \
+                 after {attempts} attempts"
+            ),
+            RuntimeError::RankStalled { rank, epoch, attempts } => {
+                write!(f, "rank {rank} unresponsive in epoch {epoch} after {attempts} attempts")
+            }
+            RuntimeError::WrongPayload { rank, channel } => {
+                write!(f, "rank {rank}: wrong payload kind for {channel:?}")
+            }
+            RuntimeError::UnknownForceTarget { rank, id } => {
+                write!(f, "rank {rank} got a reduced force for unknown atom {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Either failure mode of a one-shot executor run ([`crate::ThreadedSim`]):
+/// the configuration was rejected up front, or a rank hit an unrecoverable
+/// communication fault mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// Setup-time rejection.
+    Setup(SetupError),
+    /// Mid-run fault.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Setup(e) => write!(f, "setup: {e}"),
+            RunError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Setup(e) => Some(e),
+            RunError::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<SetupError> for RunError {
+    fn from(e: SetupError) -> Self {
+        RunError::Setup(e)
+    }
+}
+
+impl From<RuntimeError> for RunError {
+    fn from(e: RuntimeError) -> Self {
+        RunError::Runtime(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -75,5 +237,37 @@ mod tests {
         let e = SetupError::LatticeTooSmall { global_cells: 2, needed: 3, axis: 2 };
         assert!(e.to_string().contains("lattice"));
         assert!(SetupError::UnsupportedSubdivision(7).to_string().contains('7'));
+        assert!(SetupError::NonPositiveHalo { width: -1.0 }.to_string().contains("positive"));
+        assert!(SetupError::BadRankGrid { pdims: [0, 1, 1] }.to_string().contains("≥ 1"));
+        assert!(SetupError::AtomsLost { expected: 10, claimed: 9 }.to_string().contains("10"));
+    }
+
+    #[test]
+    fn runtime_errors_name_rank_and_slot() {
+        let e = RuntimeError::ChecksumMismatch {
+            rank: 3,
+            channel: Channel::Ghosts { hop: 1 },
+            epoch: 7,
+        };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("epoch 7"));
+        let e = RuntimeError::RankStalled { rank: 2, epoch: 4, attempts: 3 };
+        assert!(e.to_string().contains("unresponsive"));
+        let e = RuntimeError::MissingHop {
+            rank: 0,
+            channel: Channel::Forces { hop: 2 },
+            epoch: 1,
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("attempts"));
+    }
+
+    #[test]
+    fn run_error_wraps_both_failure_modes() {
+        let s: RunError = SetupError::UnsupportedSubdivision(9).into();
+        assert!(s.to_string().starts_with("setup"));
+        let r: RunError = RuntimeError::EpochMismatch { rank: 1, expected: 2, got: 3 }.into();
+        assert!(r.to_string().starts_with("runtime"));
+        assert!(std::error::Error::source(&r).is_some());
     }
 }

@@ -1,27 +1,89 @@
 //! Bulk-synchronous executor: deterministic reference implementation of the
-//! distributed MD step.
+//! distributed MD step, with validated message delivery, scriptable fault
+//! injection, and checkpoint/rollback support.
 
 use crate::comm::{CommStats, GhostPlan, PhaseTimings};
-use crate::error::SetupError;
+use crate::error::{RuntimeError, SetupError};
+use crate::fault::{Delivery, FaultPlan};
 use crate::grid::RankGrid;
-use crate::msg::{AtomMsg, ForceMsg, GhostMsg};
+use crate::msg::{AtomMsg, Channel, ForceMsg, GhostMsg, Message, Payload};
 use crate::rank::{halo_width_for, ForceField, RankState};
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
+use sc_md::checkpoint::Checkpoint;
+use sc_md::supervisor::Recoverable;
 use sc_md::{EnergyBreakdown, LaneSlots, StepPhases, ThreadPool, TupleCounts};
+
+/// Retries after a failed delivery before escalating (so each hop gets
+/// `1 + MAX_RETRIES` attempts). Two retries cover every single-fault
+/// scenario that is recoverable in-step (drop, delay-by-one, one-attempt
+/// stall) while keeping worst-case latency bounded.
+const MAX_RETRIES: u32 = 2;
+
+/// Delivers `msg` from `from` to `to` through the fault plan, verifying the
+/// stamp on arrival and retrying (the sender re-sends its buffered copy) up
+/// to [`MAX_RETRIES`] times. Detected faults and retries are recorded in the
+/// sender's `stats`.
+fn deliver_validated(
+    fault: &mut FaultPlan,
+    stats: &mut CommStats,
+    epoch: u64,
+    from: usize,
+    to: usize,
+    channel: Channel,
+    msg: Message,
+) -> Result<Message, RuntimeError> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if attempts > 1 {
+            stats.retries += 1;
+        }
+        // The transit copy may be corrupted; the sender keeps the original
+        // for retransmission.
+        let outcome = fault.transmit(epoch, from, msg.clone());
+        let err = match outcome {
+            Delivery::Deliver(m) => match m.verify(to, epoch, channel) {
+                Ok(()) => return Ok(m),
+                Err(e) => e,
+            },
+            Delivery::Lost { stalled } => {
+                if stalled {
+                    RuntimeError::RankStalled { rank: from, epoch, attempts }
+                } else {
+                    RuntimeError::MissingHop { rank: to, channel, epoch, attempts }
+                }
+            }
+        };
+        stats.faults_detected += 1;
+        if attempts > MAX_RETRIES {
+            return Err(err);
+        }
+    }
+}
 
 /// A distributed MD simulation executed bulk-synchronously: all ranks run
 /// each phase in lockstep with messages delivered between phases. Message
 /// content and counts are identical to the threaded executor — only the
 /// scheduling differs — so this is the deterministic reference for
 /// correctness tests and communication accounting.
+///
+/// Every delivery goes through the [`FaultPlan`] (a no-op by default) and is
+/// verified against its stamp on arrival; [`DistributedSim::try_step`]
+/// surfaces unrecovered faults as [`RuntimeError`], at which point the state
+/// is unspecified and the caller must [`restore`](Recoverable::restore) from
+/// a checkpoint before continuing (the `sc-md` `Supervisor` automates this).
 pub struct DistributedSim {
     grid: RankGrid,
     plan: GhostPlan,
     ranks: Vec<RankState>,
     ff: ForceField,
     dt: f64,
+    subdivision: i32,
     steps_done: u64,
+    needs_prime: bool,
+    fault_plan: FaultPlan,
+    phase: u64,
     last_energy: EnergyBreakdown,
     last_tuples: TupleCounts,
     timings: PhaseTimings,
@@ -62,7 +124,7 @@ impl DistributedSim {
         if !(1..=3).contains(&k) {
             return Err(SetupError::UnsupportedSubdivision(k));
         }
-        let grid = RankGrid::new(pdims, bbox);
+        let grid = RankGrid::try_new(pdims, bbox)?;
         let width = halo_width_for(&ff, &grid);
         let sub = grid.rank_box_lengths();
         for a in 0..3 {
@@ -88,11 +150,13 @@ impl DistributedSim {
                 }
             }
         }
-        let plan = GhostPlan::for_method(ff.method, width);
+        let plan = GhostPlan::for_method(ff.method, width)?;
         let ranks: Vec<RankState> =
             (0..grid.len()).map(|r| RankState::new_subdivided(r, grid, &store, &ff, k)).collect();
         let total: usize = ranks.iter().map(|r| r.owned()).sum();
-        assert_eq!(total, store.len(), "decomposition lost atoms");
+        if total != store.len() {
+            return Err(SetupError::AtomsLost { expected: store.len(), claimed: total });
+        }
         let nranks = ranks.len();
         Ok(DistributedSim {
             grid,
@@ -100,7 +164,11 @@ impl DistributedSim {
             ranks,
             ff,
             dt,
+            subdivision: k,
             steps_done: 0,
+            needs_prime: true,
+            fault_plan: FaultPlan::none(),
+            phase: 0,
             last_energy: EnergyBreakdown::default(),
             last_tuples: TupleCounts::default(),
             timings: PhaseTimings::default(),
@@ -117,6 +185,33 @@ impl DistributedSim {
     /// The ghost plan in force.
     pub fn plan(&self) -> &GhostPlan {
         &self.plan
+    }
+
+    /// Installs a fault plan; subsequent deliveries route through it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The active fault plan (to inspect fired [`crate::FaultEvent`]s).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Steps completed since construction (or since the restored
+    /// checkpoint's step).
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// The integration timestep.
+    pub fn timestep(&self) -> f64 {
+        self.dt
+    }
+
+    /// Changes the integration timestep (graceful degradation after
+    /// rollback).
+    pub fn set_timestep(&mut self, dt: f64) {
+        self.dt = dt;
     }
 
     /// Potential energy of the last force computation.
@@ -140,8 +235,12 @@ impl DistributedSim {
     }
 
     /// Total energy; recomputes forces.
+    ///
+    /// # Panics
+    /// Panics on an unrecovered communication fault; fault-injected runs
+    /// should step through [`DistributedSim::try_step`] instead.
     pub fn total_energy(&mut self) -> f64 {
-        self.exchange_and_compute();
+        self.exchange_and_compute().unwrap_or_else(|e| panic!("{e}"));
         self.potential_energy() + self.kinetic_energy()
     }
 
@@ -186,64 +285,114 @@ impl DistributedSim {
 
     /// Migration: three axis-ordered exchanges; every rank sends both
     /// directions each axis (empty messages included, as MPI codes do).
-    fn migrate(&mut self) {
+    fn migrate(&mut self) -> Result<(), RuntimeError> {
+        let epoch = self.steps_done;
         for axis in 0..3 {
-            let mut outbox: Vec<(usize, Vec<AtomMsg>)> = Vec::new();
+            self.phase += 1;
+            let mut inbox: Vec<(usize, Vec<AtomMsg>)> = Vec::new();
             for r in 0..self.ranks.len() {
                 let (to_minus, to_plus) = self.ranks[r].collect_migrants(axis);
-                let minus = self.grid.neighbor(r, axis, -1);
-                let plus = self.grid.neighbor(r, axis, 1);
-                self.ranks[r].stats.record_send(minus, to_minus.len() as u64 * AtomMsg::WIRE_BYTES);
-                self.ranks[r].stats.record_send(plus, to_plus.len() as u64 * AtomMsg::WIRE_BYTES);
-                outbox.push((minus, to_minus));
-                outbox.push((plus, to_plus));
+                for (dir, atoms) in [(-1, to_minus), (1, to_plus)] {
+                    let to = self.grid.neighbor(r, axis, dir);
+                    self.ranks[r].stats.record_send(to, atoms.len() as u64 * AtomMsg::WIRE_BYTES);
+                    let channel = Channel::Migrate { axis, dir };
+                    let msg = Message::stamped(self.phase, epoch, channel, Payload::Migrate(atoms));
+                    let got = deliver_validated(
+                        &mut self.fault_plan,
+                        &mut self.ranks[r].stats,
+                        epoch,
+                        r,
+                        to,
+                        channel,
+                        msg,
+                    )?;
+                    let Payload::Migrate(atoms) = got.payload else {
+                        return Err(RuntimeError::WrongPayload { rank: to, channel });
+                    };
+                    inbox.push((to, atoms));
+                }
             }
-            for (to, atoms) in outbox {
+            for (to, atoms) in inbox {
                 self.ranks[to].absorb_migrants(&atoms);
             }
         }
+        Ok(())
     }
 
     /// Halo exchange: forwarded routing per the ghost plan.
-    fn exchange_ghosts(&mut self) {
+    fn exchange_ghosts(&mut self) -> Result<(), RuntimeError> {
+        let epoch = self.steps_done;
         for r in &mut self.ranks {
             r.drop_ghosts();
         }
         for (hop, &(axis, recv_dir)) in self.plan.hops.clone().iter().enumerate() {
-            let mut outbox: Vec<(usize, usize, Vec<GhostMsg>)> = Vec::new();
+            self.phase += 1;
+            let channel = Channel::Ghosts { hop };
+            let mut inbox: Vec<(usize, usize, Vec<GhostMsg>)> = Vec::new();
             for r in 0..self.ranks.len() {
                 let band = self.ranks[r].collect_ghost_band(&self.plan, axis, recv_dir);
                 let to = self.grid.neighbor(r, axis, -recv_dir);
                 self.ranks[r].stats.record_send(to, band.len() as u64 * GhostMsg::WIRE_BYTES);
-                outbox.push((to, r, band));
+                let msg = Message::stamped(self.phase, epoch, channel, Payload::Ghosts(band));
+                let got = deliver_validated(
+                    &mut self.fault_plan,
+                    &mut self.ranks[r].stats,
+                    epoch,
+                    r,
+                    to,
+                    channel,
+                    msg,
+                )?;
+                let Payload::Ghosts(ghosts) = got.payload else {
+                    return Err(RuntimeError::WrongPayload { rank: to, channel });
+                };
+                inbox.push((to, r, ghosts));
             }
-            for (to, from, ghosts) in outbox {
+            for (to, from, ghosts) in inbox {
                 self.ranks[to].absorb_ghosts(hop, from, &ghosts);
             }
         }
+        Ok(())
     }
 
     /// Reverse force reduction along the reversed routing schedule.
-    fn reduce_forces(&mut self) {
+    fn reduce_forces(&mut self) -> Result<(), RuntimeError> {
+        let epoch = self.steps_done;
         for hop in (0..self.plan.hops.len()).rev() {
-            let mut outbox: Vec<(usize, Vec<ForceMsg>)> = Vec::new();
+            self.phase += 1;
+            let channel = Channel::Forces { hop };
+            let mut inbox: Vec<(usize, Vec<ForceMsg>)> = Vec::new();
             let (axis, recv_dir) = self.plan.hops[hop];
             for r in 0..self.ranks.len() {
                 let (forces, to) = self.ranks[r].collect_ghost_forces(hop);
                 let to = to.unwrap_or_else(|| self.grid.neighbor(r, axis, recv_dir));
                 self.ranks[r].stats.record_send(to, forces.len() as u64 * ForceMsg::WIRE_BYTES);
-                outbox.push((to, forces));
+                let msg = Message::stamped(self.phase, epoch, channel, Payload::Forces(forces));
+                let got = deliver_validated(
+                    &mut self.fault_plan,
+                    &mut self.ranks[r].stats,
+                    epoch,
+                    r,
+                    to,
+                    channel,
+                    msg,
+                )?;
+                let Payload::Forces(forces) = got.payload else {
+                    return Err(RuntimeError::WrongPayload { rank: to, channel });
+                };
+                inbox.push((to, forces));
             }
-            for (to, forces) in outbox {
-                self.ranks[to].absorb_ghost_forces(hop, &forces);
+            for (to, forces) in inbox {
+                self.ranks[to].absorb_ghost_forces(hop, &forces)?;
             }
         }
+        Ok(())
     }
 
     /// One full ghost-exchange + force-computation + reduction cycle.
-    fn exchange_and_compute(&mut self) {
+    fn exchange_and_compute(&mut self) -> Result<(), RuntimeError> {
         let t0 = std::time::Instant::now();
-        self.exchange_ghosts();
+        self.exchange_ghosts()?;
         let t1 = std::time::Instant::now();
         self.timings.exchange_s += (t1 - t0).as_secs_f64();
         let mut energy = EnergyBreakdown::default();
@@ -275,16 +424,23 @@ impl DistributedSim {
         }
         let t2 = std::time::Instant::now();
         self.timings.compute_s += (t2 - t1).as_secs_f64();
-        self.reduce_forces();
+        self.reduce_forces()?;
         self.timings.reduce_s += t2.elapsed().as_secs_f64();
         self.last_energy = energy;
         self.last_tuples = tuples;
+        Ok(())
     }
 
-    /// One velocity-Verlet step.
-    pub fn step(&mut self) {
-        if self.steps_done == 0 {
-            self.exchange_and_compute();
+    /// One velocity-Verlet step, surfacing unrecovered communication faults.
+    ///
+    /// # Errors
+    /// Any [`RuntimeError`] that survived the per-delivery retry budget. On
+    /// error the simulation state is unspecified (a phase may have half
+    /// run); restore from a checkpoint before stepping again.
+    pub fn try_step(&mut self) -> Result<(), RuntimeError> {
+        if self.needs_prime {
+            self.exchange_and_compute()?;
+            self.needs_prime = false;
         }
         let t0 = std::time::Instant::now();
         for r in &mut self.ranks {
@@ -295,18 +451,28 @@ impl DistributedSim {
         }
         let t1 = std::time::Instant::now();
         self.timings.integrate_s += (t1 - t0).as_secs_f64();
-        self.migrate();
+        self.migrate()?;
         self.timings.migrate_s += t1.elapsed().as_secs_f64();
-        self.exchange_and_compute();
+        self.exchange_and_compute()?;
         let t2 = std::time::Instant::now();
         for r in &mut self.ranks {
             r.vv_finish(self.dt);
         }
         self.timings.integrate_s += t2.elapsed().as_secs_f64();
         self.steps_done += 1;
+        Ok(())
     }
 
-    /// Runs `n` steps.
+    /// One velocity-Verlet step.
+    ///
+    /// # Panics
+    /// Panics on an unrecovered communication fault; fault-injected runs
+    /// should use [`DistributedSim::try_step`].
+    pub fn step(&mut self) {
+        self.try_step().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Runs `n` steps. Panics like [`DistributedSim::step`] on faults.
     pub fn run(&mut self, n: usize) {
         for _ in 0..n {
             self.step();
@@ -325,5 +491,65 @@ impl DistributedSim {
             out.push(a.id, a.species, a.position, a.velocity);
         }
         out
+    }
+}
+
+impl Recoverable for DistributedSim {
+    type Fault = RuntimeError;
+
+    fn try_step(&mut self) -> Result<(), RuntimeError> {
+        DistributedSim::try_step(self)
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::from_store(self.steps_done, self.dt, self.grid.bbox(), &self.gather())
+    }
+
+    fn restore(&mut self, cp: &Checkpoint) {
+        // Re-decompose from the gathered snapshot: every rank reclaims its
+        // atoms and forces are recomputed by the priming exchange, so the
+        // trajectory continues from exactly the checkpointed phase-space
+        // point (summation order inside a rank may differ from the
+        // pre-fault run, so continuation is exact physics, not bitwise).
+        let store = cp.to_store();
+        self.ranks = (0..self.grid.len())
+            .map(|r| RankState::new_subdivided(r, self.grid, &store, &self.ff, self.subdivision))
+            .collect();
+        self.dt = cp.dt;
+        self.steps_done = cp.step;
+        self.needs_prime = true;
+        self.last_energy = EnergyBreakdown::default();
+        self.last_tuples = TupleCounts::default();
+    }
+
+    fn atom_count(&self) -> usize {
+        self.ranks.iter().map(|r| r.owned()).sum()
+    }
+
+    fn total_energy_estimate(&self) -> f64 {
+        self.last_energy.total() + self.kinetic_energy()
+    }
+
+    fn state_is_finite(&self) -> bool {
+        self.ranks.iter().all(|rank| {
+            let s = rank.store();
+            (0..rank.owned()).all(|i| {
+                s.positions()[i].is_finite()
+                    && s.velocities()[i].is_finite()
+                    && s.forces()[i].is_finite()
+            })
+        })
+    }
+
+    fn timestep(&self) -> f64 {
+        self.dt
+    }
+
+    fn set_timestep(&mut self, dt: f64) {
+        self.dt = dt;
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.steps_done
     }
 }

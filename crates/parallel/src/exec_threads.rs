@@ -1,11 +1,17 @@
 //! Threaded executor: one OS thread per rank, crossbeam channels as the
 //! interconnect — true concurrent message passing with the same per-phase
 //! protocol (and therefore bitwise-identical physics) as the BSP executor.
+//!
+//! Every message is stamped (epoch, channel, checksum) and verified on
+//! receipt, same as the BSP executor. Deterministic fault *injection* lives
+//! in the BSP executor only — scripted faults need a reproducible delivery
+//! order, which concurrent threads cannot provide — but validation here
+//! protects against the same protocol-confusion failure modes.
 
 use crate::comm::{CommStats, GhostPlan};
-use crate::error::SetupError;
+use crate::error::{RunError, RuntimeError, SetupError};
 use crate::grid::RankGrid;
-use crate::msg::{AtomMsg, Message, Payload};
+use crate::msg::{AtomMsg, Channel, Message, Payload};
 use crate::rank::{halo_width_for, ForceField, RankState};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use sc_cell::AtomStore;
@@ -13,29 +19,48 @@ use sc_geom::{IVec3, SimulationBox};
 use sc_md::EnergyBreakdown;
 use std::sync::Arc;
 
-/// A phase-tagged wire message.
+/// A wire message tagged with its sending rank.
 type Wire = (usize, Message);
 
 /// Buffers out-of-phase messages: a fast neighbour may send phase k+1
 /// traffic while this rank still waits on phase k from a slow one.
 struct Mailbox {
+    rank: usize,
     rx: Receiver<Wire>,
     pending: Vec<Wire>,
 }
 
 impl Mailbox {
-    fn recv_phase(&mut self, phase: u64) -> (usize, Payload) {
-        if let Some(pos) = self.pending.iter().position(|(_, m)| m.phase == phase) {
-            let (from, m) = self.pending.swap_remove(pos);
-            return (from, m.payload);
-        }
-        loop {
-            let (from, m) = self.rx.recv().expect("rank channel closed early");
-            if m.phase == phase {
-                return (from, m.payload);
+    /// Receives the message for `phase` and verifies its stamp against the
+    /// expected epoch and channel.
+    fn recv_validated(
+        &mut self,
+        phase: u64,
+        epoch: u64,
+        channel: Channel,
+    ) -> Result<(usize, Payload), RuntimeError> {
+        let (from, m) = if let Some(pos) = self.pending.iter().position(|(_, m)| m.phase == phase) {
+            self.pending.swap_remove(pos)
+        } else {
+            loop {
+                // A closed channel means a peer unwound mid-protocol; the
+                // slot can never fill.
+                let Ok((from, m)) = self.rx.recv() else {
+                    return Err(RuntimeError::MissingHop {
+                        rank: self.rank,
+                        channel,
+                        epoch,
+                        attempts: 1,
+                    });
+                };
+                if m.phase == phase {
+                    break (from, m);
+                }
+                self.pending.push((from, m));
             }
-            self.pending.push((from, m));
-        }
+        };
+        m.verify(self.rank, epoch, channel)?;
+        Ok((from, m.payload))
     }
 }
 
@@ -48,6 +73,10 @@ pub struct ThreadedSim;
 impl ThreadedSim {
     /// Executes the simulation. See [`crate::DistributedSim::new`] for the
     /// validity requirements (shared via the same constructor checks).
+    ///
+    /// # Errors
+    /// [`RunError::Setup`] for rejected configurations; [`RunError::Runtime`]
+    /// when a rank's validated exchange failed mid-run.
     pub fn run(
         store: AtomStore,
         bbox: SimulationBox,
@@ -55,18 +84,20 @@ impl ThreadedSim {
         ff: ForceField,
         dt: f64,
         steps: usize,
-    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), SetupError> {
+    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
         // Reuse the BSP constructor's validation by building it (cheap) —
         // the threaded run then constructs its own states.
-        let grid = RankGrid::new(pdims, bbox);
+        let grid = RankGrid::try_new(pdims, bbox)?;
         let width = halo_width_for(&ff, &grid);
         let sub = grid.rank_box_lengths();
         for a in 0..3 {
             if width > sub[a] + 1e-12 {
-                return Err(SetupError::HaloTooDeep { halo: width, sub_box: sub[a], axis: a });
+                return Err(
+                    SetupError::HaloTooDeep { halo: width, sub_box: sub[a], axis: a }.into()
+                );
             }
         }
-        let plan = GhostPlan::for_method(ff.method, width);
+        let plan = GhostPlan::for_method(ff.method, width)?;
         let ff = Arc::new(ff);
         let nranks = grid.len();
         let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(nranks);
@@ -79,25 +110,29 @@ impl ThreadedSim {
         let states: Vec<RankState> =
             (0..nranks).map(|r| RankState::new(r, grid, &store, &ff)).collect();
 
-        let results: Vec<(RankState, EnergyBreakdown)> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(nranks);
-            for (rank, state) in states.into_iter().enumerate() {
-                let txs = txs.clone();
-                let rx = rxs.remove(0);
-                let plan = plan.clone();
-                let ff = Arc::clone(&ff);
-                handles.push(
-                    scope.spawn(move || rank_main(state, rank, grid, plan, ff, txs, rx, dt, steps)),
-                );
-            }
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-        });
+        let results: Vec<Result<(RankState, EnergyBreakdown), RuntimeError>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(nranks);
+                for (rank, state) in states.into_iter().enumerate() {
+                    let txs = txs.clone();
+                    let rx = rxs.remove(0);
+                    let plan = plan.clone();
+                    let ff = Arc::clone(&ff);
+                    handles.push(
+                        scope.spawn(move || {
+                            rank_main(state, rank, grid, plan, ff, txs, rx, dt, steps)
+                        }),
+                    );
+                }
+                handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            });
 
         let mut energy = EnergyBreakdown::default();
         let mut stats = CommStats::default();
         let mut atoms: Vec<AtomMsg> = Vec::new();
         let mut masses = vec![1.0];
-        for (state, e) in &results {
+        for result in results {
+            let (state, e) = result?;
             energy.pair += e.pair;
             energy.triplet += e.triplet;
             energy.quadruplet += e.quadruplet;
@@ -115,6 +150,8 @@ impl ThreadedSim {
 }
 
 /// The per-rank thread body: the same phase sequence as the BSP executor.
+/// Returning `Err` drops this rank's channel endpoints, which unblocks any
+/// peer waiting on it with a [`RuntimeError::MissingHop`].
 #[allow(clippy::too_many_arguments)]
 fn rank_main(
     mut state: RankState,
@@ -126,56 +163,69 @@ fn rank_main(
     rx: Receiver<Wire>,
     dt: f64,
     steps: usize,
-) -> (RankState, EnergyBreakdown) {
-    let mut mailbox = Mailbox { rx, pending: Vec::new() };
+) -> Result<(RankState, EnergyBreakdown), RuntimeError> {
+    let mut mailbox = Mailbox { rank, rx, pending: Vec::new() };
     let mut phase = 0u64;
     let mut last_energy = EnergyBreakdown::default();
 
-    let send = |state: &mut RankState, to: usize, phase: u64, payload: Payload| {
+    let send = |state: &mut RankState,
+                to: usize,
+                phase: u64,
+                epoch: u64,
+                channel: Channel,
+                payload: Payload| {
         state.stats.record_send(to, payload.wire_bytes());
-        txs[to].send((rank, Message { phase, payload })).expect("send failed");
+        // A send can fail only when the peer already unwound with its own
+        // error; this rank then errors on its next receive.
+        let _ = txs[to].send((rank, Message::stamped(phase, epoch, channel, payload)));
     };
 
-    let exchange_and_compute =
-        |state: &mut RankState, phase: &mut u64, mailbox: &mut Mailbox| -> EnergyBreakdown {
-            let t_exchange = std::time::Instant::now();
-            state.drop_ghosts();
-            for (hop, &(axis, recv_dir)) in plan.hops.iter().enumerate() {
-                let band = state.collect_ghost_band(&plan, axis, recv_dir);
-                let to = grid.neighbor(rank, axis, -recv_dir);
-                send(state, to, *phase, Payload::Ghosts(band));
-                let (from, payload) = mailbox.recv_phase(*phase);
-                match payload {
-                    Payload::Ghosts(g) => state.absorb_ghosts(hop, from, &g),
-                    other => panic!("expected ghosts in phase {}, got {other:?}", *phase),
-                }
-                *phase += 1;
-            }
-            state.stats.phases.exchange_s += t_exchange.elapsed().as_secs_f64();
-            let (energy, _tuples, _phases) = state.compute_forces(&ff);
-            let t_reduce = std::time::Instant::now();
-            for hop in (0..plan.hops.len()).rev() {
-                let (axis, recv_dir) = plan.hops[hop];
-                let (forces, to) = state.collect_ghost_forces(hop);
-                let to = to.unwrap_or_else(|| grid.neighbor(rank, axis, recv_dir));
-                send(state, to, *phase, Payload::Forces(forces));
-                let (_, payload) = mailbox.recv_phase(*phase);
-                match payload {
-                    Payload::Forces(f) => state.absorb_ghost_forces(hop, &f),
-                    other => panic!("expected forces in phase {}, got {other:?}", *phase),
-                }
-                *phase += 1;
-            }
-            // The reverse ghost-force reduction is communication too; fold
-            // it into the exchange phase of this rank's breakdown.
-            state.stats.phases.exchange_s += t_reduce.elapsed().as_secs_f64();
-            energy
-        };
+    let exchange_and_compute = |state: &mut RankState,
+                                phase: &mut u64,
+                                epoch: u64,
+                                mailbox: &mut Mailbox|
+     -> Result<EnergyBreakdown, RuntimeError> {
+        let t_exchange = std::time::Instant::now();
+        state.drop_ghosts();
+        for (hop, &(axis, recv_dir)) in plan.hops.iter().enumerate() {
+            let band = state.collect_ghost_band(&plan, axis, recv_dir);
+            let to = grid.neighbor(rank, axis, -recv_dir);
+            let channel = Channel::Ghosts { hop };
+            send(state, to, *phase, epoch, channel, Payload::Ghosts(band));
+            let (from, payload) = mailbox.recv_validated(*phase, epoch, channel)?;
+            let Payload::Ghosts(g) = payload else {
+                return Err(RuntimeError::WrongPayload { rank, channel });
+            };
+            state.absorb_ghosts(hop, from, &g);
+            *phase += 1;
+        }
+        state.stats.phases.exchange_s += t_exchange.elapsed().as_secs_f64();
+        let (energy, _tuples, _phases) = state.compute_forces(&ff);
+        let t_reduce = std::time::Instant::now();
+        for hop in (0..plan.hops.len()).rev() {
+            let (axis, recv_dir) = plan.hops[hop];
+            let (forces, to) = state.collect_ghost_forces(hop);
+            let to = to.unwrap_or_else(|| grid.neighbor(rank, axis, recv_dir));
+            let channel = Channel::Forces { hop };
+            send(state, to, *phase, epoch, channel, Payload::Forces(forces));
+            let (_, payload) = mailbox.recv_validated(*phase, epoch, channel)?;
+            let Payload::Forces(f) = payload else {
+                return Err(RuntimeError::WrongPayload { rank, channel });
+            };
+            state.absorb_ghost_forces(hop, &f)?;
+            *phase += 1;
+        }
+        // The reverse ghost-force reduction is communication too; fold
+        // it into the exchange phase of this rank's breakdown.
+        state.stats.phases.exchange_s += t_reduce.elapsed().as_secs_f64();
+        Ok(energy)
+    };
 
     for step in 0..steps {
+        let epoch = step as u64;
         if step == 0 {
             // Prime forces; the energy is superseded by the in-step cycle.
-            let _ = exchange_and_compute(&mut state, &mut phase, &mut mailbox);
+            let _ = exchange_and_compute(&mut state, &mut phase, epoch, &mut mailbox)?;
         }
         state.vv_start(dt);
         state.drop_ghosts();
@@ -184,19 +234,29 @@ fn rank_main(
             let (to_minus, to_plus) = state.collect_migrants(axis);
             let minus = grid.neighbor(rank, axis, -1);
             let plus = grid.neighbor(rank, axis, 1);
-            send(&mut state, minus, phase, Payload::Migrate(to_minus));
-            send(&mut state, plus, phase, Payload::Migrate(to_plus));
+            let channel = Channel::Migrate { axis, dir: -1 };
+            send(&mut state, minus, phase, epoch, channel, Payload::Migrate(to_minus));
+            send(
+                &mut state,
+                plus,
+                phase,
+                epoch,
+                Channel::Migrate { axis, dir: 1 },
+                Payload::Migrate(to_plus),
+            );
             for _ in 0..2 {
-                let (_, payload) = mailbox.recv_phase(phase);
-                match payload {
-                    Payload::Migrate(a) => state.absorb_migrants(&a),
-                    other => panic!("expected migrants in phase {phase}, got {other:?}"),
-                }
+                // Two deliveries share this phase (one per side); the stamp
+                // check matches on the axis.
+                let (_, payload) = mailbox.recv_validated(phase, epoch, channel)?;
+                let Payload::Migrate(a) = payload else {
+                    return Err(RuntimeError::WrongPayload { rank, channel });
+                };
+                state.absorb_migrants(&a);
             }
             phase += 1;
         }
-        last_energy = exchange_and_compute(&mut state, &mut phase, &mut mailbox);
+        last_energy = exchange_and_compute(&mut state, &mut phase, epoch, &mut mailbox)?;
         state.vv_finish(dt);
     }
-    (state, last_energy)
+    Ok((state, last_energy))
 }

@@ -1,0 +1,342 @@
+//! Deterministic, seedable fault injection for the distributed runtime.
+//!
+//! A [`FaultPlan`] scripts transport failures per `(step, rank, channel)`:
+//! dropped payloads, payloads delayed by one delivery attempt, bit
+//! corruption (payload or header), and stalled ranks. The BSP executor
+//! routes every send through [`FaultPlan::transmit`], so integration tests
+//! can script any failure and assert that validation + retry + rollback
+//! recover it. `FaultPlan::none()` is a guaranteed no-op: every message
+//! passes through untouched.
+//!
+//! Faults are **one-shot**: each scripted fault fires once and is consumed.
+//! [`FaultKind::Stall`] is attempt-based (it swallows the next `attempts`
+//! delivery attempts from the rank) rather than step-based, so recovery by
+//! rollback — which replays the same step numbers — converges instead of
+//! re-triggering forever.
+
+use crate::msg::{Channel, Message, Payload};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What a scripted fault does to the matched transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The payload vanishes; the receiver sees nothing for the slot.
+    Drop,
+    /// The payload is withheld for one delivery attempt and arrives on the
+    /// next matching transmission (the retry) instead.
+    Delay,
+    /// The payload is delivered with flipped bits. With `header: false` a
+    /// coordinate bit flips (caught by the checksum); with `header: true`
+    /// the epoch stamp is altered (caught as an epoch mismatch).
+    Corrupt {
+        /// Corrupt the epoch stamp instead of the payload body.
+        header: bool,
+    },
+    /// The rank goes unresponsive: its next `attempts` delivery attempts
+    /// (across all channels) are swallowed. `attempts` ≤ the retry budget
+    /// recovers in-step; more escalates to a rollback.
+    Stall {
+        /// Number of consecutive delivery attempts to swallow.
+        attempts: u32,
+    },
+}
+
+/// One scripted fault: fires the first time `rank` transmits on a matching
+/// channel at or after `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// First step (epoch) at which the fault can fire.
+    pub step: u64,
+    /// The sending rank the fault applies to.
+    pub rank: usize,
+    /// Restrict to one communication slot; `None` matches any channel.
+    pub channel: Option<Channel>,
+    /// What happens to the matched transmission.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    fn matches(&self, step: u64, rank: usize, channel: Channel) -> bool {
+        step >= self.step && rank == self.rank && self.channel.is_none_or(|c| c.matches(channel))
+    }
+}
+
+/// What the transport did to a message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery {
+    /// The message (possibly corrupted) reaches the receiver.
+    Deliver(Message),
+    /// Nothing reaches the receiver this attempt.
+    Lost {
+        /// The loss came from a stalled rank (escalates as
+        /// [`crate::RuntimeError::RankStalled`] rather than `MissingHop`).
+        stalled: bool,
+    },
+}
+
+/// A record of one injected fault, for test assertions and fault-overhead
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The step (epoch) the fault fired in.
+    pub step: u64,
+    /// The sending rank.
+    pub rank: usize,
+    /// The communication slot that was hit.
+    pub channel: Channel,
+    /// The fault that fired.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of transport faults. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Pending one-shot faults; fired faults are removed.
+    faults: Vec<Fault>,
+    /// Messages withheld by [`FaultKind::Delay`], keyed by sender + slot.
+    held: Vec<(usize, Channel, Message)>,
+    /// Log of every fault that fired.
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every transmission is delivered untouched.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds one scripted fault (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether any scripted fault is still pending.
+    pub fn is_exhausted(&self) -> bool {
+        self.faults.is_empty() && self.held.is_empty()
+    }
+
+    /// Every fault that has fired so far, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// A seed-derived plan of `count` single faults spread over
+    /// `steps` steps and `ranks` ranks — for randomized robustness tests.
+    /// The same seed always produces the same plan.
+    pub fn random(seed: u64, count: usize, steps: u64, ranks: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none();
+        for _ in 0..count {
+            let step = rng.gen_range(0..steps.max(1));
+            let rank = rng.gen_range(0..ranks.max(1));
+            let kind = match rng.gen_range(0u32..4) {
+                0 => FaultKind::Drop,
+                1 => FaultKind::Delay,
+                2 => FaultKind::Corrupt { header: rng.gen_range(0u32..2) == 1 },
+                _ => FaultKind::Stall { attempts: rng.gen_range(1u32..=2) },
+            };
+            plan = plan.with(Fault { step, rank, channel: None, kind });
+        }
+        plan
+    }
+
+    /// Routes one delivery attempt through the plan. `step` is the sender's
+    /// epoch, `from` the sending rank; the channel is read off the message
+    /// stamp. Consumes at most one pending fault.
+    pub fn transmit(&mut self, step: u64, from: usize, msg: Message) -> Delivery {
+        let channel = msg.channel;
+        // A message withheld by an earlier Delay fault is released by the
+        // next matching attempt (the retry carries a fresh copy; the held
+        // original is what "arrives late").
+        if let Some(i) = self.held.iter().position(|(r, c, _)| *r == from && c.matches(channel)) {
+            let (_, _, held) = self.held.swap_remove(i);
+            return Delivery::Deliver(held);
+        }
+        let Some(i) = self.faults.iter().position(|f| f.matches(step, from, channel)) else {
+            return Delivery::Deliver(msg);
+        };
+        let kind = self.faults[i].kind;
+        self.events.push(FaultEvent { step, rank: from, channel, kind });
+        match kind {
+            FaultKind::Drop => {
+                self.faults.swap_remove(i);
+                Delivery::Lost { stalled: false }
+            }
+            FaultKind::Delay => {
+                self.faults.swap_remove(i);
+                self.held.push((from, channel, msg));
+                Delivery::Lost { stalled: false }
+            }
+            FaultKind::Corrupt { header } => {
+                self.faults.swap_remove(i);
+                Delivery::Deliver(corrupt(msg, header))
+            }
+            FaultKind::Stall { attempts } => {
+                if attempts <= 1 {
+                    self.faults.swap_remove(i);
+                } else {
+                    self.faults[i].kind = FaultKind::Stall { attempts: attempts - 1 };
+                }
+                Delivery::Lost { stalled: true }
+            }
+        }
+    }
+}
+
+/// Flips bits in a message without re-stamping, so verification fails.
+fn corrupt(mut msg: Message, header: bool) -> Message {
+    if header {
+        msg.epoch = msg.epoch.wrapping_add(1);
+        return msg;
+    }
+    match &mut msg.payload {
+        Payload::Migrate(v) if !v.is_empty() => {
+            v[0].position.x = flip_low_bit(v[0].position.x);
+        }
+        Payload::Ghosts(v) if !v.is_empty() => {
+            v[0].position.x = flip_low_bit(v[0].position.x);
+        }
+        Payload::Forces(v) if !v.is_empty() => {
+            v[0].force.x = flip_low_bit(v[0].force.x);
+        }
+        // An empty payload has no body bits; corrupt the checksum itself.
+        _ => msg.checksum ^= 1,
+    }
+    msg
+}
+
+fn flip_low_bit(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() ^ 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(epoch: u64, channel: Channel) -> Message {
+        Message::stamped(0, epoch, channel, Payload::Ghosts(vec![]))
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let mut plan = FaultPlan::none();
+        let ch = Channel::Ghosts { hop: 0 };
+        let m = msg(3, ch);
+        assert_eq!(plan.transmit(3, 0, m.clone()), Delivery::Deliver(m));
+        assert!(plan.events().is_empty());
+        assert!(plan.is_exhausted());
+    }
+
+    #[test]
+    fn drop_fires_once_on_matching_slot() {
+        let ch = Channel::Ghosts { hop: 1 };
+        let mut plan = FaultPlan::none().with(Fault {
+            step: 2,
+            rank: 1,
+            channel: Some(ch),
+            kind: FaultKind::Drop,
+        });
+        // Wrong rank / too-early step / wrong channel pass through.
+        assert!(matches!(plan.transmit(2, 0, msg(2, ch)), Delivery::Deliver(_)));
+        assert!(matches!(plan.transmit(1, 1, msg(1, ch)), Delivery::Deliver(_)));
+        assert!(matches!(
+            plan.transmit(2, 1, msg(2, Channel::Forces { hop: 1 })),
+            Delivery::Deliver(_)
+        ));
+        // Matching attempt is dropped, then the fault is spent.
+        assert_eq!(plan.transmit(2, 1, msg(2, ch)), Delivery::Lost { stalled: false });
+        assert!(matches!(plan.transmit(2, 1, msg(2, ch)), Delivery::Deliver(_)));
+        assert_eq!(plan.events().len(), 1);
+        assert!(plan.is_exhausted());
+    }
+
+    #[test]
+    fn delay_releases_original_on_retry() {
+        let ch = Channel::Migrate { axis: 0, dir: 1 };
+        let mut plan = FaultPlan::none().with(Fault {
+            step: 0,
+            rank: 0,
+            channel: Some(ch),
+            kind: FaultKind::Delay,
+        });
+        let original = msg(0, ch);
+        assert_eq!(plan.transmit(0, 0, original.clone()), Delivery::Lost { stalled: false });
+        assert!(!plan.is_exhausted(), "held message still pending");
+        // The retry's copy is discarded; the held original arrives late.
+        assert_eq!(plan.transmit(0, 0, original.clone()), Delivery::Deliver(original));
+        assert!(plan.is_exhausted());
+    }
+
+    #[test]
+    fn corrupt_breaks_verification() {
+        let ch = Channel::Ghosts { hop: 0 };
+        let body = Payload::Ghosts(vec![crate::msg::GhostMsg {
+            id: 9,
+            species: sc_cell::Species(0),
+            position: sc_geom::Vec3::new(1.0, 2.0, 3.0),
+        }]);
+        let mut plan = FaultPlan::none().with(Fault {
+            step: 0,
+            rank: 0,
+            channel: None,
+            kind: FaultKind::Corrupt { header: false },
+        });
+        let m = Message::stamped(0, 0, ch, body.clone());
+        let Delivery::Deliver(bad) = plan.transmit(0, 0, m) else { panic!("corrupt delivers") };
+        assert!(matches!(bad.verify(1, 0, ch), Err(crate::RuntimeError::ChecksumMismatch { .. })));
+
+        let mut plan = FaultPlan::none().with(Fault {
+            step: 0,
+            rank: 0,
+            channel: None,
+            kind: FaultKind::Corrupt { header: true },
+        });
+        let m = Message::stamped(0, 0, ch, body);
+        let Delivery::Deliver(bad) = plan.transmit(0, 0, m) else { panic!("corrupt delivers") };
+        assert!(matches!(bad.verify(1, 0, ch), Err(crate::RuntimeError::EpochMismatch { .. })));
+    }
+
+    #[test]
+    fn corrupting_empty_payload_still_detected() {
+        let ch = Channel::Forces { hop: 2 };
+        let mut plan = FaultPlan::none().with(Fault {
+            step: 0,
+            rank: 0,
+            channel: None,
+            kind: FaultKind::Corrupt { header: false },
+        });
+        let Delivery::Deliver(bad) = plan.transmit(0, 0, msg(0, ch)) else { panic!() };
+        assert!(bad.verify(1, 0, ch).is_err());
+    }
+
+    #[test]
+    fn stall_swallows_n_attempts_then_recovers() {
+        let mut plan = FaultPlan::none().with(Fault {
+            step: 1,
+            rank: 2,
+            channel: None,
+            kind: FaultKind::Stall { attempts: 2 },
+        });
+        let ch = Channel::Ghosts { hop: 0 };
+        assert_eq!(plan.transmit(1, 2, msg(1, ch)), Delivery::Lost { stalled: true });
+        assert_eq!(plan.transmit(1, 2, msg(1, ch)), Delivery::Lost { stalled: true });
+        assert!(matches!(plan.transmit(1, 2, msg(1, ch)), Delivery::Deliver(_)));
+        assert_eq!(plan.events().len(), 2);
+    }
+
+    #[test]
+    fn random_plan_is_seed_deterministic() {
+        let a = FaultPlan::random(7, 5, 100, 8);
+        let b = FaultPlan::random(7, 5, 100, 8);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.faults.len(), 5);
+        let c = FaultPlan::random(8, 5, 100, 8);
+        assert_ne!(a.faults, c.faults, "different seed, different plan");
+        for f in &a.faults {
+            assert!(f.step < 100);
+            assert!(f.rank < 8);
+        }
+    }
+}

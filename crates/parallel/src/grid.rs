@@ -1,5 +1,6 @@
 //! Spatial decomposition of the periodic box over a grid of ranks.
 
+use crate::error::SetupError;
 use sc_geom::{IVec3, SimulationBox, Vec3};
 use serde::{Deserialize, Serialize};
 
@@ -16,13 +17,21 @@ impl RankGrid {
     /// Creates a rank grid over `bbox`.
     ///
     /// # Panics
-    /// Panics if any `pdims` component is < 1.
+    /// Panics if any `pdims` component is < 1; [`RankGrid::try_new`] is the
+    /// non-panicking form.
     pub fn new(pdims: IVec3, bbox: SimulationBox) -> Self {
-        assert!(
-            pdims.x >= 1 && pdims.y >= 1 && pdims.z >= 1,
-            "rank grid dims must be ≥ 1, got {pdims}"
-        );
-        RankGrid { pdims, bbox }
+        Self::try_new(pdims, bbox).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a rank grid over `bbox`, rejecting degenerate dimensions.
+    ///
+    /// # Errors
+    /// [`SetupError::BadRankGrid`] if any `pdims` component is < 1.
+    pub fn try_new(pdims: IVec3, bbox: SimulationBox) -> Result<Self, SetupError> {
+        if pdims.x < 1 || pdims.y < 1 || pdims.z < 1 {
+            return Err(SetupError::BadRankGrid { pdims: [pdims.x, pdims.y, pdims.z] });
+        }
+        Ok(RankGrid { pdims, bbox })
     }
 
     /// Ranks per axis.
@@ -167,6 +176,14 @@ mod tests {
         let s = g.send_shift(r0, 0, -1);
         assert_eq!(s, Vec3::new(8.0, 0.0, 0.0));
         assert_eq!(g.send_shift(r0, 0, 1), Vec3::ZERO);
+    }
+
+    #[test]
+    fn degenerate_grid_is_rejected_typed() {
+        let bbox = SimulationBox::cubic(5.0);
+        let err = RankGrid::try_new(IVec3::new(0, 1, 1), bbox).unwrap_err();
+        assert!(matches!(err, SetupError::BadRankGrid { pdims: [0, 1, 1] }));
+        assert!(RankGrid::try_new(IVec3::splat(2), bbox).is_ok());
     }
 
     #[test]

@@ -26,11 +26,23 @@
 //!
 //! Both count every message and byte ([`CommStats`]), which is what the
 //! `sc-netmodel` crate calibrates the paper's communication model against.
+//!
+//! ## Fault tolerance
+//!
+//! Every payload travels as a stamped [`Message`] (step epoch, channel,
+//! FNV-1a checksum) and is verified on receipt; failures surface as typed
+//! [`RuntimeError`]s after a bounded per-delivery retry. The BSP executor
+//! additionally routes all deliveries through a scriptable, deterministic
+//! [`FaultPlan`] so tests can inject drops, delays, corruption, and rank
+//! stalls per `(step, rank, channel)`. Recovery (checkpoint/rollback) is
+//! orchestrated by the `Supervisor` in `sc-md`, for which
+//! [`DistributedSim`] implements the `Recoverable` trait.
 
 #![warn(missing_docs)]
 
 pub mod comm;
 pub mod error;
+pub mod fault;
 pub mod grid;
 pub mod msg;
 pub mod rank;
@@ -39,8 +51,9 @@ mod exec_bsp;
 mod exec_threads;
 
 pub use comm::{CommStats, GhostPlan, PhaseTimings};
-pub use error::SetupError;
+pub use error::{RunError, RuntimeError, SetupError};
 pub use exec_bsp::DistributedSim;
 pub use exec_threads::ThreadedSim;
+pub use fault::{Delivery, Fault, FaultEvent, FaultKind, FaultPlan};
 pub use grid::RankGrid;
-pub use msg::{AtomMsg, GhostMsg};
+pub use msg::{AtomMsg, Channel, GhostMsg, Message, Payload};

@@ -2,6 +2,7 @@
 //! absorption, local force computation, and ghost-force reduction.
 
 use crate::comm::{CommStats, GhostPlan};
+use crate::error::RuntimeError;
 use crate::grid::RankGrid;
 use crate::msg::{AtomMsg, ForceMsg, GhostMsg};
 use sc_cell::{AtomStore, GhostLattice};
@@ -355,9 +356,18 @@ impl RankState {
     /// with that id, or — if this rank only holds the atom as an
     /// earlier-hop ghost (multi-hop forwarding) — on that ghost slot, whose
     /// own reduction hop will forward it onward.
-    pub fn absorb_ghost_forces(&mut self, current_hop: usize, forces: &[ForceMsg]) {
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownForceTarget`] when a force arrives for an atom
+    /// this rank neither owns nor holds as an earlier-hop ghost — the
+    /// exchange delivered inconsistent routing data.
+    pub fn absorb_ghost_forces(
+        &mut self,
+        current_hop: usize,
+        forces: &[ForceMsg],
+    ) -> Result<(), RuntimeError> {
         if forces.is_empty() {
-            return;
+            return Ok(());
         }
         // Owned atoms win; otherwise the earliest-hop ghost gets it (its
         // reduction hop is still ahead of us because hops reduce in reverse
@@ -373,11 +383,12 @@ impl RankState {
             }
         }
         for f in forces {
-            let slot = *slot_of.get(&f.id).unwrap_or_else(|| {
-                panic!("rank {} got force for unknown atom {}", self.rank, f.id)
-            });
+            let slot = *slot_of
+                .get(&f.id)
+                .ok_or(RuntimeError::UnknownForceTarget { rank: self.rank, id: f.id })?;
             self.store.forces_mut()[slot] += f.force;
         }
+        Ok(())
     }
 
     /// Rebuilds the per-term lattices and computes forces over this rank's

@@ -85,8 +85,8 @@ fn model_message_counts_match_plan() {
     use shift_collapse_md::parallel::GhostPlan;
     // 12 messages/step for SC (3 ghost + 3 reduce + 6 migration): the
     // model's constant must match the ghost plan's hop structure.
-    let sc_plan = GhostPlan::for_method(Method::ShiftCollapse, 5.5);
-    let fs_plan = GhostPlan::for_method(Method::FullShell, 5.5);
+    let sc_plan = GhostPlan::for_method(Method::ShiftCollapse, 5.5).unwrap();
+    let fs_plan = GhostPlan::for_method(Method::FullShell, 5.5).unwrap();
     let model = MdCostModel::new(SilicaWorkload::silica(), MachineProfile::xeon());
     let sc_msgs = model.step_time(Method::ShiftCollapse, 1000.0).messages;
     assert_eq!(sc_msgs as usize, 2 * sc_plan.hop_count() + 6);
