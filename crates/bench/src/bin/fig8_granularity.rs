@@ -124,12 +124,13 @@ fn measured() {
         "method", "bin", "exchange", "enumerate", "eval", "reduce"
     );
     for method in Method::ALL {
+        use sc_md::RuntimeConfig;
         let (store, bbox) = build_silica_like(4, 7.16, masses, 0.01, 7);
         let mut sim = Simulation::builder(store, bbox)
             .pair_potential(Box::new(v.pair.clone()))
             .triplet_potential(Box::new(v.triplet.clone()))
             .method(method)
-            .detailed_timing(true)
+            .runtime(RuntimeConfig { detailed_timing: true, ..RuntimeConfig::default() })
             .build()
             .expect("valid simulation");
         sim.compute_forces(); // warm up (first call allocates the scratch pool)
@@ -142,11 +143,11 @@ fn measured() {
         println!(
             "{:>10}  {}  {}  {}  {}  {}",
             method.name(),
-            fmt_time(phases.bin_s / r),
-            fmt_time(phases.exchange_s / r),
-            fmt_time(phases.enumerate_s / r),
-            fmt_time(phases.eval_s / r),
-            fmt_time(phases.reduce_s / r),
+            fmt_time(phases.bin_s() / r),
+            fmt_time(phases.exchange_s() / r),
+            fmt_time(phases.enumerate_s() / r),
+            fmt_time(phases.eval_s() / r),
+            fmt_time(phases.reduce_s() / r),
         );
     }
 }

@@ -10,14 +10,25 @@
 //! Run: `cargo run -p sc-bench --release --bin fig9_strong_scaling -- xeon`
 //!      `cargo run -p sc-bench --release --bin fig9_strong_scaling -- bgq`
 //!      `... -- --measured` (in-process distributed runs with phase timers)
+//!      `... -- --measured --faults 4` (additionally seed 4 transport faults)
+//!
+//! `--measured` also emits one telemetry JSON line per method (the
+//! `sc_md::Telemetry` layout pinned by `schema/metrics.schema.json`).
 
 use sc_md::Method;
 use sc_netmodel::{MachineProfile, MdCostModel, SilicaWorkload};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "xeon".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = args.first().cloned().unwrap_or_else(|| "xeon".into());
     if arg == "--measured" {
-        measured();
+        let n_faults = args
+            .iter()
+            .position(|a| a == "--faults")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse::<usize>().expect("--faults takes a count"))
+            .unwrap_or(0);
+        measured(n_faults);
         return;
     }
     let (profile, n_total, cores, ref_cores): (MachineProfile, f64, Vec<usize>, usize) = if arg
@@ -68,11 +79,14 @@ fn main() {
 /// Real in-process distributed runs grounding the model's executor side:
 /// the BSP executor over a 2×2×2 rank grid on a small silica box, with the
 /// wall-clock phase decomposition (Eq. 30's `T_compute + T_comm`, measured)
-/// and the per-rank compute breakdown underneath it.
-fn measured() {
+/// and the per-rank compute breakdown underneath it. With `n_faults > 0`,
+/// an extra SC-MD run seeds that many transport faults and reports the
+/// retry/fault counters; without it those sections are omitted entirely.
+fn measured(n_faults: usize) {
     use sc_bench::fmt_time;
     use sc_geom::IVec3;
     use sc_md::build_silica_like;
+    use sc_obs::Registry;
     use sc_parallel::rank::ForceField;
     use sc_parallel::DistributedSim;
     use sc_potential::Vashishta;
@@ -86,6 +100,7 @@ fn measured() {
         "method", "atoms", "migrate", "exchange", "compute", "reduce", "integrate", "comm%"
     );
     let mut breakdowns = vec![];
+    let mut telemetry_lines = vec![];
     for method in Method::ALL {
         let (store, bbox) = build_silica_like(4, 7.16, masses, 0.01, 7);
         let atoms = store.len();
@@ -97,20 +112,22 @@ fn measured() {
         };
         let mut d = DistributedSim::new(store, bbox, IVec3::splat(2), ff, 0.001)
             .expect("valid distributed setup");
+        d.set_metrics(Registry::new());
         d.run(steps);
         let t = d.timings();
         println!(
             "{:>6} {:>8}  {}  {}  {}  {}  {}  {:>5.1}%",
             method.name(),
             atoms,
-            fmt_time(t.migrate_s),
-            fmt_time(t.exchange_s),
-            fmt_time(t.compute_s),
-            fmt_time(t.reduce_s),
-            fmt_time(t.integrate_s),
+            fmt_time(t.migrate_s()),
+            fmt_time(t.exchange_s()),
+            fmt_time(t.compute_s()),
+            fmt_time(t.reduce_s()),
+            fmt_time(t.integrate_s()),
             t.comm_fraction() * 100.0
         );
         breakdowns.push((method, d.phase_breakdown()));
+        telemetry_lines.push(d.telemetry().to_json());
     }
     println!();
     println!("Inside compute (summed per-rank seconds): bin / enumerate / scratch-reduce");
@@ -118,16 +135,24 @@ fn measured() {
         println!(
             "{:>6}  bin {}  enumerate {}  reduce {}",
             method.name(),
-            fmt_time(p.bin_s),
-            fmt_time(p.enumerate_s),
-            fmt_time(p.reduce_s),
+            fmt_time(p.bin_s()),
+            fmt_time(p.enumerate_s()),
+            fmt_time(p.reduce_s()),
         );
+    }
+    println!();
+    println!("Telemetry JSON (one line per method):");
+    for line in &telemetry_lines {
+        println!("{line}");
+    }
+
+    if n_faults == 0 {
+        return;
     }
 
     // Fault overhead: the same SC-MD run with scripted transport faults,
     // recovered in-step by the validated exchange's retry protocol.
     use sc_parallel::FaultPlan;
-    let n_faults = 4;
     let (store, bbox) = build_silica_like(4, 7.16, masses, 0.01, 7);
     let ff = ForceField {
         pair: Some(Box::new(v.pair.clone())),
@@ -137,6 +162,7 @@ fn measured() {
     };
     let mut d = DistributedSim::new(store, bbox, IVec3::splat(2), ff, 0.001)
         .expect("valid distributed setup");
+    d.set_metrics(Registry::new());
     d.set_fault_plan(FaultPlan::random(42, n_faults, steps as u64, 8));
     let t0 = std::time::Instant::now();
     for _ in 0..steps {
@@ -153,4 +179,5 @@ fn measured() {
         cs.retries,
         fmt_time(wall)
     );
+    println!("{}", d.telemetry().to_json());
 }

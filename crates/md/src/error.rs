@@ -1,5 +1,9 @@
-//! Typed configuration errors for the simulation builder.
+//! Typed configuration errors for the simulation builder, and the unified
+//! top-level [`Error`] every binary can funnel a whole run through.
 
+use crate::checkpoint::CheckpointError;
+use crate::io::XyzError;
+use crate::supervisor::SupervisorError;
 use std::fmt;
 
 /// Why a [`crate::SimulationBuilder`] refused to build.
@@ -31,11 +35,15 @@ pub enum BuildError {
         /// The configured cell subdivision.
         subdivision: i32,
     },
-    /// The integration timestep is not a positive finite number.
-    BadTimestep(
-        /// The offending timestep.
-        f64,
-    ),
+    /// A scalar configuration field carries an invalid value. `field` names
+    /// the offending [`crate::RuntimeConfig`] / builder knob (`"timestep"`,
+    /// `"verlet_skin"`, …) so callers can report exactly what to fix.
+    Config {
+        /// The offending configuration field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
     /// An initial position or velocity is NaN or infinite.
     NonFiniteAtom {
         /// Store index of the offending atom.
@@ -61,8 +69,8 @@ impl fmt::Display for BuildError {
                 f,
                 "box too small for the n={n} lattice with cutoff {rcut} (subdivision {subdivision})"
             ),
-            BuildError::BadTimestep(dt) => {
-                write!(f, "timestep {dt} must be positive and finite")
+            BuildError::Config { field, value } => {
+                write!(f, "invalid {field} {value}: must be positive and finite")
             }
             BuildError::NonFiniteAtom { index, what } => {
                 write!(f, "atom {index} has a non-finite {what}")
@@ -72,6 +80,93 @@ impl fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// The unified top-level error of the MD stack.
+///
+/// Every fallible entry point converts into this via `From`, so a binary's
+/// whole setup-run-output pipeline is one `?`-chain:
+/// build ([`BuildError`]), trajectory I/O ([`XyzError`], [`std::io::Error`]),
+/// checkpointing ([`CheckpointError`]), supervised recovery
+/// ([`SupervisorError`]), and the distributed executors' setup/runtime
+/// failures (type-erased behind [`Error::Setup`] / [`Error::Runtime`];
+/// `sc-parallel` provides the `From` impls, keeping the crate layering
+/// acyclic). See DESIGN.md §6 for the stability contract.
+#[derive(Debug)]
+pub enum Error {
+    /// Simulation configuration was rejected at build time.
+    Build(BuildError),
+    /// XYZ trajectory I/O failed.
+    Xyz(XyzError),
+    /// Checkpoint save/load failed.
+    Checkpoint(CheckpointError),
+    /// The supervisor exhausted its recovery budget.
+    Supervisor(SupervisorError),
+    /// A distributed executor rejected its configuration (e.g.
+    /// `sc-parallel`'s `SetupError`).
+    Setup(Box<dyn std::error::Error + Send + Sync>),
+    /// A runtime fault escaped recovery (e.g. `sc-parallel`'s
+    /// `RuntimeError`).
+    Runtime(Box<dyn std::error::Error + Send + Sync>),
+    /// Plain I/O failure (metrics output, trajectory files, …).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Build(e) => write!(f, "build: {e}"),
+            Error::Xyz(e) => write!(f, "xyz: {e}"),
+            Error::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            Error::Supervisor(e) => write!(f, "supervisor: {e}"),
+            Error::Setup(e) => write!(f, "setup: {e}"),
+            Error::Runtime(e) => write!(f, "runtime: {e}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Build(e) => Some(e),
+            Error::Xyz(e) => Some(e),
+            Error::Checkpoint(e) => Some(e),
+            Error::Supervisor(e) => Some(e),
+            Error::Setup(e) | Error::Runtime(e) => Some(e.as_ref()),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        Error::Build(e)
+    }
+}
+
+impl From<XyzError> for Error {
+    fn from(e: XyzError) -> Self {
+        Error::Xyz(e)
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Self {
+        Error::Checkpoint(e)
+    }
+}
+
+impl From<SupervisorError> for Error {
+    fn from(e: SupervisorError) -> Self {
+        Error::Supervisor(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -87,15 +182,35 @@ mod tests {
         assert!(BuildError::BoxTooSmall { n: 2, rcut: 2.5, subdivision: 1 }
             .to_string()
             .contains("too small"));
-        assert!(BuildError::BadTimestep(-0.5).to_string().contains("positive"));
         assert!(BuildError::NonFiniteAtom { index: 4, what: "velocity" }
             .to_string()
             .contains("atom 4"));
     }
 
     #[test]
+    fn config_errors_carry_the_field_name() {
+        let e = BuildError::Config { field: "timestep", value: -0.5 };
+        assert!(e.to_string().contains("timestep"));
+        assert!(e.to_string().contains("positive"));
+        let e = BuildError::Config { field: "verlet_skin", value: f64::NAN };
+        assert!(e.to_string().contains("verlet_skin"));
+    }
+
+    #[test]
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(BuildError::NoTerms);
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn unified_error_wraps_and_chains() {
+        let e: Error = BuildError::NoTerms.into();
+        assert!(e.to_string().starts_with("build:"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        let e = Error::Setup("boxed setup failure".into());
+        assert!(e.to_string().starts_with("setup:"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -49,6 +49,7 @@ mod error;
 mod integrate;
 mod sim;
 mod stats;
+mod telemetry;
 mod workload;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
@@ -57,12 +58,13 @@ pub use diagnostics::{
     BondAngleDistribution, MeanSquaredDisplacement, RadialDistribution,
 };
 pub use engine::{Dedup, PatternPlan};
-pub use error::BuildError;
+pub use error::{BuildError, Error};
 pub use integrate::{berendsen_rescale, velocity_verlet_step};
 pub use io::{read_xyz, write_xyz, XyzError};
 pub use methods::Method;
 pub use par::{AccumulatorPool, ForceAccumulator, LaneSlots, ThreadPool};
-pub use sim::{Simulation, SimulationBuilder};
+pub use sim::{RuntimeConfig, Simulation, SimulationBuilder};
 pub use stats::{EnergyBreakdown, StepPhases, StepStats, TupleCounts};
 pub use supervisor::{Recoverable, RecoveryStats, Supervisor, SupervisorConfig, SupervisorError};
+pub use telemetry::{Observer, Telemetry};
 pub use workload::{build_fcc_lattice, build_silica_like, random_gas, thermalize, LatticeSpec};

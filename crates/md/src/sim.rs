@@ -6,11 +6,52 @@ use crate::error::BuildError;
 use crate::integrate::{berendsen_rescale, velocity_verlet_finish, velocity_verlet_start};
 use crate::methods::{Method, NeighborList};
 use crate::par::{AccumulatorPool, ForceAccumulator, LaneSlots, ThreadPool};
-use crate::stats::{EnergyBreakdown, StepPhases, StepStats, TupleCounts};
+use crate::stats::{EnergyBreakdown, StepStats, TupleCounts};
+use crate::telemetry::{Observer, Telemetry};
 use sc_cell::{AtomStore, CellLattice};
 use sc_geom::{IVec3, SimulationBox, Vec3};
+use sc_obs::{CommCounters, Counter, Phase, PhaseBreakdown, Registry};
 use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
 use std::time::Instant;
+
+/// Runtime/observability configuration of a [`Simulation`], passed to
+/// [`SimulationBuilder::build`] via [`SimulationBuilder::runtime`].
+///
+/// Collapses the former scattered builder knobs (`threads`,
+/// `detailed_timing`, `verlet_skin`) and adds the metrics [`Registry`] the
+/// engine reports into. Scalar fields are validated by `build()`; a
+/// rejected value comes back as [`BuildError::Config`] naming the field.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Parallel force-evaluation lanes. `0` (default) sizes the pool to the
+    /// host's available parallelism; `1` runs inline with no workers.
+    pub threads: usize,
+    /// Per-evaluation timers, splitting the `eval` phase out of
+    /// `enumerate`. Costs two clock reads per accepted tuple; off by
+    /// default.
+    pub detailed_timing: bool,
+    /// Verlet-list skin for Hybrid-MD (ignored by the cell-sweep methods):
+    /// the pair list is built with cutoff `r_cut2 + skin` and reused until
+    /// an atom moves more than `skin/2`. Zero (default) rebuilds every
+    /// step — the fully dynamic mode the paper benchmarks. Must be finite
+    /// and ≥ 0.
+    pub verlet_skin: f64,
+    /// The metrics registry every phase/counter observation flows into.
+    /// Defaults to [`Registry::disabled`], which is allocation-free and
+    /// never reads the clock.
+    pub metrics: Registry,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            threads: 0,
+            detailed_timing: false,
+            verlet_skin: 0.0,
+            metrics: Registry::disabled(),
+        }
+    }
+}
 
 /// Builder for [`Simulation`]. Obtained from [`Simulation::builder`].
 pub struct SimulationBuilder {
@@ -24,9 +65,7 @@ pub struct SimulationBuilder {
     thermostat: Option<(f64, f64)>,
     barostat: Option<(f64, f64)>,
     subdivision: i32,
-    skin: f64,
-    threads: usize,
-    detailed_timing: bool,
+    runtime: RuntimeConfig,
 }
 
 impl SimulationBuilder {
@@ -57,7 +96,7 @@ impl SimulationBuilder {
 
     /// Sets the integration timestep (default 0.001). Validated by
     /// [`SimulationBuilder::build`]: a non-positive or non-finite value is
-    /// rejected as [`BuildError::BadTimestep`].
+    /// rejected as [`BuildError::Config`] with `field = "timestep"`.
     pub fn timestep(mut self, dt: f64) -> Self {
         self.dt = dt;
         self
@@ -81,29 +120,34 @@ impl SimulationBuilder {
         self
     }
 
-    /// Sets a Verlet-list skin for Hybrid-MD (ignored by the cell-sweep
-    /// methods): the pair list is built with cutoff `r_cut2 + skin` and
-    /// reused until an atom moves more than `skin/2`. Zero (the default)
-    /// rebuilds every step — the fully dynamic mode the paper benchmarks.
+    /// Sets the full runtime/observability configuration in one call —
+    /// the preferred way to configure threads, timing detail, the Verlet
+    /// skin, and the metrics registry. Scalars are validated by
+    /// [`SimulationBuilder::build`].
+    pub fn runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Legacy shim for [`RuntimeConfig::verlet_skin`] — prefer
+    /// [`SimulationBuilder::runtime`]. Validation happens in `build()`
+    /// ([`BuildError::Config`] with `field = "verlet_skin"`).
     pub fn verlet_skin(mut self, skin: f64) -> Self {
-        assert!(skin >= 0.0 && skin.is_finite());
-        self.skin = skin;
+        self.runtime.verlet_skin = skin;
         self
     }
 
-    /// Sets the number of parallel force-evaluation lanes. `0` (the
-    /// default) sizes the pool to the host's available parallelism; `1`
-    /// runs inline with no worker threads.
+    /// Legacy shim for [`RuntimeConfig::threads`] — prefer
+    /// [`SimulationBuilder::runtime`].
     pub fn threads(mut self, n: usize) -> Self {
-        self.threads = n;
+        self.runtime.threads = n;
         self
     }
 
-    /// Enables per-evaluation timers, splitting `eval_s` out of
-    /// `enumerate_s` in [`StepPhases`]. Costs two clock reads per accepted
-    /// tuple, so it is off by default.
+    /// Legacy shim for [`RuntimeConfig::detailed_timing`] — prefer
+    /// [`SimulationBuilder::runtime`].
     pub fn detailed_timing(mut self, on: bool) -> Self {
-        self.detailed_timing = on;
+        self.runtime.detailed_timing = on;
         self
     }
 
@@ -123,13 +167,20 @@ impl SimulationBuilder {
     /// # Errors
     /// See [`BuildError`] — no terms, Hybrid without a pair term, cutoff
     /// ordering violations, a box too small for some term's lattice, a
-    /// degenerate timestep, or non-finite initial positions/velocities.
+    /// degenerate scalar configuration value ([`BuildError::Config`] names
+    /// the field), or non-finite initial positions/velocities.
     pub fn build(self) -> Result<Simulation, BuildError> {
         if self.pair.is_none() && self.triplet.is_none() && self.quadruplet.is_none() {
             return Err(BuildError::NoTerms);
         }
         if !(self.dt > 0.0 && self.dt.is_finite()) {
-            return Err(BuildError::BadTimestep(self.dt));
+            return Err(BuildError::Config { field: "timestep", value: self.dt });
+        }
+        if !(self.runtime.verlet_skin >= 0.0 && self.runtime.verlet_skin.is_finite()) {
+            return Err(BuildError::Config {
+                field: "verlet_skin",
+                value: self.runtime.verlet_skin,
+            });
         }
         for i in 0..self.store.len() {
             if !self.store.positions()[i].is_finite() {
@@ -165,8 +216,11 @@ impl SimulationBuilder {
         if let Some(p) = &self.pair {
             // Hybrid's list cutoff includes the skin; its cells must too,
             // or the 27-cell sweep would miss skin-shell pairs.
-            let pair_cut =
-                if self.method == Method::Hybrid { p.cutoff() + self.skin } else { p.cutoff() };
+            let pair_cut = if self.method == Method::Hybrid {
+                p.cutoff() + self.runtime.verlet_skin
+            } else {
+                p.cutoff()
+            };
             pair_lat = Some(build_lat(pair_cut, 2)?);
         }
         match self.method {
@@ -208,14 +262,57 @@ impl SimulationBuilder {
             quad_lat,
             thermostat: self.thermostat,
             barostat: self.barostat,
-            skin: self.skin,
+            skin: self.runtime.verlet_skin,
             subdivision: k,
             hybrid_cache: None,
-            par: ParEngine::new(self.threads),
-            detailed_timing: self.detailed_timing,
+            par: ParEngine::new(self.runtime.threads),
+            detailed_timing: self.runtime.detailed_timing,
+            obs: SimMetrics::register(&self.runtime.metrics),
+            metrics: self.runtime.metrics,
+            total_phases: PhaseBreakdown::new(),
+            observer: None,
             last_stats: StepStats::default(),
             steps_done: 0,
         })
+    }
+}
+
+/// Pre-registered metric handles, created once at build time so that
+/// steady-state steps touch only atomics (and, with a disabled registry,
+/// nothing at all).
+struct SimMetrics {
+    steps: Counter,
+    computations: Counter,
+    /// Accepted tuples per order (n = 2, 3, 4).
+    accepted: [Counter; 3],
+    /// Candidate tuples per order.
+    candidates: [Counter; 3],
+    /// Nanoseconds of enumerate+eval work per order — the paper's
+    /// per-n-tuple-order cost observable (Eq. 29).
+    work_ns: [Counter; 3],
+}
+
+impl SimMetrics {
+    fn register(reg: &Registry) -> Self {
+        SimMetrics {
+            steps: reg.counter("sim.steps"),
+            computations: reg.counter("sim.force_computations"),
+            accepted: [
+                reg.counter("tuples.pair.accepted"),
+                reg.counter("tuples.triplet.accepted"),
+                reg.counter("tuples.quadruplet.accepted"),
+            ],
+            candidates: [
+                reg.counter("tuples.pair.candidates"),
+                reg.counter("tuples.triplet.candidates"),
+                reg.counter("tuples.quadruplet.candidates"),
+            ],
+            work_ns: [
+                reg.counter("eval.pair_work_ns"),
+                reg.counter("eval.triplet_work_ns"),
+                reg.counter("eval.quadruplet_work_ns"),
+            ],
+        }
     }
 }
 
@@ -243,6 +340,10 @@ pub struct Simulation {
     hybrid_cache: Option<HybridCache>,
     par: ParEngine,
     detailed_timing: bool,
+    obs: SimMetrics,
+    metrics: Registry,
+    total_phases: PhaseBreakdown,
+    observer: Option<(u64, Box<dyn Observer>)>,
     last_stats: StepStats,
     steps_done: u64,
 }
@@ -305,9 +406,7 @@ impl Simulation {
             thermostat: None,
             barostat: None,
             subdivision: 1,
-            skin: 0.0,
-            threads: 0,
-            detailed_timing: false,
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -331,9 +430,42 @@ impl Simulation {
         self.method
     }
 
-    /// Statistics of the most recent force computation.
+    /// Legacy flat snapshot of the most recent force computation — a
+    /// conversion shim; prefer [`Simulation::telemetry`].
     pub fn last_stats(&self) -> StepStats {
         self.last_stats
+    }
+
+    /// The unified telemetry snapshot: physics of the most recent force
+    /// computation, per-phase timings (last and cumulative), and allocation
+    /// accounting. Communication fields are empty for the shared-memory
+    /// engine.
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry {
+            step: self.steps_done,
+            energy: self.last_stats.energy,
+            tuples: self.last_stats.tuples,
+            virial: self.last_stats.virial,
+            phases: self.last_stats.phases,
+            total_phases: self.total_phases,
+            comm: CommCounters::default(),
+            per_rank: Vec::new(),
+            alloc_events: self.par.accs.allocation_events() + self.metrics.allocation_events(),
+        }
+    }
+
+    /// The metrics registry this simulation reports into (disabled unless
+    /// one was supplied via [`RuntimeConfig::metrics`]).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Registers a periodic [`Observer`]: after every `every`-th completed
+    /// step, `observer` receives a fresh [`Telemetry`] snapshot. Replaces
+    /// any previously registered observer.
+    pub fn observe_every(&mut self, every: u64, observer: Box<dyn Observer>) {
+        assert!(every > 0, "observer period must be ≥ 1");
+        self.observer = Some((every, observer));
     }
 
     /// Number of completed steps.
@@ -343,13 +475,15 @@ impl Simulation {
 
     /// Recomputes all forces and energies from the current positions —
     /// rebinning the cell lattices (dynamic tuple computation), running the
-    /// per-term UCP searches, and accumulating forces. Returns the step's
-    /// statistics (also stored in [`Simulation::last_stats`]).
-    pub fn compute_forces(&mut self) -> StepStats {
+    /// per-term UCP searches, and accumulating forces. Returns the
+    /// computation's [`Telemetry`] snapshot (also available afterwards via
+    /// [`Simulation::telemetry`]), and feeds every phase and counter into
+    /// the configured metrics registry.
+    pub fn compute_forces(&mut self) -> Telemetry {
         self.store.zero_forces();
         let mut energy = EnergyBreakdown::default();
         let mut tuples = TupleCounts::default();
-        let mut phases = StepPhases::default();
+        let mut phases = PhaseBreakdown::new();
         let mut virial = 0.0;
         let detailed = self.detailed_timing;
         match self.method {
@@ -358,8 +492,9 @@ impl Simulation {
                     let lat = self.pair_lat.as_mut().expect("pair lattice");
                     let t_bin = Instant::now();
                     lat.rebuild(&self.store);
-                    phases.bin_s += t_bin.elapsed().as_secs_f64();
+                    phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
                     let plan = self.pair_plan.as_ref().expect("pair plan");
+                    let work0 = phases.enumerate_s() + phases.eval_s();
                     let (e, w, s) = par_term_forces(
                         &mut self.par,
                         lat,
@@ -369,6 +504,8 @@ impl Simulation {
                         detailed,
                         &mut phases,
                     );
+                    let work = phases.enumerate_s() + phases.eval_s() - work0;
+                    self.obs.work_ns[0].add((work * 1e9) as u64);
                     energy.pair = e;
                     virial += w;
                     tuples.pair = s;
@@ -377,8 +514,9 @@ impl Simulation {
                     let lat = self.triplet_lat.as_mut().expect("triplet lattice");
                     let t_bin = Instant::now();
                     lat.rebuild(&self.store);
-                    phases.bin_s += t_bin.elapsed().as_secs_f64();
+                    phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
                     let plan = self.triplet_plan.as_ref().expect("triplet plan");
+                    let work0 = phases.enumerate_s() + phases.eval_s();
                     let (e, w, s) = par_term_forces(
                         &mut self.par,
                         lat,
@@ -388,6 +526,8 @@ impl Simulation {
                         detailed,
                         &mut phases,
                     );
+                    let work = phases.enumerate_s() + phases.eval_s() - work0;
+                    self.obs.work_ns[1].add((work * 1e9) as u64);
                     energy.triplet = e;
                     virial += w;
                     tuples.triplet = s;
@@ -396,8 +536,9 @@ impl Simulation {
                     let lat = self.quad_lat.as_mut().expect("quadruplet lattice");
                     let t_bin = Instant::now();
                     lat.rebuild(&self.store);
-                    phases.bin_s += t_bin.elapsed().as_secs_f64();
+                    phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
                     let plan = self.quad_plan.as_ref().expect("quadruplet plan");
+                    let work0 = phases.enumerate_s() + phases.eval_s();
                     let (e, w, s) = par_term_forces(
                         &mut self.par,
                         lat,
@@ -407,6 +548,8 @@ impl Simulation {
                         detailed,
                         &mut phases,
                     );
+                    let work = phases.enumerate_s() + phases.eval_s() - work0;
+                    self.obs.work_ns[2].add((work * 1e9) as u64);
                     energy.quadruplet = e;
                     virial += w;
                     tuples.quadruplet = s;
@@ -417,7 +560,23 @@ impl Simulation {
             }
         }
         self.last_stats = StepStats { energy, tuples, virial, phases };
-        self.last_stats
+        self.total_phases.accumulate(&phases);
+        self.obs.computations.inc();
+        for (order, (cand, acc)) in [
+            (tuples.pair.candidates, tuples.pair.accepted),
+            (tuples.triplet.candidates, tuples.triplet.accepted),
+            (tuples.quadruplet.candidates, tuples.quadruplet.accepted),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            self.obs.candidates[order].add(cand);
+            self.obs.accepted[order].add(acc);
+        }
+        for (phase, secs) in phases.iter() {
+            self.metrics.record_phase(phase, secs);
+        }
+        self.telemetry()
     }
 
     /// Number of allocation events (buffer creations or growths) in the
@@ -449,7 +608,7 @@ impl Simulation {
         &mut self,
         energy: &mut EnergyBreakdown,
         tuples: &mut TupleCounts,
-        phases: &mut StepPhases,
+        phases: &mut PhaseBreakdown,
     ) -> f64 {
         let p = self.pair.as_ref().expect("hybrid has a pair term");
         let rcut2 = p.cutoff();
@@ -487,7 +646,7 @@ impl Simulation {
                 build_stats: pair_stats,
                 rebuilds: self.hybrid_cache.as_ref().map_or(1, |c| c.rebuilds + 1),
             });
-            phases.bin_s += t_bin.elapsed().as_secs_f64();
+            phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
         }
         let t_enum = Instant::now();
         let cache = self.hybrid_cache.as_ref().expect("hybrid cache");
@@ -619,7 +778,7 @@ impl Simulation {
             energy.quadruplet = e4;
             tuples.quadruplet = stats;
         }
-        phases.enumerate_s += t_enum.elapsed().as_secs_f64();
+        phases.add(Phase::Enumerate, t_enum.elapsed().as_secs_f64());
         virial
     }
 
@@ -630,17 +789,23 @@ impl Simulation {
     }
 
     /// Advances one velocity-Verlet step (with thermostat, if configured).
-    pub fn step(&mut self) -> StepStats {
+    /// Returns the step's [`Telemetry`] snapshot and notifies any
+    /// registered periodic observer.
+    pub fn step(&mut self) -> Telemetry {
         if self.steps_done == 0 {
             // Prime forces so the first half-kick uses real accelerations.
             self.compute_forces();
         }
+        let integrate_start = self.metrics.span(Phase::Integrate);
         velocity_verlet_start(&mut self.store, &self.bbox, self.dt);
-        let stats = self.compute_forces();
+        drop(integrate_start);
+        let mut stats = self.compute_forces();
+        let integrate_finish = self.metrics.span(Phase::Integrate);
         velocity_verlet_finish(&mut self.store, self.dt);
         if let Some((target, c)) = self.thermostat {
             berendsen_rescale(&mut self.store, target, c);
         }
+        drop(integrate_finish);
         if let Some((p_target, beta)) = self.barostat {
             let n = self.store.len() as f64;
             let p = (n * self.store.temperature() + stats.virial / 3.0) / self.bbox.volume();
@@ -648,6 +813,14 @@ impl Simulation {
             self.rescale_box(mu);
         }
         self.steps_done += 1;
+        self.obs.steps.inc();
+        stats.step = self.steps_done;
+        if let Some((every, mut observer)) = self.observer.take() {
+            if self.steps_done.is_multiple_of(every) {
+                observer.observe(&self.telemetry());
+            }
+            self.observer = Some((every, observer));
+        }
         stats
     }
 
@@ -696,13 +869,12 @@ impl Simulation {
         self.hybrid_cache = None;
     }
 
-    /// Runs `n` steps, returning the last step's statistics.
-    pub fn run(&mut self, n: usize) -> StepStats {
-        let mut last = self.last_stats;
+    /// Runs `n` steps, returning the last step's telemetry.
+    pub fn run(&mut self, n: usize) -> Telemetry {
         for _ in 0..n {
-            last = self.step();
+            self.step();
         }
-        last
+        self.telemetry()
     }
 
     /// Total (kinetic + potential) energy at the current positions.
@@ -834,7 +1006,7 @@ fn par_term_forces(
     plan: &PatternPlan,
     term: TermPotential<'_>,
     detailed: bool,
-    phases: &mut StepPhases,
+    phases: &mut PhaseBreakdown,
 ) -> (f64, f64, VisitStats) {
     let n = store.len();
     let dims = lat.dims();
@@ -974,11 +1146,11 @@ fn par_term_forces(
         energy += acc.energy;
         virial += acc.virial;
         stats.merge(acc.stats);
-        phases.eval_s += acc.eval_s;
-        phases.enumerate_s += acc.lane_s - acc.eval_s;
+        phases.add(Phase::Eval, acc.eval_s);
+        phases.add(Phase::Enumerate, acc.lane_s - acc.eval_s);
         eng.accs.release(acc);
     }
-    phases.reduce_s += t_reduce.elapsed().as_secs_f64();
+    phases.add(Phase::Reduce, t_reduce.elapsed().as_secs_f64());
     (energy, virial, stats)
 }
 
@@ -1388,8 +1560,10 @@ mod tests {
         assert!((t - 0.7).abs() < 0.2, "temperature {t} should approach 0.7");
     }
 
-    /// Builds the same silica system with an explicit lane count.
-    fn silica_sim_threads(method: Method, threads: usize) -> Simulation {
+    /// Builds the same silica system with an explicit lane count (and,
+    /// optionally, a live metrics registry) through the [`RuntimeConfig`]
+    /// path.
+    fn silica_sim_runtime(method: Method, threads: usize, metrics: Registry) -> Simulation {
         let v = Vashishta::silica();
         let masses = v.params().masses;
         let (store, bbox) = crate::workload::build_silica_like(3, 7.16, masses, 0.01, 7);
@@ -1397,10 +1571,14 @@ mod tests {
             .pair_potential(Box::new(v.pair.clone()))
             .triplet_potential(Box::new(v.triplet.clone()))
             .method(method)
-            .threads(threads)
+            .runtime(RuntimeConfig { threads, metrics, ..RuntimeConfig::default() })
             .timestep(0.0005)
             .build()
             .unwrap()
+    }
+
+    fn silica_sim_threads(method: Method, threads: usize) -> Simulation {
+        silica_sim_runtime(method, threads, Registry::disabled())
     }
 
     #[test]
@@ -1453,27 +1631,79 @@ mod tests {
 
     #[test]
     fn steady_state_steps_do_not_allocate_scratch() {
+        // Regression for the zero-allocation guarantee, extended to the
+        // observability layer: with the registry fully disabled, steady
+        // state must add no allocations per step anywhere — neither in the
+        // force scratch pool nor in the (inert) metrics plumbing.
         let mut sim = silica_sim_threads(Method::ShiftCollapse, 2);
         sim.run(2); // warm up: pool fills with per-lane buffers
         let warm = sim.scratch_allocation_events();
         assert!(warm > 0, "warm-up must have populated the pool");
+        let warm_total = sim.telemetry().alloc_events;
+        assert_eq!(sim.metrics().allocation_events(), 0, "disabled registry never allocates");
         sim.run(5);
         assert_eq!(
             sim.scratch_allocation_events(),
             warm,
             "steady-state steps must reuse pooled accumulators, not allocate"
         );
+        assert_eq!(sim.metrics().allocation_events(), 0);
+        assert_eq!(
+            sim.telemetry().alloc_events,
+            warm_total,
+            "telemetry's combined allocation observable must stay flat"
+        );
+    }
+
+    #[test]
+    fn enabled_registry_allocates_only_at_registration() {
+        let reg = Registry::new();
+        let mut sim = silica_sim_runtime(Method::ShiftCollapse, 2, reg.clone());
+        let registered = reg.allocation_events();
+        assert!(registered > 0, "build() pre-registers the metric handles");
+        sim.run(3);
+        assert_eq!(
+            reg.allocation_events(),
+            registered,
+            "steady-state steps must not register (allocate) new metrics"
+        );
+        // The registry saw real data from the run.
+        assert_eq!(reg.counter("sim.steps").get(), 3);
+        assert!(reg.counter("tuples.triplet.accepted").get() > 0);
+        assert!(reg.counter("eval.pair_work_ns").get() > 0);
+        assert!(reg.phases().bin_s() > 0.0);
+        assert!(reg.phases().integrate_s() > 0.0);
+        let snap = reg.snapshot();
+        assert!(snap.counters.iter().any(|(n, v)| n == "sim.force_computations" && *v > 0));
+    }
+
+    #[test]
+    fn registry_counters_sum_exactly_across_pool_lanes() {
+        // Worker lanes of the simulation's own thread pool hammer one
+        // counter; the total must be exact (atomicity under the pool).
+        let reg = Registry::new();
+        let c = reg.counter("lane.work");
+        let pool = ThreadPool::new(4);
+        for _ in 0..50 {
+            let job = |_lane: usize| {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            };
+            pool.run(4, &job);
+        }
+        assert_eq!(c.get(), 200_000);
     }
 
     #[test]
     fn step_phases_are_recorded() {
         let mut sim = silica_sim_threads(Method::ShiftCollapse, 2);
         let stats = sim.compute_forces();
-        assert!(stats.phases.bin_s > 0.0, "binning was timed");
-        assert!(stats.phases.enumerate_s > 0.0, "enumeration was timed");
-        assert!(stats.phases.reduce_s > 0.0, "reduction was timed");
-        assert_eq!(stats.phases.exchange_s, 0.0, "no ghost exchange in shared memory");
-        assert_eq!(stats.phases.eval_s, 0.0, "eval split requires detailed timing");
+        assert!(stats.phases.bin_s() > 0.0, "binning was timed");
+        assert!(stats.phases.enumerate_s() > 0.0, "enumeration was timed");
+        assert!(stats.phases.reduce_s() > 0.0, "reduction was timed");
+        assert_eq!(stats.phases.exchange_s(), 0.0, "no ghost exchange in shared memory");
+        assert_eq!(stats.phases.eval_s(), 0.0, "eval split requires detailed timing");
 
         let v = Vashishta::silica();
         let masses = v.params().masses;
@@ -1481,11 +1711,50 @@ mod tests {
         let mut detailed = Simulation::builder(store, bbox)
             .pair_potential(Box::new(v.pair.clone()))
             .triplet_potential(Box::new(v.triplet.clone()))
-            .detailed_timing(true)
+            .runtime(RuntimeConfig { detailed_timing: true, ..RuntimeConfig::default() })
             .build()
             .unwrap();
         let stats = detailed.compute_forces();
-        assert!(stats.phases.eval_s > 0.0, "detailed timing splits out eval");
+        assert!(stats.phases.eval_s() > 0.0, "detailed timing splits out eval");
         assert!(stats.phases.total_s() > 0.0);
+    }
+
+    #[test]
+    fn build_rejects_bad_scalars_with_field_names() {
+        let build = |dt: f64, skin: f64| {
+            let (store, bbox) = random_gas(10, 8.0, 1);
+            Simulation::builder(store, bbox)
+                .pair_potential(Box::new(LennardJones::reduced(2.5)))
+                .timestep(dt)
+                .verlet_skin(skin)
+                .build()
+        };
+        match build(-0.5, 0.0).map(|_| ()) {
+            Err(crate::BuildError::Config { field: "timestep", value }) => assert_eq!(value, -0.5),
+            other => panic!("expected timestep Config error, got {other:?}"),
+        }
+        match build(0.001, f64::NAN).map(|_| ()) {
+            Err(crate::BuildError::Config { field: "verlet_skin", .. }) => {}
+            other => panic!("expected verlet_skin Config error, got {other:?}"),
+        }
+        assert!(build(0.001, 0.3).is_ok());
+    }
+
+    #[test]
+    fn observer_fires_on_schedule_with_current_telemetry() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let mut sim = lj_sim(Method::ShiftCollapse);
+        sim.observe_every(
+            3,
+            Box::new(move |t: &Telemetry| {
+                sink.lock().unwrap().push((t.step, t.energy.total()));
+            }),
+        );
+        sim.run(7);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.iter().map(|&(s, _)| s).collect::<Vec<_>>(), vec![3, 6]);
+        assert!(seen.iter().all(|&(_, e)| e.is_finite() && e != 0.0));
     }
 }

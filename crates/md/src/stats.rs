@@ -1,6 +1,13 @@
-//! Per-step accounting: energies and tuple-search statistics.
+//! Per-step accounting: energies, tuple-search statistics, and legacy
+//! conversion shims onto the unified [`Telemetry`](crate::Telemetry) type.
+//!
+//! Phase timing now lives in [`sc_obs::PhaseBreakdown`]; the old
+//! `StepPhases` name survives as a deprecated-style alias so downstream
+//! code migrates without a flag day.
 
 use crate::engine::VisitStats;
+use crate::telemetry::Telemetry;
+use sc_obs::PhaseBreakdown;
 
 /// Potential-energy breakdown by n-body term (the paper's Φ₂ + Φ₃ + Φ₄,
 /// Eq. 2).
@@ -46,50 +53,18 @@ impl TupleCounts {
     }
 }
 
-/// Wall-clock breakdown of one force computation by step phase — the
-/// shared-memory counterpart of the paper's `T = T_compute + T_comm`
-/// decomposition, letting the compute/comm crossover (Fig. 8) be read off a
-/// real run instead of the analytic model.
-///
-/// `enumerate_s` and `eval_s` are *summed per-lane CPU seconds* (the lanes
-/// run concurrently), while `bin_s`, `exchange_s`, and `reduce_s` are wall
-/// time on the driving thread. `eval_s` is nonzero only when detailed
-/// timing is enabled (it costs two clock reads per accepted tuple); with it
-/// off, potential evaluation time is folded into `enumerate_s`.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct StepPhases {
-    /// Seconds rebinning atoms into cell lattices (plus Verlet-list builds
-    /// under Hybrid-MD).
-    pub bin_s: f64,
-    /// Seconds in ghost exchange. Always zero for the shared-memory
-    /// [`Simulation`](crate::Simulation); the distributed executors fill it.
-    pub exchange_s: f64,
-    /// Per-lane seconds walking the n-tuple search space (cell sweeps or
-    /// neighbour-list traversal), excluding `eval_s` when that is measured.
-    pub enumerate_s: f64,
-    /// Per-lane seconds inside potential evaluations (detailed timing only).
-    pub eval_s: f64,
-    /// Seconds merging per-lane accumulators into the global force array.
-    pub reduce_s: f64,
-}
+/// Deprecated-style alias kept for source compatibility: phase timing is
+/// now the shared [`sc_obs::PhaseBreakdown`]. The field accesses of the old
+/// struct (`.bin_s`, `.eval_s`, …) become the getter methods `.bin_s()`,
+/// `.eval_s()`, … on the shared type. New code should name
+/// `PhaseBreakdown` directly.
+pub type StepPhases = PhaseBreakdown;
 
-impl StepPhases {
-    /// Total accounted seconds.
-    pub fn total_s(&self) -> f64 {
-        self.bin_s + self.exchange_s + self.enumerate_s + self.eval_s + self.reduce_s
-    }
-
-    /// Adds another breakdown (e.g. across steps or ranks) in place.
-    pub fn accumulate(&mut self, o: &StepPhases) {
-        self.bin_s += o.bin_s;
-        self.exchange_s += o.exchange_s;
-        self.enumerate_s += o.enumerate_s;
-        self.eval_s += o.eval_s;
-        self.reduce_s += o.reduce_s;
-    }
-}
-
-/// Everything one force computation reports.
+/// Legacy flat snapshot of one force computation — superseded by
+/// [`Telemetry`], which adds cumulative phases, communication counters, and
+/// allocation accounting. Kept as a thin conversion shim
+/// (`StepStats::from(&telemetry)`) so existing call sites migrate in place;
+/// new code should use [`crate::Simulation::telemetry`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StepStats {
     /// Potential energies by term.
@@ -100,12 +75,19 @@ pub struct StepStats {
     /// the potential part of the pressure `P = (N k_B T + W/3) / V`.
     pub virial: f64,
     /// Wall-clock phase breakdown of this computation.
-    pub phases: StepPhases,
+    pub phases: PhaseBreakdown,
+}
+
+impl From<&Telemetry> for StepStats {
+    fn from(t: &Telemetry) -> Self {
+        StepStats { energy: t.energy, tuples: t.tuples, virial: t.virial, phases: t.phases }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_obs::Phase;
 
     #[test]
     fn totals() {
@@ -121,16 +103,29 @@ mod tests {
     }
 
     #[test]
-    fn phase_totals_and_accumulation() {
-        let mut p = StepPhases {
-            bin_s: 1.0,
-            exchange_s: 0.5,
-            enumerate_s: 2.0,
-            eval_s: 3.0,
-            reduce_s: 0.25,
-        };
+    fn step_phases_alias_behaves_like_the_shared_breakdown() {
+        let mut p = StepPhases::new();
+        p.add(Phase::Bin, 1.0);
+        p.add(Phase::Exchange, 0.5);
+        p.add(Phase::Enumerate, 2.0);
+        p.add(Phase::Eval, 3.0);
+        p.add(Phase::Reduce, 0.25);
         assert!((p.total_s() - 6.75).abs() < 1e-12);
-        p.accumulate(&p.clone());
+        let q = p;
+        p.accumulate(&q);
         assert!((p.total_s() - 13.5).abs() < 1e-12);
+        assert_eq!(p.eval_s(), 6.0);
+    }
+
+    #[test]
+    fn step_stats_shim_converts_from_telemetry() {
+        let mut t = Telemetry::default();
+        t.energy.pair = -3.5;
+        t.virial = 1.25;
+        t.phases.add(Phase::Eval, 0.5);
+        let s = StepStats::from(&t);
+        assert_eq!(s.energy.pair, -3.5);
+        assert_eq!(s.virial, 1.25);
+        assert_eq!(s.phases.eval_s(), 0.5);
     }
 }

@@ -11,6 +11,7 @@
 //! both implement [`Recoverable`].
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use sc_obs::Registry;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -69,6 +70,12 @@ pub struct SupervisorConfig {
     /// When set, every checkpoint is also written to
     /// `<dir>/checkpoint-<step>.sc` for out-of-process recovery.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Metrics registry the supervisor reports recovery events into
+    /// (`supervisor.checkpoints_saved`, `supervisor.rollbacks`,
+    /// `supervisor.comm_faults`, `supervisor.invariant_violations`).
+    /// Disabled by default — [`RecoveryStats`] stays authoritative either
+    /// way.
+    pub metrics: Registry,
 }
 
 impl Default for SupervisorConfig {
@@ -80,6 +87,7 @@ impl Default for SupervisorConfig {
             dt_backoff: 1.0,
             min_dt: 0.0,
             checkpoint_dir: None,
+            metrics: Registry::disabled(),
         }
     }
 }
@@ -181,6 +189,7 @@ impl Supervisor {
         self.baseline_atoms.get_or_insert(sim.atom_count());
         self.last_good = Some(cp);
         self.stats.checkpoints_saved += 1;
+        self.config.metrics.counter("supervisor.checkpoints_saved").inc();
         self.consecutive_rollbacks = 0;
         Ok(())
     }
@@ -223,10 +232,13 @@ impl Supervisor {
         }
         self.consecutive_rollbacks += 1;
         self.stats.rollbacks += 1;
+        self.config.metrics.counter("supervisor.rollbacks").inc();
         if physics {
             self.stats.invariant_violations += 1;
+            self.config.metrics.counter("supervisor.invariant_violations").inc();
         } else {
             self.stats.comm_faults += 1;
+            self.config.metrics.counter("supervisor.comm_faults").inc();
         }
         let cp = self.last_good.as_ref().expect("rollback without a checkpoint");
         sim.restore(cp);
@@ -387,10 +399,14 @@ mod tests {
 
     #[test]
     fn comm_fault_rolls_back_and_replays() {
+        let reg = Registry::new();
         let mut sim = MockSim::new();
         sim.comm_fail_at = vec![7];
-        let mut sup =
-            Supervisor::new(SupervisorConfig { checkpoint_every: 5, ..Default::default() });
+        let mut sup = Supervisor::new(SupervisorConfig {
+            checkpoint_every: 5,
+            metrics: reg.clone(),
+            ..Default::default()
+        });
         sup.run(&mut sim, 10).unwrap();
         assert_eq!(sim.step, 10);
         assert_eq!(sim.restores, 1);
@@ -398,6 +414,11 @@ mod tests {
         assert_eq!(s.rollbacks, 1);
         assert_eq!(s.comm_faults, 1);
         assert_eq!(s.invariant_violations, 0);
+        // The registry mirrors RecoveryStats.
+        assert_eq!(reg.counter("supervisor.rollbacks").get(), 1);
+        assert_eq!(reg.counter("supervisor.comm_faults").get(), 1);
+        assert_eq!(reg.counter("supervisor.invariant_violations").get(), 0);
+        assert_eq!(reg.counter("supervisor.checkpoints_saved").get(), s.checkpoints_saved);
     }
 
     #[test]

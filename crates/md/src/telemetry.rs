@@ -1,0 +1,215 @@
+//! The unified telemetry snapshot and the periodic [`Observer`] hook.
+//!
+//! [`Telemetry`] is the one type every runtime layer reports through. It
+//! collapses what used to be three overlapping types (`StepStats`,
+//! `CommStats`, `StepPhases`) into a single snapshot carrying physics
+//! (energy, virial, tuple counts), the per-phase time breakdown mapped to
+//! the paper's cost terms, communication counters, and allocation
+//! accounting. The serial [`Simulation`](crate::Simulation) leaves the
+//! communication fields empty; the distributed executors fill them per
+//! rank and in aggregate.
+
+use crate::stats::{EnergyBreakdown, TupleCounts};
+use sc_obs::json::Json;
+use sc_obs::{CommCounters, PhaseBreakdown};
+
+/// One point-in-time snapshot of everything a simulation reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// Steps completed when the snapshot was taken.
+    pub step: u64,
+    /// Potential energies by term, from the most recent force computation.
+    pub energy: EnergyBreakdown,
+    /// Tuple-search statistics from the most recent force computation.
+    pub tuples: TupleCounts,
+    /// Scalar virial from the most recent force computation.
+    pub virial: f64,
+    /// Phase breakdown of the most recent force computation / step.
+    pub phases: PhaseBreakdown,
+    /// Phase breakdown accumulated since construction.
+    pub total_phases: PhaseBreakdown,
+    /// Aggregate communication counters (all ranks merged). Empty for the
+    /// shared-memory engine.
+    pub comm: CommCounters,
+    /// Per-rank communication counters, indexed by rank. Empty for the
+    /// shared-memory engine.
+    pub per_rank: Vec<CommCounters>,
+    /// Allocation events observed in the hot path: force-scratch
+    /// growth plus metric registrations. Flat across steady-state steps.
+    pub alloc_events: u64,
+}
+
+impl Telemetry {
+    /// Renders the snapshot as one compact JSON line (no trailing newline).
+    /// The layout is pinned by `schema/metrics.schema.json` at the
+    /// repository root and validated in CI.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// The JSON value behind [`Telemetry::to_json`], for embedding.
+    pub fn to_json_value(&self) -> Json {
+        let phases = |p: &PhaseBreakdown| {
+            Json::Obj(p.iter().map(|(ph, s)| (format!("{}_s", ph.name()), Json::num(s))).collect())
+        };
+        let comm = |c: &CommCounters, extra: Vec<(String, Json)>| {
+            let mut fields = extra;
+            fields.extend([
+                ("messages".to_string(), Json::num(c.messages as f64)),
+                ("bytes".to_string(), Json::num(c.bytes as f64)),
+                ("ghosts_imported".to_string(), Json::num(c.ghosts_imported as f64)),
+                ("atoms_migrated".to_string(), Json::num(c.atoms_migrated as f64)),
+                ("retries".to_string(), Json::num(c.retries as f64)),
+                ("faults_detected".to_string(), Json::num(c.faults_detected as f64)),
+                ("partners".to_string(), Json::num(c.partners.len() as f64)),
+            ]);
+            Json::Obj(fields)
+        };
+        let order = |v: &crate::engine::VisitStats| {
+            Json::Obj(vec![
+                ("candidates".to_string(), Json::num(v.candidates as f64)),
+                ("accepted".to_string(), Json::num(v.accepted as f64)),
+            ])
+        };
+        Json::Obj(vec![
+            ("step".to_string(), Json::num(self.step as f64)),
+            (
+                "energy".to_string(),
+                Json::Obj(vec![
+                    ("pair".to_string(), Json::num(self.energy.pair)),
+                    ("triplet".to_string(), Json::num(self.energy.triplet)),
+                    ("quadruplet".to_string(), Json::num(self.energy.quadruplet)),
+                    ("total".to_string(), Json::num(self.energy.total())),
+                ]),
+            ),
+            ("virial".to_string(), Json::num(self.virial)),
+            (
+                "tuples".to_string(),
+                Json::Obj(vec![
+                    ("pair".to_string(), order(&self.tuples.pair)),
+                    ("triplet".to_string(), order(&self.tuples.triplet)),
+                    ("quadruplet".to_string(), order(&self.tuples.quadruplet)),
+                ]),
+            ),
+            ("phases".to_string(), phases(&self.phases)),
+            ("total_phases".to_string(), phases(&self.total_phases)),
+            ("comm".to_string(), comm(&self.comm, vec![])),
+            (
+                "per_rank".to_string(),
+                Json::Arr(
+                    self.per_rank
+                        .iter()
+                        .enumerate()
+                        .map(|(rank, c)| {
+                            comm(c, vec![("rank".to_string(), Json::num(rank as f64))])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("alloc_events".to_string(), Json::num(self.alloc_events as f64)),
+        ])
+    }
+
+    /// Renders the snapshot as a small human-readable table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "step {:>8}  E_pot {:>12.5}  virial {:>12.5}",
+            self.step,
+            self.energy.total(),
+            self.virial
+        );
+        let _ = writeln!(
+            out,
+            "tuples accepted {} / {} candidates",
+            self.tuples.total_accepted(),
+            self.tuples.total_candidates()
+        );
+        for (phase, secs) in self.phases.iter() {
+            if secs > 0.0 {
+                let _ = writeln!(out, "  {:<10} {:.6} s", phase.name(), secs);
+            }
+        }
+        if self.comm.messages > 0 {
+            let _ = writeln!(
+                out,
+                "comm: {} msgs, {} bytes, {} ghosts, {} migrated, {} retries, {} faults",
+                self.comm.messages,
+                self.comm.bytes,
+                self.comm.ghosts_imported,
+                self.comm.atoms_migrated,
+                self.comm.retries,
+                self.comm.faults_detected
+            );
+        }
+        out
+    }
+}
+
+/// A periodic telemetry sink, registered with
+/// [`Simulation::observe_every`](crate::Simulation::observe_every) (or the
+/// distributed equivalent) and invoked every N completed steps with a fresh
+/// snapshot — long runs can stream telemetry without touching engine
+/// internals.
+pub trait Observer: Send {
+    /// Called with a snapshot after every N-th completed step.
+    fn observe(&mut self, telemetry: &Telemetry);
+}
+
+impl<F: FnMut(&Telemetry) + Send> Observer for F {
+    fn observe(&mut self, telemetry: &Telemetry) {
+        self(telemetry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_obs::Phase;
+
+    #[test]
+    fn json_line_parses_and_carries_every_section() {
+        let mut t = Telemetry { step: 42, virial: -1.5, ..Default::default() };
+        t.energy.pair = -10.0;
+        t.phases.add(Phase::Bin, 0.25);
+        t.total_phases.add(Phase::Bin, 2.5);
+        t.comm.record_send(1, 100);
+        t.per_rank = vec![CommCounters::default(), t.comm.clone()];
+        t.alloc_events = 7;
+        let v = Json::parse(&t.to_json()).unwrap();
+        assert_eq!(v.get("step").unwrap().as_f64(), Some(42.0));
+        assert_eq!(v.get("energy").unwrap().get("total").unwrap().as_f64(), Some(-10.0));
+        assert_eq!(v.get("phases").unwrap().get("bin_s").unwrap().as_f64(), Some(0.25));
+        assert_eq!(v.get("total_phases").unwrap().get("bin_s").unwrap().as_f64(), Some(2.5));
+        let ranks = v.get("per_rank").unwrap().as_array().unwrap();
+        assert_eq!(ranks.len(), 2);
+        assert_eq!(ranks[1].get("rank").unwrap().as_f64(), Some(1.0));
+        assert_eq!(ranks[1].get("bytes").unwrap().as_f64(), Some(100.0));
+        assert_eq!(v.get("alloc_events").unwrap().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        let mut seen = Vec::new();
+        {
+            let mut obs: Box<dyn Observer> = Box::new(|t: &Telemetry| seen.push(t.step));
+            let t = Telemetry { step: 3, ..Default::default() };
+            obs.observe(&t);
+            obs.observe(&Telemetry { step: 6, ..t.clone() });
+        }
+        assert_eq!(seen, vec![3, 6]);
+    }
+
+    #[test]
+    fn table_renders_nonzero_sections_only() {
+        let mut t = Telemetry::default();
+        t.phases.add(Phase::Eval, 0.5);
+        let table = t.render_table();
+        assert!(table.contains("eval"));
+        assert!(!table.contains("comm:"));
+        t.comm.record_send(0, 10);
+        assert!(t.render_table().contains("comm:"));
+    }
+}

@@ -107,7 +107,7 @@ fn builder_rejects_degenerate_timestep_and_atoms() {
     };
     for dt in [0.0, -0.001, f64::NAN, f64::INFINITY] {
         assert!(
-            matches!(build(store.clone(), dt), Err(BuildError::BadTimestep(_))),
+            matches!(build(store.clone(), dt), Err(BuildError::Config { field: "timestep", .. })),
             "dt {dt} must be rejected"
         );
     }

@@ -1,0 +1,93 @@
+//! Communication accounting counters shared by every executor view.
+
+use crate::phase::PhaseBreakdown;
+use std::collections::BTreeSet;
+
+/// Communication accounting for one rank (or, after `merge`, an aggregate
+/// over ranks) — the empirical counterpart of the paper's communication
+/// model `T_comm = c_bw·V_import + c_lat·n_msg` (Eq. 31).
+///
+/// This is plain data: the distributed executors fill one per rank and feed
+/// per-step deltas into a [`crate::Registry`] when metrics are enabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommCounters {
+    /// Messages sent.
+    pub messages: u64,
+    /// Bytes sent.
+    pub bytes: u64,
+    /// Ghost atoms imported this step (the import-volume observable).
+    pub ghosts_imported: u64,
+    /// Atoms migrated away this step.
+    pub atoms_migrated: u64,
+    /// Delivery retries performed after a validation failure or loss
+    /// (cumulative; exposed by the `--measured` bench modes as the
+    /// fault-overhead observable).
+    pub retries: u64,
+    /// Validated-exchange failures detected (checksum/epoch mismatches and
+    /// lost payloads), whether or not a retry recovered them.
+    pub faults_detected: u64,
+    /// Distinct ranks this rank sent to.
+    pub partners: BTreeSet<usize>,
+    /// Cumulative phase breakdown of this rank's work (seconds since
+    /// construction; `merge` sums it across ranks, so a merged total is
+    /// summed per-rank CPU time, not wall time). Which slots are filled
+    /// depends on the view: rank-local force computation fills
+    /// bin/enumerate/eval/reduce, per-rank communicating executors also
+    /// fill exchange, and wall-clock views live in a separate breakdown.
+    pub phases: PhaseBreakdown,
+}
+
+impl CommCounters {
+    /// Records a sent message.
+    pub fn record_send(&mut self, to: usize, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+        self.partners.insert(to);
+    }
+
+    /// Merges another rank's counters (for global totals).
+    pub fn merge(&mut self, o: &CommCounters) {
+        self.messages += o.messages;
+        self.bytes += o.bytes;
+        self.ghosts_imported += o.ghosts_imported;
+        self.atoms_migrated += o.atoms_migrated;
+        self.retries += o.retries;
+        self.faults_detected += o.faults_detected;
+        self.partners.extend(o.partners.iter().copied());
+        self.phases.accumulate(&o.phases);
+    }
+
+    /// Clears the per-step counters (partners persist across steps).
+    pub fn reset_step(&mut self) {
+        self.ghosts_imported = 0;
+        self.atoms_migrated = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    #[test]
+    fn send_merge_and_reset() {
+        let mut s = CommCounters::default();
+        s.record_send(3, 100);
+        s.record_send(3, 50);
+        s.record_send(5, 10);
+        s.ghosts_imported = 7;
+        s.phases.add(Phase::Exchange, 0.5);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 160);
+        assert_eq!(s.partners.len(), 2);
+        let mut t = CommCounters::default();
+        t.record_send(7, 1);
+        t.merge(&s);
+        assert_eq!(t.messages, 4);
+        assert_eq!(t.partners.len(), 3);
+        assert_eq!(t.phases.exchange_s(), 0.5);
+        t.reset_step();
+        assert_eq!(t.ghosts_imported, 0);
+        assert_eq!(t.messages, 4, "cumulative counters survive reset_step");
+    }
+}

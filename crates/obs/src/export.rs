@@ -1,0 +1,197 @@
+//! Exporters: render a [`MetricsSnapshot`] as a human table, a JSON line,
+//! or Prometheus text exposition format.
+
+use crate::json::Json;
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write;
+
+/// Renders a snapshot as an aligned human-readable table. Phase rows with
+/// zero time are omitted; an empty snapshot renders a single header line.
+pub fn human_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("metric                              value\n");
+    for (phase, secs) in snap.phases.iter() {
+        if secs > 0.0 {
+            let _ = writeln!(out, "phase.{:<29} {:.6} s", phase.name(), secs);
+        }
+    }
+    for (name, value) in &snap.counters {
+        let _ = writeln!(out, "{name:<35} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(out, "{name:<35} {value}");
+    }
+    for h in &snap.histograms {
+        let _ = writeln!(out, "{:<35} n={} sum={}", h.name, h.count, h.sum);
+        for (i, &count) in h.counts.iter().enumerate() {
+            let edge = match h.bounds.get(i) {
+                Some(b) => format!("≤ {b}"),
+                None => "> rest".to_string(),
+            };
+            let _ = writeln!(out, "  {edge:<33} {count}");
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as one compact JSON line (newline not included) —
+/// the `BENCH_*.json`-style trajectory record.
+pub fn json_line(snap: &MetricsSnapshot) -> String {
+    json_value(snap).to_string()
+}
+
+/// Builds the JSON value behind [`json_line`], for callers that want to
+/// embed a snapshot in a larger document.
+pub fn json_value(snap: &MetricsSnapshot) -> Json {
+    let phases = Json::Obj(
+        snap.phases.iter().map(|(p, secs)| (format!("{}_s", p.name()), Json::num(secs))).collect(),
+    );
+    let counters =
+        Json::Obj(snap.counters.iter().map(|(n, v)| (n.clone(), Json::num(*v as f64))).collect());
+    let gauges = Json::Obj(snap.gauges.iter().map(|(n, v)| (n.clone(), Json::num(*v))).collect());
+    let histograms = Json::Arr(
+        snap.histograms
+            .iter()
+            .map(|h| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::str(h.name.clone())),
+                    (
+                        "bounds".to_string(),
+                        Json::Arr(h.bounds.iter().map(|&b| Json::num(b)).collect()),
+                    ),
+                    (
+                        "counts".to_string(),
+                        Json::Arr(h.counts.iter().map(|&c| Json::num(c as f64)).collect()),
+                    ),
+                    ("count".to_string(), Json::num(h.count as f64)),
+                    ("sum".to_string(), Json::num(h.sum)),
+                ])
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("phases".to_string(), phases),
+        ("counters".to_string(), counters),
+        ("gauges".to_string(), gauges),
+        ("histograms".to_string(), histograms),
+    ])
+}
+
+/// Renders a snapshot in Prometheus text exposition format. Metric names
+/// are sanitized (non-alphanumeric characters become `_`).
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE sc_phase_seconds_total counter\n");
+    for (phase, secs) in snap.phases.iter() {
+        let _ = writeln!(out, "sc_phase_seconds_total{{phase=\"{}\"}} {}", phase.name(), secs);
+    }
+    for (name, value) in &snap.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    }
+    for h in &snap.histograms {
+        let name = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in h.counts.iter().enumerate() {
+            cumulative += count;
+            let edge = match h.bounds.get(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{edge}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+    use crate::registry::Registry;
+
+    /// A registry with deterministic contents for golden-output tests.
+    fn golden_registry() -> Registry {
+        let reg = Registry::new();
+        reg.record_phase(Phase::Bin, 0.5);
+        reg.record_phase(Phase::Eval, 1.25);
+        reg.counter("comm.bytes").add(4096);
+        reg.counter("sim.steps").add(10);
+        reg.gauge("sim.temperature").set(1.5);
+        let h = reg.histogram("comm.step_bytes", &[100.0, 1000.0]);
+        h.observe(50.0);
+        h.observe(500.0);
+        h.observe(5000.0);
+        reg
+    }
+
+    #[test]
+    fn human_table_golden() {
+        let table = human_table(&golden_registry().snapshot());
+        let expected = "\
+metric                              value
+phase.bin                           0.500000 s
+phase.eval                          1.250000 s
+comm.bytes                          4096
+sim.steps                           10
+sim.temperature                     1.5
+comm.step_bytes                     n=3 sum=5550
+  ≤ 100                             1
+  ≤ 1000                            1
+  > rest                            1
+";
+        assert_eq!(table, expected);
+    }
+
+    #[test]
+    fn json_line_golden_and_parses_back() {
+        let line = json_line(&golden_registry().snapshot());
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("phases").unwrap().get("bin_s").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("phases").unwrap().get("exchange_s").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("counters").unwrap().get("comm.bytes").unwrap().as_f64(), Some(4096.0));
+        let h = &v.get("histograms").unwrap().as_array().unwrap()[0];
+        assert_eq!(h.get("name").unwrap().as_str(), Some("comm.step_bytes"));
+        assert_eq!(h.get("counts").unwrap().as_array().unwrap().len(), 3);
+        // Counters come out sorted, so the line itself is deterministic.
+        assert!(line.starts_with(r#"{"phases":{"bin_s":0.5,"#), "{line}");
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        let text = prometheus(&golden_registry().snapshot());
+        let expected = "\
+# TYPE sc_phase_seconds_total counter
+sc_phase_seconds_total{phase=\"bin\"} 0.5
+sc_phase_seconds_total{phase=\"exchange\"} 0
+sc_phase_seconds_total{phase=\"enumerate\"} 0
+sc_phase_seconds_total{phase=\"eval\"} 1.25
+sc_phase_seconds_total{phase=\"reduce\"} 0
+sc_phase_seconds_total{phase=\"migrate\"} 0
+sc_phase_seconds_total{phase=\"integrate\"} 0
+sc_phase_seconds_total{phase=\"compute\"} 0
+# TYPE comm_bytes counter
+comm_bytes 4096
+# TYPE sim_steps counter
+sim_steps 10
+# TYPE sim_temperature gauge
+sim_temperature 1.5
+# TYPE comm_step_bytes histogram
+comm_step_bytes_bucket{le=\"100\"} 1
+comm_step_bytes_bucket{le=\"1000\"} 2
+comm_step_bytes_bucket{le=\"+Inf\"} 3
+comm_step_bytes_sum 5550
+comm_step_bytes_count 3
+";
+        assert_eq!(text, expected);
+    }
+}

@@ -1,0 +1,146 @@
+//! A minimal JSON-Schema-style validator for the CI metrics check.
+//!
+//! Supports the subset the checked-in metrics schema uses: `type`
+//! (`object`, `array`, `string`, `number`, `integer`, `boolean`, `null`),
+//! `required`, `properties`, and `items`. Unknown keywords are ignored, as
+//! JSON Schema prescribes. No external dependencies.
+
+use crate::json::Json;
+
+/// Validates `value` against `schema`, returning the JSON path of the
+/// first violation.
+pub fn validate(value: &Json, schema: &Json) -> Result<(), String> {
+    validate_at(value, schema, "$")
+}
+
+fn validate_at(value: &Json, schema: &Json, path: &str) -> Result<(), String> {
+    let Some(fields) = schema.as_object() else {
+        // A non-object schema constrains nothing.
+        return Ok(());
+    };
+    for (keyword, arg) in fields {
+        match keyword.as_str() {
+            "type" => check_type(value, arg, path)?,
+            "required" => check_required(value, arg, path)?,
+            "properties" => {
+                if let (Some(props), Some(obj)) = (arg.as_object(), value.as_object()) {
+                    for (name, sub) in props {
+                        if let Some((_, v)) = obj.iter().find(|(k, _)| k == name) {
+                            validate_at(v, sub, &format!("{path}.{name}"))?;
+                        }
+                    }
+                }
+            }
+            "items" => {
+                if let Some(items) = value.as_array() {
+                    for (i, item) in items.iter().enumerate() {
+                        validate_at(item, arg, &format!("{path}[{i}]"))?;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_type(value: &Json, expected: &Json, path: &str) -> Result<(), String> {
+    let Some(want) = expected.as_str() else {
+        return Err(format!("{path}: schema 'type' must be a string"));
+    };
+    let ok = match want {
+        "object" => matches!(value, Json::Obj(_)),
+        "array" => matches!(value, Json::Arr(_)),
+        "string" => matches!(value, Json::Str(_)),
+        "number" => matches!(value, Json::Num(_)),
+        "integer" => matches!(value, Json::Num(n) if n.fract() == 0.0),
+        "boolean" => matches!(value, Json::Bool(_)),
+        "null" => matches!(value, Json::Null),
+        other => return Err(format!("{path}: unsupported schema type '{other}'")),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("{path}: expected type '{want}', got {}", kind_name(value)))
+    }
+}
+
+fn check_required(value: &Json, required: &Json, path: &str) -> Result<(), String> {
+    let (Some(names), Some(obj)) = (required.as_array(), value.as_object()) else {
+        return Ok(());
+    };
+    for name in names {
+        if let Some(name) = name.as_str() {
+            if !obj.iter().any(|(k, _)| k == name) {
+                return Err(format!("{path}: missing required field '{name}'"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn kind_name(value: &Json) -> &'static str {
+    match value {
+        Json::Null => "null",
+        Json::Bool(_) => "boolean",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Json {
+        Json::parse(
+            r#"{
+                "type": "object",
+                "required": ["step", "phases"],
+                "properties": {
+                    "step": {"type": "integer"},
+                    "phases": {
+                        "type": "object",
+                        "required": ["bin_s"],
+                        "properties": {"bin_s": {"type": "number"}}
+                    },
+                    "per_rank": {
+                        "type": "array",
+                        "items": {"type": "object", "required": ["rank"]}
+                    }
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_conforming_documents() {
+        let doc = Json::parse(
+            r#"{"step": 10, "phases": {"bin_s": 0.25, "extra": true},
+                "per_rank": [{"rank": 0}, {"rank": 1}], "unknown": null}"#,
+        )
+        .unwrap();
+        validate(&doc, &schema()).unwrap();
+    }
+
+    #[test]
+    fn reports_the_failing_path() {
+        let doc = Json::parse(r#"{"step": 1.5, "phases": {"bin_s": 0}}"#).unwrap();
+        let err = validate(&doc, &schema()).unwrap_err();
+        assert!(err.contains("$.step"), "{err}");
+
+        let doc = Json::parse(r#"{"step": 1, "phases": {}}"#).unwrap();
+        let err = validate(&doc, &schema()).unwrap_err();
+        assert!(err.contains("bin_s"), "{err}");
+
+        let doc = Json::parse(r#"{"step": 1, "phases": {"bin_s": 0}, "per_rank": [{}]}"#).unwrap();
+        let err = validate(&doc, &schema()).unwrap_err();
+        assert!(err.contains("per_rank[0]"), "{err}");
+
+        let doc = Json::parse(r#"{"phases": {"bin_s": 0}}"#).unwrap();
+        assert!(validate(&doc, &schema()).is_err());
+    }
+}

@@ -1,9 +1,29 @@
 //! Communication plans and accounting.
+//!
+//! The accounting types now live in `sc-obs` so the serial engine, both
+//! executors, and the benchmark bins share one vocabulary:
+//! [`sc_obs::CommCounters`] (re-exported, with the legacy [`CommStats`]
+//! alias) and [`sc_obs::PhaseBreakdown`] (legacy [`PhaseTimings`] alias).
 
 use crate::error::SetupError;
-use sc_md::{Method, StepPhases};
+use sc_md::Method;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+
+pub use sc_obs::CommCounters;
+
+/// Legacy alias: per-rank communication accounting — the empirical
+/// counterpart of the paper's `T_comm = c_bw·V_import + c_lat·n_msg`
+/// (Eq. 31) — is now the shared [`sc_obs::CommCounters`]. New code should
+/// name `CommCounters` directly.
+pub type CommStats = CommCounters;
+
+/// Legacy alias: the wall-clock step breakdown — the executable counterpart
+/// of the paper's `T = T_compute + T_comm` decomposition (Eq. 30) — is now
+/// the shared [`sc_obs::PhaseBreakdown`]. The old struct's fields
+/// (`.migrate_s`, `.exchange_s`, …) become the getter methods
+/// `.migrate_s()`, `.exchange_s()`, …; new code should name
+/// `PhaseBreakdown` directly.
+pub type PhaseTimings = sc_obs::PhaseBreakdown;
 
 /// One routing hop: `(axis, recv_dir)` — the rank receives ghosts from its
 /// `recv_dir` neighbour along `axis` (and therefore *sends* its own boundary
@@ -60,115 +80,19 @@ impl GhostPlan {
     }
 }
 
-/// Per-rank communication accounting, the empirical counterpart of the
-/// paper's communication model `T_comm = c_bw·V_import + c_lat·n_msg`
-/// (Eq. 31).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct CommStats {
-    /// Messages sent.
-    pub messages: u64,
-    /// Bytes sent.
-    pub bytes: u64,
-    /// Ghost atoms imported this step (the import volume observable).
-    pub ghosts_imported: u64,
-    /// Atoms migrated away this step.
-    pub atoms_migrated: u64,
-    /// Delivery retries performed after a validation failure or loss
-    /// (cumulative; exposed by the `--measured` bench modes as the
-    /// fault-overhead observable).
-    pub retries: u64,
-    /// Validated-exchange failures detected (checksum/epoch mismatches and
-    /// lost payloads), whether or not a retry recovered them.
-    pub faults_detected: u64,
-    /// Distinct ranks this rank sent to.
-    pub partners: BTreeSet<usize>,
-    /// Cumulative step-phase breakdown of this rank's work (seconds since
-    /// construction; `merge` sums it across ranks, so the global total is
-    /// summed per-rank CPU time, not wall time). `bin_s`, `enumerate_s`, and
-    /// `reduce_s` are filled by [`RankState::compute_forces`]; `exchange_s`
-    /// is filled by executors that do per-rank communication (the threaded
-    /// executor — the BSP executor reports exchange wall time centrally in
-    /// [`PhaseTimings`] instead).
-    ///
-    /// [`RankState::compute_forces`]: crate::rank::RankState::compute_forces
-    pub phases: StepPhases,
-}
-
-impl CommStats {
-    /// Records a sent message.
-    pub fn record_send(&mut self, to: usize, bytes: u64) {
-        self.messages += 1;
-        self.bytes += bytes;
-        self.partners.insert(to);
-    }
-
-    /// Merges another rank's stats (for global totals).
-    pub fn merge(&mut self, o: &CommStats) {
-        self.messages += o.messages;
-        self.bytes += o.bytes;
-        self.ghosts_imported += o.ghosts_imported;
-        self.atoms_migrated += o.atoms_migrated;
-        self.retries += o.retries;
-        self.faults_detected += o.faults_detected;
-        self.partners.extend(o.partners.iter().copied());
-        self.phases.accumulate(&o.phases);
-    }
-
-    /// Clears the per-step counters (partners persist across steps).
-    pub fn reset_step(&mut self) {
-        self.ghosts_imported = 0;
-        self.atoms_migrated = 0;
-    }
-}
-
-/// Wall-clock breakdown of a distributed step by phase — the executable
-/// counterpart of the paper's `T = T_compute + T_comm` decomposition
-/// (Eq. 30), measured rather than modeled.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct PhaseTimings {
-    /// Seconds in atom migration.
-    pub migrate_s: f64,
-    /// Seconds in ghost-position exchange.
-    pub exchange_s: f64,
-    /// Seconds in force computation (binning + enumeration + potentials).
-    pub compute_s: f64,
-    /// Seconds in reverse ghost-force reduction.
-    pub reduce_s: f64,
-    /// Seconds in integration.
-    pub integrate_s: f64,
-}
-
-impl PhaseTimings {
-    /// Total accounted time.
-    pub fn total_s(&self) -> f64 {
-        self.migrate_s + self.exchange_s + self.compute_s + self.reduce_s + self.integrate_s
-    }
-
-    /// The communication share (migration + exchange + reduction).
-    pub fn comm_fraction(&self) -> f64 {
-        let comm = self.migrate_s + self.exchange_s + self.reduce_s;
-        let t = self.total_s();
-        if t > 0.0 {
-            comm / t
-        } else {
-            0.0
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_obs::Phase;
 
     #[test]
-    fn phase_timings_accounting() {
-        let t = PhaseTimings {
-            migrate_s: 1.0,
-            exchange_s: 2.0,
-            compute_s: 5.0,
-            reduce_s: 1.0,
-            integrate_s: 1.0,
-        };
+    fn phase_timings_alias_keeps_the_paper_decomposition() {
+        let mut t = PhaseTimings::new();
+        t.add(Phase::Migrate, 1.0);
+        t.add(Phase::Exchange, 2.0);
+        t.add(Phase::Compute, 5.0);
+        t.add(Phase::Reduce, 1.0);
+        t.add(Phase::Integrate, 1.0);
         assert_eq!(t.total_s(), 10.0);
         assert!((t.comm_fraction() - 0.4).abs() < 1e-12);
         assert_eq!(PhaseTimings::default().comm_fraction(), 0.0);

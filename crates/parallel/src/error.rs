@@ -224,6 +224,31 @@ impl From<RuntimeError> for RunError {
     }
 }
 
+// Funnels into the unified `sc_md::Error`, so a binary's whole
+// setup-run-output pipeline is one `?`-chain. Defined here (not in `sc-md`)
+// to keep the crate layering acyclic: `sc-md` cannot name these types.
+
+impl From<SetupError> for sc_md::Error {
+    fn from(e: SetupError) -> Self {
+        sc_md::Error::Setup(Box::new(e))
+    }
+}
+
+impl From<RuntimeError> for sc_md::Error {
+    fn from(e: RuntimeError) -> Self {
+        sc_md::Error::Runtime(Box::new(e))
+    }
+}
+
+impl From<RunError> for sc_md::Error {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::Setup(s) => s.into(),
+            RunError::Runtime(r) => r.into(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +294,16 @@ mod tests {
         let r: RunError = RuntimeError::EpochMismatch { rank: 1, expected: 2, got: 3 }.into();
         assert!(r.to_string().starts_with("runtime"));
         assert!(std::error::Error::source(&r).is_some());
+    }
+
+    #[test]
+    fn executor_errors_funnel_into_the_unified_error() {
+        let e: sc_md::Error = SetupError::UnsupportedSubdivision(9).into();
+        assert!(e.to_string().starts_with("setup:"), "{e}");
+        let e: sc_md::Error = RuntimeError::EpochMismatch { rank: 1, expected: 2, got: 3 }.into();
+        assert!(e.to_string().starts_with("runtime:"), "{e}");
+        let e: sc_md::Error = RunError::Setup(SetupError::NonPositiveHalo { width: 0.0 }).into();
+        assert!(e.to_string().contains("positive"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -12,7 +12,8 @@ use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
 use sc_md::checkpoint::Checkpoint;
 use sc_md::supervisor::Recoverable;
-use sc_md::{EnergyBreakdown, LaneSlots, StepPhases, ThreadPool, TupleCounts};
+use sc_md::{EnergyBreakdown, LaneSlots, Observer, StepPhases, Telemetry, ThreadPool, TupleCounts};
+use sc_obs::{Counter, Histogram, Phase, Registry};
 
 /// Retries after a failed delivery before escalating (so each hop gets
 /// `1 + MAX_RETRIES` attempts). Two retries cover every single-fault
@@ -91,6 +92,41 @@ pub struct DistributedSim {
     // Per-rank (energy, tuples, phases) slots reused every compute call so
     // the compute fan-out allocates nothing in steady state.
     results: Vec<(EnergyBreakdown, TupleCounts, StepPhases)>,
+    registry: Registry,
+    obs: DistMetrics,
+    /// Aggregate counters at the end of the previous step, so the registry
+    /// is fed per-step deltas rather than re-counted totals.
+    last_totals: CommStats,
+    observer: Option<(u64, Box<dyn Observer>)>,
+}
+
+/// Pre-registered metric handles for the distributed executor; inert when
+/// the registry is disabled.
+struct DistMetrics {
+    steps: Counter,
+    messages: Counter,
+    bytes: Counter,
+    ghosts: Counter,
+    migrated: Counter,
+    retries: Counter,
+    faults: Counter,
+    step_bytes: Histogram,
+}
+
+impl DistMetrics {
+    fn register(reg: &Registry) -> Self {
+        DistMetrics {
+            steps: reg.counter("dist.steps"),
+            messages: reg.counter("comm.messages"),
+            bytes: reg.counter("comm.bytes"),
+            ghosts: reg.counter("comm.ghosts_imported"),
+            migrated: reg.counter("comm.atoms_migrated"),
+            retries: reg.counter("comm.retries"),
+            faults: reg.counter("comm.faults_detected"),
+            step_bytes: reg
+                .histogram("comm.step_bytes", &[1024.0, 16384.0, 262144.0, 4194304.0, 67108864.0]),
+        }
+    }
 }
 
 impl DistributedSim {
@@ -158,6 +194,7 @@ impl DistributedSim {
             return Err(SetupError::AtomsLost { expected: store.len(), claimed: total });
         }
         let nranks = ranks.len();
+        let registry = Registry::disabled();
         Ok(DistributedSim {
             grid,
             plan,
@@ -174,7 +211,61 @@ impl DistributedSim {
             timings: PhaseTimings::default(),
             pool: ThreadPool::auto(),
             results: vec![Default::default(); nranks],
+            obs: DistMetrics::register(&registry),
+            registry,
+            last_totals: CommStats::default(),
+            observer: None,
         })
+    }
+
+    /// Routes this executor's counters and phase timings into `registry`
+    /// (per-step deltas: `comm.messages`, `comm.bytes`, `comm.retries`, …,
+    /// plus a `comm.step_bytes` histogram and the wall-clock phase slots).
+    pub fn set_metrics(&mut self, registry: Registry) {
+        self.obs = DistMetrics::register(&registry);
+        self.registry = registry;
+        self.last_totals = self.comm_stats();
+    }
+
+    /// The metrics registry in use (disabled unless
+    /// [`DistributedSim::set_metrics`] installed a live one).
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Registers a telemetry observer invoked with a fresh
+    /// [`Telemetry`] snapshot after every `every` completed steps.
+    ///
+    /// # Panics
+    /// Panics when `every` is 0.
+    pub fn observe_every(&mut self, every: u64, observer: Box<dyn Observer>) {
+        assert!(every > 0, "observe_every needs a positive interval");
+        self.observer = Some((every, observer));
+    }
+
+    /// The unified telemetry snapshot: global energies and tuple counts,
+    /// the merged phase breakdown (per-rank CPU seconds for bin / enumerate
+    /// / eval / reduce, executor wall clock for exchange / migrate /
+    /// integrate / compute), aggregate and per-rank communication counters,
+    /// and allocation accounting. The distributed executors do not compute
+    /// a virial, so `virial` is 0.
+    pub fn telemetry(&self) -> Telemetry {
+        let comm = self.comm_stats();
+        let mut phases = comm.phases;
+        for ph in [Phase::Exchange, Phase::Migrate, Phase::Integrate, Phase::Compute] {
+            phases.set(ph, self.timings.get(ph));
+        }
+        Telemetry {
+            step: self.steps_done,
+            energy: self.last_energy,
+            tuples: self.last_tuples,
+            virial: 0.0,
+            phases,
+            total_phases: phases,
+            per_rank: self.ranks.iter().map(|r| r.stats.clone()).collect(),
+            comm,
+            alloc_events: self.registry.allocation_events(),
+        }
     }
 
     /// The rank grid.
@@ -394,7 +485,7 @@ impl DistributedSim {
         let t0 = std::time::Instant::now();
         self.exchange_ghosts()?;
         let t1 = std::time::Instant::now();
-        self.timings.exchange_s += (t1 - t0).as_secs_f64();
+        self.record_wall(Phase::Exchange, (t1 - t0).as_secs_f64());
         let mut energy = EnergyBreakdown::default();
         let mut tuples = TupleCounts::default();
         // Ranks compute independently — the BSP phase structure makes this
@@ -423,9 +514,9 @@ impl DistributedSim {
             tuples.quadruplet.merge(t.quadruplet);
         }
         let t2 = std::time::Instant::now();
-        self.timings.compute_s += (t2 - t1).as_secs_f64();
+        self.record_wall(Phase::Compute, (t2 - t1).as_secs_f64());
         self.reduce_forces()?;
-        self.timings.reduce_s += t2.elapsed().as_secs_f64();
+        self.record_wall(Phase::Reduce, t2.elapsed().as_secs_f64());
         self.last_energy = energy;
         self.last_tuples = tuples;
         Ok(())
@@ -450,17 +541,48 @@ impl DistributedSim {
             r.drop_ghosts();
         }
         let t1 = std::time::Instant::now();
-        self.timings.integrate_s += (t1 - t0).as_secs_f64();
+        self.record_wall(Phase::Integrate, (t1 - t0).as_secs_f64());
         self.migrate()?;
-        self.timings.migrate_s += t1.elapsed().as_secs_f64();
+        self.record_wall(Phase::Migrate, t1.elapsed().as_secs_f64());
         self.exchange_and_compute()?;
         let t2 = std::time::Instant::now();
         for r in &mut self.ranks {
             r.vv_finish(self.dt);
         }
-        self.timings.integrate_s += t2.elapsed().as_secs_f64();
+        self.record_wall(Phase::Integrate, t2.elapsed().as_secs_f64());
         self.steps_done += 1;
+        self.feed_metrics();
+        if let Some((every, mut observer)) = self.observer.take() {
+            if self.steps_done.is_multiple_of(every) {
+                observer.observe(&self.telemetry());
+            }
+            self.observer = Some((every, observer));
+        }
         Ok(())
+    }
+
+    /// Records a wall-clock phase duration both in the cumulative local
+    /// breakdown and in the registry (if one is installed).
+    fn record_wall(&mut self, phase: Phase, secs: f64) {
+        self.timings.add(phase, secs);
+        self.registry.record_phase(phase, secs);
+    }
+
+    /// Feeds the step's communication deltas into the registry.
+    fn feed_metrics(&mut self) {
+        if !self.registry.enabled() {
+            return;
+        }
+        let now = self.comm_stats();
+        self.obs.steps.inc();
+        self.obs.messages.add(now.messages - self.last_totals.messages);
+        self.obs.bytes.add(now.bytes - self.last_totals.bytes);
+        self.obs.ghosts.add(now.ghosts_imported - self.last_totals.ghosts_imported);
+        self.obs.migrated.add(now.atoms_migrated - self.last_totals.atoms_migrated);
+        self.obs.retries.add(now.retries - self.last_totals.retries);
+        self.obs.faults.add(now.faults_detected - self.last_totals.faults_detected);
+        self.obs.step_bytes.observe((now.bytes - self.last_totals.bytes) as f64);
+        self.last_totals = now;
     }
 
     /// One velocity-Verlet step.
@@ -520,6 +642,8 @@ impl Recoverable for DistributedSim {
         self.needs_prime = true;
         self.last_energy = EnergyBreakdown::default();
         self.last_tuples = TupleCounts::default();
+        // Rank stats were rebuilt from scratch; re-baseline the delta feed.
+        self.last_totals = CommStats::default();
     }
 
     fn atom_count(&self) -> usize {

@@ -17,6 +17,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
 use sc_md::EnergyBreakdown;
+use sc_obs::{Phase, Registry};
 use std::sync::Arc;
 
 /// A wire message tagged with its sending rank.
@@ -147,6 +148,34 @@ impl ThreadedSim {
         }
         Ok((out, energy, stats))
     }
+
+    /// Like [`ThreadedSim::run`], additionally reporting the aggregated
+    /// run totals into `registry`: the `comm.*` counter series (whole-run
+    /// totals — the executor is one-shot, so there is no per-step stream)
+    /// and the merged per-rank phase breakdown.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_metrics(
+        store: AtomStore,
+        bbox: SimulationBox,
+        pdims: IVec3,
+        ff: ForceField,
+        dt: f64,
+        steps: usize,
+        registry: &Registry,
+    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
+        let (out, energy, stats) = ThreadedSim::run(store, bbox, pdims, ff, dt, steps)?;
+        registry.counter("dist.steps").add(steps as u64);
+        registry.counter("comm.messages").add(stats.messages);
+        registry.counter("comm.bytes").add(stats.bytes);
+        registry.counter("comm.ghosts_imported").add(stats.ghosts_imported);
+        registry.counter("comm.atoms_migrated").add(stats.atoms_migrated);
+        registry.counter("comm.retries").add(stats.retries);
+        registry.counter("comm.faults_detected").add(stats.faults_detected);
+        for (phase, secs) in stats.phases.iter() {
+            registry.record_phase(phase, secs);
+        }
+        Ok((out, energy, stats))
+    }
 }
 
 /// The per-rank thread body: the same phase sequence as the BSP executor.
@@ -199,7 +228,7 @@ fn rank_main(
             state.absorb_ghosts(hop, from, &g);
             *phase += 1;
         }
-        state.stats.phases.exchange_s += t_exchange.elapsed().as_secs_f64();
+        state.stats.phases.add(Phase::Exchange, t_exchange.elapsed().as_secs_f64());
         let (energy, _tuples, _phases) = state.compute_forces(&ff);
         let t_reduce = std::time::Instant::now();
         for hop in (0..plan.hops.len()).rev() {
@@ -217,7 +246,7 @@ fn rank_main(
         }
         // The reverse ghost-force reduction is communication too; fold
         // it into the exchange phase of this rank's breakdown.
-        state.stats.phases.exchange_s += t_reduce.elapsed().as_secs_f64();
+        state.stats.phases.add(Phase::Exchange, t_reduce.elapsed().as_secs_f64());
         Ok(energy)
     };
 

@@ -50,7 +50,7 @@ pub mod rank;
 mod exec_bsp;
 mod exec_threads;
 
-pub use comm::{CommStats, GhostPlan, PhaseTimings};
+pub use comm::{CommCounters, CommStats, GhostPlan, PhaseTimings};
 pub use error::{RunError, RuntimeError, SetupError};
 pub use exec_bsp::DistributedSim;
 pub use exec_threads::ThreadedSim;

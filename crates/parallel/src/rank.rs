@@ -10,6 +10,7 @@ use sc_geom::{IVec3, Vec3};
 use sc_md::engine::{self, Dedup, PatternPlan, TupleSource, VisitStats};
 use sc_md::methods::NeighborList;
 use sc_md::{EnergyBreakdown, ForceAccumulator, Method, StepPhases, TupleCounts};
+use sc_obs::Phase;
 use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -415,7 +416,7 @@ impl RankState {
         }
         let t_reduce = Instant::now();
         acc.merge_into(self.store.forces_mut());
-        phases.reduce_s += t_reduce.elapsed().as_secs_f64();
+        phases.add(Phase::Reduce, t_reduce.elapsed().as_secs_f64());
         self.scratch = acc;
         self.stats.phases.accumulate(&phases);
         (energy, tuples, phases)
@@ -445,7 +446,7 @@ impl RankState {
             );
             let t_bin = Instant::now();
             lat.rebuild(&self.store, self.owned);
-            phases.bin_s += t_bin.elapsed().as_secs_f64();
+            phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
             let term = &self.terms[ti];
             let src = LocalSource { lat: &lat, store: &self.store };
             let owned_cells: Vec<IVec3> = lat.owned_region().iter().collect();
@@ -538,7 +539,7 @@ impl RankState {
                 }
                 n => unreachable!("unsupported tuple order {n}"),
             }
-            phases.enumerate_s += t_enum.elapsed().as_secs_f64();
+            phases.add(Phase::Enumerate, t_enum.elapsed().as_secs_f64());
             self.terms[ti].lat = lat;
         }
     }
@@ -565,7 +566,7 @@ impl RankState {
         let all_cells: Vec<IVec3> = lat.extended_region().iter().collect();
         let (nl, pair_stats) =
             NeighborList::build_from_cells(&src, &all_cells, self.store.len(), &plan, pot.cutoff());
-        phases.bin_s += t_bin.elapsed().as_secs_f64();
+        phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
         tuples.pair.merge(pair_stats);
         let species = self.store.species().to_vec();
         let ids = self.store.ids().to_vec();
@@ -688,7 +689,7 @@ impl RankState {
             tuples.quadruplet.merge(stats);
         }
 
-        phases.enumerate_s += t_enum.elapsed().as_secs_f64();
+        phases.add(Phase::Enumerate, t_enum.elapsed().as_secs_f64());
         self.hybrid_pair_lat = Some(lat);
     }
 

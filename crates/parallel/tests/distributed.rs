@@ -339,7 +339,7 @@ fn timings_and_load_are_reported() {
     d.run(3);
     let t = d.timings();
     assert!(t.total_s() > 0.0);
-    assert!(t.compute_s > 0.0, "compute must dominate in-process: {t:?}");
+    assert!(t.compute_s() > 0.0, "compute must dominate in-process: {t:?}");
     assert!((0.0..=1.0).contains(&t.comm_fraction()));
     // A uniform FCC crystal decomposes almost perfectly.
     let imb = d.load_imbalance();
@@ -386,10 +386,10 @@ fn threaded_single_rank_matches_serial_silica() {
         energy.total()
     );
     // The per-rank phase metrics rode along in the comm stats.
-    assert!(stats.phases.bin_s > 0.0);
-    assert!(stats.phases.enumerate_s > 0.0);
-    assert!(stats.phases.reduce_s > 0.0);
-    assert!(stats.phases.exchange_s > 0.0, "threaded executor times its exchanges");
+    assert!(stats.phases.bin_s() > 0.0);
+    assert!(stats.phases.enumerate_s() > 0.0);
+    assert!(stats.phases.reduce_s() > 0.0);
+    assert!(stats.phases.exchange_s() > 0.0, "threaded executor times its exchanges");
 }
 
 #[test]
@@ -400,11 +400,81 @@ fn bsp_phase_breakdown_is_recorded() {
             .unwrap();
     d.run(2);
     let p = d.phase_breakdown();
-    assert!(p.bin_s > 0.0, "ranks timed their binning: {p:?}");
-    assert!(p.enumerate_s > 0.0, "ranks timed their enumeration: {p:?}");
-    assert!(p.reduce_s > 0.0, "ranks timed their scratch merge: {p:?}");
-    assert_eq!(p.exchange_s, 0.0, "BSP exchange time is counted centrally in PhaseTimings");
+    assert!(p.bin_s() > 0.0, "ranks timed their binning: {p:?}");
+    assert!(p.enumerate_s() > 0.0, "ranks timed their enumeration: {p:?}");
+    assert!(p.reduce_s() > 0.0, "ranks timed their scratch merge: {p:?}");
+    assert_eq!(p.exchange_s(), 0.0, "BSP exchange time is counted centrally in PhaseTimings");
     // The fine-grained rank view nests inside the coarse compute wall time.
-    assert!(d.timings().compute_s > 0.0);
+    assert!(d.timings().compute_s() > 0.0);
     assert_eq!(p, d.comm_stats().phases);
+}
+
+#[test]
+fn telemetry_snapshot_carries_every_section() {
+    use sc_obs::{Phase, Registry};
+    use sc_parallel::{Fault, FaultKind, FaultPlan};
+
+    let reg = Registry::new();
+    let (store, bbox) = lj_system();
+    let mut d =
+        DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(Method::ShiftCollapse), 0.002)
+            .unwrap();
+    d.set_metrics(reg.clone());
+    d.set_fault_plan(FaultPlan::none().with(Fault {
+        step: 1,
+        rank: 1,
+        channel: None,
+        kind: FaultKind::Drop,
+    }));
+    for _ in 0..3 {
+        d.try_step().unwrap();
+    }
+
+    let t = d.telemetry();
+    assert_eq!(t.step, 3);
+    assert!(t.energy.total() != 0.0);
+    // Per-phase timings: per-rank CPU phases and executor wall phases.
+    for phase in [Phase::Bin, Phase::Enumerate, Phase::Reduce, Phase::Exchange, Phase::Compute] {
+        assert!(t.phases.get(phase) > 0.0, "missing {} timing: {:?}", phase.name(), t.phases);
+    }
+    // Per-rank communication counters.
+    assert_eq!(t.per_rank.len(), 8);
+    assert!(t.per_rank.iter().all(|r| r.bytes > 0 && r.messages > 0));
+    // The injected drop left its trace in the aggregate fault counters.
+    assert!(t.comm.retries > 0, "the injected drop recovers via retry");
+    assert!(t.comm.faults_detected > 0);
+    assert!(t.alloc_events > 0, "metric registration is accounted");
+
+    // The registry saw the same per-step-delta traffic.
+    assert_eq!(reg.counter("dist.steps").get(), 3);
+    assert_eq!(reg.counter("comm.bytes").get(), t.comm.bytes);
+    assert_eq!(reg.counter("comm.retries").get(), t.comm.retries);
+    assert!(reg.phase_s(Phase::Exchange) > 0.0);
+
+    // The JSON line round-trips and the per-rank section is intact.
+    let v = sc_obs::json::Json::parse(&t.to_json()).unwrap();
+    assert_eq!(v.get("step").unwrap().as_f64(), Some(3.0));
+    assert_eq!(v.get("per_rank").unwrap().as_array().unwrap().len(), 8);
+    assert!(v.get("comm").unwrap().get("retries").unwrap().as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn threaded_run_with_metrics_reports_totals() {
+    use sc_obs::{Phase, Registry};
+    let reg = Registry::new();
+    let (store, bbox) = lj_system();
+    let (_, _, stats) = ThreadedSim::run_with_metrics(
+        store,
+        bbox,
+        IVec3::splat(2),
+        lj_ff(Method::ShiftCollapse),
+        0.002,
+        3,
+        &reg,
+    )
+    .unwrap();
+    assert_eq!(reg.counter("comm.messages").get(), stats.messages);
+    assert_eq!(reg.counter("comm.bytes").get(), stats.bytes);
+    assert!(reg.phase_s(Phase::Exchange) > 0.0, "threaded exchange wall time is reported");
+    assert!(reg.phase_s(Phase::Bin) > 0.0);
 }

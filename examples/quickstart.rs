@@ -37,7 +37,7 @@ fn main() {
     println!("relative NVE drift:   {:.2e}", ((e1 - e0) / e0).abs());
 
     // The SC pattern searched ~half the candidates a full-shell sweep would:
-    let sc = sim.last_stats().tuples.pair.candidates;
+    let sc = sim.telemetry().tuples.pair.candidates;
     let mut fs_sim = {
         let (store, bbox) = build_fcc_lattice(&spec, 0.5, 42);
         Simulation::builder(store, bbox)

@@ -3,25 +3,44 @@
 //! ```text
 //! scmd run      --system lj|silica --cells N --steps N --method sc|fs|hybrid
 //!               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]
+//!               [--metrics-json PATH]
 //! scmd patterns [--n N]           # pattern algebra summary
 //! scmd model    --machine xeon|bgq [--grain N]   # cost-model report
 //! ```
+//!
+//! `--metrics-json PATH` streams one `Telemetry` JSON line per report block
+//! (plus a final snapshot) to PATH; the layout is pinned by
+//! `schema/metrics.schema.json` and validated in CI.
 
 use shift_collapse_md::md::{thermalize, write_xyz, Method};
 use shift_collapse_md::pattern::{generate_fs, import_volume_cubic, shift_collapse, theory};
 use shift_collapse_md::prelude::*;
 use std::collections::HashMap;
+use std::io::Write;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| usage("missing subcommand"));
     let flags = parse_flags(args);
-    match cmd.as_str() {
+    // The whole pipeline funnels through the unified `sc_md::Error`, so
+    // every failure mode (build, I/O, metrics output) exits through one
+    // place with one message shape.
+    let result = match cmd.as_str() {
         "run" => run(&flags),
-        "patterns" => patterns(&flags),
-        "model" => model(&flags),
+        "patterns" => {
+            patterns(&flags);
+            Ok(())
+        }
+        "model" => {
+            model(&flags);
+            Ok(())
+        }
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown subcommand {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -33,6 +52,7 @@ fn usage(err: &str) -> ! {
         "scmd — shift-collapse molecular dynamics\n\n\
          USAGE:\n  scmd run      --system lj|silica [--cells N] [--steps N] [--method sc|fs|hybrid]\n\
          \x20               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]\n\
+         \x20               [--metrics-json PATH]\n\
          \x20 scmd patterns [--n N]\n\
          \x20 scmd model    [--machine xeon|bgq] [--grain N]"
     );
@@ -68,14 +88,22 @@ fn method_of(flags: &HashMap<String, String>) -> Method {
     }
 }
 
-fn run(flags: &HashMap<String, String>) {
+fn run(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Error> {
     let system = flags.get("system").map(String::as_str).unwrap_or("lj");
     let steps: usize = get(flags, "steps", 100);
     let method = method_of(flags);
     let dt_default = if system == "silica" { 0.0005 } else { 0.002 };
     let dt: f64 = get(flags, "dt", dt_default);
     let subdivision: i32 = get(flags, "subdivision", 1);
-    let skin: f64 = get(flags, "skin", 0.0);
+    let runtime = RuntimeConfig {
+        verlet_skin: get(flags, "skin", 0.0),
+        metrics: if flags.contains_key("metrics-json") {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        },
+        ..RuntimeConfig::default()
+    };
     let mut sim = match system {
         "lj" => {
             let cells: usize = get(flags, "cells", 6);
@@ -86,8 +114,8 @@ fn run(flags: &HashMap<String, String>) {
                 .method(method)
                 .timestep(dt)
                 .cell_subdivision(subdivision)
-                .verlet_skin(skin)
-                .build()
+                .runtime(runtime)
+                .build()?
         }
         "silica" => {
             let cells: usize = get(flags, "cells", 3);
@@ -100,15 +128,15 @@ fn run(flags: &HashMap<String, String>) {
                 .method(method)
                 .timestep(dt)
                 .cell_subdivision(subdivision)
-                .verlet_skin(skin)
-                .build()
+                .runtime(runtime)
+                .build()?
         }
         other => usage(&format!("unknown system {other:?}")),
-    }
-    .unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
+    };
+    let mut metrics_out = match flags.get("metrics-json") {
+        Some(path) => Some(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        None => None,
+    };
 
     println!(
         "# {} | {} atoms | {} | dt = {dt} | {steps} steps",
@@ -129,6 +157,9 @@ fn run(flags: &HashMap<String, String>) {
             sim.store().temperature(),
             stats.tuples.total_accepted(),
         );
+        if let Some(out) = &mut metrics_out {
+            writeln!(out, "{}", stats.to_json())?;
+        }
     }
     let wall = t0.elapsed().as_secs_f64();
     let e1 = sim.total_energy();
@@ -136,14 +167,19 @@ fn run(flags: &HashMap<String, String>) {
         "# {:.2} ms/step | NVE drift {:.2e} | candidates/step: {}",
         wall / steps as f64 * 1e3,
         ((e1 - e0) / e0.abs()).abs(),
-        sim.last_stats().tuples.total_candidates(),
+        sim.telemetry().tuples.total_candidates(),
     );
+    if let Some(mut out) = metrics_out {
+        writeln!(out, "{}", sim.telemetry().to_json())?;
+        out.flush()?;
+        println!("# telemetry JSON written to {}", flags["metrics-json"]);
+    }
     if let Some(path) = flags.get("xyz") {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create xyz"));
-        write_xyz(&mut f, sim.store(), sim.bbox(), &format!("step={}", sim.steps_done()))
-            .expect("write xyz");
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write_xyz(&mut f, sim.store(), sim.bbox(), &format!("step={}", sim.steps_done()))?;
         println!("# final snapshot written to {path}");
     }
+    Ok(())
 }
 
 fn patterns(flags: &HashMap<String, String>) {

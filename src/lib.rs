@@ -21,6 +21,9 @@
 //!   simulation drivers.
 //! * [`parallel`] — the thread-based distributed-memory runtime
 //!   (halo exchange, forwarded routing, force reduction, migration).
+//! * [`obs`] — the observability layer: lock-free metrics registry, phase
+//!   taxonomy, and the human / JSON / Prometheus exporters behind the
+//!   unified `Telemetry` snapshot.
 //! * [`netmodel`] — calibrated machine profiles used to regenerate the
 //!   paper's granularity and strong-scaling figures.
 //!
@@ -50,6 +53,7 @@ pub use sc_core as pattern;
 pub use sc_geom as geom;
 pub use sc_md as md;
 pub use sc_netmodel as netmodel;
+pub use sc_obs as obs;
 pub use sc_parallel as parallel;
 pub use sc_potential as potential;
 
@@ -63,9 +67,11 @@ pub mod prelude {
     pub use sc_geom::{CellRegion, IVec3, SimulationBox, Vec3};
     pub use sc_md::{
         build_fcc_lattice, build_silica_like, pair_virial_pressure, LatticeSpec,
-        MeanSquaredDisplacement, Method, RadialDistribution, Simulation, SimulationBuilder,
+        MeanSquaredDisplacement, Method, Observer, RadialDistribution, RuntimeConfig, Simulation,
+        SimulationBuilder, Telemetry,
     };
     pub use sc_netmodel::{MachineProfile, MdCostModel, MethodCosts};
+    pub use sc_obs::{Phase, PhaseBreakdown, Registry};
     pub use sc_parallel::{DistributedSim, RankGrid, ThreadedSim};
     pub use sc_potential::{LennardJones, StillingerWeber, TabulatedPair, TorsionToy, Vashishta};
 }

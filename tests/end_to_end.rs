@@ -24,7 +24,7 @@ fn silica_pipeline_end_to_end() {
     let e1 = sim.total_energy();
     assert!(((e1 - e0) / e0.abs()).abs() < 5e-4, "silica NVE drift over 20 steps: {e0} → {e1}");
     // Both tuple orders are being computed dynamically.
-    let t = sim.last_stats().tuples;
+    let t = sim.telemetry().tuples;
     assert!(t.pair.accepted > 0 && t.triplet.accepted > 0);
     // Momentum conservation through many-body forces.
     assert!(sim.store().net_force().norm() < 1e-7);
