@@ -11,9 +11,14 @@
 //!      `cargo run -p sc-bench --release --bin fig9_strong_scaling -- bgq`
 //!      `... -- --measured` (in-process distributed runs with phase timers)
 //!      `... -- --measured --faults 4` (additionally seed 4 transport faults)
+//!      `... -- --measured --trace DIR` (write Chrome Trace timelines)
 //!
 //! `--measured` also emits one telemetry JSON line per method (the
-//! `sc_md::Telemetry` layout pinned by `schema/metrics.schema.json`).
+//! `sc_md::Telemetry` layout pinned by `schema/metrics.schema.json`),
+//! including the per-rank phase breakdowns and the load-imbalance report.
+//! With `--trace DIR` each method's run additionally records event-level
+//! traces and writes `DIR/fig9_<method>_rank<r>.json` (one timeline per
+//! rank) plus the merged `DIR/fig9_<method>.json`.
 
 use sc_md::Method;
 use sc_netmodel::{MachineProfile, MdCostModel, SilicaWorkload};
@@ -28,7 +33,11 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .map(|v| v.parse::<usize>().expect("--faults takes a count"))
             .unwrap_or(0);
-        measured(n_faults);
+        let trace_dir = args
+            .iter()
+            .position(|a| a == "--trace")
+            .map(|i| args.get(i + 1).expect("--trace takes a directory").clone());
+        measured(n_faults, trace_dir.as_deref());
         return;
     }
     let (profile, n_total, cores, ref_cores): (MachineProfile, f64, Vec<usize>, usize) = if arg
@@ -82,14 +91,18 @@ fn main() {
 /// and the per-rank compute breakdown underneath it. With `n_faults > 0`,
 /// an extra SC-MD run seeds that many transport faults and reports the
 /// retry/fault counters; without it those sections are omitted entirely.
-fn measured(n_faults: usize) {
+fn measured(n_faults: usize, trace_dir: Option<&str>) {
     use sc_bench::fmt_time;
     use sc_geom::IVec3;
     use sc_md::build_silica_like;
-    use sc_obs::Registry;
+    use sc_obs::{chrome_trace, Registry, Tracer};
     use sc_parallel::rank::ForceField;
     use sc_parallel::DistributedSim;
     use sc_potential::Vashishta;
+
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(dir).expect("trace directory is creatable");
+    }
 
     let v = Vashishta::silica();
     let masses = v.params().masses;
@@ -101,6 +114,7 @@ fn measured(n_faults: usize) {
     );
     let mut breakdowns = vec![];
     let mut telemetry_lines = vec![];
+    let mut imbalance_tables = vec![];
     for method in Method::ALL {
         let (store, bbox) = build_silica_like(4, 7.16, masses, 0.01, 7);
         let atoms = store.len();
@@ -113,7 +127,26 @@ fn measured(n_faults: usize) {
         let mut d = DistributedSim::new(store, bbox, IVec3::splat(2), ff, 0.001)
             .expect("valid distributed setup");
         d.set_metrics(Registry::new());
+        let tracer = if trace_dir.is_some() { Tracer::new() } else { Tracer::disabled() };
+        d.set_tracer(tracer.clone());
         d.run(steps);
+        if let Some(dir) = trace_dir {
+            let events = tracer.events();
+            // One timeline per rank, plus the merged cross-rank view.
+            let mut ranks: Vec<u32> = events.iter().map(|e| e.rank).collect();
+            ranks.sort_unstable();
+            ranks.dedup();
+            for r in ranks {
+                let per_rank: Vec<_> = events.iter().filter(|e| e.rank == r).copied().collect();
+                let path = format!("{dir}/fig9_{}_rank{r}.json", method.name());
+                std::fs::write(&path, chrome_trace(&per_rank).to_string())
+                    .expect("trace file is writable");
+            }
+            let merged = format!("{dir}/fig9_{}.json", method.name());
+            std::fs::write(&merged, chrome_trace(&events).to_string())
+                .expect("trace file is writable");
+            println!("# traces for {} written under {dir}/", method.name());
+        }
         let t = d.timings();
         println!(
             "{:>6} {:>8}  {}  {}  {}  {}  {}  {:>5.1}%",
@@ -127,7 +160,11 @@ fn measured(n_faults: usize) {
             t.comm_fraction() * 100.0
         );
         breakdowns.push((method, d.phase_breakdown()));
-        telemetry_lines.push(d.telemetry().to_json());
+        let t = d.telemetry();
+        telemetry_lines.push(t.to_json());
+        if let Some(report) = t.imbalance() {
+            imbalance_tables.push((method, report));
+        }
     }
     println!();
     println!("Inside compute (summed per-rank seconds): bin / enumerate / scratch-reduce");
@@ -139,6 +176,12 @@ fn measured(n_faults: usize) {
             fmt_time(p.enumerate_s()),
             fmt_time(p.reduce_s()),
         );
+    }
+    println!();
+    println!("Load imbalance (per-rank compute seconds vs comm wait):");
+    for (method, report) in &imbalance_tables {
+        println!("{}:", method.name());
+        print!("{}", report.render_table());
     }
     println!();
     println!("Telemetry JSON (one line per method):");

@@ -10,7 +10,7 @@ use crate::stats::{EnergyBreakdown, StepStats, TupleCounts};
 use crate::telemetry::{Observer, Telemetry};
 use sc_cell::{AtomStore, CellLattice};
 use sc_geom::{IVec3, SimulationBox, Vec3};
-use sc_obs::{CommCounters, Counter, Phase, PhaseBreakdown, Registry};
+use sc_obs::{CommCounters, Counter, Phase, PhaseBreakdown, Registry, TraceSink, Tracer};
 use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
 use std::time::Instant;
 
@@ -40,6 +40,10 @@ pub struct RuntimeConfig {
     /// Defaults to [`Registry::disabled`], which is allocation-free and
     /// never reads the clock.
     pub metrics: Registry,
+    /// The event tracer phase intervals and markers flow into. Defaults to
+    /// [`Tracer::disabled`], which is likewise allocation-free and never
+    /// reads the clock in the hot path.
+    pub tracer: Tracer,
 }
 
 impl Default for RuntimeConfig {
@@ -49,6 +53,7 @@ impl Default for RuntimeConfig {
             detailed_timing: false,
             verlet_skin: 0.0,
             metrics: Registry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -269,6 +274,8 @@ impl SimulationBuilder {
             detailed_timing: self.runtime.detailed_timing,
             obs: SimMetrics::register(&self.runtime.metrics),
             metrics: self.runtime.metrics,
+            tsink: self.runtime.tracer.sink(0, 0),
+            tracer: self.runtime.tracer,
             total_phases: PhaseBreakdown::new(),
             observer: None,
             last_stats: StepStats::default(),
@@ -342,6 +349,10 @@ pub struct Simulation {
     detailed_timing: bool,
     obs: SimMetrics,
     metrics: Registry,
+    tracer: Tracer,
+    /// The engine's own event sink (rank 0, lane 0); inert when tracing is
+    /// disabled.
+    tsink: TraceSink,
     total_phases: PhaseBreakdown,
     observer: Option<(u64, Box<dyn Observer>)>,
     last_stats: StepStats,
@@ -460,6 +471,13 @@ impl Simulation {
         &self.metrics
     }
 
+    /// The event tracer this simulation emits into (disabled unless one was
+    /// supplied via [`RuntimeConfig::tracer`]). Collect with
+    /// [`Tracer::events`] after a run.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Registers a periodic [`Observer`]: after every `every`-th completed
     /// step, `observer` receives a fresh [`Telemetry`] snapshot. Replaces
     /// any previously registered observer.
@@ -480,6 +498,8 @@ impl Simulation {
     /// [`Simulation::telemetry`]), and feeds every phase and counter into
     /// the configured metrics registry.
     pub fn compute_forces(&mut self) -> Telemetry {
+        // Tracing is branch-guarded: a disabled sink reads no clock here.
+        let trace_t0 = if self.tsink.enabled() { self.tsink.now_ns() } else { 0 };
         self.store.zero_forces();
         let mut energy = EnergyBreakdown::default();
         let mut tuples = TupleCounts::default();
@@ -576,7 +596,31 @@ impl Simulation {
         for (phase, secs) in phases.iter() {
             self.metrics.record_phase(phase, secs);
         }
+        if self.tsink.enabled() {
+            self.trace_computation(trace_t0, &phases);
+        }
         self.telemetry()
+    }
+
+    /// Emits one trace event per [`Phase`] slot for the force computation
+    /// that started at `t0` (tracer-relative nanoseconds): an aggregate
+    /// `Compute` interval spanning the whole computation, then every other
+    /// slot laid out cumulatively in canonical order with its measured
+    /// duration (zero for phases this engine does not exercise, so a trace
+    /// always carries the full taxonomy).
+    fn trace_computation(&self, t0: u64, phases: &PhaseBreakdown) {
+        let step = self.steps_done;
+        let wall_ns = self.tsink.now_ns().saturating_sub(t0);
+        self.tsink.phase(step, Phase::Compute, t0, wall_ns);
+        let mut cursor = t0;
+        for (phase, secs) in phases.iter() {
+            if phase == Phase::Compute {
+                continue;
+            }
+            let dur_ns = (secs * 1e9) as u64;
+            self.tsink.phase(step, phase, cursor, dur_ns);
+            cursor += dur_ns;
+        }
     }
 
     /// Number of allocation events (buffer creations or growths) in the
@@ -796,11 +840,13 @@ impl Simulation {
             // Prime forces so the first half-kick uses real accelerations.
             self.compute_forces();
         }
-        let integrate_start = self.metrics.span(Phase::Integrate);
+        let integrate_start =
+            self.metrics.span_traced(Phase::Integrate, &self.tsink, self.steps_done + 1);
         velocity_verlet_start(&mut self.store, &self.bbox, self.dt);
         drop(integrate_start);
         let mut stats = self.compute_forces();
-        let integrate_finish = self.metrics.span(Phase::Integrate);
+        let integrate_finish =
+            self.metrics.span_traced(Phase::Integrate, &self.tsink, self.steps_done + 1);
         velocity_verlet_finish(&mut self.store, self.dt);
         if let Some((target, c)) = self.thermostat {
             berendsen_rescale(&mut self.store, target, c);
@@ -1653,6 +1699,58 @@ mod tests {
             warm_total,
             "telemetry's combined allocation observable must stay flat"
         );
+        // The default tracer is the inert one: no rings, no events, and
+        // (asserted in sc-obs) no clock reads on any emit path.
+        assert!(!sim.tracer().enabled());
+        assert!(sim.tracer().events().is_empty());
+        assert_eq!(sim.tracer().dropped(), 0);
+    }
+
+    #[test]
+    fn tracing_emits_every_phase_and_integrate_spans() {
+        let tracer = sc_obs::Tracer::new();
+        let v = Vashishta::silica();
+        let masses = v.params().masses;
+        let (store, bbox) = crate::workload::build_silica_like(3, 7.16, masses, 0.01, 7);
+        let mut sim = Simulation::builder(store, bbox)
+            .pair_potential(Box::new(v.pair.clone()))
+            .triplet_potential(Box::new(v.triplet.clone()))
+            .runtime(RuntimeConfig { tracer: tracer.clone(), ..RuntimeConfig::default() })
+            .timestep(0.0005)
+            .build()
+            .unwrap();
+        sim.run(2);
+        assert!(sim.tracer().enabled());
+        let events = tracer.events();
+        // Every slot of the taxonomy appears at least once, including the
+        // comm phases the serial engine never exercises (zero-duration).
+        for phase in Phase::ALL {
+            assert!(
+                events.iter().any(|e| e.kind == sc_obs::EventKind::Phase(phase)),
+                "no trace event for phase {phase:?}"
+            );
+        }
+        // The aggregate Compute interval and the Integrate spans carry real
+        // durations; events are step-stamped.
+        let compute_ns: u64 = events
+            .iter()
+            .filter(|e| e.kind == sc_obs::EventKind::Phase(Phase::Compute))
+            .map(|e| e.dur_ns)
+            .sum();
+        let integrate_ns: u64 = events
+            .iter()
+            .filter(|e| e.kind == sc_obs::EventKind::Phase(Phase::Integrate))
+            .map(|e| e.dur_ns)
+            .sum();
+        assert!(compute_ns > 0);
+        assert!(integrate_ns > 0);
+        assert!(events.iter().any(|e| e.step == 2));
+        assert_eq!(tracer.dropped(), 0);
+        // Merged events arrive sorted by (step, rank, t_ns, lane).
+        let keys: Vec<_> = events.iter().map(|e| (e.step, e.rank, e.t_ns, e.lane)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

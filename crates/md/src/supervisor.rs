@@ -11,7 +11,8 @@
 //! both implement [`Recoverable`].
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
-use sc_obs::Registry;
+use sc_obs::trace::EventKind;
+use sc_obs::{Registry, TraceSink, Tracer};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -76,6 +77,10 @@ pub struct SupervisorConfig {
     /// Disabled by default — [`RecoveryStats`] stays authoritative either
     /// way.
     pub metrics: Registry,
+    /// Event tracer recovery markers (checkpoint / rollback / fault) are
+    /// emitted into, stamped with the engine's current step. Disabled by
+    /// default.
+    pub tracer: Tracer,
 }
 
 impl Default for SupervisorConfig {
@@ -88,6 +93,7 @@ impl Default for SupervisorConfig {
             min_dt: 0.0,
             checkpoint_dir: None,
             metrics: Registry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -143,6 +149,9 @@ impl From<CheckpointError> for SupervisorError {
 /// Drives a [`Recoverable`] engine with guardrails and rollback recovery.
 pub struct Supervisor {
     config: SupervisorConfig,
+    /// The supervisor's event sink (tagged rank 0, lane
+    /// [`u32::MAX`] so recovery markers sit on their own timeline row).
+    tsink: TraceSink,
     stats: RecoveryStats,
     last_good: Option<Checkpoint>,
     /// Total energy at the last checkpoint, the drift reference.
@@ -160,6 +169,7 @@ impl Supervisor {
     /// Creates a supervisor with the given policy.
     pub fn new(config: SupervisorConfig) -> Self {
         Supervisor {
+            tsink: config.tracer.sink(0, u32::MAX),
             config,
             stats: RecoveryStats::default(),
             last_good: None,
@@ -190,6 +200,7 @@ impl Supervisor {
         self.last_good = Some(cp);
         self.stats.checkpoints_saved += 1;
         self.config.metrics.counter("supervisor.checkpoints_saved").inc();
+        self.tsink.instant(sim.steps_done(), EventKind::Checkpoint);
         self.consecutive_rollbacks = 0;
         Ok(())
     }
@@ -233,6 +244,10 @@ impl Supervisor {
         self.consecutive_rollbacks += 1;
         self.stats.rollbacks += 1;
         self.config.metrics.counter("supervisor.rollbacks").inc();
+        self.tsink.instant(sim.steps_done(), EventKind::Rollback);
+        if !physics {
+            self.tsink.instant(sim.steps_done(), EventKind::Fault);
+        }
         if physics {
             self.stats.invariant_violations += 1;
             self.config.metrics.counter("supervisor.invariant_violations").inc();
@@ -419,6 +434,26 @@ mod tests {
         assert_eq!(reg.counter("supervisor.comm_faults").get(), 1);
         assert_eq!(reg.counter("supervisor.invariant_violations").get(), 0);
         assert_eq!(reg.counter("supervisor.checkpoints_saved").get(), s.checkpoints_saved);
+    }
+
+    #[test]
+    fn recovery_markers_reach_the_tracer() {
+        let tracer = Tracer::new();
+        let mut sim = MockSim::new();
+        sim.comm_fail_at = vec![3];
+        let mut sup = Supervisor::new(SupervisorConfig {
+            checkpoint_every: 2,
+            tracer: tracer.clone(),
+            ..Default::default()
+        });
+        sup.run(&mut sim, 6).unwrap();
+        let events = tracer.events();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count() as u64;
+        assert_eq!(count(EventKind::Checkpoint), sup.stats().checkpoints_saved);
+        assert_eq!(count(EventKind::Rollback), sup.stats().rollbacks);
+        assert_eq!(count(EventKind::Fault), sup.stats().comm_faults);
+        // Markers live on the supervisor's own timeline row.
+        assert!(events.iter().all(|e| e.rank == 0 && e.lane == u32::MAX));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::stats::{EnergyBreakdown, TupleCounts};
 use sc_obs::json::Json;
-use sc_obs::{CommCounters, PhaseBreakdown};
+use sc_obs::{CommCounters, ImbalanceReport, PhaseBreakdown};
 
 /// One point-in-time snapshot of everything a simulation reports.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -47,6 +47,15 @@ impl Telemetry {
         self.to_json_value().to_string()
     }
 
+    /// The per-rank load-imbalance report over this snapshot's `per_rank`
+    /// counters; `None` for single-image runs (nothing to compare).
+    pub fn imbalance(&self) -> Option<ImbalanceReport> {
+        if self.per_rank.is_empty() {
+            return None;
+        }
+        Some(ImbalanceReport::from_per_rank(&self.per_rank))
+    }
+
     /// The JSON value behind [`Telemetry::to_json`], for embedding.
     pub fn to_json_value(&self) -> Json {
         let phases = |p: &PhaseBreakdown| {
@@ -71,7 +80,7 @@ impl Telemetry {
                 ("accepted".to_string(), Json::num(v.accepted as f64)),
             ])
         };
-        Json::Obj(vec![
+        let doc = Json::Obj(vec![
             ("step".to_string(), Json::num(self.step as f64)),
             (
                 "energy".to_string(),
@@ -101,13 +110,23 @@ impl Telemetry {
                         .iter()
                         .enumerate()
                         .map(|(rank, c)| {
-                            comm(c, vec![("rank".to_string(), Json::num(rank as f64))])
+                            let mut obj =
+                                comm(c, vec![("rank".to_string(), Json::num(rank as f64))]);
+                            if let Json::Obj(fields) = &mut obj {
+                                fields.push(("phases".to_string(), phases(&c.phases)));
+                            }
+                            obj
                         })
                         .collect(),
                 ),
             ),
             ("alloc_events".to_string(), Json::num(self.alloc_events as f64)),
-        ])
+        ]);
+        let Json::Obj(mut fields) = doc else { unreachable!() };
+        if let Some(report) = self.imbalance() {
+            fields.push(("imbalance".to_string(), report.to_json_value()));
+        }
+        Json::Obj(fields)
     }
 
     /// Renders the snapshot as a small human-readable table.
@@ -176,7 +195,9 @@ mod tests {
         t.phases.add(Phase::Bin, 0.25);
         t.total_phases.add(Phase::Bin, 2.5);
         t.comm.record_send(1, 100);
-        t.per_rank = vec![CommCounters::default(), t.comm.clone()];
+        let mut rank1 = t.comm.clone();
+        rank1.phases.add(Phase::Eval, 0.75);
+        t.per_rank = vec![CommCounters::default(), rank1];
         t.alloc_events = 7;
         let v = Json::parse(&t.to_json()).unwrap();
         assert_eq!(v.get("step").unwrap().as_f64(), Some(42.0));
@@ -188,6 +209,22 @@ mod tests {
         assert_eq!(ranks[1].get("rank").unwrap().as_f64(), Some(1.0));
         assert_eq!(ranks[1].get("bytes").unwrap().as_f64(), Some(100.0));
         assert_eq!(v.get("alloc_events").unwrap().as_f64(), Some(7.0));
+        // Per-rank entries carry their own phase breakdown …
+        let rank_phases = ranks[1].get("phases").unwrap();
+        assert_eq!(rank_phases.get("eval_s").unwrap().as_f64(), Some(0.75));
+        // … and multi-rank snapshots carry the imbalance section.
+        let imb = v.get("imbalance").unwrap();
+        assert_eq!(imb.get("ranks").unwrap().as_f64(), Some(2.0));
+        assert!(imb.get("compute_imbalance").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(imb.get("per_rank").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn single_image_snapshots_omit_imbalance() {
+        let t = Telemetry::default();
+        assert!(t.imbalance().is_none());
+        let v = Json::parse(&t.to_json()).unwrap();
+        assert!(v.get("imbalance").is_none());
     }
 
     #[test]

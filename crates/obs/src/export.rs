@@ -77,23 +77,57 @@ pub fn json_value(snap: &MetricsSnapshot) -> Json {
 }
 
 /// Renders a snapshot in Prometheus text exposition format. Metric names
-/// are sanitized (non-alphanumeric characters become `_`).
+/// are sanitized (non-alphanumeric characters become `_`); every family
+/// gets `# HELP` and `# TYPE` lines per the exposition format.
 pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    prometheus_with_labels(snap, &[])
+}
+
+/// Like [`prometheus`], but attaches `labels` to every sample (e.g.
+/// `[("rank", "3")]` for a per-rank scrape). Label values are escaped per
+/// the exposition format: backslash, double quote, and newline become
+/// `\\`, `\"`, and `\n`.
+pub fn prometheus_with_labels(snap: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
+    let base: String = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    // Renders `{extra,base}` (or `{base}`, `{extra}`, ``) around a sample.
+    let label_set = |extra: &str| -> String {
+        let joined = match (extra.is_empty(), base.is_empty()) {
+            (true, true) => return String::new(),
+            (false, true) => extra.to_string(),
+            (true, false) => base.clone(),
+            (false, false) => format!("{extra},{base}"),
+        };
+        format!("{{{joined}}}")
+    };
     let mut out = String::new();
+    out.push_str("# HELP sc_phase_seconds_total Wall seconds accumulated per step phase.\n");
     out.push_str("# TYPE sc_phase_seconds_total counter\n");
     for (phase, secs) in snap.phases.iter() {
-        let _ = writeln!(out, "sc_phase_seconds_total{{phase=\"{}\"}} {}", phase.name(), secs);
+        let ls = label_set(&format!("phase=\"{}\"", phase.name()));
+        let _ = writeln!(out, "sc_phase_seconds_total{ls} {secs}");
     }
     for (name, value) in &snap.counters {
+        let help = escape_help(name);
         let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        let _ = writeln!(out, "# HELP {name} Counter '{help}' recorded by sc-obs.");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name}{} {value}", label_set(""));
     }
     for (name, value) in &snap.gauges {
+        let help = escape_help(name);
         let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        let _ = writeln!(out, "# HELP {name} Gauge '{help}' recorded by sc-obs.");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{} {value}", label_set(""));
     }
     for h in &snap.histograms {
+        let help = escape_help(&h.name);
         let name = sanitize(&h.name);
+        let _ = writeln!(out, "# HELP {name} Histogram '{help}' recorded by sc-obs.");
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (i, &count) in h.counts.iter().enumerate() {
@@ -102,15 +136,46 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
                 Some(b) => b.to_string(),
                 None => "+Inf".to_string(),
             };
-            let _ = writeln!(out, "{name}_bucket{{le=\"{edge}\"}} {cumulative}");
+            let ls = label_set(&format!("le=\"{edge}\""));
+            let _ = writeln!(out, "{name}_bucket{ls} {cumulative}");
         }
-        let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+        let ls = label_set("");
+        let _ = writeln!(out, "{name}_sum{ls} {}\n{name}_count{ls} {}", h.sum, h.count);
     }
     out
 }
 
 fn sanitize(name: &str) -> String {
     name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// Escapes a label value per the exposition format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the exposition format: `\` → `\\`, newline →
+/// `\n` (quotes are legal in help text).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -170,6 +235,7 @@ comm.step_bytes                     n=3 sum=5550
     fn prometheus_golden() {
         let text = prometheus(&golden_registry().snapshot());
         let expected = "\
+# HELP sc_phase_seconds_total Wall seconds accumulated per step phase.
 # TYPE sc_phase_seconds_total counter
 sc_phase_seconds_total{phase=\"bin\"} 0.5
 sc_phase_seconds_total{phase=\"exchange\"} 0
@@ -179,12 +245,16 @@ sc_phase_seconds_total{phase=\"reduce\"} 0
 sc_phase_seconds_total{phase=\"migrate\"} 0
 sc_phase_seconds_total{phase=\"integrate\"} 0
 sc_phase_seconds_total{phase=\"compute\"} 0
+# HELP comm_bytes Counter 'comm.bytes' recorded by sc-obs.
 # TYPE comm_bytes counter
 comm_bytes 4096
+# HELP sim_steps Counter 'sim.steps' recorded by sc-obs.
 # TYPE sim_steps counter
 sim_steps 10
+# HELP sim_temperature Gauge 'sim.temperature' recorded by sc-obs.
 # TYPE sim_temperature gauge
 sim_temperature 1.5
+# HELP comm_step_bytes Histogram 'comm.step_bytes' recorded by sc-obs.
 # TYPE comm_step_bytes histogram
 comm_step_bytes_bucket{le=\"100\"} 1
 comm_step_bytes_bucket{le=\"1000\"} 2
@@ -193,5 +263,45 @@ comm_step_bytes_sum 5550
 comm_step_bytes_count 3
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values_golden() {
+        let reg = Registry::new();
+        reg.counter("sim.steps").add(3);
+        let h = reg.histogram("lat", &[1.0]);
+        h.observe(0.5);
+        // A hostile label value: backslash, double quote, and a newline.
+        let text = prometheus_with_labels(&reg.snapshot(), &[("run id", "a\\b\"quoted\"\nline2")]);
+        let expected = "\
+# HELP sc_phase_seconds_total Wall seconds accumulated per step phase.
+# TYPE sc_phase_seconds_total counter
+sc_phase_seconds_total{phase=\"bin\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 0
+sc_phase_seconds_total{phase=\"exchange\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 0
+sc_phase_seconds_total{phase=\"enumerate\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 0
+sc_phase_seconds_total{phase=\"eval\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 0
+sc_phase_seconds_total{phase=\"reduce\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 0
+sc_phase_seconds_total{phase=\"migrate\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 0
+sc_phase_seconds_total{phase=\"integrate\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 0
+sc_phase_seconds_total{phase=\"compute\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 0
+# HELP sim_steps Counter 'sim.steps' recorded by sc-obs.
+# TYPE sim_steps counter
+sim_steps{run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 3
+# HELP lat Histogram 'lat' recorded by sc-obs.
+# TYPE lat histogram
+lat_bucket{le=\"1\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 1
+lat_bucket{le=\"+Inf\",run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 1
+lat_sum{run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 0.5
+lat_count{run_id=\"a\\\\b\\\"quoted\\\"\\nline2\"} 1
+";
+        assert_eq!(text, expected);
+        // No raw newline may survive inside a sample line: every output
+        // line must be a comment, a sample, or empty.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "malformed exposition line: {line:?}"
+            );
+        }
     }
 }

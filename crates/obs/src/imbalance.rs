@@ -1,0 +1,328 @@
+//! Load-imbalance profiling: per-rank × per-phase aggregation producing an
+//! imbalance report.
+//!
+//! Ferrell & Bertschinger's inhomogeneous-distribution results (and the SC
+//! paper's own Fig. 9 efficiency argument) make per-rank load imbalance the
+//! dominant scaling killer: a step is as slow as its slowest rank, so the
+//! observable that matters is the **max/mean compute ratio** across ranks,
+//! together with each rank's **communication-wait fraction** and its ghost
+//! import volume measured against the SC prediction
+//! `Vω = (l + n − 1)³ − l³` (Eq. 33).
+//!
+//! Reports build from either source of per-rank data and agree with each
+//! other by construction:
+//!
+//! - [`ImbalanceReport::from_per_rank`] aggregates the executors'
+//!   [`CommCounters`] (what `Telemetry` carries), or
+//! - [`ImbalanceReport::from_events`] aggregates a merged trace
+//!   ([`crate::TraceEvent`]s) when event-level data is available.
+
+use crate::comm::CommCounters;
+use crate::json::Json;
+use crate::phase::Phase;
+use crate::trace::{EventKind, TraceEvent};
+
+/// The SC import-volume prediction `Vω = (l + n − 1)³ − l³` (Eq. 33) for a
+/// rank sub-box of `l` cells per side computing `n`-tuples: the number of
+/// cells a rank must import beyond the ones it owns.
+pub fn v_omega(l: f64, n: u32) -> f64 {
+    (l + n as f64 - 1.0).powi(3) - l.powi(3)
+}
+
+/// One rank's aggregated load, as seen by an [`ImbalanceReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankLoad {
+    /// Rank id.
+    pub rank: u32,
+    /// Compute seconds (bin + enumerate + eval + aggregate compute).
+    pub compute_s: f64,
+    /// Communication seconds (exchange + migrate + reduce).
+    pub comm_s: f64,
+    /// Ghost atoms imported (the empirical Eq. 31/33 observable).
+    pub ghosts_imported: u64,
+    /// Tuples evaluated by this rank, when the caller supplied them
+    /// (0 when unknown — `CommCounters` does not carry tuple counts).
+    pub tuples: u64,
+}
+
+impl RankLoad {
+    /// Fraction of this rank's accounted time spent waiting on
+    /// communication phases: `comm / (compute + comm)`.
+    pub fn comm_wait_fraction(&self) -> f64 {
+        let total = self.compute_s + self.comm_s;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.comm_s / total
+    }
+}
+
+/// Per-rank load aggregation with the imbalance summary statistics the
+/// paper's scaling argument turns on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ImbalanceReport {
+    /// One entry per rank, sorted by rank id.
+    pub per_rank: Vec<RankLoad>,
+    /// Predicted import volume `Vω` in cells, when the caller supplied the
+    /// sub-box geometry via [`ImbalanceReport::with_import_prediction`].
+    pub predicted_import_cells: Option<f64>,
+}
+
+impl ImbalanceReport {
+    /// Builds a report from per-rank [`CommCounters`] (the form `Telemetry`
+    /// carries). Compute time is each rank's
+    /// [`PhaseBreakdown::compute_total_s`]; comm time is
+    /// exchange + migrate + reduce.
+    pub fn from_per_rank(per_rank: &[CommCounters]) -> ImbalanceReport {
+        let loads = per_rank
+            .iter()
+            .enumerate()
+            .map(|(rank, c)| RankLoad {
+                rank: rank as u32,
+                compute_s: c.phases.compute_total_s() + c.phases.integrate_s(),
+                comm_s: c.phases.exchange_s() + c.phases.migrate_s() + c.phases.reduce_s(),
+                ghosts_imported: c.ghosts_imported,
+                tuples: 0,
+            })
+            .collect();
+        ImbalanceReport { per_rank: loads, predicted_import_cells: None }
+    }
+
+    /// Builds a report from a merged trace by summing each rank's phase
+    /// intervals. Instant events (comm markers, recovery markers) carry no
+    /// duration and do not contribute time.
+    pub fn from_events(events: &[TraceEvent]) -> ImbalanceReport {
+        let mut ranks: Vec<u32> = events.iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        let mut loads: Vec<RankLoad> =
+            ranks.iter().map(|&rank| RankLoad { rank, ..RankLoad::default() }).collect();
+        for ev in events {
+            let load = loads.iter_mut().find(|l| l.rank == ev.rank).unwrap();
+            if let EventKind::Phase(p) = ev.kind {
+                let secs = ev.dur_ns as f64 / 1e9;
+                match p {
+                    Phase::Exchange | Phase::Migrate | Phase::Reduce => load.comm_s += secs,
+                    Phase::Bin
+                    | Phase::Enumerate
+                    | Phase::Eval
+                    | Phase::Integrate
+                    | Phase::Compute => load.compute_s += secs,
+                }
+            }
+        }
+        ImbalanceReport { per_rank: loads, predicted_import_cells: None }
+    }
+
+    /// Attaches per-rank tuple counts (entry `i` goes to `per_rank[i]`).
+    pub fn with_tuples(mut self, tuples: &[u64]) -> ImbalanceReport {
+        for (load, &t) in self.per_rank.iter_mut().zip(tuples) {
+            load.tuples = t;
+        }
+        self
+    }
+
+    /// Attaches the Eq. 33 import-volume prediction for a rank sub-box of
+    /// `l` cells per side under `n`-tuple computation.
+    pub fn with_import_prediction(mut self, l: f64, n: u32) -> ImbalanceReport {
+        self.predicted_import_cells = Some(v_omega(l, n));
+        self
+    }
+
+    /// Number of ranks in the report.
+    pub fn ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Maximum per-rank compute seconds.
+    pub fn max_compute_s(&self) -> f64 {
+        self.per_rank.iter().map(|l| l.compute_s).fold(0.0, f64::max)
+    }
+
+    /// Mean per-rank compute seconds.
+    pub fn mean_compute_s(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.per_rank.iter().map(|l| l.compute_s).sum::<f64>() / self.per_rank.len() as f64
+    }
+
+    /// The load-imbalance ratio `max / mean` over per-rank compute time —
+    /// 1.0 is perfectly balanced; a step is as slow as its slowest rank, so
+    /// parallel efficiency is bounded by `1 / ratio`.
+    pub fn compute_imbalance(&self) -> f64 {
+        let mean = self.mean_compute_s();
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        self.max_compute_s() / mean
+    }
+
+    /// Aggregate communication-wait fraction:
+    /// `Σ comm / Σ (compute + comm)` over all ranks.
+    pub fn comm_wait_fraction(&self) -> f64 {
+        let comm: f64 = self.per_rank.iter().map(|l| l.comm_s).sum();
+        let total: f64 = self.per_rank.iter().map(|l| l.compute_s + l.comm_s).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        comm / total
+    }
+
+    /// Total ghost atoms imported across ranks (empirical import volume).
+    pub fn total_ghosts_imported(&self) -> u64 {
+        self.per_rank.iter().map(|l| l.ghosts_imported).sum()
+    }
+
+    /// Renders the report as a JSON object (the `imbalance` telemetry
+    /// section).
+    pub fn to_json_value(&self) -> Json {
+        let per_rank = self
+            .per_rank
+            .iter()
+            .map(|l| {
+                Json::Obj(vec![
+                    ("rank".into(), Json::num(l.rank as f64)),
+                    ("compute_s".into(), Json::num(l.compute_s)),
+                    ("comm_s".into(), Json::num(l.comm_s)),
+                    ("comm_wait_fraction".into(), Json::num(l.comm_wait_fraction())),
+                    ("ghosts_imported".into(), Json::num(l.ghosts_imported as f64)),
+                    ("tuples".into(), Json::num(l.tuples as f64)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("ranks".to_string(), Json::num(self.ranks() as f64)),
+            ("max_compute_s".to_string(), Json::num(self.max_compute_s())),
+            ("mean_compute_s".to_string(), Json::num(self.mean_compute_s())),
+            ("compute_imbalance".to_string(), Json::num(self.compute_imbalance())),
+            ("comm_wait_fraction".to_string(), Json::num(self.comm_wait_fraction())),
+            ("ghosts_imported".to_string(), Json::num(self.total_ghosts_imported() as f64)),
+            ("per_rank".to_string(), Json::Arr(per_rank)),
+        ];
+        if let Some(v) = self.predicted_import_cells {
+            fields.insert(6, ("predicted_import_cells".to_string(), Json::num(v)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Renders the report as a fixed-width human table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "load imbalance over {} rank(s): max/mean compute = {:.3}, comm-wait = {:.1}%\n",
+            self.ranks(),
+            self.compute_imbalance(),
+            self.comm_wait_fraction() * 100.0
+        ));
+        if let Some(v) = self.predicted_import_cells {
+            out.push_str(&format!("predicted import volume (Eq. 33): {v:.1} cells\n"));
+        }
+        out.push_str("rank     compute_s        comm_s  comm-wait%        ghosts        tuples\n");
+        for l in &self.per_rank {
+            out.push_str(&format!(
+                "{:>4}  {:>12.6}  {:>12.6}  {:>9.1}%  {:>12}  {:>12}\n",
+                l.rank,
+                l.compute_s,
+                l.comm_s,
+                l.comm_wait_fraction() * 100.0,
+                l.ghosts_imported,
+                l.tuples
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(compute_s: f64, comm_s: f64, ghosts: u64) -> CommCounters {
+        let mut c = CommCounters::default();
+        c.phases.add(Phase::Eval, compute_s * 0.75);
+        c.phases.add(Phase::Bin, compute_s * 0.25);
+        c.phases.add(Phase::Exchange, comm_s * 0.5);
+        c.phases.add(Phase::Reduce, comm_s * 0.5);
+        c.ghosts_imported = ghosts;
+        c
+    }
+
+    #[test]
+    fn v_omega_matches_eq_33() {
+        // l=8, n=2: (8+1)³ − 8³ = 729 − 512 = 217.
+        assert_eq!(v_omega(8.0, 2), 217.0);
+        // l=8, n=3: 10³ − 8³ = 488.
+        assert_eq!(v_omega(8.0, 3), 488.0);
+        // Degenerate n=1: no import at all.
+        assert_eq!(v_omega(8.0, 1), 0.0);
+    }
+
+    #[test]
+    fn report_from_counters_computes_ratio_and_wait() {
+        let ranks = vec![counters(2.0, 0.5, 100), counters(1.0, 0.5, 80), counters(1.0, 1.0, 120)];
+        let rep = ImbalanceReport::from_per_rank(&ranks).with_tuples(&[10, 20, 30]);
+        assert_eq!(rep.ranks(), 3);
+        assert!((rep.max_compute_s() - 2.0).abs() < 1e-12);
+        assert!((rep.mean_compute_s() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rep.compute_imbalance() - 1.5).abs() < 1e-12);
+        // Σcomm / Σtotal = 2.0 / 6.0.
+        assert!((rep.comm_wait_fraction() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(rep.total_ghosts_imported(), 300);
+        assert_eq!(rep.per_rank[1].tuples, 20);
+        // Per-rank wait fraction of rank 2: 1.0 / 2.0.
+        assert!((rep.per_rank[2].comm_wait_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_from_events_agrees_with_counters() {
+        let mk = |rank: u32, phase: Phase, dur_ns: u64| TraceEvent {
+            t_ns: 0,
+            dur_ns,
+            step: 1,
+            rank,
+            lane: 0,
+            kind: EventKind::Phase(phase),
+        };
+        let events = vec![
+            mk(0, Phase::Eval, 2_000_000_000),
+            mk(0, Phase::Exchange, 500_000_000),
+            mk(1, Phase::Eval, 1_000_000_000),
+            mk(1, Phase::Reduce, 500_000_000),
+        ];
+        let rep = ImbalanceReport::from_events(&events);
+        assert_eq!(rep.ranks(), 2);
+        assert!((rep.per_rank[0].compute_s - 2.0).abs() < 1e-9);
+        assert!((rep.per_rank[0].comm_s - 0.5).abs() < 1e-9);
+        assert!((rep.per_rank[1].comm_wait_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        let from_counters =
+            ImbalanceReport::from_per_rank(&[counters(2.0, 0.5, 0), counters(1.0, 0.5, 0)]);
+        assert!((rep.compute_imbalance() - from_counters.compute_imbalance()).abs() < 1e-9);
+        assert!((rep.comm_wait_fraction() - from_counters.comm_wait_fraction()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let rep = ImbalanceReport::from_per_rank(&[counters(1.0, 0.25, 42)])
+            .with_import_prediction(8.0, 2);
+        let v = rep.to_json_value();
+        assert_eq!(v.get("ranks").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("predicted_import_cells").unwrap().as_f64(), Some(217.0));
+        let per_rank = v.get("per_rank").unwrap().as_array().unwrap();
+        assert_eq!(per_rank[0].get("ghosts_imported").unwrap().as_f64(), Some(42.0));
+        // Round-trips through the writer/parser.
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        let table = rep.render_table();
+        assert!(table.contains("max/mean compute"));
+        assert!(table.contains("Eq. 33"));
+        assert!(table.contains("42"));
+    }
+
+    #[test]
+    fn empty_report_is_neutral() {
+        let rep = ImbalanceReport::from_per_rank(&[]);
+        assert_eq!(rep.compute_imbalance(), 1.0);
+        assert_eq!(rep.comm_wait_fraction(), 0.0);
+        assert_eq!(rep.ranks(), 0);
+    }
+}

@@ -28,12 +28,16 @@
 
 mod comm;
 mod export;
+mod imbalance;
 pub mod json;
 mod phase;
 mod registry;
 pub mod schema;
+pub mod trace;
 
 pub use comm::CommCounters;
-pub use export::{human_table, json_line, json_value, prometheus};
+pub use export::{human_table, json_line, json_value, prometheus, prometheus_with_labels};
+pub use imbalance::{v_omega, ImbalanceReport, RankLoad};
 pub use phase::{Phase, PhaseBreakdown};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Span};
+pub use trace::{chrome_trace, CommChannel, EventKind, TraceEvent, TraceSink, Tracer};

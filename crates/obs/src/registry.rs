@@ -16,6 +16,7 @@
 //!   components can share a series.
 
 use crate::phase::{Phase, PhaseBreakdown};
+use crate::trace::TraceSink;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -124,7 +125,23 @@ impl Registry {
     /// a disabled registry the span is inert and the clock is never read.
     #[must_use = "a span records on drop; binding it to _ discards the timing"]
     pub fn span(&self, phase: Phase) -> Span {
-        Span { rec: self.inner.as_ref().map(|inner| (inner.clone(), phase, Instant::now())) }
+        Span {
+            inner: self.inner.clone(),
+            trace: None,
+            phase,
+            start: self.inner.is_some().then(Instant::now),
+        }
+    }
+
+    /// Like [`Registry::span`], but the span additionally emits a
+    /// [`crate::TraceEvent`] for `phase` into `sink` on drop, stamped with
+    /// `step`. When both the registry and the sink are disabled the span is
+    /// fully inert and the clock is never read.
+    #[must_use = "a span records on drop; binding it to _ discards the timing"]
+    pub fn span_traced(&self, phase: Phase, sink: &TraceSink, step: u64) -> Span {
+        let trace = sink.enabled().then(|| (sink.clone(), step, sink.now_ns()));
+        let start = (self.inner.is_some() || trace.is_some()).then(Instant::now);
+        Span { inner: self.inner.clone(), trace, phase, start }
     }
 
     /// Add an externally-measured duration (in seconds) to a phase slot.
@@ -307,16 +324,28 @@ impl Histogram {
 }
 
 /// A scoped phase timer; records elapsed wall time into its phase slot when
-/// dropped. Obtained from [`Registry::span`].
+/// dropped, and (if obtained from [`Registry::span_traced`]) also emits a
+/// trace event covering the interval. Obtained from [`Registry::span`].
 #[derive(Debug)]
 pub struct Span {
-    rec: Option<(Arc<Inner>, Phase, Instant)>,
+    inner: Option<Arc<Inner>>,
+    /// `(sink, step, start_ns)` when trace emission is armed.
+    trace: Option<(TraceSink, u64, u64)>,
+    phase: Phase,
+    /// `None` when both the registry and the trace are disabled — the clock
+    /// is never read for a fully-inert span.
+    start: Option<Instant>,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((inner, phase, start)) = self.rec.take() {
-            inner.add_phase_ns(phase, start.elapsed().as_nanos() as u64);
+        let Some(start) = self.start.take() else { return };
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        if let Some(inner) = self.inner.take() {
+            inner.add_phase_ns(self.phase, elapsed_ns);
+        }
+        if let Some((sink, step, start_ns)) = self.trace.take() {
+            sink.phase(step, self.phase, start_ns, elapsed_ns);
         }
     }
 }

@@ -13,7 +13,7 @@ use sc_geom::{IVec3, SimulationBox};
 use sc_md::checkpoint::Checkpoint;
 use sc_md::supervisor::Recoverable;
 use sc_md::{EnergyBreakdown, LaneSlots, Observer, StepPhases, Telemetry, ThreadPool, TupleCounts};
-use sc_obs::{Counter, Histogram, Phase, Registry};
+use sc_obs::{Counter, Histogram, Phase, Registry, TraceSink, Tracer};
 
 /// Retries after a failed delivery before escalating (so each hop gets
 /// `1 + MAX_RETRIES` attempts). Two retries cover every single-fault
@@ -94,6 +94,12 @@ pub struct DistributedSim {
     results: Vec<(EnergyBreakdown, TupleCounts, StepPhases)>,
     registry: Registry,
     obs: DistMetrics,
+    tracer: Tracer,
+    /// One event sink per rank (per-rank compute phases and comm events).
+    tsinks: Vec<TraceSink>,
+    /// Executor-level sink for the synchronous wall-clock phases, tagged
+    /// with the synthetic rank `nranks` so it gets its own timeline row.
+    exec_sink: TraceSink,
     /// Aggregate counters at the end of the previous step, so the registry
     /// is fed per-step deltas rather than re-counted totals.
     last_totals: CommStats,
@@ -213,6 +219,9 @@ impl DistributedSim {
             results: vec![Default::default(); nranks],
             obs: DistMetrics::register(&registry),
             registry,
+            tracer: Tracer::disabled(),
+            tsinks: vec![TraceSink::disabled(); nranks],
+            exec_sink: TraceSink::disabled(),
             last_totals: CommStats::default(),
             observer: None,
         })
@@ -231,6 +240,25 @@ impl DistributedSim {
     /// [`DistributedSim::set_metrics`] installed a live one).
     pub fn metrics(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Routes event-level tracing through `tracer`: one sink per rank
+    /// carries that rank's comm send/recv events and its compute-phase
+    /// intervals, and an extra sink tagged with the synthetic rank
+    /// `nranks` carries the executor's synchronous wall-clock phases on
+    /// its own timeline row. Rings are allocated once here; emitting
+    /// during stepping never allocates.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        let nranks = self.ranks.len();
+        self.tsinks = (0..nranks).map(|r| tracer.sink(r as u32, 0)).collect();
+        self.exec_sink = tracer.sink(nranks as u32, 0);
+        self.tracer = tracer;
+    }
+
+    /// The tracer in use (disabled unless [`DistributedSim::set_tracer`]
+    /// installed a live one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Registers a telemetry observer invoked with a fresh
@@ -385,8 +413,10 @@ impl DistributedSim {
                 let (to_minus, to_plus) = self.ranks[r].collect_migrants(axis);
                 for (dir, atoms) in [(-1, to_minus), (1, to_plus)] {
                     let to = self.grid.neighbor(r, axis, dir);
-                    self.ranks[r].stats.record_send(to, atoms.len() as u64 * AtomMsg::WIRE_BYTES);
+                    let bytes = atoms.len() as u64 * AtomMsg::WIRE_BYTES;
+                    self.ranks[r].stats.record_send(to, bytes);
                     let channel = Channel::Migrate { axis, dir };
+                    self.tsinks[r].send(epoch, channel.trace_class(), to as u32, bytes, epoch);
                     let msg = Message::stamped(self.phase, epoch, channel, Payload::Migrate(atoms));
                     let got = deliver_validated(
                         &mut self.fault_plan,
@@ -400,6 +430,7 @@ impl DistributedSim {
                     let Payload::Migrate(atoms) = got.payload else {
                         return Err(RuntimeError::WrongPayload { rank: to, channel });
                     };
+                    self.tsinks[to].recv(epoch, channel.trace_class(), r as u32, bytes, epoch);
                     inbox.push((to, atoms));
                 }
             }
@@ -423,7 +454,9 @@ impl DistributedSim {
             for r in 0..self.ranks.len() {
                 let band = self.ranks[r].collect_ghost_band(&self.plan, axis, recv_dir);
                 let to = self.grid.neighbor(r, axis, -recv_dir);
-                self.ranks[r].stats.record_send(to, band.len() as u64 * GhostMsg::WIRE_BYTES);
+                let bytes = band.len() as u64 * GhostMsg::WIRE_BYTES;
+                self.ranks[r].stats.record_send(to, bytes);
+                self.tsinks[r].send(epoch, channel.trace_class(), to as u32, bytes, epoch);
                 let msg = Message::stamped(self.phase, epoch, channel, Payload::Ghosts(band));
                 let got = deliver_validated(
                     &mut self.fault_plan,
@@ -437,6 +470,7 @@ impl DistributedSim {
                 let Payload::Ghosts(ghosts) = got.payload else {
                     return Err(RuntimeError::WrongPayload { rank: to, channel });
                 };
+                self.tsinks[to].recv(epoch, channel.trace_class(), r as u32, bytes, epoch);
                 inbox.push((to, r, ghosts));
             }
             for (to, from, ghosts) in inbox {
@@ -457,7 +491,9 @@ impl DistributedSim {
             for r in 0..self.ranks.len() {
                 let (forces, to) = self.ranks[r].collect_ghost_forces(hop);
                 let to = to.unwrap_or_else(|| self.grid.neighbor(r, axis, recv_dir));
-                self.ranks[r].stats.record_send(to, forces.len() as u64 * ForceMsg::WIRE_BYTES);
+                let bytes = forces.len() as u64 * ForceMsg::WIRE_BYTES;
+                self.ranks[r].stats.record_send(to, bytes);
+                self.tsinks[r].send(epoch, channel.trace_class(), to as u32, bytes, epoch);
                 let msg = Message::stamped(self.phase, epoch, channel, Payload::Forces(forces));
                 let got = deliver_validated(
                     &mut self.fault_plan,
@@ -471,6 +507,7 @@ impl DistributedSim {
                 let Payload::Forces(forces) = got.payload else {
                     return Err(RuntimeError::WrongPayload { rank: to, channel });
                 };
+                self.tsinks[to].recv(epoch, channel.trace_class(), r as u32, bytes, epoch);
                 inbox.push((to, forces));
             }
             for (to, forces) in inbox {
@@ -485,6 +522,7 @@ impl DistributedSim {
         let t0 = std::time::Instant::now();
         self.exchange_ghosts()?;
         let t1 = std::time::Instant::now();
+        let t1_ns = if self.tracer.enabled() { self.exec_sink.now_ns() } else { 0 };
         self.record_wall(Phase::Exchange, (t1 - t0).as_secs_f64());
         let mut energy = EnergyBreakdown::default();
         let mut tuples = TupleCounts::default();
@@ -515,6 +553,22 @@ impl DistributedSim {
         }
         let t2 = std::time::Instant::now();
         self.record_wall(Phase::Compute, (t2 - t1).as_secs_f64());
+        if self.tracer.enabled() {
+            // Per-rank fine-grained compute phases, laid out cumulatively
+            // from the fan-out start so each rank's row shows its own
+            // bin / enumerate / eval / reduce split.
+            let step = self.steps_done;
+            for (r, (_, _, phases)) in self.results.iter().enumerate() {
+                let mut cursor = t1_ns;
+                for (phase, secs) in phases.iter() {
+                    let dur_ns = (secs * 1e9) as u64;
+                    if dur_ns > 0 {
+                        self.tsinks[r].phase(step, phase, cursor, dur_ns);
+                        cursor += dur_ns;
+                    }
+                }
+            }
+        }
         self.reduce_forces()?;
         self.record_wall(Phase::Reduce, t2.elapsed().as_secs_f64());
         self.last_energy = energy;
@@ -566,6 +620,11 @@ impl DistributedSim {
     fn record_wall(&mut self, phase: Phase, secs: f64) {
         self.timings.add(phase, secs);
         self.registry.record_phase(phase, secs);
+        if self.exec_sink.enabled() {
+            let dur_ns = (secs * 1e9) as u64;
+            let now = self.exec_sink.now_ns();
+            self.exec_sink.phase(self.steps_done, phase, now.saturating_sub(dur_ns), dur_ns);
+        }
     }
 
     /// Feeds the step's communication deltas into the registry.

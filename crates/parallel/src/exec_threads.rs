@@ -17,7 +17,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
 use sc_md::EnergyBreakdown;
-use sc_obs::{Phase, Registry};
+use sc_obs::{Phase, Registry, TraceSink, Tracer};
 use std::sync::Arc;
 
 /// A wire message tagged with its sending rank.
@@ -86,6 +86,19 @@ impl ThreadedSim {
         dt: f64,
         steps: usize,
     ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
+        Self::run_inner(store, bbox, pdims, ff, dt, steps, &Tracer::disabled())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner(
+        store: AtomStore,
+        bbox: SimulationBox,
+        pdims: IVec3,
+        ff: ForceField,
+        dt: f64,
+        steps: usize,
+        tracer: &Tracer,
+    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
         // Reuse the BSP constructor's validation by building it (cheap) —
         // the threaded run then constructs its own states.
         let grid = RankGrid::try_new(pdims, bbox)?;
@@ -119,11 +132,10 @@ impl ThreadedSim {
                     let rx = rxs.remove(0);
                     let plan = plan.clone();
                     let ff = Arc::clone(&ff);
-                    handles.push(
-                        scope.spawn(move || {
-                            rank_main(state, rank, grid, plan, ff, txs, rx, dt, steps)
-                        }),
-                    );
+                    let tsink = tracer.sink(rank as u32, 0);
+                    handles.push(scope.spawn(move || {
+                        rank_main(state, rank, grid, plan, ff, txs, rx, dt, steps, tsink)
+                    }));
                 }
                 handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
             });
@@ -163,7 +175,26 @@ impl ThreadedSim {
         steps: usize,
         registry: &Registry,
     ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
-        let (out, energy, stats) = ThreadedSim::run(store, bbox, pdims, ff, dt, steps)?;
+        Self::run_observed(store, bbox, pdims, ff, dt, steps, registry, &Tracer::disabled())
+    }
+
+    /// Like [`ThreadedSim::run_with_metrics`], additionally routing
+    /// event-level traces through `tracer`: each rank thread writes its
+    /// phase intervals and comm send/recv events into its own per-thread
+    /// sink, so the merged timeline shows the true concurrent schedule.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed(
+        store: AtomStore,
+        bbox: SimulationBox,
+        pdims: IVec3,
+        ff: ForceField,
+        dt: f64,
+        steps: usize,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
+        let (out, energy, stats) =
+            ThreadedSim::run_inner(store, bbox, pdims, ff, dt, steps, tracer)?;
         registry.counter("dist.steps").add(steps as u64);
         registry.counter("comm.messages").add(stats.messages);
         registry.counter("comm.bytes").add(stats.bytes);
@@ -192,6 +223,7 @@ fn rank_main(
     rx: Receiver<Wire>,
     dt: f64,
     steps: usize,
+    tsink: TraceSink,
 ) -> Result<(RankState, EnergyBreakdown), RuntimeError> {
     let mut mailbox = Mailbox { rank, rx, pending: Vec::new() };
     let mut phase = 0u64;
@@ -203,7 +235,9 @@ fn rank_main(
                 epoch: u64,
                 channel: Channel,
                 payload: Payload| {
-        state.stats.record_send(to, payload.wire_bytes());
+        let bytes = payload.wire_bytes();
+        state.stats.record_send(to, bytes);
+        tsink.send(epoch, channel.trace_class(), to as u32, bytes, epoch);
         // A send can fail only when the peer already unwound with its own
         // error; this rank then errors on its next receive.
         let _ = txs[to].send((rank, Message::stamped(phase, epoch, channel, payload)));
@@ -215,6 +249,7 @@ fn rank_main(
                                 mailbox: &mut Mailbox|
      -> Result<EnergyBreakdown, RuntimeError> {
         let t_exchange = std::time::Instant::now();
+        let ex0 = tsink.now_ns();
         state.drop_ghosts();
         for (hop, &(axis, recv_dir)) in plan.hops.iter().enumerate() {
             let band = state.collect_ghost_band(&plan, axis, recv_dir);
@@ -222,6 +257,7 @@ fn rank_main(
             let channel = Channel::Ghosts { hop };
             send(state, to, *phase, epoch, channel, Payload::Ghosts(band));
             let (from, payload) = mailbox.recv_validated(*phase, epoch, channel)?;
+            tsink.recv(epoch, channel.trace_class(), from as u32, payload.wire_bytes(), epoch);
             let Payload::Ghosts(g) = payload else {
                 return Err(RuntimeError::WrongPayload { rank, channel });
             };
@@ -229,15 +265,31 @@ fn rank_main(
             *phase += 1;
         }
         state.stats.phases.add(Phase::Exchange, t_exchange.elapsed().as_secs_f64());
-        let (energy, _tuples, _phases) = state.compute_forces(&ff);
+        tsink.phase(epoch, Phase::Exchange, ex0, tsink.now_ns().saturating_sub(ex0));
+        let c0 = tsink.now_ns();
+        let (energy, _tuples, phases) = state.compute_forces(&ff);
+        if tsink.enabled() {
+            // Fine-grained compute sub-phases, laid out cumulatively from
+            // the compute start on this rank's own timeline row.
+            let mut cursor = c0;
+            for (p, secs) in phases.iter() {
+                let dur_ns = (secs * 1e9) as u64;
+                if dur_ns > 0 {
+                    tsink.phase(epoch, p, cursor, dur_ns);
+                    cursor += dur_ns;
+                }
+            }
+        }
         let t_reduce = std::time::Instant::now();
+        let r0 = tsink.now_ns();
         for hop in (0..plan.hops.len()).rev() {
             let (axis, recv_dir) = plan.hops[hop];
             let (forces, to) = state.collect_ghost_forces(hop);
             let to = to.unwrap_or_else(|| grid.neighbor(rank, axis, recv_dir));
             let channel = Channel::Forces { hop };
             send(state, to, *phase, epoch, channel, Payload::Forces(forces));
-            let (_, payload) = mailbox.recv_validated(*phase, epoch, channel)?;
+            let (from, payload) = mailbox.recv_validated(*phase, epoch, channel)?;
+            tsink.recv(epoch, channel.trace_class(), from as u32, payload.wire_bytes(), epoch);
             let Payload::Forces(f) = payload else {
                 return Err(RuntimeError::WrongPayload { rank, channel });
             };
@@ -247,6 +299,7 @@ fn rank_main(
         // The reverse ghost-force reduction is communication too; fold
         // it into the exchange phase of this rank's breakdown.
         state.stats.phases.add(Phase::Exchange, t_reduce.elapsed().as_secs_f64());
+        tsink.phase(epoch, Phase::Reduce, r0, tsink.now_ns().saturating_sub(r0));
         Ok(energy)
     };
 
@@ -256,9 +309,12 @@ fn rank_main(
             // Prime forces; the energy is superseded by the in-step cycle.
             let _ = exchange_and_compute(&mut state, &mut phase, epoch, &mut mailbox)?;
         }
+        let i0 = tsink.now_ns();
         state.vv_start(dt);
         state.drop_ghosts();
+        tsink.phase(epoch, Phase::Integrate, i0, tsink.now_ns().saturating_sub(i0));
         // Migration, axis by axis.
+        let m0 = tsink.now_ns();
         for axis in 0..3 {
             let (to_minus, to_plus) = state.collect_migrants(axis);
             let minus = grid.neighbor(rank, axis, -1);
@@ -276,7 +332,8 @@ fn rank_main(
             for _ in 0..2 {
                 // Two deliveries share this phase (one per side); the stamp
                 // check matches on the axis.
-                let (_, payload) = mailbox.recv_validated(phase, epoch, channel)?;
+                let (from, payload) = mailbox.recv_validated(phase, epoch, channel)?;
+                tsink.recv(epoch, channel.trace_class(), from as u32, payload.wire_bytes(), epoch);
                 let Payload::Migrate(a) = payload else {
                     return Err(RuntimeError::WrongPayload { rank, channel });
                 };
@@ -284,8 +341,11 @@ fn rank_main(
             }
             phase += 1;
         }
+        tsink.phase(epoch, Phase::Migrate, m0, tsink.now_ns().saturating_sub(m0));
         last_energy = exchange_and_compute(&mut state, &mut phase, epoch, &mut mailbox)?;
+        let f0 = tsink.now_ns();
         state.vv_finish(dt);
+        tsink.phase(epoch, Phase::Integrate, f0, tsink.now_ns().saturating_sub(f0));
     }
     Ok((state, last_energy))
 }

@@ -82,6 +82,16 @@ pub enum Channel {
 }
 
 impl Channel {
+    /// The trace channel class of this message channel (the taxonomy the
+    /// event tracer records with each send/recv).
+    pub fn trace_class(self) -> sc_obs::CommChannel {
+        match self {
+            Channel::Migrate { .. } => sc_obs::CommChannel::Migrate,
+            Channel::Ghosts { .. } => sc_obs::CommChannel::Ghosts,
+            Channel::Forces { .. } => sc_obs::CommChannel::Forces,
+        }
+    }
+
     /// Folds the channel identity into a checksum accumulator.
     fn hash_into(self, h: &mut u64) {
         match self {

@@ -478,3 +478,139 @@ fn threaded_run_with_metrics_reports_totals() {
     assert!(reg.phase_s(Phase::Exchange) > 0.0, "threaded exchange wall time is reported");
     assert!(reg.phase_s(Phase::Bin) > 0.0);
 }
+
+#[test]
+fn bsp_trace_events_agree_with_comm_counters() {
+    use sc_obs::{EventKind, Tracer};
+
+    let (store, bbox) = lj_system();
+    let mut d =
+        DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(Method::ShiftCollapse), 0.002)
+            .unwrap();
+    let tracer = Tracer::new();
+    d.set_tracer(tracer.clone());
+    d.run(2);
+    assert_eq!(tracer.dropped(), 0, "the default ring holds a short run without wrapping");
+
+    let events = tracer.events();
+    let nranks = 8u32;
+    // Every send the stats counted is on the timeline, rank by rank, with
+    // matching byte totals — and every send has a matching receive.
+    for (r, stats) in d.rank_stats().iter().enumerate() {
+        let sends: Vec<_> = events
+            .iter()
+            .filter(|e| e.rank == r as u32 && matches!(e.kind, EventKind::Send { .. }))
+            .collect();
+        assert_eq!(sends.len() as u64, stats.messages, "rank {r} send count");
+        let bytes: u64 = sends
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Send { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(bytes, stats.bytes, "rank {r} send bytes");
+        let recvs = events
+            .iter()
+            .filter(|e| e.rank == r as u32 && matches!(e.kind, EventKind::Recv { .. }))
+            .count();
+        assert!(recvs > 0, "rank {r} received something");
+        // Each rank's row carries its fine-grained compute phases.
+        assert!(
+            events.iter().any(|e| e.rank == r as u32
+                && matches!(e.kind, EventKind::Phase(p) if p == sc_obs::Phase::Bin)),
+            "rank {r} binning interval traced"
+        );
+    }
+    // The executor's synchronous wall phases land on the synthetic
+    // rank-`nranks` row.
+    for phase in [
+        sc_obs::Phase::Exchange,
+        sc_obs::Phase::Compute,
+        sc_obs::Phase::Reduce,
+        sc_obs::Phase::Integrate,
+        sc_obs::Phase::Migrate,
+    ] {
+        assert!(
+            events.iter().any(|e| e.rank == nranks && e.kind == EventKind::Phase(phase)),
+            "executor row traced {}",
+            phase.name()
+        );
+    }
+}
+
+#[test]
+fn imbalance_report_is_consistent_with_aggregated_comm_counters() {
+    let (store, bbox) = lj_system();
+    let mut d =
+        DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(Method::ShiftCollapse), 0.002)
+            .unwrap();
+    d.run(3);
+    let t = d.telemetry();
+    let report = t.imbalance().expect("multi-rank telemetry carries the imbalance report");
+    assert_eq!(report.per_rank.len(), 8);
+    // Per-rank comm seconds are exactly the comm slots of that rank's
+    // phase breakdown, so the comm-wait fractions are consistent with the
+    // aggregated comm.* counters the registry sees.
+    let mut ghosts = 0;
+    for (load, counters) in report.per_rank.iter().zip(&t.per_rank) {
+        let comm_s =
+            counters.phases.exchange_s() + counters.phases.migrate_s() + counters.phases.reduce_s();
+        assert!((load.comm_s - comm_s).abs() < 1e-12, "rank {} comm seconds", load.rank);
+        assert_eq!(load.ghosts_imported, counters.ghosts_imported);
+        ghosts += load.ghosts_imported;
+    }
+    assert_eq!(ghosts, t.comm.ghosts_imported, "imbalance ghosts sum to the aggregate counter");
+    assert!(report.compute_imbalance() >= 1.0);
+    assert!((0.0..=1.0).contains(&report.comm_wait_fraction()));
+}
+
+#[test]
+fn threaded_run_observed_traces_every_rank() {
+    use sc_obs::{EventKind, Registry, Tracer};
+
+    let reg = Registry::new();
+    let tracer = Tracer::new();
+    let (store, bbox) = lj_system();
+    let (_, _, stats) = ThreadedSim::run_observed(
+        store,
+        bbox,
+        IVec3::splat(2),
+        lj_ff(Method::ShiftCollapse),
+        0.002,
+        2,
+        &reg,
+        &tracer,
+    )
+    .unwrap();
+
+    let events = tracer.events();
+    let send_bytes: u64 = events
+        .iter()
+        .map(|e| match e.kind {
+            EventKind::Send { bytes, .. } => bytes,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(send_bytes, stats.bytes, "traced send bytes equal the aggregated counters");
+    let sends = events.iter().filter(|e| matches!(e.kind, EventKind::Send { .. })).count();
+    assert_eq!(sends as u64, stats.messages);
+    for r in 0..8u32 {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.rank == r && e.kind == EventKind::Phase(sc_obs::Phase::Exchange)),
+            "rank {r} exchange interval traced"
+        );
+        assert!(
+            events.iter().any(|e| e.rank == r && matches!(e.kind, EventKind::Recv { .. })),
+            "rank {r} receives traced"
+        );
+    }
+    // Merged ordering: sorted by (step, rank, t_ns, lane) even though the
+    // eight rank threads stamped their events concurrently.
+    let keys: Vec<_> = events.iter().map(|e| (e.step, e.rank, e.t_ns, e.lane)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}

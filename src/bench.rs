@@ -1,0 +1,385 @@
+//! The benchmark-regression harness behind `scmd bench`.
+//!
+//! Runs a pinned, deterministic workload matrix — the serial engine, the
+//! threaded executor, and the BSP executor, each over the method set — and
+//! writes one `BENCH_<gitsha>.json` document whose layout is pinned by
+//! `schema/bench.schema.json`. A companion comparator diffs two bench
+//! documents: the deterministic work counters (tuple candidates/accepted,
+//! comm messages/bytes, energies) must match exactly, and wall times may
+//! regress at most by a configurable percentage. CI runs the matrix against
+//! the checked-in `BENCH_baseline.json` so behavioural regressions (more
+//! work, more traffic, different physics) fail loudly even on machines
+//! whose absolute speed differs from the baseline host's.
+
+use sc_geom::IVec3;
+use sc_md::{build_fcc_lattice, thermalize, LatticeSpec, Method, Simulation};
+use sc_obs::json::Json;
+use sc_parallel::rank::ForceField;
+use sc_parallel::{DistributedSim, ThreadedSim};
+use sc_potential::{LennardJones, Vashishta};
+
+/// The schema identifier stamped into every bench document.
+pub const SCHEMA_ID: &str = "sc-bench/1";
+
+/// One measured benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// Unique case name (`executor-method-system`).
+    pub name: String,
+    /// `serial`, `threaded`, or `bsp`.
+    pub executor: String,
+    /// Method short name (`sc`, `fs`, `hybrid`).
+    pub method: String,
+    /// Workload system (`lj` or `silica`).
+    pub system: String,
+    /// Atom count.
+    pub atoms: u64,
+    /// Steps integrated.
+    pub steps: u64,
+    /// Total wall seconds for the run.
+    pub wall_s: f64,
+    /// Milliseconds per step.
+    pub ms_per_step: f64,
+    /// Tuple candidates visited in the final step (0 where the executor
+    /// does not report tuple statistics).
+    pub tuples_candidates: u64,
+    /// Tuples accepted in the final step.
+    pub tuples_accepted: u64,
+    /// Final potential energy (deterministic given the pinned seeds).
+    pub energy_total: f64,
+    /// Messages sent over the whole run (0 for the serial engine).
+    pub comm_messages: u64,
+    /// Bytes sent over the whole run (0 for the serial engine).
+    pub comm_bytes: u64,
+}
+
+impl BenchCase {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("executor".into(), Json::str(&self.executor)),
+            ("method".into(), Json::str(&self.method)),
+            ("system".into(), Json::str(&self.system)),
+            ("atoms".into(), Json::num(self.atoms as f64)),
+            ("steps".into(), Json::num(self.steps as f64)),
+            ("wall_s".into(), Json::num(self.wall_s)),
+            ("ms_per_step".into(), Json::num(self.ms_per_step)),
+            ("tuples_candidates".into(), Json::num(self.tuples_candidates as f64)),
+            ("tuples_accepted".into(), Json::num(self.tuples_accepted as f64)),
+            ("energy_total".into(), Json::num(self.energy_total)),
+            ("comm_messages".into(), Json::num(self.comm_messages as f64)),
+            ("comm_bytes".into(), Json::num(self.comm_bytes as f64)),
+        ])
+    }
+}
+
+/// The short git revision of the working tree, or `"unknown"` outside a
+/// repository (the bench file is still valid — the sha is provenance only).
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn lj_serial(method: Method, cells: usize, steps: usize) -> BenchCase {
+    let (mut store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(cells, 1.5599), 0.0, 42);
+    thermalize(&mut store, 1.0, 42);
+    let atoms = store.len() as u64;
+    let mut sim = Simulation::builder(store, bbox)
+        .pair_potential(Box::new(LennardJones::reduced(2.5)))
+        .method(method)
+        .timestep(0.002)
+        .build()
+        .expect("pinned serial workload builds");
+    let t0 = std::time::Instant::now();
+    sim.run(steps);
+    let wall = t0.elapsed().as_secs_f64();
+    let t = sim.telemetry();
+    BenchCase {
+        name: format!("serial-{}-lj", method.name()),
+        executor: "serial".into(),
+        method: method.name().into(),
+        system: "lj".into(),
+        atoms,
+        steps: steps as u64,
+        wall_s: wall,
+        ms_per_step: wall / steps as f64 * 1e3,
+        tuples_candidates: t.tuples.total_candidates(),
+        tuples_accepted: t.tuples.total_accepted(),
+        energy_total: t.energy.total(),
+        comm_messages: 0,
+        comm_bytes: 0,
+    }
+}
+
+fn silica_serial(method: Method, cells: usize, steps: usize) -> BenchCase {
+    let v = Vashishta::silica();
+    let (mut store, bbox) = sc_md::build_silica_like(cells, 7.16, v.params().masses, 0.0, 42);
+    thermalize(&mut store, 0.05, 42);
+    let atoms = store.len() as u64;
+    let mut sim = Simulation::builder(store, bbox)
+        .pair_potential(Box::new(v.pair.clone()))
+        .triplet_potential(Box::new(v.triplet.clone()))
+        .method(method)
+        .timestep(0.0005)
+        .build()
+        .expect("pinned silica workload builds");
+    let t0 = std::time::Instant::now();
+    sim.run(steps);
+    let wall = t0.elapsed().as_secs_f64();
+    let t = sim.telemetry();
+    BenchCase {
+        name: format!("serial-{}-silica", method.name()),
+        executor: "serial".into(),
+        method: method.name().into(),
+        system: "silica".into(),
+        atoms,
+        steps: steps as u64,
+        wall_s: wall,
+        ms_per_step: wall / steps as f64 * 1e3,
+        tuples_candidates: t.tuples.total_candidates(),
+        tuples_accepted: t.tuples.total_accepted(),
+        energy_total: t.energy.total(),
+        comm_messages: 0,
+        comm_bytes: 0,
+    }
+}
+
+fn lj_ff(method: Method) -> ForceField {
+    ForceField {
+        pair: Some(Box::new(LennardJones::reduced(2.5))),
+        triplet: None,
+        quadruplet: None,
+        method,
+    }
+}
+
+fn lj_dist_inputs(cells: usize) -> (sc_cell::AtomStore, sc_geom::SimulationBox) {
+    let (mut store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(cells, 1.5599), 0.0, 42);
+    thermalize(&mut store, 1.0, 42);
+    (store, bbox)
+}
+
+fn lj_bsp(method: Method, cells: usize, steps: usize) -> BenchCase {
+    let (store, bbox) = lj_dist_inputs(cells);
+    let atoms = store.len() as u64;
+    let mut d = DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(method), 0.002)
+        .expect("pinned BSP workload builds");
+    let t0 = std::time::Instant::now();
+    d.run(steps);
+    let wall = t0.elapsed().as_secs_f64();
+    let t = d.telemetry();
+    BenchCase {
+        name: format!("bsp-{}-lj", method.name()),
+        executor: "bsp".into(),
+        method: method.name().into(),
+        system: "lj".into(),
+        atoms,
+        steps: steps as u64,
+        wall_s: wall,
+        ms_per_step: wall / steps as f64 * 1e3,
+        tuples_candidates: t.tuples.total_candidates(),
+        tuples_accepted: t.tuples.total_accepted(),
+        energy_total: t.energy.total(),
+        comm_messages: t.comm.messages,
+        comm_bytes: t.comm.bytes,
+    }
+}
+
+fn lj_threaded(method: Method, cells: usize, steps: usize) -> BenchCase {
+    let (store, bbox) = lj_dist_inputs(cells);
+    let atoms = store.len() as u64;
+    let t0 = std::time::Instant::now();
+    let (_, energy, stats) =
+        ThreadedSim::run(store, bbox, IVec3::splat(2), lj_ff(method), 0.002, steps)
+            .expect("pinned threaded workload runs");
+    let wall = t0.elapsed().as_secs_f64();
+    BenchCase {
+        name: format!("threaded-{}-lj", method.name()),
+        executor: "threaded".into(),
+        method: method.name().into(),
+        system: "lj".into(),
+        atoms,
+        steps: steps as u64,
+        wall_s: wall,
+        ms_per_step: wall / steps as f64 * 1e3,
+        // The one-shot threaded executor reports energies and comm
+        // counters but no tuple statistics.
+        tuples_candidates: 0,
+        tuples_accepted: 0,
+        energy_total: energy.total(),
+        comm_messages: stats.messages,
+        comm_bytes: stats.bytes,
+    }
+}
+
+/// Runs the pinned workload matrix. `quick` halves the step counts (used
+/// by tests; CI and interactive runs use the full matrix, which still
+/// completes in seconds).
+pub fn run_matrix(quick: bool) -> Vec<BenchCase> {
+    let (lj_steps, silica_steps, dist_steps) = if quick { (4, 2, 2) } else { (10, 4, 5) };
+    let mut cases = Vec::new();
+    for method in Method::ALL {
+        cases.push(lj_serial(method, 5, lj_steps));
+    }
+    cases.push(silica_serial(Method::ShiftCollapse, 3, silica_steps));
+    cases.push(silica_serial(Method::FullShell, 3, silica_steps));
+    for method in [Method::ShiftCollapse, Method::FullShell] {
+        cases.push(lj_bsp(method, 7, dist_steps));
+    }
+    cases.push(lj_threaded(Method::ShiftCollapse, 7, dist_steps));
+    cases
+}
+
+/// Renders a bench document (the `BENCH_<gitsha>.json` layout pinned by
+/// `schema/bench.schema.json`).
+pub fn to_document(cases: &[BenchCase]) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::str(SCHEMA_ID)),
+        ("git_sha".into(), Json::str(git_sha())),
+        ("cases".into(), Json::Arr(cases.iter().map(BenchCase::to_json).collect())),
+    ])
+}
+
+fn num(case: &Json, key: &str) -> f64 {
+    case.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+}
+
+/// Diffs `current` against `baseline`. Returns `(report, failures)`:
+/// one report line per compared case, and one failure line per violated
+/// invariant. Deterministic counters (tuple candidates/accepted, comm
+/// messages/bytes) must match exactly and energies must agree to 1e-6
+/// relative; wall time may grow at most `wall_tol_pct` percent over the
+/// baseline (pass `f64::INFINITY` to skip the wall check entirely, e.g.
+/// when the baseline was recorded on different hardware).
+pub fn compare(baseline: &Json, current: &Json, wall_tol_pct: f64) -> (Vec<String>, Vec<String>) {
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    let empty = Vec::new();
+    let base_cases = baseline.get("cases").and_then(|c| c.as_array()).unwrap_or(&empty);
+    let cur_cases = current.get("cases").and_then(|c| c.as_array()).unwrap_or(&empty);
+    for base in base_cases {
+        let name = base.get("name").and_then(|n| n.as_str()).unwrap_or("?").to_string();
+        let Some(cur) = cur_cases
+            .iter()
+            .find(|c| c.get("name").and_then(|n| n.as_str()) == Some(name.as_str()))
+        else {
+            failures.push(format!("{name}: case missing from current run"));
+            continue;
+        };
+        for key in [
+            "atoms",
+            "steps",
+            "tuples_candidates",
+            "tuples_accepted",
+            "comm_messages",
+            "comm_bytes",
+        ] {
+            let (b, c) = (num(base, key), num(cur, key));
+            if b != c {
+                failures.push(format!("{name}: {key} changed {b} -> {c}"));
+            }
+        }
+        let (be, ce) = (num(base, "energy_total"), num(cur, "energy_total"));
+        if (be - ce).abs() > 1e-6 * be.abs().max(1.0) {
+            failures.push(format!("{name}: energy_total drifted {be} -> {ce}"));
+        }
+        let (bw, cw) = (num(base, "wall_s"), num(cur, "wall_s"));
+        let growth_pct = if bw > 0.0 { (cw / bw - 1.0) * 100.0 } else { 0.0 };
+        if growth_pct > wall_tol_pct {
+            failures.push(format!(
+                "{name}: wall time regressed {:.1}% ({:.4}s -> {:.4}s, tolerance {wall_tol_pct}%)",
+                growth_pct, bw, cw
+            ));
+        }
+        report.push(format!("{name:<28} wall {:.4}s -> {:.4}s ({:+.1}%)", bw, cw, growth_pct));
+    }
+    (report, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(wall: f64, candidates: u64) -> Json {
+        let case = BenchCase {
+            name: "serial-sc-lj".into(),
+            executor: "serial".into(),
+            method: "sc".into(),
+            system: "lj".into(),
+            atoms: 256,
+            steps: 4,
+            wall_s: wall,
+            ms_per_step: wall / 4.0 * 1e3,
+            tuples_candidates: candidates,
+            tuples_accepted: candidates / 2,
+            energy_total: -100.0,
+            comm_messages: 0,
+            comm_bytes: 0,
+        };
+        to_document(&[case])
+    }
+
+    #[test]
+    fn identical_documents_compare_clean() {
+        let a = doc(1.0, 1000);
+        let (report, failures) = compare(&a, &a, 20.0);
+        assert_eq!(failures, Vec::<String>::new());
+        assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn wall_regression_beyond_tolerance_fails() {
+        let (_, failures) = compare(&doc(1.0, 1000), &doc(1.5, 1000), 20.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("wall time regressed"), "{failures:?}");
+        // Infinite tolerance skips the wall check.
+        let (_, failures) = compare(&doc(1.0, 1000), &doc(100.0, 1000), f64::INFINITY);
+        assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn counter_drift_fails_regardless_of_wall_tolerance() {
+        let (_, failures) = compare(&doc(1.0, 1000), &doc(1.0, 1001), f64::INFINITY);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("tuples_candidates"), "{failures:?}");
+    }
+
+    #[test]
+    fn missing_case_fails() {
+        let base = doc(1.0, 1000);
+        let empty = Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA_ID)),
+            ("git_sha".into(), Json::str("x")),
+            ("cases".into(), Json::Arr(vec![])),
+        ]);
+        let (_, failures) = compare(&base, &empty, 20.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"));
+    }
+
+    #[test]
+    fn quick_matrix_is_deterministic_across_runs() {
+        // Two back-to-back runs must agree on every deterministic counter —
+        // this is the invariant the CI comparator relies on.
+        let a = run_matrix(true);
+        let b = run_matrix(true);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.tuples_candidates, y.tuples_candidates, "{}", x.name);
+            assert_eq!(x.tuples_accepted, y.tuples_accepted, "{}", x.name);
+            assert_eq!(x.comm_messages, y.comm_messages, "{}", x.name);
+            assert_eq!(x.comm_bytes, y.comm_bytes, "{}", x.name);
+            assert!((x.energy_total - y.energy_total).abs() < 1e-9, "{}", x.name);
+        }
+        let (report, failures) = compare(&to_document(&a), &to_document(&b), f64::INFINITY);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(report.len(), a.len());
+    }
+}

@@ -3,7 +3,9 @@
 //! ```text
 //! scmd run      --system lj|silica --cells N --steps N --method sc|fs|hybrid
 //!               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]
-//!               [--metrics-json PATH]
+//!               [--metrics-json PATH] [--trace PATH]
+//! scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT]
+//! scmd bench    --compare OLD --with NEW [--wall-tol PCT]
 //! scmd patterns [--n N]           # pattern algebra summary
 //! scmd model    --machine xeon|bgq [--grain N]   # cost-model report
 //! ```
@@ -11,6 +13,16 @@
 //! `--metrics-json PATH` streams one `Telemetry` JSON line per report block
 //! (plus a final snapshot) to PATH; the layout is pinned by
 //! `schema/metrics.schema.json` and validated in CI.
+//!
+//! `--trace PATH` records event-level traces (every phase interval plus
+//! checkpoint/comm markers) and writes a Chrome Trace Format file loadable
+//! in `chrome://tracing` or Perfetto.
+//!
+//! `scmd bench` runs the pinned deterministic workload matrix and writes
+//! `BENCH_<gitsha>.json` (layout pinned by `schema/bench.schema.json`);
+//! with `--baseline` it additionally diffs against a previous bench file
+//! and exits non-zero on any regression. `--compare OLD --with NEW` diffs
+//! two existing files without running the matrix.
 
 use shift_collapse_md::md::{thermalize, write_xyz, Method};
 use shift_collapse_md::pattern::{generate_fs, import_volume_cubic, shift_collapse, theory};
@@ -27,6 +39,7 @@ fn main() {
     // place with one message shape.
     let result = match cmd.as_str() {
         "run" => run(&flags),
+        "bench" => bench(&flags),
         "patterns" => {
             patterns(&flags);
             Ok(())
@@ -52,7 +65,9 @@ fn usage(err: &str) -> ! {
         "scmd — shift-collapse molecular dynamics\n\n\
          USAGE:\n  scmd run      --system lj|silica [--cells N] [--steps N] [--method sc|fs|hybrid]\n\
          \x20               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]\n\
-         \x20               [--metrics-json PATH]\n\
+         \x20               [--metrics-json PATH] [--trace PATH]\n\
+         \x20 scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT]\n\
+         \x20 scmd bench    --compare OLD --with NEW [--wall-tol PCT]\n\
          \x20 scmd patterns [--n N]\n\
          \x20 scmd model    [--machine xeon|bgq] [--grain N]"
     );
@@ -101,6 +116,11 @@ fn run(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Err
             Registry::new()
         } else {
             Registry::disabled()
+        },
+        tracer: if flags.contains_key("trace") {
+            shift_collapse_md::obs::Tracer::new()
+        } else {
+            shift_collapse_md::obs::Tracer::disabled()
         },
         ..RuntimeConfig::default()
     };
@@ -179,7 +199,63 @@ fn run(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Err
         write_xyz(&mut f, sim.store(), sim.bbox(), &format!("step={}", sim.steps_done()))?;
         println!("# final snapshot written to {path}");
     }
+    if let Some(path) = flags.get("trace") {
+        let events = sim.tracer().events();
+        let dropped = sim.tracer().dropped();
+        std::fs::write(path, shift_collapse_md::obs::chrome_trace(&events).to_string())?;
+        println!("# chrome trace written to {path} ({} events, {dropped} dropped)", events.len());
+    }
     Ok(())
+}
+
+fn bench(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Error> {
+    use shift_collapse_md::bench::{compare, git_sha, run_matrix, to_document};
+    use shift_collapse_md::obs::json::Json;
+
+    let wall_tol: f64 = get(flags, "wall-tol", 200.0);
+    let load = |path: &str| -> Result<Json, shift_collapse_md::md::Error> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Json::parse(&text)
+            .unwrap_or_else(|e| usage(&format!("{path} is not a bench JSON document: {e}"))))
+    };
+    let diff = |baseline: &Json, current: &Json| -> Result<(), shift_collapse_md::md::Error> {
+        let (report, failures) = compare(baseline, current, wall_tol);
+        for line in &report {
+            println!("{line}");
+        }
+        if failures.is_empty() {
+            println!("# no regressions (wall tolerance {wall_tol}%)");
+            Ok(())
+        } else {
+            for f in &failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+    };
+
+    // Pure comparator mode: diff two existing bench files.
+    if let Some(old) = flags.get("compare") {
+        let new = flags.get("with").unwrap_or_else(|| usage("--compare OLD needs --with NEW"));
+        return diff(&load(old)?, &load(new)?);
+    }
+
+    let quick: bool = get(flags, "quick", false);
+    let cases = run_matrix(quick);
+    let doc = to_document(&cases);
+    for c in &cases {
+        println!(
+            "{:<28} {:>6} atoms  {:>3} steps  {:>9.3} ms/step  {:>10} tuples",
+            c.name, c.atoms, c.steps, c.ms_per_step, c.tuples_accepted
+        );
+    }
+    let out = flags.get("out").cloned().unwrap_or_else(|| format!("BENCH_{}.json", git_sha()));
+    std::fs::write(&out, doc.to_string())?;
+    println!("# bench document written to {out}");
+    match flags.get("baseline") {
+        Some(path) => diff(&load(path)?, &doc),
+        None => Ok(()),
+    }
 }
 
 fn patterns(flags: &HashMap<String, String>) {

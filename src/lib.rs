@@ -48,6 +48,8 @@
 //! assert!(((e1 - e0) / e0).abs() < 1e-3); // NVE drift is tiny
 //! ```
 
+pub mod bench;
+
 pub use sc_cell as cell;
 pub use sc_core as pattern;
 pub use sc_geom as geom;

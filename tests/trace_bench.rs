@@ -1,0 +1,127 @@
+//! CI contract tests for the observability tentpole: `scmd run --trace`
+//! must emit a Chrome Trace Format file that round-trips through the
+//! vendored JSON parser with at least one event for every phase in the
+//! taxonomy, and `scmd bench` must emit a schema-valid bench document
+//! whose comparator fails loudly on a degraded copy.
+
+use shift_collapse_md::obs::json::Json;
+use shift_collapse_md::obs::{schema, Phase};
+use std::process::Command;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("scmd-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn scmd_run_trace_round_trips_with_every_phase() {
+    let dir = tmp_dir("trace");
+    let trace_path = dir.join("trace.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_scmd"))
+        .args([
+            "run",
+            "--system",
+            "lj",
+            "--cells",
+            "5",
+            "--steps",
+            "5",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("scmd runs");
+    assert!(output.status.success(), "scmd failed: {}", String::from_utf8_lossy(&output.stderr));
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file was written");
+    let doc = Json::parse(&text).expect("trace file is valid JSON");
+    assert_eq!(doc.get("displayTimeUnit").and_then(|v| v.as_str()), Some("ms"));
+    let rows = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+    assert!(!rows.is_empty());
+
+    // Every phase of the taxonomy appears as a complete ("X") interval.
+    for phase in Phase::ALL {
+        assert!(
+            rows.iter().any(|r| {
+                r.get("ph").and_then(|v| v.as_str()) == Some("X")
+                    && r.get("name").and_then(|v| v.as_str()) == Some(phase.name())
+            }),
+            "no {} interval in the trace",
+            phase.name()
+        );
+    }
+    // Intervals carry microsecond timestamps/durations and a step tag.
+    let compute =
+        rows.iter().find(|r| r.get("name").and_then(|v| v.as_str()) == Some("compute")).unwrap();
+    assert!(compute.get("ts").and_then(|v| v.as_f64()).is_some());
+    assert!(compute.get("dur").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    assert!(compute.get("args").and_then(|a| a.get("step")).is_some());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn run_bench(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_scmd")).args(args).output().expect("scmd runs")
+}
+
+#[test]
+fn scmd_bench_emits_schema_valid_doc_and_comparator_rejects_degraded_copy() {
+    let dir = tmp_dir("bench");
+    let out_path = dir.join("bench.json");
+    let out = out_path.to_str().unwrap();
+
+    let output = run_bench(&["bench", "--quick", "true", "--out", out]);
+    assert!(
+        output.status.success(),
+        "scmd bench failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // The document validates against the checked-in schema.
+    let schema_text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/schema/bench.schema.json"))
+            .expect("bench schema is checked in");
+    let schema_doc = Json::parse(&schema_text).expect("bench schema is valid JSON");
+    let text = std::fs::read_to_string(&out_path).expect("bench document was written");
+    let doc = Json::parse(&text).expect("bench document is valid JSON");
+    schema::validate(&doc, &schema_doc).expect("bench document matches its schema");
+    assert!(
+        doc.get("cases").and_then(|c| c.as_array()).map(|c| c.len()).unwrap_or(0) >= 6,
+        "the pinned matrix covers serial, threaded, and BSP cases"
+    );
+
+    // An identical pair compares clean…
+    let ok = run_bench(&["bench", "--compare", out, "--with", out]);
+    assert!(ok.status.success(), "identical documents must not regress");
+
+    // …and a degraded copy (counter drift — the deterministic signal the
+    // comparator guards) makes it exit non-zero.
+    let degraded_path = dir.join("degraded.json");
+    let degraded_text = {
+        let Json::Obj(mut fields) = doc else { panic!("bench doc is an object") };
+        for (key, value) in &mut fields {
+            if key != "cases" {
+                continue;
+            }
+            let Json::Arr(cases) = value else { panic!("cases is an array") };
+            let Json::Obj(case) = &mut cases[0] else { panic!("case is an object") };
+            for (k, v) in case.iter_mut() {
+                if k == "tuples_accepted" {
+                    let was = v.as_f64().unwrap();
+                    *v = Json::num(was + 1.0);
+                }
+            }
+        }
+        Json::Obj(fields).to_string()
+    };
+    std::fs::write(&degraded_path, degraded_text).unwrap();
+    let bad = run_bench(&["bench", "--compare", out, "--with", degraded_path.to_str().unwrap()]);
+    assert!(!bad.status.success(), "counter drift must exit non-zero");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("REGRESSION"), "stderr names the regression: {stderr}");
+    assert!(stderr.contains("tuples_accepted"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
