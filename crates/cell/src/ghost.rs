@@ -1,6 +1,6 @@
 //! Rank-local cell lattice with ghost margins.
 
-use crate::AtomStore;
+use crate::{morton_key, AtomStore};
 use sc_geom::{CellRegion, IVec3, Vec3};
 
 /// A rank-local cell lattice: an owned region of cells plus ghost margins
@@ -28,6 +28,9 @@ pub struct GhostLattice {
     starts: Vec<u32>,
     order: Vec<u32>,
     owned_atoms: usize,
+    /// `(store.generation(), store.len())` at the last rebuild (see
+    /// [`crate::CellLattice::is_current`]).
+    built: Option<(u64, usize)>,
 }
 
 impl GhostLattice {
@@ -59,6 +62,7 @@ impl GhostLattice {
             starts: vec![0; ncell + 1],
             order: Vec::new(),
             owned_atoms: 0,
+            built: None,
         }
     }
 
@@ -163,6 +167,38 @@ impl GhostLattice {
                 cursor[*c as usize] += 1;
             }
         }
+        self.built = Some((store.generation(), store.len()));
+    }
+
+    /// Whether the bins were built against the store's current slot layout
+    /// (see [`crate::CellLattice::is_current`]).
+    #[inline]
+    pub fn is_current(&self, store: &AtomStore) -> bool {
+        self.built == Some((store.generation(), store.len()))
+    }
+
+    /// Morton-order permutation of the store's first `owned` atoms, keyed by
+    /// the Z-order of their local cells: `perm[new] = old`, stable within a
+    /// cell. Atoms outside the extended region (awaiting migration) are
+    /// clamped onto its boundary for key purposes — the sort only needs a
+    /// locality heuristic for them, not an exact bin.
+    ///
+    /// Must be applied while the store is ghost-free (`store.len() == owned`);
+    /// permuting the owned prefix under appended ghosts would desynchronize
+    /// ghost provenance tables.
+    pub fn morton_permutation(&self, store: &AtomStore, owned: usize) -> Vec<u32> {
+        let total = self.owned_extent + self.lo_margin + self.hi_margin;
+        let keys: Vec<u64> = store.positions()[..owned]
+            .iter()
+            .map(|&r| {
+                let q = self.local_cell_of(r) + self.lo_margin;
+                let clamped = q.max(IVec3::ZERO).min(total - IVec3::splat(1));
+                morton_key(clamped)
+            })
+            .collect();
+        let mut perm: Vec<u32> = (0..owned as u32).collect();
+        perm.sort_by_key(|&i| keys[i as usize]);
+        perm
     }
 
     /// The atom slots binned into local cell `q`.

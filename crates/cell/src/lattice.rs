@@ -1,6 +1,6 @@
 //! The global periodic cell lattice with CSR binning.
 
-use crate::AtomStore;
+use crate::{morton_key, AtomStore};
 use sc_geom::{IVec3, SimulationBox, Vec3};
 
 /// A periodic cell lattice over a [`SimulationBox`] with compressed
@@ -23,6 +23,10 @@ pub struct CellLattice {
     starts: Vec<u32>,
     /// Atom slot indices ordered by cell, length N.
     order: Vec<u32>,
+    /// `(store.generation(), store.len())` at the last rebuild, or `None` if
+    /// never built. Slot indices in `order` are only meaningful against that
+    /// exact store state.
+    built: Option<(u64, usize)>,
 }
 
 impl CellLattice {
@@ -47,7 +51,14 @@ impl CellLattice {
         let cell = Vec3::new(l.x / dims.x as f64, l.y / dims.y as f64, l.z / dims.z as f64);
         let inv_cell = Vec3::new(1.0 / cell.x, 1.0 / cell.y, 1.0 / cell.z);
         let ncell = dims.product() as usize;
-        CellLattice { bbox, dims, inv_cell, starts: vec![0; ncell + 1], order: Vec::new() }
+        CellLattice {
+            bbox,
+            dims,
+            inv_cell,
+            starts: vec![0; ncell + 1],
+            order: Vec::new(),
+            built: None,
+        }
     }
 
     /// Lattice dimensions (cells per axis) — the paper's `(Lx, Ly, Lz)`.
@@ -119,6 +130,30 @@ impl CellLattice {
             self.order[slot as usize] = i as u32;
             cursor[c as usize] += 1;
         }
+        self.built = Some((store.generation(), n));
+    }
+
+    /// Whether the bins were built against the store's current slot layout.
+    ///
+    /// `false` after any structural change — push, swap-remove, truncate, or
+    /// a Morton re-sort — at which point the `u32` slots handed out by
+    /// [`CellLattice::cell_atoms`] point at the wrong atoms and the lattice
+    /// must be rebuilt before use.
+    #[inline]
+    pub fn is_current(&self, store: &AtomStore) -> bool {
+        self.built == Some((store.generation(), store.len()))
+    }
+
+    /// The Morton-order permutation of the store's atoms: `perm[new] = old`,
+    /// sorted by the Z-order key of each atom's cell, ties broken by the old
+    /// slot (stable). Uses only the lattice geometry — the bins need not be
+    /// current.
+    pub fn morton_permutation(&self, store: &AtomStore) -> Vec<u32> {
+        let keys: Vec<u64> =
+            store.positions().iter().map(|&r| morton_key(self.cell_of(r))).collect();
+        let mut perm: Vec<u32> = (0..store.len() as u32).collect();
+        perm.sort_by_key(|&i| keys[i as usize]);
+        perm
     }
 
     /// The atom slots binned into cell `q` (periodic indexing).

@@ -14,15 +14,20 @@
 //!   ghost margins, used by the distributed runtime: owned atoms first,
 //!   imported ghosts appended, non-periodic local indexing.
 //! * [`Species`] — a compact species id with per-species mass lookup.
+//! * [`morton_key`] — Z-order keys for cell coordinates; backs the
+//!   data-sorted atom layout (`AtomStore::sort_by_cell`) that keeps cell
+//!   neighbours adjacent in memory for the batched distance kernels.
 
 #![warn(missing_docs)]
 
 mod ghost;
 mod lattice;
+mod morton;
 mod species;
 mod store;
 
 pub use ghost::GhostLattice;
 pub use lattice::CellLattice;
+pub use morton::morton_key;
 pub use species::Species;
 pub use store::AtomStore;

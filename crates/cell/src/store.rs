@@ -1,8 +1,9 @@
 //! Structure-of-arrays atom storage.
 
-use crate::Species;
+use crate::{CellLattice, Species};
 use sc_geom::{SimulationBox, Vec3};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Structure-of-arrays storage for an N-atom system.
 ///
@@ -20,6 +21,11 @@ pub struct AtomStore {
     forces: Vec<Vec3>,
     /// Mass per species index.
     species_masses: Vec<f64>,
+    /// Structural generation: bumped whenever slot↔atom assignments change
+    /// (push, swap_remove, truncate, permutation). Cell lattices record the
+    /// generation they were built against so stale slot indices are caught
+    /// instead of silently pointing at the wrong atom.
+    generation: u64,
 }
 
 impl AtomStore {
@@ -51,7 +57,18 @@ impl AtomStore {
         self.positions.push(position);
         self.velocities.push(velocity);
         self.forces.push(Vec3::ZERO);
+        self.generation += 1;
         idx
+    }
+
+    /// Structural generation counter. Any operation that changes which atom
+    /// occupies which slot (push, [`AtomStore::swap_remove`],
+    /// [`AtomStore::truncate`], [`AtomStore::apply_permutation`]) bumps it;
+    /// lattices record the generation they were built against (see
+    /// [`CellLattice::is_current`]) so stale slot indices can be detected.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of atoms.
@@ -207,17 +224,92 @@ impl AtomStore {
         let r = self.positions.swap_remove(i);
         let v = self.velocities.swap_remove(i);
         self.forces.swap_remove(i);
+        self.generation += 1;
         (id, sp, r, v)
     }
 
     /// Truncates the store to `n` atoms — used to drop ghost atoms appended
     /// after the owned ones.
     pub fn truncate(&mut self, n: usize) {
+        if n >= self.len() {
+            return;
+        }
         self.ids.truncate(n);
         self.species.truncate(n);
         self.positions.truncate(n);
         self.velocities.truncate(n);
         self.forces.truncate(n);
+        self.generation += 1;
+    }
+
+    /// Reorders all per-atom arrays so that new slot `k` holds the atom that
+    /// was at slot `perm[k]`. `perm` must be a permutation of `0..len`.
+    ///
+    /// Ids travel with their atoms, so anything keyed by *id* (checkpoints,
+    /// telemetry, ghost import) is unaffected; anything holding *slot*
+    /// indices (cell bins, neighbor caches) must be rebuilt — the generation
+    /// bump makes that detectable.
+    pub fn apply_permutation(&mut self, perm: &[u32]) {
+        let n = self.len();
+        assert_eq!(perm.len(), n, "permutation length {} != atom count {n}", perm.len());
+        debug_assert!(
+            {
+                let mut seen = vec![false; n];
+                perm.iter().all(|&p| {
+                    let fresh = (p as usize) < n && !seen[p as usize];
+                    if fresh {
+                        seen[p as usize] = true;
+                    }
+                    fresh
+                })
+            },
+            "perm is not a permutation of 0..{n}"
+        );
+        fn permute<T: Copy>(dst: &mut Vec<T>, perm: &[u32], scratch: &mut Vec<T>) {
+            scratch.clear();
+            scratch.extend(perm.iter().map(|&p| dst[p as usize]));
+            std::mem::swap(dst, scratch);
+        }
+        let mut scratch_v = Vec::with_capacity(n);
+        permute(&mut self.positions, perm, &mut scratch_v);
+        permute(&mut self.velocities, perm, &mut scratch_v);
+        permute(&mut self.forces, perm, &mut scratch_v);
+        let mut scratch_id = Vec::with_capacity(n);
+        permute(&mut self.ids, perm, &mut scratch_id);
+        let mut scratch_sp = Vec::with_capacity(n);
+        permute(&mut self.species, perm, &mut scratch_sp);
+        self.generation += 1;
+    }
+
+    /// Sorts the atoms along the Morton (Z-order) curve of `lat`'s cells and
+    /// returns the applied permutation (`perm[new_slot] = old_slot`).
+    ///
+    /// Atoms within the same cell keep their relative order (the sort is
+    /// stable), so repeating the sort on unchanged positions is the identity
+    /// permutation. The lattice does **not** need to be rebuilt beforehand —
+    /// only its geometry is used — but every lattice must be rebuilt *after*
+    /// the sort, since slot indices change.
+    pub fn sort_by_cell(&mut self, lat: &CellLattice) -> Vec<u32> {
+        let perm = lat.morton_permutation(self);
+        self.apply_permutation(&perm);
+        perm
+    }
+
+    /// Sorts atoms by ascending global id and returns the applied
+    /// permutation. Restores the canonical order gathered snapshots and
+    /// cross-run comparisons use.
+    pub fn sort_by_id(&mut self) -> Vec<u32> {
+        let mut perm: Vec<u32> = (0..self.len() as u32).collect();
+        perm.sort_by_key(|&i| self.ids[i as usize]);
+        self.apply_permutation(&perm);
+        perm
+    }
+
+    /// Builds the stable `id → slot` map for the current layout. Invalidated
+    /// by any generation bump; callers that cache it should key the cache on
+    /// [`AtomStore::generation`].
+    pub fn id_index(&self) -> HashMap<u64, u32> {
+        self.ids.iter().enumerate().map(|(slot, &id)| (id, slot as u32)).collect()
     }
 }
 
@@ -300,5 +392,93 @@ mod tests {
     fn unknown_species_rejected() {
         let mut s = AtomStore::single_species();
         s.push(0, Species(5), Vec3::ZERO, Vec3::ZERO);
+    }
+
+    #[test]
+    fn wrap_positions_clamps_boundary_straddlers() {
+        let mut s = AtomStore::single_species();
+        // Each of these wraps to exactly L without the [0, L) clamp.
+        s.push(0, Species::DEFAULT, Vec3::new(-1e-17, 0.0, 0.0), Vec3::ZERO);
+        s.push(1, Species::DEFAULT, Vec3::new(20.0f64.next_down(), -1e-300, 10.0), Vec3::ZERO);
+        let bbox = SimulationBox::cubic(10.0);
+        s.wrap_positions(&bbox);
+        for &r in s.positions() {
+            assert!(bbox.contains(r), "wrapped position {r:?} escaped [0, L)");
+        }
+        // And the binning guard downstream: slot into a valid cell.
+        let mut lat = CellLattice::new(bbox, 2.5);
+        lat.rebuild(&s);
+        assert!(lat.is_current(&s));
+    }
+
+    #[test]
+    fn generation_tracks_structural_changes() {
+        let mut s = two_atom_store();
+        let g0 = s.generation();
+        s.zero_forces();
+        s.positions_mut()[0] = Vec3::splat(0.5);
+        assert_eq!(s.generation(), g0, "non-structural ops must not bump");
+        s.push(7, Species(0), Vec3::ZERO, Vec3::ZERO);
+        assert!(s.generation() > g0);
+        let g1 = s.generation();
+        s.swap_remove(0);
+        assert!(s.generation() > g1);
+        let g2 = s.generation();
+        s.truncate(s.len()); // no-op truncate
+        assert_eq!(s.generation(), g2);
+        s.truncate(1);
+        assert!(s.generation() > g2);
+    }
+
+    #[test]
+    fn apply_permutation_carries_all_arrays() {
+        let mut s = two_atom_store();
+        s.forces_mut()[0] = Vec3::new(1.0, 2.0, 3.0);
+        s.apply_permutation(&[1, 0]);
+        assert_eq!(s.ids(), &[1, 0]);
+        assert_eq!(s.species()[0], Species(1));
+        assert_eq!(s.positions()[0], Vec3::splat(1.0));
+        assert_eq!(s.velocities()[0], Vec3::new(0.0, -1.0, 0.0));
+        assert_eq!(s.forces()[1], Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(s.mass(0), 16.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn apply_permutation_rejects_wrong_length() {
+        let mut s = two_atom_store();
+        s.apply_permutation(&[0]);
+    }
+
+    #[test]
+    fn sort_by_cell_is_stable_and_idempotent() {
+        let bbox = SimulationBox::cubic(12.0);
+        let lat = CellLattice::new(bbox, 3.0);
+        let mut s = AtomStore::single_species();
+        // Two atoms in cell (2,2,2), two in (0,0,0), insertion order mixed.
+        s.push(10, Species::DEFAULT, Vec3::splat(7.0), Vec3::ZERO);
+        s.push(11, Species::DEFAULT, Vec3::splat(0.5), Vec3::ZERO);
+        s.push(12, Species::DEFAULT, Vec3::splat(7.5), Vec3::ZERO);
+        s.push(13, Species::DEFAULT, Vec3::splat(0.6), Vec3::ZERO);
+        let perm = s.sort_by_cell(&lat);
+        assert_eq!(perm, vec![1, 3, 0, 2]);
+        // Cell (0,0,0) first, insertion order preserved within each cell.
+        assert_eq!(s.ids(), &[11, 13, 10, 12]);
+        // Re-sorting sorted data is the identity.
+        let perm2 = s.sort_by_cell(&lat);
+        assert_eq!(perm2, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_by_id_restores_canonical_order() {
+        let mut s = two_atom_store();
+        s.push(5, Species(0), Vec3::splat(2.0), Vec3::ZERO);
+        s.apply_permutation(&[2, 0, 1]);
+        assert_eq!(s.ids(), &[5, 0, 1]);
+        s.sort_by_id();
+        assert_eq!(s.ids(), &[0, 1, 5]);
+        let idx = s.id_index();
+        assert_eq!(idx[&5], 2);
+        assert_eq!(idx[&0], 0);
     }
 }

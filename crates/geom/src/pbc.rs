@@ -47,12 +47,27 @@ impl SimulationBox {
     }
 
     /// Wraps a position into the primary image `[0, L)` per axis.
+    ///
+    /// `rem_euclid` alone can return exactly `L`: e.g. wrapping a tiny
+    /// negative coordinate (`-1e-17` with `L = 10`) rounds `-1e-17 + 10` to
+    /// `10.0`, and the next representable value below `2L` behaves the same
+    /// way. Such a coordinate fails [`SimulationBox::contains`] and would bin
+    /// into an out-of-range cell, so the result is folded back to `0.0`.
     #[inline]
     pub fn wrap(&self, r: Vec3) -> Vec3 {
+        #[inline]
+        fn wrap1(x: f64, l: f64) -> f64 {
+            let w = x.rem_euclid(l);
+            if w < l {
+                w
+            } else {
+                0.0
+            }
+        }
         Vec3::new(
-            r.x.rem_euclid(self.lengths.x),
-            r.y.rem_euclid(self.lengths.y),
-            r.z.rem_euclid(self.lengths.z),
+            wrap1(r.x, self.lengths.x),
+            wrap1(r.y, self.lengths.y),
+            wrap1(r.z, self.lengths.z),
         )
     }
 
@@ -108,6 +123,22 @@ mod tests {
         let b = SimulationBox::cubic(7.3);
         let r = b.wrap(Vec3::new(-13.4, 100.0, 3.6));
         assert_eq!(b.wrap(r), r);
+    }
+
+    #[test]
+    fn wrap_never_returns_the_upper_bound() {
+        let b = SimulationBox::new(Vec3::new(10.0, 7.3, 1.0));
+        // Boundary-straddling inputs whose rem_euclid rounds to exactly L.
+        let cases = [
+            Vec3::new(-1e-17, 0.0, 0.0),
+            Vec3::new(10.0, 7.3, 1.0),
+            Vec3::new(-0.0, -1e-300, f64::from_bits(1.0f64.to_bits() - 1)),
+            Vec3::new(20.0f64.next_down(), 7.3f64.next_down() + 7.3, 2.0),
+        ];
+        for r in cases {
+            let w = b.wrap(r);
+            assert!(b.contains(w), "wrap({r:?}) = {w:?} escaped the box");
+        }
     }
 
     #[test]

@@ -40,18 +40,31 @@ pub enum Dedup {
     Guarded,
 }
 
+/// Triplet paths sharing one `(v0, v1)` prefix: the first leg's cell
+/// lookups and `d01` cutoff check run once per group instead of once per
+/// path. SC(3) collapses 378 paths into 63 groups, FS(3) 729 into 27 — the
+/// dominant per-cell enumeration cost in triplet-heavy workloads (silica).
+#[derive(Debug, Clone)]
+struct PrefixGroup {
+    prefix: [IVec3; 2],
+    /// `(v2, guard)` per member path, in path order.
+    suffixes: Vec<(IVec3, bool)>,
+}
+
 /// A pattern compiled for enumeration: per-path offsets plus the
 /// reflective-duplicate guard flag.
 #[derive(Debug, Clone)]
 pub struct PatternPlan {
     n: usize,
     paths: Vec<(Vec<IVec3>, bool)>,
+    /// Populated for n = 3 only; empty otherwise.
+    triplet_groups: Vec<PrefixGroup>,
 }
 
 impl PatternPlan {
     /// Compiles `pattern` for the given dedup mode.
     pub fn new(pattern: &Pattern, dedup: Dedup) -> Self {
-        let paths = pattern
+        let paths: Vec<(Vec<IVec3>, bool)> = pattern
             .iter()
             .map(|p: &Path| {
                 let guard = match dedup {
@@ -61,7 +74,21 @@ impl PatternPlan {
                 (p.offsets().to_vec(), guard)
             })
             .collect();
-        PatternPlan { n: pattern.n(), paths }
+        let mut triplet_groups: Vec<PrefixGroup> = Vec::new();
+        if pattern.n() == 3 {
+            // First-seen prefix order, suffixes in path order: the grouping
+            // is a pure reordering of the path list, so enumeration stays
+            // deterministic.
+            for (offsets, guard) in &paths {
+                let prefix = [offsets[0], offsets[1]];
+                match triplet_groups.iter_mut().find(|g| g.prefix == prefix) {
+                    Some(g) => g.suffixes.push((offsets[2], *guard)),
+                    None => triplet_groups
+                        .push(PrefixGroup { prefix, suffixes: vec![(offsets[2], *guard)] }),
+                }
+            }
+        }
+        PatternPlan { n: pattern.n(), paths, triplet_groups }
     }
 
     /// The tuple order n.
@@ -112,6 +139,13 @@ pub trait TupleSource {
     fn gid(&self, i: u32) -> u64;
     /// Displacement `r_j − r_i` under this source's geometry.
     fn disp(&self, i: u32, j: u32) -> Vec3;
+    /// Box edge lengths if displacements are minimum-image, `None` if they
+    /// are plain differences (rank-local frames with image-shifted ghosts).
+    /// The batched kernels use this to apply the same displacement rule as
+    /// [`TupleSource::disp`] across a whole lane block at once.
+    fn pbc_lengths(&self) -> Option<Vec3> {
+        None
+    }
 }
 
 /// [`TupleSource`] over the global periodic lattice: minimum-image
@@ -123,7 +157,18 @@ pub struct PeriodicSource<'a> {
 
 impl<'a> PeriodicSource<'a> {
     /// Wraps a lattice + store.
+    ///
+    /// Debug builds assert the lattice's bins were built against the store's
+    /// current slot layout ([`CellLattice::is_current`]): any structural
+    /// mutation — `push`, `swap_remove` (which moves the last atom into the
+    /// vacated slot while its old lattice entry still points there), a
+    /// Morton re-sort — silently invalidates every binned slot index, and
+    /// enumerating through stale bins reads the wrong atoms.
     pub fn new(lat: &'a CellLattice, store: &'a AtomStore) -> Self {
+        debug_assert!(
+            lat.is_current(store),
+            "cell lattice is stale: the store's slot layout changed since the last rebuild"
+        );
         PeriodicSource { lat, store }
     }
 }
@@ -145,6 +190,119 @@ impl TupleSource for PeriodicSource<'_> {
     fn disp(&self, i: u32, j: u32) -> Vec3 {
         self.lat.bbox().min_image(self.pos(i), self.pos(j))
     }
+    #[inline]
+    fn pbc_lengths(&self) -> Option<Vec3> {
+        Some(self.lat.bbox().lengths())
+    }
+}
+
+/// Lane width of the batched distance kernels: gathered coordinates are
+/// processed in fixed-size blocks so the per-lane loops compile to packed
+/// f64 vector code (f64x4 on AVX2, f64x8 on AVX-512) without any explicit
+/// SIMD dependency. 32 lanes cover a typical cell's population (ρ_cell ≈
+/// 5–20 for the paper's benchmark systems) in a single block.
+const BATCH: usize = 32;
+
+/// Below this many candidates in the gathered cell, the visitors take the
+/// plain scalar inner loop: filling lanes for a near-empty cell (common in
+/// triplet/quadruplet lattices, whose cells shrink to the shorter cutoffs)
+/// costs more than it saves. Both paths produce bitwise-identical calls in
+/// identical order — a cell below `BATCH` is a single chunk, so the batched
+/// loop degenerates to the same iteration order the scalar loop uses.
+const BATCH_MIN: usize = 16;
+
+/// A gathered block of candidate atoms: SoA coordinates plus the global ids
+/// the reflective-duplicate guard compares. Filling it from a Morton-sorted
+/// store is a near-contiguous copy, which is what makes the lane loops pay.
+struct Gather {
+    x: [f64; BATCH],
+    y: [f64; BATCH],
+    z: [f64; BATCH],
+    gid: [u64; BATCH],
+}
+
+impl Gather {
+    #[inline]
+    fn new() -> Self {
+        Gather { x: [0.0; BATCH], y: [0.0; BATCH], z: [0.0; BATCH], gid: [0; BATCH] }
+    }
+
+    /// Loads `chunk` (≤ `BATCH` slots) from the source.
+    #[inline]
+    fn load(&mut self, src: &impl TupleSource, chunk: &[u32]) {
+        for (k, &j) in chunk.iter().enumerate() {
+            let p = src.pos(j);
+            self.x[k] = p.x;
+            self.y[k] = p.y;
+            self.z[k] = p.z;
+            self.gid[k] = src.gid(j);
+        }
+    }
+}
+
+/// Per-axis displacement rule for the lane loops: minimum-image when the
+/// source is periodic, plain difference otherwise (encoded as `l = 0`,
+/// `half = ∞`, which makes both corrections dead).
+///
+/// Bitwise identical to [`sc_geom::SimulationBox::min_image`]: the two
+/// corrections can never both fire for wrapped positions (|d| < L, so after
+/// `d -= L` the result is > −L/2), and the untaken arms add `0.0` / `−0.0`,
+/// which preserve every `f64` — including signed zeros — exactly.
+#[derive(Clone, Copy)]
+struct DispRule {
+    l: Vec3,
+    half: Vec3,
+}
+
+impl DispRule {
+    #[inline]
+    fn of(src: &impl TupleSource) -> Self {
+        match src.pbc_lengths() {
+            Some(l) => DispRule { l, half: l * 0.5 },
+            None => DispRule { l: Vec3::ZERO, half: Vec3::splat(f64::INFINITY) },
+        }
+    }
+}
+
+#[inline]
+fn min_image1(mut d: f64, l: f64, half: f64) -> f64 {
+    d -= if d > half { l } else { 0.0 };
+    d += if d < -half { l } else { -0.0 };
+    d
+}
+
+/// Displacements and squared distances from `origin` to the first `m` lanes
+/// of a [`Gather`]. The `k` loops are branch-free straight-line f64
+/// arithmetic — exactly the shape LLVM's loop vectorizer turns into packed
+/// lanes with select-based masking.
+struct Lanes {
+    dx: [f64; BATCH],
+    dy: [f64; BATCH],
+    dz: [f64; BATCH],
+    r2: [f64; BATCH],
+}
+
+impl Lanes {
+    #[inline]
+    fn new() -> Self {
+        Lanes { dx: [0.0; BATCH], dy: [0.0; BATCH], dz: [0.0; BATCH], r2: [0.0; BATCH] }
+    }
+
+    #[inline]
+    fn compute(&mut self, origin: Vec3, g: &Gather, m: usize, rule: DispRule) {
+        for k in 0..m {
+            self.dx[k] = min_image1(g.x[k] - origin.x, rule.l.x, rule.half.x);
+            self.dy[k] = min_image1(g.y[k] - origin.y, rule.l.y, rule.half.y);
+            self.dz[k] = min_image1(g.z[k] - origin.z, rule.l.z, rule.half.z);
+            self.r2[k] =
+                self.dx[k] * self.dx[k] + self.dy[k] * self.dy[k] + self.dz[k] * self.dz[k];
+        }
+    }
+
+    #[inline]
+    fn disp(&self, k: usize) -> Vec3 {
+        Vec3::new(self.dx[k], self.dy[k], self.dz[k])
+    }
 }
 
 /// Visits every undirected pair generated by `plan` at base cell `q`.
@@ -160,21 +318,51 @@ pub fn visit_pairs_in_cell_src(
 ) -> VisitStats {
     debug_assert_eq!(plan.n, 2);
     let rc2 = rcut * rcut;
+    let rule = DispRule::of(src);
     let mut stats = VisitStats::default();
+    let mut g = Gather::new();
+    let mut lanes = Lanes::new();
     for (offsets, guard) in &plan.paths {
         let cell_i = src.atoms_in(q + offsets[0]);
         let cell_j = src.atoms_in(q + offsets[1]);
-        for &i in cell_i {
-            for &j in cell_j {
-                stats.candidates += 1;
-                if i == j || (*guard && src.gid(i) > src.gid(j)) {
-                    continue;
+        if cell_i.is_empty() {
+            continue;
+        }
+        if cell_j.len() < BATCH_MIN {
+            for &i in cell_i {
+                let gi = src.gid(i);
+                stats.candidates += cell_j.len() as u64;
+                for &j in cell_j {
+                    if i == j || (*guard && gi > src.gid(j)) {
+                        continue;
+                    }
+                    let d = src.disp(i, j);
+                    let r2 = d.norm_sq();
+                    if r2 < rc2 {
+                        stats.accepted += 1;
+                        f(i, j, d, r2.sqrt());
+                    }
                 }
-                let d = src.disp(i, j);
-                let r2 = d.norm_sq();
-                if r2 < rc2 {
-                    stats.accepted += 1;
-                    f(i, j, d, r2.sqrt());
+            }
+            continue;
+        }
+        for chunk in cell_j.chunks(BATCH) {
+            let m = chunk.len();
+            g.load(src, chunk);
+            for &i in cell_i {
+                let pi = src.pos(i);
+                let gi = src.gid(i);
+                stats.candidates += m as u64;
+                lanes.compute(pi, &g, m, rule);
+                for (k, &j) in chunk.iter().enumerate() {
+                    if i == j || (*guard && gi > g.gid[k]) {
+                        continue;
+                    }
+                    let r2 = lanes.r2[k];
+                    if r2 < rc2 {
+                        stats.accepted += 1;
+                        f(i, j, lanes.disp(k), r2.sqrt());
+                    }
                 }
             }
         }
@@ -196,31 +384,76 @@ pub fn visit_triplets_in_cell_src(
 ) -> VisitStats {
     debug_assert_eq!(plan.n, 3);
     let rc2 = rcut * rcut;
+    let rule = DispRule::of(src);
     let mut stats = VisitStats::default();
-    for (offsets, guard) in &plan.paths {
-        let cell_0 = src.atoms_in(q + offsets[0]);
-        let cell_1 = src.atoms_in(q + offsets[1]);
-        let cell_2 = src.atoms_in(q + offsets[2]);
+    let mut g = Gather::new();
+    let mut lanes = Lanes::new();
+    // Suffix cells resolved once per (group, base cell); reused across
+    // every (i0, i1) pair of the group.
+    let mut cells_2: Vec<(&[u32], bool)> = Vec::new();
+    for group in &plan.triplet_groups {
+        let cell_0 = src.atoms_in(q + group.prefix[0]);
+        if cell_0.is_empty() {
+            continue;
+        }
+        let cell_1 = src.atoms_in(q + group.prefix[1]);
+        if cell_1.is_empty() {
+            continue;
+        }
+        // `total` counts every suffix slot — including empty cells — so the
+        // per-(i0,i1) candidate accounting stays exactly what the per-path
+        // loop charged: Σ_paths |cell_2(path)|.
+        cells_2.clear();
+        let mut total: u64 = 0;
+        for &(v2, guard) in &group.suffixes {
+            let c = src.atoms_in(q + v2);
+            total += c.len() as u64;
+            if !c.is_empty() {
+                cells_2.push((c, guard));
+            }
+        }
+        if total == 0 {
+            continue;
+        }
         for &i0 in cell_0 {
+            let g0 = src.gid(i0);
             for &i1 in cell_1 {
+                stats.candidates += total;
                 if i1 == i0 {
-                    stats.candidates += cell_2.len() as u64;
                     continue;
                 }
                 let d01 = src.disp(i0, i1);
                 if d01.norm_sq() >= rc2 {
-                    stats.candidates += cell_2.len() as u64;
                     continue;
                 }
-                for &i2 in cell_2 {
-                    stats.candidates += 1;
-                    if i2 == i1 || i2 == i0 || (*guard && src.gid(i0) > src.gid(i2)) {
+                let p1 = src.pos(i1);
+                for &(cell_2, guard) in &cells_2 {
+                    if cell_2.len() < BATCH_MIN {
+                        for &i2 in cell_2 {
+                            if i2 == i1 || i2 == i0 || (guard && g0 > src.gid(i2)) {
+                                continue;
+                            }
+                            let d12 = src.disp(i1, i2);
+                            if d12.norm_sq() < rc2 {
+                                stats.accepted += 1;
+                                f(i0, i1, i2, d01, d12);
+                            }
+                        }
                         continue;
                     }
-                    let d12 = src.disp(i1, i2);
-                    if d12.norm_sq() < rc2 {
-                        stats.accepted += 1;
-                        f(i0, i1, i2, d01, d12);
+                    for chunk in cell_2.chunks(BATCH) {
+                        let m = chunk.len();
+                        g.load(src, chunk);
+                        lanes.compute(p1, &g, m, rule);
+                        for (k, &i2) in chunk.iter().enumerate() {
+                            if i2 == i1 || i2 == i0 || (guard && g0 > g.gid[k]) {
+                                continue;
+                            }
+                            if lanes.r2[k] < rc2 {
+                                stats.accepted += 1;
+                                f(i0, i1, i2, d01, lanes.disp(k));
+                            }
+                        }
                     }
                 }
             }
@@ -242,43 +475,90 @@ pub fn visit_quadruplets_in_cell_src(
 ) -> VisitStats {
     debug_assert_eq!(plan.n, 4);
     let rc2 = rcut * rcut;
+    let rule = DispRule::of(src);
     let mut stats = VisitStats::default();
+    let mut g = Gather::new();
+    let mut lanes = Lanes::new();
     for (offsets, guard) in &plan.paths {
         let cell_0 = src.atoms_in(q + offsets[0]);
         let cell_1 = src.atoms_in(q + offsets[1]);
         let cell_2 = src.atoms_in(q + offsets[2]);
         let cell_3 = src.atoms_in(q + offsets[3]);
-        for &i0 in cell_0 {
-            for &i1 in cell_1 {
-                if i1 == i0 {
-                    stats.candidates += (cell_2.len() * cell_3.len()) as u64;
-                    continue;
-                }
-                let d01 = src.disp(i0, i1);
-                if d01.norm_sq() >= rc2 {
-                    stats.candidates += (cell_2.len() * cell_3.len()) as u64;
-                    continue;
-                }
-                for &i2 in cell_2 {
-                    if i2 == i1 || i2 == i0 {
-                        stats.candidates += cell_3.len() as u64;
+        if cell_0.is_empty() || cell_1.is_empty() || cell_2.is_empty() {
+            continue;
+        }
+        if cell_3.len() < BATCH_MIN {
+            for &i0 in cell_0 {
+                let g0 = src.gid(i0);
+                for &i1 in cell_1 {
+                    if i1 == i0 {
+                        stats.candidates += cell_2.len() as u64 * cell_3.len() as u64;
                         continue;
                     }
-                    let d12 = src.disp(i1, i2);
-                    if d12.norm_sq() >= rc2 {
-                        stats.candidates += cell_3.len() as u64;
+                    let d01 = src.disp(i0, i1);
+                    if d01.norm_sq() >= rc2 {
+                        stats.candidates += cell_2.len() as u64 * cell_3.len() as u64;
                         continue;
                     }
-                    for &i3 in cell_3 {
-                        stats.candidates += 1;
-                        if i3 == i2 || i3 == i1 || i3 == i0 || (*guard && src.gid(i0) > src.gid(i3))
-                        {
+                    for &i2 in cell_2 {
+                        stats.candidates += cell_3.len() as u64;
+                        if i2 == i1 || i2 == i0 {
                             continue;
                         }
-                        let d23 = src.disp(i2, i3);
-                        if d23.norm_sq() < rc2 {
-                            stats.accepted += 1;
-                            f([i0, i1, i2, i3], d01, d12, d23);
+                        let d12 = src.disp(i1, i2);
+                        if d12.norm_sq() >= rc2 {
+                            continue;
+                        }
+                        for &i3 in cell_3 {
+                            if i3 == i2 || i3 == i1 || i3 == i0 || (*guard && g0 > src.gid(i3)) {
+                                continue;
+                            }
+                            let d23 = src.disp(i2, i3);
+                            if d23.norm_sq() < rc2 {
+                                stats.accepted += 1;
+                                f([i0, i1, i2, i3], d01, d12, d23);
+                            }
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        for chunk in cell_3.chunks(BATCH) {
+            let m = chunk.len() as u64;
+            g.load(src, chunk);
+            for &i0 in cell_0 {
+                let g0 = src.gid(i0);
+                for &i1 in cell_1 {
+                    if i1 == i0 {
+                        stats.candidates += cell_2.len() as u64 * m;
+                        continue;
+                    }
+                    let d01 = src.disp(i0, i1);
+                    if d01.norm_sq() >= rc2 {
+                        stats.candidates += cell_2.len() as u64 * m;
+                        continue;
+                    }
+                    for &i2 in cell_2 {
+                        if i2 == i1 || i2 == i0 {
+                            stats.candidates += m;
+                            continue;
+                        }
+                        let d12 = src.disp(i1, i2);
+                        if d12.norm_sq() >= rc2 {
+                            stats.candidates += m;
+                            continue;
+                        }
+                        stats.candidates += m;
+                        lanes.compute(src.pos(i2), &g, chunk.len(), rule);
+                        for (k, &i3) in chunk.iter().enumerate() {
+                            if i3 == i2 || i3 == i1 || i3 == i0 || (*guard && g0 > g.gid[k]) {
+                                continue;
+                            }
+                            if lanes.r2[k] < rc2 {
+                                stats.accepted += 1;
+                                f([i0, i1, i2, i3], d01, d12, lanes.disp(k));
+                            }
                         }
                     }
                 }
@@ -304,32 +584,59 @@ pub fn visit_ntuples_in_cell_src(
 ) -> VisitStats {
     let n = plan.n;
     let rc2 = rcut * rcut;
+    let rule = DispRule::of(src);
     let mut stats = VisitStats::default();
     let mut chain: Vec<u32> = Vec::with_capacity(n);
+    let mut g = Gather::new();
+    let mut lanes = Lanes::new();
 
+    #[allow(clippy::too_many_arguments)]
     fn descend(
         src: &impl TupleSource,
         cells: &[IVec3],
         guard: bool,
         rc2: f64,
+        rule: DispRule,
         chain: &mut Vec<u32>,
+        g: &mut Gather,
+        lanes: &mut Lanes,
         stats: &mut VisitStats,
         f: &mut impl FnMut(&[u32]),
     ) {
         let depth = chain.len();
         let n = cells.len();
-        if depth == n {
-            stats.accepted += 1;
-            f(chain);
+        if depth == n - 1 {
+            // Leaf level: batched distance checks against the last chain
+            // atom. Candidates are counted per lane block — the same "count
+            // leaves" accounting as the scalar form.
+            let prev = chain.last().copied();
+            for chunk in src.atoms_in(cells[depth]).chunks(BATCH) {
+                let m = chunk.len();
+                stats.candidates += m as u64;
+                g.load(src, chunk);
+                if let Some(prev) = prev {
+                    lanes.compute(src.pos(prev), g, m, rule);
+                }
+                for (k, &i) in chunk.iter().enumerate() {
+                    if chain.contains(&i) {
+                        continue;
+                    }
+                    if prev.is_some() && lanes.r2[k] >= rc2 {
+                        continue;
+                    }
+                    if guard && src.gid(chain[0]) > g.gid[k] {
+                        continue;
+                    }
+                    stats.accepted += 1;
+                    chain.push(i);
+                    f(chain);
+                    chain.pop();
+                }
+            }
             return;
         }
         let last = chain.last().copied();
         for &i in src.atoms_in(cells[depth]) {
-            // Count the candidate subtree size when pruning at the leaf
-            // level only (cheap approximation: count leaves).
-            if depth == n - 1 {
-                stats.candidates += 1;
-            }
             if chain.contains(&i) {
                 continue;
             }
@@ -338,18 +645,15 @@ pub fn visit_ntuples_in_cell_src(
                     continue;
                 }
             }
-            if depth == n - 1 && guard && src.gid(chain[0]) > src.gid(i) {
-                continue;
-            }
             chain.push(i);
-            descend(src, cells, guard, rc2, chain, stats, f);
+            descend(src, cells, guard, rc2, rule, chain, g, lanes, stats, f);
             chain.pop();
         }
     }
 
     for (offsets, guard) in &plan.paths {
         let cells: Vec<IVec3> = offsets.iter().map(|&v| q + v).collect();
-        descend(src, &cells, *guard, rc2, &mut chain, &mut stats, &mut f);
+        descend(src, &cells, *guard, rc2, rule, &mut chain, &mut g, &mut lanes, &mut stats, &mut f);
     }
     stats
 }
@@ -660,5 +964,114 @@ mod tests {
         assert_eq!(p.n(), 2);
         assert_eq!(p.len(), 14);
         assert!(!p.is_empty());
+    }
+
+    /// The scalar pair loop the batched kernel replaced, kept as the
+    /// semantic reference: identical candidate/accepted counters and
+    /// bitwise-identical displacements are the contract.
+    fn scalar_pairs(
+        src: &impl TupleSource,
+        plan: &PatternPlan,
+        rcut: f64,
+        q: IVec3,
+        f: &mut impl FnMut(u32, u32, Vec3, f64),
+    ) -> VisitStats {
+        let rc2 = rcut * rcut;
+        let mut stats = VisitStats::default();
+        for (offsets, guard) in &plan.paths {
+            let cell_i = src.atoms_in(q + offsets[0]);
+            let cell_j = src.atoms_in(q + offsets[1]);
+            for &i in cell_i {
+                for &j in cell_j {
+                    stats.candidates += 1;
+                    if i == j || (*guard && src.gid(i) > src.gid(j)) {
+                        continue;
+                    }
+                    let d = src.disp(i, j);
+                    let r2 = d.norm_sq();
+                    if r2 < rc2 {
+                        stats.accepted += 1;
+                        f(i, j, d, r2.sqrt());
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn batched_pairs_match_scalar_reference_bitwise() {
+        let rcut = 1.1;
+        let (lat, store) = setup(300, 4.0, rcut); // ρ_cell high enough to span chunks
+        let src = PeriodicSource::new(&lat, &store);
+        for plan in [
+            PatternPlan::new(&shift_collapse(2), Dedup::Collapsed),
+            PatternPlan::new(&generate_fs(2), Dedup::Guarded),
+        ] {
+            let mut batched: Vec<(u32, u32, [u64; 3], u64)> = vec![];
+            let mut scalar: Vec<(u32, u32, [u64; 3], u64)> = vec![];
+            let mut total_b = VisitStats::default();
+            let mut total_s = VisitStats::default();
+            for q in lat.cells() {
+                total_b.merge(visit_pairs_in_cell_src(&src, &plan, rcut, q, |i, j, d, r| {
+                    batched.push((
+                        i,
+                        j,
+                        [d.x.to_bits(), d.y.to_bits(), d.z.to_bits()],
+                        r.to_bits(),
+                    ));
+                }));
+                total_s.merge(scalar_pairs(&src, &plan, rcut, q, &mut |i, j, d, r| {
+                    scalar.push((i, j, [d.x.to_bits(), d.y.to_bits(), d.z.to_bits()], r.to_bits()));
+                }));
+            }
+            assert_eq!(total_b, total_s, "counters must match the scalar loop exactly");
+            // Chunking may reorder visits within a cell; the visited
+            // multiset with bitwise displacements must be identical.
+            batched.sort_unstable();
+            scalar.sort_unstable();
+            assert_eq!(batched, scalar);
+        }
+    }
+
+    #[test]
+    fn batched_kernels_are_exact_on_local_frames() {
+        // A plain-difference (no-PBC) source exercises the dead-correction
+        // encoding of the displacement rule: l = 0, half = ∞ must be a
+        // bitwise no-op, never NaN.
+        struct Plain<'a> {
+            lat: &'a CellLattice,
+            store: &'a AtomStore,
+        }
+        impl TupleSource for Plain<'_> {
+            fn atoms_in(&self, q: IVec3) -> &[u32] {
+                self.lat.cell_atoms(q)
+            }
+            fn pos(&self, i: u32) -> Vec3 {
+                self.store.positions()[i as usize]
+            }
+            fn gid(&self, i: u32) -> u64 {
+                self.store.ids()[i as usize]
+            }
+            fn disp(&self, i: u32, j: u32) -> Vec3 {
+                self.pos(j) - self.pos(i)
+            }
+        }
+        let rcut = 1.0;
+        let (lat, store) = setup(120, 4.0, rcut);
+        let src = Plain { lat: &lat, store: &store };
+        let plan = PatternPlan::new(&shift_collapse(2), Dedup::Collapsed);
+        let mut seen = 0u64;
+        for q in lat.cells() {
+            visit_pairs_in_cell_src(&src, &plan, rcut, q, |i, j, d, r| {
+                seen += 1;
+                let expect = src.disp(i, j);
+                assert_eq!(d.x.to_bits(), expect.x.to_bits());
+                assert_eq!(d.y.to_bits(), expect.y.to_bits());
+                assert_eq!(d.z.to_bits(), expect.z.to_bits());
+                assert!(r.is_finite());
+            });
+        }
+        assert!(seen > 0);
     }
 }

@@ -12,6 +12,7 @@ use sc_cell::{AtomStore, CellLattice};
 use sc_geom::{IVec3, SimulationBox, Vec3};
 use sc_obs::{CommCounters, Counter, Phase, PhaseBreakdown, Registry, TraceSink, Tracer};
 use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Runtime/observability configuration of a [`Simulation`], passed to
@@ -36,6 +37,14 @@ pub struct RuntimeConfig {
     /// step — the fully dynamic mode the paper benchmarks. Must be finite
     /// and ≥ 0.
     pub verlet_skin: f64,
+    /// Morton re-sort cadence: every `resort_every`-th step the atom store
+    /// is permuted along the Z-order curve of a canonical cell lattice (max
+    /// term cutoff, no skin, no subdivision), so cell neighbours stay memory
+    /// neighbours for the batched distance kernels. `0` disables re-sorting.
+    /// The cadence trades permutation cost against gather locality; once
+    /// sorted, atoms drift across cells slowly, so a small power of two
+    /// (default 8) keeps the layout tight at negligible cost.
+    pub resort_every: u64,
     /// The metrics registry every phase/counter observation flows into.
     /// Defaults to [`Registry::disabled`], which is allocation-free and
     /// never reads the clock.
@@ -52,6 +61,7 @@ impl Default for RuntimeConfig {
             threads: 0,
             detailed_timing: false,
             verlet_skin: 0.0,
+            resort_every: 8,
             metrics: Registry::disabled(),
             tracer: Tracer::disabled(),
         }
@@ -208,6 +218,38 @@ impl SimulationBuilder {
                 }
             }
         }
+        // A cutoff beyond half the shortest box edge makes the minimum-image
+        // convention ambiguous: atom j and its periodic image can both fall
+        // inside the cutoff, and a single-image sweep double-counts (or picks
+        // the wrong copy of) such pairs. The k = 1 lattices reject this
+        // implicitly (they need 3 cells of edge ≥ r_cut per axis), but
+        // subdivided lattices (cell edge r_cut/k) would let it through.
+        let min_edge = {
+            let l = self.bbox.lengths();
+            l.x.min(l.y).min(l.z)
+        };
+        let half_box_check = |field: &'static str, rcut_eff: f64| -> Result<(), BuildError> {
+            if rcut_eff > 0.5 * min_edge {
+                return Err(BuildError::Config { field, value: rcut_eff });
+            }
+            Ok(())
+        };
+        if let Some(p) = &self.pair {
+            // Hybrid's list cutoff includes the skin — that is the radius the
+            // neighbour search actually resolves images at.
+            let eff = if self.method == Method::Hybrid {
+                p.cutoff() + self.runtime.verlet_skin
+            } else {
+                p.cutoff()
+            };
+            half_box_check("pair_cutoff", eff)?;
+        }
+        if let Some(t) = &self.triplet {
+            half_box_check("triplet_cutoff", t.cutoff())?;
+        }
+        if let Some(q) = &self.quadruplet {
+            half_box_check("quadruplet_cutoff", q.cutoff())?;
+        }
         let k = self.subdivision;
         let build_lat = |rcut: f64, n: usize| -> Result<CellLattice, BuildError> {
             std::panic::catch_unwind(|| {
@@ -246,6 +288,21 @@ impl SimulationBuilder {
         let has_triplet = self.triplet.is_some();
         let has_quad = self.quadruplet.is_some();
         let method = self.method;
+        // Canonical Morton sort lattice: largest *raw* term cutoff, no skin,
+        // no subdivision — deliberately independent of method/runtime knobs,
+        // so every method applied to the same system re-sorts identically
+        // (cross-method trajectory comparisons stay elementwise valid). The
+        // max-cutoff term's own lattice already required ≥ 3 cells per axis
+        // at this edge, so this construction cannot fail.
+        let sort_cutoff = [
+            self.pair.as_ref().map(|p| p.cutoff()),
+            self.triplet.as_ref().map(|t| t.cutoff()),
+            self.quadruplet.as_ref().map(|q| q.cutoff()),
+        ]
+        .into_iter()
+        .flatten()
+        .fold(f64::NEG_INFINITY, f64::max);
+        let sort_lat = CellLattice::new(self.bbox, sort_cutoff);
         Ok(Simulation {
             store: self.store,
             bbox: self.bbox,
@@ -269,7 +326,13 @@ impl SimulationBuilder {
             barostat: self.barostat,
             skin: self.runtime.verlet_skin,
             subdivision: k,
+            resort_every: self.runtime.resort_every,
+            sort_cutoff,
+            sort_lat,
+            last_sort_step: None,
+            id_cache: None,
             hybrid_cache: None,
+            hybrid_builds: 0,
             par: ParEngine::new(self.runtime.threads),
             detailed_timing: self.runtime.detailed_timing,
             obs: SimMetrics::register(&self.runtime.metrics),
@@ -344,7 +407,23 @@ pub struct Simulation {
     barostat: Option<(f64, f64)>,
     skin: f64,
     subdivision: i32,
+    /// Morton re-sort cadence ([`RuntimeConfig::resort_every`]; 0 = never).
+    resort_every: u64,
+    /// Largest raw term cutoff — the canonical sort lattice's cell edge.
+    sort_cutoff: f64,
+    /// Canonical lattice whose Z-order curve defines the data-sorted layout.
+    sort_lat: CellLattice,
+    /// Step index of the last applied re-sort, so repeated force
+    /// computations within one step (or explicit [`Simulation::compute_forces`]
+    /// calls between steps) permute at most once per step.
+    last_sort_step: Option<u64>,
+    /// Lazily rebuilt `id → slot` map, keyed by the store generation it was
+    /// built against (re-sorts and removals invalidate it).
+    id_cache: Option<(u64, HashMap<u64, u32>)>,
     hybrid_cache: Option<HybridCache>,
+    /// Monotonic count of Verlet-list builds — lives outside the cache so
+    /// that cache invalidations (re-sort, geometry change) don't reset it.
+    hybrid_builds: u64,
     par: ParEngine,
     detailed_timing: bool,
     obs: SimMetrics,
@@ -382,7 +461,6 @@ struct HybridCache {
     list: NeighborList,
     ref_positions: Vec<Vec3>,
     build_stats: VisitStats,
-    rebuilds: u64,
 }
 
 impl Method {
@@ -500,10 +578,14 @@ impl Simulation {
     pub fn compute_forces(&mut self) -> Telemetry {
         // Tracing is branch-guarded: a disabled sink reads no clock here.
         let trace_t0 = if self.tsink.enabled() { self.tsink.now_ns() } else { 0 };
-        self.store.zero_forces();
         let mut energy = EnergyBreakdown::default();
         let mut tuples = TupleCounts::default();
         let mut phases = PhaseBreakdown::new();
+        let t_sort = Instant::now();
+        if self.maybe_resort() {
+            phases.add(Phase::Bin, t_sort.elapsed().as_secs_f64());
+        }
+        self.store.zero_forces();
         let mut virial = 0.0;
         let detailed = self.detailed_timing;
         match self.method {
@@ -623,6 +705,42 @@ impl Simulation {
         }
     }
 
+    /// Applies the Morton re-sort when the cadence says so: permutes the
+    /// store along the Z-order curve of the canonical sort lattice, keyed on
+    /// `steps_done` so the decision is a pure function of replayable state
+    /// (checkpoint restore replays it bitwise). Returns whether a permutation
+    /// was applied. Slot-indexed caches (the Hybrid Verlet list, the id map)
+    /// are invalidated; re-binning of the term lattices happens immediately
+    /// after in `compute_forces`, so no stale slot index survives.
+    fn maybe_resort(&mut self) -> bool {
+        if self.resort_every == 0
+            || !self.steps_done.is_multiple_of(self.resort_every)
+            || self.last_sort_step == Some(self.steps_done)
+        {
+            return false;
+        }
+        self.last_sort_step = Some(self.steps_done);
+        self.store.sort_by_cell(&self.sort_lat);
+        // The Verlet list and its reference positions are slot-indexed.
+        self.hybrid_cache = None;
+        self.id_cache = None;
+        true
+    }
+
+    /// The slot currently holding the atom with global id `id`, or `None` if
+    /// no such atom exists. Slots move under Morton re-sorts and
+    /// [`AtomStore::swap_remove`]; this map is the stable indirection
+    /// checkpoint consumers and telemetry should use instead of caching raw
+    /// slots. Rebuilt lazily (O(N)) after any structural change, then O(1)
+    /// per lookup.
+    pub fn slot_of_id(&mut self, id: u64) -> Option<u32> {
+        let generation = self.store.generation();
+        if self.id_cache.as_ref().map(|(g, _)| *g) != Some(generation) {
+            self.id_cache = Some((generation, self.store.id_index()));
+        }
+        self.id_cache.as_ref().and_then(|(_, map)| map.get(&id).copied())
+    }
+
     /// Number of allocation events (buffer creations or growths) in the
     /// force-scratch pool since construction. Flat across steps once warm —
     /// the observable behind the zero-allocation steady-state guarantee.
@@ -688,8 +806,8 @@ impl Simulation {
                 list: nl,
                 ref_positions: self.store.positions().to_vec(),
                 build_stats: pair_stats,
-                rebuilds: self.hybrid_cache.as_ref().map_or(1, |c| c.rebuilds + 1),
             });
+            self.hybrid_builds += 1;
             phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
         }
         let t_enum = Instant::now();
@@ -829,7 +947,7 @@ impl Simulation {
     /// Number of Verlet-list builds performed so far (Hybrid only) — the
     /// observable the skin optimisation improves.
     pub fn hybrid_list_builds(&self) -> u64 {
-        self.hybrid_cache.as_ref().map_or(0, |c| c.rebuilds)
+        self.hybrid_builds
     }
 
     /// Advances one velocity-Verlet step (with thermostat, if configured).
@@ -911,6 +1029,8 @@ impl Simulation {
                 ));
             }
         }
+        // The canonical sort lattice tracks the box geometry too.
+        self.sort_lat = CellLattice::new(self.bbox, self.sort_cutoff);
         // A geometry change invalidates any cached Verlet list.
         self.hybrid_cache = None;
     }
@@ -965,6 +1085,13 @@ impl crate::supervisor::Recoverable for Simulation {
         self.dt = cp.dt;
         self.steps_done = cp.step;
         self.last_stats = StepStats::default();
+        // The resort cadence is keyed on `steps_done`, which the checkpoint
+        // restores; clearing the latch lets the replayed run re-sort at
+        // exactly the steps the original run did (checkpoints preserve slot
+        // order, so the permutations — and hence the trajectory — replay
+        // bitwise). The id map is slot-indexed and must be rebuilt.
+        self.last_sort_step = None;
+        self.id_cache = None;
         // Restored forces came from the checkpoint, so a step-0 restore must
         // not re-prime over them — except a checkpoint taken before any force
         // computation, whose forces are identically zero and whose re-priming
@@ -1836,6 +1963,63 @@ mod tests {
             other => panic!("expected verlet_skin Config error, got {other:?}"),
         }
         assert!(build(0.001, 0.3).is_ok());
+    }
+
+    #[test]
+    fn build_rejects_cutoffs_beyond_half_the_box() {
+        // Subdivided cells (edge r_cut/k) would happily build a lattice for
+        // a cutoff beyond half the shortest box edge, where the
+        // minimum-image convention becomes ambiguous and single-image sweeps
+        // double-count pairs; the builder must reject the value itself.
+        let build = |rcut: f64| {
+            let (store, bbox) = random_gas(10, 8.0, 1);
+            Simulation::builder(store, bbox)
+                .pair_potential(Box::new(LennardJones::reduced(rcut)))
+                .cell_subdivision(2)
+                .build()
+        };
+        // Exactly half the shortest edge is the boundary value: it passes
+        // the half-box check (only *strictly* larger cutoffs are ambiguous)
+        // and instead trips the stricter 3-cutoff minimum-image guard
+        // downstream — the typed Config error must not claim it.
+        match build(4.0).map(|_| ()) {
+            Err(crate::BuildError::BoxTooSmall { .. }) => {}
+            other => panic!("expected BoxTooSmall at the boundary, got {other:?}"),
+        }
+        match build(4.0 + 1e-9).map(|_| ()) {
+            Err(crate::BuildError::Config { field: "pair_cutoff", value }) => {
+                assert!(value > 4.0)
+            }
+            other => panic!("expected pair_cutoff Config error, got {other:?}"),
+        }
+        // Comfortably inside the limit still builds.
+        assert!(build(2.5).is_ok());
+    }
+
+    #[test]
+    fn removal_then_step_stays_finite_and_conserves_momentum() {
+        let mut sim = lj_sim(Method::ShiftCollapse);
+        sim.run(2); // warm lattices, store already Morton-sorted
+        let n0 = sim.store().len();
+        let (gone_id, ..) = sim.store_mut().swap_remove(3);
+        assert_eq!(sim.store().len(), n0 - 1);
+        assert_eq!(sim.slot_of_id(gone_id), None);
+        // swap_remove moved the last atom into slot 3; every lattice binned
+        // before the removal is stale (the generation counter marks it), and
+        // the next force computation must rebuild before enumerating.
+        sim.step();
+        for i in 0..sim.store().len() {
+            assert!(sim.store().positions()[i].is_finite());
+            assert!(sim.store().velocities()[i].is_finite());
+            assert!(sim.store().forces()[i].is_finite());
+        }
+        // Newton's third law over the surviving atoms.
+        assert!(sim.store().net_force().norm() < 1e-7, "net force {:?}", sim.store().net_force());
+        // Every surviving id resolves to its current slot through the map.
+        for i in 0..sim.store().len() {
+            let id = sim.store().ids()[i];
+            assert_eq!(sim.slot_of_id(id), Some(i as u32));
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::error::{RuntimeError, SetupError};
 use crate::fault::{Delivery, FaultPlan};
 use crate::grid::RankGrid;
 use crate::msg::{AtomMsg, Channel, ForceMsg, GhostMsg, Message, Payload};
-use crate::rank::{halo_width_for, ForceField, RankState};
+use crate::rank::{halo_width_for, ForceField, RankState, DEFAULT_RESORT_EVERY};
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
 use sc_md::checkpoint::Checkpoint;
@@ -81,6 +81,7 @@ pub struct DistributedSim {
     ff: ForceField,
     dt: f64,
     subdivision: i32,
+    resort_every: u64,
     steps_done: u64,
     needs_prime: bool,
     fault_plan: FaultPlan,
@@ -208,6 +209,7 @@ impl DistributedSim {
             ff,
             dt,
             subdivision: k,
+            resort_every: DEFAULT_RESORT_EVERY,
             steps_done: 0,
             needs_prime: true,
             fault_plan: FaultPlan::none(),
@@ -309,6 +311,14 @@ impl DistributedSim {
     /// Installs a fault plan; subsequent deliveries route through it.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.fault_plan = plan;
+    }
+
+    /// Sets the Morton re-sort cadence: every `every`-th step each rank
+    /// permutes its owned atoms into cell Z-order at the ghost-free point of
+    /// the step (see [`RankState::resort_owned`]). `0` disables re-sorting.
+    /// Default 8, matching the serial engine.
+    pub fn set_resort_every(&mut self, every: u64) {
+        self.resort_every = every;
     }
 
     /// The active fault plan (to inspect fired [`crate::FaultEvent`]s).
@@ -593,6 +603,13 @@ impl DistributedSim {
         }
         for r in &mut self.ranks {
             r.drop_ghosts();
+        }
+        // Ghost-free point: permute owned atoms into cell Z-order before
+        // migration rebuilds the halo against the new slot layout.
+        if self.resort_every != 0 && self.steps_done.is_multiple_of(self.resort_every) {
+            for r in &mut self.ranks {
+                r.resort_owned();
+            }
         }
         let t1 = std::time::Instant::now();
         self.record_wall(Phase::Integrate, (t1 - t0).as_secs_f64());

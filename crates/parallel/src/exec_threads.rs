@@ -12,7 +12,7 @@ use crate::comm::{CommStats, GhostPlan};
 use crate::error::{RunError, RuntimeError, SetupError};
 use crate::grid::RankGrid;
 use crate::msg::{AtomMsg, Channel, Message, Payload};
-use crate::rank::{halo_width_for, ForceField, RankState};
+use crate::rank::{halo_width_for, ForceField, RankState, DEFAULT_RESORT_EVERY};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
@@ -312,6 +312,11 @@ fn rank_main(
         let i0 = tsink.now_ns();
         state.vv_start(dt);
         state.drop_ghosts();
+        // Ghost-free point: same re-sort schedule as the BSP executor, so
+        // slot layouts (and hence accumulation order) stay identical.
+        if epoch.is_multiple_of(DEFAULT_RESORT_EVERY) {
+            state.resort_owned();
+        }
         tsink.phase(epoch, Phase::Integrate, i0, tsink.now_ns().saturating_sub(i0));
         // Migration, axis by axis.
         let m0 = tsink.now_ns();

@@ -15,6 +15,12 @@ use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// Default Morton re-sort cadence (steps between owned-atom re-sorts).
+/// Shared by both executors — the threaded executor promises bitwise-identical
+/// physics to the BSP executor, which requires identical slot layouts and
+/// hence identical re-sort schedules.
+pub const DEFAULT_RESORT_EVERY: u64 = 8;
+
 /// The shared, immutable force-field configuration every rank evaluates.
 pub struct ForceField {
     /// Pair term.
@@ -65,6 +71,21 @@ struct GhostOrigin {
 struct LocalSource<'a> {
     lat: &'a GhostLattice,
     store: &'a AtomStore,
+}
+
+impl<'a> LocalSource<'a> {
+    /// Wraps a lattice + store, asserting (debug builds) that the bins were
+    /// built against the store's current slot layout — migration's
+    /// `swap_remove`, ghost import, and Morton re-sorts all move atoms
+    /// between slots, and enumerating through stale bins reads the wrong
+    /// atoms (see [`GhostLattice::is_current`]).
+    fn new(lat: &'a GhostLattice, store: &'a AtomStore) -> Self {
+        debug_assert!(
+            lat.is_current(store),
+            "ghost lattice is stale: the store's slot layout changed since the last rebuild"
+        );
+        LocalSource { lat, store }
+    }
 }
 
 impl TupleSource for LocalSource<'_> {
@@ -228,6 +249,23 @@ impl RankState {
         }
     }
 
+    /// Permutes this rank's owned atoms into the Morton order of its first
+    /// term lattice (Hybrid: the pair lattice), so that atoms binned into
+    /// neighbouring cells sit in neighbouring slots for the batched distance
+    /// kernels. Must be called while the store is ghost-free — ghost
+    /// provenance ([`GhostOrigin`]) is slot-indexed — i.e. after
+    /// [`RankState::drop_ghosts`] and before migration/exchange. All term
+    /// lattices are rebuilt on the next force computation, so no binned slot
+    /// index survives the permutation.
+    pub fn resort_owned(&mut self) {
+        debug_assert_eq!(self.store.len(), self.owned, "re-sort with ghosts present");
+        let lat = self.terms.first().map(|t| &t.lat).or(self.hybrid_pair_lat.as_ref());
+        if let Some(lat) = lat {
+            let perm = lat.morton_permutation(&self.store, self.owned);
+            self.store.apply_permutation(&perm);
+        }
+    }
+
     /// Kinetic energy of owned atoms.
     pub fn kinetic_energy(&self) -> f64 {
         (0..self.owned)
@@ -238,6 +276,13 @@ impl RankState {
     /// Collects atoms that left the owned box along `axis`, as
     /// `(to_minus, to_plus)` message lists with positions shifted into the
     /// receivers' frames. The atoms are removed from this rank.
+    ///
+    /// Each removal is an [`AtomStore::swap_remove`], which moves the last
+    /// atom into the vacated slot — every lattice binned before this call is
+    /// stale afterwards (its bins still point the moved atom at its old
+    /// slot). The store's generation counter records this: all term lattices
+    /// report `!is_current` until their rebuild at the next force
+    /// computation, and the [`LocalSource`] constructor asserts on it.
     pub fn collect_migrants(&mut self, axis: usize) -> (Vec<AtomMsg>, Vec<AtomMsg>) {
         debug_assert_eq!(self.store.len(), self.owned, "migrate with ghosts present");
         let origin = self.grid.origin_of(self.rank);
@@ -448,7 +493,7 @@ impl RankState {
             lat.rebuild(&self.store, self.owned);
             phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
             let term = &self.terms[ti];
-            let src = LocalSource { lat: &lat, store: &self.store };
+            let src = LocalSource::new(&lat, &self.store);
             let owned_cells: Vec<IVec3> = lat.owned_region().iter().collect();
             let mut stats = VisitStats::default();
             let t_enum = Instant::now();
@@ -560,7 +605,7 @@ impl RankState {
         let t_bin = Instant::now();
         lat.rebuild(&self.store, self.owned);
         let plan = PatternPlan::new(&sc_core::generate_fs(2), Dedup::Guarded);
-        let src = LocalSource { lat: &lat, store: &self.store };
+        let src = LocalSource::new(&lat, &self.store);
         // Sweep *all* local cells so ghost-ghost pairs near the boundary are
         // in the list too (needed for chain ends of n ≥ 3 tuples).
         let all_cells: Vec<IVec3> = lat.extended_region().iter().collect();

@@ -46,8 +46,11 @@ fn assert_stores_match(bbox: &SimulationBox, a: &AtomStore, b: &AtomStore, tol: 
 }
 
 fn serial_snapshot(sim: &Simulation) -> AtomStore {
-    // Serial store is already sorted by id (built in id order).
-    sim.store().clone()
+    // The serial engine re-sorts atoms into Morton order as it runs, so the
+    // snapshot must be brought back to id order to line up with gather().
+    let mut store = sim.store().clone();
+    store.sort_by_id();
+    store
 }
 
 #[test]

@@ -218,6 +218,74 @@ fn lj_threaded(method: Method, cells: usize, steps: usize) -> BenchCase {
     }
 }
 
+fn silica_ff(method: Method) -> ForceField {
+    let v = Vashishta::silica();
+    ForceField {
+        pair: Some(Box::new(v.pair.clone())),
+        triplet: Some(Box::new(v.triplet.clone())),
+        quadruplet: None,
+        method,
+    }
+}
+
+fn silica_dist_inputs(cells: usize) -> (sc_cell::AtomStore, sc_geom::SimulationBox) {
+    let v = Vashishta::silica();
+    let (mut store, bbox) = sc_md::build_silica_like(cells, 7.16, v.params().masses, 0.0, 42);
+    thermalize(&mut store, 0.05, 42);
+    (store, bbox)
+}
+
+fn silica_bsp(method: Method, cells: usize, steps: usize) -> BenchCase {
+    let (store, bbox) = silica_dist_inputs(cells);
+    let atoms = store.len() as u64;
+    let mut d = DistributedSim::new(store, bbox, IVec3::new(2, 2, 1), silica_ff(method), 0.0005)
+        .expect("pinned silica BSP workload builds");
+    let t0 = std::time::Instant::now();
+    d.run(steps);
+    let wall = t0.elapsed().as_secs_f64();
+    let t = d.telemetry();
+    BenchCase {
+        name: format!("bsp-{}-silica", method.name()),
+        executor: "bsp".into(),
+        method: method.name().into(),
+        system: "silica".into(),
+        atoms,
+        steps: steps as u64,
+        wall_s: wall,
+        ms_per_step: wall / steps as f64 * 1e3,
+        tuples_candidates: t.tuples.total_candidates(),
+        tuples_accepted: t.tuples.total_accepted(),
+        energy_total: t.energy.total(),
+        comm_messages: t.comm.messages,
+        comm_bytes: t.comm.bytes,
+    }
+}
+
+fn silica_threaded(method: Method, cells: usize, steps: usize) -> BenchCase {
+    let (store, bbox) = silica_dist_inputs(cells);
+    let atoms = store.len() as u64;
+    let t0 = std::time::Instant::now();
+    let (_, energy, stats) =
+        ThreadedSim::run(store, bbox, IVec3::new(2, 2, 1), silica_ff(method), 0.0005, steps)
+            .expect("pinned silica threaded workload runs");
+    let wall = t0.elapsed().as_secs_f64();
+    BenchCase {
+        name: format!("threaded-{}-silica", method.name()),
+        executor: "threaded".into(),
+        method: method.name().into(),
+        system: "silica".into(),
+        atoms,
+        steps: steps as u64,
+        wall_s: wall,
+        ms_per_step: wall / steps as f64 * 1e3,
+        tuples_candidates: 0,
+        tuples_accepted: 0,
+        energy_total: energy.total(),
+        comm_messages: stats.messages,
+        comm_bytes: stats.bytes,
+    }
+}
+
 /// Runs the pinned workload matrix. `quick` halves the step counts (used
 /// by tests; CI and interactive runs use the full matrix, which still
 /// completes in seconds).
@@ -233,6 +301,11 @@ pub fn run_matrix(quick: bool) -> Vec<BenchCase> {
         cases.push(lj_bsp(method, 7, dist_steps));
     }
     cases.push(lj_threaded(Method::ShiftCollapse, 7, dist_steps));
+    // The paper's benchmark app on both distributed executors: pair+triplet
+    // silica is where the Morton layout + batched lane kernels must show a
+    // ms/step win (DESIGN §5d).
+    cases.push(silica_bsp(Method::ShiftCollapse, 4, dist_steps));
+    cases.push(silica_threaded(Method::ShiftCollapse, 4, dist_steps));
     cases
 }
 
@@ -302,6 +375,43 @@ pub fn compare(baseline: &Json, current: &Json, wall_tol_pct: f64) -> (Vec<Strin
     (report, failures)
 }
 
+/// Renders the per-case wall-time delta between two bench documents as a
+/// GitHub-flavoured markdown table — written into the CI job summary by
+/// `scmd bench --summary`. Cases present only in `current` (newly added
+/// benchmarks) are listed with an em-dash baseline instead of being
+/// silently dropped.
+pub fn markdown_delta_table(baseline: &Json, current: &Json) -> String {
+    let empty = Vec::new();
+    let base_cases = baseline.get("cases").and_then(|c| c.as_array()).unwrap_or(&empty);
+    let cur_cases = current.get("cases").and_then(|c| c.as_array()).unwrap_or(&empty);
+    let name_of = |c: &Json| c.get("name").and_then(|n| n.as_str()).unwrap_or("?").to_string();
+    let mut out = String::from(
+        "### Bench wall-time deltas\n\n\
+         | case | baseline ms/step | current ms/step | Δ wall |\n\
+         |---|---:|---:|---:|\n",
+    );
+    for cur in cur_cases {
+        let name = name_of(cur);
+        let cm = num(cur, "ms_per_step");
+        match base_cases.iter().find(|b| name_of(b) == name) {
+            Some(base) => {
+                let bm = num(base, "ms_per_step");
+                let (bw, cw) = (num(base, "wall_s"), num(cur, "wall_s"));
+                let pct = if bw > 0.0 { (cw / bw - 1.0) * 100.0 } else { 0.0 };
+                out.push_str(&format!("| {name} | {bm:.3} | {cm:.3} | {pct:+.1}% |\n"));
+            }
+            None => out.push_str(&format!("| {name} | — | {cm:.3} | new case |\n")),
+        }
+    }
+    for base in base_cases {
+        let name = name_of(base);
+        if !cur_cases.iter().any(|c| name_of(c) == name) {
+            out.push_str(&format!("| {name} | {:.3} | — | missing |\n", num(base, "ms_per_step")));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +458,39 @@ mod tests {
         let (_, failures) = compare(&doc(1.0, 1000), &doc(1.0, 1001), f64::INFINITY);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("tuples_candidates"), "{failures:?}");
+    }
+
+    #[test]
+    fn markdown_table_covers_new_and_missing_cases() {
+        let base = doc(1.0, 1000);
+        let mut extra = doc(0.5, 1000);
+        if let Json::Obj(fields) = &mut extra {
+            if let Some((_, Json::Arr(cases))) = fields.iter_mut().find(|(k, _)| k == "cases") {
+                let added = BenchCase {
+                    name: "bsp-SC-MD-silica".into(),
+                    executor: "bsp".into(),
+                    method: "SC-MD".into(),
+                    system: "silica".into(),
+                    atoms: 1536,
+                    steps: 5,
+                    wall_s: 0.2,
+                    ms_per_step: 40.0,
+                    tuples_candidates: 1,
+                    tuples_accepted: 1,
+                    energy_total: -1.0,
+                    comm_messages: 1,
+                    comm_bytes: 8,
+                };
+                cases.push(added.to_json());
+            }
+        }
+        let table = markdown_delta_table(&base, &extra);
+        assert!(table.contains("| serial-sc-lj |"), "{table}");
+        assert!(table.contains("-50.0%"), "{table}");
+        assert!(table.contains("| bsp-SC-MD-silica | — | 40.000 | new case |"), "{table}");
+        // The reverse direction reports the dropped case.
+        let table = markdown_delta_table(&extra, &base);
+        assert!(table.contains("missing"), "{table}");
     }
 
     #[test]

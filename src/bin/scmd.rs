@@ -4,8 +4,8 @@
 //! scmd run      --system lj|silica --cells N --steps N --method sc|fs|hybrid
 //!               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]
 //!               [--metrics-json PATH] [--trace PATH]
-//! scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT]
-//! scmd bench    --compare OLD --with NEW [--wall-tol PCT]
+//! scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT] [--summary PATH]
+//! scmd bench    --compare OLD --with NEW [--wall-tol PCT] [--summary PATH]
 //! scmd patterns [--n N]           # pattern algebra summary
 //! scmd model    --machine xeon|bgq [--grain N]   # cost-model report
 //! ```
@@ -66,8 +66,8 @@ fn usage(err: &str) -> ! {
          USAGE:\n  scmd run      --system lj|silica [--cells N] [--steps N] [--method sc|fs|hybrid]\n\
          \x20               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]\n\
          \x20               [--metrics-json PATH] [--trace PATH]\n\
-         \x20 scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT]\n\
-         \x20 scmd bench    --compare OLD --with NEW [--wall-tol PCT]\n\
+         \x20 scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT] [--summary PATH]\n\
+         \x20 scmd bench    --compare OLD --with NEW [--wall-tol PCT] [--summary PATH]\n\
          \x20 scmd patterns [--n N]\n\
          \x20 scmd model    [--machine xeon|bgq] [--grain N]"
     );
@@ -209,7 +209,9 @@ fn run(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Err
 }
 
 fn bench(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Error> {
-    use shift_collapse_md::bench::{compare, git_sha, run_matrix, to_document};
+    use shift_collapse_md::bench::{
+        compare, git_sha, markdown_delta_table, run_matrix, to_document,
+    };
     use shift_collapse_md::obs::json::Json;
 
     let wall_tol: f64 = get(flags, "wall-tol", 200.0);
@@ -222,6 +224,15 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::E
         let (report, failures) = compare(baseline, current, wall_tol);
         for line in &report {
             println!("{line}");
+        }
+        // --summary PATH appends the per-case wall delta table as markdown
+        // (pointed at $GITHUB_STEP_SUMMARY by the CI bench-regression job).
+        if let Some(path) = flags.get("summary") {
+            use std::io::Write;
+            let table = markdown_delta_table(baseline, current);
+            let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+            f.write_all(table.as_bytes())?;
+            println!("# wall delta table appended to {path}");
         }
         if failures.is_empty() {
             println!("# no regressions (wall tolerance {wall_tol}%)");

@@ -51,9 +51,14 @@ fn serial_and_distributed_silica_agree_through_time() {
     serial.run(5);
     dist.run(5);
     let gathered = dist.gather();
-    let sp = serial.store().positions();
+    // The serial engine re-sorts atoms into Morton order as it runs; compare
+    // through the id → slot indirection rather than assuming slot == id.
+    let mut snapshot = serial.store().clone();
+    snapshot.sort_by_id();
+    let sp = snapshot.positions();
     for (i, (&id, &r)) in gathered.ids().iter().zip(gathered.positions()).enumerate() {
         assert_eq!(id, i as u64);
+        assert_eq!(snapshot.ids()[i], id);
         let dr = bbox.min_image(r, sp[i]).norm();
         assert!(dr < 1e-6, "atom {i} drifted {dr} between serial and distributed");
     }
