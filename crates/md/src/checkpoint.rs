@@ -17,7 +17,38 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: [u8; 4] = *b"SCCK";
-const VERSION: u32 = 1;
+/// Format version. v2 added the [`SnapshotLayout`] header; v1 files (which
+/// lack it) are rejected with [`CheckpointError::BadVersion`] rather than
+/// being reinterpreted under the new layout.
+const VERSION: u32 = 2;
+
+/// The producer topology recorded in a snapshot header: which runtime wrote
+/// the file. Restores are topology-independent (a snapshot is a global
+/// phase-space point), so the layout is provenance, not a restore
+/// constraint — use [`Checkpoint::require_layout`] where a caller *does*
+/// want to insist on a producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotLayout {
+    /// Written by the serial engine (store order = summation order).
+    Serial,
+    /// Written by a distributed executor running this rank grid (atoms are
+    /// gathered in global-id order).
+    Grid {
+        /// Rank-grid dimensions of the producer.
+        pdims: [i32; 3],
+    },
+}
+
+impl fmt::Display for SnapshotLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotLayout::Serial => write!(f, "serial"),
+            SnapshotLayout::Grid { pdims } => {
+                write!(f, "{}x{}x{} grid", pdims[0], pdims[1], pdims[2])
+            }
+        }
+    }
+}
 
 /// Why a checkpoint could not be decoded or moved to/from disk.
 #[derive(Debug)]
@@ -31,6 +62,19 @@ pub enum CheckpointError {
         /// The version found in the header.
         u32,
     ),
+    /// The rank-layout header holds a tag this build does not know.
+    BadLayout(
+        /// The layout tag found in the header.
+        u8,
+    ),
+    /// The snapshot was produced by a different topology than the caller
+    /// required (see [`Checkpoint::require_layout`]).
+    LayoutMismatch {
+        /// The layout the caller insisted on.
+        expected: SnapshotLayout,
+        /// The layout recorded in the snapshot.
+        found: SnapshotLayout,
+    },
     /// The buffer ended before the declared content.
     Truncated,
     /// The trailing checksum does not match the content (torn write or bit
@@ -44,6 +88,10 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
             CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadLayout(t) => write!(f, "unknown checkpoint layout tag {t}"),
+            CheckpointError::LayoutMismatch { expected, found } => {
+                write!(f, "checkpoint layout mismatch: expected {expected}, found {found}")
+            }
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
             CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
         }
@@ -70,6 +118,8 @@ impl From<io::Error> for CheckpointError {
 /// the exact summation order of the saved run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
+    /// Producer topology (format-version-2 header field).
+    pub layout: SnapshotLayout,
     /// Steps completed when the snapshot was taken.
     pub step: u64,
     /// The integration timestep in force.
@@ -95,6 +145,7 @@ impl Checkpoint {
     /// Snapshots a store (owned slots only — pass a store without ghosts).
     pub fn from_store(step: u64, dt: f64, bbox: &SimulationBox, store: &AtomStore) -> Self {
         Checkpoint {
+            layout: SnapshotLayout::Serial,
             step,
             dt,
             box_lengths: bbox.lengths(),
@@ -115,6 +166,24 @@ impl Checkpoint {
         }
         store.forces_mut().copy_from_slice(&self.forces);
         store
+    }
+
+    /// Stamps the producer topology into the header (builder style).
+    pub fn with_layout(mut self, layout: SnapshotLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Insists that the snapshot was produced by `expected`.
+    ///
+    /// # Errors
+    /// [`CheckpointError::LayoutMismatch`] naming both layouts.
+    pub fn require_layout(&self, expected: SnapshotLayout) -> Result<(), CheckpointError> {
+        if self.layout == expected {
+            Ok(())
+        } else {
+            Err(CheckpointError::LayoutMismatch { expected, found: self.layout })
+        }
     }
 
     /// The periodic box of the snapshot.
@@ -141,6 +210,16 @@ impl Checkpoint {
         );
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
+        // Layout header: tag byte + three i32 grid dims (zero for serial),
+        // fixed-width so the offset of everything after it is static.
+        let (tag, pdims) = match self.layout {
+            SnapshotLayout::Serial => (0u8, [0i32; 3]),
+            SnapshotLayout::Grid { pdims } => (1u8, pdims),
+        };
+        out.push(tag);
+        for d in pdims {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
         out.extend_from_slice(&self.step.to_le_bytes());
         put_f64(&mut out, self.dt);
         put_vec3(&mut out, self.box_lengths);
@@ -183,6 +262,16 @@ impl Checkpoint {
         if version != VERSION {
             return Err(CheckpointError::BadVersion(version));
         }
+        let tag = r.u8()?;
+        let mut pdims = [0i32; 3];
+        for d in &mut pdims {
+            *d = r.u32()? as i32;
+        }
+        let layout = match tag {
+            0 => SnapshotLayout::Serial,
+            1 => SnapshotLayout::Grid { pdims },
+            t => return Err(CheckpointError::BadLayout(t)),
+        };
         let step = r.u64()?;
         let dt = r.f64()?;
         let box_lengths = r.vec3()?;
@@ -193,6 +282,7 @@ impl Checkpoint {
         }
         let n = r.u64()? as usize;
         let mut cp = Checkpoint {
+            layout,
             step,
             dt,
             box_lengths,
@@ -343,6 +433,47 @@ mod tests {
         vbad[4] = 99; // version byte
                       // Version is covered by the checksum, so this reads as corruption.
         assert!(Checkpoint::from_bytes(&vbad).is_err());
+    }
+
+    /// Re-seals a hand-mutated buffer so it fails on content, not checksum.
+    fn reseal(mut bytes: Vec<u8>) -> Vec<u8> {
+        let n = bytes.len() - 8;
+        bytes.truncate(n);
+        let sum = fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn layout_header_round_trips() {
+        let cp = sample().with_layout(SnapshotLayout::Grid { pdims: [2, 2, 1] });
+        let back = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
+        assert_eq!(back.layout, SnapshotLayout::Grid { pdims: [2, 2, 1] });
+        assert_eq!(cp, back);
+        assert!(back.require_layout(SnapshotLayout::Grid { pdims: [2, 2, 1] }).is_ok());
+        let err = back.require_layout(SnapshotLayout::Serial).unwrap_err();
+        assert!(matches!(err, CheckpointError::LayoutMismatch { .. }));
+        assert!(err.to_string().contains("2x2x1"), "{err}");
+    }
+
+    #[test]
+    fn old_format_version_is_rejected_not_reinterpreted() {
+        // A well-formed v1 file differs from v2 only by the version field
+        // and the missing 13-byte layout header; simulate one by patching
+        // the version down and re-sealing. The decoder must refuse it with
+        // the version it found, never parse the body under v2 offsets.
+        let mut bytes = sample().to_bytes();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let vbad = reseal(bytes);
+        assert!(matches!(Checkpoint::from_bytes(&vbad), Err(CheckpointError::BadVersion(1))));
+    }
+
+    #[test]
+    fn unknown_layout_tag_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 7; // layout tag
+        let bad = reseal(bytes);
+        assert!(matches!(Checkpoint::from_bytes(&bad), Err(CheckpointError::BadLayout(7))));
     }
 
     #[test]

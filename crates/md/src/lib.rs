@@ -52,7 +52,7 @@ mod stats;
 mod telemetry;
 mod workload;
 
-pub use checkpoint::{Checkpoint, CheckpointError};
+pub use checkpoint::{Checkpoint, CheckpointError, SnapshotLayout};
 pub use diagnostics::{
     chain_statistics, coordination_histogram, pair_virial_pressure, pair_virial_tensor,
     BondAngleDistribution, MeanSquaredDisplacement, RadialDistribution,

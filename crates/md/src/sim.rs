@@ -540,6 +540,7 @@ impl Simulation {
             comm: CommCounters::default(),
             per_rank: Vec::new(),
             alloc_events: self.par.accs.allocation_events() + self.metrics.allocation_events(),
+            degraded: false,
         }
     }
 

@@ -9,6 +9,20 @@
 //! timestep (graceful degradation). Engines stay decoupled: the serial
 //! [`crate::Simulation`] and the distributed executors in `sc-parallel`
 //! both implement [`Recoverable`].
+//!
+//! The escalation ladder, mildest rung first:
+//!
+//! 1. **rollback** — replay the interval from the last checkpoint;
+//! 2. **dt backoff** — physics violations compound a timestep reduction
+//!    ([`SupervisorConfig::dt_backoff`]), restored after
+//!    [`SupervisorConfig::recovery_intervals`] clean intervals;
+//! 3. **re-decomposition** — a fault naming a permanently dead rank
+//!    ([`Recoverable::dead_rank`]) skips the rollback loop entirely and
+//!    restores the last checkpoint onto the surviving ranks
+//!    ([`Recoverable::restore_excluding`]), budgeted by
+//!    [`SupervisorConfig::max_redecompositions`];
+//! 4. **abort** — budgets exhausted; [`SupervisorError`] carries the
+//!    diagnostics.
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use sc_obs::trace::EventKind;
@@ -50,6 +64,26 @@ pub trait Recoverable {
 
     /// Steps completed.
     fn steps_done(&self) -> u64;
+
+    /// When `fault` means a rank is permanently dead (rollback cannot
+    /// help — replaying delivers into the same silence), the dead rank's
+    /// index. The default — engines with no notion of rank death — is
+    /// `None`, which routes every fault down the rollback path.
+    fn dead_rank(_fault: &Self::Fault) -> Option<usize> {
+        None
+    }
+
+    /// Restores `cp` onto a decomposition that excludes `exclude`,
+    /// re-partitioning the snapshot over the survivors. Engines that cannot
+    /// re-decompose keep the default, which refuses (the supervisor then
+    /// aborts with [`SupervisorError::RankLost`]).
+    ///
+    /// # Errors
+    /// A human-readable reason re-decomposition is impossible (no feasible
+    /// surviving grid, unsupported engine, …).
+    fn restore_excluding(&mut self, _cp: &Checkpoint, _exclude: &[usize]) -> Result<(), String> {
+        Err("engine does not support re-decomposition onto survivors".to_string())
+    }
 }
 
 /// Supervision policy.
@@ -68,6 +102,13 @@ pub struct SupervisorConfig {
     pub dt_backoff: f64,
     /// Floor for the degraded timestep.
     pub min_dt: f64,
+    /// Clean checkpoint intervals (no rollback in between) after which a
+    /// backed-off timestep is restored to its original value. `0` disables
+    /// restoration: once degraded, the run stays degraded.
+    pub recovery_intervals: u32,
+    /// Re-decompositions onto a surviving rank set before giving up (each
+    /// lost rank spends one).
+    pub max_redecompositions: u32,
     /// When set, every checkpoint is also written to
     /// `<dir>/checkpoint-<step>.sc` for out-of-process recovery.
     pub checkpoint_dir: Option<PathBuf>,
@@ -91,6 +132,8 @@ impl Default for SupervisorConfig {
             energy_drift_tol: None,
             dt_backoff: 1.0,
             min_dt: 0.0,
+            recovery_intervals: 0,
+            max_redecompositions: 2,
             checkpoint_dir: None,
             metrics: Registry::disabled(),
             tracer: Tracer::disabled(),
@@ -110,6 +153,12 @@ pub struct RecoveryStats {
     pub comm_faults: u64,
     /// Rollbacks caused by physics-invariant violations.
     pub invariant_violations: u64,
+    /// Re-decompositions onto a surviving rank set after a rank death.
+    pub redecompositions: u64,
+    /// Ranks excluded across all re-decompositions.
+    pub ranks_lost: u64,
+    /// Backed-off timesteps restored after clean running.
+    pub dt_restores: u64,
 }
 
 /// Why supervision gave up.
@@ -123,6 +172,14 @@ pub enum SupervisorError {
         /// Description of the final fault or violation.
         last_fault: String,
     },
+    /// A rank died and recovery by re-decomposition was impossible (budget
+    /// exhausted or the engine/grid cannot shrink further).
+    RankLost {
+        /// The dead rank.
+        rank: usize,
+        /// Why re-decomposition could not proceed.
+        detail: String,
+    },
     /// A checkpoint could not be written to disk.
     Checkpoint(CheckpointError),
 }
@@ -132,6 +189,9 @@ impl fmt::Display for SupervisorError {
         match self {
             SupervisorError::RollbacksExhausted { rollbacks, last_fault } => {
                 write!(f, "gave up after {rollbacks} rollbacks; last fault: {last_fault}")
+            }
+            SupervisorError::RankLost { rank, detail } => {
+                write!(f, "rank {rank} lost and not recoverable: {detail}")
             }
             SupervisorError::Checkpoint(e) => write!(f, "checkpointing failed: {e}"),
         }
@@ -163,6 +223,13 @@ pub struct Supervisor {
     consecutive_rollbacks: u32,
     /// Compounding timestep degradation factor.
     dt_scale: f64,
+    /// The undegraded timestep, captured at the first checkpoint (the
+    /// dt-restore target).
+    baseline_dt: Option<f64>,
+    /// Checkpoint intervals completed without a rollback while degraded.
+    clean_intervals: u32,
+    /// Re-decompositions performed so far (spends the budget).
+    redecompositions: u32,
 }
 
 impl Supervisor {
@@ -177,6 +244,9 @@ impl Supervisor {
             baseline_atoms: None,
             consecutive_rollbacks: 0,
             dt_scale: 1.0,
+            baseline_dt: None,
+            clean_intervals: 0,
+            redecompositions: 0,
         }
     }
 
@@ -190,7 +260,22 @@ impl Supervisor {
         self.last_good.as_ref()
     }
 
-    fn save_checkpoint<S: Recoverable>(&mut self, sim: &S) -> Result<(), SupervisorError> {
+    fn save_checkpoint<S: Recoverable>(&mut self, sim: &mut S) -> Result<(), SupervisorError> {
+        self.baseline_dt.get_or_insert(sim.timestep());
+        // dt restoration happens *before* the snapshot, so the checkpoint
+        // carries the restored timestep and a later rollback keeps it.
+        if self.dt_scale < 1.0 && self.config.recovery_intervals > 0 {
+            self.clean_intervals += 1;
+            if self.clean_intervals >= self.config.recovery_intervals {
+                self.dt_scale = 1.0;
+                self.clean_intervals = 0;
+                if let Some(dt) = self.baseline_dt {
+                    sim.set_timestep(dt);
+                }
+                self.stats.dt_restores += 1;
+                self.config.metrics.counter("supervisor.dt_restores").inc();
+            }
+        }
         let cp = sim.checkpoint();
         if let Some(dir) = &self.config.checkpoint_dir {
             cp.save(&dir.join(format!("checkpoint-{}.sc", cp.step)))?;
@@ -242,6 +327,7 @@ impl Supervisor {
             });
         }
         self.consecutive_rollbacks += 1;
+        self.clean_intervals = 0;
         self.stats.rollbacks += 1;
         self.config.metrics.counter("supervisor.rollbacks").inc();
         self.tsink.instant(sim.steps_done(), EventKind::Rollback);
@@ -259,9 +345,42 @@ impl Supervisor {
         sim.restore(cp);
         if physics && self.config.dt_backoff < 1.0 {
             self.dt_scale *= self.config.dt_backoff;
-            let dt = (cp.dt * self.dt_scale).max(self.config.min_dt);
+            let dt = (self.baseline_dt.unwrap_or(cp.dt) * self.dt_scale).max(self.config.min_dt);
             sim.set_timestep(dt);
         }
+        Ok(())
+    }
+
+    /// Recovery for a permanently dead rank: restore the last checkpoint
+    /// onto the surviving rank set. Rollback is pointless here (every
+    /// replay delivers into the same dead rank), so this rung neither
+    /// spends nor requires rollback budget — and a successful
+    /// re-decomposition resets it, since the failing rank is gone.
+    fn handle_dead_rank<S: Recoverable>(
+        &mut self,
+        sim: &mut S,
+        rank: usize,
+        why: String,
+    ) -> Result<(), SupervisorError> {
+        if self.redecompositions >= self.config.max_redecompositions {
+            return Err(SupervisorError::RankLost {
+                rank,
+                detail: format!(
+                    "re-decomposition budget ({}) exhausted; {why}",
+                    self.config.max_redecompositions
+                ),
+            });
+        }
+        let cp = self.last_good.clone().expect("dead-rank recovery without a checkpoint");
+        self.tsink.instant(sim.steps_done(), EventKind::Redecompose { rank: rank as u32 });
+        sim.restore_excluding(&cp, &[rank])
+            .map_err(|detail| SupervisorError::RankLost { rank, detail })?;
+        self.redecompositions += 1;
+        self.stats.redecompositions += 1;
+        self.stats.ranks_lost += 1;
+        self.config.metrics.counter("supervisor.redecompositions").inc();
+        self.consecutive_rollbacks = 0;
+        self.clean_intervals = 0;
         Ok(())
     }
 
@@ -290,7 +409,10 @@ impl Supervisor {
                         self.save_checkpoint(sim)?;
                     }
                 }
-                Err(e) => self.rollback(sim, false, e.to_string())?,
+                Err(e) => match S::dead_rank(&e) {
+                    Some(rank) => self.handle_dead_rank(sim, rank, e.to_string())?,
+                    None => self.rollback(sim, false, e.to_string())?,
+                },
             }
         }
         Ok(())
@@ -303,10 +425,16 @@ mod tests {
     use sc_geom::Vec3;
 
     #[derive(Debug)]
-    struct MockFault(&'static str);
+    enum MockFault {
+        Comm(&'static str),
+        Dead(usize),
+    }
     impl fmt::Display for MockFault {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "{}", self.0)
+            match self {
+                MockFault::Comm(s) => write!(f, "{s}"),
+                MockFault::Dead(r) => write!(f, "rank {r} dead"),
+            }
         }
     }
     impl std::error::Error for MockFault {}
@@ -323,9 +451,17 @@ mod tests {
         comm_fail_at: Vec<u64>,
         /// Steps after which the state turns non-finite once.
         blowup_at: Vec<u64>,
+        /// `(step, rank)` pairs: stepping at `step` reports `rank` dead
+        /// (consumed when the supervisor excludes the rank).
+        dead_at: Vec<(u64, usize)>,
+        /// When set, every step reports this rank dead (budget tests).
+        always_dead: Option<usize>,
         /// When true, every step fails (for budget-exhaustion tests).
         always_fail: bool,
+        /// Whether the mock honours `restore_excluding`.
+        can_redecompose: bool,
         restores: u32,
+        excluded: Vec<usize>,
     }
 
     impl MockSim {
@@ -338,8 +474,12 @@ mod tests {
                 finite: true,
                 comm_fail_at: vec![],
                 blowup_at: vec![],
+                dead_at: vec![],
+                always_dead: None,
                 always_fail: false,
+                can_redecompose: true,
                 restores: 0,
+                excluded: vec![],
             }
         }
     }
@@ -348,11 +488,17 @@ mod tests {
         type Fault = MockFault;
         fn try_step(&mut self) -> Result<(), MockFault> {
             if self.always_fail {
-                return Err(MockFault("persistent fault"));
+                return Err(MockFault::Comm("persistent fault"));
+            }
+            if let Some(r) = self.always_dead {
+                return Err(MockFault::Dead(r));
+            }
+            if let Some(&(_, r)) = self.dead_at.iter().find(|&&(s, _)| s == self.step) {
+                return Err(MockFault::Dead(r));
             }
             if let Some(i) = self.comm_fail_at.iter().position(|&s| s == self.step) {
                 self.comm_fail_at.swap_remove(i);
-                return Err(MockFault("scripted comm fault"));
+                return Err(MockFault::Comm("scripted comm fault"));
             }
             self.step += 1;
             if let Some(i) = self.blowup_at.iter().position(|&s| s == self.step) {
@@ -363,6 +509,7 @@ mod tests {
         }
         fn checkpoint(&self) -> Checkpoint {
             Checkpoint {
+                layout: crate::checkpoint::SnapshotLayout::Serial,
                 step: self.step,
                 dt: self.dt,
                 box_lengths: Vec3::splat(1.0),
@@ -397,6 +544,24 @@ mod tests {
         }
         fn steps_done(&self) -> u64 {
             self.step
+        }
+        fn dead_rank(fault: &MockFault) -> Option<usize> {
+            match fault {
+                MockFault::Dead(r) => Some(*r),
+                MockFault::Comm(_) => None,
+            }
+        }
+        fn restore_excluding(&mut self, cp: &Checkpoint, exclude: &[usize]) -> Result<(), String> {
+            if !self.can_redecompose {
+                return Err("mock cannot shrink".to_string());
+            }
+            self.excluded.extend_from_slice(exclude);
+            self.dead_at.retain(|(_, r)| !exclude.contains(r));
+            self.step = cp.step;
+            self.dt = cp.dt;
+            self.finite = true;
+            self.restores += 1;
+            Ok(())
         }
     }
 
@@ -492,11 +657,82 @@ mod tests {
             ..Default::default()
         });
         // Prime the reference, then shift the energy beyond 1%.
-        sup.save_checkpoint(&sim).unwrap();
+        sup.save_checkpoint(&mut sim).unwrap();
         sim.energy = -40.0;
         let err = sup.run(&mut sim, 5).unwrap_err();
         assert!(err.to_string().contains("energy drift"), "{err}");
         assert_eq!(sup.stats().invariant_violations, 1);
+    }
+
+    #[test]
+    fn dead_rank_triggers_redecomposition_not_rollback() {
+        let tracer = Tracer::new();
+        let mut sim = MockSim::new();
+        sim.dead_at = vec![(4, 2)];
+        let mut sup = Supervisor::new(SupervisorConfig {
+            checkpoint_every: 3,
+            tracer: tracer.clone(),
+            ..Default::default()
+        });
+        sup.run(&mut sim, 10).unwrap();
+        assert_eq!(sim.step, 10);
+        assert_eq!(sim.excluded, vec![2]);
+        let s = sup.stats();
+        assert_eq!(s.redecompositions, 1);
+        assert_eq!(s.ranks_lost, 1);
+        assert_eq!(s.rollbacks, 0, "rank death takes the re-decomposition rung, not rollback");
+        let marks =
+            tracer.events().iter().filter(|e| e.kind == EventKind::Redecompose { rank: 2 }).count();
+        assert_eq!(marks, 1);
+    }
+
+    #[test]
+    fn redecomposition_budget_is_terminal() {
+        let mut sim = MockSim::new();
+        sim.always_dead = Some(1);
+        let mut sup =
+            Supervisor::new(SupervisorConfig { max_redecompositions: 2, ..Default::default() });
+        let err = sup.run(&mut sim, 5).unwrap_err();
+        assert!(matches!(err, SupervisorError::RankLost { rank: 1, .. }), "{err}");
+        assert!(err.to_string().contains("budget"), "{err}");
+        assert_eq!(sup.stats().redecompositions, 2);
+    }
+
+    #[test]
+    fn engine_refusing_to_shrink_aborts_with_diagnostics() {
+        let mut sim = MockSim::new();
+        sim.dead_at = vec![(2, 0)];
+        sim.can_redecompose = false;
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        let err = sup.run(&mut sim, 5).unwrap_err();
+        assert!(matches!(err, SupervisorError::RankLost { rank: 0, .. }), "{err}");
+        assert!(err.to_string().contains("cannot shrink"), "{err}");
+    }
+
+    #[test]
+    fn backed_off_timestep_restores_after_clean_intervals() {
+        let mut sim = MockSim::new();
+        sim.blowup_at = vec![2];
+        let mut sup = Supervisor::new(SupervisorConfig {
+            checkpoint_every: 5,
+            dt_backoff: 0.5,
+            recovery_intervals: 2,
+            ..Default::default()
+        });
+        // The blowup at step 2 backs dt off to 0.5; the checkpoint at 5 is
+        // the first clean interval — not enough to restore yet.
+        sup.run(&mut sim, 7).unwrap();
+        assert_eq!(sim.dt, 0.5, "still degraded after one clean interval");
+        // The checkpoint at 10 completes the second clean interval: dt is
+        // restored *before* the snapshot, so the checkpoint carries it.
+        sup.run(&mut sim, 3).unwrap();
+        assert_eq!(sim.dt, 1.0, "restored after two clean intervals");
+        assert_eq!(sup.stats().dt_restores, 1);
+        assert_eq!(sup.last_checkpoint().unwrap().dt, 1.0);
+        // A later comm rollback replays with the restored timestep.
+        sim.comm_fail_at = vec![12];
+        sup.run(&mut sim, 5).unwrap();
+        assert_eq!(sim.dt, 1.0);
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct Telemetry {
     /// Allocation events observed in the hot path: force-scratch
     /// growth plus metric registrations. Flat across steady-state steps.
     pub alloc_events: u64,
+    /// Whether the runtime is in degraded mode: it lost at least one rank
+    /// and re-decomposed onto the survivors. Always `false` for the
+    /// shared-memory engine.
+    pub degraded: bool,
 }
 
 impl Telemetry {
@@ -121,6 +125,7 @@ impl Telemetry {
                 ),
             ),
             ("alloc_events".to_string(), Json::num(self.alloc_events as f64)),
+            ("degraded".to_string(), Json::Bool(self.degraded)),
         ]);
         let Json::Obj(mut fields) = doc else { unreachable!() };
         if let Some(report) = self.imbalance() {
@@ -209,6 +214,7 @@ mod tests {
         assert_eq!(ranks[1].get("rank").unwrap().as_f64(), Some(1.0));
         assert_eq!(ranks[1].get("bytes").unwrap().as_f64(), Some(100.0));
         assert_eq!(v.get("alloc_events").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("degraded").unwrap().as_bool(), Some(false));
         // Per-rank entries carry their own phase breakdown …
         let rank_phases = ranks[1].get("phases").unwrap();
         assert_eq!(rank_phases.get("eval_s").unwrap().as_f64(), Some(0.75));

@@ -60,6 +60,14 @@ impl Json {
         }
     }
 
+    /// The boolean value; `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an array slice, if it is one.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {

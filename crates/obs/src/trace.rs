@@ -112,6 +112,20 @@ pub enum EventKind {
     Rollback,
     /// A fault was detected (transport or invariant).
     Fault,
+    /// A peer rank's health state changed (deadline-watchdog transition:
+    /// 0 = healthy, 1 = suspect, 2 = dead).
+    Health {
+        /// The rank whose health changed.
+        peer: u32,
+        /// The new state code (0 healthy / 1 suspect / 2 dead).
+        state: u8,
+    },
+    /// The runtime re-decomposed onto a surviving rank set after a rank
+    /// was declared dead.
+    Redecompose {
+        /// The rank that was excluded from the new decomposition.
+        rank: u32,
+    },
 }
 
 /// One timestamped event, as decoded from a ring.
@@ -137,6 +151,8 @@ const TAG_RECV: u64 = 2;
 const TAG_CHECKPOINT: u64 = 3;
 const TAG_ROLLBACK: u64 = 4;
 const TAG_FAULT: u64 = 5;
+const TAG_HEALTH: u64 = 6;
+const TAG_REDECOMP: u64 = 7;
 
 /// Encodes an event into ring words `w1..w7` (`w0` is the sequence word,
 /// written by the ring itself).
@@ -152,6 +168,8 @@ fn encode(ev: &TraceEvent) -> [u64; WORDS - 1] {
         EventKind::Checkpoint => (TAG_CHECKPOINT, 0, 0, 0, 0),
         EventKind::Rollback => (TAG_ROLLBACK, 0, 0, 0, 0),
         EventKind::Fault => (TAG_FAULT, 0, 0, 0, 0),
+        EventKind::Health { peer, state } => (TAG_HEALTH, state as u64, peer, 0, 0),
+        EventKind::Redecompose { rank } => (TAG_REDECOMP, 0, rank, 0, 0),
     };
     [
         ev.t_ns,
@@ -185,6 +203,13 @@ fn decode(words: &[u64; WORDS - 1]) -> Option<TraceEvent> {
         TAG_CHECKPOINT => EventKind::Checkpoint,
         TAG_ROLLBACK => EventKind::Rollback,
         TAG_FAULT => EventKind::Fault,
+        TAG_HEALTH => {
+            if code > 2 {
+                return None;
+            }
+            EventKind::Health { peer, state: code as u8 }
+        }
+        TAG_REDECOMP => EventKind::Redecompose { rank: peer },
         _ => return None,
     };
     Some(TraceEvent {
@@ -500,6 +525,35 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                 fields.push(("args".to_string(), Json::Obj(vec![step])));
                 Json::Obj(fields)
             }
+            EventKind::Health { peer, state } => {
+                let name = match state {
+                    0 => "healthy",
+                    1 => "suspect",
+                    _ => "dead",
+                };
+                let mut fields = base(format!("rank {peer} {name}"), "i");
+                fields.push(("s".to_string(), Json::str("g")));
+                fields.push(("cat".to_string(), Json::str("health")));
+                fields.push((
+                    "args".to_string(),
+                    Json::Obj(vec![
+                        step,
+                        ("peer".to_string(), Json::num(peer as f64)),
+                        ("state".to_string(), Json::str(name)),
+                    ]),
+                ));
+                Json::Obj(fields)
+            }
+            EventKind::Redecompose { rank } => {
+                let mut fields = base(format!("re-decompose (lost rank {rank})"), "i");
+                fields.push(("s".to_string(), Json::str("g")));
+                fields.push(("cat".to_string(), Json::str("recovery")));
+                fields.push((
+                    "args".to_string(),
+                    Json::Obj(vec![step, ("lost_rank".to_string(), Json::num(rank as f64))]),
+                ));
+                Json::Obj(fields)
+            }
         });
     }
     Json::Obj(vec![
@@ -556,6 +610,25 @@ mod tests {
         );
         assert_eq!(evs[3].kind, EventKind::Rollback);
         assert_eq!(evs[3].step, 8);
+    }
+
+    #[test]
+    fn health_and_redecompose_events_round_trip() {
+        let tr = Tracer::new();
+        let sink = tr.sink(0, 0);
+        sink.instant(4, EventKind::Health { peer: 6, state: 1 });
+        sink.instant(5, EventKind::Health { peer: 6, state: 2 });
+        sink.instant(5, EventKind::Redecompose { rank: 6 });
+        let evs = tr.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].kind, EventKind::Health { peer: 6, state: 1 });
+        assert_eq!(evs[1].kind, EventKind::Health { peer: 6, state: 2 });
+        assert_eq!(evs[2].kind, EventKind::Redecompose { rank: 6 });
+        // The chrome exporter labels the transitions for the timeline.
+        let doc = chrome_trace(&evs).to_string();
+        assert!(doc.contains("rank 6 suspect"), "{doc}");
+        assert!(doc.contains("rank 6 dead"), "{doc}");
+        assert!(doc.contains("re-decompose (lost rank 6)"), "{doc}");
     }
 
     #[test]

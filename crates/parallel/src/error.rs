@@ -137,6 +137,18 @@ pub enum RuntimeError {
         /// Delivery attempts made before escalating.
         attempts: u32,
     },
+    /// A peer rank was declared permanently dead by the health watchdog
+    /// (its failures outlived the deadline that bounds any recoverable
+    /// stall). Rollback cannot help — replaying delivers into the same
+    /// dead rank — so the supervisor must re-decompose over the survivors.
+    RankDead {
+        /// The dead rank.
+        rank: usize,
+        /// Steps the executor had completed when death was declared.
+        step: u64,
+        /// The epoch of the exchange that could not be delivered.
+        epoch: u64,
+    },
     /// A payload of the wrong kind arrived for a slot (protocol confusion).
     WrongPayload {
         /// The receiving rank.
@@ -170,6 +182,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::RankStalled { rank, epoch, attempts } => {
                 write!(f, "rank {rank} unresponsive in epoch {epoch} after {attempts} attempts")
+            }
+            RuntimeError::RankDead { rank, step, epoch } => {
+                write!(f, "rank {rank} declared dead at step {step} (epoch {epoch})")
             }
             RuntimeError::WrongPayload { rank, channel } => {
                 write!(f, "rank {rank}: wrong payload kind for {channel:?}")
@@ -278,6 +293,9 @@ mod tests {
         assert!(e.to_string().contains("epoch 7"));
         let e = RuntimeError::RankStalled { rank: 2, epoch: 4, attempts: 3 };
         assert!(e.to_string().contains("unresponsive"));
+        let e = RuntimeError::RankDead { rank: 5, step: 9, epoch: 9 };
+        assert!(e.to_string().contains("rank 5"));
+        assert!(e.to_string().contains("dead"));
         let e = RuntimeError::MissingHop {
             rank: 0,
             channel: Channel::Forces { hop: 2 },

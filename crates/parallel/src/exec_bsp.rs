@@ -6,13 +6,17 @@ use crate::comm::{CommStats, GhostPlan, PhaseTimings};
 use crate::error::{RuntimeError, SetupError};
 use crate::fault::{Delivery, FaultPlan};
 use crate::grid::RankGrid;
+use crate::health::{HealthConfig, HealthCounters, HealthTracker};
 use crate::msg::{AtomMsg, Channel, ForceMsg, GhostMsg, Message, Payload};
-use crate::rank::{halo_width_for, ForceField, RankState, DEFAULT_RESORT_EVERY};
+use crate::rank::{
+    best_grid_for, validate_decomposition, ForceField, RankState, DEFAULT_RESORT_EVERY,
+};
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
-use sc_md::checkpoint::Checkpoint;
+use sc_md::checkpoint::{Checkpoint, SnapshotLayout};
 use sc_md::supervisor::Recoverable;
 use sc_md::{EnergyBreakdown, LaneSlots, Observer, StepPhases, Telemetry, ThreadPool, TupleCounts};
+use sc_obs::trace::EventKind;
 use sc_obs::{Counter, Histogram, Phase, Registry, TraceSink, Tracer};
 
 /// Retries after a failed delivery before escalating (so each hop gets
@@ -24,9 +28,16 @@ const MAX_RETRIES: u32 = 2;
 /// Delivers `msg` from `from` to `to` through the fault plan, verifying the
 /// stamp on arrival and retrying (the sender re-sends its buffered copy) up
 /// to [`MAX_RETRIES`] times. Detected faults and retries are recorded in the
-/// sender's `stats`.
+/// sender's `stats`; every attempt's outcome also feeds the `health`
+/// watchdog, whose transitions are emitted as [`EventKind::Health`] events
+/// on `sink`. A sender the watchdog has declared dead escalates as
+/// [`RuntimeError::RankDead`] instead of the per-delivery fault — the signal
+/// for the supervisor to re-decompose rather than roll back.
+#[allow(clippy::too_many_arguments)]
 fn deliver_validated(
     fault: &mut FaultPlan,
+    health: &mut HealthTracker,
+    sink: &TraceSink,
     stats: &mut CommStats,
     epoch: u64,
     from: usize,
@@ -34,6 +45,7 @@ fn deliver_validated(
     channel: Channel,
     msg: Message,
 ) -> Result<Message, RuntimeError> {
+    let class = channel.trace_class();
     let mut attempts = 0u32;
     loop {
         attempts += 1;
@@ -45,7 +57,20 @@ fn deliver_validated(
         let outcome = fault.transmit(epoch, from, msg.clone());
         let err = match outcome {
             Delivery::Deliver(m) => match m.verify(to, epoch, channel) {
-                Ok(()) => return Ok(m),
+                Ok(()) => {
+                    if let Some(state) = health.record_success(from, class, epoch) {
+                        sink.instant(
+                            epoch,
+                            EventKind::Health { peer: from as u32, state: state.code() },
+                        );
+                    }
+                    // A flapping link can trip the circuit breaker on the
+                    // very delivery that succeeded; death still wins.
+                    if health.is_dead(from) {
+                        return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
+                    }
+                    return Ok(m);
+                }
                 Err(e) => e,
             },
             Delivery::Lost { stalled } => {
@@ -57,7 +82,13 @@ fn deliver_validated(
             }
         };
         stats.faults_detected += 1;
+        if let Some(state) = health.record_failure(from, class, epoch) {
+            sink.instant(epoch, EventKind::Health { peer: from as u32, state: state.code() });
+        }
         if attempts > MAX_RETRIES {
+            if health.is_dead(from) {
+                return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
+            }
             return Err(err);
         }
     }
@@ -105,6 +136,13 @@ pub struct DistributedSim {
     /// is fed per-step deltas rather than re-counted totals.
     last_totals: CommStats,
     observer: Option<(u64, Box<dyn Observer>)>,
+    /// The per-rank deadline watchdog / circuit breaker.
+    health: HealthTracker,
+    /// Watchdog counter totals at the last metrics feed (delta source).
+    last_health: HealthCounters,
+    /// Set by [`DistributedSim::restore_excluding`]: the runtime lost at
+    /// least one rank and is running on a re-decomposed survivor grid.
+    degraded: bool,
 }
 
 /// Pre-registered metric handles for the distributed executor; inert when
@@ -118,6 +156,10 @@ struct DistMetrics {
     retries: Counter,
     faults: Counter,
     step_bytes: Histogram,
+    health_suspects: Counter,
+    health_deaths: Counter,
+    health_recoveries: Counter,
+    health_breaker_trips: Counter,
 }
 
 impl DistMetrics {
@@ -132,6 +174,10 @@ impl DistMetrics {
             faults: reg.counter("comm.faults_detected"),
             step_bytes: reg
                 .histogram("comm.step_bytes", &[1024.0, 16384.0, 262144.0, 4194304.0, 67108864.0]),
+            health_suspects: reg.counter("health.suspects"),
+            health_deaths: reg.counter("health.deaths"),
+            health_recoveries: reg.counter("health.recoveries"),
+            health_breaker_trips: reg.counter("health.breaker_trips"),
         }
     }
 }
@@ -168,31 +214,7 @@ impl DistributedSim {
             return Err(SetupError::UnsupportedSubdivision(k));
         }
         let grid = RankGrid::try_new(pdims, bbox)?;
-        let width = halo_width_for(&ff, &grid);
-        let sub = grid.rank_box_lengths();
-        for a in 0..3 {
-            if width > sub[a] + 1e-12 {
-                return Err(SetupError::HaloTooDeep { halo: width, sub_box: sub[a], axis: a });
-            }
-        }
-        // Global aliasing check: the union of rank lattices must have ≥ n
-        // (and ≥ 3) cells per axis for every term of order n.
-        for (n, rcut) in ff.terms() {
-            for a in 0..3 {
-                let ext = ((sub[a] / rcut).floor() as i32).max(1);
-                if sub[a] < rcut {
-                    return Err(SetupError::SubBoxBelowCutoff { rcut, sub_box: sub[a], axis: a });
-                }
-                let global = ext * pdims[a];
-                if global < (n as i32).max(3) {
-                    return Err(SetupError::LatticeTooSmall {
-                        global_cells: global,
-                        needed: (n as i32).max(3),
-                        axis: a,
-                    });
-                }
-            }
-        }
+        let width = validate_decomposition(&ff, &grid)?;
         let plan = GhostPlan::for_method(ff.method, width)?;
         let ranks: Vec<RankState> =
             (0..grid.len()).map(|r| RankState::new_subdivided(r, grid, &store, &ff, k)).collect();
@@ -226,7 +248,27 @@ impl DistributedSim {
             exec_sink: TraceSink::disabled(),
             last_totals: CommStats::default(),
             observer: None,
+            health: HealthTracker::new(nranks, HealthConfig::default()),
+            last_health: HealthCounters::default(),
+            degraded: false,
         })
+    }
+
+    /// Replaces the health watchdog's thresholds (all ranks reset to
+    /// healthy; cumulative transition counters restart).
+    pub fn set_health_config(&mut self, config: HealthConfig) {
+        self.health = HealthTracker::new(self.ranks.len(), config);
+        self.last_health = HealthCounters::default();
+    }
+
+    /// The per-rank health watchdog (state and cumulative transitions).
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Whether the runtime lost a rank and re-decomposed onto survivors.
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Routes this executor's counters and phase timings into `registry`
@@ -295,6 +337,7 @@ impl DistributedSim {
             per_rank: self.ranks.iter().map(|r| r.stats.clone()).collect(),
             comm,
             alloc_events: self.registry.allocation_events(),
+            degraded: self.degraded,
         }
     }
 
@@ -430,6 +473,8 @@ impl DistributedSim {
                     let msg = Message::stamped(self.phase, epoch, channel, Payload::Migrate(atoms));
                     let got = deliver_validated(
                         &mut self.fault_plan,
+                        &mut self.health,
+                        &self.exec_sink,
                         &mut self.ranks[r].stats,
                         epoch,
                         r,
@@ -470,6 +515,8 @@ impl DistributedSim {
                 let msg = Message::stamped(self.phase, epoch, channel, Payload::Ghosts(band));
                 let got = deliver_validated(
                     &mut self.fault_plan,
+                    &mut self.health,
+                    &self.exec_sink,
                     &mut self.ranks[r].stats,
                     epoch,
                     r,
@@ -507,6 +554,8 @@ impl DistributedSim {
                 let msg = Message::stamped(self.phase, epoch, channel, Payload::Forces(forces));
                 let got = deliver_validated(
                     &mut self.fault_plan,
+                    &mut self.health,
+                    &self.exec_sink,
                     &mut self.ranks[r].stats,
                     epoch,
                     r,
@@ -659,6 +708,12 @@ impl DistributedSim {
         self.obs.faults.add(now.faults_detected - self.last_totals.faults_detected);
         self.obs.step_bytes.observe((now.bytes - self.last_totals.bytes) as f64);
         self.last_totals = now;
+        let h = self.health.counters();
+        self.obs.health_suspects.add(h.suspects - self.last_health.suspects);
+        self.obs.health_deaths.add(h.deaths - self.last_health.deaths);
+        self.obs.health_recoveries.add(h.recoveries - self.last_health.recoveries);
+        self.obs.health_breaker_trips.add(h.breaker_trips - self.last_health.breaker_trips);
+        self.last_health = h;
     }
 
     /// One velocity-Verlet step.
@@ -690,6 +745,87 @@ impl DistributedSim {
         }
         out
     }
+
+    /// Re-decomposes a checkpoint onto an arbitrary `pdims` rank grid and
+    /// resumes from it: atoms are re-sorted into the new sub-boxes, forces
+    /// are recomputed by the priming exchange, and the health watchdog is
+    /// resized to the new rank count (its cumulative transition counters
+    /// survive). Trace sinks are re-derived from the installed tracer so
+    /// the executor row stays at the new synthetic rank `nranks`.
+    ///
+    /// # Errors
+    /// The same feasibility checks as [`DistributedSim::new`]: every halo
+    /// must fit in one sub-box and the global lattice must accommodate the
+    /// largest tuple order.
+    pub fn restore_onto(&mut self, cp: &Checkpoint, pdims: IVec3) -> Result<(), SetupError> {
+        let grid = RankGrid::try_new(pdims, cp.bbox())?;
+        let width = validate_decomposition(&self.ff, &grid)?;
+        let plan = GhostPlan::for_method(self.ff.method, width)?;
+        let store = cp.to_store();
+        let ranks: Vec<RankState> = (0..grid.len())
+            .map(|r| RankState::new_subdivided(r, grid, &store, &self.ff, self.subdivision))
+            .collect();
+        let total: usize = ranks.iter().map(|r| r.owned()).sum();
+        if total != store.len() {
+            return Err(SetupError::AtomsLost { expected: store.len(), claimed: total });
+        }
+        let nranks = ranks.len();
+        self.grid = grid;
+        self.plan = plan;
+        self.ranks = ranks;
+        self.results = vec![Default::default(); nranks];
+        self.tsinks = (0..nranks).map(|r| self.tracer.sink(r as u32, 0)).collect();
+        self.exec_sink = self.tracer.sink(nranks as u32, 0);
+        // Rank indices mean something new now; per-rank health state from
+        // the old grid is unusable (cumulative counters are kept).
+        self.health.reset(nranks);
+        self.dt = cp.dt;
+        self.steps_done = cp.step;
+        self.needs_prime = true;
+        self.last_energy = EnergyBreakdown::default();
+        self.last_tuples = TupleCounts::default();
+        self.last_totals = CommStats::default();
+        Ok(())
+    }
+
+    /// The dead-rank recovery path: retires the ranks in `exclude` from
+    /// the fault plan (a crashed rank must not be re-killed under its new
+    /// number), picks the best feasible grid over the survivors via
+    /// [`best_grid_for`], and re-decomposes the checkpoint onto it. On
+    /// success the runtime is flagged [`DistributedSim::degraded`] and a
+    /// [`EventKind::Redecompose`] instant is traced per lost rank.
+    ///
+    /// # Errors
+    /// Fails when no survivor grid is feasible (even `1×1×1`) or the
+    /// re-decomposition itself fails its setup checks.
+    pub fn restore_excluding(
+        &mut self,
+        cp: &Checkpoint,
+        exclude: &[usize],
+    ) -> Result<(), SetupError> {
+        let survivors = self.ranks.len().saturating_sub(exclude.len());
+        if survivors == 0 {
+            return Err(SetupError::BadRankGrid { pdims: [0, 0, 0] });
+        }
+        for &r in exclude {
+            self.fault_plan.retire_rank(r);
+            self.exec_sink.instant(self.steps_done, EventKind::Redecompose { rank: r as u32 });
+        }
+        let pdims = match best_grid_for(&self.ff, cp.bbox(), survivors) {
+            Some(p) => p,
+            None => {
+                // Even one rank cannot host this system; surface the
+                // concrete 1×1×1 setup error as the diagnostic.
+                let grid = RankGrid::try_new(IVec3::splat(1), cp.bbox())?;
+                return Err(validate_decomposition(&self.ff, &grid)
+                    .err()
+                    .unwrap_or(SetupError::BadRankGrid { pdims: [1, 1, 1] }));
+            }
+        };
+        self.restore_onto(cp, pdims)?;
+        self.degraded = true;
+        Ok(())
+    }
 }
 
 impl Recoverable for DistributedSim {
@@ -700,7 +836,9 @@ impl Recoverable for DistributedSim {
     }
 
     fn checkpoint(&self) -> Checkpoint {
+        let p = self.grid.pdims();
         Checkpoint::from_store(self.steps_done, self.dt, self.grid.bbox(), &self.gather())
+            .with_layout(SnapshotLayout::Grid { pdims: [p.x, p.y, p.z] })
     }
 
     fn restore(&mut self, cp: &Checkpoint) {
@@ -751,5 +889,16 @@ impl Recoverable for DistributedSim {
 
     fn steps_done(&self) -> u64 {
         self.steps_done
+    }
+
+    fn dead_rank(fault: &RuntimeError) -> Option<usize> {
+        match fault {
+            RuntimeError::RankDead { rank, .. } => Some(*rank),
+            _ => None,
+        }
+    }
+
+    fn restore_excluding(&mut self, cp: &Checkpoint, exclude: &[usize]) -> Result<(), String> {
+        DistributedSim::restore_excluding(self, cp, exclude).map_err(|e| e.to_string())
     }
 }

@@ -9,14 +9,16 @@
 //! protects against the same protocol-confusion failure modes.
 
 use crate::comm::{CommStats, GhostPlan};
-use crate::error::{RunError, RuntimeError, SetupError};
+use crate::error::{RunError, RuntimeError};
 use crate::grid::RankGrid;
+use crate::health::{HealthConfig, HealthTracker, RankHealth};
 use crate::msg::{AtomMsg, Channel, Message, Payload};
-use crate::rank::{halo_width_for, ForceField, RankState, DEFAULT_RESORT_EVERY};
+use crate::rank::{validate_decomposition, ForceField, RankState, DEFAULT_RESORT_EVERY};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
 use sc_md::EnergyBreakdown;
+use sc_obs::trace::EventKind;
 use sc_obs::{Phase, Registry, TraceSink, Tracer};
 use std::sync::Arc;
 
@@ -29,11 +31,16 @@ struct Mailbox {
     rank: usize,
     rx: Receiver<Wire>,
     pending: Vec<Wire>,
+    /// Per-peer health watchdog — protocol parity with the BSP executor:
+    /// a stamp failure marks the sender suspect, and the flap breaker can
+    /// declare a peer dead from the receive path alone.
+    health: HealthTracker,
+    tsink: TraceSink,
 }
 
 impl Mailbox {
     /// Receives the message for `phase` and verifies its stamp against the
-    /// expected epoch and channel.
+    /// expected epoch and channel, feeding the sender's health watchdog.
     fn recv_validated(
         &mut self,
         phase: u64,
@@ -60,8 +67,28 @@ impl Mailbox {
                 self.pending.push((from, m));
             }
         };
-        m.verify(self.rank, epoch, channel)?;
-        Ok((from, m.payload))
+        match m.verify(self.rank, epoch, channel) {
+            Ok(()) => {
+                if let Some(s) = self.health.record_success(from, channel.trace_class(), epoch) {
+                    self.tsink
+                        .instant(epoch, EventKind::Health { peer: from as u32, state: s.code() });
+                    if s == RankHealth::Dead {
+                        return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
+                    }
+                }
+                Ok((from, m.payload))
+            }
+            Err(e) => {
+                if let Some(s) = self.health.record_failure(from, channel.trace_class(), epoch) {
+                    self.tsink
+                        .instant(epoch, EventKind::Health { peer: from as u32, state: s.code() });
+                    if s == RankHealth::Dead {
+                        return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 }
 
@@ -99,18 +126,9 @@ impl ThreadedSim {
         steps: usize,
         tracer: &Tracer,
     ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
-        // Reuse the BSP constructor's validation by building it (cheap) —
-        // the threaded run then constructs its own states.
+        // Same feasibility checks as the BSP constructor (shared helper).
         let grid = RankGrid::try_new(pdims, bbox)?;
-        let width = halo_width_for(&ff, &grid);
-        let sub = grid.rank_box_lengths();
-        for a in 0..3 {
-            if width > sub[a] + 1e-12 {
-                return Err(
-                    SetupError::HaloTooDeep { halo: width, sub_box: sub[a], axis: a }.into()
-                );
-            }
-        }
+        let width = validate_decomposition(&ff, &grid)?;
         let plan = GhostPlan::for_method(ff.method, width)?;
         let ff = Arc::new(ff);
         let nranks = grid.len();
@@ -225,7 +243,13 @@ fn rank_main(
     steps: usize,
     tsink: TraceSink,
 ) -> Result<(RankState, EnergyBreakdown), RuntimeError> {
-    let mut mailbox = Mailbox { rank, rx, pending: Vec::new() };
+    let mut mailbox = Mailbox {
+        rank,
+        rx,
+        pending: Vec::new(),
+        health: HealthTracker::new(grid.len(), HealthConfig::default()),
+        tsink: tsink.clone(),
+    };
     let mut phase = 0u64;
     let mut last_energy = EnergyBreakdown::default();
 

@@ -13,6 +13,12 @@
 //! delivery attempts from the rank) rather than step-based, so recovery by
 //! rollback — which replays the same step numbers — converges instead of
 //! re-triggering forever.
+//!
+//! The one exception is [`FaultKind::Crash`]: once fired it retires the
+//! rank permanently — every later transmission from it is swallowed, across
+//! rollbacks and replays, until [`FaultPlan::retire_rank`] removes the rank
+//! from the plan (which the recovery layer does when it re-decomposes onto
+//! the survivors).
 
 use crate::msg::{Channel, Message, Payload};
 use rand::{Rng, SeedableRng};
@@ -40,6 +46,11 @@ pub enum FaultKind {
         /// Number of consecutive delivery attempts to swallow.
         attempts: u32,
     },
+    /// The rank dies: it never transmits again. Unlike every other kind the
+    /// effect is permanent — every delivery attempt from the rank is
+    /// swallowed from the firing step on, including rollback replays — so
+    /// only rank exclusion (re-decomposition over the survivors) recovers.
+    Crash,
 }
 
 /// One scripted fault: fires the first time `rank` transmits on a matching
@@ -96,7 +107,11 @@ pub struct FaultPlan {
     faults: Vec<Fault>,
     /// Messages withheld by [`FaultKind::Delay`], keyed by sender + slot.
     held: Vec<(usize, Channel, Message)>,
-    /// Log of every fault that fired.
+    /// Ranks retired by a fired [`FaultKind::Crash`]: every transmission
+    /// from them is swallowed until [`FaultPlan::retire_rank`].
+    crashed: Vec<usize>,
+    /// Log of every fault that fired (a crash is logged once, when it
+    /// fires, not per swallowed attempt).
     events: Vec<FaultEvent>,
 }
 
@@ -112,7 +127,8 @@ impl FaultPlan {
         self
     }
 
-    /// Whether any scripted fault is still pending.
+    /// Whether any scripted *transient* fault is still pending. Crashed
+    /// ranks are permanent state, not pending work, so they do not count.
     pub fn is_exhausted(&self) -> bool {
         self.faults.is_empty() && self.held.is_empty()
     }
@@ -120,6 +136,28 @@ impl FaultPlan {
     /// Every fault that has fired so far, in firing order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
+    }
+
+    /// Scripted faults that have not fired yet (for reproducer bundles).
+    pub fn pending(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Ranks retired by a fired [`FaultKind::Crash`], in firing order.
+    pub fn crashed_ranks(&self) -> &[usize] {
+        &self.crashed
+    }
+
+    /// Removes `rank` from the plan entirely: its crashed status, its
+    /// pending faults, and any messages held from it. The recovery layer
+    /// calls this when it excludes the rank and re-decomposes — rank
+    /// indices are renumbered over the survivors, so faults scripted for
+    /// the dead rank must not re-fire against whichever rank inherits the
+    /// index.
+    pub fn retire_rank(&mut self, rank: usize) {
+        self.crashed.retain(|&r| r != rank);
+        self.faults.retain(|f| f.rank != rank);
+        self.held.retain(|(r, _, _)| *r != rank);
     }
 
     /// A seed-derived plan of `count` single faults spread over
@@ -142,11 +180,45 @@ impl FaultPlan {
         plan
     }
 
+    /// A seed-derived fault *storm* mixing all five kinds — including
+    /// [`FaultKind::Crash`] — for chaos soak runs. Crashes are capped at
+    /// `max_crashes` (and at `ranks - 1`, so at least one rank survives);
+    /// the remaining `count` slots draw from the four transient kinds. The
+    /// same seed always produces the same storm.
+    pub fn storm(seed: u64, count: usize, steps: u64, ranks: usize, max_crashes: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none();
+        let mut crashes = 0usize;
+        let crash_budget = max_crashes.min(ranks.saturating_sub(1));
+        for _ in 0..count {
+            let step = rng.gen_range(0..steps.max(1));
+            let rank = rng.gen_range(0..ranks.max(1));
+            let kind = match rng.gen_range(0u32..5) {
+                0 => FaultKind::Drop,
+                1 => FaultKind::Delay,
+                2 => FaultKind::Corrupt { header: rng.gen_range(0u32..2) == 1 },
+                3 => FaultKind::Stall { attempts: rng.gen_range(1u32..=2) },
+                _ if crashes < crash_budget => {
+                    crashes += 1;
+                    FaultKind::Crash
+                }
+                _ => FaultKind::Drop,
+            };
+            plan = plan.with(Fault { step, rank, channel: None, kind });
+        }
+        plan
+    }
+
     /// Routes one delivery attempt through the plan. `step` is the sender's
     /// epoch, `from` the sending rank; the channel is read off the message
     /// stamp. Consumes at most one pending fault.
     pub fn transmit(&mut self, step: u64, from: usize, msg: Message) -> Delivery {
         let channel = msg.channel;
+        // A crashed rank never transmits again: every attempt is swallowed
+        // (and nothing it held is released).
+        if self.crashed.contains(&from) {
+            return Delivery::Lost { stalled: true };
+        }
         // A message withheld by an earlier Delay fault is released by the
         // next matching attempt (the retry carries a fresh copy; the held
         // original is what "arrives late").
@@ -179,6 +251,11 @@ impl FaultPlan {
                 } else {
                     self.faults[i].kind = FaultKind::Stall { attempts: attempts - 1 };
                 }
+                Delivery::Lost { stalled: true }
+            }
+            FaultKind::Crash => {
+                self.faults.swap_remove(i);
+                self.crashed.push(from);
                 Delivery::Lost { stalled: true }
             }
         }
@@ -324,6 +401,81 @@ mod tests {
         assert_eq!(plan.transmit(1, 2, msg(1, ch)), Delivery::Lost { stalled: true });
         assert!(matches!(plan.transmit(1, 2, msg(1, ch)), Delivery::Deliver(_)));
         assert_eq!(plan.events().len(), 2);
+    }
+
+    #[test]
+    fn crash_is_permanent_until_retired() {
+        let ch = Channel::Ghosts { hop: 0 };
+        let mut plan = FaultPlan::none().with(Fault {
+            step: 3,
+            rank: 1,
+            channel: None,
+            kind: FaultKind::Crash,
+        });
+        // Before the firing step the rank transmits normally.
+        assert!(matches!(plan.transmit(2, 1, msg(2, ch)), Delivery::Deliver(_)));
+        // The crash fires and is logged exactly once...
+        assert_eq!(plan.transmit(3, 1, msg(3, ch)), Delivery::Lost { stalled: true });
+        assert_eq!(plan.events().len(), 1);
+        assert_eq!(plan.crashed_ranks(), &[1]);
+        // ...then every later attempt is swallowed silently, across steps,
+        // channels, and rollback replays of earlier steps.
+        for step in [3u64, 4, 5, 0, 3] {
+            assert_eq!(
+                plan.transmit(step, 1, msg(step, Channel::Forces { hop: 1 })),
+                Delivery::Lost { stalled: true }
+            );
+        }
+        assert_eq!(plan.events().len(), 1, "a crash is logged once, not per attempt");
+        // Other ranks are unaffected, and the plan counts as exhausted:
+        // crashed state is permanent, not pending work.
+        assert!(matches!(plan.transmit(3, 0, msg(3, ch)), Delivery::Deliver(_)));
+        assert!(plan.is_exhausted());
+        // Retiring the rank clears the crashed status.
+        plan.retire_rank(1);
+        assert!(plan.crashed_ranks().is_empty());
+        assert!(matches!(plan.transmit(9, 1, msg(9, ch)), Delivery::Deliver(_)));
+    }
+
+    #[test]
+    fn retire_rank_clears_pending_faults_and_held_messages() {
+        let ch = Channel::Migrate { axis: 0, dir: 0 };
+        let mut plan = FaultPlan::none()
+            .with(Fault { step: 0, rank: 2, channel: None, kind: FaultKind::Delay })
+            .with(Fault { step: 5, rank: 2, channel: None, kind: FaultKind::Drop })
+            .with(Fault { step: 5, rank: 0, channel: None, kind: FaultKind::Drop });
+        // Fire the delay so a message is held from rank 2.
+        assert_eq!(plan.transmit(0, 2, msg(0, ch)), Delivery::Lost { stalled: false });
+        assert!(!plan.is_exhausted());
+        plan.retire_rank(2);
+        // Rank 2's pending drop and held message are gone; rank 0's fault
+        // survives.
+        assert_eq!(plan.pending().len(), 1);
+        assert_eq!(plan.pending()[0].rank, 0);
+        assert!(matches!(plan.transmit(6, 2, msg(6, ch)), Delivery::Deliver(_)));
+        assert_eq!(plan.transmit(6, 0, msg(6, ch)), Delivery::Lost { stalled: false });
+    }
+
+    #[test]
+    fn storm_is_seed_deterministic_and_caps_crashes() {
+        let a = FaultPlan::storm(11, 40, 200, 8, 2);
+        let b = FaultPlan::storm(11, 40, 200, 8, 2);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.faults.len(), 40);
+        let crashes = a.faults.iter().filter(|f| f.kind == FaultKind::Crash).count();
+        assert!(crashes <= 2, "crash budget respected, got {crashes}");
+        for f in &a.faults {
+            assert!(f.step < 200);
+            assert!(f.rank < 8);
+        }
+        // With a big enough draw some storm contains a crash.
+        let any_crash = (0..16).any(|s| {
+            FaultPlan::storm(s, 40, 200, 8, 2).faults.iter().any(|f| f.kind == FaultKind::Crash)
+        });
+        assert!(any_crash, "storms can script crashes");
+        // A one-rank world never crashes its only rank.
+        let solo = FaultPlan::storm(11, 40, 200, 1, 4);
+        assert!(solo.faults.iter().all(|f| f.kind != FaultKind::Crash));
     }
 
     #[test]

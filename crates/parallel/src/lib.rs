@@ -37,6 +37,12 @@
 //! stalls per `(step, rank, channel)`. Recovery (checkpoint/rollback) is
 //! orchestrated by the `Supervisor` in `sc-md`, for which
 //! [`DistributedSim`] implements the `Recoverable` trait.
+//!
+//! Permanent rank death ([`fault::FaultKind::Crash`]) is detected by a
+//! per-rank [`health`] state machine (deadline watchdog + flap circuit
+//! breaker) and surfaces as [`RuntimeError::RankDead`]; the supervisor then
+//! re-decomposes the last checkpoint over the surviving ranks
+//! ([`DistributedSim::restore_excluding`]) instead of rolling back forever.
 
 #![warn(missing_docs)]
 
@@ -44,6 +50,7 @@ pub mod comm;
 pub mod error;
 pub mod fault;
 pub mod grid;
+pub mod health;
 pub mod msg;
 pub mod rank;
 
@@ -56,4 +63,5 @@ pub use exec_bsp::DistributedSim;
 pub use exec_threads::ThreadedSim;
 pub use fault::{Delivery, Fault, FaultEvent, FaultKind, FaultPlan};
 pub use grid::RankGrid;
+pub use health::{HealthConfig, HealthCounters, HealthTracker, RankHealth};
 pub use msg::{AtomMsg, Channel, GhostMsg, Message, Payload};

@@ -767,3 +767,79 @@ pub fn halo_width_for(ff: &ForceField, grid: &RankGrid) -> f64 {
     }
     w
 }
+
+/// Checks that `grid` can host `ff` under forwarded routing: the halo no
+/// deeper than one rank sub-box, every sub-box at least one cutoff wide, and
+/// the union of rank lattices large enough that pattern offsets do not alias
+/// through the periodic wrap. Returns the halo width on success. This is the
+/// same gate `DistributedSim::new` applies at construction, factored out so
+/// online re-decomposition can test candidate grids before committing.
+pub fn validate_decomposition(
+    ff: &ForceField,
+    grid: &RankGrid,
+) -> Result<f64, crate::error::SetupError> {
+    use crate::error::SetupError;
+    let width = halo_width_for(ff, grid);
+    let sub = grid.rank_box_lengths();
+    let pdims = grid.pdims();
+    for a in 0..3 {
+        if width > sub[a] + 1e-12 {
+            return Err(SetupError::HaloTooDeep { halo: width, sub_box: sub[a], axis: a });
+        }
+    }
+    for (n, rcut) in ff.terms() {
+        for a in 0..3 {
+            if sub[a] < rcut {
+                return Err(SetupError::SubBoxBelowCutoff { rcut, sub_box: sub[a], axis: a });
+            }
+            let ext = ((sub[a] / rcut).floor() as i32).max(1);
+            let global = ext * pdims[a];
+            if global < (n as i32).max(3) {
+                return Err(SetupError::LatticeTooSmall {
+                    global_cells: global,
+                    needed: (n as i32).max(3),
+                    axis: a,
+                });
+            }
+        }
+    }
+    Ok(width)
+}
+
+/// The largest feasible rank grid using at most `max_ranks` ranks for `ff`
+/// over `bbox`: among all factorizations `px·py·pz ≤ max_ranks` that pass
+/// [`validate_decomposition`], prefers more ranks, then the most cubic
+/// split, then the lexicographically smallest dims — a deterministic choice
+/// so re-decomposition after a rank death is reproducible. `None` when even
+/// 1×1×1 is infeasible.
+pub fn best_grid_for(
+    ff: &ForceField,
+    bbox: sc_geom::SimulationBox,
+    max_ranks: usize,
+) -> Option<IVec3> {
+    let max_ranks = max_ranks.max(1) as i32;
+    let mut best: Option<(i32, i32, IVec3)> = None; // (ranks, spread, dims)
+    for px in 1..=max_ranks {
+        for py in 1..=max_ranks / px {
+            for pz in 1..=max_ranks / (px * py) {
+                let dims = IVec3::new(px, py, pz);
+                let ranks = px * py * pz;
+                let spread = px.max(py).max(pz) - px.min(py).min(pz);
+                let better = match best {
+                    None => true,
+                    Some((r, s, d)) => {
+                        (ranks, -spread, [-dims.x, -dims.y, -dims.z]) > (r, -s, [-d.x, -d.y, -d.z])
+                    }
+                };
+                if !better {
+                    continue;
+                }
+                let Ok(grid) = RankGrid::try_new(dims, bbox) else { continue };
+                if validate_decomposition(ff, &grid).is_ok() {
+                    best = Some((ranks, spread, dims));
+                }
+            }
+        }
+    }
+    best.map(|(_, _, dims)| dims)
+}

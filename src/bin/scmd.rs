@@ -6,6 +6,7 @@
 //!               [--metrics-json PATH] [--trace PATH]
 //! scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT] [--summary PATH]
 //! scmd bench    --compare OLD --with NEW [--wall-tol PCT] [--summary PATH]
+//! scmd chaos    [--cases lj,silica] [--storms N] [--seed S] [--steps N] [--faults N] [--out DIR]
 //! scmd patterns [--n N]           # pattern algebra summary
 //! scmd model    --machine xeon|bgq [--grain N]   # cost-model report
 //! ```
@@ -17,6 +18,13 @@
 //! `--trace PATH` records event-level traces (every phase interval plus
 //! checkpoint/comm markers) and writes a Chrome Trace Format file loadable
 //! in `chrome://tracing` or Perfetto.
+//!
+//! `scmd chaos` runs seeded randomized fault storms (all five fault
+//! kinds, crashes included) against supervised 8-rank runs, asserting
+//! the physics guardrails plus exact accepted-tuple equality against a
+//! fault-free reference; each failing storm writes a reproducer bundle
+//! (seed, fault script, chrome trace, telemetry) and the process exits
+//! non-zero.
 //!
 //! `scmd bench` runs the pinned deterministic workload matrix and writes
 //! `BENCH_<gitsha>.json` (layout pinned by `schema/bench.schema.json`);
@@ -40,6 +48,7 @@ fn main() {
     let result = match cmd.as_str() {
         "run" => run(&flags),
         "bench" => bench(&flags),
+        "chaos" => chaos(&flags),
         "patterns" => {
             patterns(&flags);
             Ok(())
@@ -68,6 +77,8 @@ fn usage(err: &str) -> ! {
          \x20               [--metrics-json PATH] [--trace PATH]\n\
          \x20 scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT] [--summary PATH]\n\
          \x20 scmd bench    --compare OLD --with NEW [--wall-tol PCT] [--summary PATH]\n\
+         \x20 scmd chaos    [--cases lj,silica] [--storms N] [--seed S] [--steps N]\n\
+         \x20               [--faults N] [--out DIR]\n\
          \x20 scmd patterns [--n N]\n\
          \x20 scmd model    [--machine xeon|bgq] [--grain N]"
     );
@@ -267,6 +278,51 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::E
         Some(path) => diff(&load(path)?, &doc),
         None => Ok(()),
     }
+}
+
+fn chaos(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Error> {
+    use shift_collapse_md::chaos::{run_soak, ChaosConfig};
+
+    let defaults = ChaosConfig::default();
+    let config = ChaosConfig {
+        cases: flags
+            .get("cases")
+            .map(|v| v.split(',').map(str::to_string).collect())
+            .unwrap_or(defaults.cases),
+        storms: get(flags, "storms", defaults.storms),
+        seed: get(flags, "seed", defaults.seed),
+        steps: get(flags, "steps", defaults.steps),
+        faults: get(flags, "faults", defaults.faults),
+        out_dir: flags.get("out").map(Into::into).unwrap_or(defaults.out_dir),
+    };
+    println!(
+        "# chaos soak: {} × {} storms | {} steps | {} faults/storm | base seed {}",
+        config.cases.join(","),
+        config.storms,
+        config.steps,
+        config.faults,
+        config.seed,
+    );
+    let outcomes = run_soak(&config).unwrap_or_else(|e| usage(&e));
+    let mut failures = 0;
+    for o in &outcomes {
+        match (&o.failure, &o.bundle) {
+            (None, _) => println!("storm {:<8} seed {:>6}  ok", o.case, o.seed),
+            (Some(why), bundle) => {
+                failures += 1;
+                eprintln!("storm {:<8} seed {:>6}  FAILED: {why}", o.case, o.seed);
+                if let Some(dir) = bundle {
+                    eprintln!("  reproducer bundle: {}", dir.display());
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("# {failures}/{} storms violated guardrails", outcomes.len());
+        std::process::exit(1);
+    }
+    println!("# all {} storms within guardrails", outcomes.len());
+    Ok(())
 }
 
 fn patterns(flags: &HashMap<String, String>) {
