@@ -17,10 +17,14 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: [u8; 4] = *b"SCCK";
-/// Format version. v2 added the [`SnapshotLayout`] header; v1 files (which
-/// lack it) are rejected with [`CheckpointError::BadVersion`] rather than
-/// being reinterpreted under the new layout.
-const VERSION: u32 = 2;
+/// Format version. v2 added the [`SnapshotLayout`] header; v3 added the
+/// job-identity label. v1 files are rejected with
+/// [`CheckpointError::BadVersion`] rather than being reinterpreted under the
+/// new layout; v2 files (which lack the label) still load, with an empty
+/// label.
+const VERSION: u32 = 3;
+/// Oldest format version [`Checkpoint::from_bytes`] still accepts.
+const OLDEST_READABLE_VERSION: u32 = 2;
 
 /// The producer topology recorded in a snapshot header: which runtime wrote
 /// the file. Restores are topology-independent (a snapshot is a global
@@ -75,6 +79,15 @@ pub enum CheckpointError {
         /// The layout recorded in the snapshot.
         found: SnapshotLayout,
     },
+    /// The snapshot carries a different identity label than the caller
+    /// required (see [`Checkpoint::require_label`]) — e.g. the job service
+    /// refusing to resume job A from job B's checkpoint file.
+    LabelMismatch {
+        /// The label the caller insisted on.
+        expected: String,
+        /// The label recorded in the snapshot.
+        found: String,
+    },
     /// The buffer ended before the declared content.
     Truncated,
     /// The trailing checksum does not match the content (torn write or bit
@@ -91,6 +104,9 @@ impl fmt::Display for CheckpointError {
             CheckpointError::BadLayout(t) => write!(f, "unknown checkpoint layout tag {t}"),
             CheckpointError::LayoutMismatch { expected, found } => {
                 write!(f, "checkpoint layout mismatch: expected {expected}, found {found}")
+            }
+            CheckpointError::LabelMismatch { expected, found } => {
+                write!(f, "checkpoint label mismatch: expected {expected:?}, found {found:?}")
             }
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
             CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
@@ -120,6 +136,11 @@ impl From<io::Error> for CheckpointError {
 pub struct Checkpoint {
     /// Producer topology (format-version-2 header field).
     pub layout: SnapshotLayout,
+    /// Free-form identity label (format-version-3 header field; empty for
+    /// snapshots that belong to no one in particular). The job service
+    /// stamps the owning job id here so a resume can refuse a foreign
+    /// snapshot ([`Checkpoint::require_label`]).
+    pub label: String,
     /// Steps completed when the snapshot was taken.
     pub step: u64,
     /// The integration timestep in force.
@@ -146,6 +167,7 @@ impl Checkpoint {
     pub fn from_store(step: u64, dt: f64, bbox: &SimulationBox, store: &AtomStore) -> Self {
         Checkpoint {
             layout: SnapshotLayout::Serial,
+            label: String::new(),
             step,
             dt,
             box_lengths: bbox.lengths(),
@@ -172,6 +194,28 @@ impl Checkpoint {
     pub fn with_layout(mut self, layout: SnapshotLayout) -> Self {
         self.layout = layout;
         self
+    }
+
+    /// Stamps an identity label into the header (builder style) — e.g. the
+    /// owning job id.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Insists that the snapshot carries exactly the label `expected`.
+    ///
+    /// # Errors
+    /// [`CheckpointError::LabelMismatch`] naming both labels.
+    pub fn require_label(&self, expected: &str) -> Result<(), CheckpointError> {
+        if self.label == expected {
+            Ok(())
+        } else {
+            Err(CheckpointError::LabelMismatch {
+                expected: expected.to_string(),
+                found: self.label.clone(),
+            })
+        }
     }
 
     /// Insists that the snapshot was produced by `expected`.
@@ -220,6 +264,9 @@ impl Checkpoint {
         for d in pdims {
             out.extend_from_slice(&d.to_le_bytes());
         }
+        // v3 identity label: u32 byte length + UTF-8 bytes.
+        out.extend_from_slice(&(self.label.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.label.as_bytes());
         out.extend_from_slice(&self.step.to_le_bytes());
         put_f64(&mut out, self.dt);
         put_vec3(&mut out, self.box_lengths);
@@ -259,7 +306,7 @@ impl Checkpoint {
         }
         let mut r = Cursor { buf: content, pos: 4 };
         let version = r.u32()?;
-        if version != VERSION {
+        if !(OLDEST_READABLE_VERSION..=VERSION).contains(&version) {
             return Err(CheckpointError::BadVersion(version));
         }
         let tag = r.u8()?;
@@ -272,6 +319,14 @@ impl Checkpoint {
             1 => SnapshotLayout::Grid { pdims },
             t => return Err(CheckpointError::BadLayout(t)),
         };
+        // The identity label joined the header in v3; v2 snapshots simply
+        // have none.
+        let label = if version >= 3 {
+            let len = r.u32()? as usize;
+            String::from_utf8(r.take(len)?.to_vec()).map_err(|_| CheckpointError::Truncated)?
+        } else {
+            String::new()
+        };
         let step = r.u64()?;
         let dt = r.f64()?;
         let box_lengths = r.vec3()?;
@@ -283,6 +338,7 @@ impl Checkpoint {
         let n = r.u64()? as usize;
         let mut cp = Checkpoint {
             layout,
+            label,
             step,
             dt,
             box_lengths,
@@ -454,6 +510,35 @@ mod tests {
         let err = back.require_layout(SnapshotLayout::Serial).unwrap_err();
         assert!(matches!(err, CheckpointError::LayoutMismatch { .. }));
         assert!(err.to_string().contains("2x2x1"), "{err}");
+    }
+
+    #[test]
+    fn label_header_round_trips_and_is_enforced() {
+        let cp = sample().with_label("j-000042");
+        let back = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
+        assert_eq!(back.label, "j-000042");
+        assert_eq!(cp, back);
+        assert!(back.require_label("j-000042").is_ok());
+        let err = back.require_label("j-000007").unwrap_err();
+        assert!(matches!(err, CheckpointError::LabelMismatch { .. }));
+        assert!(err.to_string().contains("j-000042"), "{err}");
+        assert!(err.to_string().contains("j-000007"), "{err}");
+    }
+
+    #[test]
+    fn v2_snapshot_without_label_still_loads() {
+        // A v2 file is a v3 file with an empty label minus the 4-byte label
+        // length, with the version patched down. Offset 21 = magic (4) +
+        // version (4) + layout tag (1) + grid dims (12).
+        let cp = sample();
+        assert!(cp.label.is_empty());
+        let mut bytes = cp.to_bytes();
+        bytes.drain(21..25);
+        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let v2 = reseal(bytes);
+        let back = Checkpoint::from_bytes(&v2).unwrap();
+        assert_eq!(back.label, "");
+        assert_eq!(back, cp);
     }
 
     #[test]

@@ -81,6 +81,78 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// Why a command line could not be interpreted. Produced by the `scmd`
+/// front-end's flag parser and funnelled through [`Error::Cli`], so a
+/// malformed invocation exits through the same typed chain as every other
+/// failure — naming the offending flag instead of panicking into a generic
+/// usage dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The first argument is not a known subcommand.
+    UnknownSubcommand(
+        /// The unrecognised subcommand as typed.
+        String,
+    ),
+    /// No subcommand was given at all.
+    MissingSubcommand,
+    /// A positional argument appeared where only `--flag value` pairs are
+    /// accepted.
+    UnexpectedArg(
+        /// The offending argument as typed.
+        String,
+    ),
+    /// A `--flag` was given without the value it requires.
+    MissingValue(
+        /// The flag name (without the leading dashes).
+        String,
+    ),
+    /// A flag's value failed to parse as the type the flag expects.
+    BadFlagValue {
+        /// The flag name (without the leading dashes).
+        flag: String,
+        /// The rejected value as typed.
+        value: String,
+        /// What the flag expects (e.g. `"a positive integer"`).
+        expected: &'static str,
+    },
+    /// A flag's value is not in the flag's closed set of alternatives.
+    UnknownValue {
+        /// The flag name (without the leading dashes).
+        flag: String,
+        /// The rejected value as typed.
+        value: String,
+        /// The accepted alternatives, for the error message.
+        allowed: &'static str,
+    },
+    /// A flag that the subcommand requires was not supplied.
+    MissingFlag(
+        /// The flag name (without the leading dashes).
+        String,
+    ),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownSubcommand(cmd) => write!(f, "unknown subcommand {cmd:?}"),
+            CliError::MissingSubcommand => write!(f, "missing subcommand"),
+            CliError::UnexpectedArg(arg) => {
+                write!(f, "unexpected argument {arg:?} (expected --flag value pairs)")
+            }
+            CliError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            CliError::BadFlagValue { flag, value, expected } => {
+                write!(f, "bad value for --{flag}: {value:?} (expected {expected})")
+            }
+            CliError::UnknownValue { flag, value, allowed } => {
+                write!(f, "unknown value for --{flag}: {value:?} (expected {allowed})")
+            }
+            CliError::MissingFlag(flag) => write!(f, "missing required flag --{flag}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
 /// The unified top-level error of the MD stack.
 ///
 /// Every fallible entry point converts into this via `From`, so a binary's
@@ -93,6 +165,8 @@ impl std::error::Error for BuildError {}
 /// acyclic). See DESIGN.md §6 for the stability contract.
 #[derive(Debug)]
 pub enum Error {
+    /// The command line itself was malformed (see [`CliError`]).
+    Cli(CliError),
     /// Simulation configuration was rejected at build time.
     Build(BuildError),
     /// XYZ trajectory I/O failed.
@@ -114,6 +188,7 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Error::Cli(e) => write!(f, "cli: {e}"),
             Error::Build(e) => write!(f, "build: {e}"),
             Error::Xyz(e) => write!(f, "xyz: {e}"),
             Error::Checkpoint(e) => write!(f, "checkpoint: {e}"),
@@ -128,6 +203,7 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            Error::Cli(e) => Some(e),
             Error::Build(e) => Some(e),
             Error::Xyz(e) => Some(e),
             Error::Checkpoint(e) => Some(e),
@@ -141,6 +217,12 @@ impl std::error::Error for Error {
 impl From<BuildError> for Error {
     fn from(e: BuildError) -> Self {
         Error::Build(e)
+    }
+}
+
+impl From<CliError> for Error {
+    fn from(e: CliError) -> Self {
+        Error::Cli(e)
     }
 }
 
@@ -200,6 +282,29 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(BuildError::NoTerms);
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn cli_errors_name_the_offending_flag() {
+        let e = CliError::BadFlagValue {
+            flag: "steps".into(),
+            value: "lots".into(),
+            expected: "a positive integer",
+        };
+        assert!(e.to_string().contains("--steps"), "{e}");
+        assert!(e.to_string().contains("lots"), "{e}");
+        let e = CliError::UnknownValue {
+            flag: "method".into(),
+            value: "magic".into(),
+            allowed: "sc|fs|hybrid",
+        };
+        assert!(e.to_string().contains("--method"), "{e}");
+        assert!(e.to_string().contains("sc|fs|hybrid"), "{e}");
+        assert!(CliError::MissingValue("out".into()).to_string().contains("--out"));
+        assert!(CliError::MissingFlag("spec".into()).to_string().contains("--spec"));
+        let top: Error = CliError::UnknownSubcommand("frobnicate".into()).into();
+        assert!(top.to_string().starts_with("cli:"), "{top}");
+        assert!(std::error::Error::source(&top).is_some());
     }
 
     #[test]

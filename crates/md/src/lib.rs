@@ -27,6 +27,7 @@
 //! * [`mod@reference`] — O(Nⁿ) brute-force tuple enumeration and forces, the
 //!   ground truth the test suite compares every method against.
 //! * workload builders ([`build_fcc_lattice`], [`build_silica_like`],
+//!   [`build_clustered_gas`],
 //!   [`random_gas`]) for the benchmark systems.
 //! * [`checkpoint`] / [`supervisor`] — fault-tolerant runtime support:
 //!   checksummed binary snapshots of the full dynamic state and a
@@ -58,7 +59,7 @@ pub use diagnostics::{
     BondAngleDistribution, MeanSquaredDisplacement, RadialDistribution,
 };
 pub use engine::{Dedup, PatternPlan};
-pub use error::{BuildError, Error};
+pub use error::{BuildError, CliError, Error};
 pub use integrate::{berendsen_rescale, velocity_verlet_step};
 pub use io::{read_xyz, write_xyz, XyzError};
 pub use methods::Method;
@@ -67,4 +68,6 @@ pub use sim::{RuntimeConfig, Simulation, SimulationBuilder};
 pub use stats::{EnergyBreakdown, StepPhases, StepStats, TupleCounts};
 pub use supervisor::{Recoverable, RecoveryStats, Supervisor, SupervisorConfig, SupervisorError};
 pub use telemetry::{Observer, Telemetry};
-pub use workload::{build_fcc_lattice, build_silica_like, random_gas, thermalize, LatticeSpec};
+pub use workload::{
+    build_clustered_gas, build_fcc_lattice, build_silica_like, random_gas, thermalize, LatticeSpec,
+};

@@ -510,6 +510,7 @@ mod tests {
         fn checkpoint(&self) -> Checkpoint {
             Checkpoint {
                 layout: crate::checkpoint::SnapshotLayout::Serial,
+                label: String::new(),
                 step: self.step,
                 dt: self.dt,
                 box_lengths: Vec3::splat(1.0),

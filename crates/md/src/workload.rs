@@ -168,6 +168,76 @@ pub fn thermalize(store: &mut AtomStore, t: f64, seed: u64) {
     store.rescale_to_temperature(t);
 }
 
+/// A clustered (inhomogeneous) single-species gas: `n` atoms distributed
+/// round-robin over `clusters` Gaussian blobs whose centres are drawn
+/// uniformly in a cubic box of edge `box_l`, with per-axis standard
+/// deviation `spread`. This is the strongly non-uniform density profile of
+/// Ferrell & Bertschinger's inhomogeneous-distribution study (PAPERS.md) —
+/// the workload that breaks the uniform-density assumption behind the
+/// paper's Lemma 5 cost estimates and stresses per-rank load balance.
+/// Deterministic per seed; velocities are zero (thermalize separately).
+///
+/// Overlapping draws are re-sampled with a minimum separation of 0.8 so the
+/// configuration is steep but integrable with an LJ-like pair term.
+pub fn build_clustered_gas(
+    n: usize,
+    box_l: f64,
+    clusters: usize,
+    spread: f64,
+    seed: u64,
+) -> (AtomStore, SimulationBox) {
+    assert!(n >= 1 && clusters >= 1 && box_l > 0.0 && spread > 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let bbox = SimulationBox::cubic(box_l);
+    let mut store = AtomStore::single_species();
+    let centers: Vec<Vec3> = (0..clusters)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(0.0..box_l),
+                rng.gen_range(0.0..box_l),
+                rng.gen_range(0.0..box_l),
+            )
+        })
+        .collect();
+    let gauss = move |rng: &mut ChaCha8Rng| -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let min_sep_sq = 0.8 * 0.8;
+    let mut placed: Vec<Vec3> = Vec::with_capacity(n);
+    for id in 0..n {
+        let center = centers[id % clusters];
+        // Rejection-sample a position at least min_sep from every previous
+        // atom; after a bounded number of tries fall back to a uniform draw
+        // (keeps dense blobs from looping forever while staying
+        // deterministic).
+        let mut r = Vec3::ZERO;
+        let mut ok = false;
+        for attempt in 0..64 {
+            r = if attempt < 48 {
+                bbox.wrap(
+                    center + Vec3::new(gauss(&mut rng), gauss(&mut rng), gauss(&mut rng)) * spread,
+                )
+            } else {
+                Vec3::new(
+                    rng.gen_range(0.0..box_l),
+                    rng.gen_range(0.0..box_l),
+                    rng.gen_range(0.0..box_l),
+                )
+            };
+            if placed.iter().all(|&p| bbox.dist_sq(r, p) >= min_sep_sq) {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "clustered gas too dense: could not place atom {id} of {n}");
+        placed.push(r);
+        store.push(id as u64, Species::DEFAULT, r, Vec3::ZERO);
+    }
+    (store, bbox)
+}
+
 /// A uniform random single-species gas of `n` atoms in a cubic box of edge
 /// `box_l` — the workload for enumeration correctness tests and Fig. 7
 /// (uniform atom distribution, as the paper's Lemma 5 assumes).
@@ -263,6 +333,37 @@ mod tests {
             (per_atom[0] / per_atom[1] - 1.0).abs() < 0.3,
             "equipartition violated: {per_atom:?}"
         );
+    }
+
+    #[test]
+    fn clustered_gas_is_inhomogeneous_and_deterministic() {
+        let (store, bbox) = build_clustered_gas(120, 14.0, 3, 0.9, 7);
+        assert_eq!(store.len(), 120);
+        assert!(store.positions().iter().all(|&r| bbox.contains(r)));
+        // Minimum separation respected (wrapped metric).
+        let pos = store.positions();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                assert!(bbox.dist_sq(pos[i], pos[j]) >= 0.8 * 0.8 - 1e-12);
+            }
+        }
+        // Same seed reproduces bitwise; different seed differs.
+        let (again, _) = build_clustered_gas(120, 14.0, 3, 0.9, 7);
+        assert_eq!(store.positions(), again.positions());
+        let (other, _) = build_clustered_gas(120, 14.0, 3, 0.9, 8);
+        assert_ne!(store.positions(), other.positions());
+        // Inhomogeneity: occupancy across an 8-octant split is far from
+        // uniform (a uniform gas of 120 atoms has ~15 per octant).
+        let half = 7.0;
+        let mut occ = [0usize; 8];
+        for &r in pos {
+            let idx = (r.x >= half) as usize
+                | ((r.y >= half) as usize) << 1
+                | ((r.z >= half) as usize) << 2;
+            occ[idx] += 1;
+        }
+        let (min, max) = (occ.iter().min().unwrap(), occ.iter().max().unwrap());
+        assert!(max - min > 10, "expected clustered occupancy, got {occ:?}");
     }
 
     #[test]

@@ -9,6 +9,9 @@ use std::fmt::Write;
 /// zero time are omitted; an empty snapshot renders a single header line.
 pub fn human_table(snap: &MetricsSnapshot) -> String {
     let mut out = String::from("metric                              value\n");
+    if let Some(label) = &snap.label {
+        let _ = writeln!(out, "{:<35} {label}", "job");
+    }
     for (phase, secs) in snap.phases.iter() {
         if secs > 0.0 {
             let _ = writeln!(out, "phase.{:<29} {:.6} s", phase.name(), secs);
@@ -68,12 +71,17 @@ pub fn json_value(snap: &MetricsSnapshot) -> Json {
             })
             .collect(),
     );
-    Json::Obj(vec![
+    let mut fields = Vec::with_capacity(5);
+    if let Some(label) = &snap.label {
+        fields.push(("job".to_string(), Json::str(label.clone())));
+    }
+    fields.extend([
         ("phases".to_string(), phases),
         ("counters".to_string(), counters),
         ("gauges".to_string(), gauges),
         ("histograms".to_string(), histograms),
-    ])
+    ]);
+    Json::Obj(fields)
 }
 
 /// Renders a snapshot in Prometheus text exposition format. Metric names
@@ -88,8 +96,11 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
 /// the exposition format: backslash, double quote, and newline become
 /// `\\`, `\"`, and `\n`.
 pub fn prometheus_with_labels(snap: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
-    let base: String = labels
+    let base: String = snap
+        .label
         .iter()
+        .map(|v| ("job", v.as_str()))
+        .chain(labels.iter().copied())
         .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label_value(v)))
         .collect::<Vec<_>>()
         .join(",");
@@ -263,6 +274,24 @@ comm_step_bytes_sum 5550
 comm_step_bytes_count 3
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn labeled_snapshot_flows_through_every_exporter() {
+        let reg = Registry::labeled("job-3");
+        reg.counter("sim.steps").add(2);
+        let snap = reg.snapshot();
+        let table = human_table(&snap);
+        assert!(table.contains("job                                 job-3"), "{table}");
+        let line = json_line(&snap);
+        assert!(line.starts_with(r#"{"job":"job-3","phases":"#), "{line}");
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("job").unwrap().as_str(), Some("job-3"));
+        let text = prometheus(&snap);
+        assert!(text.contains("sim_steps{job=\"job-3\"} 2"), "{text}");
+        // Extra labels compose after the job label.
+        let text = prometheus_with_labels(&snap, &[("rank", "1")]);
+        assert!(text.contains("sim_steps{job=\"job-3\",rank=\"1\"} 2"), "{text}");
     }
 
     #[test]

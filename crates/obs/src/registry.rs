@@ -30,6 +30,12 @@ pub struct Registry {
 
 #[derive(Debug)]
 struct Inner {
+    /// Identity label stamped onto every snapshot taken from this registry
+    /// (`None` for an unlabeled registry). The job service uses this to
+    /// route per-job telemetry: each job gets `Registry::labeled(job_id)`
+    /// and exporters carry the label through, so multiplexed jobs stay
+    /// distinguishable in one sink.
+    label: Option<String>,
     /// Nanoseconds accumulated per phase slot.
     phase_ns: [AtomicU64; Phase::COUNT],
     counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
@@ -42,8 +48,9 @@ struct Inner {
 }
 
 impl Inner {
-    fn new() -> Self {
+    fn new(label: Option<String>) -> Self {
         Inner {
+            label,
             phase_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             counters: Mutex::new(Vec::new()),
             gauges: Mutex::new(Vec::new()),
@@ -60,7 +67,20 @@ impl Inner {
 impl Registry {
     /// A live registry that records everything fed to it.
     pub fn new() -> Self {
-        Registry { inner: Some(Arc::new(Inner::new())) }
+        Registry { inner: Some(Arc::new(Inner::new(None))) }
+    }
+
+    /// A live registry whose snapshots carry an identity `label` — one per
+    /// job in the job service, so exporters can tell multiplexed series
+    /// apart. Otherwise identical to [`Registry::new`].
+    pub fn labeled(label: impl Into<String>) -> Self {
+        Registry { inner: Some(Arc::new(Inner::new(Some(label.into())))) }
+    }
+
+    /// The identity label, if this registry was built with
+    /// [`Registry::labeled`].
+    pub fn label(&self) -> Option<&str> {
+        self.inner.as_ref()?.label.as_deref()
     }
 
     /// The no-op registry: hands out inert handles, performs no allocation,
@@ -185,6 +205,7 @@ impl Registry {
     /// series sorted by name for deterministic export.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot {
+            label: self.label().map(str::to_string),
             phases: self.phases(),
             counters: Vec::new(),
             gauges: Vec::new(),
@@ -353,6 +374,10 @@ impl Drop for Span {
 /// Point-in-time copy of a registry's contents, ready for export.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
+    /// Identity label of the registry the snapshot came from (`None` for an
+    /// unlabeled registry). Exporters include it as a `job` label / field
+    /// only when present, so unlabeled output is byte-identical to before.
+    pub label: Option<String>,
     /// Per-phase accumulated seconds.
     pub phases: PhaseBreakdown,
     /// `(name, value)` for every counter, sorted by name.
@@ -430,6 +455,20 @@ mod tests {
             reg.record_phase(Phase::Eval, 1e-6);
         }
         assert_eq!(reg.allocation_events(), after_setup);
+    }
+
+    #[test]
+    fn labeled_registry_stamps_snapshots() {
+        let reg = Registry::labeled("job-7");
+        assert!(reg.enabled());
+        assert_eq!(reg.label(), Some("job-7"));
+        reg.counter("steps").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.label.as_deref(), Some("job-7"));
+        // Unlabeled and disabled registries stay label-free.
+        assert_eq!(Registry::new().label(), None);
+        assert_eq!(Registry::new().snapshot().label, None);
+        assert_eq!(Registry::disabled().label(), None);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! The client side of the wire protocol: one request, one response, over
+//! a short-lived Unix-socket connection.
+
+use crate::protocol::{Request, Response};
+use sc_obs::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Sends one request to the daemon at `socket` and decodes the response.
+///
+/// # Errors
+/// Connection failures (`ConnectionRefused` usually means no daemon is
+/// serving), I/O errors, or a malformed response line.
+pub fn request(socket: &Path, req: &Request) -> std::io::Result<Response> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.write_all(req.to_json().to_string().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    Json::parse(line.trim())
+        .map_err(|e| e.to_string())
+        .and_then(|doc| Response::from_json(&doc))
+        .map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed daemon response: {e}"),
+            )
+        })
+}

@@ -1,0 +1,184 @@
+//! The `scmd serve` daemon: a JSON-lines request loop over a local Unix
+//! socket, multiplexing clients onto the [`Scheduler`].
+
+use crate::job::JobId;
+use crate::protocol::{Request, Response};
+use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
+use sc_obs::json::Json;
+use sc_spec::ScenarioSpec;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The Unix socket path clients connect to.
+    pub socket: PathBuf,
+    /// Scheduler policy (lanes, capacity, slice, state directory).
+    pub scheduler: SchedulerConfig,
+    /// Reload persisted jobs from the state directory on startup.
+    pub resume: bool,
+}
+
+/// A bound, running job service.
+pub struct Daemon {
+    scheduler: Scheduler,
+    listener: UnixListener,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    /// Starts the scheduler and binds the socket. A stale socket file
+    /// from a killed daemon is replaced; a live one (something answers a
+    /// connect) is an error.
+    ///
+    /// # Errors
+    /// Socket binding or state-directory I/O problems, or another daemon
+    /// already serving on the path.
+    pub fn bind(cfg: DaemonConfig) -> std::io::Result<Daemon> {
+        if cfg.socket.exists() {
+            if UnixStream::connect(&cfg.socket).is_ok() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("a daemon is already serving on {}", cfg.socket.display()),
+                ));
+            }
+            std::fs::remove_file(&cfg.socket)?;
+        }
+        if let Some(parent) = cfg.socket.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let scheduler = Scheduler::new(cfg.scheduler, cfg.resume)?;
+        let listener = UnixListener::bind(&cfg.socket)?;
+        Ok(Daemon { scheduler, listener, socket: cfg.socket })
+    }
+
+    /// Jobs currently in the table (any state) — startup reporting.
+    pub fn job_count(&self) -> usize {
+        self.scheduler.list().len()
+    }
+
+    /// Serves connections until a client sends `shutdown`, then parks
+    /// in-flight jobs resumably and removes the socket.
+    ///
+    /// # Errors
+    /// Accept-loop I/O failures (per-connection errors only drop that
+    /// connection).
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            if let Ok(true) = serve_connection(stream, &self.scheduler) {
+                break;
+            }
+        }
+        let _ = std::fs::remove_file(&self.socket);
+        self.scheduler.shutdown();
+        Ok(())
+    }
+}
+
+/// Handles one client connection; returns whether shutdown was requested.
+fn serve_connection(stream: UnixStream, scheduler: &Scheduler) -> std::io::Result<bool> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, stop) = handle_line(&line, scheduler);
+        writer.write_all(resp.to_json().to_string().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn bad_request(message: impl Into<String>) -> Response {
+    Response::Error { code: "bad-request".to_string(), message: message.into() }
+}
+
+/// Routes one request line; returns the response and whether the daemon
+/// should stop.
+pub fn handle_line(line: &str, scheduler: &Scheduler) -> (Response, bool) {
+    let req =
+        match Json::parse(line).map_err(|e| e.to_string()).and_then(|doc| Request::from_json(&doc))
+        {
+            Ok(req) => req,
+            Err(e) => return (bad_request(e), false),
+        };
+    let resp = match req {
+        Request::Ping => Response::Pong { jobs: scheduler.list().len() as u64 },
+        Request::Submit { spec } => match ScenarioSpec::from_json(&spec) {
+            Ok(spec) => match scheduler.submit(spec) {
+                Ok(id) => Response::Submitted { id: id.to_string() },
+                Err(e) => Response::Error {
+                    code: match &e {
+                        SubmitError::QueueFull { .. } => "queue-full",
+                        SubmitError::Spec(_) => "bad-spec",
+                        SubmitError::Unservable(_) => "unservable",
+                        SubmitError::ShuttingDown => "shutting-down",
+                    }
+                    .to_string(),
+                    message: e.to_string(),
+                },
+            },
+            Err(e) => Response::Error { code: "bad-spec".to_string(), message: e.to_string() },
+        },
+        Request::Status { id: None } => {
+            Response::Status { jobs: scheduler.list().iter().map(|r| r.to_json()).collect() }
+        }
+        Request::Status { id: Some(id) } => match parse_id(&id) {
+            Err(resp) => resp,
+            Ok(id) => match scheduler.status(id) {
+                Some(record) => Response::Status { jobs: vec![record.to_json()] },
+                None => unknown_job(id),
+            },
+        },
+        Request::Cancel { id } => match parse_id(&id) {
+            Err(resp) => resp,
+            Ok(id) => {
+                if scheduler.cancel(id) {
+                    Response::Cancelled { id: id.to_string() }
+                } else if scheduler.status(id).is_some() {
+                    Response::Error {
+                        code: "not-cancellable".to_string(),
+                        message: format!("{id} is already terminal"),
+                    }
+                } else {
+                    unknown_job(id)
+                }
+            }
+        },
+        Request::Results { id } => match parse_id(&id) {
+            Err(resp) => resp,
+            Ok(id) => match (scheduler.status(id), scheduler.results(id)) {
+                (Some(_), Some(doc)) => Response::Results { id: id.to_string(), doc },
+                (Some(record), None) => Response::Error {
+                    code: "not-done".to_string(),
+                    message: format!(
+                        "{id} is {} ({}/{} steps)",
+                        record.state, record.steps_done, record.total_steps
+                    ),
+                },
+                (None, _) => unknown_job(id),
+            },
+        },
+        Request::Shutdown => return (Response::ShuttingDown, true),
+    };
+    (resp, false)
+}
+
+fn parse_id(id: &str) -> Result<JobId, Response> {
+    JobId::parse(id).ok_or_else(|| bad_request(format!("'{id}' is not a job-<n> id")))
+}
+
+fn unknown_job(id: JobId) -> Response {
+    Response::Error { code: "unknown-job".to_string(), message: format!("no such job {id}") }
+}

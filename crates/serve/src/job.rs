@@ -1,0 +1,199 @@
+//! Job identity, lifecycle states, and the persisted job manifest.
+
+use sc_obs::json::Json;
+use std::fmt;
+
+/// Schema identifier of the persisted job manifest.
+pub const MANIFEST_SCHEMA_ID: &str = "sc-job/1";
+
+/// A job's identity: a small integer assigned at submission, rendered
+/// everywhere (socket protocol, state directory, metrics label) as
+/// `job-<n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+impl JobId {
+    /// Parses the `job-<n>` wire form.
+    pub fn parse(s: &str) -> Option<JobId> {
+        s.strip_prefix("job-")?.parse().ok().map(JobId)
+    }
+}
+
+/// The job lifecycle. Transitions are strictly forward:
+/// `Queued → Running → {Done, Failed, Cancelled}` (a queued job may also
+/// jump straight to `Cancelled` or `Failed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for its lane to pick it up.
+    Queued,
+    /// Instantiated on a lane and receiving step slices.
+    Running,
+    /// Completed all steps; results are available.
+    Done,
+    /// Aborted by an unrecovered fault or an invalid spec; the failure
+    /// reason is in [`JobRecord::error`].
+    Failed,
+    /// Cancelled by a client before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job will never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+
+    /// The wire/manifest name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses the wire/manifest name.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Everything the service tracks about one job, as shown to clients and
+/// persisted as `manifest.json` in the job's state directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The job's identity.
+    pub id: JobId,
+    /// The `name` field of the submitted scenario spec.
+    pub spec_name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Steps completed so far.
+    pub steps_done: u64,
+    /// Steps the spec asks for.
+    pub total_steps: u64,
+    /// The worker lane the job is pinned to.
+    pub lane: usize,
+    /// Failure reason, when [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    /// A freshly accepted job.
+    pub fn new(id: JobId, spec_name: &str, total_steps: u64, lane: usize) -> Self {
+        JobRecord {
+            id,
+            spec_name: spec_name.to_string(),
+            state: JobState::Queued,
+            steps_done: 0,
+            total_steps,
+            lane,
+            error: None,
+        }
+    }
+
+    /// The manifest / wire form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema".to_string(), Json::str(MANIFEST_SCHEMA_ID)),
+            ("id".to_string(), Json::str(self.id.to_string())),
+            ("spec_name".to_string(), Json::str(&self.spec_name)),
+            ("state".to_string(), Json::str(self.state.as_str())),
+            ("steps_done".to_string(), Json::num(self.steps_done as f64)),
+            ("total_steps".to_string(), Json::num(self.total_steps as f64)),
+            ("lane".to_string(), Json::num(self.lane as f64)),
+        ];
+        if let Some(e) = &self.error {
+            fields.push(("error".to_string(), Json::str(e)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes a manifest; the error names what is malformed.
+    pub fn from_json(doc: &Json) -> Result<JobRecord, String> {
+        let str_field = |k: &str| -> Result<&str, String> {
+            doc.get(k).and_then(Json::as_str).ok_or_else(|| format!("manifest missing '{k}'"))
+        };
+        let num_field = |k: &str| -> Result<u64, String> {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("manifest missing '{k}'"))
+        };
+        if str_field("schema")? != MANIFEST_SCHEMA_ID {
+            return Err(format!("manifest schema is not {MANIFEST_SCHEMA_ID}"));
+        }
+        Ok(JobRecord {
+            id: JobId::parse(str_field("id")?)
+                .ok_or_else(|| "manifest 'id' is not job-<n>".to_string())?,
+            spec_name: str_field("spec_name")?.to_string(),
+            state: JobState::parse(str_field("state")?)
+                .ok_or_else(|| "manifest 'state' unknown".to_string())?,
+            steps_done: num_field("steps_done")?,
+            total_steps: num_field("total_steps")?,
+            lane: num_field("lane")? as usize,
+            error: doc.get("error").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_id_round_trips_through_its_wire_form() {
+        let id = JobId(17);
+        assert_eq!(id.to_string(), "job-17");
+        assert_eq!(JobId::parse("job-17"), Some(id));
+        assert_eq!(JobId::parse("17"), None);
+        assert_eq!(JobId::parse("job-x"), None);
+    }
+
+    #[test]
+    fn manifest_round_trips_including_error() {
+        let mut rec = JobRecord::new(JobId(3), "lj-demo", 100, 1);
+        rec.state = JobState::Failed;
+        rec.steps_done = 42;
+        rec.error = Some("rank 2 died".to_string());
+        let back = JobRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back, rec);
+        // And without the optional error field.
+        let rec = JobRecord::new(JobId(0), "x", 1, 0);
+        assert_eq!(JobRecord::from_json(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn terminal_states_are_exactly_done_failed_cancelled() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        for s in ["queued", "running", "done", "failed", "cancelled"] {
+            assert_eq!(JobState::parse(s).unwrap().as_str(), s);
+        }
+    }
+}

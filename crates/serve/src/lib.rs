@@ -1,0 +1,20 @@
+//! # sc-serve — the multi-tenant simulation job service
+//!
+//! A long-lived daemon (`scmd serve`) that accepts scenario specs
+//! ([`sc_spec::ScenarioSpec`]) as jobs, multiplexes many concurrent
+//! simulations over a bounded set of worker lanes with fair round-robin
+//! scheduling, persists per-job checkpoints so jobs survive a daemon
+//! restart (`serve --resume`), and answers a JSON-lines protocol over a
+//! local Unix socket (`scmd submit/status/cancel/results`).
+
+pub mod job;
+pub mod protocol;
+pub mod scheduler;
+
+pub mod client;
+pub mod daemon;
+
+pub use daemon::{Daemon, DaemonConfig};
+pub use job::{JobId, JobRecord, JobState};
+pub use protocol::{Request, Response};
+pub use scheduler::{Scheduler, SchedulerConfig, SubmitError};

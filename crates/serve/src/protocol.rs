@@ -1,0 +1,288 @@
+//! The JSON-lines wire protocol between `scmd` clients and the daemon.
+//!
+//! One request per line, one response line back, over a local Unix
+//! socket. Requests carry a `verb`; responses carry `ok` plus
+//! verb-specific payload, or `ok: false` with a machine-readable `code`
+//! and a human-readable `message`.
+
+use sc_obs::json::Json;
+
+/// Schema identifier stamped on every response line.
+pub const PROTOCOL_SCHEMA_ID: &str = "sc-serve/1";
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answers with the job count.
+    Ping,
+    /// Submit a scenario spec (the spec document, inline).
+    Submit {
+        /// The scenario document, as parsed JSON.
+        spec: Json,
+    },
+    /// Report one job (`Some(id)`) or all jobs (`None`).
+    Status {
+        /// `job-<n>`, or `None` for the full table.
+        id: Option<String>,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// `job-<n>`.
+        id: String,
+    },
+    /// Fetch a finished job's observables document.
+    Results {
+        /// `job-<n>`.
+        id: String,
+    },
+    /// Checkpoint in-flight jobs and stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes to one wire line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        match self {
+            Request::Ping => fields.push(verb("ping")),
+            Request::Submit { spec } => {
+                fields.push(verb("submit"));
+                fields.push(("spec".to_string(), spec.clone()));
+            }
+            Request::Status { id } => {
+                fields.push(verb("status"));
+                if let Some(id) = id {
+                    fields.push(("id".to_string(), Json::str(id)));
+                }
+            }
+            Request::Cancel { id } => {
+                fields.push(verb("cancel"));
+                fields.push(("id".to_string(), Json::str(id)));
+            }
+            Request::Results { id } => {
+                fields.push(verb("results"));
+                fields.push(("id".to_string(), Json::str(id)));
+            }
+            Request::Shutdown => fields.push(verb("shutdown")),
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes one wire line; the error is a human-readable reason.
+    pub fn from_json(doc: &Json) -> Result<Request, String> {
+        let verb = doc
+            .get("verb")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request has no 'verb'".to_string())?;
+        let id = || -> Result<String, String> {
+            doc.get("id")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("'{verb}' needs an 'id'"))
+        };
+        Ok(match verb {
+            "ping" => Request::Ping,
+            "submit" => {
+                Request::Submit { spec: doc.get("spec").cloned().ok_or("'submit' needs a 'spec'")? }
+            }
+            "status" => {
+                Request::Status { id: doc.get("id").and_then(Json::as_str).map(str::to_string) }
+            }
+            "cancel" => Request::Cancel { id: id()? },
+            "results" => Request::Results { id: id()? },
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown verb {other:?}")),
+        })
+    }
+}
+
+/// A daemon response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The daemon is alive and tracking `jobs` jobs.
+    Pong {
+        /// Jobs in the table (any state).
+        jobs: u64,
+    },
+    /// The spec was accepted as `id`.
+    Submitted {
+        /// The new job's `job-<n>` identity.
+        id: String,
+    },
+    /// Job records (one, or the whole table).
+    Status {
+        /// Each entry is a job manifest document.
+        jobs: Vec<Json>,
+    },
+    /// The job was cancelled.
+    Cancelled {
+        /// The cancelled job's identity.
+        id: String,
+    },
+    /// A finished job's observables document.
+    Results {
+        /// The job's identity.
+        id: String,
+        /// The `sc-observables/1` document.
+        doc: Json,
+    },
+    /// The daemon acknowledged shutdown and will stop accepting work.
+    ShuttingDown,
+    /// The request was rejected.
+    Error {
+        /// Machine-readable code (`queue-full`, `bad-spec`, `unknown-job`,
+        /// `not-done`, `bad-request`, `shutting-down`).
+        code: String,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes to one wire line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("schema".to_string(), Json::str(PROTOCOL_SCHEMA_ID))];
+        let mut ok = |v: &str| {
+            fields.push(("ok".to_string(), Json::Bool(true)));
+            fields.push(verb(v));
+        };
+        match self {
+            Response::Pong { jobs } => {
+                ok("pong");
+                fields.push(("jobs".to_string(), Json::num(*jobs as f64)));
+            }
+            Response::Submitted { id } => {
+                ok("submitted");
+                fields.push(("id".to_string(), Json::str(id)));
+            }
+            Response::Status { jobs } => {
+                ok("status");
+                fields.push(("jobs".to_string(), Json::Arr(jobs.clone())));
+            }
+            Response::Cancelled { id } => {
+                ok("cancelled");
+                fields.push(("id".to_string(), Json::str(id)));
+            }
+            Response::Results { id, doc } => {
+                ok("results");
+                fields.push(("id".to_string(), Json::str(id)));
+                fields.push(("results".to_string(), doc.clone()));
+            }
+            Response::ShuttingDown => ok("shutting-down"),
+            Response::Error { code, message } => {
+                fields.push(("ok".to_string(), Json::Bool(false)));
+                fields.push(("code".to_string(), Json::str(code)));
+                fields.push(("message".to_string(), Json::str(message)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes one wire line; the error is a human-readable reason.
+    pub fn from_json(doc: &Json) -> Result<Response, String> {
+        let ok = doc
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| "response has no 'ok'".to_string())?;
+        if !ok {
+            return Ok(Response::Error {
+                code: doc.get("code").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+                message: doc.get("message").and_then(Json::as_str).unwrap_or_default().to_string(),
+            });
+        }
+        let verb = doc
+            .get("verb")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "response has no 'verb'".to_string())?;
+        let id = || -> Result<String, String> {
+            doc.get("id")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("'{verb}' response has no 'id'"))
+        };
+        Ok(match verb {
+            "pong" => Response::Pong {
+                jobs: doc.get("jobs").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            },
+            "submitted" => Response::Submitted { id: id()? },
+            "status" => Response::Status {
+                jobs: doc
+                    .get("jobs")
+                    .and_then(Json::as_array)
+                    .ok_or("'status' response has no 'jobs'")?
+                    .to_vec(),
+            },
+            "cancelled" => Response::Cancelled { id: id()? },
+            "results" => Response::Results {
+                id: id()?,
+                doc: doc.get("results").cloned().ok_or("'results' response has no 'results'")?,
+            },
+            "shutting-down" => Response::ShuttingDown,
+            other => return Err(format!("unknown response verb {other:?}")),
+        })
+    }
+}
+
+fn verb(v: &str) -> (String, Json) {
+    ("verb".to_string(), Json::str(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let line = req.to_json().to_string();
+        let back = Request::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, req, "{line}");
+    }
+
+    fn round_trip_response(resp: Response) {
+        let line = resp.to_json().to_string();
+        let back = Response::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, resp, "{line}");
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Submit {
+            spec: Json::Obj(vec![("name".to_string(), Json::str("lj"))]),
+        });
+        round_trip_request(Request::Status { id: None });
+        round_trip_request(Request::Status { id: Some("job-2".to_string()) });
+        round_trip_request(Request::Cancel { id: "job-2".to_string() });
+        round_trip_request(Request::Results { id: "job-2".to_string() });
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        round_trip_response(Response::Pong { jobs: 3 });
+        round_trip_response(Response::Submitted { id: "job-0".to_string() });
+        round_trip_response(Response::Status { jobs: vec![Json::Obj(vec![])] });
+        round_trip_response(Response::Cancelled { id: "job-1".to_string() });
+        round_trip_response(Response::Results {
+            id: "job-1".to_string(),
+            doc: Json::Obj(vec![("steps".to_string(), Json::num(4.0))]),
+        });
+        round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Error {
+            code: "queue-full".to_string(),
+            message: "8 jobs live".to_string(),
+        });
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            (r#"{"no": "verb"}"#, "no 'verb'"),
+            (r#"{"verb": "warp"}"#, "unknown verb"),
+            (r#"{"verb": "submit"}"#, "needs a 'spec'"),
+            (r#"{"verb": "cancel"}"#, "needs an 'id'"),
+        ] {
+            let e = Request::from_json(&Json::parse(line).unwrap()).unwrap_err();
+            assert!(e.contains(needle), "{line} -> {e}");
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! The multi-tenant job scheduler: worker lanes, fair round-robin
+//! time-slicing, bounded admission, cancellation, and per-job checkpoint
+//! persistence.
+//!
+//! ## Design
+//!
+//! Jobs are pinned to a **lane** (`id % lanes`) at submission; each lane
+//! is one worker thread that owns its jobs' live simulation state and
+//! steps them cooperatively, [`SchedulerConfig::slice_steps`] at a time,
+//! in strict round-robin order. Pinning keeps the engines on the thread
+//! that created them (no `Send` requirement on executor internals) and
+//! makes per-lane scheduling order deterministic — the fairness tests
+//! assert the exact interleaving.
+//!
+//! Each job is driven through a per-job [`sc_md::Supervisor`] over
+//! [`sc_spec::RunHandle`]'s `Recoverable` impl, so a served job with a
+//! fault plan gets the same rollback/re-decomposition ladder as
+//! `scmd chaos` runs. Unrecovered faults fail only that job; the lane and
+//! its other tenants keep running.
+//!
+//! With a state directory configured, every job persists its spec, a
+//! manifest, and (on its checkpoint schedule and at graceful shutdown) a
+//! labelled checkpoint — enough for [`Scheduler::new`] with
+//! `resume = true` to reload the table and continue interrupted jobs
+//! after a daemon restart. Trajectories are deterministic and checkpoint
+//! restore is bitwise, so a resumed job's final observables are
+//! byte-identical to an uninterrupted run's.
+
+use crate::job::{JobId, JobRecord, JobState};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use sc_md::supervisor::{Supervisor, SupervisorConfig};
+use sc_md::Checkpoint;
+use sc_obs::json::Json;
+use sc_spec::{observables_doc, RunHandle, ScenarioSpec, SpecError};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler policy.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker lanes (stepping threads). Jobs are pinned `id % lanes`.
+    pub lanes: usize,
+    /// Maximum live (queued + running) jobs; submission beyond this is
+    /// rejected with [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Steps granted per scheduling slice.
+    pub slice_steps: u64,
+    /// Persistence root (specs, manifests, checkpoints, results). `None`
+    /// runs fully in-memory (no restart resume).
+    pub state_dir: Option<PathBuf>,
+    /// Rollback budget per job for fault recovery.
+    pub max_rollbacks: u32,
+    /// Start with the lanes admitting but not stepping, until
+    /// [`Scheduler::start`] — lets a batch of submissions land before any
+    /// slicing begins, making the scheduling order exactly reproducible
+    /// (the fairness tests rely on this).
+    pub start_paused: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            lanes: 2,
+            queue_capacity: 8,
+            slice_steps: 4,
+            state_dir: None,
+            max_rollbacks: 64,
+            start_paused: false,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The live-job cap is reached; retry after a job finishes.
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// The spec is valid but cannot be served (e.g. the one-shot threaded
+    /// executor, which cannot be checkpointed or time-sliced).
+    Unservable(String),
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "queue full: {capacity} jobs already live")
+            }
+            SubmitError::Spec(e) => write!(f, "invalid spec: {e}"),
+            SubmitError::Unservable(why) => write!(f, "spec cannot be served: {why}"),
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One job's bookkeeping entry.
+struct JobEntry {
+    record: JobRecord,
+    spec: ScenarioSpec,
+    /// Cooperative cancellation flag; the lane honours it at the next
+    /// slice boundary.
+    cancel: bool,
+    /// The observables document, once [`JobState::Done`].
+    results: Option<Json>,
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, JobEntry>,
+    next_id: u64,
+    shutting_down: bool,
+    /// `(job, steps_done)` after every completed slice — the scheduling
+    /// trace the fairness tests assert on.
+    trace: Vec<(JobId, u64)>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signalled on every terminal transition (and slice) for
+    /// [`Scheduler::wait_idle`].
+    progress: Condvar,
+    cfg: SchedulerConfig,
+}
+
+enum LaneMsg {
+    Run(u64),
+    /// Begin slicing (only sent when configured `start_paused`).
+    Start,
+    Shutdown,
+}
+
+/// The job service's scheduling core (used directly by tests and wrapped
+/// by the socket daemon).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    lanes: Vec<Sender<LaneMsg>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts the lanes. With `resume` set and a state directory
+    /// configured, reloads persisted jobs first: terminal jobs reappear
+    /// with their results, interrupted jobs restart from their last
+    /// checkpoint (or from scratch) and run to completion.
+    ///
+    /// # Errors
+    /// I/O problems creating or scanning the state directory.
+    pub fn new(cfg: SchedulerConfig, resume: bool) -> std::io::Result<Scheduler> {
+        assert!(cfg.lanes >= 1, "scheduler needs at least one lane");
+        assert!(cfg.slice_steps >= 1, "slices must make progress");
+        if let Some(dir) = &cfg.state_dir {
+            std::fs::create_dir_all(dir.join("jobs"))?;
+        }
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                next_id: 0,
+                shutting_down: false,
+                trace: Vec::new(),
+            }),
+            progress: Condvar::new(),
+            cfg: cfg.clone(),
+        });
+        let mut lanes = Vec::new();
+        let mut threads = Vec::new();
+        for lane in 0..cfg.lanes {
+            let (tx, rx) = unbounded();
+            let shared2 = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sc-serve-lane-{lane}"))
+                    .spawn(move || lane_loop(lane, shared2, rx))?,
+            );
+            lanes.push(tx);
+        }
+        let sched = Scheduler { shared, lanes, threads };
+        if resume {
+            sched.resume_persisted()?;
+        }
+        Ok(sched)
+    }
+
+    /// Submits a spec as a new job.
+    ///
+    /// # Errors
+    /// See [`SubmitError`]; admission is atomic — a rejected submission
+    /// leaves no trace.
+    pub fn submit(&self, spec: ScenarioSpec) -> Result<JobId, SubmitError> {
+        spec.validate().map_err(SubmitError::Spec)?;
+        if spec.executor.kind() == "threaded" {
+            return Err(SubmitError::Unservable(
+                "the threaded executor is one-shot and cannot be time-sliced; \
+                 run it with 'scmd run --spec'"
+                    .to_string(),
+            ));
+        }
+        let (id, lane) = {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.shutting_down {
+                return Err(SubmitError::ShuttingDown);
+            }
+            let live = inner.jobs.values().filter(|j| !j.record.state.is_terminal()).count();
+            if live >= self.shared.cfg.queue_capacity {
+                return Err(SubmitError::QueueFull { capacity: self.shared.cfg.queue_capacity });
+            }
+            let id = JobId(inner.next_id);
+            inner.next_id += 1;
+            let lane = (id.0 as usize) % self.lanes.len();
+            let record = JobRecord::new(id, &spec.name, spec.steps, lane);
+            if let Some(dir) = job_dir(&self.shared.cfg, id) {
+                // Persist spec + manifest before the job becomes visible,
+                // so a crash never leaves an unrecoverable table entry.
+                let persisted = std::fs::create_dir_all(&dir)
+                    .and_then(|()| {
+                        write_atomic(&dir.join("spec.json"), &spec.to_json().to_string())
+                    })
+                    .and_then(|()| {
+                        write_atomic(&dir.join("manifest.json"), &record.to_json().to_string())
+                    });
+                if let Err(e) = persisted {
+                    return Err(SubmitError::Unservable(format!("cannot persist job state: {e}")));
+                }
+            }
+            inner.jobs.insert(id.0, JobEntry { record, spec, cancel: false, results: None });
+            (id, lane)
+        };
+        // The lane threads outlive every submit (they only exit in
+        // shutdown, which flips `shutting_down` first).
+        self.lanes[lane].send(LaneMsg::Run(id.0)).expect("lane thread alive");
+        Ok(id)
+    }
+
+    /// One job's current record.
+    pub fn status(&self, id: JobId) -> Option<JobRecord> {
+        self.shared.inner.lock().unwrap().jobs.get(&id.0).map(|j| j.record.clone())
+    }
+
+    /// The whole job table, ordered by id.
+    pub fn list(&self) -> Vec<JobRecord> {
+        self.shared.inner.lock().unwrap().jobs.values().map(|j| j.record.clone()).collect()
+    }
+
+    /// Requests cancellation. Returns `true` if the job was live (the
+    /// lane will retire it at the next slice boundary and release its
+    /// slot), `false` if unknown or already terminal.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut inner = self.shared.inner.lock().unwrap();
+        match inner.jobs.get_mut(&id.0) {
+            Some(entry) if !entry.record.state.is_terminal() => {
+                entry.cancel = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A finished job's observables document.
+    pub fn results(&self, id: JobId) -> Option<Json> {
+        self.shared.inner.lock().unwrap().jobs.get(&id.0).and_then(|j| j.results.clone())
+    }
+
+    /// Blocks until every job is terminal (or `timeout`); returns whether
+    /// the table is idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if inner.jobs.values().all(|j| j.record.state.is_terminal()) {
+                return true;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self.shared.progress.wait_timeout(inner, left).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// The slice-order trace: `(job, steps_done)` after each slice, in
+    /// execution order. Test observability for fairness assertions.
+    pub fn trace(&self) -> Vec<(JobId, u64)> {
+        self.shared.inner.lock().unwrap().trace.clone()
+    }
+
+    /// Releases lanes started under [`SchedulerConfig::start_paused`].
+    pub fn start(&self) {
+        for tx in &self.lanes {
+            let _ = tx.send(LaneMsg::Start);
+        }
+    }
+
+    /// Stops accepting work, checkpoints in-flight jobs, and joins the
+    /// lanes. Queued/running jobs stay non-terminal in the persisted
+    /// manifests, so a later `resume` continues them.
+    pub fn shutdown(mut self) {
+        self.shared.inner.lock().unwrap().shutting_down = true;
+        for tx in &self.lanes {
+            let _ = tx.send(LaneMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Reloads the persisted job table (see [`Scheduler::new`]).
+    fn resume_persisted(&self) -> std::io::Result<()> {
+        let Some(dir) = self.shared.cfg.state_dir.clone() else {
+            return Ok(());
+        };
+        let mut job_ids: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(dir.join("jobs"))? {
+            if let Some(id) = entry?.file_name().to_str().and_then(JobId::parse).map(|j| j.0) {
+                job_ids.push(id);
+            }
+        }
+        job_ids.sort_unstable();
+        let mut restarts = Vec::new();
+        {
+            let mut inner = self.shared.inner.lock().unwrap();
+            for raw in job_ids {
+                let id = JobId(raw);
+                let dir = job_dir(&self.shared.cfg, id).expect("state_dir is set");
+                let Ok(mut record) = read_json(&dir.join("manifest.json"))
+                    .and_then(|doc| JobRecord::from_json(&doc))
+                else {
+                    continue; // torn write of a brand-new job: skip
+                };
+                let Ok(spec) = read_json(&dir.join("spec.json"))
+                    .and_then(|doc| ScenarioSpec::from_json(&doc).map_err(|e| e.to_string()))
+                else {
+                    continue;
+                };
+                let results = read_json(&dir.join("results.json")).ok();
+                if !record.state.is_terminal() {
+                    // Interrupted: re-queue on the lane derived from the id
+                    // (the lane count may have changed across restarts).
+                    record.state = JobState::Queued;
+                    record.lane = (raw as usize) % self.lanes.len();
+                    restarts.push((raw, record.lane));
+                }
+                inner.next_id = inner.next_id.max(raw + 1);
+                inner.jobs.insert(raw, JobEntry { record, spec, cancel: false, results });
+            }
+        }
+        for (raw, lane) in restarts {
+            self.lanes[lane].send(LaneMsg::Run(raw)).expect("lane thread alive");
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shared.inner.lock().unwrap().shutting_down = true;
+        for tx in &self.lanes {
+            let _ = tx.send(LaneMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn job_dir(cfg: &SchedulerConfig, id: JobId) -> Option<PathBuf> {
+    cfg.state_dir.as_ref().map(|d| d.join("jobs").join(id.to_string()))
+}
+
+/// Writes via a temp file + rename, so readers never observe torn JSON.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn read_json(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Json::parse(&text).map_err(|e| e.to_string())
+}
+
+/// A job resident on a lane: its live engine plus supervision state.
+struct ActiveJob {
+    id: JobId,
+    sim: RunHandle,
+    sup: Supervisor,
+    total: u64,
+    /// Persist a checkpoint whenever `steps_done` crosses a multiple of
+    /// this (`None`: only at graceful shutdown).
+    persist_every: Option<u64>,
+    last_persisted: u64,
+}
+
+fn lane_loop(lane: usize, shared: Arc<Shared>, rx: Receiver<LaneMsg>) {
+    let mut local: VecDeque<ActiveJob> = VecDeque::new();
+    let mut paused = shared.cfg.start_paused;
+    loop {
+        // Block when there is nothing to step; otherwise just drain
+        // whatever arrived.
+        let first = if local.is_empty() || paused {
+            match rx.recv() {
+                Ok(msg) => Some(msg),
+                Err(_) => return,
+            }
+        } else {
+            rx.try_recv().ok()
+        };
+        let mut incoming = first.into_iter().chain(std::iter::from_fn(|| rx.try_recv().ok()));
+        let mut shutdown = false;
+        for msg in &mut incoming {
+            match msg {
+                LaneMsg::Shutdown => {
+                    shutdown = true;
+                    break;
+                }
+                LaneMsg::Start => paused = false,
+                LaneMsg::Run(id) => {
+                    if let Some(job) = admit(JobId(id), &shared) {
+                        local.push_back(job);
+                    }
+                }
+            }
+        }
+        if shutdown {
+            // Park in-flight jobs resumably: persist a labelled
+            // checkpoint and leave the manifest non-terminal.
+            for job in &mut local {
+                persist_checkpoint(&shared, job);
+                persist_manifest(&shared, job.id);
+            }
+            return;
+        }
+        let Some(mut job) = local.pop_front() else { continue };
+        match run_slice(lane, &shared, &mut job) {
+            SliceOutcome::MoreWork => local.push_back(job),
+            SliceOutcome::Retired => {}
+        }
+    }
+}
+
+enum SliceOutcome {
+    MoreWork,
+    Retired,
+}
+
+/// Instantiates a newly assigned job (restoring its checkpoint when one
+/// exists). Returns `None` when the job fails to build or was cancelled
+/// before starting — in both cases the table entry is finalized here.
+fn admit(id: JobId, shared: &Arc<Shared>) -> Option<ActiveJob> {
+    let spec = {
+        let mut inner = shared.inner.lock().unwrap();
+        let entry = inner.jobs.get_mut(&id.0)?;
+        if entry.cancel {
+            entry.record.state = JobState::Cancelled;
+            drop(inner);
+            persist_manifest(shared, id);
+            shared.progress.notify_all();
+            return None;
+        }
+        entry.record.state = JobState::Running;
+        entry.spec.clone()
+    };
+    persist_manifest(shared, id);
+    let sim = match spec.instantiate_labeled(Some(&id.to_string())) {
+        Ok(sim) => sim,
+        Err(e) => {
+            finalize_failed(shared, id, &format!("instantiation failed: {e}"));
+            return None;
+        }
+    };
+    let mut job = ActiveJob {
+        id,
+        sim,
+        sup: Supervisor::new(SupervisorConfig {
+            checkpoint_every: spec.checkpoint.as_ref().map_or(u64::MAX, |c| c.every),
+            max_rollbacks: shared.cfg.max_rollbacks,
+            ..SupervisorConfig::default()
+        }),
+        total: spec.steps,
+        persist_every: spec.checkpoint.as_ref().map(|c| c.every),
+        last_persisted: 0,
+    };
+    // Resume: restore the persisted checkpoint if the previous daemon
+    // instance parked one (labels guard against cross-job mixups).
+    if let Some(dir) = job_dir(&shared.cfg, id) {
+        let path = dir.join("checkpoint.bin");
+        if path.exists() {
+            match Checkpoint::load(&path)
+                .and_then(|cp| cp.require_label(&id.to_string()).map(|()| cp))
+            {
+                Ok(cp) => {
+                    job.sim.restore(&cp);
+                    job.last_persisted = cp.step;
+                    let mut inner = shared.inner.lock().unwrap();
+                    if let Some(entry) = inner.jobs.get_mut(&id.0) {
+                        entry.record.steps_done = cp.step;
+                    }
+                }
+                Err(e) => {
+                    finalize_failed(shared, id, &format!("stale checkpoint: {e}"));
+                    return None;
+                }
+            }
+        }
+    }
+    Some(job)
+}
+
+fn run_slice(_lane: usize, shared: &Arc<Shared>, job: &mut ActiveJob) -> SliceOutcome {
+    // Honour cancellation at the slice boundary; the slot frees here.
+    let cancelled = {
+        let mut inner = shared.inner.lock().unwrap();
+        match inner.jobs.get_mut(&job.id.0) {
+            Some(entry) if entry.cancel => {
+                entry.record.state = JobState::Cancelled;
+                true
+            }
+            Some(_) => false,
+            None => true,
+        }
+    };
+    if cancelled {
+        persist_manifest(shared, job.id);
+        shared.progress.notify_all();
+        return SliceOutcome::Retired;
+    }
+    let done = job.sim.steps_done();
+    let n = shared.cfg.slice_steps.min(job.total - done);
+    if let Err(e) = job.sup.run(&mut job.sim, n) {
+        finalize_failed(shared, job.id, &e.to_string());
+        return SliceOutcome::Retired;
+    }
+    let done = job.sim.steps_done();
+    {
+        let mut inner = shared.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(&job.id.0) {
+            entry.record.steps_done = done;
+        }
+        inner.trace.push((job.id, done));
+    }
+    if let Some(every) = job.persist_every {
+        if done / every > job.last_persisted / every {
+            if persist_checkpoint(shared, job) {
+                job.last_persisted = done;
+            }
+            persist_manifest(shared, job.id);
+        }
+    }
+    if done < job.total {
+        shared.progress.notify_all();
+        return SliceOutcome::MoreWork;
+    }
+    finalize_done(shared, job);
+    SliceOutcome::Retired
+}
+
+fn finalize_done(shared: &Arc<Shared>, job: &mut ActiveJob) {
+    let energy = job.sim.total_energy();
+    let store = job.sim.gather();
+    let (doc, metrics_doc) = {
+        let mut inner = shared.inner.lock().unwrap();
+        let Some(entry) = inner.jobs.get_mut(&job.id.0) else { return };
+        let doc = observables_doc(&entry.spec.name, job.sim.steps_done(), &store, energy);
+        entry.record.state = JobState::Done;
+        entry.record.steps_done = job.sim.steps_done();
+        entry.results = Some(doc.clone());
+        let metrics_doc = entry
+            .spec
+            .observability
+            .metrics
+            .then(|| sc_obs::json_value(&job.sim.metrics().snapshot()));
+        (doc, metrics_doc)
+    };
+    if let Some(dir) = job_dir(&shared.cfg, job.id) {
+        let _ = write_atomic(&dir.join("results.json"), &doc.to_string());
+        // Telemetry is persisted separately: it carries wall times, which
+        // must not leak into the bitwise-comparable results document.
+        if let Some(m) = metrics_doc {
+            let _ = write_atomic(&dir.join("metrics.json"), &m.to_string());
+        }
+        persist_checkpoint(shared, job);
+    }
+    persist_manifest(shared, job.id);
+    shared.progress.notify_all();
+}
+
+fn finalize_failed(shared: &Arc<Shared>, id: JobId, why: &str) {
+    {
+        let mut inner = shared.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(&id.0) {
+            entry.record.state = JobState::Failed;
+            entry.record.error = Some(why.to_string());
+        }
+    }
+    persist_manifest(shared, id);
+    shared.progress.notify_all();
+}
+
+fn persist_manifest(shared: &Arc<Shared>, id: JobId) {
+    let Some(dir) = job_dir(&shared.cfg, id) else { return };
+    let record = {
+        let inner = shared.inner.lock().unwrap();
+        match inner.jobs.get(&id.0) {
+            Some(entry) => entry.record.clone(),
+            None => return,
+        }
+    };
+    let _ = write_atomic(&dir.join("manifest.json"), &record.to_json().to_string());
+}
+
+/// Returns whether the labelled checkpoint actually hit disk.
+fn persist_checkpoint(shared: &Arc<Shared>, job: &ActiveJob) -> bool {
+    let Some(dir) = job_dir(&shared.cfg, job.id) else { return false };
+    let cp = job.sim.checkpoint().with_label(job.id.to_string());
+    cp.save(&dir.join("checkpoint.bin")).is_ok()
+}

@@ -1,0 +1,262 @@
+//! Scheduler-semantics contract tests: deterministic fair-share,
+//! backpressure, cancellation releasing lanes, and daemon-restart resume
+//! producing bitwise-identical results.
+
+use sc_serve::{JobId, JobState, Scheduler, SchedulerConfig, SubmitError};
+use sc_spec::ScenarioSpec;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const IDLE: Duration = Duration::from_secs(120);
+
+/// A small, fast LJ scenario (~500 atoms serial).
+fn lj_spec(name: &str, steps: u64, extra: &str) -> ScenarioSpec {
+    let doc = format!(
+        r#"{{
+            "schema": "sc-scenario/1",
+            "name": "{name}",
+            "system": {{"kind": "lj", "cells": 5, "temp": 1.0, "seed": 42}},
+            "potential": {{"kind": "lj", "cutoff": 2.5}},
+            "method": "sc",
+            "executor": {{"kind": "serial"}},
+            "dt": 0.002,
+            "steps": {steps}{extra}
+        }}"#
+    );
+    ScenarioSpec::from_json_str(&doc).unwrap()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sc-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fair_share_round_robin_is_deterministic() {
+    let cfg = SchedulerConfig {
+        lanes: 1,
+        slice_steps: 4,
+        start_paused: true,
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::new(cfg, false).unwrap();
+    for i in 0..3 {
+        let id = sched.submit(lj_spec(&format!("fair-{i}"), 12, "")).unwrap();
+        assert_eq!(id, JobId(i));
+    }
+    sched.start();
+    assert!(sched.wait_idle(IDLE), "jobs did not finish");
+    // Strict round-robin: with equal jobs on one lane, slices interleave
+    // 0,1,2,0,1,2,0,1,2 and each slice advances exactly `slice_steps`.
+    let expected: Vec<(JobId, u64)> =
+        (1..=3).flat_map(|round| (0..3).map(move |j| (JobId(j), round * 4))).collect();
+    assert_eq!(sched.trace(), expected);
+    for rec in sched.list() {
+        assert_eq!(rec.state, JobState::Done, "{rec:?}");
+        assert_eq!(rec.steps_done, 12);
+    }
+}
+
+#[test]
+fn fair_share_holds_under_a_seeded_fault_storm() {
+    // Two BSP jobs with seeded fault plans, sharing one lane with a clean
+    // serial job. The storm is deterministic, recovery is supervised, and
+    // every tenant must still finish.
+    let storm = r#"{
+        "schema": "sc-scenario/1",
+        "name": "storm",
+        "system": {"kind": "lj", "cells": 7, "temp": 1.0, "seed": 42},
+        "potential": {"kind": "lj", "cutoff": 2.5},
+        "method": "sc",
+        "executor": {"kind": "bsp", "grid": [2, 1, 1]},
+        "dt": 0.002,
+        "steps": 8,
+        "fault_plan": {"seed": 7, "count": 2, "max_crashes": 0},
+        "checkpoint": {"every": 2}
+    }"#;
+    let cfg = SchedulerConfig { lanes: 1, slice_steps: 2, ..SchedulerConfig::default() };
+    let sched = Scheduler::new(cfg, false).unwrap();
+    let storm_id = sched.submit(ScenarioSpec::from_json_str(storm).unwrap()).unwrap();
+    let clean_id = sched.submit(lj_spec("clean", 8, "")).unwrap();
+    assert!(sched.wait_idle(IDLE), "storm jobs did not finish: {:?}", sched.list());
+    for id in [storm_id, clean_id] {
+        let rec = sched.status(id).unwrap();
+        assert_eq!(rec.state, JobState::Done, "{rec:?}");
+        assert_eq!(rec.steps_done, 8);
+        assert!(sched.results(id).is_some());
+    }
+}
+
+#[test]
+fn backpressure_rejects_above_capacity_with_a_typed_error() {
+    let cfg = SchedulerConfig {
+        lanes: 1,
+        queue_capacity: 2,
+        start_paused: true, // nothing completes, so the queue stays full
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::new(cfg, false).unwrap();
+    sched.submit(lj_spec("a", 4, "")).unwrap();
+    sched.submit(lj_spec("b", 4, "")).unwrap();
+    match sched.submit(lj_spec("c", 4, "")) {
+        Err(SubmitError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    // Rejected submissions leave no trace and burn no ids.
+    assert_eq!(sched.list().len(), 2);
+    sched.start();
+    assert!(sched.wait_idle(IDLE));
+    // Capacity freed: the same spec is admitted now.
+    sched.submit(lj_spec("c", 4, "")).unwrap();
+    assert!(sched.wait_idle(IDLE));
+}
+
+#[test]
+fn unservable_and_invalid_specs_are_rejected_at_submit() {
+    let sched = Scheduler::new(SchedulerConfig::default(), false).unwrap();
+    let threaded = r#"{
+        "schema": "sc-scenario/1",
+        "name": "t",
+        "system": {"kind": "lj", "cells": 7, "temp": 1.0, "seed": 42},
+        "potential": {"kind": "lj", "cutoff": 2.5},
+        "method": "sc",
+        "executor": {"kind": "threaded", "grid": [2, 1, 1]},
+        "dt": 0.002,
+        "steps": 4
+    }"#;
+    match sched.submit(ScenarioSpec::from_json_str(threaded).unwrap()) {
+        Err(SubmitError::Unservable(why)) => assert!(why.contains("threaded"), "{why}"),
+        other => panic!("expected Unservable, got {other:?}"),
+    }
+    let mut invalid = lj_spec("x", 4, "");
+    invalid.dt = -1.0;
+    match sched.submit(invalid) {
+        Err(SubmitError::Spec(e)) => assert!(e.to_string().contains("dt"), "{e}"),
+        other => panic!("expected Spec error, got {other:?}"),
+    }
+    assert_eq!(sched.list().len(), 0);
+}
+
+#[test]
+fn cancel_releases_the_lane_for_queued_work() {
+    let cfg = SchedulerConfig {
+        lanes: 1,
+        queue_capacity: 2,
+        slice_steps: 1,
+        start_paused: true,
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::new(cfg, false).unwrap();
+    let long = sched.submit(lj_spec("long", 100_000, "")).unwrap();
+    let short = sched.submit(lj_spec("short", 2, "")).unwrap();
+    assert!(sched.cancel(long), "live job must be cancellable");
+    sched.start();
+    // The cancelled job retires at its first slice boundary; the short job
+    // then owns the lane and finishes. If cancel failed to release the
+    // lane, the 100k-step job would hold it far past the timeout.
+    assert!(sched.wait_idle(IDLE), "lane never freed: {:?}", sched.list());
+    assert_eq!(sched.status(long).unwrap().state, JobState::Cancelled);
+    assert_eq!(sched.status(short).unwrap().state, JobState::Done);
+    // Cancelling a terminal job reports false.
+    assert!(!sched.cancel(long));
+    assert!(!sched.cancel(short));
+    assert!(!sched.cancel(JobId(99)));
+    // A cancelled job has no results.
+    assert!(sched.results(long).is_none());
+}
+
+#[test]
+fn restart_resume_matches_an_uninterrupted_run_bitwise() {
+    let spec_extra = r#", "checkpoint": {"every": 4}"#;
+    // Reference: one scheduler runs the job start-to-finish.
+    let dir_a = tmp_dir("uninterrupted");
+    let cfg_a = SchedulerConfig {
+        lanes: 1,
+        slice_steps: 4,
+        state_dir: Some(dir_a.clone()),
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::new(cfg_a, false).unwrap();
+    let id = sched.submit(lj_spec("resume-me", 16, spec_extra)).unwrap();
+    assert!(sched.wait_idle(IDLE));
+    assert_eq!(sched.status(id).unwrap().state, JobState::Done);
+    sched.shutdown();
+    let reference =
+        std::fs::read(dir_a.join("jobs/job-0/results.json")).expect("reference results");
+
+    // Interrupted: same spec, but the scheduler shuts down mid-run (jobs
+    // park with a labelled checkpoint) and a fresh scheduler resumes.
+    let dir_b = tmp_dir("interrupted");
+    let cfg_b = SchedulerConfig {
+        lanes: 1,
+        slice_steps: 4,
+        state_dir: Some(dir_b.clone()),
+        start_paused: true,
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::new(cfg_b.clone(), false).unwrap();
+    let id = sched.submit(lj_spec("resume-me", 16, spec_extra)).unwrap();
+    sched.start();
+    // Let it make partial progress, then stop the daemon.
+    let deadline = std::time::Instant::now() + IDLE;
+    loop {
+        let rec = sched.status(id).unwrap();
+        if rec.steps_done >= 4 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "no progress: {rec:?}");
+        std::thread::yield_now();
+    }
+    sched.shutdown();
+    let parked = sched_record(&dir_b);
+    assert!(!parked.1.is_terminal(), "job must park non-terminal, got {parked:?}");
+
+    let resumed = Scheduler::new(SchedulerConfig { start_paused: false, ..cfg_b }, true).unwrap();
+    let rec = resumed.status(id).expect("resumed table entry");
+    assert_eq!(rec.spec_name, "resume-me");
+    assert!(resumed.wait_idle(IDLE), "resumed job did not finish: {:?}", resumed.list());
+    assert_eq!(resumed.status(id).unwrap().state, JobState::Done);
+    let resumed_bytes =
+        std::fs::read(dir_b.join("jobs/job-0/results.json")).expect("resumed results");
+    assert_eq!(
+        reference, resumed_bytes,
+        "resumed observables must be byte-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// Reads the parked job's manifest (id, state) from a state dir.
+fn sched_record(dir: &std::path::Path) -> (String, JobState) {
+    let text = std::fs::read_to_string(dir.join("jobs/job-0/manifest.json")).unwrap();
+    let doc = sc_obs::json::Json::parse(&text).unwrap();
+    let rec = sc_serve::JobRecord::from_json(&doc).unwrap();
+    (rec.id.to_string(), rec.state)
+}
+
+#[test]
+fn terminal_jobs_and_results_survive_resume() {
+    let dir = tmp_dir("terminal-resume");
+    let cfg =
+        SchedulerConfig { lanes: 1, state_dir: Some(dir.clone()), ..SchedulerConfig::default() };
+    let sched = Scheduler::new(cfg.clone(), false).unwrap();
+    let done = sched.submit(lj_spec("done", 4, "")).unwrap();
+    let cancelled = sched.submit(lj_spec("cancelled", 100_000, "")).unwrap();
+    sched.cancel(cancelled);
+    assert!(sched.wait_idle(IDLE));
+    let results = sched.results(done).unwrap().to_string();
+    sched.shutdown();
+
+    let resumed = Scheduler::new(cfg, true).unwrap();
+    assert!(resumed.wait_idle(IDLE));
+    assert_eq!(resumed.status(done).unwrap().state, JobState::Done);
+    assert_eq!(resumed.status(cancelled).unwrap().state, JobState::Cancelled);
+    assert_eq!(resumed.results(done).unwrap().to_string(), results);
+    // Ids keep counting up from the persisted table.
+    let next = resumed.submit(lj_spec("next", 2, "")).unwrap();
+    assert_eq!(next, JobId(2));
+    assert!(resumed.wait_idle(IDLE));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,541 @@
+//! Turning a validated [`ScenarioSpec`] into a running simulation, plus the
+//! bitwise observables document served runs and standalone runs are
+//! compared on.
+
+use crate::error::SpecError;
+use crate::model::{
+    ExecutorSpec, ObservabilitySpec, PotentialSpec, ScenarioSpec, SystemSpec, ThermostatSpec,
+};
+use sc_cell::AtomStore;
+use sc_geom::{IVec3, SimulationBox};
+use sc_md::supervisor::Recoverable;
+use sc_md::{
+    build_clustered_gas, build_fcc_lattice, build_silica_like, random_gas, thermalize, Checkpoint,
+    LatticeSpec, RuntimeConfig, Simulation, Telemetry,
+};
+use sc_obs::json::Json;
+use sc_obs::{Registry, Tracer};
+use sc_parallel::rank::ForceField;
+use sc_parallel::{CommStats, DistributedSim, FaultPlan, ThreadedSim};
+use sc_potential::{LennardJones, Vashishta};
+
+/// The schema identifier of the observables document.
+pub const OBSERVABLES_SCHEMA_ID: &str = "sc-observables/1";
+
+/// An executor fault surfaced through [`RunHandle`]'s [`Recoverable`]
+/// impl, preserving the dead-rank classification the supervisor's
+/// recovery ladder keys on.
+#[derive(Debug)]
+pub struct RunFault {
+    message: String,
+    dead_rank: Option<usize>,
+}
+
+impl std::fmt::Display for RunFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RunFault {}
+
+/// A scenario instantiated on a resumable executor. The threaded executor
+/// is one-shot (no mid-run state to checkpoint), so it is deliberately not
+/// a `RunHandle` — use [`ScenarioSpec::run_threaded`] for it.
+pub enum RunHandle {
+    /// The in-process serial/thread-pool engine.
+    Serial(Box<Simulation>),
+    /// The BSP distributed executor.
+    Bsp(Box<DistributedSim>),
+}
+
+impl RunHandle {
+    /// Advances one step, surfacing unrecovered distributed faults as text.
+    pub fn try_step(&mut self) -> Result<(), String> {
+        match self {
+            RunHandle::Serial(sim) => {
+                sim.step();
+                Ok(())
+            }
+            RunHandle::Bsp(sim) => sim.try_step().map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Runs `n` steps (panicking executors abort; use
+    /// [`RunHandle::try_step`] for fault-tolerant loops).
+    pub fn run(&mut self, n: usize) {
+        match self {
+            RunHandle::Serial(sim) => {
+                sim.run(n);
+            }
+            RunHandle::Bsp(sim) => sim.run(n),
+        }
+    }
+
+    /// Steps completed so far.
+    pub fn steps_done(&self) -> u64 {
+        match self {
+            RunHandle::Serial(sim) => sim.steps_done(),
+            RunHandle::Bsp(sim) => sim.steps_done(),
+        }
+    }
+
+    /// The unified telemetry snapshot.
+    pub fn telemetry(&self) -> Telemetry {
+        match self {
+            RunHandle::Serial(sim) => sim.telemetry(),
+            RunHandle::Bsp(sim) => sim.telemetry(),
+        }
+    }
+
+    /// Total (kinetic + potential) energy from fresh forces.
+    pub fn total_energy(&mut self) -> f64 {
+        match self {
+            RunHandle::Serial(sim) => sim.total_energy(),
+            RunHandle::Bsp(sim) => sim.total_energy(),
+        }
+    }
+
+    /// The full phase-space state, gathered into one store (owned atoms
+    /// only, deterministic order for a fixed executor configuration).
+    pub fn gather(&self) -> AtomStore {
+        match self {
+            RunHandle::Serial(sim) => sim.store().clone(),
+            RunHandle::Bsp(sim) => sim.gather(),
+        }
+    }
+
+    /// Snapshots the full dynamic state (bitwise-lossless, PR 2 contract).
+    pub fn checkpoint(&self) -> Checkpoint {
+        match self {
+            RunHandle::Serial(sim) => Recoverable::checkpoint(sim.as_ref()),
+            RunHandle::Bsp(sim) => Recoverable::checkpoint(sim.as_ref()),
+        }
+    }
+
+    /// Rewinds to a snapshot taken by [`RunHandle::checkpoint`]. Restored
+    /// trajectories replay bitwise.
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        match self {
+            RunHandle::Serial(sim) => Recoverable::restore(sim.as_mut(), cp),
+            RunHandle::Bsp(sim) => Recoverable::restore(sim.as_mut(), cp),
+        }
+    }
+
+    /// The metrics registry the run reports into (disabled unless the spec
+    /// enabled metrics).
+    pub fn metrics(&self) -> &Registry {
+        match self {
+            RunHandle::Serial(sim) => sim.metrics(),
+            RunHandle::Bsp(sim) => sim.metrics(),
+        }
+    }
+
+    /// The event tracer (disabled unless the spec enabled tracing).
+    pub fn tracer(&self) -> &Tracer {
+        match self {
+            RunHandle::Serial(sim) => sim.tracer(),
+            RunHandle::Bsp(sim) => sim.tracer(),
+        }
+    }
+
+    /// Executor short name (`serial` / `bsp`).
+    pub fn executor_kind(&self) -> &'static str {
+        match self {
+            RunHandle::Serial(_) => "serial",
+            RunHandle::Bsp(_) => "bsp",
+        }
+    }
+}
+
+/// Delegates supervision hooks to the engines' own [`Recoverable`] impls,
+/// so a [`sc_md::Supervisor`] can drive any spec-instantiated run — the
+/// job service leans on this for per-job rollback recovery.
+impl Recoverable for RunHandle {
+    type Fault = RunFault;
+
+    fn try_step(&mut self) -> Result<(), RunFault> {
+        match self {
+            RunHandle::Serial(sim) => Recoverable::try_step(sim.as_mut()).map_err(|e| match e {}),
+            RunHandle::Bsp(sim) => Recoverable::try_step(sim.as_mut()).map_err(|e| RunFault {
+                dead_rank: <DistributedSim as Recoverable>::dead_rank(&e),
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        RunHandle::checkpoint(self)
+    }
+
+    fn restore(&mut self, cp: &Checkpoint) {
+        RunHandle::restore(self, cp);
+    }
+
+    fn restore_excluding(&mut self, cp: &Checkpoint, exclude: &[usize]) -> Result<(), String> {
+        match self {
+            RunHandle::Serial(sim) => Recoverable::restore_excluding(sim.as_mut(), cp, exclude),
+            RunHandle::Bsp(sim) => Recoverable::restore_excluding(sim.as_mut(), cp, exclude),
+        }
+    }
+
+    fn atom_count(&self) -> usize {
+        match self {
+            RunHandle::Serial(sim) => Recoverable::atom_count(sim.as_ref()),
+            RunHandle::Bsp(sim) => Recoverable::atom_count(sim.as_ref()),
+        }
+    }
+
+    fn total_energy_estimate(&self) -> f64 {
+        match self {
+            RunHandle::Serial(sim) => Recoverable::total_energy_estimate(sim.as_ref()),
+            RunHandle::Bsp(sim) => Recoverable::total_energy_estimate(sim.as_ref()),
+        }
+    }
+
+    fn state_is_finite(&self) -> bool {
+        match self {
+            RunHandle::Serial(sim) => Recoverable::state_is_finite(sim.as_ref()),
+            RunHandle::Bsp(sim) => Recoverable::state_is_finite(sim.as_ref()),
+        }
+    }
+
+    fn timestep(&self) -> f64 {
+        match self {
+            RunHandle::Serial(sim) => Recoverable::timestep(sim.as_ref()),
+            RunHandle::Bsp(sim) => Recoverable::timestep(sim.as_ref()),
+        }
+    }
+
+    fn set_timestep(&mut self, dt: f64) {
+        match self {
+            RunHandle::Serial(sim) => Recoverable::set_timestep(sim.as_mut(), dt),
+            RunHandle::Bsp(sim) => Recoverable::set_timestep(sim.as_mut(), dt),
+        }
+    }
+
+    fn steps_done(&self) -> u64 {
+        RunHandle::steps_done(self)
+    }
+
+    fn dead_rank(fault: &RunFault) -> Option<usize> {
+        fault.dead_rank
+    }
+}
+
+impl ScenarioSpec {
+    /// Builds the workload system (deterministic per the spec's seeds),
+    /// thermalized and ready to hand to an executor.
+    pub fn build_workload(&self) -> (AtomStore, SimulationBox) {
+        match &self.system {
+            SystemSpec::Lj { cells, a, temp, seed } => {
+                let (mut store, bbox) =
+                    build_fcc_lattice(&LatticeSpec::cubic(*cells as usize, *a), 0.0, *seed);
+                thermalize(&mut store, *temp, *seed);
+                (store, bbox)
+            }
+            SystemSpec::Silica { cells, a, temp, seed } => {
+                let masses = Vashishta::silica().params().masses;
+                let (mut store, bbox) = build_silica_like(*cells as usize, *a, masses, 0.0, *seed);
+                thermalize(&mut store, *temp, *seed);
+                (store, bbox)
+            }
+            SystemSpec::Gas { n, box_l, temp, seed } => {
+                let (mut store, bbox) = random_gas(*n as usize, *box_l, *seed);
+                thermalize(&mut store, *temp, *seed);
+                (store, bbox)
+            }
+            SystemSpec::Clustered { n, box_l, clusters, spread, temp, seed } => {
+                let (mut store, bbox) =
+                    build_clustered_gas(*n as usize, *box_l, *clusters as usize, *spread, *seed);
+                thermalize(&mut store, *temp, *seed);
+                (store, bbox)
+            }
+        }
+    }
+
+    /// The force field the spec's potential section describes.
+    pub fn force_field(&self) -> ForceField {
+        match &self.potential {
+            PotentialSpec::Lj { cutoff } => ForceField {
+                pair: Some(Box::new(LennardJones::reduced(*cutoff))),
+                triplet: None,
+                quadruplet: None,
+                method: self.method,
+            },
+            PotentialSpec::Vashishta => {
+                let v = Vashishta::silica();
+                ForceField {
+                    pair: Some(Box::new(v.pair.clone())),
+                    triplet: Some(Box::new(v.triplet.clone())),
+                    quadruplet: None,
+                    method: self.method,
+                }
+            }
+        }
+    }
+
+    fn registries(&self, label: Option<&str>) -> (Registry, Tracer) {
+        let ObservabilitySpec { metrics, trace } = self.observability;
+        let registry = match (metrics, label) {
+            (false, _) => Registry::disabled(),
+            (true, None) => Registry::new(),
+            (true, Some(label)) => Registry::labeled(label),
+        };
+        let tracer = if trace { Tracer::new() } else { Tracer::disabled() };
+        (registry, tracer)
+    }
+
+    /// Instantiates the scenario on its resumable executor.
+    ///
+    /// # Errors
+    /// [`SpecError::BadValue`] for the one-shot threaded executor (use
+    /// [`ScenarioSpec::run_threaded`]); [`SpecError::Build`] /
+    /// [`SpecError::Setup`] when the engine rejects the configuration.
+    pub fn instantiate(&self) -> Result<RunHandle, SpecError> {
+        self.instantiate_labeled(None)
+    }
+
+    /// Like [`ScenarioSpec::instantiate`], stamping `label` (a job id)
+    /// onto the metrics registry so multiplexed jobs stay distinguishable.
+    pub fn instantiate_labeled(&self, label: Option<&str>) -> Result<RunHandle, SpecError> {
+        let (store, bbox) = self.build_workload();
+        let (metrics, tracer) = self.registries(label);
+        match &self.executor {
+            ExecutorSpec::Serial { threads } => {
+                let runtime = RuntimeConfig {
+                    threads: *threads as usize,
+                    verlet_skin: self.verlet_skin,
+                    resort_every: self.resort_every,
+                    metrics,
+                    tracer,
+                    ..RuntimeConfig::default()
+                };
+                let mut b = Simulation::builder(store, bbox)
+                    .method(self.method)
+                    .timestep(self.dt)
+                    .cell_subdivision(self.subdivision)
+                    .runtime(runtime);
+                match &self.potential {
+                    PotentialSpec::Lj { cutoff } => {
+                        b = b.pair_potential(Box::new(LennardJones::reduced(*cutoff)));
+                    }
+                    PotentialSpec::Vashishta => {
+                        let v = Vashishta::silica();
+                        b = b
+                            .pair_potential(Box::new(v.pair.clone()))
+                            .triplet_potential(Box::new(v.triplet.clone()));
+                    }
+                }
+                if let Some(ThermostatSpec { target, dt_over_tau }) = &self.thermostat {
+                    b = b.thermostat(*target, *dt_over_tau);
+                }
+                Ok(RunHandle::Serial(Box::new(b.build()?)))
+            }
+            ExecutorSpec::Bsp { grid } => {
+                let pdims = IVec3::new(grid[0] as i32, grid[1] as i32, grid[2] as i32);
+                let mut sim = DistributedSim::new_subdivided(
+                    store,
+                    bbox,
+                    pdims,
+                    self.force_field(),
+                    self.dt,
+                    self.subdivision,
+                )
+                .map_err(|e| SpecError::Setup(e.to_string()))?;
+                sim.set_resort_every(self.resort_every);
+                if let Some(fp) = &self.fault_plan {
+                    let ranks = grid.iter().product::<u64>() as usize;
+                    sim.set_fault_plan(FaultPlan::storm(
+                        fp.seed,
+                        fp.count as usize,
+                        self.steps,
+                        ranks,
+                        fp.max_crashes as usize,
+                    ));
+                }
+                sim.set_metrics(metrics);
+                sim.set_tracer(tracer);
+                Ok(RunHandle::Bsp(Box::new(sim)))
+            }
+            ExecutorSpec::Threaded { .. } => Err(SpecError::BadValue {
+                field: "executor.kind".into(),
+                detail: "the threaded executor is one-shot; use run_threaded (it cannot be \
+                         checkpointed or served)"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Runs the scenario on the one-shot threaded executor for its full
+    /// `steps`, returning the final store, energy breakdown, and comm
+    /// totals.
+    ///
+    /// # Errors
+    /// [`SpecError::BadValue`] when the spec's executor is not `threaded`;
+    /// [`SpecError::Setup`] when the run is rejected or fails mid-flight.
+    pub fn run_threaded(
+        &self,
+    ) -> Result<(AtomStore, sc_md::EnergyBreakdown, CommStats), SpecError> {
+        let ExecutorSpec::Threaded { grid } = &self.executor else {
+            return Err(SpecError::BadValue {
+                field: "executor.kind".into(),
+                detail: format!(
+                    "run_threaded needs a threaded executor, spec says {}",
+                    self.executor.kind()
+                ),
+            });
+        };
+        let (store, bbox) = self.build_workload();
+        let pdims = IVec3::new(grid[0] as i32, grid[1] as i32, grid[2] as i32);
+        ThreadedSim::run(store, bbox, pdims, self.force_field(), self.dt, self.steps as usize)
+            .map_err(|e| SpecError::Setup(e.to_string()))
+    }
+}
+
+/// 64-bit FNV-1a over a byte stream.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the final-observables document for a finished run: atom count,
+/// step count, the total energy as an exact IEEE-754 bit pattern, and an
+/// FNV-1a hash over the full phase space (positions then velocities, in
+/// store order, exact bits).
+///
+/// The document deliberately carries **no** wall times, job ids, or
+/// hostnames, so "resumed job equals uninterrupted run" is a plain file
+/// comparison: two runs of the same spec on the same executor
+/// configuration produce byte-identical documents exactly when their final
+/// phase space and energy are bitwise equal.
+pub fn observables_doc(
+    scenario: &str,
+    steps_done: u64,
+    store: &AtomStore,
+    energy_total: f64,
+) -> Json {
+    let pos_then_vel = store
+        .positions()
+        .iter()
+        .chain(store.velocities().iter())
+        .flat_map(|v| [v.x, v.y, v.z])
+        .flat_map(|c| c.to_bits().to_le_bytes());
+    Json::Obj(vec![
+        ("schema".to_string(), Json::str(OBSERVABLES_SCHEMA_ID)),
+        ("scenario".to_string(), Json::str(scenario)),
+        ("steps".to_string(), Json::num(steps_done as f64)),
+        ("atoms".to_string(), Json::num(store.len() as f64)),
+        ("energy_total".to_string(), Json::num(energy_total)),
+        ("energy_bits".to_string(), Json::str(format!("0x{:016x}", energy_total.to_bits()))),
+        ("phase_hash".to_string(), Json::str(format!("0x{:016x}", fnv1a(pos_then_vel)))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SCHEMA_ID;
+
+    fn spec_cells(executor: &str, cells: usize) -> ScenarioSpec {
+        let doc = format!(
+            r#"{{
+                "schema": "{SCHEMA_ID}",
+                "name": "t",
+                "system": {{"kind": "lj", "cells": {cells}, "temp": 1.0, "seed": 42}},
+                "potential": {{"kind": "lj", "cutoff": 2.5}},
+                "method": "sc",
+                "executor": {executor},
+                "dt": 0.002,
+                "steps": 4
+            }}"#
+        );
+        ScenarioSpec::from_json_str(&doc).unwrap()
+    }
+
+    fn spec(executor: &str) -> ScenarioSpec {
+        // 5 FCC cells suffice for the serial engine; distributed executors
+        // need ≥3 link cells per axis and get 7 (matching the bench matrix).
+        let cells = if executor.contains("serial") { 5 } else { 7 };
+        spec_cells(executor, cells)
+    }
+
+    #[test]
+    fn serial_and_bsp_instantiate_and_step() {
+        let mut serial = spec(r#"{"kind": "serial"}"#).instantiate().unwrap();
+        serial.run(2);
+        assert_eq!(serial.steps_done(), 2);
+        let mut bsp = spec(r#"{"kind": "bsp", "grid": [2, 1, 1]}"#).instantiate().unwrap();
+        bsp.try_step().unwrap();
+        assert_eq!(bsp.steps_done(), 1);
+        assert_eq!(bsp.executor_kind(), "bsp");
+    }
+
+    #[test]
+    fn threaded_is_rejected_by_instantiate_but_runs_one_shot() {
+        let spec = spec(r#"{"kind": "threaded", "grid": [2, 1, 1]}"#);
+        match spec.instantiate() {
+            Err(SpecError::BadValue { field, .. }) => assert_eq!(field, "executor.kind"),
+            other => panic!("expected BadValue, got {:?}", other.is_ok()),
+        }
+        let (store, energy, _) = spec.run_threaded().unwrap();
+        assert_eq!(store.len(), 4 * 7usize.pow(3));
+        assert!(energy.total().is_finite());
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_bitwise() {
+        let mut sim = spec(r#"{"kind": "serial"}"#).instantiate().unwrap();
+        sim.run(2);
+        let cp = sim.checkpoint();
+        sim.run(3);
+        let reference = observables_doc("t", sim.steps_done(), &sim.gather(), 0.0);
+        sim.restore(&cp);
+        assert_eq!(sim.steps_done(), 2);
+        sim.run(3);
+        let replay = observables_doc("t", sim.steps_done(), &sim.gather(), 0.0);
+        assert_eq!(reference.to_string(), replay.to_string());
+    }
+
+    #[test]
+    fn sliced_run_equals_straight_run_bitwise() {
+        // The scheduler steps jobs in slices; slicing must not perturb the
+        // trajectory.
+        let mut a = spec(r#"{"kind": "serial"}"#).instantiate().unwrap();
+        a.run(6);
+        let mut b = spec(r#"{"kind": "serial"}"#).instantiate().unwrap();
+        for _ in 0..3 {
+            b.run(2);
+        }
+        let doc_a = observables_doc("t", a.steps_done(), &a.gather(), a.total_energy());
+        let doc_b = observables_doc("t", b.steps_done(), &b.gather(), b.total_energy());
+        assert_eq!(doc_a.to_string(), doc_b.to_string());
+    }
+
+    #[test]
+    fn labeled_instantiation_labels_the_registry() {
+        let mut spec = spec(r#"{"kind": "serial"}"#);
+        spec.observability.metrics = true;
+        let sim = spec.instantiate_labeled(Some("job-9")).unwrap();
+        assert_eq!(sim.metrics().label(), Some("job-9"));
+        // Unlabeled: metrics on, no label.
+        let sim = spec.instantiate().unwrap();
+        assert!(sim.metrics().enabled());
+        assert_eq!(sim.metrics().label(), None);
+    }
+
+    #[test]
+    fn observables_doc_is_sensitive_to_single_bit_changes() {
+        let spec = spec(r#"{"kind": "serial"}"#);
+        let (mut store, _) = spec.build_workload();
+        let a = observables_doc("t", 1, &store, -1.0);
+        store.velocities_mut()[0].x = f64::from_bits(store.velocities()[0].x.to_bits() ^ 1);
+        let b = observables_doc("t", 1, &store, -1.0);
+        assert_ne!(a.to_string(), b.to_string());
+        assert!(a.to_string().contains("0x"));
+    }
+}

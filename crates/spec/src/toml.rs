@@ -1,0 +1,323 @@
+//! A minimal, dependency-free TOML-subset parser emitting
+//! [`sc_obs::json::Json`].
+//!
+//! The workspace's vendored `serde` is a marker-trait shim with no codegen,
+//! so scenario files in TOML are parsed here and decoded through the same
+//! [`Json`] path as JSON specs. The supported subset is exactly what
+//! scenario files need:
+//!
+//! - `#` comments and blank lines
+//! - `[dotted.table]` headers (each may appear once)
+//! - `key = value` and `dotted.key = value` assignments
+//! - values: basic `"strings"` (with `\"` `\\` `\n` `\t` escapes), integers,
+//!   floats, booleans, single-line `[arrays]`, and single-line
+//!   `{inline = "tables"}`
+//!
+//! Multi-line arrays/strings, datetimes, and `[[array-of-table]]` syntax are
+//! not needed by any scenario and are rejected with a line-numbered error.
+
+use crate::error::SpecError;
+use sc_obs::json::Json;
+
+/// Parses a TOML-subset document into a JSON object value.
+pub fn parse(input: &str) -> Result<Json, SpecError> {
+    let mut root: Vec<(String, Json)> = Vec::new();
+    // Dotted path of the currently-open `[table]` header.
+    let mut table: Vec<String> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if let Some(header) = line.strip_prefix('[') {
+            if header.starts_with('[') {
+                return Err(err(lineno, "arrays of tables ([[...]]) are not supported"));
+            }
+            let Some(header) = header.strip_suffix(']') else {
+                return Err(err(lineno, "unterminated table header"));
+            };
+            table = split_key(header, lineno)?;
+            // Materialize the table so empty sections still appear.
+            ensure_object(&mut root, &table, lineno)?;
+            continue;
+        }
+        let Some(eq) = find_unquoted(line, b'=') else {
+            return Err(err(lineno, "expected 'key = value'"));
+        };
+        let mut path = table.clone();
+        path.extend(split_key(&line[..eq], lineno)?);
+        let value = parse_value(line[eq + 1..].trim(), lineno)?;
+        insert(&mut root, &path, value, lineno)?;
+    }
+    Ok(Json::Obj(root))
+}
+
+fn err(lineno: usize, detail: &str) -> SpecError {
+    SpecError::Parse { format: "toml", detail: format!("line {lineno}: {detail}") }
+}
+
+/// Strips a `#` comment, ignoring `#` inside double quotes.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, b'#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Finds the first `needle` byte outside of double quotes.
+fn find_unquoted(s: &str, needle: u8) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, b) in s.bytes().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escaped = true,
+            b'"' => in_str = !in_str,
+            b if b == needle && !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a (possibly dotted) key into segments; bare keys only.
+fn split_key(key: &str, lineno: usize) -> Result<Vec<String>, SpecError> {
+    let mut out = Vec::new();
+    for seg in key.split('.') {
+        let seg = seg.trim();
+        if seg.is_empty() || !seg.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(err(lineno, &format!("invalid key segment {seg:?}")));
+        }
+        out.push(seg.to_string());
+    }
+    Ok(out)
+}
+
+/// Walks/creates nested objects along `path`, returning the innermost one.
+fn ensure_object<'a>(
+    obj: &'a mut Vec<(String, Json)>,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut Vec<(String, Json)>, SpecError> {
+    let mut cur = obj;
+    for seg in path {
+        if !cur.iter().any(|(k, _)| k == seg) {
+            cur.push((seg.clone(), Json::Obj(Vec::new())));
+        }
+        let slot = cur.iter_mut().find(|(k, _)| k == seg).map(|(_, v)| v).unwrap();
+        match slot {
+            Json::Obj(fields) => cur = fields,
+            _ => return Err(err(lineno, &format!("'{seg}' is both a value and a table"))),
+        }
+    }
+    Ok(cur)
+}
+
+fn insert(
+    root: &mut Vec<(String, Json)>,
+    path: &[String],
+    value: Json,
+    lineno: usize,
+) -> Result<(), SpecError> {
+    let (last, parents) = path.split_last().expect("split_key returns at least one segment");
+    let obj = ensure_object(root, parents, lineno)?;
+    if obj.iter().any(|(k, _)| k == last) {
+        return Err(err(lineno, &format!("duplicate key '{last}'")));
+    }
+    obj.push((last.clone(), value));
+    Ok(())
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Json, SpecError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(err(lineno, "missing value after '='"));
+    }
+    match text.as_bytes()[0] {
+        b'"' => parse_string(text, lineno).map(Json::Str),
+        b'[' => parse_array(text, lineno),
+        b'{' => parse_inline_table(text, lineno),
+        b't' | b'f' => match text {
+            "true" => Ok(Json::Bool(true)),
+            "false" => Ok(Json::Bool(false)),
+            other => Err(err(lineno, &format!("bad value {other:?}"))),
+        },
+        _ => {
+            // TOML permits `1_000`-style separators in numbers.
+            let clean: String = text.chars().filter(|&c| c != '_').collect();
+            clean
+                .parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| err(lineno, &format!("bad value {text:?}")))
+        }
+    }
+}
+
+fn parse_string(text: &str, lineno: usize) -> Result<String, SpecError> {
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| err(lineno, "unterminated string"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            return Err(err(lineno, "unescaped quote inside string"));
+        }
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => return Err(err(lineno, &format!("bad escape '\\{other}'"))),
+            None => return Err(err(lineno, "dangling escape")),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits the interior of a bracketed list on top-level commas.
+fn split_items(inner: &str) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let (mut depth, mut in_str, mut escaped, mut start) = (0i32, false, false, 0usize);
+    for (i, b) in inner.bytes().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escaped = true,
+            b'"' => in_str = !in_str,
+            b'[' | b'{' if !in_str => depth += 1,
+            b']' | b'}' if !in_str => depth -= 1,
+            b',' if !in_str && depth == 0 => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str {
+        return Err("unbalanced brackets or quotes".to_string());
+    }
+    if !inner[start..].trim().is_empty() {
+        items.push(&inner[start..]);
+    }
+    Ok(items)
+}
+
+fn parse_array(text: &str, lineno: usize) -> Result<Json, SpecError> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(lineno, "unterminated array (arrays must be single-line)"))?;
+    let items = split_items(inner).map_err(|e| err(lineno, &e))?;
+    items.into_iter().map(|item| parse_value(item, lineno)).collect::<Result<_, _>>().map(Json::Arr)
+}
+
+fn parse_inline_table(text: &str, lineno: usize) -> Result<Json, SpecError> {
+    let inner = text
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| err(lineno, "unterminated inline table"))?;
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    for item in split_items(inner).map_err(|e| err(lineno, &e))? {
+        let Some(eq) = find_unquoted(item, b'=') else {
+            return Err(err(lineno, "inline table entries must be 'key = value'"));
+        };
+        let path = split_key(&item[..eq], lineno)?;
+        let value = parse_value(item[eq + 1..].trim(), lineno)?;
+        insert(&mut fields, &path, value, lineno)?;
+    }
+    Ok(Json::Obj(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_scenario_shaped_document() {
+        let doc = parse(
+            r#"
+            # a scenario
+            schema = "sc-scenario/1"
+            name = "lj-demo"
+            method = "sc"
+            dt = 0.002
+            steps = 1_000
+            potential = { kind = "lj", cutoff = 2.5 }
+
+            [system]
+            kind = "lj"
+            cells = 6
+            temp = 1.0   # reduced units
+
+            [executor]
+            kind = "bsp"
+            grid = [2, 2, 2]
+
+            [observability]
+            metrics = true
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("sc-scenario/1"));
+        assert_eq!(doc.get("steps").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(doc.get("system").unwrap().get("cells").unwrap().as_f64(), Some(6.0));
+        assert_eq!(doc.get("system").unwrap().get("temp").unwrap().as_f64(), Some(1.0));
+        let grid = doc.get("executor").unwrap().get("grid").unwrap().as_array().unwrap();
+        assert_eq!(grid.len(), 3);
+        assert_eq!(doc.get("observability").unwrap().get("metrics").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("potential").unwrap().get("cutoff").unwrap().as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn dotted_keys_and_headers_nest() {
+        let doc = parse("a.b.c = 1\n[x.y]\nz = \"s # not a comment\"").unwrap();
+        assert_eq!(doc.get("a").unwrap().get("b").unwrap().get("c").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            doc.get("x").unwrap().get("y").unwrap().get("z").unwrap().as_str(),
+            Some("s # not a comment")
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let doc = parse(r#"s = "a\"b\\c\nd""#).unwrap();
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (src, needle) in [
+            ("steps 10", "line 1"),
+            ("[open\nx = 1", "unterminated table header"),
+            ("x = ", "missing value"),
+            ("x = 1\nx = 2", "duplicate key"),
+            ("x = [1, 2", "unterminated array"),
+            ("[[t]]\n", "not supported"),
+            ("x = nope", "bad value"),
+            ("x.y = 1\nx = 2", "duplicate"),
+            ("x = 1\nx.y = 2", "both a value and a table"),
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(e.to_string().contains(needle), "{src:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn duplicate_key_inside_dotted_path_is_rejected() {
+        let e = parse("x = 1\nx.y = 2").unwrap_err();
+        assert!(matches!(e, SpecError::Parse { format: "toml", .. }), "{e:?}");
+    }
+}

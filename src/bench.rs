@@ -11,12 +11,8 @@
 //! work, more traffic, different physics) fail loudly even on machines
 //! whose absolute speed differs from the baseline host's.
 
-use sc_geom::IVec3;
-use sc_md::{build_fcc_lattice, thermalize, LatticeSpec, Method, Simulation};
 use sc_obs::json::Json;
-use sc_parallel::rank::ForceField;
-use sc_parallel::{DistributedSim, ThreadedSim};
-use sc_potential::{LennardJones, Vashishta};
+use sc_spec::{ExecutorSpec, ScenarioSpec, SystemSpec};
 
 /// The schema identifier stamped into every bench document.
 pub const SCHEMA_ID: &str = "sc-bench/1";
@@ -86,227 +82,115 @@ pub fn git_sha() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
-fn lj_serial(method: Method, cells: usize, steps: usize) -> BenchCase {
-    let (mut store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(cells, 1.5599), 0.0, 42);
-    thermalize(&mut store, 1.0, 42);
-    let atoms = store.len() as u64;
-    let mut sim = Simulation::builder(store, bbox)
-        .pair_potential(Box::new(LennardJones::reduced(2.5)))
-        .method(method)
-        .timestep(0.002)
-        .build()
-        .expect("pinned serial workload builds");
-    let t0 = std::time::Instant::now();
-    sim.run(steps);
-    let wall = t0.elapsed().as_secs_f64();
-    let t = sim.telemetry();
-    BenchCase {
-        name: format!("serial-{}-lj", method.name()),
-        executor: "serial".into(),
-        method: method.name().into(),
-        system: "lj".into(),
-        atoms,
-        steps: steps as u64,
-        wall_s: wall,
-        ms_per_step: wall / steps as f64 * 1e3,
-        tuples_candidates: t.tuples.total_candidates(),
-        tuples_accepted: t.tuples.total_accepted(),
-        energy_total: t.energy.total(),
-        comm_messages: 0,
-        comm_bytes: 0,
-    }
+/// The pinned workload matrix, embedded at compile time from
+/// `scenarios/bench/`. Array order is the canonical case order, and each
+/// file's `name` field matches `BENCH_baseline.json` case-for-case —
+/// editing a spec file changes what `scmd bench` measures, and the
+/// baseline comparator catches any counter drift that causes.
+const MATRIX_SPECS: [&str; 10] = [
+    include_str!("../scenarios/bench/serial-sc-md-lj.json"),
+    include_str!("../scenarios/bench/serial-fs-md-lj.json"),
+    include_str!("../scenarios/bench/serial-hybrid-md-lj.json"),
+    include_str!("../scenarios/bench/serial-sc-md-silica.json"),
+    include_str!("../scenarios/bench/serial-fs-md-silica.json"),
+    include_str!("../scenarios/bench/bsp-sc-md-lj.json"),
+    include_str!("../scenarios/bench/bsp-fs-md-lj.json"),
+    include_str!("../scenarios/bench/threaded-sc-md-lj.json"),
+    include_str!("../scenarios/bench/bsp-sc-md-silica.json"),
+    include_str!("../scenarios/bench/threaded-sc-md-silica.json"),
+];
+
+/// Decodes the embedded benchmark matrix.
+pub fn matrix_specs() -> Vec<ScenarioSpec> {
+    MATRIX_SPECS
+        .iter()
+        .map(|src| ScenarioSpec::from_json_str(src).expect("checked-in bench spec is valid"))
+        .collect()
 }
 
-fn silica_serial(method: Method, cells: usize, steps: usize) -> BenchCase {
-    let v = Vashishta::silica();
-    let (mut store, bbox) = sc_md::build_silica_like(cells, 7.16, v.params().masses, 0.0, 42);
-    thermalize(&mut store, 0.05, 42);
-    let atoms = store.len() as u64;
-    let mut sim = Simulation::builder(store, bbox)
-        .pair_potential(Box::new(v.pair.clone()))
-        .triplet_potential(Box::new(v.triplet.clone()))
-        .method(method)
-        .timestep(0.0005)
-        .build()
-        .expect("pinned silica workload builds");
-    let t0 = std::time::Instant::now();
-    sim.run(steps);
-    let wall = t0.elapsed().as_secs_f64();
-    let t = sim.telemetry();
-    BenchCase {
-        name: format!("serial-{}-silica", method.name()),
-        executor: "serial".into(),
-        method: method.name().into(),
-        system: "silica".into(),
-        atoms,
-        steps: steps as u64,
-        wall_s: wall,
-        ms_per_step: wall / steps as f64 * 1e3,
-        tuples_candidates: t.tuples.total_candidates(),
-        tuples_accepted: t.tuples.total_accepted(),
-        energy_total: t.energy.total(),
-        comm_messages: 0,
-        comm_bytes: 0,
-    }
-}
-
-fn lj_ff(method: Method) -> ForceField {
-    ForceField {
-        pair: Some(Box::new(LennardJones::reduced(2.5))),
-        triplet: None,
-        quadruplet: None,
-        method,
-    }
-}
-
-fn lj_dist_inputs(cells: usize) -> (sc_cell::AtomStore, sc_geom::SimulationBox) {
-    let (mut store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(cells, 1.5599), 0.0, 42);
-    thermalize(&mut store, 1.0, 42);
-    (store, bbox)
-}
-
-fn lj_bsp(method: Method, cells: usize, steps: usize) -> BenchCase {
-    let (store, bbox) = lj_dist_inputs(cells);
-    let atoms = store.len() as u64;
-    let mut d = DistributedSim::new(store, bbox, IVec3::splat(2), lj_ff(method), 0.002)
-        .expect("pinned BSP workload builds");
-    let t0 = std::time::Instant::now();
-    d.run(steps);
-    let wall = t0.elapsed().as_secs_f64();
-    let t = d.telemetry();
-    BenchCase {
-        name: format!("bsp-{}-lj", method.name()),
-        executor: "bsp".into(),
-        method: method.name().into(),
-        system: "lj".into(),
-        atoms,
-        steps: steps as u64,
-        wall_s: wall,
-        ms_per_step: wall / steps as f64 * 1e3,
-        tuples_candidates: t.tuples.total_candidates(),
-        tuples_accepted: t.tuples.total_accepted(),
-        energy_total: t.energy.total(),
-        comm_messages: t.comm.messages,
-        comm_bytes: t.comm.bytes,
-    }
-}
-
-fn lj_threaded(method: Method, cells: usize, steps: usize) -> BenchCase {
-    let (store, bbox) = lj_dist_inputs(cells);
-    let atoms = store.len() as u64;
-    let t0 = std::time::Instant::now();
-    let (_, energy, stats) =
-        ThreadedSim::run(store, bbox, IVec3::splat(2), lj_ff(method), 0.002, steps)
-            .expect("pinned threaded workload runs");
-    let wall = t0.elapsed().as_secs_f64();
-    BenchCase {
-        name: format!("threaded-{}-lj", method.name()),
-        executor: "threaded".into(),
-        method: method.name().into(),
-        system: "lj".into(),
-        atoms,
-        steps: steps as u64,
-        wall_s: wall,
-        ms_per_step: wall / steps as f64 * 1e3,
-        // The one-shot threaded executor reports energies and comm
-        // counters but no tuple statistics.
-        tuples_candidates: 0,
-        tuples_accepted: 0,
-        energy_total: energy.total(),
-        comm_messages: stats.messages,
-        comm_bytes: stats.bytes,
-    }
-}
-
-fn silica_ff(method: Method) -> ForceField {
-    let v = Vashishta::silica();
-    ForceField {
-        pair: Some(Box::new(v.pair.clone())),
-        triplet: Some(Box::new(v.triplet.clone())),
-        quadruplet: None,
-        method,
-    }
-}
-
-fn silica_dist_inputs(cells: usize) -> (sc_cell::AtomStore, sc_geom::SimulationBox) {
-    let v = Vashishta::silica();
-    let (mut store, bbox) = sc_md::build_silica_like(cells, 7.16, v.params().masses, 0.0, 42);
-    thermalize(&mut store, 0.05, 42);
-    (store, bbox)
-}
-
-fn silica_bsp(method: Method, cells: usize, steps: usize) -> BenchCase {
-    let (store, bbox) = silica_dist_inputs(cells);
-    let atoms = store.len() as u64;
-    let mut d = DistributedSim::new(store, bbox, IVec3::new(2, 2, 1), silica_ff(method), 0.0005)
-        .expect("pinned silica BSP workload builds");
-    let t0 = std::time::Instant::now();
-    d.run(steps);
-    let wall = t0.elapsed().as_secs_f64();
-    let t = d.telemetry();
-    BenchCase {
-        name: format!("bsp-{}-silica", method.name()),
-        executor: "bsp".into(),
-        method: method.name().into(),
-        system: "silica".into(),
-        atoms,
-        steps: steps as u64,
-        wall_s: wall,
-        ms_per_step: wall / steps as f64 * 1e3,
-        tuples_candidates: t.tuples.total_candidates(),
-        tuples_accepted: t.tuples.total_accepted(),
-        energy_total: t.energy.total(),
-        comm_messages: t.comm.messages,
-        comm_bytes: t.comm.bytes,
-    }
-}
-
-fn silica_threaded(method: Method, cells: usize, steps: usize) -> BenchCase {
-    let (store, bbox) = silica_dist_inputs(cells);
-    let atoms = store.len() as u64;
-    let t0 = std::time::Instant::now();
-    let (_, energy, stats) =
-        ThreadedSim::run(store, bbox, IVec3::new(2, 2, 1), silica_ff(method), 0.0005, steps)
-            .expect("pinned silica threaded workload runs");
-    let wall = t0.elapsed().as_secs_f64();
-    BenchCase {
-        name: format!("threaded-{}-silica", method.name()),
-        executor: "threaded".into(),
-        method: method.name().into(),
-        system: "silica".into(),
-        atoms,
-        steps: steps as u64,
-        wall_s: wall,
-        ms_per_step: wall / steps as f64 * 1e3,
-        tuples_candidates: 0,
-        tuples_accepted: 0,
-        energy_total: energy.total(),
-        comm_messages: stats.messages,
-        comm_bytes: stats.bytes,
-    }
-}
-
-/// Runs the pinned workload matrix. `quick` halves the step counts (used
-/// by tests; CI and interactive runs use the full matrix, which still
-/// completes in seconds).
-pub fn run_matrix(quick: bool) -> Vec<BenchCase> {
+/// The matrix step count for a case: the `steps` field in the checked-in
+/// specs holds the full-mode value; `quick` (used by tests) shrinks it.
+fn mode_steps(spec: &ScenarioSpec, quick: bool) -> u64 {
     let (lj_steps, silica_steps, dist_steps) = if quick { (4, 2, 2) } else { (10, 4, 5) };
-    let mut cases = Vec::new();
-    for method in Method::ALL {
-        cases.push(lj_serial(method, 5, lj_steps));
+    match &spec.executor {
+        ExecutorSpec::Serial { .. } => match &spec.system {
+            SystemSpec::Silica { .. } => silica_steps,
+            _ => lj_steps,
+        },
+        _ => dist_steps,
     }
-    cases.push(silica_serial(Method::ShiftCollapse, 3, silica_steps));
-    cases.push(silica_serial(Method::FullShell, 3, silica_steps));
-    for method in [Method::ShiftCollapse, Method::FullShell] {
-        cases.push(lj_bsp(method, 7, dist_steps));
-    }
-    cases.push(lj_threaded(Method::ShiftCollapse, 7, dist_steps));
-    // The paper's benchmark app on both distributed executors: pair+triplet
-    // silica is where the Morton layout + batched lane kernels must show a
-    // ms/step win (DESIGN §5d).
-    cases.push(silica_bsp(Method::ShiftCollapse, 4, dist_steps));
-    cases.push(silica_threaded(Method::ShiftCollapse, 4, dist_steps));
-    cases
+}
+
+/// Runs one scenario as a measured bench case. Serial and BSP executors go
+/// through the same [`sc_spec::RunHandle`] instantiation the job service
+/// uses, so the bench doubles as a no-drift check on the spec layer; the
+/// one-shot threaded executor runs via [`ScenarioSpec::run_threaded`].
+pub fn run_spec_case(spec: &ScenarioSpec) -> Result<BenchCase, String> {
+    let steps = spec.steps;
+    let case = match &spec.executor {
+        ExecutorSpec::Threaded { .. } => {
+            let t0 = std::time::Instant::now();
+            let (store, energy, stats) = spec.run_threaded().map_err(|e| e.to_string())?;
+            let wall = t0.elapsed().as_secs_f64();
+            BenchCase {
+                name: spec.name.clone(),
+                executor: spec.executor.kind().into(),
+                method: spec.method.name().into(),
+                system: spec.system.kind().into(),
+                atoms: store.len() as u64,
+                steps,
+                wall_s: wall,
+                ms_per_step: wall / steps as f64 * 1e3,
+                // The one-shot threaded executor reports energies and comm
+                // counters but no tuple statistics.
+                tuples_candidates: 0,
+                tuples_accepted: 0,
+                energy_total: energy.total(),
+                comm_messages: stats.messages,
+                comm_bytes: stats.bytes,
+            }
+        }
+        _ => {
+            let mut handle = spec.instantiate().map_err(|e| e.to_string())?;
+            let atoms = handle.gather().len() as u64;
+            let t0 = std::time::Instant::now();
+            handle.run(steps as usize);
+            let wall = t0.elapsed().as_secs_f64();
+            let t = handle.telemetry();
+            BenchCase {
+                name: spec.name.clone(),
+                executor: spec.executor.kind().into(),
+                method: spec.method.name().into(),
+                system: spec.system.kind().into(),
+                atoms,
+                steps,
+                wall_s: wall,
+                ms_per_step: wall / steps as f64 * 1e3,
+                tuples_candidates: t.tuples.total_candidates(),
+                tuples_accepted: t.tuples.total_accepted(),
+                energy_total: t.energy.total(),
+                // The serial engine's telemetry reports zeroed comm counters,
+                // matching the baseline's serial cases.
+                comm_messages: t.comm.messages,
+                comm_bytes: t.comm.bytes,
+            }
+        }
+    };
+    Ok(case)
+}
+
+/// Runs the pinned workload matrix from the embedded `scenarios/bench/`
+/// specs. `quick` shrinks the step counts (used by tests; CI and
+/// interactive runs use the full matrix, which still completes in
+/// seconds).
+pub fn run_matrix(quick: bool) -> Vec<BenchCase> {
+    matrix_specs()
+        .into_iter()
+        .map(|mut spec| {
+            spec.steps = mode_steps(&spec, quick);
+            run_spec_case(&spec).expect("checked-in bench spec runs")
+        })
+        .collect()
 }
 
 /// Renders a bench document (the `BENCH_<gitsha>.json` layout pinned by
@@ -504,6 +388,36 @@ mod tests {
         let (_, failures) = compare(&base, &empty, 20.0);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("missing"));
+    }
+
+    #[test]
+    fn embedded_matrix_specs_parse_and_keep_the_baseline_case_names() {
+        let specs = matrix_specs();
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "serial-SC-MD-lj",
+                "serial-FS-MD-lj",
+                "serial-Hybrid-MD-lj",
+                "serial-SC-MD-silica",
+                "serial-FS-MD-silica",
+                "bsp-SC-MD-lj",
+                "bsp-FS-MD-lj",
+                "threaded-SC-MD-lj",
+                "bsp-SC-MD-silica",
+                "threaded-SC-MD-silica",
+            ]
+        );
+        // Every name encodes its own executor/method/system triple, so a
+        // mislabeled spec file cannot masquerade as another case.
+        for s in &specs {
+            assert_eq!(
+                s.name,
+                format!("{}-{}-{}", s.executor.kind(), s.method.name(), s.system.kind()),
+                "spec name disagrees with its contents"
+            );
+        }
     }
 
     #[test]

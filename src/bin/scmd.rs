@@ -1,237 +1,425 @@
 //! `scmd` — command-line driver for the shift-collapse MD library.
 //!
 //! ```text
-//! scmd run      --system lj|silica --cells N --steps N --method sc|fs|hybrid
-//!               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]
-//!               [--metrics-json PATH] [--trace PATH]
-//! scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT] [--summary PATH]
+//! scmd run      [--spec PATH] | [--system lj|silica --cells N --steps N --method sc|fs|hybrid
+//!               --dt X --temp T --subdivision K --skin S]
+//!               [--xyz PATH] [--metrics-json PATH] [--trace PATH] [--results PATH]
+//! scmd bench    [--spec PATH] [--out PATH] [--quick true] [--baseline PATH]
+//!               [--wall-tol PCT] [--summary PATH]
 //! scmd bench    --compare OLD --with NEW [--wall-tol PCT] [--summary PATH]
-//! scmd chaos    [--cases lj,silica] [--storms N] [--seed S] [--steps N] [--faults N] [--out DIR]
+//! scmd chaos    [--cases lj,silica] [--spec PATH] [--storms N] [--seed S] [--steps N]
+//!               [--faults N] [--out DIR]
+//! scmd serve    [--socket PATH] [--lanes N] [--queue N] [--slice N] [--state DIR]
+//!               [--resume true]
+//! scmd submit   --spec PATH [--socket PATH]      # returns the job id
+//! scmd status   [--id job-N] [--socket PATH]     # one job, or the whole table
+//! scmd cancel   --id job-N [--socket PATH]
+//! scmd results  --id job-N [--socket PATH] [--out PATH]
+//! scmd shutdown [--socket PATH]                  # checkpoint jobs, stop the daemon
 //! scmd patterns [--n N]           # pattern algebra summary
 //! scmd model    --machine xeon|bgq [--grain N]   # cost-model report
 //! ```
+//!
+//! Every workload-running verb is spec-driven: `--spec PATH` loads an
+//! `sc-scenario/1` document (JSON or TOML, see `scenarios/`), and the
+//! legacy `--system/--cells/...` flags on `run` are a shim that builds
+//! the equivalent spec — both paths instantiate through `sc-spec`, so a
+//! flag-driven run and its spec twin are bitwise-identical.
 //!
 //! `--metrics-json PATH` streams one `Telemetry` JSON line per report block
 //! (plus a final snapshot) to PATH; the layout is pinned by
 //! `schema/metrics.schema.json` and validated in CI.
 //!
-//! `--trace PATH` records event-level traces (every phase interval plus
-//! checkpoint/comm markers) and writes a Chrome Trace Format file loadable
-//! in `chrome://tracing` or Perfetto.
+//! `--trace PATH` records event-level traces and writes a Chrome Trace
+//! Format file loadable in `chrome://tracing` or Perfetto.
 //!
-//! `scmd chaos` runs seeded randomized fault storms (all five fault
-//! kinds, crashes included) against supervised 8-rank runs, asserting
-//! the physics guardrails plus exact accepted-tuple equality against a
-//! fault-free reference; each failing storm writes a reproducer bundle
-//! (seed, fault script, chrome trace, telemetry) and the process exits
-//! non-zero.
+//! `--results PATH` writes the run's `sc-observables/1` document — the
+//! same byte-stable layout `scmd serve` persists per finished job, so a
+//! standalone run and a served job of the same spec can be diffed with
+//! `cmp`.
 //!
-//! `scmd bench` runs the pinned deterministic workload matrix and writes
-//! `BENCH_<gitsha>.json` (layout pinned by `schema/bench.schema.json`);
-//! with `--baseline` it additionally diffs against a previous bench file
-//! and exits non-zero on any regression. `--compare OLD --with NEW` diffs
-//! two existing files without running the matrix.
+//! `scmd serve` is the multi-tenant job service: a Unix-socket daemon with
+//! fair round-robin scheduling across worker lanes, a bounded queue with
+//! typed backpressure, per-job supervision (rollback recovery under fault
+//! storms), and checkpoint persistence so `--resume true` continues
+//! interrupted jobs bitwise-exactly after a restart.
+//!
+//! Malformed command lines exit with status 2 and an error naming the
+//! offending flag; runtime failures exit with status 1.
 
-use shift_collapse_md::md::{thermalize, write_xyz, Method};
+use shift_collapse_md::md::{write_xyz, CliError, Error, Method};
+use shift_collapse_md::obs::json::Json;
 use shift_collapse_md::pattern::{generate_fs, import_volume_cubic, shift_collapse, theory};
 use shift_collapse_md::prelude::*;
+use shift_collapse_md::serve::{Daemon, DaemonConfig, Request, Response, SchedulerConfig};
+use shift_collapse_md::spec::{
+    observables_doc, ExecutorSpec, ObservabilitySpec, PotentialSpec, ScenarioSpec, SpecError,
+    SystemSpec,
+};
 use std::collections::HashMap;
 use std::io::Write;
+use std::path::{Path, PathBuf};
+
+type Flags = HashMap<String, String>;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let cmd = args.next().unwrap_or_else(|| usage("missing subcommand"));
-    let flags = parse_flags(args);
-    // The whole pipeline funnels through the unified `sc_md::Error`, so
-    // every failure mode (build, I/O, metrics output) exits through one
-    // place with one message shape.
-    let result = match cmd.as_str() {
+    match dispatch(&mut args) {
+        Ok(()) => {}
+        Err(Error::Cli(e)) => {
+            // A malformed command line names the offending flag and exits 2
+            // (distinct from runtime failures, which exit 1).
+            eprintln!("error: {e}");
+            eprintln!("run `scmd help` for usage");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn dispatch(args: &mut impl Iterator<Item = String>) -> Result<(), Error> {
+    let cmd = args.next().ok_or(CliError::MissingSubcommand)?;
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") {
+        print_usage();
+        return Ok(());
+    }
+    let flags = parse_flags(args)?;
+    match cmd.as_str() {
         "run" => run(&flags),
         "bench" => bench(&flags),
         "chaos" => chaos(&flags),
-        "patterns" => {
-            patterns(&flags);
-            Ok(())
-        }
-        "model" => {
-            model(&flags);
-            Ok(())
-        }
-        "--help" | "-h" | "help" => usage(""),
-        other => usage(&format!("unknown subcommand {other:?}")),
-    };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        "serve" => serve(&flags),
+        "submit" => submit(&flags),
+        "status" => status(&flags),
+        "cancel" => cancel(&flags),
+        "results" => results(&flags),
+        "shutdown" => shutdown(&flags),
+        "patterns" => patterns(&flags),
+        "model" => model(&flags),
+        other => Err(CliError::UnknownSubcommand(other.into()).into()),
     }
 }
 
-fn usage(err: &str) -> ! {
-    if !err.is_empty() {
-        eprintln!("error: {err}\n");
-    }
-    eprintln!(
+fn print_usage() {
+    println!(
         "scmd — shift-collapse molecular dynamics\n\n\
-         USAGE:\n  scmd run      --system lj|silica [--cells N] [--steps N] [--method sc|fs|hybrid]\n\
-         \x20               [--dt X] [--temp T] [--subdivision K] [--skin S] [--xyz PATH]\n\
-         \x20               [--metrics-json PATH] [--trace PATH]\n\
-         \x20 scmd bench    [--out PATH] [--quick true] [--baseline PATH] [--wall-tol PCT] [--summary PATH]\n\
+         USAGE:\n  scmd run      [--spec PATH] [--system lj|silica] [--cells N] [--steps N]\n\
+         \x20               [--method sc|fs|hybrid] [--dt X] [--temp T] [--subdivision K]\n\
+         \x20               [--skin S] [--xyz PATH] [--metrics-json PATH] [--trace PATH]\n\
+         \x20               [--results PATH]\n\
+         \x20 scmd bench    [--spec PATH] [--out PATH] [--quick true] [--baseline PATH]\n\
+         \x20               [--wall-tol PCT] [--summary PATH]\n\
          \x20 scmd bench    --compare OLD --with NEW [--wall-tol PCT] [--summary PATH]\n\
-         \x20 scmd chaos    [--cases lj,silica] [--storms N] [--seed S] [--steps N]\n\
-         \x20               [--faults N] [--out DIR]\n\
+         \x20 scmd chaos    [--cases lj,silica] [--spec PATH] [--storms N] [--seed S]\n\
+         \x20               [--steps N] [--faults N] [--out DIR]\n\
+         \x20 scmd serve    [--socket PATH] [--lanes N] [--queue N] [--slice N]\n\
+         \x20               [--state DIR] [--resume true]\n\
+         \x20 scmd submit   --spec PATH [--socket PATH]\n\
+         \x20 scmd status   [--id job-N] [--socket PATH]\n\
+         \x20 scmd cancel   --id job-N [--socket PATH]\n\
+         \x20 scmd results  --id job-N [--socket PATH] [--out PATH]\n\
+         \x20 scmd shutdown [--socket PATH]\n\
          \x20 scmd patterns [--n N]\n\
          \x20 scmd model    [--machine xeon|bgq] [--grain N]"
     );
-    std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
-fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+fn parse_flags(args: &mut impl Iterator<Item = String>) -> Result<Flags, Error> {
     let mut out = HashMap::new();
-    let mut args = args.peekable();
     while let Some(a) = args.next() {
-        let Some(key) = a.strip_prefix("--") else {
-            usage(&format!("unexpected argument {a:?}"));
-        };
-        let val = args.next().unwrap_or_else(|| usage(&format!("--{key} needs a value")));
+        let key = a
+            .strip_prefix("--")
+            .filter(|k| !k.is_empty())
+            .ok_or_else(|| CliError::UnexpectedArg(a.clone()))?;
+        let val = args.next().ok_or_else(|| CliError::MissingValue(key.to_string()))?;
         out.insert(key.to_string(), val);
     }
-    out
+    Ok(out)
 }
 
-fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-    flags
-        .get(key)
-        .map(|v| v.parse().unwrap_or_else(|_| usage(&format!("bad value for --{key}: {v:?}"))))
-        .unwrap_or(default)
-}
-
-fn method_of(flags: &HashMap<String, String>) -> Method {
-    match flags.get("method").map(String::as_str) {
-        None | Some("sc") => Method::ShiftCollapse,
-        Some("fs") => Method::FullShell,
-        Some("hybrid") => Method::Hybrid,
-        Some(m) => usage(&format!("unknown method {m:?}")),
-    }
-}
-
-fn run(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Error> {
-    let system = flags.get("system").map(String::as_str).unwrap_or("lj");
-    let steps: usize = get(flags, "steps", 100);
-    let method = method_of(flags);
-    let dt_default = if system == "silica" { 0.0005 } else { 0.002 };
-    let dt: f64 = get(flags, "dt", dt_default);
-    let subdivision: i32 = get(flags, "subdivision", 1);
-    let runtime = RuntimeConfig {
-        verlet_skin: get(flags, "skin", 0.0),
-        metrics: if flags.contains_key("metrics-json") {
-            Registry::new()
-        } else {
-            Registry::disabled()
-        },
-        tracer: if flags.contains_key("trace") {
-            shift_collapse_md::obs::Tracer::new()
-        } else {
-            shift_collapse_md::obs::Tracer::disabled()
-        },
-        ..RuntimeConfig::default()
-    };
-    let mut sim = match system {
-        "lj" => {
-            let cells: usize = get(flags, "cells", 6);
-            let (mut store, bbox) = build_fcc_lattice(&LatticeSpec::cubic(cells, 1.5599), 0.0, 42);
-            thermalize(&mut store, get(flags, "temp", 1.0), 42);
-            Simulation::builder(store, bbox)
-                .pair_potential(Box::new(LennardJones::reduced(2.5)))
-                .method(method)
-                .timestep(dt)
-                .cell_subdivision(subdivision)
-                .runtime(runtime)
-                .build()?
+/// Rejects flags the subcommand does not know — a typo fails loudly
+/// instead of being silently ignored.
+fn check_flags(flags: &Flags, allowed: &[&str]) -> Result<(), Error> {
+    for key in flags.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(CliError::UnexpectedArg(format!("--{key}")).into());
         }
-        "silica" => {
-            let cells: usize = get(flags, "cells", 3);
-            let v = Vashishta::silica();
-            let (mut store, bbox) = build_silica_like(cells, 7.16, v.params().masses, 0.0, 42);
-            thermalize(&mut store, get(flags, "temp", 0.05), 42);
-            Simulation::builder(store, bbox)
-                .pair_potential(Box::new(v.pair.clone()))
-                .triplet_potential(Box::new(v.triplet.clone()))
-                .method(method)
-                .timestep(dt)
-                .cell_subdivision(subdivision)
-                .runtime(runtime)
-                .build()?
-        }
-        other => usage(&format!("unknown system {other:?}")),
-    };
-    let mut metrics_out = match flags.get("metrics-json") {
-        Some(path) => Some(std::io::BufWriter::new(std::fs::File::create(path)?)),
-        None => None,
-    };
-
-    println!(
-        "# {} | {} atoms | {} | dt = {dt} | {steps} steps",
-        system,
-        sim.store().len(),
-        sim.method().name()
-    );
-    let e0 = sim.total_energy();
-    let t0 = std::time::Instant::now();
-    let report_every = (steps / 10).max(1);
-    for block in 0..steps.div_ceil(report_every) {
-        let todo = report_every.min(steps - block * report_every);
-        let stats = sim.run(todo);
-        println!(
-            "step {:>6}  E = {:>12.4}  T = {:>8.4}  tuples/step = {}",
-            sim.steps_done(),
-            stats.energy.total() + sim.store().kinetic_energy(),
-            sim.store().temperature(),
-            stats.tuples.total_accepted(),
-        );
-        if let Some(out) = &mut metrics_out {
-            writeln!(out, "{}", stats.to_json())?;
-        }
-    }
-    let wall = t0.elapsed().as_secs_f64();
-    let e1 = sim.total_energy();
-    println!(
-        "# {:.2} ms/step | NVE drift {:.2e} | candidates/step: {}",
-        wall / steps as f64 * 1e3,
-        ((e1 - e0) / e0.abs()).abs(),
-        sim.telemetry().tuples.total_candidates(),
-    );
-    if let Some(mut out) = metrics_out {
-        writeln!(out, "{}", sim.telemetry().to_json())?;
-        out.flush()?;
-        println!("# telemetry JSON written to {}", flags["metrics-json"]);
-    }
-    if let Some(path) = flags.get("xyz") {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        write_xyz(&mut f, sim.store(), sim.bbox(), &format!("step={}", sim.steps_done()))?;
-        println!("# final snapshot written to {path}");
-    }
-    if let Some(path) = flags.get("trace") {
-        let events = sim.tracer().events();
-        let dropped = sim.tracer().dropped();
-        std::fs::write(path, shift_collapse_md::obs::chrome_trace(&events).to_string())?;
-        println!("# chrome trace written to {path} ({} events, {dropped} dropped)", events.len());
     }
     Ok(())
 }
 
-fn bench(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Error> {
-    use shift_collapse_md::bench::{
-        compare, git_sha, markdown_delta_table, run_matrix, to_document,
-    };
-    use shift_collapse_md::obs::json::Json;
+fn get<T: std::str::FromStr>(
+    flags: &Flags,
+    key: &str,
+    default: T,
+    expected: &'static str,
+) -> Result<T, Error> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| {
+            CliError::BadFlagValue { flag: key.into(), value: v.clone(), expected }.into()
+        }),
+    }
+}
 
-    let wall_tol: f64 = get(flags, "wall-tol", 200.0);
-    let load = |path: &str| -> Result<Json, shift_collapse_md::md::Error> {
-        let text = std::fs::read_to_string(path)?;
-        Ok(Json::parse(&text)
-            .unwrap_or_else(|e| usage(&format!("{path} is not a bench JSON document: {e}"))))
+fn required<'a>(flags: &'a Flags, key: &str) -> Result<&'a String, Error> {
+    flags.get(key).ok_or_else(|| CliError::MissingFlag(key.to_string()).into())
+}
+
+fn method_of(flags: &Flags) -> Result<Method, Error> {
+    match flags.get("method").map(String::as_str) {
+        None | Some("sc") => Ok(Method::ShiftCollapse),
+        Some("fs") => Ok(Method::FullShell),
+        Some("hybrid") => Ok(Method::Hybrid),
+        Some(m) => Err(CliError::UnknownValue {
+            flag: "method".into(),
+            value: m.into(),
+            allowed: "sc|fs|hybrid",
+        }
+        .into()),
+    }
+}
+
+/// Spec-layer failures ride the unified error as setup failures.
+fn spec_err(e: SpecError) -> Error {
+    Error::Setup(Box::new(e))
+}
+
+// ---------------------------------------------------------------------------
+// scmd run
+// ---------------------------------------------------------------------------
+
+/// The scenario a `run` invocation describes: `--spec PATH` verbatim, or
+/// the legacy flag set assembled into the equivalent spec. Both paths
+/// instantiate through `sc-spec`, so they are bitwise-identical.
+fn run_scenario(flags: &Flags) -> Result<ScenarioSpec, Error> {
+    let observability = ObservabilitySpec {
+        metrics: flags.contains_key("metrics-json"),
+        trace: flags.contains_key("trace"),
     };
-    let diff = |baseline: &Json, current: &Json| -> Result<(), shift_collapse_md::md::Error> {
+    if let Some(path) = flags.get("spec") {
+        let mut spec = ScenarioSpec::from_path(Path::new(path)).map_err(spec_err)?;
+        if flags.contains_key("steps") {
+            spec.steps = get(flags, "steps", spec.steps, "a positive integer")?;
+        }
+        // Output flags enable the matching sinks even if the spec left
+        // them off — asking for a file implies wanting its contents.
+        spec.observability.metrics |= observability.metrics;
+        spec.observability.trace |= observability.trace;
+        spec.validate().map_err(spec_err)?;
+        return Ok(spec);
+    }
+    let system = flags.get("system").map(String::as_str).unwrap_or("lj");
+    let (system_spec, potential, dt_default) = match system {
+        "lj" => (
+            SystemSpec::Lj {
+                cells: get(flags, "cells", 6, "a positive integer")?,
+                a: 1.5599,
+                temp: get(flags, "temp", 1.0, "a number")?,
+                seed: 42,
+            },
+            PotentialSpec::Lj { cutoff: 2.5 },
+            0.002,
+        ),
+        "silica" => (
+            SystemSpec::Silica {
+                cells: get(flags, "cells", 3, "a positive integer")?,
+                a: 7.16,
+                temp: get(flags, "temp", 0.05, "a number")?,
+                seed: 42,
+            },
+            PotentialSpec::Vashishta,
+            0.0005,
+        ),
+        other => {
+            return Err(CliError::UnknownValue {
+                flag: "system".into(),
+                value: other.into(),
+                allowed: "lj|silica",
+            }
+            .into());
+        }
+    };
+    let spec = ScenarioSpec {
+        name: format!("cli-{system}"),
+        system: system_spec,
+        potential,
+        method: method_of(flags)?,
+        executor: ExecutorSpec::Serial { threads: 0 },
+        dt: get(flags, "dt", dt_default, "a number")?,
+        steps: get(flags, "steps", 100, "a positive integer")?,
+        subdivision: get(flags, "subdivision", 1, "an integer in 1..=3")?,
+        verlet_skin: get(flags, "skin", 0.0, "a number")?,
+        resort_every: 8,
+        thermostat: None,
+        fault_plan: None,
+        observability,
+        checkpoint: None,
+    };
+    spec.validate().map_err(spec_err)?;
+    Ok(spec)
+}
+
+fn run(flags: &Flags) -> Result<(), Error> {
+    check_flags(
+        flags,
+        &[
+            "spec",
+            "system",
+            "cells",
+            "steps",
+            "method",
+            "dt",
+            "temp",
+            "subdivision",
+            "skin",
+            "xyz",
+            "metrics-json",
+            "trace",
+            "results",
+        ],
+    )?;
+    let spec = run_scenario(flags)?;
+    if matches!(spec.executor, ExecutorSpec::Threaded { .. }) {
+        return run_threaded(&spec, flags);
+    }
+
+    let mut handle = spec.instantiate().map_err(spec_err)?;
+    let steps = spec.steps as usize;
+    let mut metrics_out = match flags.get("metrics-json") {
+        Some(path) => Some(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        None => None,
+    };
+    println!(
+        "# {} | {} atoms | {} | {} | dt = {} | {steps} steps",
+        spec.name,
+        handle.gather().len(),
+        spec.method.name(),
+        handle.executor_kind(),
+        spec.dt,
+    );
+    let e0 = handle.total_energy();
+    let t0 = std::time::Instant::now();
+    let report_every = (steps / 10).max(1);
+    for block in 0..steps.div_ceil(report_every) {
+        let todo = report_every.min(steps - block * report_every);
+        handle.run(todo);
+        let t = handle.telemetry();
+        let store = handle.gather();
+        println!(
+            "step {:>6}  E = {:>12.4}  T = {:>8.4}  tuples/step = {}",
+            handle.steps_done(),
+            t.energy.total() + store.kinetic_energy(),
+            store.temperature(),
+            t.tuples.total_accepted(),
+        );
+        if let Some(out) = &mut metrics_out {
+            writeln!(out, "{}", t.to_json())?;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let e1 = handle.total_energy();
+    println!(
+        "# {:.2} ms/step | NVE drift {:.2e} | candidates/step: {}",
+        wall / steps as f64 * 1e3,
+        ((e1 - e0) / e0.abs()).abs(),
+        handle.telemetry().tuples.total_candidates(),
+    );
+    if let Some(mut out) = metrics_out {
+        writeln!(out, "{}", handle.telemetry().to_json())?;
+        out.flush()?;
+        println!("# telemetry JSON written to {}", flags["metrics-json"]);
+    }
+    if let Some(path) = flags.get("xyz") {
+        // The box is static under NVE, so the workload builder's box is
+        // the run's box.
+        let (_, bbox) = spec.build_workload();
+        let store = handle.gather();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write_xyz(&mut f, &store, &bbox, &format!("step={}", handle.steps_done()))?;
+        println!("# final snapshot written to {path}");
+    }
+    if let Some(path) = flags.get("trace") {
+        let events = handle.tracer().events();
+        let dropped = handle.tracer().dropped();
+        std::fs::write(path, shift_collapse_md::obs::chrome_trace(&events).to_string())?;
+        println!("# chrome trace written to {path} ({} events, {dropped} dropped)", events.len());
+    }
+    if let Some(path) = flags.get("results") {
+        write_results(path, &spec.name, handle.steps_done(), &handle.gather(), e1)?;
+    }
+    Ok(())
+}
+
+/// The one-shot threaded executor: no block-wise reporting or tracing,
+/// one summary line plus the optional results document.
+fn run_threaded(spec: &ScenarioSpec, flags: &Flags) -> Result<(), Error> {
+    for unsupported in ["metrics-json", "trace", "xyz"] {
+        if flags.contains_key(unsupported) {
+            return Err(CliError::BadFlagValue {
+                flag: unsupported.into(),
+                value: flags[unsupported].clone(),
+                expected: "no value — the threaded executor is one-shot and has no sinks",
+            }
+            .into());
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let (store, energy, stats) = spec.run_threaded().map_err(spec_err)?;
+    let wall = t0.elapsed().as_secs_f64();
+    let total = energy.total() + store.kinetic_energy();
+    println!(
+        "# {} | {} atoms | {} | threaded | {} steps | E = {total:.4} | {:.2} ms/step | {} msgs",
+        spec.name,
+        store.len(),
+        spec.method.name(),
+        spec.steps,
+        wall / spec.steps as f64 * 1e3,
+        stats.messages,
+    );
+    if let Some(path) = flags.get("results") {
+        write_results(path, &spec.name, spec.steps, &store, total)?;
+    }
+    Ok(())
+}
+
+/// Writes the `sc-observables/1` document — byte-identical to the
+/// `results.json` the job service persists for the same scenario.
+fn write_results(
+    path: &str,
+    scenario: &str,
+    steps: u64,
+    store: &shift_collapse_md::cell::AtomStore,
+    energy_total: f64,
+) -> Result<(), Error> {
+    std::fs::write(path, observables_doc(scenario, steps, store, energy_total).to_string())?;
+    println!("# observables document written to {path}");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// scmd bench / chaos
+// ---------------------------------------------------------------------------
+
+fn bench(flags: &Flags) -> Result<(), Error> {
+    use shift_collapse_md::bench::{
+        compare, git_sha, markdown_delta_table, run_matrix, run_spec_case, to_document,
+    };
+
+    check_flags(
+        flags,
+        &["spec", "out", "quick", "baseline", "wall-tol", "summary", "compare", "with"],
+    )?;
+    let wall_tol: f64 = get(flags, "wall-tol", 200.0, "a percentage")?;
+    let load = |path: &str| -> Result<Json, Error> {
+        let text = std::fs::read_to_string(path)?;
+        Json::parse(&text)
+            .map_err(|e| Error::Setup(format!("{path} is not a bench JSON document: {e}").into()))
+    };
+    let diff = |baseline: &Json, current: &Json| -> Result<(), Error> {
         let (report, failures) = compare(baseline, current, wall_tol);
         for line in &report {
             println!("{line}");
@@ -239,7 +427,6 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::E
         // --summary PATH appends the per-case wall delta table as markdown
         // (pointed at $GITHUB_STEP_SUMMARY by the CI bench-regression job).
         if let Some(path) = flags.get("summary") {
-            use std::io::Write;
             let table = markdown_delta_table(baseline, current);
             let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
             f.write_all(table.as_bytes())?;
@@ -258,12 +445,18 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::E
 
     // Pure comparator mode: diff two existing bench files.
     if let Some(old) = flags.get("compare") {
-        let new = flags.get("with").unwrap_or_else(|| usage("--compare OLD needs --with NEW"));
+        let new = required(flags, "with")?;
         return diff(&load(old)?, &load(new)?);
     }
 
-    let quick: bool = get(flags, "quick", false);
-    let cases = run_matrix(quick);
+    let cases = match flags.get("spec") {
+        // A single spec-defined case instead of the pinned matrix.
+        Some(path) => {
+            let spec = ScenarioSpec::from_path(Path::new(path)).map_err(spec_err)?;
+            vec![run_spec_case(&spec).map_err(|e| Error::Setup(e.into()))?]
+        }
+        None => run_matrix(get(flags, "quick", false, "true|false")?),
+    };
     let doc = to_document(&cases);
     for c in &cases {
         println!(
@@ -280,30 +473,44 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::E
     }
 }
 
-fn chaos(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::Error> {
+fn chaos(flags: &Flags) -> Result<(), Error> {
     use shift_collapse_md::chaos::{run_soak, ChaosConfig};
 
+    check_flags(flags, &["cases", "spec", "storms", "seed", "steps", "faults", "out"])?;
     let defaults = ChaosConfig::default();
+    let specs = match flags.get("spec") {
+        Some(path) => vec![ScenarioSpec::from_path(Path::new(path)).map_err(spec_err)?],
+        None => Vec::new(),
+    };
     let config = ChaosConfig {
-        cases: flags
-            .get("cases")
-            .map(|v| v.split(',').map(str::to_string).collect())
-            .unwrap_or(defaults.cases),
-        storms: get(flags, "storms", defaults.storms),
-        seed: get(flags, "seed", defaults.seed),
-        steps: get(flags, "steps", defaults.steps),
-        faults: get(flags, "faults", defaults.faults),
+        cases: match flags.get("cases") {
+            Some(v) => v.split(',').map(str::to_string).collect(),
+            // A spec-only soak storms just the spec.
+            None if !specs.is_empty() => Vec::new(),
+            None => defaults.cases,
+        },
+        specs,
+        storms: get(flags, "storms", defaults.storms, "a positive integer")?,
+        seed: get(flags, "seed", defaults.seed, "an integer")?,
+        steps: get(flags, "steps", defaults.steps, "a positive integer")?,
+        faults: get(flags, "faults", defaults.faults, "a positive integer")?,
         out_dir: flags.get("out").map(Into::into).unwrap_or(defaults.out_dir),
     };
+    let labels: Vec<&str> = config
+        .cases
+        .iter()
+        .map(String::as_str)
+        .chain(config.specs.iter().map(|s| s.name.as_str()))
+        .collect();
     println!(
         "# chaos soak: {} × {} storms | {} steps | {} faults/storm | base seed {}",
-        config.cases.join(","),
+        labels.join(","),
         config.storms,
         config.steps,
         config.faults,
         config.seed,
     );
-    let outcomes = run_soak(&config).unwrap_or_else(|e| usage(&e));
+    let outcomes = run_soak(&config).map_err(|e| Error::Setup(e.into()))?;
     let mut failures = 0;
     for o in &outcomes {
         match (&o.failure, &o.bundle) {
@@ -325,8 +532,157 @@ fn chaos(flags: &HashMap<String, String>) -> Result<(), shift_collapse_md::md::E
     Ok(())
 }
 
-fn patterns(flags: &HashMap<String, String>) {
-    let n: usize = get(flags, "n", 3);
+// ---------------------------------------------------------------------------
+// scmd serve + client verbs
+// ---------------------------------------------------------------------------
+
+fn socket_of(flags: &Flags) -> PathBuf {
+    flags.get("socket").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("scmd.sock"))
+}
+
+fn serve(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["socket", "lanes", "queue", "slice", "state", "resume"])?;
+    let config = DaemonConfig {
+        socket: socket_of(flags),
+        scheduler: SchedulerConfig {
+            lanes: get(flags, "lanes", 2, "a positive integer")?,
+            queue_capacity: get(flags, "queue", 8, "a positive integer")?,
+            slice_steps: get(flags, "slice", 4, "a positive integer")?,
+            state_dir: Some(
+                flags.get("state").map(PathBuf::from).unwrap_or_else(|| "scmd-state".into()),
+            ),
+            ..SchedulerConfig::default()
+        },
+        resume: get(flags, "resume", false, "true|false")?,
+    };
+    let socket = config.socket.clone();
+    let daemon = Daemon::bind(config)?;
+    println!(
+        "# scmd serve | socket {} | {} resumed jobs | submit with `scmd submit --spec PATH`",
+        socket.display(),
+        daemon.job_count(),
+    );
+    daemon.run()?;
+    println!("# daemon stopped");
+    Ok(())
+}
+
+/// One request/response round trip; daemon-side rejections surface as
+/// runtime errors with the daemon's code and message.
+fn call(flags: &Flags, req: &Request) -> Result<Response, Error> {
+    let socket = socket_of(flags);
+    let resp = shift_collapse_md::serve::client::request(&socket, req).map_err(|e| {
+        Error::Io(std::io::Error::new(
+            e.kind(),
+            format!("{} (is a daemon serving on {}?)", e, socket.display()),
+        ))
+    })?;
+    match resp {
+        Response::Error { code, message } => {
+            Err(Error::Runtime(format!("daemon rejected the request [{code}]: {message}").into()))
+        }
+        ok => Ok(ok),
+    }
+}
+
+fn submit(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["spec", "socket"])?;
+    let path = required(flags, "spec")?;
+    // Parse client-side first: a bad spec fails here with the full typed
+    // error instead of a wire round trip, and TOML specs reach the daemon
+    // in canonical JSON.
+    let spec = ScenarioSpec::from_path(Path::new(path)).map_err(spec_err)?;
+    match call(flags, &Request::Submit { spec: spec.to_json() })? {
+        Response::Submitted { id } => {
+            println!("{id}");
+            Ok(())
+        }
+        other => Err(unexpected(other)),
+    }
+}
+
+fn status(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["id", "socket"])?;
+    match call(flags, &Request::Status { id: flags.get("id").cloned() })? {
+        Response::Status { jobs } => {
+            println!(
+                "{:<8} {:<10} {:>8} {:>6} {:<24} ERROR",
+                "ID", "STATE", "STEPS", "LANE", "SPEC"
+            );
+            for j in &jobs {
+                let s = |k: &str| j.get(k).and_then(|v| v.as_str()).unwrap_or("?").to_string();
+                let n = |k: &str| j.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+                println!(
+                    "{:<8} {:<10} {:>3}/{:<4} {:>6} {:<24} {}",
+                    s("id"),
+                    s("state"),
+                    n("steps_done"),
+                    n("total_steps"),
+                    n("lane"),
+                    s("spec_name"),
+                    j.get("error").and_then(|v| v.as_str()).unwrap_or(""),
+                );
+            }
+            Ok(())
+        }
+        other => Err(unexpected(other)),
+    }
+}
+
+fn cancel(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["id", "socket"])?;
+    let id = required(flags, "id")?;
+    match call(flags, &Request::Cancel { id: id.clone() })? {
+        Response::Cancelled { id } => {
+            println!("{id} cancelled");
+            Ok(())
+        }
+        other => Err(unexpected(other)),
+    }
+}
+
+fn results(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["id", "socket", "out"])?;
+    let id = required(flags, "id")?;
+    match call(flags, &Request::Results { id: id.clone() })? {
+        Response::Results { doc, .. } => {
+            match flags.get("out") {
+                // No trailing newline: the file must byte-match the
+                // daemon's persisted results.json.
+                Some(path) => {
+                    std::fs::write(path, doc.to_string())?;
+                    println!("# results written to {path}");
+                }
+                None => println!("{doc}"),
+            }
+            Ok(())
+        }
+        other => Err(unexpected(other)),
+    }
+}
+
+fn shutdown(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["socket"])?;
+    match call(flags, &Request::Shutdown)? {
+        Response::ShuttingDown => {
+            println!("# daemon shutting down");
+            Ok(())
+        }
+        other => Err(unexpected(other)),
+    }
+}
+
+fn unexpected(resp: Response) -> Error {
+    Error::Runtime(format!("unexpected daemon response: {}", resp.to_json()).into())
+}
+
+// ---------------------------------------------------------------------------
+// scmd patterns / model
+// ---------------------------------------------------------------------------
+
+fn patterns(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["n"])?;
+    let n: usize = get(flags, "n", 3, "a tuple order ≥ 2")?;
     let fs = generate_fs(n);
     let sc = shift_collapse(n);
     println!("n = {n}");
@@ -342,16 +698,25 @@ fn patterns(flags: &HashMap<String, String>) {
             theory::midpoint_import_volume(l as u64, n),
         );
     }
+    Ok(())
 }
 
-fn model(flags: &HashMap<String, String>) {
+fn model(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["machine", "grain"])?;
     let machine = match flags.get("machine").map(String::as_str) {
         None | Some("xeon") => MachineProfile::xeon(),
         Some("bgq") => MachineProfile::bgq(),
-        Some(m) => usage(&format!("unknown machine {m:?}")),
+        Some(m) => {
+            return Err(CliError::UnknownValue {
+                flag: "machine".into(),
+                value: m.into(),
+                allowed: "xeon|bgq",
+            }
+            .into());
+        }
     };
     let model = MdCostModel::new(shift_collapse_md::netmodel::SilicaWorkload::silica(), machine);
-    let grain: f64 = get(flags, "grain", 425.0);
+    let grain: f64 = get(flags, "grain", 425.0, "a number")?;
     println!("machine: {} | granularity N/P = {grain}", model.machine.name);
     for m in Method::ALL {
         let c = model.step_time(m, grain);
@@ -368,4 +733,5 @@ fn model(flags: &HashMap<String, String>) {
         Some(x) => println!("  SC → Hybrid crossover: N/P ≈ {x:.0}"),
         None => println!("  no SC → Hybrid crossover found"),
     }
+    Ok(())
 }

@@ -19,12 +19,16 @@ use sc_obs::{chrome_trace, Tracer};
 use sc_parallel::rank::ForceField;
 use sc_parallel::{DistributedSim, FaultPlan};
 use sc_potential::{LennardJones, Vashishta};
+use sc_spec::{ExecutorSpec, RunHandle, ScenarioSpec};
 use std::path::PathBuf;
 
 /// Soak-run parameters (one storm = one seeded fault schedule).
 pub struct ChaosConfig {
-    /// Workload cases to storm (`lj`, `silica`).
+    /// Built-in workload cases to storm (`lj`, `silica`).
     pub cases: Vec<String>,
+    /// Spec-defined cases stormed alongside the built-in ones; each must
+    /// use the BSP executor (`scmd chaos --spec PATH`).
+    pub specs: Vec<ScenarioSpec>,
     /// Storms per case.
     pub storms: u64,
     /// Base seed; storm `i` of a case uses `seed + i`.
@@ -41,12 +45,54 @@ impl Default for ChaosConfig {
     fn default() -> Self {
         ChaosConfig {
             cases: vec!["lj".into(), "silica".into()],
+            specs: Vec::new(),
             storms: 8,
             seed: 7,
             steps: 10,
             faults: 3,
             out_dir: PathBuf::from("chaos-out"),
         }
+    }
+}
+
+/// A stormable case: a built-in name or a scenario spec.
+enum CaseDef<'a> {
+    Named(&'a str),
+    Spec(&'a ScenarioSpec),
+}
+
+impl CaseDef<'_> {
+    fn name(&self) -> &str {
+        match self {
+            CaseDef::Named(name) => name,
+            CaseDef::Spec(spec) => &spec.name,
+        }
+    }
+
+    fn build(&self) -> Result<DistributedSim, String> {
+        match self {
+            CaseDef::Named(name) => build_case(name),
+            CaseDef::Spec(spec) => build_spec_case(spec),
+        }
+    }
+}
+
+/// Instantiates a spec-defined chaos case. The storm harness owns the
+/// fault schedule — a fault plan in the spec would fire during the
+/// fault-free reference run too, so it is stripped here.
+fn build_spec_case(spec: &ScenarioSpec) -> Result<DistributedSim, String> {
+    if !matches!(spec.executor, ExecutorSpec::Bsp { .. }) {
+        return Err(format!(
+            "chaos spec {:?} must use the bsp executor, got {}",
+            spec.name,
+            spec.executor.kind()
+        ));
+    }
+    let mut clean = spec.clone();
+    clean.fault_plan = None;
+    match clean.instantiate().map_err(|e| e.to_string())? {
+        RunHandle::Bsp(sim) => Ok(*sim),
+        RunHandle::Serial(_) => unreachable!("bsp executor instantiates as Bsp"),
     }
 }
 
@@ -122,8 +168,8 @@ fn total_momentum(store: &AtomStore) -> Vec3 {
     p
 }
 
-fn reference_for(case: &str, steps: u64) -> Result<Reference, String> {
-    let mut sim = build_case(case)?;
+fn reference_for(case: &CaseDef, steps: u64) -> Result<Reference, String> {
+    let mut sim = case.build()?;
     sim.run(steps as usize);
     let t = sim.telemetry();
     let out = sim.gather();
@@ -214,14 +260,17 @@ fn write_bundle(
 /// against `reference`. Failing storms leave a reproducer bundle under
 /// `config.out_dir`.
 fn run_storm(
-    case: &str,
+    case: &CaseDef,
     seed: u64,
     config: &ChaosConfig,
     reference: &Reference,
 ) -> Result<StormOutcome, String> {
-    let mut sim = build_case(case)?;
+    let mut sim = case.build()?;
     let nranks = sim.telemetry().per_rank.len();
-    let plan = FaultPlan::storm(seed, config.faults, config.steps, nranks, 2);
+    // Small spec-defined grids can't afford the built-in matrix's crash
+    // budget of 2 — always leave at least one survivor.
+    let crash_cap = 2.min(nranks.saturating_sub(1));
+    let plan = FaultPlan::storm(seed, config.faults, config.steps, nranks, crash_cap);
     let script = faults_json(plan.pending());
     sim.set_fault_plan(plan);
     sim.set_tracer(Tracer::new());
@@ -237,14 +286,14 @@ fn run_storm(
     let bundle = match &failure {
         None => None,
         Some(why) => {
-            let dir = config.out_dir.join(format!("chaos-{case}-{seed}"));
-            if let Err(e) = write_bundle(&dir, case, seed, config, &script, &sim, why) {
+            let dir = config.out_dir.join(format!("chaos-{}-{seed}", case.name()));
+            if let Err(e) = write_bundle(&dir, case.name(), seed, config, &script, &sim, why) {
                 eprintln!("warning: reproducer bundle incomplete: {e}");
             }
             Some(dir)
         }
     };
-    Ok(StormOutcome { case: case.to_string(), seed, failure, bundle })
+    Ok(StormOutcome { case: case.name().to_string(), seed, failure, bundle })
 }
 
 /// Runs the whole soak matrix; outcomes come back in deterministic
@@ -254,8 +303,14 @@ fn run_storm(
 /// Only configuration errors (unknown case, unbuildable workload) abort
 /// the soak; guardrail violations are reported per storm instead.
 pub fn run_soak(config: &ChaosConfig) -> Result<Vec<StormOutcome>, String> {
+    let defs: Vec<CaseDef> = config
+        .cases
+        .iter()
+        .map(|name| CaseDef::Named(name))
+        .chain(config.specs.iter().map(CaseDef::Spec))
+        .collect();
     let mut outcomes = Vec::new();
-    for case in &config.cases {
+    for case in &defs {
         let reference = reference_for(case, config.steps)?;
         for storm in 0..config.storms {
             outcomes.push(run_storm(case, config.seed + storm, config, &reference)?);
@@ -291,6 +346,59 @@ mod tests {
     fn unknown_case_is_a_configuration_error() {
         let config = ChaosConfig { cases: vec!["argon".into()], ..ChaosConfig::default() };
         assert!(run_soak(&config).unwrap_err().contains("unknown chaos case"));
+    }
+
+    /// A spec-defined BSP case storms alongside the built-ins, and its
+    /// own fault plan is stripped so the reference run is fault-free.
+    #[test]
+    fn spec_cases_storm_like_builtins() {
+        let spec = ScenarioSpec::from_json_str(
+            r#"{
+                "schema": "sc-scenario/1",
+                "name": "spec-lj-storm",
+                "system": {"kind": "lj", "cells": 7, "a": 1.5599, "temp": 1.0, "seed": 42},
+                "potential": {"kind": "lj", "cutoff": 2.5},
+                "method": "sc",
+                "executor": {"kind": "bsp", "grid": [2, 2, 2]},
+                "dt": 0.002,
+                "steps": 6,
+                "fault_plan": {"seed": 3, "count": 2, "max_crashes": 1}
+            }"#,
+        )
+        .unwrap();
+        let config = ChaosConfig {
+            cases: vec![],
+            specs: vec![spec],
+            storms: 1,
+            seed: 11,
+            steps: 6,
+            faults: 2,
+            ..ChaosConfig::default()
+        };
+        let outcomes = run_soak(&config).expect("spec soak must run");
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].case, "spec-lj-storm");
+        assert!(outcomes[0].failure.is_none(), "storm failed: {:?}", outcomes[0].failure);
+    }
+
+    /// Serial specs are configuration errors — there is nothing to crash.
+    #[test]
+    fn serial_spec_is_rejected() {
+        let spec = ScenarioSpec::from_json_str(
+            r#"{
+                "schema": "sc-scenario/1",
+                "name": "serial-nope",
+                "system": {"kind": "lj", "cells": 5, "a": 1.5599, "temp": 1.0, "seed": 42},
+                "potential": {"kind": "lj", "cutoff": 2.5},
+                "method": "sc",
+                "executor": {"kind": "serial"},
+                "dt": 0.002,
+                "steps": 4
+            }"#,
+        )
+        .unwrap();
+        let config = ChaosConfig { cases: vec![], specs: vec![spec], ..ChaosConfig::default() };
+        assert!(run_soak(&config).unwrap_err().contains("must use the bsp executor"));
     }
 
     /// The reproducer bundle is complete and machine-readable: the

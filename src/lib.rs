@@ -26,6 +26,10 @@
 //!   unified `Telemetry` snapshot.
 //! * [`netmodel`] — calibrated machine profiles used to regenerate the
 //!   paper's granularity and strong-scaling figures.
+//! * [`spec`] — declarative `sc-scenario/1` documents (JSON/TOML) and the
+//!   validating builder that instantiates them on any executor.
+//! * [`serve`] — the multi-tenant job service behind `scmd serve`:
+//!   fair-share scheduling, backpressure, and restartable jobs.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +63,8 @@ pub use sc_netmodel as netmodel;
 pub use sc_obs as obs;
 pub use sc_parallel as parallel;
 pub use sc_potential as potential;
+pub use sc_serve as serve;
+pub use sc_spec as spec;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
