@@ -75,7 +75,8 @@ fn main() {
 /// cutoffs, so the finest paper grains are unreachable serially — the
 /// distributed runtime covers those in `sc-parallel`'s tests).
 fn measured() {
-    use sc_md::{build_silica_like, Simulation, StepPhases};
+    use sc_md::{build_silica_like, Simulation};
+    use sc_obs::PhaseBreakdown;
     use sc_potential::Vashishta;
     let v = Vashishta::silica();
     let masses = v.params().masses;
@@ -135,7 +136,7 @@ fn measured() {
             .expect("valid simulation");
         sim.compute_forces(); // warm up (first call allocates the scratch pool)
         let reps = 5u32;
-        let mut phases = StepPhases::default();
+        let mut phases = PhaseBreakdown::default();
         for _ in 0..reps {
             phases.accumulate(&sim.compute_forces().phases);
         }

@@ -65,7 +65,7 @@ pub use io::{read_xyz, write_xyz, XyzError};
 pub use methods::Method;
 pub use par::{AccumulatorPool, ForceAccumulator, LaneSlots, ThreadPool};
 pub use sim::{RuntimeConfig, Simulation, SimulationBuilder};
-pub use stats::{EnergyBreakdown, StepPhases, StepStats, TupleCounts};
+pub use stats::{EnergyBreakdown, TupleCounts};
 pub use supervisor::{Recoverable, RecoveryStats, Supervisor, SupervisorConfig, SupervisorError};
 pub use telemetry::{Observer, Telemetry};
 pub use workload::{

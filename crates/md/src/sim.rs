@@ -6,7 +6,7 @@ use crate::error::BuildError;
 use crate::integrate::{berendsen_rescale, velocity_verlet_finish, velocity_verlet_start};
 use crate::methods::{Method, NeighborList};
 use crate::par::{AccumulatorPool, ForceAccumulator, LaneSlots, ThreadPool};
-use crate::stats::{EnergyBreakdown, StepStats, TupleCounts};
+use crate::stats::{EnergyBreakdown, TupleCounts};
 use crate::telemetry::{Observer, Telemetry};
 use sc_cell::{AtomStore, CellLattice};
 use sc_geom::{IVec3, SimulationBox, Vec3};
@@ -341,7 +341,7 @@ impl SimulationBuilder {
             tracer: self.runtime.tracer,
             total_phases: PhaseBreakdown::new(),
             observer: None,
-            last_stats: StepStats::default(),
+            last_stats: LastComputation::default(),
             steps_done: 0,
         })
     }
@@ -434,8 +434,20 @@ pub struct Simulation {
     tsink: TraceSink,
     total_phases: PhaseBreakdown,
     observer: Option<(u64, Box<dyn Observer>)>,
-    last_stats: StepStats,
+    last_stats: LastComputation,
     steps_done: u64,
+}
+
+/// The physics of the most recent force computation, surfaced through
+/// [`Simulation::telemetry`].
+#[derive(Debug, Clone, Copy, Default)]
+struct LastComputation {
+    energy: EnergyBreakdown,
+    tuples: TupleCounts,
+    /// Scalar virial `W = Σ_tuples Σ_k f_k · (r_k − r_ref)` over all terms —
+    /// the potential part of the pressure `P = (N k_B T + W/3) / V`.
+    virial: f64,
+    phases: PhaseBreakdown,
 }
 
 /// The simulation's parallel force-evaluation state: the persistent worker
@@ -517,12 +529,6 @@ impl Simulation {
     /// The configured method.
     pub fn method(&self) -> Method {
         self.method
-    }
-
-    /// Legacy flat snapshot of the most recent force computation — a
-    /// conversion shim; prefer [`Simulation::telemetry`].
-    pub fn last_stats(&self) -> StepStats {
-        self.last_stats
     }
 
     /// The unified telemetry snapshot: physics of the most recent force
@@ -662,7 +668,7 @@ impl Simulation {
                 virial = self.compute_hybrid(&mut energy, &mut tuples, &mut phases);
             }
         }
-        self.last_stats = StepStats { energy, tuples, virial, phases };
+        self.last_stats = LastComputation { energy, tuples, virial, phases };
         self.total_phases.accumulate(&phases);
         self.obs.computations.inc();
         for (order, (cand, acc)) in [
@@ -1085,7 +1091,7 @@ impl crate::supervisor::Recoverable for Simulation {
         self.bbox = cp.bbox();
         self.dt = cp.dt;
         self.steps_done = cp.step;
-        self.last_stats = StepStats::default();
+        self.last_stats = LastComputation::default();
         // The resort cadence is keyed on `steps_done`, which the checkpoint
         // restores; clearing the latch lets the replayed run re-sort at
         // exactly the steps the original run did (checkpoints preserve slot
@@ -1706,8 +1712,8 @@ mod tests {
         for (a, b) in fresh.store().positions().iter().zip(skinned.store().positions()) {
             assert!((*a - *b).norm() < 1e-9);
         }
-        let e_f = fresh.last_stats().energy;
-        let e_s = skinned.last_stats().energy;
+        let e_f = fresh.telemetry().energy;
+        let e_s = skinned.telemetry().energy;
         assert!((e_f.pair - e_s.pair).abs() < 1e-9 * e_f.pair.abs().max(1.0));
         assert!((e_f.triplet - e_s.triplet).abs() < 1e-9 * e_f.triplet.abs().max(1.0));
         // And the skin actually avoids rebuilds.

@@ -1,13 +1,8 @@
-//! Per-step accounting: energies, tuple-search statistics, and legacy
-//! conversion shims onto the unified [`Telemetry`](crate::Telemetry) type.
-//!
-//! Phase timing now lives in [`sc_obs::PhaseBreakdown`]; the old
-//! `StepPhases` name survives as a deprecated-style alias so downstream
-//! code migrates without a flag day.
+//! Per-step accounting: energies and tuple-search statistics. Phase timing
+//! lives in [`sc_obs::PhaseBreakdown`]; the full per-step snapshot is the
+//! unified [`Telemetry`](crate::Telemetry) type.
 
 use crate::engine::VisitStats;
-use crate::telemetry::Telemetry;
-use sc_obs::PhaseBreakdown;
 
 /// Potential-energy breakdown by n-body term (the paper's Φ₂ + Φ₃ + Φ₄,
 /// Eq. 2).
@@ -53,41 +48,9 @@ impl TupleCounts {
     }
 }
 
-/// Deprecated-style alias kept for source compatibility: phase timing is
-/// now the shared [`sc_obs::PhaseBreakdown`]. The field accesses of the old
-/// struct (`.bin_s`, `.eval_s`, …) become the getter methods `.bin_s()`,
-/// `.eval_s()`, … on the shared type. New code should name
-/// `PhaseBreakdown` directly.
-pub type StepPhases = PhaseBreakdown;
-
-/// Legacy flat snapshot of one force computation — superseded by
-/// [`Telemetry`], which adds cumulative phases, communication counters, and
-/// allocation accounting. Kept as a thin conversion shim
-/// (`StepStats::from(&telemetry)`) so existing call sites migrate in place;
-/// new code should use [`crate::Simulation::telemetry`].
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct StepStats {
-    /// Potential energies by term.
-    pub energy: EnergyBreakdown,
-    /// Search statistics by term.
-    pub tuples: TupleCounts,
-    /// Scalar virial `W = Σ_tuples Σ_k f_k · (r_k − r_ref)` over all terms —
-    /// the potential part of the pressure `P = (N k_B T + W/3) / V`.
-    pub virial: f64,
-    /// Wall-clock phase breakdown of this computation.
-    pub phases: PhaseBreakdown,
-}
-
-impl From<&Telemetry> for StepStats {
-    fn from(t: &Telemetry) -> Self {
-        StepStats { energy: t.energy, tuples: t.tuples, virial: t.virial, phases: t.phases }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sc_obs::Phase;
 
     #[test]
     fn totals() {
@@ -100,32 +63,5 @@ mod tests {
         };
         assert_eq!(t.total_candidates(), 110);
         assert_eq!(t.total_accepted(), 11);
-    }
-
-    #[test]
-    fn step_phases_alias_behaves_like_the_shared_breakdown() {
-        let mut p = StepPhases::new();
-        p.add(Phase::Bin, 1.0);
-        p.add(Phase::Exchange, 0.5);
-        p.add(Phase::Enumerate, 2.0);
-        p.add(Phase::Eval, 3.0);
-        p.add(Phase::Reduce, 0.25);
-        assert!((p.total_s() - 6.75).abs() < 1e-12);
-        let q = p;
-        p.accumulate(&q);
-        assert!((p.total_s() - 13.5).abs() < 1e-12);
-        assert_eq!(p.eval_s(), 6.0);
-    }
-
-    #[test]
-    fn step_stats_shim_converts_from_telemetry() {
-        let mut t = Telemetry::default();
-        t.energy.pair = -3.5;
-        t.virial = 1.25;
-        t.phases.add(Phase::Eval, 0.5);
-        let s = StepStats::from(&t);
-        assert_eq!(s.energy.pair, -3.5);
-        assert_eq!(s.virial, 1.25);
-        assert_eq!(s.phases.eval_s(), 0.5);
     }
 }

@@ -141,8 +141,8 @@ impl Default for SupervisorConfig {
     }
 }
 
-/// Recovery accounting, the supervision counterpart of
-/// [`crate::StepStats`].
+/// Recovery accounting, the supervision counterpart of the per-step
+/// [`crate::Telemetry`] snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Checkpoints taken.
@@ -372,7 +372,8 @@ impl Supervisor {
             });
         }
         let cp = self.last_good.clone().expect("dead-rank recovery without a checkpoint");
-        self.tsink.instant(sim.steps_done(), EventKind::Redecompose { rank: rank as u32 });
+        self.tsink
+            .instant(sim.steps_done(), EventKind::Redecompose { rank: rank as u32, lost: true });
         sim.restore_excluding(&cp, &[rank])
             .map_err(|detail| SupervisorError::RankLost { rank, detail })?;
         self.redecompositions += 1;
@@ -682,8 +683,11 @@ mod tests {
         assert_eq!(s.redecompositions, 1);
         assert_eq!(s.ranks_lost, 1);
         assert_eq!(s.rollbacks, 0, "rank death takes the re-decomposition rung, not rollback");
-        let marks =
-            tracer.events().iter().filter(|e| e.kind == EventKind::Redecompose { rank: 2 }).count();
+        let marks = tracer
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Redecompose { rank: 2, lost: true })
+            .count();
         assert_eq!(marks, 1);
     }
 

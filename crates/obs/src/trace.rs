@@ -86,23 +86,31 @@ pub enum EventKind {
     Phase(Phase),
     /// A message sent to `peer` (instantaneous).
     Send {
-        /// Channel class of the message.
+        /// Channel class of the message (a batched frame reports the
+        /// channel of its first section).
         channel: CommChannel,
         /// Destination rank.
         peer: u32,
         /// Payload wire bytes.
         bytes: u64,
+        /// Per-channel sections packed in this wire unit (1 for a bare
+        /// message, ≥ 1 for an aggregated frame).
+        sections: u16,
         /// Validated-exchange epoch the message was stamped with.
         epoch: u64,
     },
     /// A message received from `peer` (instantaneous).
     Recv {
-        /// Channel class of the message.
+        /// Channel class of the message (a batched frame reports the
+        /// channel of its first section).
         channel: CommChannel,
         /// Source rank.
         peer: u32,
         /// Payload wire bytes.
         bytes: u64,
+        /// Per-channel sections packed in this wire unit (1 for a bare
+        /// message, ≥ 1 for an aggregated frame).
+        sections: u16,
         /// Validated-exchange epoch the message was stamped with.
         epoch: u64,
     },
@@ -120,11 +128,16 @@ pub enum EventKind {
         /// The new state code (0 healthy / 1 suspect / 2 dead).
         state: u8,
     },
-    /// The runtime re-decomposed onto a surviving rank set after a rank
-    /// was declared dead.
+    /// The runtime re-decomposed the rank grid: either onto a surviving
+    /// rank set after a rank was declared dead (`lost`), or as an adaptive
+    /// load-balance refit with every rank retained.
     Redecompose {
-        /// The rank that was excluded from the new decomposition.
+        /// `lost`: the rank excluded from the new decomposition.
+        /// Otherwise: the rank count of the refit grid.
         rank: u32,
+        /// Whether a rank was lost (crash recovery) as opposed to an
+        /// adaptive rebalance.
+        lost: bool,
     },
 }
 
@@ -157,26 +170,28 @@ const TAG_REDECOMP: u64 = 7;
 /// Encodes an event into ring words `w1..w7` (`w0` is the sequence word,
 /// written by the ring itself).
 fn encode(ev: &TraceEvent) -> [u64; WORDS - 1] {
-    let (tag, code, peer, bytes, epoch) = match ev.kind {
-        EventKind::Phase(p) => (TAG_PHASE, p.index() as u64, 0, 0, 0),
-        EventKind::Send { channel, peer, bytes, epoch } => {
-            (TAG_SEND, channel.code(), peer, bytes, epoch)
+    // Word 4 layout: tag in bits 56..63, code in 48..55, the send/recv
+    // section count in 32..47, peer in 0..31.
+    let (tag, code, peer, bytes, epoch, sections) = match ev.kind {
+        EventKind::Phase(p) => (TAG_PHASE, p.index() as u64, 0, 0, 0, 0),
+        EventKind::Send { channel, peer, bytes, epoch, sections } => {
+            (TAG_SEND, channel.code(), peer, bytes, epoch, sections)
         }
-        EventKind::Recv { channel, peer, bytes, epoch } => {
-            (TAG_RECV, channel.code(), peer, bytes, epoch)
+        EventKind::Recv { channel, peer, bytes, epoch, sections } => {
+            (TAG_RECV, channel.code(), peer, bytes, epoch, sections)
         }
-        EventKind::Checkpoint => (TAG_CHECKPOINT, 0, 0, 0, 0),
-        EventKind::Rollback => (TAG_ROLLBACK, 0, 0, 0, 0),
-        EventKind::Fault => (TAG_FAULT, 0, 0, 0, 0),
-        EventKind::Health { peer, state } => (TAG_HEALTH, state as u64, peer, 0, 0),
-        EventKind::Redecompose { rank } => (TAG_REDECOMP, 0, rank, 0, 0),
+        EventKind::Checkpoint => (TAG_CHECKPOINT, 0, 0, 0, 0, 0),
+        EventKind::Rollback => (TAG_ROLLBACK, 0, 0, 0, 0, 0),
+        EventKind::Fault => (TAG_FAULT, 0, 0, 0, 0, 0),
+        EventKind::Health { peer, state } => (TAG_HEALTH, state as u64, peer, 0, 0, 0),
+        EventKind::Redecompose { rank, lost } => (TAG_REDECOMP, lost as u64, rank, 0, 0, 0),
     };
     [
         ev.t_ns,
         ev.dur_ns,
         ev.step,
         (ev.rank as u64) << 32 | ev.lane as u64,
-        tag << 56 | code << 48 | peer as u64,
+        tag << 56 | code << 48 | (sections as u64) << 32 | peer as u64,
         bytes,
         epoch,
     ]
@@ -185,6 +200,7 @@ fn encode(ev: &TraceEvent) -> [u64; WORDS - 1] {
 fn decode(words: &[u64; WORDS - 1]) -> Option<TraceEvent> {
     let tag = words[4] >> 56;
     let code = (words[4] >> 48) & 0xff;
+    let sections = ((words[4] >> 32) & 0xffff) as u16;
     let peer = (words[4] & 0xffff_ffff) as u32;
     let kind = match tag {
         TAG_PHASE => EventKind::Phase(Phase::from_index(code as usize)?),
@@ -192,12 +208,14 @@ fn decode(words: &[u64; WORDS - 1]) -> Option<TraceEvent> {
             channel: CommChannel::from_code(code)?,
             peer,
             bytes: words[5],
+            sections,
             epoch: words[6],
         },
         TAG_RECV => EventKind::Recv {
             channel: CommChannel::from_code(code)?,
             peer,
             bytes: words[5],
+            sections,
             epoch: words[6],
         },
         TAG_CHECKPOINT => EventKind::Checkpoint,
@@ -209,7 +227,7 @@ fn decode(words: &[u64; WORDS - 1]) -> Option<TraceEvent> {
             }
             EventKind::Health { peer, state: code as u8 }
         }
-        TAG_REDECOMP => EventKind::Redecompose { rank: peer },
+        TAG_REDECOMP => EventKind::Redecompose { rank: peer, lost: code != 0 },
         _ => return None,
     };
     Some(TraceEvent {
@@ -445,14 +463,34 @@ impl TraceSink {
         }
     }
 
-    /// Emits a send event.
-    pub fn send(&self, step: u64, channel: CommChannel, peer: u32, bytes: u64, epoch: u64) {
-        self.instant(step, EventKind::Send { channel, peer, bytes, epoch });
+    /// Emits a send event for a wire unit of `sections` per-channel
+    /// sections (1 for a bare message).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send(
+        &self,
+        step: u64,
+        channel: CommChannel,
+        peer: u32,
+        bytes: u64,
+        sections: u16,
+        epoch: u64,
+    ) {
+        self.instant(step, EventKind::Send { channel, peer, bytes, sections, epoch });
     }
 
-    /// Emits a receive event.
-    pub fn recv(&self, step: u64, channel: CommChannel, peer: u32, bytes: u64, epoch: u64) {
-        self.instant(step, EventKind::Recv { channel, peer, bytes, epoch });
+    /// Emits a receive event for a wire unit of `sections` per-channel
+    /// sections (1 for a bare message).
+    #[allow(clippy::too_many_arguments)]
+    pub fn recv(
+        &self,
+        step: u64,
+        channel: CommChannel,
+        peer: u32,
+        bytes: u64,
+        sections: u16,
+        epoch: u64,
+    ) {
+        self.instant(step, EventKind::Recv { channel, peer, bytes, sections, epoch });
     }
 }
 
@@ -495,8 +533,8 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                 fields.push(("args".to_string(), Json::Obj(vec![step])));
                 Json::Obj(fields)
             }
-            EventKind::Send { channel, peer, bytes, epoch }
-            | EventKind::Recv { channel, peer, bytes, epoch } => {
+            EventKind::Send { channel, peer, bytes, sections, epoch }
+            | EventKind::Recv { channel, peer, bytes, sections, epoch } => {
                 let dir = if matches!(ev.kind, EventKind::Send { .. }) { "send" } else { "recv" };
                 let mut fields = base(format!("{dir} {}", channel.name()), "i");
                 fields.push(("s".to_string(), Json::str("t")));
@@ -508,6 +546,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                         ("channel".to_string(), Json::str(channel.name())),
                         ("peer".to_string(), Json::num(peer as f64)),
                         ("bytes".to_string(), Json::num(bytes as f64)),
+                        ("sections".to_string(), Json::num(sections as f64)),
                         ("epoch".to_string(), Json::num(epoch as f64)),
                     ]),
                 ));
@@ -544,13 +583,18 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                 ));
                 Json::Obj(fields)
             }
-            EventKind::Redecompose { rank } => {
-                let mut fields = base(format!("re-decompose (lost rank {rank})"), "i");
+            EventKind::Redecompose { rank, lost } => {
+                let (label, cat, key) = if lost {
+                    (format!("re-decompose (lost rank {rank})"), "recovery", "lost_rank")
+                } else {
+                    (format!("re-decompose (rebalance, {rank} ranks)"), "rebalance", "ranks")
+                };
+                let mut fields = base(label, "i");
                 fields.push(("s".to_string(), Json::str("g")));
-                fields.push(("cat".to_string(), Json::str("recovery")));
+                fields.push(("cat".to_string(), Json::str(cat)));
                 fields.push((
                     "args".to_string(),
-                    Json::Obj(vec![step, ("lost_rank".to_string(), Json::num(rank as f64))]),
+                    Json::Obj(vec![step, (key.to_string(), Json::num(rank as f64))]),
                 ));
                 Json::Obj(fields)
             }
@@ -577,7 +621,7 @@ mod tests {
         let sink = tr.sink(0, 0);
         assert!(!sink.enabled());
         sink.phase(1, Phase::Eval, 0, 100);
-        sink.send(1, CommChannel::Ghosts, 2, 64, 1);
+        sink.send(1, CommChannel::Ghosts, 2, 64, 1, 1);
         sink.instant(1, EventKind::Checkpoint);
         assert_eq!(sink.now_ns(), 0, "disabled sink must not read the clock");
         assert_eq!(tr.now_ns(), 0);
@@ -590,8 +634,8 @@ mod tests {
         let tr = Tracer::new();
         let sink = tr.sink(3, 1);
         sink.phase(7, Phase::Enumerate, 100, 50);
-        sink.send(7, CommChannel::Forces, 5, 4096, 7);
-        sink.recv(7, CommChannel::Migrate, 2, 128, 7);
+        sink.send(7, CommChannel::Forces, 5, 4096, 3, 7);
+        sink.recv(7, CommChannel::Migrate, 2, 128, 1, 7);
         sink.instant(8, EventKind::Rollback);
         let evs = tr.events();
         assert_eq!(evs.len(), 4);
@@ -602,11 +646,23 @@ mod tests {
         assert_eq!(evs[0].lane, 1);
         assert_eq!(
             evs[1].kind,
-            EventKind::Send { channel: CommChannel::Forces, peer: 5, bytes: 4096, epoch: 7 }
+            EventKind::Send {
+                channel: CommChannel::Forces,
+                peer: 5,
+                bytes: 4096,
+                sections: 3,
+                epoch: 7
+            }
         );
         assert_eq!(
             evs[2].kind,
-            EventKind::Recv { channel: CommChannel::Migrate, peer: 2, bytes: 128, epoch: 7 }
+            EventKind::Recv {
+                channel: CommChannel::Migrate,
+                peer: 2,
+                bytes: 128,
+                sections: 1,
+                epoch: 7
+            }
         );
         assert_eq!(evs[3].kind, EventKind::Rollback);
         assert_eq!(evs[3].step, 8);
@@ -618,17 +674,20 @@ mod tests {
         let sink = tr.sink(0, 0);
         sink.instant(4, EventKind::Health { peer: 6, state: 1 });
         sink.instant(5, EventKind::Health { peer: 6, state: 2 });
-        sink.instant(5, EventKind::Redecompose { rank: 6 });
+        sink.instant(5, EventKind::Redecompose { rank: 6, lost: true });
+        sink.instant(6, EventKind::Redecompose { rank: 8, lost: false });
         let evs = tr.events();
-        assert_eq!(evs.len(), 3);
+        assert_eq!(evs.len(), 4);
         assert_eq!(evs[0].kind, EventKind::Health { peer: 6, state: 1 });
         assert_eq!(evs[1].kind, EventKind::Health { peer: 6, state: 2 });
-        assert_eq!(evs[2].kind, EventKind::Redecompose { rank: 6 });
+        assert_eq!(evs[2].kind, EventKind::Redecompose { rank: 6, lost: true });
+        assert_eq!(evs[3].kind, EventKind::Redecompose { rank: 8, lost: false });
         // The chrome exporter labels the transitions for the timeline.
         let doc = chrome_trace(&evs).to_string();
         assert!(doc.contains("rank 6 suspect"), "{doc}");
         assert!(doc.contains("rank 6 dead"), "{doc}");
         assert!(doc.contains("re-decompose (lost rank 6)"), "{doc}");
+        assert!(doc.contains("re-decompose (rebalance, 8 ranks)"), "{doc}");
     }
 
     #[test]
@@ -704,7 +763,7 @@ mod tests {
         let s0 = tr.sink(0, 0);
         let s1 = tr.sink(1, 0);
         s0.phase(1, Phase::Eval, 1000, 500);
-        s1.send(1, CommChannel::Ghosts, 0, 64, 1);
+        s1.send(1, CommChannel::Ghosts, 0, 64, 2, 1);
         s1.instant(2, EventKind::Checkpoint);
         let doc = chrome_trace(&tr.events());
         let text = doc.to_string();
@@ -720,5 +779,6 @@ mod tests {
             rows.iter().find(|r| r.get("name").unwrap().as_str() == Some("send ghosts")).unwrap();
         assert_eq!(send_row.get("ph").unwrap().as_str(), Some("i"));
         assert_eq!(send_row.get("args").unwrap().get("bytes").unwrap().as_f64(), Some(64.0));
+        assert_eq!(send_row.get("args").unwrap().get("sections").unwrap().as_f64(), Some(2.0));
     }
 }

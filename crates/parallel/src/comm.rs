@@ -1,29 +1,16 @@
 //! Communication plans and accounting.
 //!
-//! The accounting types now live in `sc-obs` so the serial engine, both
+//! The accounting types live in `sc-obs` so the serial engine, both
 //! executors, and the benchmark bins share one vocabulary:
-//! [`sc_obs::CommCounters`] (re-exported, with the legacy [`CommStats`]
-//! alias) and [`sc_obs::PhaseBreakdown`] (legacy [`PhaseTimings`] alias).
+//! [`sc_obs::CommCounters`] (re-exported here) for the empirical
+//! counterpart of Eq. 31 (`T_comm = c_bw·V_import + c_lat·n_msg`) and
+//! [`sc_obs::PhaseBreakdown`] for the Eq. 30 wall-clock decomposition.
 
 use crate::error::SetupError;
 use sc_md::Method;
 use serde::{Deserialize, Serialize};
 
 pub use sc_obs::CommCounters;
-
-/// Legacy alias: per-rank communication accounting — the empirical
-/// counterpart of the paper's `T_comm = c_bw·V_import + c_lat·n_msg`
-/// (Eq. 31) — is now the shared [`sc_obs::CommCounters`]. New code should
-/// name `CommCounters` directly.
-pub type CommStats = CommCounters;
-
-/// Legacy alias: the wall-clock step breakdown — the executable counterpart
-/// of the paper's `T = T_compute + T_comm` decomposition (Eq. 30) — is now
-/// the shared [`sc_obs::PhaseBreakdown`]. The old struct's fields
-/// (`.migrate_s`, `.exchange_s`, …) become the getter methods
-/// `.migrate_s()`, `.exchange_s()`, …; new code should name
-/// `PhaseBreakdown` directly.
-pub type PhaseTimings = sc_obs::PhaseBreakdown;
 
 /// One routing hop: `(axis, recv_dir)` — the rank receives ghosts from its
 /// `recv_dir` neighbour along `axis` (and therefore *sends* its own boundary
@@ -83,11 +70,11 @@ impl GhostPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sc_obs::Phase;
+    use sc_obs::{Phase, PhaseBreakdown};
 
     #[test]
-    fn phase_timings_alias_keeps_the_paper_decomposition() {
-        let mut t = PhaseTimings::new();
+    fn phase_breakdown_keeps_the_paper_decomposition() {
+        let mut t = PhaseBreakdown::new();
         t.add(Phase::Migrate, 1.0);
         t.add(Phase::Exchange, 2.0);
         t.add(Phase::Compute, 5.0);
@@ -95,7 +82,7 @@ mod tests {
         t.add(Phase::Integrate, 1.0);
         assert_eq!(t.total_s(), 10.0);
         assert!((t.comm_fraction() - 0.4).abs() < 1e-12);
-        assert_eq!(PhaseTimings::default().comm_fraction(), 0.0);
+        assert_eq!(PhaseBreakdown::default().comm_fraction(), 0.0);
     }
 
     #[test]
@@ -127,14 +114,14 @@ mod tests {
 
     #[test]
     fn stats_accounting() {
-        let mut s = CommStats::default();
+        let mut s = CommCounters::default();
         s.record_send(3, 100);
         s.record_send(3, 50);
         s.record_send(5, 10);
         assert_eq!(s.messages, 3);
         assert_eq!(s.bytes, 160);
         assert_eq!(s.partners.len(), 2);
-        let mut t = CommStats::default();
+        let mut t = CommCounters::default();
         t.record_send(7, 1);
         t.merge(&s);
         assert_eq!(t.messages, 4);

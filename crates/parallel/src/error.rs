@@ -49,6 +49,14 @@ pub enum SetupError {
         /// The offending grid dimensions.
         pdims: [i32; 3],
     },
+    /// Weighted rank-grid cut planes are malformed: wrong count, not
+    /// strictly increasing, or outside the open box interval.
+    BadGridCuts {
+        /// The failing axis.
+        axis: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
     /// The decomposition did not claim every atom exactly once.
     AtomsLost {
         /// Atoms in the input store.
@@ -81,6 +89,9 @@ impl fmt::Display for SetupError {
             }
             SetupError::BadRankGrid { pdims } => {
                 write!(f, "rank grid dims {pdims:?} must all be ≥ 1")
+            }
+            SetupError::BadGridCuts { axis, reason } => {
+                write!(f, "rank grid cuts along axis {axis}: {reason}")
             }
             SetupError::AtomsLost { expected, claimed } => {
                 write!(f, "decomposition claimed {claimed} of {expected} atoms")

@@ -1,23 +1,31 @@
 //! Bulk-synchronous executor: deterministic reference implementation of the
 //! distributed MD step, with validated message delivery, scriptable fault
-//! injection, and checkpoint/rollback support.
+//! injection, checkpoint/rollback support, and the communication-optimal
+//! schedule from [`crate::transport`]: per-neighbor message aggregation,
+//! compute/communication overlap over interior cells, and adaptive load
+//! rebalancing of the rank grid.
 
-use crate::comm::{CommStats, GhostPlan, PhaseTimings};
+use crate::comm::GhostPlan;
 use crate::error::{RuntimeError, SetupError};
 use crate::fault::{Delivery, FaultPlan};
 use crate::grid::RankGrid;
 use crate::health::{HealthConfig, HealthCounters, HealthTracker};
-use crate::msg::{AtomMsg, Channel, ForceMsg, GhostMsg, Message, Payload};
+use crate::msg::{Channel, GhostMsg, Message, Payload};
 use crate::rank::{
-    best_grid_for, validate_decomposition, ForceField, RankState, DEFAULT_RESORT_EVERY,
+    best_grid_for, halo_width_for, validate_decomposition, ForceField, InteriorTask, RankState,
+    DEFAULT_RESORT_EVERY,
 };
+use crate::transport::{self, CommConfig, Slot};
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
 use sc_md::checkpoint::{Checkpoint, SnapshotLayout};
 use sc_md::supervisor::Recoverable;
-use sc_md::{EnergyBreakdown, LaneSlots, Observer, StepPhases, Telemetry, ThreadPool, TupleCounts};
+use sc_md::{EnergyBreakdown, LaneSlots, Observer, Telemetry, ThreadPool, TupleCounts};
 use sc_obs::trace::EventKind;
-use sc_obs::{Counter, Histogram, Phase, Registry, TraceSink, Tracer};
+use sc_obs::{
+    CommCounters, Counter, Histogram, ImbalanceReport, Phase, PhaseBreakdown, Registry, TraceSink,
+    Tracer,
+};
 
 /// Retries after a failed delivery before escalating (so each hop gets
 /// `1 + MAX_RETRIES` attempts). Two retries cover every single-fault
@@ -25,20 +33,35 @@ use sc_obs::{Counter, Histogram, Phase, Registry, TraceSink, Tracer};
 /// stall) while keeping worst-case latency bounded.
 const MAX_RETRIES: u32 = 2;
 
-/// Delivers `msg` from `from` to `to` through the fault plan, verifying the
-/// stamp on arrival and retrying (the sender re-sends its buffered copy) up
-/// to [`MAX_RETRIES`] times. Detected faults and retries are recorded in the
-/// sender's `stats`; every attempt's outcome also feeds the `health`
-/// watchdog, whose transitions are emitted as [`EventKind::Health`] events
-/// on `sink`. A sender the watchdog has declared dead escalates as
-/// [`RuntimeError::RankDead`] instead of the per-delivery fault — the signal
-/// for the supervisor to re-decompose rather than roll back.
+/// Verifies every section of a batched frame against its own stamp, so
+/// in-frame corruption is detected — and retried at frame granularity —
+/// before the receiver unpacks anything. Bare (un-aggregated) messages have
+/// no inner sections and pass through.
+fn verify_sections(m: &Message, to: usize, epoch: u64) -> Result<(), RuntimeError> {
+    if let Payload::Batch(secs) = &m.payload {
+        for s in secs {
+            s.verify(to, epoch, s.channel)?;
+        }
+    }
+    Ok(())
+}
+
+/// Delivers one wire unit (a bare message or an aggregated frame) from
+/// `from` to `to` through the fault plan, verifying the outer stamp — and
+/// each section's stamp — on arrival and retrying (the sender re-sends its
+/// buffered copy) up to [`MAX_RETRIES`] times. Detected faults and retries
+/// are recorded in the sender's `stats`; every attempt's outcome also feeds
+/// the `health` watchdog, whose transitions are emitted as
+/// [`EventKind::Health`] events on `sink`. A sender the watchdog has
+/// declared dead escalates as [`RuntimeError::RankDead`] instead of the
+/// per-delivery fault — the signal for the supervisor to re-decompose
+/// rather than roll back.
 #[allow(clippy::too_many_arguments)]
 fn deliver_validated(
     fault: &mut FaultPlan,
     health: &mut HealthTracker,
     sink: &TraceSink,
-    stats: &mut CommStats,
+    stats: &mut CommCounters,
     epoch: u64,
     from: usize,
     to: usize,
@@ -46,6 +69,20 @@ fn deliver_validated(
     msg: Message,
 ) -> Result<Message, RuntimeError> {
     let class = channel.trace_class();
+    // Inert plan: the delivery cannot be dropped, delayed, or corrupted, so
+    // skip the retransmission copy and hand the message straight across.
+    // Verification and watchdog feeding stay identical to the slow path.
+    if fault.is_inert() {
+        msg.verify(to, epoch, channel)?;
+        verify_sections(&msg, to, epoch)?;
+        if let Some(state) = health.record_success(from, class, epoch) {
+            sink.instant(epoch, EventKind::Health { peer: from as u32, state: state.code() });
+        }
+        if health.is_dead(from) {
+            return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
+        }
+        return Ok(msg);
+    }
     let mut attempts = 0u32;
     loop {
         attempts += 1;
@@ -56,23 +93,25 @@ fn deliver_validated(
         // for retransmission.
         let outcome = fault.transmit(epoch, from, msg.clone());
         let err = match outcome {
-            Delivery::Deliver(m) => match m.verify(to, epoch, channel) {
-                Ok(()) => {
-                    if let Some(state) = health.record_success(from, class, epoch) {
-                        sink.instant(
-                            epoch,
-                            EventKind::Health { peer: from as u32, state: state.code() },
-                        );
+            Delivery::Deliver(m) => {
+                match m.verify(to, epoch, channel).and_then(|()| verify_sections(&m, to, epoch)) {
+                    Ok(()) => {
+                        if let Some(state) = health.record_success(from, class, epoch) {
+                            sink.instant(
+                                epoch,
+                                EventKind::Health { peer: from as u32, state: state.code() },
+                            );
+                        }
+                        // A flapping link can trip the circuit breaker on the
+                        // very delivery that succeeded; death still wins.
+                        if health.is_dead(from) {
+                            return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
+                        }
+                        return Ok(m);
                     }
-                    // A flapping link can trip the circuit breaker on the
-                    // very delivery that succeeded; death still wins.
-                    if health.is_dead(from) {
-                        return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
-                    }
-                    return Ok(m);
+                    Err(e) => e,
                 }
-                Err(e) => e,
-            },
+            }
             Delivery::Lost { stalled } => {
                 if stalled {
                     RuntimeError::RankStalled { rank: from, epoch, attempts }
@@ -94,11 +133,149 @@ fn deliver_validated(
     }
 }
 
+/// Runs one merged exchange phase on the wire: frames every rank's stamped
+/// sections per destination ([`transport::frame_sections`]), delivers each
+/// frame through the fault plan with validation and retry, and hands every
+/// receiver its payloads in canonical slot order
+/// ([`transport::match_sections`]).
+///
+/// Counter discipline (bytes are counted once): `record_send` and the trace
+/// Send/Recv events fire **once per wire unit** with the frame's total
+/// payload bytes and its section count — never again per section — so
+/// `comm.messages`, `comm.bytes`, and the `comm.step_bytes` histogram see
+/// aggregated traffic exactly once.
+#[allow(clippy::too_many_arguments)]
+fn wire_phase(
+    aggregation: bool,
+    phase: u64,
+    epoch: u64,
+    fault: &mut FaultPlan,
+    health: &mut HealthTracker,
+    exec_sink: &TraceSink,
+    tsinks: &[TraceSink],
+    stats: &mut [CommCounters],
+    sends: Vec<Vec<(usize, Message)>>,
+    recvs: &[Vec<Slot>],
+) -> Result<Vec<Vec<Payload>>, RuntimeError> {
+    let nranks = recvs.len();
+    let mut units: Vec<Vec<(usize, Message)>> = vec![Vec::new(); nranks];
+    for (from, sections) in sends.into_iter().enumerate() {
+        for (to, unit) in transport::frame_sections(aggregation, phase, epoch, sections) {
+            let bytes = unit.payload.wire_bytes();
+            let nsec = unit.payload.section_count() as u16;
+            let class = unit.channel.trace_class();
+            stats[from].record_send(to, bytes);
+            tsinks[from].send(epoch, class, to as u32, bytes, nsec, epoch);
+            // The k-th unit from `from` fills the k-th canonical receive
+            // slot `to` expects from that source (k > 0 only without
+            // aggregation).
+            let already = units[to].iter().filter(|(f, _)| *f == from).count();
+            let expected = recvs[to]
+                .iter()
+                .filter(|s| s.peer == from)
+                .nth(already)
+                .map(|s| s.channel)
+                .unwrap_or(unit.channel);
+            let got = deliver_validated(
+                fault, health, exec_sink, &mut stats[from], epoch, from, to, expected, unit,
+            )?;
+            tsinks[to].recv(epoch, class, from as u32, bytes, nsec, epoch);
+            units[to].push((from, got));
+        }
+    }
+    let mut out = Vec::with_capacity(nranks);
+    for (rank, u) in units.into_iter().enumerate() {
+        out.push(transport::match_sections(rank, epoch, &recvs[rank], u)?);
+    }
+    Ok(out)
+}
+
+/// The result of a staged (overlapped) ghost exchange: everything the
+/// executor needs to absorb once the interior compute pass joins.
+struct StagedGhosts {
+    /// Per destination rank: `(hop, from, ghosts)` in canonical absorb
+    /// order (phase order, then ascending hop within a phase).
+    inbox: Vec<Vec<(usize, usize, Vec<GhostMsg>)>>,
+    /// Side communication counters per source rank, merged into the rank
+    /// stats after the join.
+    stats: Vec<CommCounters>,
+    /// The executor phase counter after the ghost phases.
+    phase: u64,
+    /// The exchange thread's own wall-clock seconds.
+    elapsed: f64,
+}
+
+/// The full forwarded-routing ghost exchange run on a side thread while the
+/// main thread computes interior tuples: identical wire schedule, framing,
+/// validation, and fault handling to the in-line exchange, but received
+/// bands are *staged* instead of absorbed (the rank stores are concurrently
+/// read by the interior pass). Forwarding across axes reads earlier-phase
+/// bands from the staging inbox ([`RankState::collect_ghost_band_staged`]),
+/// so the staged exchange ships exactly the bytes the in-line one does.
+#[allow(clippy::too_many_arguments)]
+fn staged_exchange(
+    grid: &RankGrid,
+    plan: &GhostPlan,
+    ranks: &[RankState],
+    fault: &mut FaultPlan,
+    health: &mut HealthTracker,
+    exec_sink: &TraceSink,
+    tsinks: &[TraceSink],
+    aggregation: bool,
+    epoch: u64,
+    mut phase: u64,
+) -> Result<StagedGhosts, RuntimeError> {
+    let t0 = std::time::Instant::now();
+    let nranks = ranks.len();
+    let mut inbox: Vec<Vec<(usize, usize, Vec<GhostMsg>)>> = vec![Vec::new(); nranks];
+    let mut stats = vec![CommCounters::default(); nranks];
+    for hops in transport::ghost_phase_groups(plan) {
+        phase += 1;
+        let mut sends = Vec::with_capacity(nranks);
+        let mut recvs = Vec::with_capacity(nranks);
+        for (r, rank) in ranks.iter().enumerate() {
+            let (slots, rx) = transport::ghost_phase(grid, plan, r, &hops);
+            let mut secs = Vec::with_capacity(slots.len());
+            for (slot, &hop) in slots.iter().zip(&hops) {
+                let (axis, recv_dir) = plan.hops[hop];
+                let band = rank.collect_ghost_band_staged(plan, axis, recv_dir, &inbox[r]);
+                secs.push((
+                    slot.peer,
+                    Message::stamped(phase, epoch, slot.channel, Payload::Ghosts(band)),
+                ));
+            }
+            sends.push(secs);
+            recvs.push(rx);
+        }
+        let delivered = wire_phase(
+            aggregation, phase, epoch, fault, health, exec_sink, tsinks, &mut stats, sends, &recvs,
+        )?;
+        for (to, payloads) in delivered.into_iter().enumerate() {
+            for ((slot, &hop), payload) in recvs[to].iter().zip(&hops).zip(payloads) {
+                let Payload::Ghosts(ghosts) = payload else {
+                    return Err(RuntimeError::WrongPayload { rank: to, channel: slot.channel });
+                };
+                inbox[to].push((hop, slot.peer, ghosts));
+            }
+        }
+    }
+    Ok(StagedGhosts { inbox, stats, phase, elapsed: t0.elapsed().as_secs_f64() })
+}
+
 /// A distributed MD simulation executed bulk-synchronously: all ranks run
 /// each phase in lockstep with messages delivered between phases. Message
 /// content and counts are identical to the threaded executor — only the
 /// scheduling differs — so this is the deterministic reference for
 /// correctness tests and communication accounting.
+///
+/// The exchange schedule is the merged one from [`crate::transport`]: three
+/// migration phases, three ghost phases, and three force-return phases per
+/// step, with all per-channel payloads bound for the same neighbor packed
+/// into one framed message per phase (when [`CommConfig::aggregation`] is
+/// on). Interior-cell tuples are computed while the boundary exchange is in
+/// flight (when [`CommConfig::overlap`] is on); both flags are
+/// bitwise-neutral — they change message packing and scheduling, never
+/// results.
 ///
 /// Every delivery goes through the [`FaultPlan`] (a no-op by default) and is
 /// verified against its stamp on arrival; [`DistributedSim::try_step`]
@@ -116,14 +293,15 @@ pub struct DistributedSim {
     steps_done: u64,
     needs_prime: bool,
     fault_plan: FaultPlan,
+    comm: CommConfig,
     phase: u64,
     last_energy: EnergyBreakdown,
     last_tuples: TupleCounts,
-    timings: PhaseTimings,
+    timings: PhaseBreakdown,
     pool: ThreadPool,
     // Per-rank (energy, tuples, phases) slots reused every compute call so
     // the compute fan-out allocates nothing in steady state.
-    results: Vec<(EnergyBreakdown, TupleCounts, StepPhases)>,
+    results: Vec<(EnergyBreakdown, TupleCounts, PhaseBreakdown)>,
     registry: Registry,
     obs: DistMetrics,
     tracer: Tracer,
@@ -134,7 +312,14 @@ pub struct DistributedSim {
     exec_sink: TraceSink,
     /// Aggregate counters at the end of the previous step, so the registry
     /// is fed per-step deltas rather than re-counted totals.
-    last_totals: CommStats,
+    last_totals: CommCounters,
+    /// Counters of rank sets retired by adaptive rebalancing, folded into
+    /// [`DistributedSim::comm_stats`] so aggregate totals stay monotone
+    /// across re-decompositions.
+    carried: CommCounters,
+    /// Per-rank compute-seconds baseline at the last rebalance, so each
+    /// rebalance window measures fresh load deltas.
+    last_loads: Vec<f64>,
     observer: Option<(u64, Box<dyn Observer>)>,
     /// The per-rank deadline watchdog / circuit breaker.
     health: HealthTracker,
@@ -216,8 +401,9 @@ impl DistributedSim {
         let grid = RankGrid::try_new(pdims, bbox)?;
         let width = validate_decomposition(&ff, &grid)?;
         let plan = GhostPlan::for_method(ff.method, width)?;
-        let ranks: Vec<RankState> =
-            (0..grid.len()).map(|r| RankState::new_subdivided(r, grid, &store, &ff, k)).collect();
+        let ranks: Vec<RankState> = (0..grid.len())
+            .map(|r| RankState::new_subdivided(r, grid.clone(), &store, &ff, k))
+            .collect();
         let total: usize = ranks.iter().map(|r| r.owned()).sum();
         if total != store.len() {
             return Err(SetupError::AtomsLost { expected: store.len(), claimed: total });
@@ -235,10 +421,11 @@ impl DistributedSim {
             steps_done: 0,
             needs_prime: true,
             fault_plan: FaultPlan::none(),
+            comm: CommConfig::default(),
             phase: 0,
             last_energy: EnergyBreakdown::default(),
             last_tuples: TupleCounts::default(),
-            timings: PhaseTimings::default(),
+            timings: PhaseBreakdown::default(),
             pool: ThreadPool::auto(),
             results: vec![Default::default(); nranks],
             obs: DistMetrics::register(&registry),
@@ -246,12 +433,27 @@ impl DistributedSim {
             tracer: Tracer::disabled(),
             tsinks: vec![TraceSink::disabled(); nranks],
             exec_sink: TraceSink::disabled(),
-            last_totals: CommStats::default(),
+            last_totals: CommCounters::default(),
+            carried: CommCounters::default(),
+            last_loads: vec![0.0; nranks],
             observer: None,
             health: HealthTracker::new(nranks, HealthConfig::default()),
             last_health: HealthCounters::default(),
             degraded: false,
         })
+    }
+
+    /// Replaces the communication configuration (per-neighbor aggregation,
+    /// compute/communication overlap, rebalance cadence). All settings are
+    /// bitwise-neutral: they change message packing and scheduling, never
+    /// physics.
+    pub fn set_comm_config(&mut self, comm: CommConfig) {
+        self.comm = comm;
+    }
+
+    /// The communication configuration in force.
+    pub fn comm_config(&self) -> CommConfig {
+        self.comm
     }
 
     /// Replaces the health watchdog's thresholds (all ranks reset to
@@ -341,6 +543,22 @@ impl DistributedSim {
         }
     }
 
+    /// The per-rank load-imbalance report, with the Eq. 33 import-volume
+    /// prediction `Vω = (l + n − 1)³ − l³` attached for the largest active
+    /// tuple order (`l` = cells per sub-box side at that term's cutoff), so
+    /// measured ghost imports can be checked against the paper's model per
+    /// decomposition.
+    pub fn imbalance_report(&self) -> ImbalanceReport {
+        let per_rank: Vec<CommCounters> = self.ranks.iter().map(|r| r.stats.clone()).collect();
+        let mut rep = ImbalanceReport::from_per_rank(&per_rank);
+        if let Some((n, rcut)) = self.ff.terms().into_iter().max_by_key(|&(n, _)| n) {
+            let sub = self.grid.rank_box_lengths();
+            let l = (sub.x.min(sub.y).min(sub.z) / rcut).floor().max(1.0);
+            rep = rep.with_import_prediction(l, n as u32);
+        }
+        rep
+    }
+
     /// The rank grid.
     pub fn grid(&self) -> &RankGrid {
         &self.grid
@@ -416,15 +634,17 @@ impl DistributedSim {
         self.potential_energy() + self.kinetic_energy()
     }
 
-    /// Accumulated wall-clock phase breakdown since construction.
-    pub fn timings(&self) -> PhaseTimings {
+    /// Accumulated wall-clock phase breakdown since construction. Under
+    /// compute/communication overlap the exchange and compute slots cover
+    /// concurrent intervals, so their sum may exceed step wall time.
+    pub fn timings(&self) -> PhaseBreakdown {
         self.timings
     }
 
     /// Aggregated per-rank step-phase breakdown (binning / enumeration /
     /// scratch reduction) since construction — summed per-rank seconds, the
-    /// fine-grained view inside [`PhaseTimings::compute_s`].
-    pub fn phase_breakdown(&self) -> StepPhases {
+    /// fine-grained view inside the wall-clock compute slot.
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
         self.comm_stats().phases
     }
 
@@ -441,167 +661,209 @@ impl DistributedSim {
         }
     }
 
-    /// Aggregated communication statistics over all ranks since start.
-    pub fn comm_stats(&self) -> CommStats {
-        let mut total = CommStats::default();
+    /// Aggregated communication statistics since start: the live ranks'
+    /// counters plus the totals of rank sets retired by adaptive
+    /// rebalancing, so aggregates stay monotone across re-decompositions.
+    pub fn comm_stats(&self) -> CommCounters {
+        let mut total = self.carried.clone();
         for r in &self.ranks {
             total.merge(&r.stats);
         }
         total
     }
 
-    /// Per-rank communication statistics.
-    pub fn rank_stats(&self) -> Vec<&CommStats> {
+    /// Per-rank communication statistics (since the last re-decomposition,
+    /// if adaptive rebalancing replaced the rank set).
+    pub fn rank_stats(&self) -> Vec<&CommCounters> {
         self.ranks.iter().map(|r| &r.stats).collect()
     }
 
-    /// Migration: three axis-ordered exchanges; every rank sends both
-    /// directions each axis (empty messages included, as MPI codes do).
+    /// Migration: three axis-ordered merged phases; every rank sends both
+    /// directions each axis (empty messages included, as MPI codes do),
+    /// framed per neighbor when aggregation is on.
     fn migrate(&mut self) -> Result<(), RuntimeError> {
         let epoch = self.steps_done;
+        let nranks = self.ranks.len();
         for axis in 0..3 {
             self.phase += 1;
-            let mut inbox: Vec<(usize, Vec<AtomMsg>)> = Vec::new();
-            for r in 0..self.ranks.len() {
+            let mut sends = Vec::with_capacity(nranks);
+            let mut recvs = Vec::with_capacity(nranks);
+            for r in 0..nranks {
+                let (slots, rx) = transport::migrate_phase(&self.grid, r, axis);
                 let (to_minus, to_plus) = self.ranks[r].collect_migrants(axis);
-                for (dir, atoms) in [(-1, to_minus), (1, to_plus)] {
-                    let to = self.grid.neighbor(r, axis, dir);
-                    let bytes = atoms.len() as u64 * AtomMsg::WIRE_BYTES;
-                    self.ranks[r].stats.record_send(to, bytes);
-                    let channel = Channel::Migrate { axis, dir };
-                    self.tsinks[r].send(epoch, channel.trace_class(), to as u32, bytes, epoch);
-                    let msg = Message::stamped(self.phase, epoch, channel, Payload::Migrate(atoms));
-                    let got = deliver_validated(
-                        &mut self.fault_plan,
-                        &mut self.health,
-                        &self.exec_sink,
-                        &mut self.ranks[r].stats,
-                        epoch,
-                        r,
-                        to,
-                        channel,
-                        msg,
-                    )?;
-                    let Payload::Migrate(atoms) = got.payload else {
-                        return Err(RuntimeError::WrongPayload { rank: to, channel });
-                    };
-                    self.tsinks[to].recv(epoch, channel.trace_class(), r as u32, bytes, epoch);
-                    inbox.push((to, atoms));
-                }
+                let secs = slots
+                    .into_iter()
+                    .zip([to_minus, to_plus])
+                    .map(|(slot, atoms)| {
+                        let msg = Message::stamped(
+                            self.phase,
+                            epoch,
+                            slot.channel,
+                            Payload::Migrate(atoms),
+                        );
+                        (slot.peer, msg)
+                    })
+                    .collect();
+                sends.push(secs);
+                recvs.push(rx);
             }
-            for (to, atoms) in inbox {
-                self.ranks[to].absorb_migrants(&atoms);
+            let mut side = vec![CommCounters::default(); nranks];
+            let delivered = wire_phase(
+                self.comm.aggregation,
+                self.phase,
+                epoch,
+                &mut self.fault_plan,
+                &mut self.health,
+                &self.exec_sink,
+                &self.tsinks,
+                &mut side,
+                sends,
+                &recvs,
+            )?;
+            for (r, s) in side.iter().enumerate() {
+                self.ranks[r].stats.merge(s);
+            }
+            for (to, payloads) in delivered.into_iter().enumerate() {
+                for (slot, payload) in recvs[to].iter().zip(payloads) {
+                    let Payload::Migrate(atoms) = payload else {
+                        return Err(RuntimeError::WrongPayload { rank: to, channel: slot.channel });
+                    };
+                    self.ranks[to].absorb_migrants(&atoms);
+                }
             }
         }
         Ok(())
     }
 
-    /// Halo exchange: forwarded routing per the ghost plan.
+    /// Halo exchange: forwarded routing per the ghost plan, merged into one
+    /// phase per axis group, absorbed in canonical slot order.
     fn exchange_ghosts(&mut self) -> Result<(), RuntimeError> {
         let epoch = self.steps_done;
+        let nranks = self.ranks.len();
         for r in &mut self.ranks {
             r.drop_ghosts();
         }
-        for (hop, &(axis, recv_dir)) in self.plan.hops.clone().iter().enumerate() {
+        for hops in transport::ghost_phase_groups(&self.plan) {
             self.phase += 1;
-            let channel = Channel::Ghosts { hop };
-            let mut inbox: Vec<(usize, usize, Vec<GhostMsg>)> = Vec::new();
-            for r in 0..self.ranks.len() {
-                let band = self.ranks[r].collect_ghost_band(&self.plan, axis, recv_dir);
-                let to = self.grid.neighbor(r, axis, -recv_dir);
-                let bytes = band.len() as u64 * GhostMsg::WIRE_BYTES;
-                self.ranks[r].stats.record_send(to, bytes);
-                self.tsinks[r].send(epoch, channel.trace_class(), to as u32, bytes, epoch);
-                let msg = Message::stamped(self.phase, epoch, channel, Payload::Ghosts(band));
-                let got = deliver_validated(
-                    &mut self.fault_plan,
-                    &mut self.health,
-                    &self.exec_sink,
-                    &mut self.ranks[r].stats,
-                    epoch,
-                    r,
-                    to,
-                    channel,
-                    msg,
-                )?;
-                let Payload::Ghosts(ghosts) = got.payload else {
-                    return Err(RuntimeError::WrongPayload { rank: to, channel });
-                };
-                self.tsinks[to].recv(epoch, channel.trace_class(), r as u32, bytes, epoch);
-                inbox.push((to, r, ghosts));
+            let mut sends = Vec::with_capacity(nranks);
+            let mut recvs = Vec::with_capacity(nranks);
+            for r in 0..nranks {
+                let (slots, rx) = transport::ghost_phase(&self.grid, &self.plan, r, &hops);
+                let mut secs = Vec::with_capacity(slots.len());
+                for (slot, &hop) in slots.iter().zip(&hops) {
+                    let (axis, recv_dir) = self.plan.hops[hop];
+                    let band = self.ranks[r].collect_ghost_band(&self.plan, axis, recv_dir);
+                    secs.push((
+                        slot.peer,
+                        Message::stamped(self.phase, epoch, slot.channel, Payload::Ghosts(band)),
+                    ));
+                }
+                sends.push(secs);
+                recvs.push(rx);
             }
-            for (to, from, ghosts) in inbox {
-                self.ranks[to].absorb_ghosts(hop, from, &ghosts);
+            let mut side = vec![CommCounters::default(); nranks];
+            let delivered = wire_phase(
+                self.comm.aggregation,
+                self.phase,
+                epoch,
+                &mut self.fault_plan,
+                &mut self.health,
+                &self.exec_sink,
+                &self.tsinks,
+                &mut side,
+                sends,
+                &recvs,
+            )?;
+            for (r, s) in side.iter().enumerate() {
+                self.ranks[r].stats.merge(s);
+            }
+            for (to, payloads) in delivered.into_iter().enumerate() {
+                for ((slot, &hop), payload) in recvs[to].iter().zip(&hops).zip(payloads) {
+                    let Payload::Ghosts(ghosts) = payload else {
+                        return Err(RuntimeError::WrongPayload { rank: to, channel: slot.channel });
+                    };
+                    self.ranks[to].absorb_ghosts(hop, slot.peer, &ghosts);
+                }
             }
         }
         Ok(())
     }
 
-    /// Reverse force reduction along the reversed routing schedule.
+    /// Reverse force reduction along the reversed routing schedule, merged
+    /// into one phase per axis group (hops descending within a group).
     fn reduce_forces(&mut self) -> Result<(), RuntimeError> {
         let epoch = self.steps_done;
-        for hop in (0..self.plan.hops.len()).rev() {
+        let nranks = self.ranks.len();
+        for hops in transport::force_phase_groups(&self.plan) {
             self.phase += 1;
-            let channel = Channel::Forces { hop };
-            let mut inbox: Vec<(usize, Vec<ForceMsg>)> = Vec::new();
-            let (axis, recv_dir) = self.plan.hops[hop];
-            for r in 0..self.ranks.len() {
-                let (forces, to) = self.ranks[r].collect_ghost_forces(hop);
-                let to = to.unwrap_or_else(|| self.grid.neighbor(r, axis, recv_dir));
-                let bytes = forces.len() as u64 * ForceMsg::WIRE_BYTES;
-                self.ranks[r].stats.record_send(to, bytes);
-                self.tsinks[r].send(epoch, channel.trace_class(), to as u32, bytes, epoch);
-                let msg = Message::stamped(self.phase, epoch, channel, Payload::Forces(forces));
-                let got = deliver_validated(
-                    &mut self.fault_plan,
-                    &mut self.health,
-                    &self.exec_sink,
-                    &mut self.ranks[r].stats,
-                    epoch,
-                    r,
-                    to,
-                    channel,
-                    msg,
-                )?;
-                let Payload::Forces(forces) = got.payload else {
-                    return Err(RuntimeError::WrongPayload { rank: to, channel });
-                };
-                self.tsinks[to].recv(epoch, channel.trace_class(), r as u32, bytes, epoch);
-                inbox.push((to, forces));
+            let mut sends = Vec::with_capacity(nranks);
+            let mut recvs = Vec::with_capacity(nranks);
+            for r in 0..nranks {
+                let (slots, rx) = transport::force_phase(&self.grid, &self.plan, r, &hops);
+                let mut secs = Vec::with_capacity(slots.len());
+                for (slot, &hop) in slots.iter().zip(&hops) {
+                    let (forces, recorded) = self.ranks[r].collect_ghost_forces(hop);
+                    debug_assert!(
+                        recorded.map_or(true, |t| t == slot.peer),
+                        "ghost origin disagrees with the routing schedule"
+                    );
+                    secs.push((
+                        slot.peer,
+                        Message::stamped(self.phase, epoch, slot.channel, Payload::Forces(forces)),
+                    ));
+                }
+                sends.push(secs);
+                recvs.push(rx);
             }
-            for (to, forces) in inbox {
-                self.ranks[to].absorb_ghost_forces(hop, &forces)?;
+            let mut side = vec![CommCounters::default(); nranks];
+            let delivered = wire_phase(
+                self.comm.aggregation,
+                self.phase,
+                epoch,
+                &mut self.fault_plan,
+                &mut self.health,
+                &self.exec_sink,
+                &self.tsinks,
+                &mut side,
+                sends,
+                &recvs,
+            )?;
+            for (r, s) in side.iter().enumerate() {
+                self.ranks[r].stats.merge(s);
+            }
+            for (to, payloads) in delivered.into_iter().enumerate() {
+                for ((slot, &hop), payload) in recvs[to].iter().zip(&hops).zip(payloads) {
+                    let Payload::Forces(forces) = payload else {
+                        return Err(RuntimeError::WrongPayload { rank: to, channel: slot.channel });
+                    };
+                    self.ranks[to].absorb_ghost_forces(hop, &forces)?;
+                }
             }
         }
         Ok(())
     }
 
-    /// One full ghost-exchange + force-computation + reduction cycle.
-    fn exchange_and_compute(&mut self) -> Result<(), RuntimeError> {
-        let t0 = std::time::Instant::now();
-        self.exchange_ghosts()?;
-        let t1 = std::time::Instant::now();
-        let t1_ns = if self.tracer.enabled() { self.exec_sink.now_ns() } else { 0 };
-        self.record_wall(Phase::Exchange, (t1 - t0).as_secs_f64());
+    /// The per-rank force-computation fan-out: each pool task owns exactly
+    /// one rank slot and one result slot.
+    fn compute_all(&mut self) {
+        let ff = &self.ff;
+        let nranks = self.ranks.len();
+        let ranks = LaneSlots::new(self.ranks.as_mut_ptr());
+        let out = LaneSlots::new(self.results.as_mut_ptr());
+        self.pool.run(nranks, &move |r| {
+            // SAFETY: task index r is claimed exactly once per run, so
+            // each rank/result slot is touched by a single lane.
+            let rank = unsafe { &mut *ranks.get(r) };
+            let slot = unsafe { &mut *out.get(r) };
+            *slot = rank.compute_forces(ff);
+        });
+    }
+
+    /// Sums the per-rank results (in rank order, for determinism) into the
+    /// global energy and tuple totals.
+    fn sum_results(&mut self) {
         let mut energy = EnergyBreakdown::default();
         let mut tuples = TupleCounts::default();
-        // Ranks compute independently — the BSP phase structure makes this
-        // embarrassingly parallel; each pool task owns exactly one rank slot
-        // and one result slot, and summation stays in rank order for
-        // determinism.
-        {
-            let ff = &self.ff;
-            let nranks = self.ranks.len();
-            let ranks = LaneSlots::new(self.ranks.as_mut_ptr());
-            let out = LaneSlots::new(self.results.as_mut_ptr());
-            self.pool.run(nranks, &move |r| {
-                // SAFETY: task index r is claimed exactly once per run, so
-                // each rank/result slot is touched by a single lane.
-                let rank = unsafe { &mut *ranks.get(r) };
-                let slot = unsafe { &mut *out.get(r) };
-                *slot = rank.compute_forces(ff);
-            });
-        }
         for (e, t, _phases) in &self.results {
             energy.pair += e.pair;
             energy.triplet += e.triplet;
@@ -610,29 +872,201 @@ impl DistributedSim {
             tuples.triplet.merge(t.triplet);
             tuples.quadruplet.merge(t.quadruplet);
         }
-        let t2 = std::time::Instant::now();
-        self.record_wall(Phase::Compute, (t2 - t1).as_secs_f64());
-        if self.tracer.enabled() {
-            // Per-rank fine-grained compute phases, laid out cumulatively
-            // from the fan-out start so each rank's row shows its own
-            // bin / enumerate / eval / reduce split.
-            let step = self.steps_done;
-            for (r, (_, _, phases)) in self.results.iter().enumerate() {
-                let mut cursor = t1_ns;
-                for (phase, secs) in phases.iter() {
-                    let dur_ns = (secs * 1e9) as u64;
-                    if dur_ns > 0 {
-                        self.tsinks[r].phase(step, phase, cursor, dur_ns);
-                        cursor += dur_ns;
-                    }
+        self.last_energy = energy;
+        self.last_tuples = tuples;
+    }
+
+    /// Emits each rank's fine-grained compute phases, laid out cumulatively
+    /// from `start_ns` so each rank's timeline row shows its own bin /
+    /// enumerate / eval / reduce split.
+    fn trace_compute_phases(&self, start_ns: u64) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let step = self.steps_done;
+        for (r, (_, _, phases)) in self.results.iter().enumerate() {
+            let mut cursor = start_ns;
+            for (phase, secs) in phases.iter() {
+                let dur_ns = (secs * 1e9) as u64;
+                if dur_ns > 0 {
+                    self.tsinks[r].phase(step, phase, cursor, dur_ns);
+                    cursor += dur_ns;
                 }
             }
         }
+    }
+
+    /// One full ghost-exchange + force-computation + reduction cycle,
+    /// overlapped or sequential per [`CommConfig::overlap`]. Both paths are
+    /// bitwise-identical: sweeps always run interior cells first, then
+    /// frontier cells, and ghosts are absorbed in canonical order either
+    /// way.
+    fn exchange_and_compute(&mut self) -> Result<(), RuntimeError> {
+        // Overlap needs at least one worker lane to hide the exchange
+        // behind; on a single-lane pool the split would serialize anyway
+        // and only pay the second lattice rebuild, so degrade to the fused
+        // single-pass cycle (bitwise-identical — see the comm_modes suite).
+        if self.comm.overlap && self.pool.lanes() > 1 {
+            return self.exchange_and_compute_overlapped();
+        }
+        let t0 = std::time::Instant::now();
+        self.exchange_ghosts()?;
+        let t1 = std::time::Instant::now();
+        let t1_ns = if self.tracer.enabled() { self.exec_sink.now_ns() } else { 0 };
+        self.record_wall(Phase::Exchange, (t1 - t0).as_secs_f64());
+        // Ranks compute independently — the BSP phase structure makes this
+        // embarrassingly parallel.
+        self.compute_all();
+        let t2 = std::time::Instant::now();
+        self.record_wall(Phase::Compute, (t2 - t1).as_secs_f64());
+        self.trace_compute_phases(t1_ns);
         self.reduce_forces()?;
         self.record_wall(Phase::Reduce, t2.elapsed().as_secs_f64());
-        self.last_energy = energy;
-        self.last_tuples = tuples;
+        self.sum_results();
         Ok(())
+    }
+
+    /// The overlapped cycle: a scoped thread runs the staged boundary
+    /// exchange (band collection reads the rank states immutably) while the
+    /// pool computes every rank's interior cells on lattices extracted via
+    /// [`RankState::begin_interior`]. After the join the staged ghosts are
+    /// absorbed in canonical order and the frontier pass completes the
+    /// forces.
+    fn exchange_and_compute_overlapped(&mut self) -> Result<(), RuntimeError> {
+        let t0_ns = if self.tracer.enabled() { self.exec_sink.now_ns() } else { 0 };
+        for r in &mut self.ranks {
+            r.drop_ghosts();
+        }
+        let mut tasks: Vec<InteriorTask> =
+            self.ranks.iter_mut().map(|r| r.begin_interior()).collect();
+        let nranks = self.ranks.len();
+        let epoch = self.steps_done;
+        let start_phase = self.phase;
+        let aggregation = self.comm.aggregation;
+        // Disjoint field borrows: the exchange thread takes the fault plan
+        // and health watchdog mutably plus shared reads of the rank states;
+        // the interior fan-out reads the same rank states and mutates only
+        // the extracted tasks.
+        let ranks = &self.ranks;
+        let fault = &mut self.fault_plan;
+        let health = &mut self.health;
+        let exec_sink = &self.exec_sink;
+        let tsinks = &self.tsinks;
+        let grid = &self.grid;
+        let plan = &self.plan;
+        let pool = &self.pool;
+        let ff = &self.ff;
+        // The exchange runs as one extra pool task alongside the per-rank
+        // interior tasks — same disjoint borrows as a scoped side thread,
+        // but without spawning (and joining) an OS thread every step. The
+        // mutable exchange state rides in a Mutex claimed exactly once by
+        // whichever lane draws task 0.
+        let exchange_state = std::sync::Mutex::new(Some((fault, health)));
+        let staged_out: std::sync::Mutex<Option<Result<StagedGhosts, RuntimeError>>> =
+            std::sync::Mutex::new(None);
+        let t_int = std::time::Instant::now();
+        {
+            let slots = LaneSlots::new(tasks.as_mut_ptr());
+            let exchange_state = &exchange_state;
+            let staged_out = &staged_out;
+            pool.run(nranks + 1, &move |t| {
+                if t == 0 {
+                    let (fault, health) =
+                        exchange_state.lock().unwrap().take().expect("exchange task runs once");
+                    let r = staged_exchange(
+                        grid, plan, ranks, fault, health, exec_sink, tsinks, aggregation, epoch,
+                        start_phase,
+                    );
+                    *staged_out.lock().unwrap() = Some(r);
+                } else {
+                    // SAFETY: task index t is claimed exactly once per run,
+                    // so each task slot is touched by a single lane; the
+                    // rank states are only read.
+                    let task = unsafe { &mut *slots.get(t - 1) };
+                    RankState::run_interior(task, &ranks[t - 1], ff);
+                }
+            });
+        }
+        let interior_secs = t_int.elapsed().as_secs_f64();
+        let staged = staged_out.into_inner().expect("no lane panicked").expect("task 0 ran");
+        let staged = match staged {
+            Ok(s) => s,
+            Err(e) => {
+                // Hand the lattices back so a checkpoint restore finds the
+                // rank states structurally whole.
+                for (r, task) in self.ranks.iter_mut().zip(tasks) {
+                    r.finish_interior(task);
+                }
+                return Err(e);
+            }
+        };
+        // Bank the interior passes and absorb the staged ghosts in the
+        // same canonical order the in-line exchange uses.
+        for ((rank, task), inbox) in self.ranks.iter_mut().zip(tasks).zip(&staged.inbox) {
+            rank.finish_interior(task);
+            for (hop, from, ghosts) in inbox {
+                rank.absorb_ghosts(*hop, *from, ghosts);
+            }
+        }
+        for (r, s) in staged.stats.iter().enumerate() {
+            self.ranks[r].stats.merge(s);
+        }
+        self.phase = staged.phase;
+        self.record_wall(Phase::Exchange, staged.elapsed);
+        let t1 = std::time::Instant::now();
+        // Frontier (and Hybrid full) computation now that the halo landed.
+        self.compute_all();
+        self.record_wall(Phase::Compute, interior_secs + t1.elapsed().as_secs_f64());
+        self.trace_compute_phases(t0_ns);
+        let t2 = std::time::Instant::now();
+        self.reduce_forces()?;
+        self.record_wall(Phase::Reduce, t2.elapsed().as_secs_f64());
+        self.sum_results();
+        Ok(())
+    }
+
+    /// Closes the adaptive load-balance loop: converts the last window's
+    /// per-rank compute seconds into non-uniform axis cuts
+    /// ([`RankGrid::rebalanced_cuts`]), validates the candidate grid, and
+    /// re-decomposes onto it. Infeasible proposals are skipped — the
+    /// simulation keeps its current grid. Retired rank counters fold into
+    /// [`DistributedSim::comm_stats`] and forces are recomputed by the
+    /// priming exchange.
+    fn rebalance(&mut self) {
+        let loads: Vec<f64> = self
+            .ranks
+            .iter()
+            .zip(&self.last_loads)
+            .map(|(r, last)| (r.stats.phases.compute_total_s() - last).max(0.0))
+            .collect();
+        self.last_loads = self.ranks.iter().map(|r| r.stats.phases.compute_total_s()).collect();
+        let min_width = halo_width_for(&self.ff, &self.grid);
+        let Some(cuts) = self.grid.rebalanced_cuts(&loads, 0.5, min_width) else { return };
+        let Ok(grid) = RankGrid::with_splits(self.grid.pdims(), *self.grid.bbox(), cuts) else {
+            return;
+        };
+        if validate_decomposition(&self.ff, &grid).is_err() {
+            return;
+        }
+        let store = self.gather();
+        let ranks: Vec<RankState> = (0..grid.len())
+            .map(|r| RankState::new_subdivided(r, grid.clone(), &store, &self.ff, self.subdivision))
+            .collect();
+        if ranks.iter().map(|r| r.owned()).sum::<usize>() != store.len() {
+            return; // a malformed split would lose atoms; keep the old grid
+        }
+        for r in &self.ranks {
+            self.carried.merge(&r.stats);
+        }
+        self.exec_sink.instant(
+            self.steps_done,
+            EventKind::Redecompose { rank: self.ranks.len() as u32, lost: false },
+        );
+        self.grid = grid;
+        self.ranks = ranks;
+        self.last_loads = vec![0.0; self.ranks.len()];
+        self.health.reset(self.ranks.len());
+        self.needs_prime = true;
     }
 
     /// One velocity-Verlet step, surfacing unrecovered communication faults.
@@ -642,6 +1076,14 @@ impl DistributedSim {
     /// error the simulation state is unspecified (a phase may have half
     /// run); restore from a checkpoint before stepping again.
     pub fn try_step(&mut self) -> Result<(), RuntimeError> {
+        // Rebalance before the priming check: re-decomposition drops the
+        // force state, and the priming exchange rebuilds it.
+        if self.comm.rebalance_every != 0
+            && self.steps_done > 0
+            && self.steps_done.is_multiple_of(self.comm.rebalance_every)
+        {
+            self.rebalance();
+        }
         if self.needs_prime {
             self.exchange_and_compute()?;
             self.needs_prime = false;
@@ -736,7 +1178,8 @@ impl DistributedSim {
     /// positions wrapped into the global box — directly comparable with a
     /// serial [`sc_md::Simulation`].
     pub fn gather(&self) -> AtomStore {
-        let mut atoms: Vec<AtomMsg> = self.ranks.iter().flat_map(|r| r.owned_atoms()).collect();
+        let mut atoms: Vec<crate::msg::AtomMsg> =
+            self.ranks.iter().flat_map(|r| r.owned_atoms()).collect();
         atoms.sort_by_key(|a| a.id);
         let masses = self.ranks[0].store().species_masses().to_vec();
         let mut out = AtomStore::new(masses);
@@ -763,7 +1206,7 @@ impl DistributedSim {
         let plan = GhostPlan::for_method(self.ff.method, width)?;
         let store = cp.to_store();
         let ranks: Vec<RankState> = (0..grid.len())
-            .map(|r| RankState::new_subdivided(r, grid, &store, &self.ff, self.subdivision))
+            .map(|r| RankState::new_subdivided(r, grid.clone(), &store, &self.ff, self.subdivision))
             .collect();
         let total: usize = ranks.iter().map(|r| r.owned()).sum();
         if total != store.len() {
@@ -784,7 +1227,9 @@ impl DistributedSim {
         self.needs_prime = true;
         self.last_energy = EnergyBreakdown::default();
         self.last_tuples = TupleCounts::default();
-        self.last_totals = CommStats::default();
+        self.last_totals = CommCounters::default();
+        self.carried = CommCounters::default();
+        self.last_loads = vec![0.0; nranks];
         Ok(())
     }
 
@@ -809,7 +1254,8 @@ impl DistributedSim {
         }
         for &r in exclude {
             self.fault_plan.retire_rank(r);
-            self.exec_sink.instant(self.steps_done, EventKind::Redecompose { rank: r as u32 });
+            self.exec_sink
+                .instant(self.steps_done, EventKind::Redecompose { rank: r as u32, lost: true });
         }
         let pdims = match best_grid_for(&self.ff, cp.bbox(), survivors) {
             Some(p) => p,
@@ -849,7 +1295,9 @@ impl Recoverable for DistributedSim {
         // pre-fault run, so continuation is exact physics, not bitwise).
         let store = cp.to_store();
         self.ranks = (0..self.grid.len())
-            .map(|r| RankState::new_subdivided(r, self.grid, &store, &self.ff, self.subdivision))
+            .map(|r| {
+                RankState::new_subdivided(r, self.grid.clone(), &store, &self.ff, self.subdivision)
+            })
             .collect();
         self.dt = cp.dt;
         self.steps_done = cp.step;
@@ -857,7 +1305,9 @@ impl Recoverable for DistributedSim {
         self.last_energy = EnergyBreakdown::default();
         self.last_tuples = TupleCounts::default();
         // Rank stats were rebuilt from scratch; re-baseline the delta feed.
-        self.last_totals = CommStats::default();
+        self.last_totals = CommCounters::default();
+        self.carried = CommCounters::default();
+        self.last_loads = vec![0.0; self.ranks.len()];
     }
 
     fn atom_count(&self) -> usize {

@@ -1,29 +1,83 @@
 //! Threaded executor: one OS thread per rank, crossbeam channels as the
-//! interconnect — true concurrent message passing with the same per-phase
-//! protocol (and therefore bitwise-identical physics) as the BSP executor.
+//! interconnect — true concurrent message passing with the same merged-phase
+//! transport schedule (and therefore bitwise-identical physics) as the BSP
+//! executor.
 //!
-//! Every message is stamped (epoch, channel, checksum) and verified on
-//! receipt, same as the BSP executor. Deterministic fault *injection* lives
-//! in the BSP executor only — scripted faults need a reproducible delivery
-//! order, which concurrent threads cannot provide — but validation here
-//! protects against the same protocol-confusion failure modes.
+//! The executor is persistent: worker threads live across steps and are
+//! driven by a per-rank command channel, so the executor can step, gather,
+//! checkpoint, and restore like [`crate::DistributedSim`] and both hide
+//! behind one `Executor` surface in `sc-spec`. Every wire unit is stamped
+//! (epoch, channel, checksum) and verified on receipt — per section for
+//! aggregated frames. Deterministic fault *injection* lives in the BSP
+//! executor only (scripted faults need a reproducible delivery order, which
+//! concurrent threads cannot provide), but validation here protects against
+//! the same protocol-confusion failure modes.
 
-use crate::comm::{CommStats, GhostPlan};
-use crate::error::{RunError, RuntimeError};
+use crate::comm::GhostPlan;
+use crate::error::{RunError, RuntimeError, SetupError};
 use crate::grid::RankGrid;
 use crate::health::{HealthConfig, HealthTracker, RankHealth};
 use crate::msg::{AtomMsg, Channel, Message, Payload};
 use crate::rank::{validate_decomposition, ForceField, RankState, DEFAULT_RESORT_EVERY};
+use crate::transport::{self, CommConfig, Slot};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use sc_cell::AtomStore;
 use sc_geom::{IVec3, SimulationBox};
-use sc_md::EnergyBreakdown;
+use sc_md::checkpoint::{Checkpoint, SnapshotLayout};
+use sc_md::supervisor::Recoverable;
+use sc_md::{EnergyBreakdown, Telemetry, TupleCounts};
 use sc_obs::trace::EventKind;
-use sc_obs::{Phase, Registry, TraceSink, Tracer};
+use sc_obs::{CommCounters, Phase, Registry, TraceSink, Tracer};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// A wire message tagged with its sending rank.
 type Wire = (usize, Message);
+
+/// Sentinel phase the controller broadcasts to unblock workers whose peer
+/// unwound mid-protocol; a mailbox seeing it fails its pending receive.
+const POISON_PHASE: u64 = u64::MAX;
+
+/// A command from the controller to one worker thread. Workers process
+/// commands strictly in order; every `Step` / `Energy` / `Gather` produces
+/// exactly one reply.
+enum Cmd {
+    /// Run one velocity-Verlet step (priming forces first if needed).
+    Step {
+        dt: f64,
+        resort: bool,
+        comm: CommConfig,
+    },
+    /// Recompute forces without integrating and report fresh energies.
+    Energy { comm: CommConfig },
+    /// Report this rank's owned atoms for a global gather.
+    Gather,
+    /// Install a new trace sink (fire-and-forget, no reply).
+    Sink(TraceSink),
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// A worker's per-step report back to the controller: everything the
+/// executor needs to serve telemetry, supervision invariants, and energy
+/// queries without another round-trip.
+#[derive(Clone, Default)]
+struct StepView {
+    energy: EnergyBreakdown,
+    tuples: TupleCounts,
+    kinetic: f64,
+    owned: usize,
+    finite: bool,
+    stats: CommCounters,
+}
+
+/// One reply per `Step` / `Energy` / `Gather` command, tagged with the
+/// worker's rank on the shared reply channel.
+enum Reply {
+    Step(Box<StepView>),
+    Gather { atoms: Vec<AtomMsg>, masses: Vec<f64> },
+    Failed(RuntimeError),
+}
 
 /// Buffers out-of-phase messages: a fast neighbour may send phase k+1
 /// traffic while this rank still waits on phase k from a slow one.
@@ -39,68 +93,813 @@ struct Mailbox {
 }
 
 impl Mailbox {
-    /// Receives the message for `phase` and verifies its stamp against the
-    /// expected epoch and channel, feeding the sender's health watchdog.
-    fn recv_validated(
+    /// Pulls the next wire unit stamped with `phase`, from the pending
+    /// buffer or the channel. A poison sentinel or a closed channel means a
+    /// peer unwound mid-protocol and the slot can never fill.
+    fn next_unit(&mut self, phase: u64, epoch: u64, slot0: Channel) -> Result<Wire, RuntimeError> {
+        let missing =
+            |rank| RuntimeError::MissingHop { rank, channel: slot0, epoch, attempts: 1 };
+        if let Some(pos) =
+            self.pending.iter().position(|(_, m)| m.phase == phase || m.phase == POISON_PHASE)
+        {
+            let (from, m) = self.pending.swap_remove(pos);
+            if m.phase == POISON_PHASE {
+                return Err(missing(self.rank));
+            }
+            return Ok((from, m));
+        }
+        loop {
+            let Ok((from, m)) = self.rx.recv() else {
+                return Err(missing(self.rank));
+            };
+            if m.phase == POISON_PHASE {
+                return Err(missing(self.rank));
+            }
+            if m.phase == phase {
+                return Ok((from, m));
+            }
+            self.pending.push((from, m));
+        }
+    }
+
+    /// Verifies a wire unit's outer stamp against the expected channel —
+    /// and each section's stamp for aggregated frames — feeding the
+    /// sender's health watchdog with the outcome.
+    fn verify_unit(
         &mut self,
-        phase: u64,
-        epoch: u64,
+        m: &Message,
+        from: usize,
         channel: Channel,
-    ) -> Result<(usize, Payload), RuntimeError> {
-        let (from, m) = if let Some(pos) = self.pending.iter().position(|(_, m)| m.phase == phase) {
-            self.pending.swap_remove(pos)
-        } else {
-            loop {
-                // A closed channel means a peer unwound mid-protocol; the
-                // slot can never fill.
-                let Ok((from, m)) = self.rx.recv() else {
-                    return Err(RuntimeError::MissingHop {
+        epoch: u64,
+    ) -> Result<(), RuntimeError> {
+        let res = m.verify(self.rank, epoch, channel).and_then(|()| {
+            if let Payload::Batch(secs) = &m.payload {
+                for s in secs {
+                    s.verify(self.rank, epoch, s.channel)?;
+                }
+            }
+            Ok(())
+        });
+        let outcome = match &res {
+            Ok(()) => self.health.record_success(from, channel.trace_class(), epoch),
+            Err(_) => self.health.record_failure(from, channel.trace_class(), epoch),
+        };
+        if let Some(s) = outcome {
+            self.tsink.instant(epoch, EventKind::Health { peer: from as u32, state: s.code() });
+            if s == RankHealth::Dead {
+                return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
+            }
+        }
+        res
+    }
+}
+
+/// The per-rank worker: rank state plus its end of the interconnect.
+struct Worker {
+    state: RankState,
+    rank: usize,
+    grid: RankGrid,
+    plan: GhostPlan,
+    ff: Arc<ForceField>,
+    txs: Vec<Sender<Wire>>,
+    mailbox: Mailbox,
+    tsink: TraceSink,
+    phase: u64,
+    steps_done: u64,
+    needs_prime: bool,
+}
+
+impl Worker {
+    /// Frames this phase's stamped sections per destination and puts them
+    /// on the wire. Bytes and section counts are recorded once per wire
+    /// unit, mirroring the BSP executor's counter discipline. A send can
+    /// fail only when the peer already unwound with its own error; this
+    /// rank then errors on its next receive.
+    fn send_frames(&mut self, aggregation: bool, epoch: u64, secs: Vec<(usize, Message)>) {
+        for (to, unit) in transport::frame_sections(aggregation, self.phase, epoch, secs) {
+            let bytes = unit.payload.wire_bytes();
+            let nsec = unit.payload.section_count() as u16;
+            self.state.stats.record_send(to, bytes);
+            self.tsink.send(epoch, unit.channel.trace_class(), to as u32, bytes, nsec, epoch);
+            let _ = self.txs[to].send((self.rank, unit));
+        }
+    }
+
+    /// Receives the phase's expected wire units (in whatever order they
+    /// arrive), verifies each against the canonical slot it must fill, and
+    /// returns the payloads in canonical slot order.
+    fn recv_phase(
+        &mut self,
+        aggregation: bool,
+        epoch: u64,
+        rx_slots: &[Slot],
+    ) -> Result<Vec<Payload>, RuntimeError> {
+        let expected = transport::expected_units(aggregation, rx_slots);
+        let mut units: Vec<Wire> = Vec::with_capacity(expected.len());
+        while units.len() < expected.len() {
+            let (from, m) = self.mailbox.next_unit(self.phase, epoch, rx_slots[0].channel)?;
+            // The k-th unit from `from` fills the k-th canonical expected
+            // unit from that source (k > 0 only without aggregation;
+            // per-sender channel order is FIFO, so arrival order per source
+            // equals send order).
+            let already = units.iter().filter(|(f, _)| *f == from).count();
+            let channel = expected
+                .iter()
+                .filter(|(p, _)| *p == from)
+                .nth(already)
+                .map(|(_, c)| *c)
+                .unwrap_or(m.channel);
+            self.mailbox.verify_unit(&m, from, channel, epoch)?;
+            self.tsink.recv(
+                epoch,
+                channel.trace_class(),
+                from as u32,
+                m.payload.wire_bytes(),
+                m.payload.section_count() as u16,
+                epoch,
+            );
+            units.push((from, m));
+        }
+        transport::match_sections(self.mailbox.rank, epoch, rx_slots, units)
+    }
+
+    /// One full ghost-exchange + force-computation + reduction cycle on
+    /// this rank — the same merged-phase schedule as the BSP executor, so
+    /// counters and physics agree bitwise. With overlap on, the interior
+    /// tuples are computed between putting the first (axis 0) ghost phase
+    /// on the wire and blocking on its arrivals, hiding peer latency.
+    fn exchange_and_compute(
+        &mut self,
+        comm: CommConfig,
+        epoch: u64,
+    ) -> Result<(EnergyBreakdown, TupleCounts), RuntimeError> {
+        let t_ex = std::time::Instant::now();
+        let ex0 = self.tsink.now_ns();
+        self.state.drop_ghosts();
+        let mut interior_secs = 0.0;
+        for (gi, hops) in transport::ghost_phase_groups(&self.plan).into_iter().enumerate() {
+            self.phase += 1;
+            let (slots, rx_slots) = transport::ghost_phase(&self.grid, &self.plan, self.rank, &hops);
+            let mut secs = Vec::with_capacity(slots.len());
+            for (slot, &hop) in slots.iter().zip(&hops) {
+                let (axis, recv_dir) = self.plan.hops[hop];
+                let band = self.state.collect_ghost_band(&self.plan, axis, recv_dir);
+                secs.push((
+                    slot.peer,
+                    Message::stamped(self.phase, epoch, slot.channel, Payload::Ghosts(band)),
+                ));
+            }
+            self.send_frames(comm.aggregation, epoch, secs);
+            if gi == 0 && comm.overlap {
+                // The axis-0 bands left from the still-ghost-free store;
+                // compute interior tuples before blocking on the arrivals.
+                let t_int = std::time::Instant::now();
+                let mut task = self.state.begin_interior();
+                RankState::run_interior(&mut task, &self.state, &self.ff);
+                self.state.finish_interior(task);
+                interior_secs = t_int.elapsed().as_secs_f64();
+            }
+            let payloads = self.recv_phase(comm.aggregation, epoch, &rx_slots)?;
+            for ((slot, &hop), payload) in rx_slots.iter().zip(&hops).zip(payloads) {
+                let Payload::Ghosts(g) = payload else {
+                    return Err(RuntimeError::WrongPayload {
                         rank: self.rank,
-                        channel,
-                        epoch,
-                        attempts: 1,
+                        channel: slot.channel,
                     });
                 };
-                if m.phase == phase {
-                    break (from, m);
-                }
-                self.pending.push((from, m));
+                self.state.absorb_ghosts(hop, slot.peer, &g);
             }
-        };
-        match m.verify(self.rank, epoch, channel) {
-            Ok(()) => {
-                if let Some(s) = self.health.record_success(from, channel.trace_class(), epoch) {
-                    self.tsink
-                        .instant(epoch, EventKind::Health { peer: from as u32, state: s.code() });
-                    if s == RankHealth::Dead {
-                        return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
+        }
+        // The interior pass is compute, not communication, even though it
+        // ran inside the exchange window.
+        let exchange_secs = (t_ex.elapsed().as_secs_f64() - interior_secs).max(0.0);
+        self.state.stats.phases.add(Phase::Exchange, exchange_secs);
+        self.tsink.phase(epoch, Phase::Exchange, ex0, self.tsink.now_ns().saturating_sub(ex0));
+        let c0 = self.tsink.now_ns();
+        let (energy, tuples, phases) = self.state.compute_forces(&self.ff);
+        if self.tsink.enabled() {
+            // Fine-grained compute sub-phases, laid out cumulatively from
+            // the compute start on this rank's own timeline row.
+            let mut cursor = c0;
+            for (p, secs) in phases.iter() {
+                let dur_ns = (secs * 1e9) as u64;
+                if dur_ns > 0 {
+                    self.tsink.phase(epoch, p, cursor, dur_ns);
+                    cursor += dur_ns;
+                }
+            }
+        }
+        let t_red = std::time::Instant::now();
+        let r0 = self.tsink.now_ns();
+        for hops in transport::force_phase_groups(&self.plan) {
+            self.phase += 1;
+            let (slots, rx_slots) = transport::force_phase(&self.grid, &self.plan, self.rank, &hops);
+            let mut secs = Vec::with_capacity(slots.len());
+            for (slot, &hop) in slots.iter().zip(&hops) {
+                let (forces, recorded) = self.state.collect_ghost_forces(hop);
+                debug_assert!(
+                    recorded.map_or(true, |t| t == slot.peer),
+                    "ghost origin disagrees with the routing schedule"
+                );
+                secs.push((
+                    slot.peer,
+                    Message::stamped(self.phase, epoch, slot.channel, Payload::Forces(forces)),
+                ));
+            }
+            self.send_frames(comm.aggregation, epoch, secs);
+            let payloads = self.recv_phase(comm.aggregation, epoch, &rx_slots)?;
+            for ((_slot, &hop), payload) in rx_slots.iter().zip(&hops).zip(payloads) {
+                let Payload::Forces(f) = payload else {
+                    return Err(RuntimeError::WrongPayload {
+                        rank: self.rank,
+                        channel: Channel::Forces { hop },
+                    });
+                };
+                self.state.absorb_ghost_forces(hop, &f)?;
+            }
+        }
+        // The reverse ghost-force reduction is communication too; fold it
+        // into the exchange slot of this rank's breakdown.
+        self.state.stats.phases.add(Phase::Exchange, t_red.elapsed().as_secs_f64());
+        self.tsink.phase(epoch, Phase::Reduce, r0, self.tsink.now_ns().saturating_sub(r0));
+        Ok((energy, tuples))
+    }
+
+    /// One velocity-Verlet step (priming forces first when needed).
+    fn step(
+        &mut self,
+        dt: f64,
+        resort: bool,
+        comm: CommConfig,
+    ) -> Result<Box<StepView>, RuntimeError> {
+        let epoch = self.steps_done;
+        if self.needs_prime {
+            self.exchange_and_compute(comm, epoch)?;
+            self.needs_prime = false;
+        }
+        let t0 = std::time::Instant::now();
+        let i0 = self.tsink.now_ns();
+        self.state.vv_start(dt);
+        self.state.drop_ghosts();
+        // Ghost-free point: same re-sort schedule as the BSP executor, so
+        // slot layouts (and hence accumulation order) stay identical.
+        if resort {
+            self.state.resort_owned();
+        }
+        self.state.stats.phases.add(Phase::Integrate, t0.elapsed().as_secs_f64());
+        self.tsink.phase(epoch, Phase::Integrate, i0, self.tsink.now_ns().saturating_sub(i0));
+        let t1 = std::time::Instant::now();
+        let m0 = self.tsink.now_ns();
+        for axis in 0..3 {
+            self.phase += 1;
+            let (slots, rx_slots) = transport::migrate_phase(&self.grid, self.rank, axis);
+            let (to_minus, to_plus) = self.state.collect_migrants(axis);
+            let secs = slots
+                .into_iter()
+                .zip([to_minus, to_plus])
+                .map(|(slot, atoms)| {
+                    let msg =
+                        Message::stamped(self.phase, epoch, slot.channel, Payload::Migrate(atoms));
+                    (slot.peer, msg)
+                })
+                .collect();
+            self.send_frames(comm.aggregation, epoch, secs);
+            let payloads = self.recv_phase(comm.aggregation, epoch, &rx_slots)?;
+            for (slot, payload) in rx_slots.iter().zip(payloads) {
+                let Payload::Migrate(a) = payload else {
+                    return Err(RuntimeError::WrongPayload {
+                        rank: self.rank,
+                        channel: slot.channel,
+                    });
+                };
+                self.state.absorb_migrants(&a);
+            }
+        }
+        self.state.stats.phases.add(Phase::Migrate, t1.elapsed().as_secs_f64());
+        self.tsink.phase(epoch, Phase::Migrate, m0, self.tsink.now_ns().saturating_sub(m0));
+        let (energy, tuples) = self.exchange_and_compute(comm, epoch)?;
+        let t2 = std::time::Instant::now();
+        let f0 = self.tsink.now_ns();
+        self.state.vv_finish(dt);
+        self.state.stats.phases.add(Phase::Integrate, t2.elapsed().as_secs_f64());
+        self.tsink.phase(epoch, Phase::Integrate, f0, self.tsink.now_ns().saturating_sub(f0));
+        self.steps_done += 1;
+        Ok(self.view(energy, tuples))
+    }
+
+    /// The post-command report: fresh energies plus the supervision
+    /// invariants (atom count, finiteness) so the controller never needs a
+    /// second round-trip to answer them.
+    fn view(&self, energy: EnergyBreakdown, tuples: TupleCounts) -> Box<StepView> {
+        let s = self.state.store();
+        let finite = (0..self.state.owned()).all(|i| {
+            s.positions()[i].is_finite() && s.velocities()[i].is_finite() && s.forces()[i].is_finite()
+        });
+        Box::new(StepView {
+            energy,
+            tuples,
+            kinetic: self.state.kinetic_energy(),
+            owned: self.state.owned(),
+            finite,
+            stats: self.state.stats.clone(),
+        })
+    }
+}
+
+/// The worker thread body: drain commands until `Stop` or a failed step.
+/// A failed step replies `Failed` and exits, dropping this rank's channel
+/// endpoints; the controller then poisons the survivors so nobody blocks
+/// on a slot that can never fill.
+fn worker_main(mut w: Worker, cmd_rx: Receiver<Cmd>, reply_tx: Sender<(usize, Reply)>) {
+    loop {
+        let Ok(cmd) = cmd_rx.recv() else { return };
+        match cmd {
+            Cmd::Stop => return,
+            Cmd::Sink(sink) => {
+                w.tsink = sink.clone();
+                w.mailbox.tsink = sink;
+            }
+            Cmd::Step { dt, resort, comm } => match w.step(dt, resort, comm) {
+                Ok(view) => {
+                    let _ = reply_tx.send((w.rank, Reply::Step(view)));
+                }
+                Err(e) => {
+                    let _ = reply_tx.send((w.rank, Reply::Failed(e)));
+                    return;
+                }
+            },
+            Cmd::Energy { comm } => {
+                // Fresh forces without integrating; deliberately does NOT
+                // clear the priming flag, matching the BSP executor's
+                // total_energy (so both executors run the same number of
+                // exchange cycles over a run).
+                match w.exchange_and_compute(comm, w.steps_done) {
+                    Ok((energy, tuples)) => {
+                        let view = w.view(energy, tuples);
+                        let _ = reply_tx.send((w.rank, Reply::Step(view)));
+                    }
+                    Err(e) => {
+                        let _ = reply_tx.send((w.rank, Reply::Failed(e)));
+                        return;
                     }
                 }
-                Ok((from, m.payload))
             }
-            Err(e) => {
-                if let Some(s) = self.health.record_failure(from, channel.trace_class(), epoch) {
-                    self.tsink
-                        .instant(epoch, EventKind::Health { peer: from as u32, state: s.code() });
-                    if s == RankHealth::Dead {
-                        return Err(RuntimeError::RankDead { rank: from, step: epoch, epoch });
-                    }
-                }
-                Err(e)
+            Cmd::Gather => {
+                let reply = Reply::Gather {
+                    atoms: w.state.owned_atoms(),
+                    masses: w.state.store().species_masses().to_vec(),
+                };
+                let _ = reply_tx.send((w.rank, reply));
             }
         }
     }
 }
 
-/// Runs a distributed simulation with one thread per rank. One-shot: builds
-/// the rank states, runs `steps` velocity-Verlet steps, and returns the
-/// gathered store (sorted by id), the final-step global energy breakdown,
-/// and aggregated communication statistics.
-pub struct ThreadedSim;
+/// A distributed MD simulation with one persistent OS thread per rank and
+/// channels as the interconnect. Steps, telemetry, gather, checkpoint, and
+/// restore mirror [`crate::DistributedSim`]; physics is bitwise-identical
+/// between the two executors (and across all [`CommConfig`] packing modes).
+pub struct ThreadedSim {
+    grid: RankGrid,
+    ff: Arc<ForceField>,
+    dt: f64,
+    resort_every: u64,
+    comm: CommConfig,
+    steps_done: u64,
+    cmd_txs: Vec<Sender<Cmd>>,
+    reply_rx: Receiver<(usize, Reply)>,
+    reply_tx: Sender<(usize, Reply)>,
+    /// Controller-held clones of the data senders, used to poison blocked
+    /// workers when one fails mid-protocol.
+    data_txs: Vec<Sender<Wire>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per-rank report from the most recent step/energy command.
+    cached: Vec<StepView>,
+    /// Set when the worker pool died mid-step; only `restore` revives it.
+    dead: Option<RuntimeError>,
+    registry: Registry,
+    tracer: Tracer,
+    /// Aggregate counters at the last metrics feed (delta source).
+    last_totals: CommCounters,
+}
 
 impl ThreadedSim {
-    /// Executes the simulation. See [`crate::DistributedSim::new`] for the
-    /// validity requirements (shared via the same constructor checks).
+    /// Decomposes `store` over a `pdims` rank grid and spawns one worker
+    /// thread per rank.
+    ///
+    /// # Errors
+    /// The same feasibility checks as [`crate::DistributedSim::new`]
+    /// (shared helpers).
+    pub fn new(
+        store: AtomStore,
+        bbox: SimulationBox,
+        pdims: IVec3,
+        ff: ForceField,
+        dt: f64,
+    ) -> Result<Self, SetupError> {
+        let grid = RankGrid::try_new(pdims, bbox)?;
+        validate_decomposition(&ff, &grid)?;
+        let (reply_tx, reply_rx) = unbounded();
+        let mut sim = ThreadedSim {
+            grid,
+            ff: Arc::new(ff),
+            dt,
+            resort_every: DEFAULT_RESORT_EVERY,
+            comm: CommConfig::default(),
+            steps_done: 0,
+            cmd_txs: Vec::new(),
+            reply_rx,
+            reply_tx,
+            data_txs: Vec::new(),
+            handles: Vec::new(),
+            cached: Vec::new(),
+            dead: None,
+            registry: Registry::disabled(),
+            tracer: Tracer::disabled(),
+            last_totals: CommCounters::default(),
+        };
+        sim.spawn_pool(&store, 0)?;
+        Ok(sim)
+    }
+
+    /// (Re)builds the worker pool from a full store: rank states, channels,
+    /// threads. Any previous pool must already be shut down.
+    fn spawn_pool(&mut self, store: &AtomStore, start_step: u64) -> Result<(), SetupError> {
+        let width = validate_decomposition(&self.ff, &self.grid)?;
+        let plan = GhostPlan::for_method(self.ff.method, width)?;
+        let nranks = self.grid.len();
+        let states: Vec<RankState> =
+            (0..nranks).map(|r| RankState::new(r, self.grid.clone(), store, &self.ff)).collect();
+        let total: usize = states.iter().map(|r| r.owned()).sum();
+        if total != store.len() {
+            return Err(SetupError::AtomsLost { expected: store.len(), claimed: total });
+        }
+        let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(nranks);
+        let mut rxs: Vec<Receiver<Wire>> = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        self.data_txs = txs.clone();
+        self.cmd_txs = Vec::with_capacity(nranks);
+        self.handles = Vec::with_capacity(nranks);
+        self.cached = vec![StepView::default(); nranks];
+        self.dead = None;
+        for (rank, state) in states.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = unbounded();
+            self.cmd_txs.push(cmd_tx);
+            let tsink = self.tracer.sink(rank as u32, 0);
+            let worker = Worker {
+                state,
+                rank,
+                grid: self.grid.clone(),
+                plan: plan.clone(),
+                ff: Arc::clone(&self.ff),
+                txs: txs.clone(),
+                mailbox: Mailbox {
+                    rank,
+                    rx: rxs.remove(0),
+                    pending: Vec::new(),
+                    health: HealthTracker::new(nranks, HealthConfig::default()),
+                    tsink: tsink.clone(),
+                },
+                tsink,
+                phase: 0,
+                steps_done: start_step,
+                needs_prime: true,
+            };
+            let reply_tx = self.reply_tx.clone();
+            self.handles.push(std::thread::spawn(move || worker_main(worker, cmd_rx, reply_tx)));
+        }
+        Ok(())
+    }
+
+    /// Stops and joins the worker pool (dead workers are already gone).
+    fn shutdown_pool(&mut self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(Cmd::Stop);
+        }
+        // Unblock anyone stuck mid-protocol (a peer may have died between
+        // our Stop landing and its next receive).
+        self.poison();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.cmd_txs.clear();
+        self.data_txs.clear();
+    }
+
+    /// Broadcasts the poison sentinel so workers blocked on a dead peer's
+    /// slot fail their receive instead of waiting forever.
+    fn poison(&self) {
+        for tx in &self.data_txs {
+            let msg = Message::stamped(
+                POISON_PHASE,
+                0,
+                Channel::Migrate { axis: 0, dir: -1 },
+                Payload::Migrate(Vec::new()),
+            );
+            let _ = tx.send((usize::MAX, msg));
+        }
+    }
+
+    /// Broadcasts a command and collects exactly one `Step`-shaped reply
+    /// per rank. On any failure the survivors are poisoned, all replies are
+    /// drained, and the pool is marked dead.
+    fn command_round(&mut self, make: impl Fn() -> Cmd) -> Result<(), RuntimeError> {
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        for tx in &self.cmd_txs {
+            let _ = tx.send(make());
+        }
+        let nranks = self.cmd_txs.len();
+        let mut first_err: Option<RuntimeError> = None;
+        for _ in 0..nranks {
+            match self.reply_rx.recv() {
+                Ok((rank, Reply::Step(view))) => self.cached[rank] = *view,
+                Ok((_, Reply::Failed(e))) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                        // Unblock workers waiting on the failed rank so
+                        // they too reply (with their own error) and exit.
+                        self.poison();
+                    }
+                }
+                Ok((_, Reply::Gather { .. })) | Err(_) => break,
+            }
+        }
+        if let Some(e) = first_err {
+            self.dead = Some(e.clone());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Replaces the communication configuration (per-neighbor aggregation,
+    /// compute/communication overlap). The rebalance cadence is ignored —
+    /// adaptive re-decomposition lives in the BSP executor. All settings
+    /// are bitwise-neutral.
+    pub fn set_comm_config(&mut self, comm: CommConfig) {
+        self.comm = comm;
+    }
+
+    /// The communication configuration in force.
+    pub fn comm_config(&self) -> CommConfig {
+        self.comm
+    }
+
+    /// Sets the Morton re-sort cadence (0 disables; default 8, matching the
+    /// BSP executor).
+    pub fn set_resort_every(&mut self, every: u64) {
+        self.resort_every = every;
+    }
+
+    /// Routes the per-step communication deltas into `registry`.
+    pub fn set_metrics(&mut self, registry: Registry) {
+        self.registry = registry;
+        self.last_totals = self.comm_stats();
+    }
+
+    /// The metrics registry in use.
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Routes event-level tracing through `tracer`: each worker writes its
+    /// phase intervals and comm events into its own per-rank sink, so the
+    /// merged timeline shows the true concurrent schedule.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for (rank, tx) in self.cmd_txs.iter().enumerate() {
+            let _ = tx.send(Cmd::Sink(tracer.sink(rank as u32, 0)));
+        }
+        self.tracer = tracer;
+    }
+
+    /// The tracer in use.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The rank grid.
+    pub fn grid(&self) -> &RankGrid {
+        &self.grid
+    }
+
+    /// Steps completed since construction (or the restored checkpoint).
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// The integration timestep.
+    pub fn timestep(&self) -> f64 {
+        self.dt
+    }
+
+    /// Changes the integration timestep.
+    pub fn set_timestep(&mut self, dt: f64) {
+        self.dt = dt;
+    }
+
+    /// One velocity-Verlet step, surfacing unrecovered faults.
+    ///
+    /// # Errors
+    /// Any [`RuntimeError`] a worker hit. The pool is dead afterwards;
+    /// [`Recoverable::restore`] rebuilds it from a checkpoint.
+    pub fn try_step(&mut self) -> Result<(), RuntimeError> {
+        let resort = self.resort_every != 0 && self.steps_done.is_multiple_of(self.resort_every);
+        let (dt, comm) = (self.dt, self.comm);
+        self.command_round(|| Cmd::Step { dt, resort, comm })?;
+        self.steps_done += 1;
+        self.feed_metrics();
+        Ok(())
+    }
+
+    /// One velocity-Verlet step.
+    ///
+    /// # Panics
+    /// Panics on an unrecovered communication fault; use
+    /// [`ThreadedSim::try_step`] in fault-tolerant loops.
+    pub fn step(&mut self) {
+        self.try_step().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Runs `n` steps. Panics like [`ThreadedSim::step`] on faults.
+    pub fn run_steps(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Feeds the step's communication deltas into the registry.
+    fn feed_metrics(&mut self) {
+        if !self.registry.enabled() {
+            return;
+        }
+        let now = self.comm_stats();
+        self.registry.counter("dist.steps").inc();
+        self.registry.counter("comm.messages").add(now.messages - self.last_totals.messages);
+        self.registry.counter("comm.bytes").add(now.bytes - self.last_totals.bytes);
+        self.registry
+            .counter("comm.ghosts_imported")
+            .add(now.ghosts_imported - self.last_totals.ghosts_imported);
+        self.registry
+            .counter("comm.atoms_migrated")
+            .add(now.atoms_migrated - self.last_totals.atoms_migrated);
+        self.registry.counter("comm.retries").add(now.retries - self.last_totals.retries);
+        self.registry
+            .counter("comm.faults_detected")
+            .add(now.faults_detected - self.last_totals.faults_detected);
+        self.last_totals = now;
+    }
+
+    /// Aggregated communication statistics since the pool was (re)built.
+    pub fn comm_stats(&self) -> CommCounters {
+        let mut total = CommCounters::default();
+        for v in &self.cached {
+            total.merge(&v.stats);
+        }
+        total
+    }
+
+    /// The unified telemetry snapshot, served from the workers' most recent
+    /// step reports. The threaded executor has no central wall clock, so
+    /// the phase breakdown is the merged per-rank one (the reverse force
+    /// reduction folds into the exchange slot).
+    pub fn telemetry(&self) -> Telemetry {
+        let comm = self.comm_stats();
+        let mut energy = EnergyBreakdown::default();
+        let mut tuples = TupleCounts::default();
+        for v in &self.cached {
+            energy.pair += v.energy.pair;
+            energy.triplet += v.energy.triplet;
+            energy.quadruplet += v.energy.quadruplet;
+            tuples.pair.merge(v.tuples.pair);
+            tuples.triplet.merge(v.tuples.triplet);
+            tuples.quadruplet.merge(v.tuples.quadruplet);
+        }
+        Telemetry {
+            step: self.steps_done,
+            energy,
+            tuples,
+            virial: 0.0,
+            phases: comm.phases,
+            total_phases: comm.phases,
+            per_rank: self.cached.iter().map(|v| v.stats.clone()).collect(),
+            comm,
+            alloc_events: self.registry.allocation_events(),
+            degraded: false,
+        }
+    }
+
+    /// Total energy; recomputes forces on every rank.
+    ///
+    /// # Panics
+    /// Panics on an unrecovered communication fault.
+    pub fn total_energy(&mut self) -> f64 {
+        let comm = self.comm;
+        self.command_round(|| Cmd::Energy { comm }).unwrap_or_else(|e| panic!("{e}"));
+        self.cached.iter().map(|v| v.energy.total() + v.kinetic).sum()
+    }
+
+    /// Gathers all owned atoms into one store, sorted by global id — the
+    /// same canonical form as [`crate::DistributedSim::gather`]. A dead
+    /// pool yields an empty store (restore from a checkpoint instead).
+    pub fn gather(&self) -> AtomStore {
+        let mut atoms: Vec<AtomMsg> = Vec::new();
+        let mut masses = vec![1.0];
+        if self.dead.is_none() {
+            for tx in &self.cmd_txs {
+                let _ = tx.send(Cmd::Gather);
+            }
+            for _ in 0..self.cmd_txs.len() {
+                if let Ok((_, Reply::Gather { atoms: a, masses: m })) = self.reply_rx.recv() {
+                    atoms.extend(a);
+                    masses = m;
+                }
+            }
+        }
+        atoms.sort_by_key(|a| a.id);
+        let mut out = AtomStore::new(masses);
+        for a in &atoms {
+            out.push(a.id, a.species, a.position, a.velocity);
+        }
+        out
+    }
+}
+
+impl Drop for ThreadedSim {
+    fn drop(&mut self) {
+        self.shutdown_pool();
+    }
+}
+
+impl Recoverable for ThreadedSim {
+    type Fault = RuntimeError;
+
+    fn try_step(&mut self) -> Result<(), RuntimeError> {
+        ThreadedSim::try_step(self)
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        let p = self.grid.pdims();
+        Checkpoint::from_store(self.steps_done, self.dt, self.grid.bbox(), &self.gather())
+            .with_layout(SnapshotLayout::Grid { pdims: [p.x, p.y, p.z] })
+    }
+
+    fn restore(&mut self, cp: &Checkpoint) {
+        // Rebuild the whole pool from the snapshot: the cheap, always-valid
+        // recovery for an interconnect whose threads may have unwound.
+        self.shutdown_pool();
+        self.dt = cp.dt;
+        self.steps_done = cp.step;
+        self.last_totals = CommCounters::default();
+        let store = cp.to_store();
+        self.spawn_pool(&store, cp.step).expect("restore onto the original grid cannot fail");
+    }
+
+    fn atom_count(&self) -> usize {
+        self.cached.iter().map(|v| v.owned).sum()
+    }
+
+    fn total_energy_estimate(&self) -> f64 {
+        let e: f64 = self.cached.iter().map(|v| v.energy.total() + v.kinetic).sum();
+        e
+    }
+
+    fn state_is_finite(&self) -> bool {
+        self.cached.iter().all(|v| v.finite)
+    }
+
+    fn timestep(&self) -> f64 {
+        self.dt
+    }
+
+    fn set_timestep(&mut self, dt: f64) {
+        self.dt = dt;
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    fn dead_rank(fault: &RuntimeError) -> Option<usize> {
+        match fault {
+            RuntimeError::RankDead { rank, .. } => Some(*rank),
+            _ => None,
+        }
+    }
+
+    fn restore_excluding(&mut self, _cp: &Checkpoint, _exclude: &[usize]) -> Result<(), String> {
+        Err("the threaded executor cannot re-decompose over survivors".to_string())
+    }
+}
+
+impl ThreadedSim {
+    /// One-shot convenience: builds the executor, runs `steps` steps, and
+    /// returns the gathered store (sorted by id), the final-step global
+    /// energy breakdown, and aggregated communication statistics.
     ///
     /// # Errors
     /// [`RunError::Setup`] for rejected configurations; [`RunError::Runtime`]
@@ -112,77 +911,13 @@ impl ThreadedSim {
         ff: ForceField,
         dt: f64,
         steps: usize,
-    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
-        Self::run_inner(store, bbox, pdims, ff, dt, steps, &Tracer::disabled())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_inner(
-        store: AtomStore,
-        bbox: SimulationBox,
-        pdims: IVec3,
-        ff: ForceField,
-        dt: f64,
-        steps: usize,
-        tracer: &Tracer,
-    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
-        // Same feasibility checks as the BSP constructor (shared helper).
-        let grid = RankGrid::try_new(pdims, bbox)?;
-        let width = validate_decomposition(&ff, &grid)?;
-        let plan = GhostPlan::for_method(ff.method, width)?;
-        let ff = Arc::new(ff);
-        let nranks = grid.len();
-        let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(nranks);
-        let mut rxs: Vec<Receiver<Wire>> = Vec::with_capacity(nranks);
-        for _ in 0..nranks {
-            let (tx, rx) = unbounded();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        let states: Vec<RankState> =
-            (0..nranks).map(|r| RankState::new(r, grid, &store, &ff)).collect();
-
-        let results: Vec<Result<(RankState, EnergyBreakdown), RuntimeError>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(nranks);
-                for (rank, state) in states.into_iter().enumerate() {
-                    let txs = txs.clone();
-                    let rx = rxs.remove(0);
-                    let plan = plan.clone();
-                    let ff = Arc::clone(&ff);
-                    let tsink = tracer.sink(rank as u32, 0);
-                    handles.push(scope.spawn(move || {
-                        rank_main(state, rank, grid, plan, ff, txs, rx, dt, steps, tsink)
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-            });
-
-        let mut energy = EnergyBreakdown::default();
-        let mut stats = CommStats::default();
-        let mut atoms: Vec<AtomMsg> = Vec::new();
-        let mut masses = vec![1.0];
-        for result in results {
-            let (state, e) = result?;
-            energy.pair += e.pair;
-            energy.triplet += e.triplet;
-            energy.quadruplet += e.quadruplet;
-            stats.merge(&state.stats);
-            atoms.extend(state.owned_atoms());
-            masses = state.store().species_masses().to_vec();
-        }
-        atoms.sort_by_key(|a| a.id);
-        let mut out = AtomStore::new(masses);
-        for a in &atoms {
-            out.push(a.id, a.species, a.position, a.velocity);
-        }
-        Ok((out, energy, stats))
+    ) -> Result<(AtomStore, EnergyBreakdown, CommCounters), RunError> {
+        Self::run_observed(store, bbox, pdims, ff, dt, steps, &Registry::disabled(), &Tracer::disabled())
     }
 
     /// Like [`ThreadedSim::run`], additionally reporting the aggregated
     /// run totals into `registry`: the `comm.*` counter series (whole-run
-    /// totals — the executor is one-shot, so there is no per-step stream)
-    /// and the merged per-rank phase breakdown.
+    /// totals) and the merged per-rank phase breakdown.
     #[allow(clippy::too_many_arguments)]
     pub fn run_with_metrics(
         store: AtomStore,
@@ -192,14 +927,12 @@ impl ThreadedSim {
         dt: f64,
         steps: usize,
         registry: &Registry,
-    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
+    ) -> Result<(AtomStore, EnergyBreakdown, CommCounters), RunError> {
         Self::run_observed(store, bbox, pdims, ff, dt, steps, registry, &Tracer::disabled())
     }
 
     /// Like [`ThreadedSim::run_with_metrics`], additionally routing
-    /// event-level traces through `tracer`: each rank thread writes its
-    /// phase intervals and comm send/recv events into its own per-thread
-    /// sink, so the merged timeline shows the true concurrent schedule.
+    /// event-level traces through `tracer`.
     #[allow(clippy::too_many_arguments)]
     pub fn run_observed(
         store: AtomStore,
@@ -210,9 +943,15 @@ impl ThreadedSim {
         steps: usize,
         registry: &Registry,
         tracer: &Tracer,
-    ) -> Result<(AtomStore, EnergyBreakdown, CommStats), RunError> {
-        let (out, energy, stats) =
-            ThreadedSim::run_inner(store, bbox, pdims, ff, dt, steps, tracer)?;
+    ) -> Result<(AtomStore, EnergyBreakdown, CommCounters), RunError> {
+        let mut sim = ThreadedSim::new(store, bbox, pdims, ff, dt)?;
+        sim.set_tracer(tracer.clone());
+        for _ in 0..steps {
+            sim.try_step()?;
+        }
+        let stats = sim.comm_stats();
+        let tel = sim.telemetry();
+        let out = sim.gather();
         registry.counter("dist.steps").add(steps as u64);
         registry.counter("comm.messages").add(stats.messages);
         registry.counter("comm.bytes").add(stats.bytes);
@@ -223,158 +962,6 @@ impl ThreadedSim {
         for (phase, secs) in stats.phases.iter() {
             registry.record_phase(phase, secs);
         }
-        Ok((out, energy, stats))
+        Ok((out, tel.energy, stats))
     }
-}
-
-/// The per-rank thread body: the same phase sequence as the BSP executor.
-/// Returning `Err` drops this rank's channel endpoints, which unblocks any
-/// peer waiting on it with a [`RuntimeError::MissingHop`].
-#[allow(clippy::too_many_arguments)]
-fn rank_main(
-    mut state: RankState,
-    rank: usize,
-    grid: RankGrid,
-    plan: GhostPlan,
-    ff: Arc<ForceField>,
-    txs: Vec<Sender<Wire>>,
-    rx: Receiver<Wire>,
-    dt: f64,
-    steps: usize,
-    tsink: TraceSink,
-) -> Result<(RankState, EnergyBreakdown), RuntimeError> {
-    let mut mailbox = Mailbox {
-        rank,
-        rx,
-        pending: Vec::new(),
-        health: HealthTracker::new(grid.len(), HealthConfig::default()),
-        tsink: tsink.clone(),
-    };
-    let mut phase = 0u64;
-    let mut last_energy = EnergyBreakdown::default();
-
-    let send = |state: &mut RankState,
-                to: usize,
-                phase: u64,
-                epoch: u64,
-                channel: Channel,
-                payload: Payload| {
-        let bytes = payload.wire_bytes();
-        state.stats.record_send(to, bytes);
-        tsink.send(epoch, channel.trace_class(), to as u32, bytes, epoch);
-        // A send can fail only when the peer already unwound with its own
-        // error; this rank then errors on its next receive.
-        let _ = txs[to].send((rank, Message::stamped(phase, epoch, channel, payload)));
-    };
-
-    let exchange_and_compute = |state: &mut RankState,
-                                phase: &mut u64,
-                                epoch: u64,
-                                mailbox: &mut Mailbox|
-     -> Result<EnergyBreakdown, RuntimeError> {
-        let t_exchange = std::time::Instant::now();
-        let ex0 = tsink.now_ns();
-        state.drop_ghosts();
-        for (hop, &(axis, recv_dir)) in plan.hops.iter().enumerate() {
-            let band = state.collect_ghost_band(&plan, axis, recv_dir);
-            let to = grid.neighbor(rank, axis, -recv_dir);
-            let channel = Channel::Ghosts { hop };
-            send(state, to, *phase, epoch, channel, Payload::Ghosts(band));
-            let (from, payload) = mailbox.recv_validated(*phase, epoch, channel)?;
-            tsink.recv(epoch, channel.trace_class(), from as u32, payload.wire_bytes(), epoch);
-            let Payload::Ghosts(g) = payload else {
-                return Err(RuntimeError::WrongPayload { rank, channel });
-            };
-            state.absorb_ghosts(hop, from, &g);
-            *phase += 1;
-        }
-        state.stats.phases.add(Phase::Exchange, t_exchange.elapsed().as_secs_f64());
-        tsink.phase(epoch, Phase::Exchange, ex0, tsink.now_ns().saturating_sub(ex0));
-        let c0 = tsink.now_ns();
-        let (energy, _tuples, phases) = state.compute_forces(&ff);
-        if tsink.enabled() {
-            // Fine-grained compute sub-phases, laid out cumulatively from
-            // the compute start on this rank's own timeline row.
-            let mut cursor = c0;
-            for (p, secs) in phases.iter() {
-                let dur_ns = (secs * 1e9) as u64;
-                if dur_ns > 0 {
-                    tsink.phase(epoch, p, cursor, dur_ns);
-                    cursor += dur_ns;
-                }
-            }
-        }
-        let t_reduce = std::time::Instant::now();
-        let r0 = tsink.now_ns();
-        for hop in (0..plan.hops.len()).rev() {
-            let (axis, recv_dir) = plan.hops[hop];
-            let (forces, to) = state.collect_ghost_forces(hop);
-            let to = to.unwrap_or_else(|| grid.neighbor(rank, axis, recv_dir));
-            let channel = Channel::Forces { hop };
-            send(state, to, *phase, epoch, channel, Payload::Forces(forces));
-            let (from, payload) = mailbox.recv_validated(*phase, epoch, channel)?;
-            tsink.recv(epoch, channel.trace_class(), from as u32, payload.wire_bytes(), epoch);
-            let Payload::Forces(f) = payload else {
-                return Err(RuntimeError::WrongPayload { rank, channel });
-            };
-            state.absorb_ghost_forces(hop, &f)?;
-            *phase += 1;
-        }
-        // The reverse ghost-force reduction is communication too; fold
-        // it into the exchange phase of this rank's breakdown.
-        state.stats.phases.add(Phase::Exchange, t_reduce.elapsed().as_secs_f64());
-        tsink.phase(epoch, Phase::Reduce, r0, tsink.now_ns().saturating_sub(r0));
-        Ok(energy)
-    };
-
-    for step in 0..steps {
-        let epoch = step as u64;
-        if step == 0 {
-            // Prime forces; the energy is superseded by the in-step cycle.
-            let _ = exchange_and_compute(&mut state, &mut phase, epoch, &mut mailbox)?;
-        }
-        let i0 = tsink.now_ns();
-        state.vv_start(dt);
-        state.drop_ghosts();
-        // Ghost-free point: same re-sort schedule as the BSP executor, so
-        // slot layouts (and hence accumulation order) stay identical.
-        if epoch.is_multiple_of(DEFAULT_RESORT_EVERY) {
-            state.resort_owned();
-        }
-        tsink.phase(epoch, Phase::Integrate, i0, tsink.now_ns().saturating_sub(i0));
-        // Migration, axis by axis.
-        let m0 = tsink.now_ns();
-        for axis in 0..3 {
-            let (to_minus, to_plus) = state.collect_migrants(axis);
-            let minus = grid.neighbor(rank, axis, -1);
-            let plus = grid.neighbor(rank, axis, 1);
-            let channel = Channel::Migrate { axis, dir: -1 };
-            send(&mut state, minus, phase, epoch, channel, Payload::Migrate(to_minus));
-            send(
-                &mut state,
-                plus,
-                phase,
-                epoch,
-                Channel::Migrate { axis, dir: 1 },
-                Payload::Migrate(to_plus),
-            );
-            for _ in 0..2 {
-                // Two deliveries share this phase (one per side); the stamp
-                // check matches on the axis.
-                let (from, payload) = mailbox.recv_validated(phase, epoch, channel)?;
-                tsink.recv(epoch, channel.trace_class(), from as u32, payload.wire_bytes(), epoch);
-                let Payload::Migrate(a) = payload else {
-                    return Err(RuntimeError::WrongPayload { rank, channel });
-                };
-                state.absorb_migrants(&a);
-            }
-            phase += 1;
-        }
-        tsink.phase(epoch, Phase::Migrate, m0, tsink.now_ns().saturating_sub(m0));
-        last_energy = exchange_and_compute(&mut state, &mut phase, epoch, &mut mailbox)?;
-        let f0 = tsink.now_ns();
-        state.vv_finish(dt);
-        tsink.phase(epoch, Phase::Integrate, f0, tsink.now_ns().saturating_sub(f0));
-    }
-    Ok((state, last_energy))
 }

@@ -68,8 +68,19 @@ pub struct Fault {
 }
 
 impl Fault {
-    fn matches(&self, step: u64, rank: usize, channel: Channel) -> bool {
-        step >= self.step && rank == self.rank && self.channel.is_none_or(|c| c.matches(channel))
+    /// Whether the fault fires on this transmission. A batched frame matches
+    /// when *any* of its sections fills the scripted channel, so channel-
+    /// targeted faults keep firing when the executor aggregates per-neighbor
+    /// messages.
+    fn matches(&self, step: u64, rank: usize, msg: &Message) -> bool {
+        if step < self.step || rank != self.rank {
+            return false;
+        }
+        let Some(want) = self.channel else { return true };
+        match &msg.payload {
+            Payload::Batch(sections) => sections.iter().any(|s| want.matches(s.channel)),
+            _ => want.matches(msg.channel),
+        }
     }
 }
 
@@ -131,6 +142,14 @@ impl FaultPlan {
     /// ranks are permanent state, not pending work, so they do not count.
     pub fn is_exhausted(&self) -> bool {
         self.faults.is_empty() && self.held.is_empty()
+    }
+
+    /// Whether the plan can still affect any transmission: pending faults,
+    /// held (delayed) messages, or crashed ranks that swallow sends. An
+    /// inert plan lets the transport skip the per-delivery retransmission
+    /// copy entirely — the hot path for production runs.
+    pub fn is_inert(&self) -> bool {
+        self.faults.is_empty() && self.held.is_empty() && self.crashed.is_empty()
     }
 
     /// Every fault that has fired so far, in firing order.
@@ -226,10 +245,11 @@ impl FaultPlan {
             let (_, _, held) = self.held.swap_remove(i);
             return Delivery::Deliver(held);
         }
-        let Some(i) = self.faults.iter().position(|f| f.matches(step, from, channel)) else {
+        let Some(i) = self.faults.iter().position(|f| f.matches(step, from, &msg)) else {
             return Delivery::Deliver(msg);
         };
         let kind = self.faults[i].kind;
+        let target = self.faults[i].channel;
         self.events.push(FaultEvent { step, rank: from, channel, kind });
         match kind {
             FaultKind::Drop => {
@@ -243,7 +263,7 @@ impl FaultPlan {
             }
             FaultKind::Corrupt { header } => {
                 self.faults.swap_remove(i);
-                Delivery::Deliver(corrupt(msg, header))
+                Delivery::Deliver(corrupt(msg, header, target))
             }
             FaultKind::Stall { attempts } => {
                 if attempts <= 1 {
@@ -263,7 +283,11 @@ impl FaultPlan {
 }
 
 /// Flips bits in a message without re-stamping, so verification fails.
-fn corrupt(mut msg: Message, header: bool) -> Message {
+/// Inside a batched frame the body corruption lands on the first section
+/// matching the fault's `target` channel (or the first section when the
+/// fault was unscoped), so a corrupt-channel fault still localizes to the
+/// per-channel section it scripted.
+fn corrupt(mut msg: Message, header: bool, target: Option<Channel>) -> Message {
     if header {
         msg.epoch = msg.epoch.wrapping_add(1);
         return msg;
@@ -277,6 +301,17 @@ fn corrupt(mut msg: Message, header: bool) -> Message {
         }
         Payload::Forces(v) if !v.is_empty() => {
             v[0].force.x = flip_low_bit(v[0].force.x);
+        }
+        Payload::Batch(sections) if !sections.is_empty() => {
+            let i = sections
+                .iter()
+                .position(|s| target.is_none_or(|c| c.matches(s.channel)))
+                .unwrap_or(0);
+            let hit = std::mem::replace(
+                &mut sections[i],
+                Message::stamped(0, 0, Channel::Ghosts { hop: 0 }, Payload::Ghosts(vec![])),
+            );
+            sections[i] = corrupt(hit, false, None);
         }
         // An empty payload has no body bits; corrupt the checksum itself.
         _ => msg.checksum ^= 1,

@@ -24,7 +24,7 @@
 //!   `crossbeam-channel` mailboxes, exercising true concurrent message
 //!   passing (as close to MPI as a single process gets).
 //!
-//! Both count every message and byte ([`CommStats`]), which is what the
+//! Both count every message and byte ([`CommCounters`]), which is what the
 //! `sc-netmodel` crate calibrates the paper's communication model against.
 //!
 //! ## Fault tolerance
@@ -53,11 +53,12 @@ pub mod grid;
 pub mod health;
 pub mod msg;
 pub mod rank;
+pub mod transport;
 
 mod exec_bsp;
 mod exec_threads;
 
-pub use comm::{CommCounters, CommStats, GhostPlan, PhaseTimings};
+pub use comm::{CommCounters, GhostPlan};
 pub use error::{RunError, RuntimeError, SetupError};
 pub use exec_bsp::DistributedSim;
 pub use exec_threads::ThreadedSim;
@@ -65,3 +66,4 @@ pub use fault::{Delivery, Fault, FaultEvent, FaultKind, FaultPlan};
 pub use grid::RankGrid;
 pub use health::{HealthConfig, HealthCounters, HealthTracker, RankHealth};
 pub use msg::{AtomMsg, Channel, GhostMsg, Message, Payload};
+pub use transport::CommConfig;

@@ -144,15 +144,35 @@ pub enum Payload {
     Ghosts(Vec<GhostMsg>),
     /// Ghost-force return for one routing step.
     Forces(Vec<ForceMsg>),
+    /// A neighbor batch: every per-channel payload destined for the same
+    /// neighbor rank in one exchange phase, framed as a single message. Each
+    /// section is a fully stamped [`Message`] and keeps its own channel and
+    /// checksum, so a corrupt-channel fault inside a frame still localizes
+    /// to the section it hit. The frame's own checksum folds the section
+    /// stamps, protecting the frame header and section ordering.
+    Batch(Vec<Message>),
 }
 
 impl Payload {
-    /// Wire size in bytes for bandwidth accounting.
+    /// Wire size in bytes for bandwidth accounting. A batch counts only the
+    /// payload bytes of its sections — framing is bookkeeping, not traffic —
+    /// so aggregated and per-channel exchanges report identical byte totals
+    /// and differ only in message count.
     pub fn wire_bytes(&self) -> u64 {
         match self {
             Payload::Migrate(v) => v.len() as u64 * AtomMsg::WIRE_BYTES,
             Payload::Ghosts(v) => v.len() as u64 * GhostMsg::WIRE_BYTES,
             Payload::Forces(v) => v.len() as u64 * ForceMsg::WIRE_BYTES,
+            Payload::Batch(v) => v.iter().map(|m| m.payload.wire_bytes()).sum(),
+        }
+    }
+
+    /// Number of per-channel sections this payload carries (1 for a plain
+    /// payload).
+    pub fn section_count(&self) -> usize {
+        match self {
+            Payload::Batch(v) => v.len(),
+            _ => 1,
         }
     }
 
@@ -183,6 +203,17 @@ impl Payload {
                 for f in v {
                     hash_u64(&mut h, f.id);
                     hash_vec3(&mut h, f.force);
+                }
+            }
+            Payload::Batch(v) => {
+                // Fold each section's stamp (not its content): the sections
+                // carry their own content checksums, so the frame checksum
+                // only needs to pin the headers and their order.
+                fnv1a(&mut h, &[3u8]);
+                for m in v {
+                    hash_u64(&mut h, m.epoch);
+                    m.channel.hash_into(&mut h);
+                    hash_u64(&mut h, m.checksum);
                 }
             }
         }
@@ -318,6 +349,72 @@ mod tests {
         let mut relabeled = Message::stamped(0, 4, ch, Payload::Ghosts(vec![]));
         relabeled.epoch = 5;
         assert!(matches!(relabeled.verify(0, 5, ch), Err(RuntimeError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn batch_frames_count_section_payload_bytes_once() {
+        let ghosts = Payload::Ghosts(vec![
+            GhostMsg { id: 1, species: Species(0), position: Vec3::ZERO };
+            3
+        ]);
+        let forces = Payload::Forces(vec![ForceMsg { id: 1, force: Vec3::ZERO }; 2]);
+        let per_channel = ghosts.wire_bytes() + forces.wire_bytes();
+        let batch = Payload::Batch(vec![
+            Message::stamped(4, 7, Channel::Ghosts { hop: 0 }, ghosts),
+            Message::stamped(4, 7, Channel::Ghosts { hop: 1 }, forces),
+        ]);
+        assert_eq!(batch.wire_bytes(), per_channel);
+        assert_eq!(batch.section_count(), 2);
+    }
+
+    #[test]
+    fn batch_verify_localizes_corruption_to_the_section() {
+        let mk = || {
+            let sections = vec![
+                Message::stamped(
+                    4,
+                    7,
+                    Channel::Ghosts { hop: 0 },
+                    Payload::Ghosts(vec![GhostMsg {
+                        id: 1,
+                        species: Species(0),
+                        position: Vec3::new(1.0, 2.0, 3.0),
+                    }]),
+                ),
+                Message::stamped(4, 7, Channel::Ghosts { hop: 1 }, Payload::Ghosts(vec![])),
+            ];
+            Message::stamped(4, 7, Channel::Ghosts { hop: 0 }, Payload::Batch(sections))
+        };
+        // Clean frame: outer and both sections verify.
+        let frame = mk();
+        assert_eq!(frame.verify(0, 7, Channel::Ghosts { hop: 0 }), Ok(()));
+        let Payload::Batch(sections) = &frame.payload else { panic!() };
+        for (hop, s) in sections.iter().enumerate() {
+            assert_eq!(s.verify(0, 7, Channel::Ghosts { hop }), Ok(()));
+        }
+        // A bit flip inside section 0's payload leaves the frame checksum
+        // valid (it folds the *stamped* section checksums) but fails that
+        // section's own verify — the fault localizes.
+        let mut bad = mk();
+        let Payload::Batch(sections) = &mut bad.payload else { panic!() };
+        if let Payload::Ghosts(v) = &mut sections[0].payload {
+            v[0].position.x = f64::from_bits(v[0].position.x.to_bits() ^ 1);
+        }
+        assert_eq!(bad.verify(0, 7, Channel::Ghosts { hop: 0 }), Ok(()));
+        let Payload::Batch(sections) = &bad.payload else { panic!() };
+        assert!(matches!(
+            sections[0].verify(0, 7, Channel::Ghosts { hop: 0 }),
+            Err(RuntimeError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(sections[1].verify(0, 7, Channel::Ghosts { hop: 1 }), Ok(()));
+        // Relabeling a section (reordering attack) breaks the frame checksum.
+        let mut swapped = mk();
+        let Payload::Batch(sections) = &mut swapped.payload else { panic!() };
+        sections.swap(0, 1);
+        assert!(matches!(
+            swapped.verify(0, 7, Channel::Ghosts { hop: 0 }),
+            Err(RuntimeError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,16 +1,16 @@
 //! Per-rank state and the message-level algorithms: band collection, ghost
 //! absorption, local force computation, and ghost-force reduction.
 
-use crate::comm::{CommStats, GhostPlan};
+use crate::comm::{CommCounters, GhostPlan};
 use crate::error::RuntimeError;
 use crate::grid::RankGrid;
 use crate::msg::{AtomMsg, ForceMsg, GhostMsg};
-use sc_cell::{AtomStore, GhostLattice};
+use sc_cell::{AtomStore, GhostLattice, Species};
 use sc_geom::{IVec3, Vec3};
 use sc_md::engine::{self, Dedup, PatternPlan, TupleSource, VisitStats};
 use sc_md::methods::NeighborList;
-use sc_md::{EnergyBreakdown, ForceAccumulator, Method, StepPhases, TupleCounts};
-use sc_obs::Phase;
+use sc_md::{EnergyBreakdown, ForceAccumulator, Method, TupleCounts};
+use sc_obs::{Phase, PhaseBreakdown};
 use sc_potential::{PairPotential, QuadrupletPotential, TripletPotential};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -50,12 +50,40 @@ impl ForceField {
     }
 }
 
-/// One term's rank-local search structure.
+/// One term's rank-local search structure, with its owned cells split into
+/// an *interior* set (tuple enumeration provably touches only owned atoms —
+/// computable before any ghost arrives) and the complementary *frontier*
+/// set. Sweeps always visit interior cells first, then frontier cells, so
+/// the overlapped two-pass computation is bitwise-identical to the
+/// single-pass one.
 struct TermLattice {
     n: usize,
     rcut: f64,
     plan: PatternPlan,
     lat: GhostLattice,
+    /// Owned cells whose pattern sweep stays inside the owned region.
+    interior: Vec<IVec3>,
+    /// Owned cells whose sweep may read ghost cells.
+    frontier: Vec<IVec3>,
+}
+
+/// The banked result of an interior-cell pass, merged into the full result
+/// once the boundary exchange completes.
+#[derive(Default)]
+struct ComputePartial {
+    energy: EnergyBreakdown,
+    tuples: TupleCounts,
+    phases: PhaseBreakdown,
+}
+
+/// The mutable pieces of an interior-cell pass, extracted from
+/// [`RankState`] (via [`RankState::begin_interior`]) so an executor can run
+/// interior compute on worker lanes while another thread concurrently reads
+/// the same `RankState` for boundary-band collection.
+pub struct InteriorTask {
+    terms: Vec<TermLattice>,
+    scratch: ForceAccumulator,
+    partial: ComputePartial,
 }
 
 /// Where a ghost came from, for the reverse force reduction: the routing
@@ -122,8 +150,11 @@ pub struct RankState {
     /// Persistent force scratch, reused (and grown, never shrunk) across
     /// steps so the steady state allocates no per-step force buffer.
     scratch: ForceAccumulator,
+    /// Banked interior-pass result awaiting the post-exchange frontier
+    /// pass (`None` outside an overlap window).
+    pending: Option<ComputePartial>,
     /// Per-step communication statistics.
-    pub stats: CommStats,
+    pub stats: CommCounters,
 }
 
 impl RankState {
@@ -152,7 +183,7 @@ impl RankState {
         }
         let owned = store.len();
         let origin = grid.origin_of(rank);
-        let sub = grid.rank_box_lengths();
+        let sub = grid.rank_box_lengths_of(rank);
         let mut terms = Vec::new();
         let mut hybrid_pair_lat = None;
         for (n, rcut) in ff.terms() {
@@ -191,11 +222,27 @@ impl RankState {
                 Method::ShiftCollapse => Dedup::Collapsed,
                 _ => Dedup::Guarded,
             };
+            // Interior cells: the pattern sweep from cell `q` reads cells
+            // within the ghost margins, so `q` is interior exactly when it
+            // sits at least the margin away from every ghosted side (SC
+            // ghosts only the high sides; FS both). Interior-first sweep
+            // order is the contract the overlap path relies on.
+            let (mut interior, mut frontier) = (Vec::new(), Vec::new());
+            for q in sc_geom::CellRegion::new(IVec3::ZERO, ext).iter() {
+                let inside = (0..3).all(|a| q[a] >= lo[a] && q[a] < ext[a] - hi[a]);
+                if inside {
+                    interior.push(q);
+                } else {
+                    frontier.push(q);
+                }
+            }
             terms.push(TermLattice {
                 n,
                 rcut,
                 plan: PatternPlan::new(&pattern, dedup),
                 lat: GhostLattice::new(origin, cell, ext, lo, hi),
+                interior,
+                frontier,
             });
         }
         RankState {
@@ -207,7 +254,8 @@ impl RankState {
             terms,
             hybrid_pair_lat,
             scratch: ForceAccumulator::default(),
-            stats: CommStats::default(),
+            pending: None,
+            stats: CommCounters::default(),
         }
     }
 
@@ -286,7 +334,7 @@ impl RankState {
     pub fn collect_migrants(&mut self, axis: usize) -> (Vec<AtomMsg>, Vec<AtomMsg>) {
         debug_assert_eq!(self.store.len(), self.owned, "migrate with ghosts present");
         let origin = self.grid.origin_of(self.rank);
-        let sub = self.grid.rank_box_lengths();
+        let sub = self.grid.rank_box_lengths_of(self.rank);
         let lo = origin[axis];
         let hi = origin[axis] + sub[axis];
         let mut to_minus = Vec::new();
@@ -340,7 +388,7 @@ impl RankState {
         recv_dir: i32,
     ) -> Vec<GhostMsg> {
         let origin = self.grid.origin_of(self.rank);
-        let sub = self.grid.rank_box_lengths();
+        let sub = self.grid.rank_box_lengths_of(self.rank);
         let send_dir = -recv_dir;
         let shift = self.grid.send_shift(self.rank, axis, send_dir);
         let mut out = Vec::new();
@@ -365,6 +413,50 @@ impl RankState {
                     species: self.store.species()[i],
                     position: self.store.positions()[i] + shift,
                 });
+            }
+        }
+        out
+    }
+
+    /// [`RankState::collect_ghost_band`] for an overlapped exchange, where
+    /// received ghosts are *staged* in a side inbox instead of absorbed
+    /// into the store (the store is concurrently read by the interior
+    /// compute pass and must stay ghost-free). Owned atoms come from the
+    /// store; forwarded ghosts come from `staged` — `(hop, from, ghosts)`
+    /// entries in canonical absorb order, positions already in this rank's
+    /// frame — under the same strictly-earlier-axis rule and band
+    /// predicate, so the staged exchange ships exactly the bytes the
+    /// in-line one does.
+    pub fn collect_ghost_band_staged(
+        &self,
+        plan: &GhostPlan,
+        axis: usize,
+        recv_dir: i32,
+        staged: &[(usize, usize, Vec<GhostMsg>)],
+    ) -> Vec<GhostMsg> {
+        debug_assert_eq!(self.store.len(), self.owned, "staged collection runs ghost-free");
+        let origin = self.grid.origin_of(self.rank);
+        let sub = self.grid.rank_box_lengths_of(self.rank);
+        let shift = self.grid.send_shift(self.rank, axis, -recv_dir);
+        let mut out = self.collect_ghost_band(plan, axis, recv_dir);
+        for (hop, _from, ghosts) in staged {
+            if plan.hops[*hop].0 >= axis {
+                continue;
+            }
+            for g in ghosts {
+                let x = g.position[axis];
+                let in_band = if recv_dir > 0 {
+                    x < origin[axis] + plan.hi_width
+                } else {
+                    x >= origin[axis] + sub[axis] - plan.lo_width
+                };
+                if in_band {
+                    out.push(GhostMsg {
+                        id: g.id,
+                        species: g.species,
+                        position: g.position + shift,
+                    });
+                }
             }
         }
         out
@@ -437,27 +529,108 @@ impl RankState {
         Ok(())
     }
 
+    /// Starts an interior-cell pass: zeroes forces, extracts the term
+    /// lattices and force scratch into an [`InteriorTask`], leaving this
+    /// `RankState` free to be *shared* (band collection reads positions)
+    /// while [`RankState::run_interior`] computes on the task. Must be
+    /// called while the store is ghost-free.
+    pub fn begin_interior(&mut self) -> InteriorTask {
+        debug_assert_eq!(self.store.len(), self.owned, "interior pass with ghosts present");
+        self.store.zero_forces();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.reset();
+        scratch.ensure_len(self.store.len());
+        InteriorTask {
+            terms: std::mem::take(&mut self.terms),
+            scratch,
+            partial: ComputePartial::default(),
+        }
+    }
+
+    /// Runs the interior-cell sweeps of `task` against `rank`'s owned
+    /// atoms. Reads `rank` immutably — concurrent boundary-band collection
+    /// on the same `rank` is safe. Hybrid has no cell sweep, so its
+    /// interior pass is empty (`task.terms` is empty) and the whole
+    /// computation happens post-exchange.
+    pub fn run_interior(task: &mut InteriorTask, rank: &RankState, ff: &ForceField) {
+        let species = rank.store.species().to_vec();
+        let p = &mut task.partial;
+        for term in &mut task.terms {
+            let t_bin = Instant::now();
+            term.lat.rebuild(&rank.store, rank.owned);
+            p.phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
+            let src = LocalSource::new(&term.lat, &rank.store);
+            let t_enum = Instant::now();
+            sweep_cells(
+                ff,
+                term.n,
+                &term.plan,
+                term.rcut,
+                &src,
+                &species,
+                &term.interior,
+                &mut task.scratch,
+                &mut p.energy,
+                &mut p.tuples,
+            );
+            p.phases.add(Phase::Enumerate, t_enum.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Banks a finished interior pass: the next [`RankState::compute_forces`]
+    /// call runs only the frontier cells and merges.
+    pub fn finish_interior(&mut self, task: InteriorTask) {
+        self.terms = task.terms;
+        self.scratch = task.scratch;
+        self.pending = Some(task.partial);
+    }
+
+    /// Single-threaded convenience: the whole interior pass in one call.
+    pub fn compute_interior(&mut self, ff: &ForceField) {
+        let mut task = self.begin_interior();
+        Self::run_interior(&mut task, self, ff);
+        self.finish_interior(task);
+    }
+
     /// Rebuilds the per-term lattices and computes forces over this rank's
-    /// owned base cells. Forces accumulate on owned *and ghost* slots; the
-    /// reverse reduction ships the ghost parts home.
+    /// owned base cells — interior cells first, then frontier cells, so an
+    /// interior pass banked via [`RankState::begin_interior`] (compute/comm
+    /// overlap) continues here with only the frontier sweep and produces
+    /// bitwise-identical results. Forces accumulate on owned *and ghost*
+    /// slots; the reverse reduction ships the ghost parts home.
     ///
     /// Also returns the step-phase breakdown (binning / enumeration /
-    /// scratch reduction) and folds it into [`CommStats::phases`].
+    /// scratch reduction) and folds it into [`CommCounters::phases`].
     pub fn compute_forces(
         &mut self,
         ff: &ForceField,
-    ) -> (EnergyBreakdown, TupleCounts, StepPhases) {
+    ) -> (EnergyBreakdown, TupleCounts, PhaseBreakdown) {
+        let pending = self.pending.take();
+        let fresh = pending.is_none();
+        // With a banked interior pass the forces were zeroed at
+        // `begin_interior` and ghosts arrive force-free, so this is a
+        // no-op re-zero; without one it clears the previous step.
         self.store.zero_forces();
-        let mut energy = EnergyBreakdown::default();
-        let mut tuples = TupleCounts::default();
-        let mut phases = StepPhases::default();
+        let (mut energy, mut tuples, mut phases) = match pending {
+            Some(p) => (p.energy, p.tuples, p.phases),
+            None => Default::default(),
+        };
         let mut acc = std::mem::take(&mut self.scratch);
-        acc.reset();
+        if fresh {
+            acc.reset();
+        }
         acc.ensure_len(self.store.len());
         if ff.method == Method::Hybrid {
             self.compute_forces_hybrid(ff, &mut acc, &mut energy, &mut tuples, &mut phases);
         } else {
-            self.compute_forces_cells(ff, &mut acc, &mut energy, &mut tuples, &mut phases);
+            self.compute_forces_cells(
+                ff,
+                &mut acc,
+                &mut energy,
+                &mut tuples,
+                &mut phases,
+                fresh,
+            );
         }
         let t_reduce = Instant::now();
         acc.merge_into(self.store.forces_mut());
@@ -467,18 +640,26 @@ impl RankState {
         (energy, tuples, phases)
     }
 
-    /// Cell-sweep (SC / FS) force computation into the scratch accumulator.
+    /// Cell-sweep (SC / FS) force computation into the scratch accumulator:
+    /// interior cells when `with_interior` (skipped if a banked interior
+    /// pass already covered them), then frontier cells.
     fn compute_forces_cells(
         &mut self,
         ff: &ForceField,
         acc: &mut ForceAccumulator,
         energy: &mut EnergyBreakdown,
         tuples: &mut TupleCounts,
-        phases: &mut StepPhases,
+        phases: &mut PhaseBreakdown,
+        with_interior: bool,
     ) {
         let species = self.store.species().to_vec();
+        // Rebuild every term lattice first (split borrow: take the lattice
+        // out, rebuild against the store, put it back), then sweep *all*
+        // interiors before *any* frontier. The banked overlap path runs the
+        // interior sweeps of every term up front, so the fresh path must
+        // accumulate in the same term order or multi-term force sums (pair +
+        // triplet on the same atom) drift by an ulp.
         for ti in 0..self.terms.len() {
-            // Split borrow: take the lattice out, rebuild, enumerate.
             let mut lat = std::mem::replace(
                 &mut self.terms[ti].lat,
                 GhostLattice::new(
@@ -492,101 +673,42 @@ impl RankState {
             let t_bin = Instant::now();
             lat.rebuild(&self.store, self.owned);
             phases.add(Phase::Bin, t_bin.elapsed().as_secs_f64());
-            let term = &self.terms[ti];
-            let src = LocalSource::new(&lat, &self.store);
-            let owned_cells: Vec<IVec3> = lat.owned_region().iter().collect();
-            let mut stats = VisitStats::default();
-            let t_enum = Instant::now();
-            match term.n {
-                2 => {
-                    let pot = ff.pair.as_deref().expect("pair term");
-                    let mut e = 0.0;
-                    for q in &owned_cells {
-                        stats.merge(engine::visit_pairs_in_cell_src(
-                            &src,
-                            &term.plan,
-                            term.rcut,
-                            *q,
-                            |i, j, d, r| {
-                                let (si, sj) = (species[i as usize], species[j as usize]);
-                                if !pot.applies(si, sj) {
-                                    return;
-                                }
-                                let (u, du) = pot.eval(si, sj, r);
-                                e += u;
-                                let fj = d * (-(du / r));
-                                acc.add(j, fj);
-                                acc.sub(i, fj);
-                            },
-                        ));
-                    }
-                    energy.pair += e;
-                    tuples.pair.merge(stats);
-                }
-                3 => {
-                    let pot = ff.triplet.as_deref().expect("triplet term");
-                    let mut e = 0.0;
-                    for q in &owned_cells {
-                        stats.merge(engine::visit_triplets_in_cell_src(
-                            &src,
-                            &term.plan,
-                            term.rcut,
-                            *q,
-                            |i0, i1, i2, d01, d12| {
-                                let (s0, s1, s2) = (
-                                    species[i0 as usize],
-                                    species[i1 as usize],
-                                    species[i2 as usize],
-                                );
-                                if !pot.applies(s0, s1, s2) {
-                                    return;
-                                }
-                                let (u, f0, f1, f2) = pot.eval(s0, s1, s2, -d01, d12);
-                                e += u;
-                                acc.add(i0, f0);
-                                acc.add(i1, f1);
-                                acc.add(i2, f2);
-                            },
-                        ));
-                    }
-                    energy.triplet += e;
-                    tuples.triplet.merge(stats);
-                }
-                4 => {
-                    let pot = ff.quadruplet.as_deref().expect("quadruplet term");
-                    let mut e = 0.0;
-                    for q in &owned_cells {
-                        stats.merge(engine::visit_quadruplets_in_cell_src(
-                            &src,
-                            &term.plan,
-                            term.rcut,
-                            *q,
-                            |ids, d01, d12, d23| {
-                                let sp = [
-                                    species[ids[0] as usize],
-                                    species[ids[1] as usize],
-                                    species[ids[2] as usize],
-                                    species[ids[3] as usize],
-                                ];
-                                if !pot.applies(sp) {
-                                    return;
-                                }
-                                let (u, f4) = pot.eval(sp, d01, d12, d23);
-                                e += u;
-                                for (slot, force) in ids.iter().zip(f4) {
-                                    acc.add(*slot, force);
-                                }
-                            },
-                        ));
-                    }
-                    energy.quadruplet += e;
-                    tuples.quadruplet.merge(stats);
-                }
-                n => unreachable!("unsupported tuple order {n}"),
-            }
-            phases.add(Phase::Enumerate, t_enum.elapsed().as_secs_f64());
             self.terms[ti].lat = lat;
         }
+        let t_enum = Instant::now();
+        if with_interior {
+            for term in &self.terms {
+                let src = LocalSource::new(&term.lat, &self.store);
+                sweep_cells(
+                    ff,
+                    term.n,
+                    &term.plan,
+                    term.rcut,
+                    &src,
+                    &species,
+                    &term.interior,
+                    acc,
+                    energy,
+                    tuples,
+                );
+            }
+        }
+        for term in &self.terms {
+            let src = LocalSource::new(&term.lat, &self.store);
+            sweep_cells(
+                ff,
+                term.n,
+                &term.plan,
+                term.rcut,
+                &src,
+                &species,
+                &term.frontier,
+                acc,
+                energy,
+                tuples,
+            );
+        }
+        phases.add(Phase::Enumerate, t_enum.elapsed().as_secs_f64());
     }
 
     /// Hybrid-MD force computation: local Verlet list, then vertex- and
@@ -598,7 +720,7 @@ impl RankState {
         acc: &mut ForceAccumulator,
         energy: &mut EnergyBreakdown,
         tuples: &mut TupleCounts,
-        phases: &mut StepPhases,
+        phases: &mut PhaseBreakdown,
     ) {
         let pot = ff.pair.as_deref().expect("hybrid has a pair term");
         let mut lat = self.hybrid_pair_lat.take().expect("hybrid pair lattice");
@@ -752,17 +874,125 @@ impl RankState {
     }
 }
 
+/// One cell-list sweep of one term: enumerates every n-tuple with a base
+/// atom in `cells` and accumulates forces into `acc` and energies/counts
+/// into `energy`/`tuples`. Each call folds its own energy partial sum in
+/// one shot, so splitting a sweep into interior + frontier calls is
+/// bitwise-identical to any other split with the same cell order.
+#[allow(clippy::too_many_arguments)]
+fn sweep_cells(
+    ff: &ForceField,
+    n: usize,
+    plan: &PatternPlan,
+    rcut: f64,
+    src: &LocalSource<'_>,
+    species: &[Species],
+    cells: &[IVec3],
+    acc: &mut ForceAccumulator,
+    energy: &mut EnergyBreakdown,
+    tuples: &mut TupleCounts,
+) {
+    let mut stats = VisitStats::default();
+    match n {
+        2 => {
+            let pot = ff.pair.as_deref().expect("pair term");
+            let mut e = 0.0;
+            for q in cells {
+                stats.merge(engine::visit_pairs_in_cell_src(
+                    src,
+                    plan,
+                    rcut,
+                    *q,
+                    |i, j, d, r| {
+                        let (si, sj) = (species[i as usize], species[j as usize]);
+                        if !pot.applies(si, sj) {
+                            return;
+                        }
+                        let (u, du) = pot.eval(si, sj, r);
+                        e += u;
+                        let fj = d * (-(du / r));
+                        acc.add(j, fj);
+                        acc.sub(i, fj);
+                    },
+                ));
+            }
+            energy.pair += e;
+            tuples.pair.merge(stats);
+        }
+        3 => {
+            let pot = ff.triplet.as_deref().expect("triplet term");
+            let mut e = 0.0;
+            for q in cells {
+                stats.merge(engine::visit_triplets_in_cell_src(
+                    src,
+                    plan,
+                    rcut,
+                    *q,
+                    |i0, i1, i2, d01, d12| {
+                        let (s0, s1, s2) =
+                            (species[i0 as usize], species[i1 as usize], species[i2 as usize]);
+                        if !pot.applies(s0, s1, s2) {
+                            return;
+                        }
+                        let (u, f0, f1, f2) = pot.eval(s0, s1, s2, -d01, d12);
+                        e += u;
+                        acc.add(i0, f0);
+                        acc.add(i1, f1);
+                        acc.add(i2, f2);
+                    },
+                ));
+            }
+            energy.triplet += e;
+            tuples.triplet.merge(stats);
+        }
+        4 => {
+            let pot = ff.quadruplet.as_deref().expect("quadruplet term");
+            let mut e = 0.0;
+            for q in cells {
+                stats.merge(engine::visit_quadruplets_in_cell_src(
+                    src,
+                    plan,
+                    rcut,
+                    *q,
+                    |ids, d01, d12, d23| {
+                        let sp = [
+                            species[ids[0] as usize],
+                            species[ids[1] as usize],
+                            species[ids[2] as usize],
+                            species[ids[3] as usize],
+                        ];
+                        if !pot.applies(sp) {
+                            return;
+                        }
+                        let (u, f4) = pot.eval(sp, d01, d12, d23);
+                        e += u;
+                        for (slot, force) in ids.iter().zip(f4) {
+                            acc.add(*slot, force);
+                        }
+                    },
+                ));
+            }
+            energy.quadruplet += e;
+            tuples.quadruplet.merge(stats);
+        }
+        n => unreachable!("unsupported tuple order {n}"),
+    }
+}
+
 /// The real-space halo depth a force field needs: `max_n (n−1)·cell_edge_n`
-/// over the active terms, with each term's local cell edge computed from the
-/// rank sub-box exactly as [`RankState::new`] does.
+/// over the active terms, with each term's local cell edge computed from
+/// the rank sub-box exactly as [`RankState::new`] does — maximised over
+/// every rank's slab widths, so weighted grids get a band deep enough for
+/// their widest-celled rank.
 pub fn halo_width_for(ff: &ForceField, grid: &RankGrid) -> f64 {
-    let sub = grid.rank_box_lengths();
     let mut w: f64 = 0.0;
     for (n, rcut) in ff.terms() {
         for axis in 0..3 {
-            let ext = ((sub[axis] / rcut).floor() as i32).max(1);
-            let cell = sub[axis] / ext as f64;
-            w = w.max((n as f64 - 1.0) * cell);
+            for s in grid.slab_widths(axis) {
+                let ext = ((s / rcut).floor() as i32).max(1);
+                let cell = s / ext as f64;
+                w = w.max((n as f64 - 1.0) * cell);
+            }
         }
     }
     w
@@ -780,8 +1010,9 @@ pub fn validate_decomposition(
 ) -> Result<f64, crate::error::SetupError> {
     use crate::error::SetupError;
     let width = halo_width_for(ff, grid);
-    let sub = grid.rank_box_lengths();
-    let pdims = grid.pdims();
+    // Forwarded routing only delivers nearest-neighbour data, so every
+    // individual slab — not just the average — must host the halo.
+    let sub = grid.min_slab_lengths();
     for a in 0..3 {
         if width > sub[a] + 1e-12 {
             return Err(SetupError::HaloTooDeep { halo: width, sub_box: sub[a], axis: a });
@@ -792,8 +1023,11 @@ pub fn validate_decomposition(
             if sub[a] < rcut {
                 return Err(SetupError::SubBoxBelowCutoff { rcut, sub_box: sub[a], axis: a });
             }
-            let ext = ((sub[a] / rcut).floor() as i32).max(1);
-            let global = ext * pdims[a];
+            let global: i32 = grid
+                .slab_widths(a)
+                .iter()
+                .map(|s| ((s / rcut).floor() as i32).max(1))
+                .sum();
             if global < (n as i32).max(3) {
                 return Err(SetupError::LatticeTooSmall {
                     global_cells: global,

@@ -247,8 +247,10 @@ fn sc_imports_less_than_fs() {
         sc.ghosts_imported,
         fs.ghosts_imported
     );
-    // SC's halo runs in 3 hops, FS in 6 → message count is roughly half.
-    assert!(sc.messages < fs.messages);
+    // With per-neighbor aggregation both methods send one frame per
+    // neighbor per phase, so message counts match — the savings show up
+    // as wire volume (SC's one-sided halo vs FS's two-sided shell).
+    assert!(sc.bytes < fs.bytes, "SC sent {} bytes, FS {}", sc.bytes, fs.bytes);
 }
 
 #[test]
@@ -382,7 +384,7 @@ fn threaded_single_rank_matches_serial_silica() {
         .unwrap();
     serial.run(3);
     assert_stores_match(&bbox, &gathered, &serial_snapshot(&serial), 1e-9, "threaded 1x1x1");
-    let e_s = serial.last_stats().energy.total();
+    let e_s = serial.telemetry().energy.total();
     assert!(
         (energy.total() - e_s).abs() < 1e-9 * e_s.abs().max(1.0),
         "threaded 1x1x1 energy {} vs serial {e_s}",

@@ -16,7 +16,7 @@ use sc_md::{
 use sc_obs::json::Json;
 use sc_obs::{Registry, Tracer};
 use sc_parallel::rank::ForceField;
-use sc_parallel::{CommStats, DistributedSim, FaultPlan, ThreadedSim};
+use sc_parallel::{CommConfig, CommCounters, DistributedSim, FaultPlan, ThreadedSim};
 use sc_potential::{LennardJones, Vashishta};
 
 /// The schema identifier of the observables document.
@@ -39,112 +39,287 @@ impl std::fmt::Display for RunFault {
 
 impl std::error::Error for RunFault {}
 
-/// A scenario instantiated on a resumable executor. The threaded executor
-/// is one-shot (no mid-run state to checkpoint), so it is deliberately not
-/// a `RunHandle` — use [`ScenarioSpec::run_threaded`] for it.
-pub enum RunHandle {
-    /// The in-process serial/thread-pool engine.
-    Serial(Box<Simulation>),
-    /// The BSP distributed executor.
-    Bsp(Box<DistributedSim>),
+/// The one executor surface every engine implements — the serial
+/// in-process engine, the BSP distributed executor, and the persistent
+/// threaded executor all instantiate to a `Box<dyn Executor>` inside
+/// [`RunHandle`], so the spec layer, the CLI, the bench harness, and the
+/// job service drive them through identical calls instead of
+/// enum-matching per engine.
+pub trait Executor: Send {
+    /// Advances one step, surfacing unrecovered faults.
+    fn try_step(&mut self) -> Result<(), RunFault>;
+    /// Steps completed so far.
+    fn steps_done(&self) -> u64;
+    /// The unified telemetry snapshot.
+    fn telemetry(&self) -> Telemetry;
+    /// Total (kinetic + potential) energy from fresh forces.
+    fn total_energy(&mut self) -> f64;
+    /// The full phase-space state, gathered into one store (owned atoms
+    /// only, deterministic order for a fixed executor configuration).
+    fn gather(&self) -> AtomStore;
+    /// Snapshots the full dynamic state (bitwise-lossless).
+    fn checkpoint(&self) -> Checkpoint;
+    /// Rewinds to a snapshot; restored trajectories replay bitwise.
+    fn restore(&mut self, cp: &Checkpoint);
+    /// Restores while excluding dead ranks (engines that cannot
+    /// re-decompose return `Err`).
+    fn restore_excluding(&mut self, cp: &Checkpoint, exclude: &[usize]) -> Result<(), String>;
+    /// The metrics registry the run reports into.
+    fn metrics(&self) -> &Registry;
+    /// The event tracer.
+    fn tracer(&self) -> &Tracer;
+    /// Executor short name (`serial` / `bsp` / `threaded`).
+    fn kind(&self) -> &'static str;
+    /// Owned atoms across all ranks (supervision invariant).
+    fn atom_count(&self) -> usize;
+    /// Cached total-energy estimate (no force recomputation).
+    fn total_energy_estimate(&self) -> f64;
+    /// Whether all positions/velocities/forces are finite.
+    fn state_is_finite(&self) -> bool;
+    /// The integration timestep.
+    fn timestep(&self) -> f64;
+    /// Changes the integration timestep.
+    fn set_timestep(&mut self, dt: f64);
+    /// Unwraps to the concrete engine (used by harnesses that need
+    /// engine-specific hooks, e.g. the chaos storm driver's fault plans).
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+impl Executor for Simulation {
+    fn try_step(&mut self) -> Result<(), RunFault> {
+        Recoverable::try_step(self).map_err(|e| match e {})
+    }
+
+    fn steps_done(&self) -> u64 {
+        Simulation::steps_done(self)
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        Simulation::telemetry(self)
+    }
+
+    fn total_energy(&mut self) -> f64 {
+        Simulation::total_energy(self)
+    }
+
+    fn gather(&self) -> AtomStore {
+        self.store().clone()
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        Recoverable::checkpoint(self)
+    }
+
+    fn restore(&mut self, cp: &Checkpoint) {
+        Recoverable::restore(self, cp);
+    }
+
+    fn restore_excluding(&mut self, cp: &Checkpoint, exclude: &[usize]) -> Result<(), String> {
+        Recoverable::restore_excluding(self, cp, exclude)
+    }
+
+    fn metrics(&self) -> &Registry {
+        Simulation::metrics(self)
+    }
+
+    fn tracer(&self) -> &Tracer {
+        Simulation::tracer(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "serial"
+    }
+
+    fn atom_count(&self) -> usize {
+        Recoverable::atom_count(self)
+    }
+
+    fn total_energy_estimate(&self) -> f64 {
+        Recoverable::total_energy_estimate(self)
+    }
+
+    fn state_is_finite(&self) -> bool {
+        Recoverable::state_is_finite(self)
+    }
+
+    fn timestep(&self) -> f64 {
+        Recoverable::timestep(self)
+    }
+
+    fn set_timestep(&mut self, dt: f64) {
+        Recoverable::set_timestep(self, dt);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Implements [`Executor`] for a distributed engine whose [`Recoverable`]
+/// fault is [`sc_parallel::RuntimeError`] — the BSP and threaded
+/// executors share every delegation except their inherent accessors.
+macro_rules! distributed_executor {
+    ($engine:ty, $kind:literal) => {
+        impl Executor for $engine {
+            fn try_step(&mut self) -> Result<(), RunFault> {
+                <$engine>::try_step(self).map_err(|e| RunFault {
+                    dead_rank: <$engine as Recoverable>::dead_rank(&e),
+                    message: e.to_string(),
+                })
+            }
+
+            fn steps_done(&self) -> u64 {
+                <$engine>::steps_done(self)
+            }
+
+            fn telemetry(&self) -> Telemetry {
+                <$engine>::telemetry(self)
+            }
+
+            fn total_energy(&mut self) -> f64 {
+                <$engine>::total_energy(self)
+            }
+
+            fn gather(&self) -> AtomStore {
+                <$engine>::gather(self)
+            }
+
+            fn checkpoint(&self) -> Checkpoint {
+                Recoverable::checkpoint(self)
+            }
+
+            fn restore(&mut self, cp: &Checkpoint) {
+                Recoverable::restore(self, cp);
+            }
+
+            fn restore_excluding(
+                &mut self,
+                cp: &Checkpoint,
+                exclude: &[usize],
+            ) -> Result<(), String> {
+                Recoverable::restore_excluding(self, cp, exclude)
+            }
+
+            fn metrics(&self) -> &Registry {
+                <$engine>::metrics(self)
+            }
+
+            fn tracer(&self) -> &Tracer {
+                <$engine>::tracer(self)
+            }
+
+            fn kind(&self) -> &'static str {
+                $kind
+            }
+
+            fn atom_count(&self) -> usize {
+                Recoverable::atom_count(self)
+            }
+
+            fn total_energy_estimate(&self) -> f64 {
+                Recoverable::total_energy_estimate(self)
+            }
+
+            fn state_is_finite(&self) -> bool {
+                Recoverable::state_is_finite(self)
+            }
+
+            fn timestep(&self) -> f64 {
+                Recoverable::timestep(self)
+            }
+
+            fn set_timestep(&mut self, dt: f64) {
+                Recoverable::set_timestep(self, dt);
+            }
+
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+    };
+}
+
+distributed_executor!(DistributedSim, "bsp");
+distributed_executor!(ThreadedSim, "threaded");
+
+/// A scenario instantiated on an executor: a thin owner of the one
+/// [`Executor`] object every engine hides behind.
+pub struct RunHandle {
+    exec: Box<dyn Executor>,
 }
 
 impl RunHandle {
-    /// Advances one step, surfacing unrecovered distributed faults as text.
-    pub fn try_step(&mut self) -> Result<(), String> {
-        match self {
-            RunHandle::Serial(sim) => {
-                sim.step();
-                Ok(())
-            }
-            RunHandle::Bsp(sim) => sim.try_step().map_err(|e| e.to_string()),
-        }
+    /// Wraps a concrete engine (the spec layer's instantiation path; also
+    /// usable by harnesses that build engines directly).
+    pub fn new(exec: impl Executor + 'static) -> Self {
+        RunHandle { exec: Box::new(exec) }
     }
 
-    /// Runs `n` steps (panicking executors abort; use
-    /// [`RunHandle::try_step`] for fault-tolerant loops).
+    /// Advances one step, surfacing unrecovered distributed faults as text.
+    pub fn try_step(&mut self) -> Result<(), String> {
+        self.exec.try_step().map_err(|e| e.to_string())
+    }
+
+    /// Runs `n` steps (panicking on faults; use [`RunHandle::try_step`]
+    /// for fault-tolerant loops).
     pub fn run(&mut self, n: usize) {
-        match self {
-            RunHandle::Serial(sim) => {
-                sim.run(n);
-            }
-            RunHandle::Bsp(sim) => sim.run(n),
+        for _ in 0..n {
+            self.exec.try_step().unwrap_or_else(|e| panic!("{e}"));
         }
     }
 
     /// Steps completed so far.
     pub fn steps_done(&self) -> u64 {
-        match self {
-            RunHandle::Serial(sim) => sim.steps_done(),
-            RunHandle::Bsp(sim) => sim.steps_done(),
-        }
+        self.exec.steps_done()
     }
 
     /// The unified telemetry snapshot.
     pub fn telemetry(&self) -> Telemetry {
-        match self {
-            RunHandle::Serial(sim) => sim.telemetry(),
-            RunHandle::Bsp(sim) => sim.telemetry(),
-        }
+        self.exec.telemetry()
     }
 
     /// Total (kinetic + potential) energy from fresh forces.
     pub fn total_energy(&mut self) -> f64 {
-        match self {
-            RunHandle::Serial(sim) => sim.total_energy(),
-            RunHandle::Bsp(sim) => sim.total_energy(),
-        }
+        self.exec.total_energy()
     }
 
     /// The full phase-space state, gathered into one store (owned atoms
     /// only, deterministic order for a fixed executor configuration).
     pub fn gather(&self) -> AtomStore {
-        match self {
-            RunHandle::Serial(sim) => sim.store().clone(),
-            RunHandle::Bsp(sim) => sim.gather(),
-        }
+        self.exec.gather()
     }
 
     /// Snapshots the full dynamic state (bitwise-lossless, PR 2 contract).
     pub fn checkpoint(&self) -> Checkpoint {
-        match self {
-            RunHandle::Serial(sim) => Recoverable::checkpoint(sim.as_ref()),
-            RunHandle::Bsp(sim) => Recoverable::checkpoint(sim.as_ref()),
-        }
+        self.exec.checkpoint()
     }
 
     /// Rewinds to a snapshot taken by [`RunHandle::checkpoint`]. Restored
     /// trajectories replay bitwise.
     pub fn restore(&mut self, cp: &Checkpoint) {
-        match self {
-            RunHandle::Serial(sim) => Recoverable::restore(sim.as_mut(), cp),
-            RunHandle::Bsp(sim) => Recoverable::restore(sim.as_mut(), cp),
-        }
+        self.exec.restore(cp);
     }
 
     /// The metrics registry the run reports into (disabled unless the spec
     /// enabled metrics).
     pub fn metrics(&self) -> &Registry {
-        match self {
-            RunHandle::Serial(sim) => sim.metrics(),
-            RunHandle::Bsp(sim) => sim.metrics(),
-        }
+        self.exec.metrics()
     }
 
     /// The event tracer (disabled unless the spec enabled tracing).
     pub fn tracer(&self) -> &Tracer {
-        match self {
-            RunHandle::Serial(sim) => sim.tracer(),
-            RunHandle::Bsp(sim) => sim.tracer(),
-        }
+        self.exec.tracer()
     }
 
-    /// Executor short name (`serial` / `bsp`).
+    /// Executor short name (`serial` / `bsp` / `threaded`).
     pub fn executor_kind(&self) -> &'static str {
-        match self {
-            RunHandle::Serial(_) => "serial",
-            RunHandle::Bsp(_) => "bsp",
-        }
+        self.exec.kind()
+    }
+
+    /// Unwraps the BSP engine (None for other executors) — for harnesses
+    /// that need BSP-only hooks like scripted fault plans.
+    pub fn into_bsp(self) -> Option<Box<DistributedSim>> {
+        self.exec.into_any().downcast::<DistributedSim>().ok()
     }
 }
 
@@ -155,67 +330,43 @@ impl Recoverable for RunHandle {
     type Fault = RunFault;
 
     fn try_step(&mut self) -> Result<(), RunFault> {
-        match self {
-            RunHandle::Serial(sim) => Recoverable::try_step(sim.as_mut()).map_err(|e| match e {}),
-            RunHandle::Bsp(sim) => Recoverable::try_step(sim.as_mut()).map_err(|e| RunFault {
-                dead_rank: <DistributedSim as Recoverable>::dead_rank(&e),
-                message: e.to_string(),
-            }),
-        }
+        self.exec.try_step()
     }
 
     fn checkpoint(&self) -> Checkpoint {
-        RunHandle::checkpoint(self)
+        self.exec.checkpoint()
     }
 
     fn restore(&mut self, cp: &Checkpoint) {
-        RunHandle::restore(self, cp);
+        self.exec.restore(cp);
     }
 
     fn restore_excluding(&mut self, cp: &Checkpoint, exclude: &[usize]) -> Result<(), String> {
-        match self {
-            RunHandle::Serial(sim) => Recoverable::restore_excluding(sim.as_mut(), cp, exclude),
-            RunHandle::Bsp(sim) => Recoverable::restore_excluding(sim.as_mut(), cp, exclude),
-        }
+        self.exec.restore_excluding(cp, exclude)
     }
 
     fn atom_count(&self) -> usize {
-        match self {
-            RunHandle::Serial(sim) => Recoverable::atom_count(sim.as_ref()),
-            RunHandle::Bsp(sim) => Recoverable::atom_count(sim.as_ref()),
-        }
+        self.exec.atom_count()
     }
 
     fn total_energy_estimate(&self) -> f64 {
-        match self {
-            RunHandle::Serial(sim) => Recoverable::total_energy_estimate(sim.as_ref()),
-            RunHandle::Bsp(sim) => Recoverable::total_energy_estimate(sim.as_ref()),
-        }
+        self.exec.total_energy_estimate()
     }
 
     fn state_is_finite(&self) -> bool {
-        match self {
-            RunHandle::Serial(sim) => Recoverable::state_is_finite(sim.as_ref()),
-            RunHandle::Bsp(sim) => Recoverable::state_is_finite(sim.as_ref()),
-        }
+        self.exec.state_is_finite()
     }
 
     fn timestep(&self) -> f64 {
-        match self {
-            RunHandle::Serial(sim) => Recoverable::timestep(sim.as_ref()),
-            RunHandle::Bsp(sim) => Recoverable::timestep(sim.as_ref()),
-        }
+        self.exec.timestep()
     }
 
     fn set_timestep(&mut self, dt: f64) {
-        match self {
-            RunHandle::Serial(sim) => Recoverable::set_timestep(sim.as_mut(), dt),
-            RunHandle::Bsp(sim) => Recoverable::set_timestep(sim.as_mut(), dt),
-        }
+        self.exec.set_timestep(dt);
     }
 
     fn steps_done(&self) -> u64 {
-        RunHandle::steps_done(self)
+        self.exec.steps_done()
     }
 
     fn dead_rank(fault: &RunFault) -> Option<usize> {
@@ -286,12 +437,20 @@ impl ScenarioSpec {
         (registry, tracer)
     }
 
-    /// Instantiates the scenario on its resumable executor.
+    /// The communication schedule the spec's `comm` block describes.
+    pub fn comm_config(&self) -> CommConfig {
+        CommConfig {
+            aggregation: self.comm.aggregation,
+            overlap: self.comm.overlap,
+            rebalance_every: self.comm.rebalance_every,
+        }
+    }
+
+    /// Instantiates the scenario on its executor.
     ///
     /// # Errors
-    /// [`SpecError::BadValue`] for the one-shot threaded executor (use
-    /// [`ScenarioSpec::run_threaded`]); [`SpecError::Build`] /
-    /// [`SpecError::Setup`] when the engine rejects the configuration.
+    /// [`SpecError::Build`] / [`SpecError::Setup`] when the engine rejects
+    /// the configuration.
     pub fn instantiate(&self) -> Result<RunHandle, SpecError> {
         self.instantiate_labeled(None)
     }
@@ -330,7 +489,7 @@ impl ScenarioSpec {
                 if let Some(ThermostatSpec { target, dt_over_tau }) = &self.thermostat {
                     b = b.thermostat(*target, *dt_over_tau);
                 }
-                Ok(RunHandle::Serial(Box::new(b.build()?)))
+                Ok(RunHandle::new(b.build()?))
             }
             ExecutorSpec::Bsp { grid } => {
                 let pdims = IVec3::new(grid[0] as i32, grid[1] as i32, grid[2] as i32);
@@ -344,6 +503,7 @@ impl ScenarioSpec {
                 )
                 .map_err(|e| SpecError::Setup(e.to_string()))?;
                 sim.set_resort_every(self.resort_every);
+                sim.set_comm_config(self.comm_config());
                 if let Some(fp) = &self.fault_plan {
                     let ranks = grid.iter().product::<u64>() as usize;
                     sim.set_fault_plan(FaultPlan::storm(
@@ -356,27 +516,33 @@ impl ScenarioSpec {
                 }
                 sim.set_metrics(metrics);
                 sim.set_tracer(tracer);
-                Ok(RunHandle::Bsp(Box::new(sim)))
+                Ok(RunHandle::new(sim))
             }
-            ExecutorSpec::Threaded { .. } => Err(SpecError::BadValue {
-                field: "executor.kind".into(),
-                detail: "the threaded executor is one-shot; use run_threaded (it cannot be \
-                         checkpointed or served)"
-                    .into(),
-            }),
+            ExecutorSpec::Threaded { grid } => {
+                let pdims = IVec3::new(grid[0] as i32, grid[1] as i32, grid[2] as i32);
+                let mut sim =
+                    ThreadedSim::new(store, bbox, pdims, self.force_field(), self.dt)
+                        .map_err(|e| SpecError::Setup(e.to_string()))?;
+                sim.set_resort_every(self.resort_every);
+                sim.set_comm_config(self.comm_config());
+                sim.set_metrics(metrics);
+                sim.set_tracer(tracer);
+                Ok(RunHandle::new(sim))
+            }
         }
     }
 
-    /// Runs the scenario on the one-shot threaded executor for its full
-    /// `steps`, returning the final store, energy breakdown, and comm
-    /// totals.
+    /// Runs the scenario on the one-shot threaded convenience path for its
+    /// full `steps`, returning the final store, energy breakdown, and comm
+    /// totals. Thin wrapper over the same persistent executor
+    /// [`ScenarioSpec::instantiate`] builds.
     ///
     /// # Errors
     /// [`SpecError::BadValue`] when the spec's executor is not `threaded`;
     /// [`SpecError::Setup`] when the run is rejected or fails mid-flight.
     pub fn run_threaded(
         &self,
-    ) -> Result<(AtomStore, sc_md::EnergyBreakdown, CommStats), SpecError> {
+    ) -> Result<(AtomStore, sc_md::EnergyBreakdown, CommCounters), SpecError> {
         let ExecutorSpec::Threaded { grid } = &self.executor else {
             return Err(SpecError::BadValue {
                 field: "executor.kind".into(),
@@ -388,8 +554,17 @@ impl ScenarioSpec {
         };
         let (store, bbox) = self.build_workload();
         let pdims = IVec3::new(grid[0] as i32, grid[1] as i32, grid[2] as i32);
-        ThreadedSim::run(store, bbox, pdims, self.force_field(), self.dt, self.steps as usize)
-            .map_err(|e| SpecError::Setup(e.to_string()))
+        let mut sim =
+            ThreadedSim::new(store, bbox, pdims, self.force_field(), self.dt)
+                .map_err(|e| SpecError::Setup(e.to_string()))?;
+        sim.set_resort_every(self.resort_every);
+        sim.set_comm_config(self.comm_config());
+        for _ in 0..self.steps {
+            sim.try_step().map_err(|e| SpecError::Setup(e.to_string()))?;
+        }
+        let energy = sim.telemetry().energy;
+        let stats = sim.comm_stats();
+        Ok((sim.gather(), energy, stats))
     }
 }
 
@@ -476,15 +651,42 @@ mod tests {
     }
 
     #[test]
-    fn threaded_is_rejected_by_instantiate_but_runs_one_shot() {
+    fn threaded_instantiates_like_any_other_executor() {
         let spec = spec(r#"{"kind": "threaded", "grid": [2, 1, 1]}"#);
-        match spec.instantiate() {
-            Err(SpecError::BadValue { field, .. }) => assert_eq!(field, "executor.kind"),
-            other => panic!("expected BadValue, got {:?}", other.is_ok()),
-        }
-        let (store, energy, _) = spec.run_threaded().unwrap();
+        let mut handle = spec.instantiate().unwrap();
+        assert_eq!(handle.executor_kind(), "threaded");
+        handle.try_step().unwrap();
+        assert_eq!(handle.steps_done(), 1);
+        assert_eq!(handle.gather().len(), 4 * 7usize.pow(3));
+        // The one-shot convenience wrapper still runs the full spec.
+        let (store, energy, stats) = spec.run_threaded().unwrap();
         assert_eq!(store.len(), 4 * 7usize.pow(3));
         assert!(energy.total().is_finite());
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn threaded_checkpoint_restore_continues_trajectory() {
+        // Restore re-decomposes from an id-sorted gather, so the replay is
+        // exact physics but rank-internal summation order may change:
+        // compare with a tolerance, not bitwise (same caveat as the BSP
+        // supervisor tests).
+        let mut sim = spec(r#"{"kind": "threaded", "grid": [2, 1, 1]}"#).instantiate().unwrap();
+        sim.run(2);
+        let cp = sim.checkpoint();
+        sim.run(2);
+        let reference = sim.gather();
+        sim.restore(&cp);
+        assert_eq!(sim.steps_done(), 2);
+        sim.run(2);
+        let replay = sim.gather();
+        assert_eq!(reference.len(), replay.len());
+        for i in 0..reference.len() {
+            assert_eq!(reference.ids()[i], replay.ids()[i], "id order differs at {i}");
+            let dr = (reference.positions()[i] - replay.positions()[i]).norm();
+            let dv = (reference.velocities()[i] - replay.velocities()[i]).norm();
+            assert!(dr < 1e-9 && dv < 1e-9, "atom {i} drifted: dr={dr} dv={dv}");
+        }
     }
 
     #[test]

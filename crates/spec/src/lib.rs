@@ -26,9 +26,9 @@ pub mod error;
 pub mod model;
 pub mod toml;
 
-pub use build::{observables_doc, RunFault, RunHandle, OBSERVABLES_SCHEMA_ID};
+pub use build::{observables_doc, Executor, RunFault, RunHandle, OBSERVABLES_SCHEMA_ID};
 pub use error::SpecError;
 pub use model::{
-    method_name, CheckpointSpec, ExecutorSpec, FaultPlanSpec, ObservabilitySpec, PotentialSpec,
-    ScenarioSpec, SystemSpec, ThermostatSpec, SCHEMA_ID,
+    method_name, CheckpointSpec, CommSpec, ExecutorSpec, FaultPlanSpec, ObservabilitySpec,
+    PotentialSpec, ScenarioSpec, SystemSpec, ThermostatSpec, SCHEMA_ID,
 };

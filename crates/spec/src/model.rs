@@ -44,6 +44,8 @@ pub struct ScenarioSpec {
     pub verlet_skin: f64,
     /// Morton re-sort cadence (0 = never).
     pub resort_every: u64,
+    /// Communication schedule knobs (distributed executors).
+    pub comm: CommSpec,
     /// Optional Berendsen thermostat (serial executor only).
     pub thermostat: Option<ThermostatSpec>,
     /// Optional scripted fault storm (BSP executor only).
@@ -163,6 +165,29 @@ impl ExecutorSpec {
             ExecutorSpec::Bsp { .. } => "bsp",
             ExecutorSpec::Threaded { .. } => "threaded",
         }
+    }
+}
+
+/// Communication schedule knobs for the distributed executors. All of
+/// them are bitwise-neutral: they change when traffic moves and how it is
+/// framed, never the trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommSpec {
+    /// Pack all same-phase payloads per neighbor into one framed batch
+    /// message (one message per neighbor per phase instead of one per
+    /// channel).
+    pub aggregation: bool,
+    /// Compute interior tuples while the first boundary exchange is in
+    /// flight.
+    pub overlap: bool,
+    /// Re-fit the rank grid to measured per-rank compute seconds every
+    /// this many steps (0 = never; BSP executor only).
+    pub rebalance_every: u64,
+}
+
+impl Default for CommSpec {
+    fn default() -> Self {
+        CommSpec { aggregation: true, overlap: true, rebalance_every: 0 }
     }
 }
 
@@ -367,6 +392,7 @@ impl ScenarioSpec {
             "subdivision",
             "verlet_skin",
             "resort_every",
+            "comm",
             "thermostat",
             "fault_plan",
             "observability",
@@ -391,6 +417,10 @@ impl ScenarioSpec {
             subdivision: root.u64_or("subdivision", 1)? as i32,
             verlet_skin: root.f64_or("verlet_skin", 0.0)?,
             resort_every: root.u64_or("resort_every", 8)?,
+            comm: match root.get("comm") {
+                None => CommSpec::default(),
+                Some(_) => decode_comm(&root.obj("comm")?)?,
+            },
             thermostat: match root.get("thermostat") {
                 None => None,
                 Some(_) => Some(decode_thermostat(&root.obj("thermostat")?)?),
@@ -497,6 +527,12 @@ impl ScenarioSpec {
                 }
             }
         }
+        if self.comm.rebalance_every != 0 && !matches!(self.executor, ExecutorSpec::Bsp { .. }) {
+            return Err(bad(
+                "comm.rebalance_every",
+                "only the bsp executor supports adaptive re-decomposition",
+            ));
+        }
         if let Some(t) = &self.thermostat {
             if !matches!(self.executor, ExecutorSpec::Serial { .. }) {
                 return Err(bad("thermostat", "only the serial executor supports a thermostat"));
@@ -549,6 +585,17 @@ impl ScenarioSpec {
             ("subdivision".to_string(), Json::num(self.subdivision as f64)),
             ("verlet_skin".to_string(), Json::num(self.verlet_skin)),
             ("resort_every".to_string(), Json::num(self.resort_every as f64)),
+            (
+                "comm".to_string(),
+                Json::Obj(vec![
+                    ("aggregation".to_string(), Json::Bool(self.comm.aggregation)),
+                    ("overlap".to_string(), Json::Bool(self.comm.overlap)),
+                    (
+                        "rebalance_every".to_string(),
+                        Json::num(self.comm.rebalance_every as f64),
+                    ),
+                ]),
+            ),
         ];
         if let Some(t) = &self.thermostat {
             fields.push((
@@ -757,6 +804,15 @@ fn executor_json(e: &ExecutorSpec) -> Json {
             ("grid".to_string(), grid_json(grid)),
         ]),
     }
+}
+
+fn decode_comm(f: &Fields) -> Result<CommSpec, SpecError> {
+    f.deny_unknown(&["aggregation", "overlap", "rebalance_every"])?;
+    Ok(CommSpec {
+        aggregation: f.bool_or("aggregation", true)?,
+        overlap: f.bool_or("overlap", true)?,
+        rebalance_every: f.u64_or("rebalance_every", 0)?,
+    })
 }
 
 fn decode_thermostat(f: &Fields) -> Result<ThermostatSpec, SpecError> {

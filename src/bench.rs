@@ -47,6 +47,11 @@ pub struct BenchCase {
     pub comm_messages: u64,
     /// Bytes sent over the whole run (0 for the serial engine).
     pub comm_bytes: u64,
+    /// Messages per integration step (`comm_messages / steps`). With
+    /// per-neighbor aggregation this is one framed batch per neighbor per
+    /// exchange phase; the comparator gates on it exactly so a schedule
+    /// regression back to per-channel sends fails loudly.
+    pub messages_per_step: f64,
 }
 
 impl BenchCase {
@@ -65,6 +70,7 @@ impl BenchCase {
             ("energy_total".into(), Json::num(self.energy_total)),
             ("comm_messages".into(), Json::num(self.comm_messages as f64)),
             ("comm_bytes".into(), Json::num(self.comm_bytes as f64)),
+            ("messages_per_step".into(), Json::num(self.messages_per_step)),
         ])
     }
 }
@@ -87,7 +93,7 @@ pub fn git_sha() -> String {
 /// file's `name` field matches `BENCH_baseline.json` case-for-case —
 /// editing a spec file changes what `scmd bench` measures, and the
 /// baseline comparator catches any counter drift that causes.
-const MATRIX_SPECS: [&str; 10] = [
+const MATRIX_SPECS: [&str; 12] = [
     include_str!("../scenarios/bench/serial-sc-md-lj.json"),
     include_str!("../scenarios/bench/serial-fs-md-lj.json"),
     include_str!("../scenarios/bench/serial-hybrid-md-lj.json"),
@@ -98,6 +104,8 @@ const MATRIX_SPECS: [&str; 10] = [
     include_str!("../scenarios/bench/threaded-sc-md-lj.json"),
     include_str!("../scenarios/bench/bsp-sc-md-silica.json"),
     include_str!("../scenarios/bench/threaded-sc-md-silica.json"),
+    include_str!("../scenarios/bench/bsp-sc-md-clustered.json"),
+    include_str!("../scenarios/bench/bsp-sc-md-clustered-legacy.json"),
 ];
 
 /// Decodes the embedded benchmark matrix.
@@ -111,72 +119,54 @@ pub fn matrix_specs() -> Vec<ScenarioSpec> {
 /// The matrix step count for a case: the `steps` field in the checked-in
 /// specs holds the full-mode value; `quick` (used by tests) shrinks it.
 fn mode_steps(spec: &ScenarioSpec, quick: bool) -> u64 {
-    let (lj_steps, silica_steps, dist_steps) = if quick { (4, 2, 2) } else { (10, 4, 5) };
+    let (lj_steps, silica_steps, dist_steps, clustered_steps) =
+        if quick { (4, 2, 2, 2) } else { (10, 4, 5, 200) };
     match &spec.executor {
         ExecutorSpec::Serial { .. } => match &spec.system {
             SystemSpec::Silica { .. } => silica_steps,
             _ => lj_steps,
         },
-        _ => dist_steps,
+        // The clustered pair exists to A/B the comm schedule (default vs
+        // pinned legacy per-channel); the schedule delta is a few percent
+        // in-process, so the pair runs long enough for it to rise above
+        // scheduler noise.
+        _ => match &spec.system {
+            SystemSpec::Clustered { .. } => clustered_steps,
+            _ => dist_steps,
+        },
     }
 }
 
-/// Runs one scenario as a measured bench case. Serial and BSP executors go
-/// through the same [`sc_spec::RunHandle`] instantiation the job service
-/// uses, so the bench doubles as a no-drift check on the spec layer; the
-/// one-shot threaded executor runs via [`ScenarioSpec::run_threaded`].
+/// Runs one scenario as a measured bench case. Every executor — serial,
+/// threaded, BSP — goes through the same [`sc_spec::RunHandle`]
+/// instantiation the job service uses, so the bench doubles as a no-drift
+/// check on the spec layer.
 pub fn run_spec_case(spec: &ScenarioSpec) -> Result<BenchCase, String> {
     let steps = spec.steps;
-    let case = match &spec.executor {
-        ExecutorSpec::Threaded { .. } => {
-            let t0 = std::time::Instant::now();
-            let (store, energy, stats) = spec.run_threaded().map_err(|e| e.to_string())?;
-            let wall = t0.elapsed().as_secs_f64();
-            BenchCase {
-                name: spec.name.clone(),
-                executor: spec.executor.kind().into(),
-                method: spec.method.name().into(),
-                system: spec.system.kind().into(),
-                atoms: store.len() as u64,
-                steps,
-                wall_s: wall,
-                ms_per_step: wall / steps as f64 * 1e3,
-                // The one-shot threaded executor reports energies and comm
-                // counters but no tuple statistics.
-                tuples_candidates: 0,
-                tuples_accepted: 0,
-                energy_total: energy.total(),
-                comm_messages: stats.messages,
-                comm_bytes: stats.bytes,
-            }
-        }
-        _ => {
-            let mut handle = spec.instantiate().map_err(|e| e.to_string())?;
-            let atoms = handle.gather().len() as u64;
-            let t0 = std::time::Instant::now();
-            handle.run(steps as usize);
-            let wall = t0.elapsed().as_secs_f64();
-            let t = handle.telemetry();
-            BenchCase {
-                name: spec.name.clone(),
-                executor: spec.executor.kind().into(),
-                method: spec.method.name().into(),
-                system: spec.system.kind().into(),
-                atoms,
-                steps,
-                wall_s: wall,
-                ms_per_step: wall / steps as f64 * 1e3,
-                tuples_candidates: t.tuples.total_candidates(),
-                tuples_accepted: t.tuples.total_accepted(),
-                energy_total: t.energy.total(),
-                // The serial engine's telemetry reports zeroed comm counters,
-                // matching the baseline's serial cases.
-                comm_messages: t.comm.messages,
-                comm_bytes: t.comm.bytes,
-            }
-        }
-    };
-    Ok(case)
+    let mut handle = spec.instantiate().map_err(|e| e.to_string())?;
+    let atoms = handle.gather().len() as u64;
+    let t0 = std::time::Instant::now();
+    handle.run(steps as usize);
+    let wall = t0.elapsed().as_secs_f64();
+    let t = handle.telemetry();
+    Ok(BenchCase {
+        name: spec.name.clone(),
+        executor: spec.executor.kind().into(),
+        method: spec.method.name().into(),
+        system: spec.system.kind().into(),
+        atoms,
+        steps,
+        wall_s: wall,
+        ms_per_step: wall / steps as f64 * 1e3,
+        tuples_candidates: t.tuples.total_candidates(),
+        tuples_accepted: t.tuples.total_accepted(),
+        energy_total: t.energy.total(),
+        // The serial engine's telemetry reports zeroed comm counters,
+        // matching the baseline's serial cases.
+        comm_messages: t.comm.messages,
+        comm_bytes: t.comm.bytes,
+        messages_per_step: t.comm.messages as f64 / steps as f64,
+    })
 }
 
 /// Runs the pinned workload matrix from the embedded `scenarios/bench/`
@@ -184,13 +174,32 @@ pub fn run_spec_case(spec: &ScenarioSpec) -> Result<BenchCase, String> {
 /// interactive runs use the full matrix, which still completes in
 /// seconds).
 pub fn run_matrix(quick: bool) -> Vec<BenchCase> {
-    matrix_specs()
-        .into_iter()
-        .map(|mut spec| {
-            spec.steps = mode_steps(&spec, quick);
-            run_spec_case(&spec).expect("checked-in bench spec runs")
-        })
-        .collect()
+    let mut specs = matrix_specs();
+    for spec in &mut specs {
+        spec.steps = mode_steps(spec, quick);
+    }
+    // The clustered A/B pair (default vs `-legacy` comm schedule) reports
+    // interleaved min-of-3 wall time: the schedule delta it exists to
+    // measure is a few percent, below the slow machine-load drift between
+    // two back-to-back single-shot windows. Alternating A,B,A,B,A,B and
+    // keeping each case's fastest repeat cancels that drift; counters are
+    // deterministic across repeats, so only the wall estimate tightens.
+    let rounds = if quick { 1 } else { 3 };
+    let mut best: Vec<Option<BenchCase>> = specs.iter().map(|_| None).collect();
+    for round in 0..rounds {
+        for (i, spec) in specs.iter().enumerate() {
+            let repeated = matches!(spec.system, SystemSpec::Clustered { .. });
+            if round > 0 && !repeated {
+                continue;
+            }
+            let case = run_spec_case(spec).expect("checked-in bench spec runs");
+            best[i] = match best[i].take() {
+                Some(b) if b.wall_s <= case.wall_s => Some(b),
+                _ => Some(case),
+            };
+        }
+    }
+    best.into_iter().map(|b| b.expect("every spec ran in round 0")).collect()
 }
 
 /// Renders a bench document (the `BENCH_<gitsha>.json` layout pinned by
@@ -236,6 +245,7 @@ pub fn compare(baseline: &Json, current: &Json, wall_tol_pct: f64) -> (Vec<Strin
             "tuples_accepted",
             "comm_messages",
             "comm_bytes",
+            "messages_per_step",
         ] {
             let (b, c) = (num(base, key), num(cur, key));
             if b != c {
@@ -315,6 +325,7 @@ mod tests {
             energy_total: -100.0,
             comm_messages: 0,
             comm_bytes: 0,
+            messages_per_step: 0.0,
         };
         to_document(&[case])
     }
@@ -364,6 +375,7 @@ mod tests {
                     energy_total: -1.0,
                     comm_messages: 1,
                     comm_bytes: 8,
+                    messages_per_step: 0.2,
                 };
                 cases.push(added.to_json());
             }
@@ -407,15 +419,20 @@ mod tests {
                 "threaded-SC-MD-lj",
                 "bsp-SC-MD-silica",
                 "threaded-SC-MD-silica",
+                "bsp-SC-MD-clustered",
+                "bsp-SC-MD-clustered-legacy",
             ]
         );
-        // Every name encodes its own executor/method/system triple, so a
-        // mislabeled spec file cannot masquerade as another case.
+        // Every name leads with its own executor/method/system triple, so a
+        // mislabeled spec file cannot masquerade as another case; a suffix
+        // (e.g. `-legacy` for the pinned per-channel comm variant) is
+        // allowed after the triple.
         for s in &specs {
-            assert_eq!(
-                s.name,
-                format!("{}-{}-{}", s.executor.kind(), s.method.name(), s.system.kind()),
-                "spec name disagrees with its contents"
+            let triple = format!("{}-{}-{}", s.executor.kind(), s.method.name(), s.system.kind());
+            assert!(
+                s.name == triple || s.name.starts_with(&format!("{triple}-")),
+                "spec name {:?} disagrees with its contents ({triple})",
+                s.name
             );
         }
     }

@@ -254,6 +254,7 @@ fn run_scenario(flags: &Flags) -> Result<ScenarioSpec, Error> {
         subdivision: get(flags, "subdivision", 1, "an integer in 1..=3")?,
         verlet_skin: get(flags, "skin", 0.0, "a number")?,
         resort_every: 8,
+        comm: Default::default(),
         thermostat: None,
         fault_plan: None,
         observability,
@@ -283,10 +284,6 @@ fn run(flags: &Flags) -> Result<(), Error> {
         ],
     )?;
     let spec = run_scenario(flags)?;
-    if matches!(spec.executor, ExecutorSpec::Threaded { .. }) {
-        return run_threaded(&spec, flags);
-    }
-
     let mut handle = spec.instantiate().map_err(spec_err)?;
     let steps = spec.steps as usize;
     let mut metrics_out = match flags.get("metrics-json") {
@@ -350,38 +347,6 @@ fn run(flags: &Flags) -> Result<(), Error> {
     }
     if let Some(path) = flags.get("results") {
         write_results(path, &spec.name, handle.steps_done(), &handle.gather(), e1)?;
-    }
-    Ok(())
-}
-
-/// The one-shot threaded executor: no block-wise reporting or tracing,
-/// one summary line plus the optional results document.
-fn run_threaded(spec: &ScenarioSpec, flags: &Flags) -> Result<(), Error> {
-    for unsupported in ["metrics-json", "trace", "xyz"] {
-        if flags.contains_key(unsupported) {
-            return Err(CliError::BadFlagValue {
-                flag: unsupported.into(),
-                value: flags[unsupported].clone(),
-                expected: "no value — the threaded executor is one-shot and has no sinks",
-            }
-            .into());
-        }
-    }
-    let t0 = std::time::Instant::now();
-    let (store, energy, stats) = spec.run_threaded().map_err(spec_err)?;
-    let wall = t0.elapsed().as_secs_f64();
-    let total = energy.total() + store.kinetic_energy();
-    println!(
-        "# {} | {} atoms | {} | threaded | {} steps | E = {total:.4} | {:.2} ms/step | {} msgs",
-        spec.name,
-        store.len(),
-        spec.method.name(),
-        spec.steps,
-        wall / spec.steps as f64 * 1e3,
-        stats.messages,
-    );
-    if let Some(path) = flags.get("results") {
-        write_results(path, &spec.name, spec.steps, &store, total)?;
     }
     Ok(())
 }

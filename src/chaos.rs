@@ -19,7 +19,7 @@ use sc_obs::{chrome_trace, Tracer};
 use sc_parallel::rank::ForceField;
 use sc_parallel::{DistributedSim, FaultPlan};
 use sc_potential::{LennardJones, Vashishta};
-use sc_spec::{ExecutorSpec, RunHandle, ScenarioSpec};
+use sc_spec::{ExecutorSpec, ScenarioSpec};
 use std::path::PathBuf;
 
 /// Soak-run parameters (one storm = one seeded fault schedule).
@@ -90,10 +90,8 @@ fn build_spec_case(spec: &ScenarioSpec) -> Result<DistributedSim, String> {
     }
     let mut clean = spec.clone();
     clean.fault_plan = None;
-    match clean.instantiate().map_err(|e| e.to_string())? {
-        RunHandle::Bsp(sim) => Ok(*sim),
-        RunHandle::Serial(_) => unreachable!("bsp executor instantiates as Bsp"),
-    }
+    let handle = clean.instantiate().map_err(|e| e.to_string())?;
+    Ok(*handle.into_bsp().expect("bsp executor instantiates as the BSP engine"))
 }
 
 /// One storm's verdict.
