@@ -177,7 +177,15 @@ fn wire_phase(
                 .map(|s| s.channel)
                 .unwrap_or(unit.channel);
             let got = deliver_validated(
-                fault, health, exec_sink, &mut stats[from], epoch, from, to, expected, unit,
+                fault,
+                health,
+                exec_sink,
+                &mut stats[from],
+                epoch,
+                from,
+                to,
+                expected,
+                unit,
             )?;
             tsinks[to].recv(epoch, class, from as u32, bytes, nsec, epoch);
             units[to].push((from, got));
@@ -248,7 +256,16 @@ fn staged_exchange(
             recvs.push(rx);
         }
         let delivered = wire_phase(
-            aggregation, phase, epoch, fault, health, exec_sink, tsinks, &mut stats, sends, &recvs,
+            aggregation,
+            phase,
+            epoch,
+            fault,
+            health,
+            exec_sink,
+            tsinks,
+            &mut stats,
+            sends,
+            &recvs,
         )?;
         for (to, payloads) in delivered.into_iter().enumerate() {
             for ((slot, &hop), payload) in recvs[to].iter().zip(&hops).zip(payloads) {
@@ -804,7 +821,7 @@ impl DistributedSim {
                 for (slot, &hop) in slots.iter().zip(&hops) {
                     let (forces, recorded) = self.ranks[r].collect_ghost_forces(hop);
                     debug_assert!(
-                        recorded.map_or(true, |t| t == slot.peer),
+                        recorded.is_none_or(|t| t == slot.peer),
                         "ghost origin disagrees with the routing schedule"
                     );
                     secs.push((
@@ -974,7 +991,15 @@ impl DistributedSim {
                     let (fault, health) =
                         exchange_state.lock().unwrap().take().expect("exchange task runs once");
                     let r = staged_exchange(
-                        grid, plan, ranks, fault, health, exec_sink, tsinks, aggregation, epoch,
+                        grid,
+                        plan,
+                        ranks,
+                        fault,
+                        health,
+                        exec_sink,
+                        tsinks,
+                        aggregation,
+                        epoch,
                         start_phase,
                     );
                     *staged_out.lock().unwrap() = Some(r);

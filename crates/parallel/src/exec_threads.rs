@@ -43,11 +43,7 @@ const POISON_PHASE: u64 = u64::MAX;
 /// exactly one reply.
 enum Cmd {
     /// Run one velocity-Verlet step (priming forces first if needed).
-    Step {
-        dt: f64,
-        resort: bool,
-        comm: CommConfig,
-    },
+    Step { dt: f64, resort: bool, comm: CommConfig },
     /// Recompute forces without integrating and report fresh energies.
     Energy { comm: CommConfig },
     /// Report this rank's owned atoms for a global gather.
@@ -97,8 +93,7 @@ impl Mailbox {
     /// buffer or the channel. A poison sentinel or a closed channel means a
     /// peer unwound mid-protocol and the slot can never fill.
     fn next_unit(&mut self, phase: u64, epoch: u64, slot0: Channel) -> Result<Wire, RuntimeError> {
-        let missing =
-            |rank| RuntimeError::MissingHop { rank, channel: slot0, epoch, attempts: 1 };
+        let missing = |rank| RuntimeError::MissingHop { rank, channel: slot0, epoch, attempts: 1 };
         if let Some(pos) =
             self.pending.iter().position(|(_, m)| m.phase == phase || m.phase == POISON_PHASE)
         {
@@ -239,7 +234,8 @@ impl Worker {
         let mut interior_secs = 0.0;
         for (gi, hops) in transport::ghost_phase_groups(&self.plan).into_iter().enumerate() {
             self.phase += 1;
-            let (slots, rx_slots) = transport::ghost_phase(&self.grid, &self.plan, self.rank, &hops);
+            let (slots, rx_slots) =
+                transport::ghost_phase(&self.grid, &self.plan, self.rank, &hops);
             let mut secs = Vec::with_capacity(slots.len());
             for (slot, &hop) in slots.iter().zip(&hops) {
                 let (axis, recv_dir) = self.plan.hops[hop];
@@ -293,12 +289,13 @@ impl Worker {
         let r0 = self.tsink.now_ns();
         for hops in transport::force_phase_groups(&self.plan) {
             self.phase += 1;
-            let (slots, rx_slots) = transport::force_phase(&self.grid, &self.plan, self.rank, &hops);
+            let (slots, rx_slots) =
+                transport::force_phase(&self.grid, &self.plan, self.rank, &hops);
             let mut secs = Vec::with_capacity(slots.len());
             for (slot, &hop) in slots.iter().zip(&hops) {
                 let (forces, recorded) = self.state.collect_ghost_forces(hop);
                 debug_assert!(
-                    recorded.map_or(true, |t| t == slot.peer),
+                    recorded.is_none_or(|t| t == slot.peer),
                     "ghost origin disagrees with the routing schedule"
                 );
                 secs.push((
@@ -393,7 +390,9 @@ impl Worker {
     fn view(&self, energy: EnergyBreakdown, tuples: TupleCounts) -> Box<StepView> {
         let s = self.state.store();
         let finite = (0..self.state.owned()).all(|i| {
-            s.positions()[i].is_finite() && s.velocities()[i].is_finite() && s.forces()[i].is_finite()
+            s.positions()[i].is_finite()
+                && s.velocities()[i].is_finite()
+                && s.forces()[i].is_finite()
         });
         Box::new(StepView {
             energy,
@@ -912,7 +911,16 @@ impl ThreadedSim {
         dt: f64,
         steps: usize,
     ) -> Result<(AtomStore, EnergyBreakdown, CommCounters), RunError> {
-        Self::run_observed(store, bbox, pdims, ff, dt, steps, &Registry::disabled(), &Tracer::disabled())
+        Self::run_observed(
+            store,
+            bbox,
+            pdims,
+            ff,
+            dt,
+            steps,
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
     }
 
     /// Like [`ThreadedSim::run`], additionally reporting the aggregated

@@ -228,9 +228,7 @@ impl RankGrid {
                 let sub = self.rank_box_lengths();
                 Vec3::new(b.x as f64 * sub.x, b.y as f64 * sub.y, b.z as f64 * sub.z)
             }
-            Some(_) => {
-                Vec3::new(self.slab_lo(0, b.x), self.slab_lo(1, b.y), self.slab_lo(2, b.z))
-            }
+            Some(_) => Vec3::new(self.slab_lo(0, b.x), self.slab_lo(1, b.y), self.slab_lo(2, b.z)),
         }
     }
 
@@ -300,7 +298,7 @@ impl RankGrid {
                 slab[self.block_of_rank(r)[axis] as usize] += l;
             }
             let total: f64 = slab.iter().sum();
-            if !(total > 0.0) {
+            if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return None;
             }
             // Invert the piecewise-linear CDF at the equal-load quantiles.
@@ -419,12 +417,8 @@ mod tests {
     #[test]
     fn weighted_grid_places_explicit_cuts() {
         let bbox = SimulationBox::new(Vec3::new(10.0, 8.0, 6.0));
-        let g = RankGrid::with_splits(
-            IVec3::new(2, 2, 1),
-            bbox,
-            [vec![3.0], vec![4.0], vec![]],
-        )
-        .unwrap();
+        let g = RankGrid::with_splits(IVec3::new(2, 2, 1), bbox, [vec![3.0], vec![4.0], vec![]])
+            .unwrap();
         // Origins and extents follow the cuts, not L/p.
         assert_eq!(g.origin_of(g.rank_of_block(IVec3::new(1, 0, 0))).x, 3.0);
         assert_eq!(g.rank_box_lengths_of(g.rank_of_block(IVec3::new(0, 0, 0))).x, 3.0);
@@ -450,11 +444,11 @@ mod tests {
         let bbox = SimulationBox::cubic(8.0);
         let p = IVec3::new(2, 1, 1);
         for bad in [
-            [vec![], vec![], vec![]],               // wrong count
-            [vec![0.0], vec![], vec![]],            // not > 0
-            [vec![8.0], vec![], vec![]],            // not < L
-            [vec![f64::NAN], vec![], vec![]],       // non-finite
-            [vec![4.0], vec![1.0], vec![]],         // extra cut on a p=1 axis
+            [vec![], vec![], vec![]],         // wrong count
+            [vec![0.0], vec![], vec![]],      // not > 0
+            [vec![8.0], vec![], vec![]],      // not < L
+            [vec![f64::NAN], vec![], vec![]], // non-finite
+            [vec![4.0], vec![1.0], vec![]],   // extra cut on a p=1 axis
         ] {
             let err = RankGrid::with_splits(p, bbox, bad).unwrap_err();
             assert!(matches!(err, SetupError::BadGridCuts { .. }), "{err}");

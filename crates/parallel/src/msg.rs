@@ -353,10 +353,8 @@ mod tests {
 
     #[test]
     fn batch_frames_count_section_payload_bytes_once() {
-        let ghosts = Payload::Ghosts(vec![
-            GhostMsg { id: 1, species: Species(0), position: Vec3::ZERO };
-            3
-        ]);
+        let ghosts =
+            Payload::Ghosts(vec![GhostMsg { id: 1, species: Species(0), position: Vec3::ZERO }; 3]);
         let forces = Payload::Forces(vec![ForceMsg { id: 1, force: Vec3::ZERO }; 2]);
         let per_channel = ghosts.wire_bytes() + forces.wire_bytes();
         let batch = Payload::Batch(vec![

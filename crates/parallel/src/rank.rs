@@ -623,14 +623,7 @@ impl RankState {
         if ff.method == Method::Hybrid {
             self.compute_forces_hybrid(ff, &mut acc, &mut energy, &mut tuples, &mut phases);
         } else {
-            self.compute_forces_cells(
-                ff,
-                &mut acc,
-                &mut energy,
-                &mut tuples,
-                &mut phases,
-                fresh,
-            );
+            self.compute_forces_cells(ff, &mut acc, &mut energy, &mut tuples, &mut phases, fresh);
         }
         let t_reduce = Instant::now();
         acc.merge_into(self.store.forces_mut());
@@ -898,23 +891,17 @@ fn sweep_cells(
             let pot = ff.pair.as_deref().expect("pair term");
             let mut e = 0.0;
             for q in cells {
-                stats.merge(engine::visit_pairs_in_cell_src(
-                    src,
-                    plan,
-                    rcut,
-                    *q,
-                    |i, j, d, r| {
-                        let (si, sj) = (species[i as usize], species[j as usize]);
-                        if !pot.applies(si, sj) {
-                            return;
-                        }
-                        let (u, du) = pot.eval(si, sj, r);
-                        e += u;
-                        let fj = d * (-(du / r));
-                        acc.add(j, fj);
-                        acc.sub(i, fj);
-                    },
-                ));
+                stats.merge(engine::visit_pairs_in_cell_src(src, plan, rcut, *q, |i, j, d, r| {
+                    let (si, sj) = (species[i as usize], species[j as usize]);
+                    if !pot.applies(si, sj) {
+                        return;
+                    }
+                    let (u, du) = pot.eval(si, sj, r);
+                    e += u;
+                    let fj = d * (-(du / r));
+                    acc.add(j, fj);
+                    acc.sub(i, fj);
+                }));
             }
             energy.pair += e;
             tuples.pair.merge(stats);
@@ -1023,11 +1010,8 @@ pub fn validate_decomposition(
             if sub[a] < rcut {
                 return Err(SetupError::SubBoxBelowCutoff { rcut, sub_box: sub[a], axis: a });
             }
-            let global: i32 = grid
-                .slab_widths(a)
-                .iter()
-                .map(|s| ((s / rcut).floor() as i32).max(1))
-                .sum();
+            let global: i32 =
+                grid.slab_widths(a).iter().map(|s| ((s / rcut).floor() as i32).max(1)).sum();
             if global < (n as i32).max(3) {
                 return Err(SetupError::LatticeTooSmall {
                     global_cells: global,

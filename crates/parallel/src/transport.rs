@@ -266,9 +266,7 @@ mod tests {
 
     #[test]
     fn framing_packs_one_message_per_destination() {
-        let mk = |hop| {
-            Message::stamped(1, 0, Channel::Ghosts { hop }, Payload::Ghosts(vec![]))
-        };
+        let mk = |hop| Message::stamped(1, 0, Channel::Ghosts { hop }, Payload::Ghosts(vec![]));
         // Two sections to rank 3, one to rank 5.
         let wire = frame_sections(true, 1, 0, vec![(3, mk(0)), (5, mk(1)), (3, mk(2))]);
         assert_eq!(wire.len(), 2);
@@ -343,8 +341,9 @@ mod tests {
         // +1 side — i.e. from rank 0.
         let minus = sends[0].peer;
         let (_, nrecvs) = migrate_phase(&g, minus, 0);
-        assert!(nrecvs.iter().any(|s| s.peer == 0
-            && s.channel == (Channel::Migrate { axis: 0, dir: -1 })));
+        assert!(nrecvs
+            .iter()
+            .any(|s| s.peer == 0 && s.channel == (Channel::Migrate { axis: 0, dir: -1 })));
         let _ = recvs;
     }
 }

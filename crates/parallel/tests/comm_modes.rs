@@ -96,13 +96,8 @@ fn packing_modes_are_bitwise_identical_all_methods() {
             CommConfig { aggregation: false, overlap: false, rebalance_every: 0 },
         );
         for comm in mode_matrix() {
-            let (gathered, _) =
-                run_bsp(&system, lj_ff(method), IVec3::splat(2), 0.002, 4, comm);
-            assert_bitwise_eq(
-                &reference,
-                &gathered,
-                &format!("{} {comm:?}", method.name()),
-            );
+            let (gathered, _) = run_bsp(&system, lj_ff(method), IVec3::splat(2), 0.002, 4, comm);
+            assert_bitwise_eq(&reference, &gathered, &format!("{} {comm:?}", method.name()));
         }
     }
 }
@@ -126,11 +121,7 @@ fn packing_modes_are_bitwise_identical_silica() {
         for comm in mode_matrix() {
             let (gathered, _) =
                 run_bsp(&system, silica_ff(method), IVec3::new(2, 2, 1), 0.0005, 3, comm);
-            assert_bitwise_eq(
-                &reference,
-                &gathered,
-                &format!("silica {} {comm:?}", method.name()),
-            );
+            assert_bitwise_eq(&reference, &gathered, &format!("silica {} {comm:?}", method.name()));
         }
     }
 }
@@ -186,8 +177,14 @@ fn aggregated_counters_reconcile_with_per_channel_baseline() {
 fn threaded_executor_matches_bsp_across_modes() {
     let (store, bbox) = lj_system();
     for comm in mode_matrix() {
-        let (reference, bsp_stats) =
-            run_bsp(&(store.clone(), bbox), lj_ff(Method::ShiftCollapse), IVec3::new(2, 1, 1), 0.002, 3, comm);
+        let (reference, bsp_stats) = run_bsp(
+            &(store.clone(), bbox),
+            lj_ff(Method::ShiftCollapse),
+            IVec3::new(2, 1, 1),
+            0.002,
+            3,
+            comm,
+        );
         let mut t = ThreadedSim::new(
             store.clone(),
             bbox,

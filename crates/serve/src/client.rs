@@ -1,5 +1,7 @@
 //! The client side of the wire protocol: one request, one response, over
-//! a short-lived Unix-socket connection.
+//! a short-lived Unix-socket connection — plus the streaming [`watch`]
+//! subscription, which holds its connection open for server-pushed
+//! telemetry lines.
 
 use crate::protocol::{Request, Response};
 use sc_obs::json::Json;
@@ -19,6 +21,44 @@ pub fn request(socket: &Path, req: &Request) -> std::io::Result<Response> {
     stream.flush()?;
     let mut line = String::new();
     BufReader::new(stream).read_line(&mut line)?;
+    decode(&line)
+}
+
+/// Subscribes to a running job's telemetry stream and feeds every pushed
+/// response line (`watching`, `telemetry` snapshots, the final
+/// `watch-end` — or an immediate `error`) to `on_event`. Returns when
+/// the stream ends, the daemon closes the connection, or `on_event`
+/// returns `false` (client-side early stop, e.g. a `--count` limit).
+///
+/// # Errors
+/// Connection failures, I/O errors, or a malformed response line.
+pub fn watch(
+    socket: &Path,
+    id: &str,
+    every: Option<u64>,
+    mut on_event: impl FnMut(&Response) -> bool,
+) -> std::io::Result<()> {
+    let req = Request::Watch { id: id.to_string(), every };
+    let mut stream = UnixStream::connect(socket)?;
+    stream.write_all(req.to_json().to_string().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    for line in BufReader::new(stream).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = decode(&line)?;
+        let ended = matches!(resp, Response::WatchEnd { .. } | Response::Error { .. });
+        let keep_going = on_event(&resp);
+        if ended || !keep_going {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn decode(line: &str) -> std::io::Result<Response> {
     Json::parse(line.trim())
         .map_err(|e| e.to_string())
         .and_then(|doc| Response::from_json(&doc))

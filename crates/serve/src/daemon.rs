@@ -1,14 +1,27 @@
 //! The `scmd serve` daemon: a JSON-lines request loop over a local Unix
 //! socket, multiplexing clients onto the [`Scheduler`].
+//!
+//! Each accepted connection gets its own thread, so a client streaming a
+//! `watch` subscription (the one verb that holds its connection open)
+//! never blocks submissions or status queries from other clients. An
+//! optional TCP listener ([`DaemonConfig::metrics_addr`]) serves the
+//! merged daemon + per-job Prometheus text exposition over plain HTTP
+//! for scrapers that do not speak the socket protocol.
 
 use crate::job::JobId;
+use crate::metrics::{exposition, BuildInfo};
 use crate::protocol::{Request, Response};
-use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
+use crate::scheduler::{DumpError, Scheduler, SchedulerConfig, SubmitError, WatchError};
+use crate::watch::WatchEvent;
 use sc_obs::json::Json;
 use sc_spec::ScenarioSpec;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -19,19 +32,24 @@ pub struct DaemonConfig {
     pub scheduler: SchedulerConfig,
     /// Reload persisted jobs from the state directory on startup.
     pub resume: bool,
+    /// Optional TCP address (e.g. `127.0.0.1:9184`; port `0` picks a free
+    /// one) serving the Prometheus text exposition over HTTP.
+    pub metrics_addr: Option<String>,
 }
 
 /// A bound, running job service.
 pub struct Daemon {
-    scheduler: Scheduler,
+    scheduler: Arc<Scheduler>,
     listener: UnixListener,
     socket: PathBuf,
+    metrics_listener: Option<TcpListener>,
 }
 
 impl Daemon {
-    /// Starts the scheduler and binds the socket. A stale socket file
-    /// from a killed daemon is replaced; a live one (something answers a
-    /// connect) is an error.
+    /// Starts the scheduler and binds the socket (and the metrics TCP
+    /// listener, when configured). A stale socket file from a killed
+    /// daemon is replaced; a live one (something answers a connect) is an
+    /// error.
     ///
     /// # Errors
     /// Socket binding or state-directory I/O problems, or another daemon
@@ -51,9 +69,13 @@ impl Daemon {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let scheduler = Scheduler::new(cfg.scheduler, cfg.resume)?;
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let scheduler = Arc::new(Scheduler::new(cfg.scheduler, cfg.resume)?);
         let listener = UnixListener::bind(&cfg.socket)?;
-        Ok(Daemon { scheduler, listener, socket: cfg.socket })
+        Ok(Daemon { scheduler, listener, socket: cfg.socket, metrics_listener })
     }
 
     /// Jobs currently in the table (any state) — startup reporting.
@@ -61,18 +83,49 @@ impl Daemon {
         self.scheduler.list().len()
     }
 
-    /// Serves connections until a client sends `shutdown`, then parks
-    /// in-flight jobs resumably and removes the socket.
+    /// The metrics listener's bound address (resolves port `0`), when
+    /// configured — for startup reporting and tests.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Serves connections (one thread each) until a client sends
+    /// `shutdown`, then parks in-flight jobs resumably and removes the
+    /// socket. Connection threads are detached: an idle client cannot
+    /// hold the daemon open, and open watch streams end with a
+    /// `watch-end` line when the scheduler parks their jobs.
     ///
     /// # Errors
     /// Accept-loop I/O failures (per-connection errors only drop that
     /// connection).
     pub fn run(self) -> std::io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let build = Arc::new(BuildInfo::current());
+        if let Some(listener) = self.metrics_listener {
+            let scheduler = Arc::clone(&self.scheduler);
+            let stop = Arc::clone(&stop);
+            let build = Arc::clone(&build);
+            std::thread::Builder::new()
+                .name("sc-serve-metrics".to_string())
+                .spawn(move || metrics_loop(&listener, &scheduler, &build, &stop))?;
+        }
         for stream in self.listener.incoming() {
             let stream = stream?;
-            if let Ok(true) = serve_connection(stream, &self.scheduler) {
+            if stop.load(Ordering::SeqCst) {
                 break;
             }
+            let scheduler = Arc::clone(&self.scheduler);
+            let stop = Arc::clone(&stop);
+            let build = Arc::clone(&build);
+            let socket = self.socket.clone();
+            std::thread::Builder::new().name("sc-serve-conn".to_string()).spawn(move || {
+                if let Ok(true) = serve_connection(stream, &scheduler, &build) {
+                    // Shutdown requested: raise the flag, then self-connect
+                    // to wake the accept loop blocked in `incoming`.
+                    stop.store(true, Ordering::SeqCst);
+                    let _ = UnixStream::connect(&socket);
+                }
+            })?;
         }
         let _ = std::fs::remove_file(&self.socket);
         self.scheduler.shutdown();
@@ -80,8 +133,49 @@ impl Daemon {
     }
 }
 
+/// Serves Prometheus scrapes: any HTTP request on the listener answers
+/// with the full merged exposition. Non-blocking accept so the loop can
+/// observe shutdown.
+fn metrics_loop(
+    listener: &TcpListener,
+    scheduler: &Scheduler,
+    build: &BuildInfo,
+    stop: &AtomicBool,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                // Drain the request head (path is ignored: every GET gets
+                // the exposition), then answer and close.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut head = [0u8; 4096];
+                let _ = stream.read(&mut head);
+                let body = exposition(&scheduler.daemon_metrics(), &scheduler.job_metrics(), build);
+                let _ = write!(
+                    stream,
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
 /// Handles one client connection; returns whether shutdown was requested.
-fn serve_connection(stream: UnixStream, scheduler: &Scheduler) -> std::io::Result<bool> {
+fn serve_connection(
+    stream: UnixStream,
+    scheduler: &Scheduler,
+    build: &BuildInfo,
+) -> std::io::Result<bool> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -89,10 +183,24 @@ fn serve_connection(stream: UnixStream, scheduler: &Scheduler) -> std::io::Resul
         if line.trim().is_empty() {
             continue;
         }
-        let (resp, stop) = handle_line(&line, scheduler);
-        writer.write_all(resp.to_json().to_string().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let req = match Json::parse(&line)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| Request::from_json(&doc))
+        {
+            Ok(req) => req,
+            Err(e) => {
+                write_line(&mut writer, &bad_request(e))?;
+                continue;
+            }
+        };
+        // Watch is the one streaming verb: it takes over the connection
+        // and closes it when the stream ends.
+        if let Request::Watch { id, every } = req {
+            stream_watch(&mut writer, scheduler, &id, every)?;
+            return Ok(false);
+        }
+        let (resp, stop) = handle_request(req, scheduler, build);
+        write_line(&mut writer, &resp)?;
         if stop {
             return Ok(true);
         }
@@ -100,19 +208,73 @@ fn serve_connection(stream: UnixStream, scheduler: &Scheduler) -> std::io::Resul
     Ok(false)
 }
 
+fn write_line(writer: &mut UnixStream, resp: &Response) -> std::io::Result<()> {
+    writer.write_all(resp.to_json().to_string().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Streams one watch subscription: a `watching` acknowledgement, then
+/// `telemetry` lines at the subscriber's cadence, then `watch-end` when
+/// the job goes terminal. A write failure (client gone) just ends the
+/// thread; the lane-side queue is bounded, so the orphaned subscription
+/// costs a fixed amount of memory until the job finishes.
+fn stream_watch(
+    writer: &mut UnixStream,
+    scheduler: &Scheduler,
+    id: &str,
+    every: Option<u64>,
+) -> std::io::Result<()> {
+    let jid = match JobId::parse(id) {
+        Some(jid) => jid,
+        None => return write_line(writer, &bad_request(format!("'{id}' is not a job-<n> id"))),
+    };
+    let handle = match scheduler.watch(jid, every) {
+        Ok(handle) => handle,
+        Err(e) => {
+            let code = match e {
+                WatchError::UnknownJob => "unknown-job",
+                WatchError::Terminal(_) => "not-watchable",
+            };
+            let resp = Response::Error { code: code.to_string(), message: format!("{jid}: {e}") };
+            return write_line(writer, &resp);
+        }
+    };
+    write_line(writer, &Response::Watching { id: id.to_string(), every: handle.every() })?;
+    loop {
+        match handle.recv(Duration::from_millis(500)) {
+            WatchEvent::Snapshot { seq, dropped, doc } => {
+                write_line(writer, &Response::Telemetry { id: id.to_string(), seq, dropped, doc })?;
+            }
+            WatchEvent::End { state, dropped } => {
+                return write_line(
+                    writer,
+                    &Response::WatchEnd { id: id.to_string(), state, dropped },
+                );
+            }
+            // Quiet stream (paused lanes, long slices): keep waiting; a
+            // dead client surfaces as a write error on the next event.
+            WatchEvent::TimedOut => {}
+        }
+    }
+}
+
 fn bad_request(message: impl Into<String>) -> Response {
     Response::Error { code: "bad-request".to_string(), message: message.into() }
 }
 
 /// Routes one request line; returns the response and whether the daemon
-/// should stop.
+/// should stop. (Non-streaming path: `watch` is intercepted by the
+/// connection loop and answers `bad-request` here.)
 pub fn handle_line(line: &str, scheduler: &Scheduler) -> (Response, bool) {
-    let req =
-        match Json::parse(line).map_err(|e| e.to_string()).and_then(|doc| Request::from_json(&doc))
-        {
-            Ok(req) => req,
-            Err(e) => return (bad_request(e), false),
-        };
+    match Json::parse(line).map_err(|e| e.to_string()).and_then(|doc| Request::from_json(&doc)) {
+        Ok(req) => handle_request(req, scheduler, &BuildInfo::current()),
+        Err(e) => (bad_request(e), false),
+    }
+}
+
+/// Routes one parsed request (every verb except the streaming `watch`).
+fn handle_request(req: Request, scheduler: &Scheduler, build: &BuildInfo) -> (Response, bool) {
     let resp = match req {
         Request::Ping => Response::Pong { jobs: scheduler.list().len() as u64 },
         Request::Submit { spec } => match ScenarioSpec::from_json(&spec) {
@@ -168,6 +330,33 @@ pub fn handle_line(line: &str, scheduler: &Scheduler) -> (Response, bool) {
                     ),
                 },
                 (None, _) => unknown_job(id),
+            },
+        },
+        Request::Watch { .. } => {
+            bad_request("watch is a streaming verb; it must own its connection")
+        }
+        Request::Metrics => Response::Metrics {
+            text: exposition(&scheduler.daemon_metrics(), &scheduler.job_metrics(), build),
+        },
+        Request::Dump { id } => match parse_id(&id) {
+            Err(resp) => resp,
+            Ok(jid) => match scheduler.dump(jid) {
+                Ok(d) => Response::Dump {
+                    id: jid.to_string(),
+                    step: d.step,
+                    events: d.events,
+                    dropped: d.dropped,
+                    trace: d.doc,
+                },
+                Err(e) => Response::Error {
+                    code: match e {
+                        DumpError::UnknownJob => "unknown-job",
+                        DumpError::NotStarted => "not-running",
+                        DumpError::Disabled => "trace-disabled",
+                    }
+                    .to_string(),
+                    message: format!("{jid}: {e}"),
+                },
             },
         },
         Request::Shutdown => return (Response::ShuttingDown, true),

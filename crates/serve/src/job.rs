@@ -93,6 +93,9 @@ pub struct JobRecord {
     pub steps_done: u64,
     /// Steps the spec asks for.
     pub total_steps: u64,
+    /// Wall milliseconds this job has spent on its lane so far (live
+    /// progress for `Status`; never part of the observables document).
+    pub wall_ms: u64,
     /// The worker lane the job is pinned to.
     pub lane: usize,
     /// Failure reason, when [`JobState::Failed`].
@@ -108,6 +111,7 @@ impl JobRecord {
             state: JobState::Queued,
             steps_done: 0,
             total_steps,
+            wall_ms: 0,
             lane,
             error: None,
         }
@@ -122,6 +126,7 @@ impl JobRecord {
             ("state".to_string(), Json::str(self.state.as_str())),
             ("steps_done".to_string(), Json::num(self.steps_done as f64)),
             ("total_steps".to_string(), Json::num(self.total_steps as f64)),
+            ("wall_ms".to_string(), Json::num(self.wall_ms as f64)),
             ("lane".to_string(), Json::num(self.lane as f64)),
         ];
         if let Some(e) = &self.error {
@@ -153,6 +158,9 @@ impl JobRecord {
                 .ok_or_else(|| "manifest 'state' unknown".to_string())?,
             steps_done: num_field("steps_done")?,
             total_steps: num_field("total_steps")?,
+            // Absent in pre-telemetry manifests: default to 0 so old
+            // state directories keep resuming.
+            wall_ms: if doc.get("wall_ms").is_some() { num_field("wall_ms")? } else { 0 },
             lane: num_field("lane")? as usize,
             error: doc.get("error").and_then(Json::as_str).map(str::to_string),
         })
@@ -177,12 +185,27 @@ mod tests {
         let mut rec = JobRecord::new(JobId(3), "lj-demo", 100, 1);
         rec.state = JobState::Failed;
         rec.steps_done = 42;
+        rec.wall_ms = 1234;
         rec.error = Some("rank 2 died".to_string());
         let back = JobRecord::from_json(&rec.to_json()).unwrap();
         assert_eq!(back, rec);
         // And without the optional error field.
         let rec = JobRecord::new(JobId(0), "x", 1, 0);
         assert_eq!(JobRecord::from_json(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn manifests_without_wall_ms_still_parse() {
+        // State directories written before live progress tracking carry
+        // no wall_ms; resume must not reject them.
+        let doc = Json::parse(
+            r#"{"schema": "sc-job/1", "id": "job-4", "spec_name": "old", "state": "queued",
+                "steps_done": 0, "total_steps": 8, "lane": 0}"#,
+        )
+        .unwrap();
+        let rec = JobRecord::from_json(&doc).unwrap();
+        assert_eq!(rec.wall_ms, 0);
+        assert_eq!(rec.id, JobId(4));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! The daemon-level metrics registry and the merged Prometheus export.
+//!
+//! The scheduler reports service health — queue depth, admissions and
+//! backpressure rejections, lane utilization, per-state job gauges, a
+//! slice-duration histogram, and journal/checkpoint write counters —
+//! into one unlabeled [`Registry`]. The export surface
+//! ([`exposition`]) merges that daemon snapshot with every job's own
+//! registry snapshot: per-job series carry the `job` label (stamped by
+//! `Registry::labeled` at admission) plus a `tenant` label (the spec
+//! name), so one scrape distinguishes the service from its tenants.
+
+use sc_obs::{prometheus_with_labels, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use std::fmt::Write as _;
+
+/// Slice-duration histogram bucket upper bounds, in milliseconds.
+const SLICE_MS_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0];
+
+/// Pre-registered handles into the daemon's service registry.
+pub(crate) struct DaemonMetrics {
+    pub registry: Registry,
+    /// Jobs accepted by `submit` (admissions).
+    pub submitted: Counter,
+    /// Submissions rejected with `queue-full` backpressure.
+    pub rejected: Counter,
+    /// Scheduling slices completed across all lanes.
+    pub slices: Counter,
+    /// Manifest (journal) writes to the state directory.
+    pub manifests: Counter,
+    /// Labelled checkpoint writes to the state directory.
+    pub checkpoints: Counter,
+    /// Telemetry snapshots fanned out to watch subscribers.
+    pub watch_snapshots: Counter,
+    /// Watch snapshots dropped to per-subscriber queue overflow.
+    pub watch_dropped: Counter,
+    /// Live (queued + running) jobs.
+    pub queue_depth: Gauge,
+    /// Per-state job gauges.
+    pub jobs_queued: Gauge,
+    pub jobs_running: Gauge,
+    pub jobs_done: Gauge,
+    pub jobs_failed: Gauge,
+    pub jobs_cancelled: Gauge,
+    /// Configured lane count and lanes with at least one resident job.
+    pub lanes_total: Gauge,
+    pub lanes_busy: Gauge,
+    /// Wall milliseconds per completed scheduling slice.
+    pub slice_ms: Histogram,
+}
+
+impl DaemonMetrics {
+    pub(crate) fn new() -> DaemonMetrics {
+        let registry = Registry::new();
+        DaemonMetrics {
+            submitted: registry.counter("serve.jobs.submitted.total"),
+            rejected: registry.counter("serve.backpressure.rejected.total"),
+            slices: registry.counter("serve.slices.total"),
+            manifests: registry.counter("serve.manifests.written.total"),
+            checkpoints: registry.counter("serve.checkpoints.written.total"),
+            watch_snapshots: registry.counter("serve.watch.snapshots.total"),
+            watch_dropped: registry.counter("serve.watch.dropped.total"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            jobs_queued: registry.gauge("serve.jobs.queued"),
+            jobs_running: registry.gauge("serve.jobs.running"),
+            jobs_done: registry.gauge("serve.jobs.done"),
+            jobs_failed: registry.gauge("serve.jobs.failed"),
+            jobs_cancelled: registry.gauge("serve.jobs.cancelled"),
+            lanes_total: registry.gauge("serve.lanes.total"),
+            lanes_busy: registry.gauge("serve.lanes.busy"),
+            slice_ms: registry.histogram("serve.slice.duration.ms", SLICE_MS_BOUNDS),
+            registry,
+        }
+    }
+}
+
+/// Build identity stamped on the `scmd_build_info` gauge.
+#[derive(Debug, Clone)]
+pub struct BuildInfo {
+    /// Crate version (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Short git SHA of the serving binary's checkout (or `unknown`).
+    pub git_sha: String,
+}
+
+impl BuildInfo {
+    /// The current build: workspace version plus the checkout's short
+    /// git SHA (resolved at runtime; `unknown` outside a git checkout).
+    pub fn current() -> BuildInfo {
+        BuildInfo { version: env!("CARGO_PKG_VERSION").to_string(), git_sha: git_sha() }
+    }
+}
+
+/// Short git SHA of the working directory's checkout, or `unknown`.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Renders the merged Prometheus text exposition: the `scmd_build_info`
+/// gauge, the daemon's service snapshot, then each job snapshot with its
+/// `job` label (from the labeled registry) and a `tenant` label (the
+/// spec name). `# HELP` / `# TYPE` headers are emitted once per metric
+/// family across the whole document, as the exposition format requires.
+pub fn exposition(
+    daemon: &MetricsSnapshot,
+    jobs: &[(MetricsSnapshot, String)],
+    build: &BuildInfo,
+) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP scmd_build_info Build identity of the serving scmd binary.\n");
+    out.push_str("# TYPE scmd_build_info gauge\n");
+    let _ = writeln!(
+        out,
+        "scmd_build_info{{version=\"{}\",git_sha=\"{}\"}} 1",
+        build.version, build.git_sha
+    );
+    let mut seen_help = std::collections::HashSet::new();
+    let mut seen_type = std::collections::HashSet::new();
+    let mut append = |out: &mut String, text: &str| {
+        for line in text.lines() {
+            // "# HELP <family> ..." / "# TYPE <family> ...": keep the
+            // first occurrence of each family's header only.
+            let keep = match (line.strip_prefix("# HELP "), line.strip_prefix("# TYPE ")) {
+                (Some(rest), _) => rest
+                    .split_whitespace()
+                    .next()
+                    .is_none_or(|family| seen_help.insert(family.to_string())),
+                (_, Some(rest)) => rest
+                    .split_whitespace()
+                    .next()
+                    .is_none_or(|family| seen_type.insert(family.to_string())),
+                _ => true,
+            };
+            if keep {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    };
+    append(&mut out, &prometheus_with_labels(daemon, &[]));
+    for (snap, tenant) in jobs {
+        append(&mut out, &prometheus_with_labels(snap, &[("tenant", tenant)]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden exposition: build info first, daemon series unlabeled, job
+    /// series under `job`/`tenant` labels, headers deduplicated.
+    #[test]
+    fn exposition_merges_daemon_and_job_snapshots_golden() {
+        let daemon = DaemonMetrics::new();
+        daemon.submitted.add(3);
+        daemon.queue_depth.set(2.0);
+        let job = Registry::labeled("job-0");
+        job.counter("sim.steps").add(7);
+        let build = BuildInfo { version: "1.2.3".to_string(), git_sha: "abc1234".to_string() };
+        let text = exposition(
+            &daemon.registry.snapshot(),
+            &[(job.snapshot(), "lj-melt".to_string())],
+            &build,
+        );
+        for needle in [
+            "# HELP scmd_build_info Build identity of the serving scmd binary.\n\
+             # TYPE scmd_build_info gauge\n\
+             scmd_build_info{version=\"1.2.3\",git_sha=\"abc1234\"} 1\n",
+            "# TYPE serve_jobs_submitted_total counter\nserve_jobs_submitted_total 3\n",
+            "serve_queue_depth 2\n",
+            "# TYPE sim_steps counter\nsim_steps{job=\"job-0\",tenant=\"lj-melt\"} 7\n",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Exactly one header pair per family across the whole document.
+        let type_lines: Vec<&str> =
+            text.lines().filter(|l| l.starts_with("# TYPE sc_phase_seconds_total")).collect();
+        assert_eq!(type_lines.len(), 1, "duplicated family headers:\n{text}");
+    }
+
+    #[test]
+    fn build_info_resolves_a_version() {
+        let b = BuildInfo::current();
+        assert!(!b.version.is_empty());
+        assert!(!b.git_sha.is_empty());
+    }
+}

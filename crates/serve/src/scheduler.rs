@@ -27,10 +27,13 @@
 //! byte-identical to an uninterrupted run's.
 
 use crate::job::{JobId, JobRecord, JobState};
+use crate::metrics::DaemonMetrics;
+use crate::watch::{WatchHandle, WatchShared};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use sc_md::supervisor::{Supervisor, SupervisorConfig};
 use sc_md::Checkpoint;
 use sc_obs::json::Json;
+use sc_obs::{chrome_trace, MetricsSnapshot, Registry, Tracer};
 use sc_spec::{observables_doc, RunHandle, ScenarioSpec, SpecError};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -59,6 +62,15 @@ pub struct SchedulerConfig {
     /// slicing begins, making the scheduling order exactly reproducible
     /// (the fairness tests rely on this).
     pub start_paused: bool,
+    /// Per-subscriber watch queue capacity, in snapshots. A subscriber
+    /// that falls further behind loses its **oldest** snapshots (counted,
+    /// never blocking the lane).
+    pub watch_queue: usize,
+    /// Flight-recorder ring capacity (events per trace sink) armed for
+    /// every job whose spec does not set `observability.ring` or `trace`
+    /// itself. `0` leaves un-traced jobs dark (Dump then answers with a
+    /// typed error).
+    pub flight_ring: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -70,6 +82,8 @@ impl Default for SchedulerConfig {
             state_dir: None,
             max_rollbacks: 64,
             start_paused: false,
+            watch_queue: 16,
+            flight_ring: sc_obs::trace::DEFAULT_CAPACITY,
         }
     }
 }
@@ -113,6 +127,62 @@ impl std::error::Error for SubmitError {
     }
 }
 
+/// Why a watch subscription was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchError {
+    /// No job with that id.
+    UnknownJob,
+    /// The job is already terminal; there is nothing left to stream.
+    Terminal(JobState),
+}
+
+impl fmt::Display for WatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchError::UnknownJob => write!(f, "no such job"),
+            WatchError::Terminal(state) => write!(f, "job is already {state}"),
+        }
+    }
+}
+
+/// Why a flight-recorder dump was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpError {
+    /// No job with that id.
+    UnknownJob,
+    /// The job has no live engine in this daemon (still queued, or a
+    /// terminal job reloaded from a previous daemon's state directory).
+    NotStarted,
+    /// The job's trace ring is explicitly disabled
+    /// (`observability.ring: 0` with the scheduler's flight ring off).
+    Disabled,
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpError::UnknownJob => write!(f, "no such job"),
+            DumpError::NotStarted => write!(f, "job has no live trace in this daemon"),
+            DumpError::Disabled => write!(f, "job's flight-recorder ring is disabled"),
+        }
+    }
+}
+
+/// A flight-recorder snapshot of a (typically still running) job.
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// The job the trace came from.
+    pub id: JobId,
+    /// The job's `steps_done` at snapshot time.
+    pub step: u64,
+    /// Events captured in the dump.
+    pub events: u64,
+    /// Ring-overflow drops since the job started (older history lost).
+    pub dropped: u64,
+    /// The Chrome Trace Format document.
+    pub doc: Json,
+}
+
 /// One job's bookkeeping entry.
 struct JobEntry {
     record: JobRecord,
@@ -122,6 +192,28 @@ struct JobEntry {
     cancel: bool,
     /// The observables document, once [`JobState::Done`].
     results: Option<Json>,
+    /// Live watch subscriptions; the lane fans snapshots out to these at
+    /// slice boundaries.
+    watchers: Vec<Arc<WatchShared>>,
+    /// Clone of the running engine's registry (Arc-backed, thread-safe)
+    /// so the daemon can scrape a job the lane exclusively owns.
+    metrics: Option<Registry>,
+    /// Clone of the running engine's tracer, for mid-run `Dump`.
+    tracer: Option<Tracer>,
+}
+
+impl JobEntry {
+    fn new(record: JobRecord, spec: ScenarioSpec, results: Option<Json>) -> JobEntry {
+        JobEntry {
+            record,
+            spec,
+            cancel: false,
+            results,
+            watchers: Vec::new(),
+            metrics: None,
+            tracer: None,
+        }
+    }
 }
 
 struct Inner {
@@ -139,6 +231,9 @@ struct Shared {
     /// [`Scheduler::wait_idle`].
     progress: Condvar,
     cfg: SchedulerConfig,
+    /// Daemon-level service metrics (queue depth, admissions, slice
+    /// durations, journal counters, ...).
+    metrics: DaemonMetrics,
 }
 
 enum LaneMsg {
@@ -153,7 +248,10 @@ enum LaneMsg {
 pub struct Scheduler {
     shared: Arc<Shared>,
     lanes: Vec<Sender<LaneMsg>>,
-    threads: Vec<JoinHandle<()>>,
+    /// Drained by [`Scheduler::shutdown`] (shared-reference shutdown lets
+    /// the daemon park jobs while connection threads still hold the
+    /// scheduler behind an `Arc`).
+    threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Scheduler {
@@ -170,6 +268,8 @@ impl Scheduler {
         if let Some(dir) = &cfg.state_dir {
             std::fs::create_dir_all(dir.join("jobs"))?;
         }
+        let metrics = DaemonMetrics::new();
+        metrics.lanes_total.set(cfg.lanes as f64);
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 jobs: BTreeMap::new(),
@@ -179,6 +279,7 @@ impl Scheduler {
             }),
             progress: Condvar::new(),
             cfg: cfg.clone(),
+            metrics,
         });
         let mut lanes = Vec::new();
         let mut threads = Vec::new();
@@ -192,7 +293,7 @@ impl Scheduler {
             );
             lanes.push(tx);
         }
-        let sched = Scheduler { shared, lanes, threads };
+        let sched = Scheduler { shared, lanes, threads: Mutex::new(threads) };
         if resume {
             sched.resume_persisted()?;
         }
@@ -220,6 +321,7 @@ impl Scheduler {
             }
             let live = inner.jobs.values().filter(|j| !j.record.state.is_terminal()).count();
             if live >= self.shared.cfg.queue_capacity {
+                self.shared.metrics.rejected.inc();
                 return Err(SubmitError::QueueFull { capacity: self.shared.cfg.queue_capacity });
             }
             let id = JobId(inner.next_id);
@@ -240,7 +342,9 @@ impl Scheduler {
                     return Err(SubmitError::Unservable(format!("cannot persist job state: {e}")));
                 }
             }
-            inner.jobs.insert(id.0, JobEntry { record, spec, cancel: false, results: None });
+            inner.jobs.insert(id.0, JobEntry::new(record, spec, None));
+            self.shared.metrics.submitted.inc();
+            refresh_gauges(&inner, &self.shared.metrics);
             (id, lane)
         };
         // The lane threads outlive every submit (they only exit in
@@ -301,6 +405,82 @@ impl Scheduler {
         self.shared.inner.lock().unwrap().trace.clone()
     }
 
+    /// Subscribes to a live job's periodic telemetry snapshots. `every`
+    /// is the snapshot cadence in steps (`None`: the spec's
+    /// `observability.watch_every`; `0`: every slice boundary). The
+    /// subscription is bounded ([`SchedulerConfig::watch_queue`]):
+    /// a slow consumer loses its oldest snapshots, counted, and the lane
+    /// never blocks on it.
+    ///
+    /// # Errors
+    /// [`WatchError::UnknownJob`] / [`WatchError::Terminal`].
+    pub fn watch(&self, id: JobId, every: Option<u64>) -> Result<WatchHandle, WatchError> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        let Some(entry) = inner.jobs.get_mut(&id.0) else {
+            return Err(WatchError::UnknownJob);
+        };
+        if entry.record.state.is_terminal() {
+            return Err(WatchError::Terminal(entry.record.state));
+        }
+        let every = every.unwrap_or(entry.spec.observability.watch_every);
+        let shared = WatchShared::new(self.shared.cfg.watch_queue, every);
+        entry.watchers.push(Arc::clone(&shared));
+        Ok(WatchHandle { shared })
+    }
+
+    /// Snapshots a job's flight-recorder ring — the recent trace history
+    /// of a (typically still running) job — as a Chrome Trace Format
+    /// document. Safe mid-run: ring slots overwritten concurrently are
+    /// skipped, never torn.
+    ///
+    /// # Errors
+    /// [`DumpError::UnknownJob`] / [`DumpError::NotStarted`] /
+    /// [`DumpError::Disabled`].
+    pub fn dump(&self, id: JobId) -> Result<TraceDump, DumpError> {
+        let (tracer, step) = {
+            let inner = self.shared.inner.lock().unwrap();
+            let Some(entry) = inner.jobs.get(&id.0) else {
+                return Err(DumpError::UnknownJob);
+            };
+            match &entry.tracer {
+                Some(tracer) => (tracer.clone(), entry.record.steps_done),
+                None => return Err(DumpError::NotStarted),
+            }
+        };
+        if !tracer.enabled() {
+            return Err(DumpError::Disabled);
+        }
+        let events = tracer.events();
+        Ok(TraceDump {
+            id,
+            step,
+            events: events.len() as u64,
+            dropped: tracer.dropped(),
+            doc: chrome_trace(&events),
+        })
+    }
+
+    /// The daemon-level service metrics snapshot (unlabeled).
+    pub fn daemon_metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.registry.snapshot()
+    }
+
+    /// Every live job registry's snapshot (label = job id) paired with
+    /// its tenant (spec name), for the merged Prometheus export. Jobs
+    /// whose spec left `observability.metrics` off have no registry and
+    /// are skipped.
+    pub fn job_metrics(&self) -> Vec<(MetricsSnapshot, String)> {
+        let inner = self.shared.inner.lock().unwrap();
+        inner
+            .jobs
+            .values()
+            .filter_map(|e| {
+                let registry = e.metrics.as_ref().filter(|r| r.enabled())?;
+                Some((registry.snapshot(), e.record.spec_name.clone()))
+            })
+            .collect()
+    }
+
     /// Releases lanes started under [`SchedulerConfig::start_paused`].
     pub fn start(&self) {
         for tx in &self.lanes {
@@ -310,14 +490,26 @@ impl Scheduler {
 
     /// Stops accepting work, checkpoints in-flight jobs, and joins the
     /// lanes. Queued/running jobs stay non-terminal in the persisted
-    /// manifests, so a later `resume` continues them.
-    pub fn shutdown(mut self) {
+    /// manifests, so a later `resume` continues them. Open watch streams
+    /// end with the job's state at park time. Idempotent; takes `&self`
+    /// so the daemon can shut down while connection threads still share
+    /// the scheduler.
+    pub fn shutdown(&self) {
         self.shared.inner.lock().unwrap().shutting_down = true;
         for tx in &self.lanes {
             let _ = tx.send(LaneMsg::Shutdown);
         }
-        for t in self.threads.drain(..) {
+        for t in self.threads.lock().unwrap().drain(..) {
             let _ = t.join();
+        }
+        // With the lanes parked nothing will stream again: end every
+        // remaining subscription at the job's parked state.
+        let mut inner = self.shared.inner.lock().unwrap();
+        for entry in inner.jobs.values_mut() {
+            let state = entry.record.state;
+            for w in entry.watchers.drain(..) {
+                w.close(state.as_str());
+            }
         }
     }
 
@@ -358,8 +550,9 @@ impl Scheduler {
                     restarts.push((raw, record.lane));
                 }
                 inner.next_id = inner.next_id.max(raw + 1);
-                inner.jobs.insert(raw, JobEntry { record, spec, cancel: false, results });
+                inner.jobs.insert(raw, JobEntry::new(record, spec, results));
             }
+            refresh_gauges(&inner, &self.shared.metrics);
         }
         for (raw, lane) in restarts {
             self.lanes[lane].send(LaneMsg::Run(raw)).expect("lane thread alive");
@@ -370,13 +563,55 @@ impl Scheduler {
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        self.shared.inner.lock().unwrap().shutting_down = true;
-        for tx in &self.lanes {
-            let _ = tx.send(LaneMsg::Shutdown);
+        self.shutdown();
+    }
+}
+
+/// Recomputes the daemon's job-table gauges (call with the table lock
+/// held, after any state transition). Lane business is the number of
+/// distinct lanes holding at least one non-terminal job.
+fn refresh_gauges(inner: &Inner, metrics: &DaemonMetrics) {
+    let mut counts = [0u64; 5];
+    let mut busy: Vec<usize> = Vec::new();
+    for entry in inner.jobs.values() {
+        let state = entry.record.state;
+        counts[match state {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::Cancelled => 4,
+        }] += 1;
+        if !state.is_terminal() && !busy.contains(&entry.record.lane) {
+            busy.push(entry.record.lane);
         }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+    }
+    metrics.jobs_queued.set(counts[0] as f64);
+    metrics.jobs_running.set(counts[1] as f64);
+    metrics.jobs_done.set(counts[2] as f64);
+    metrics.jobs_failed.set(counts[3] as f64);
+    metrics.jobs_cancelled.set(counts[4] as f64);
+    metrics.queue_depth.set((counts[0] + counts[1]) as f64);
+    metrics.lanes_busy.set(busy.len() as f64);
+}
+
+/// Ends every subscription on a job that just went terminal, delivering
+/// the terminal state after any still-queued snapshots.
+fn close_watchers(shared: &Arc<Shared>, id: JobId) {
+    let watchers = {
+        let mut inner = shared.inner.lock().unwrap();
+        match inner.jobs.get_mut(&id.0) {
+            Some(entry) => {
+                let state = entry.record.state;
+                let drained: Vec<_> = entry.watchers.drain(..).collect();
+                refresh_gauges(&inner, &shared.metrics);
+                drained.into_iter().map(|w| (w, state)).collect::<Vec<_>>()
+            }
+            None => Vec::new(),
         }
+    };
+    for (w, state) in watchers {
+        w.close(state.as_str());
     }
 }
 
@@ -406,6 +641,9 @@ struct ActiveJob {
     /// this (`None`: only at graceful shutdown).
     persist_every: Option<u64>,
     last_persisted: u64,
+    /// Wall seconds this job has spent on the lane, accumulated across
+    /// slices (seeded from the manifest's `wall_ms` after a resume).
+    wall_s: f64,
 }
 
 fn lane_loop(lane: usize, shared: Arc<Shared>, rx: Receiver<LaneMsg>) {
@@ -464,27 +702,39 @@ enum SliceOutcome {
 /// exists). Returns `None` when the job fails to build or was cancelled
 /// before starting — in both cases the table entry is finalized here.
 fn admit(id: JobId, shared: &Arc<Shared>) -> Option<ActiveJob> {
-    let spec = {
+    let (spec, wall_ms) = {
         let mut inner = shared.inner.lock().unwrap();
         let entry = inner.jobs.get_mut(&id.0)?;
         if entry.cancel {
             entry.record.state = JobState::Cancelled;
             drop(inner);
+            close_watchers(shared, id);
             persist_manifest(shared, id);
             shared.progress.notify_all();
             return None;
         }
         entry.record.state = JobState::Running;
-        entry.spec.clone()
+        let out = (entry.spec.clone(), entry.record.wall_ms);
+        refresh_gauges(&inner, &shared.metrics);
+        out
     };
     persist_manifest(shared, id);
-    let sim = match spec.instantiate_labeled(Some(&id.to_string())) {
+    let sim = match spec.instantiate_flight(Some(&id.to_string()), Some(shared.cfg.flight_ring)) {
         Ok(sim) => sim,
         Err(e) => {
             finalize_failed(shared, id, &format!("instantiation failed: {e}"));
             return None;
         }
     };
+    // Publish Arc-backed handles into the table so Metrics/Dump can read
+    // a job the lane exclusively owns.
+    {
+        let mut inner = shared.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(&id.0) {
+            entry.metrics = Some(sim.metrics().clone());
+            entry.tracer = Some(sim.tracer().clone());
+        }
+    }
     let mut job = ActiveJob {
         id,
         sim,
@@ -496,6 +746,7 @@ fn admit(id: JobId, shared: &Arc<Shared>) -> Option<ActiveJob> {
         total: spec.steps,
         persist_every: spec.checkpoint.as_ref().map(|c| c.every),
         last_persisted: 0,
+        wall_s: wall_ms as f64 / 1e3,
     };
     // Resume: restore the persisted checkpoint if the previous daemon
     // instance parked one (labels guard against cross-job mixups).
@@ -537,23 +788,46 @@ fn run_slice(_lane: usize, shared: &Arc<Shared>, job: &mut ActiveJob) -> SliceOu
         }
     };
     if cancelled {
+        close_watchers(shared, job.id);
         persist_manifest(shared, job.id);
         shared.progress.notify_all();
         return SliceOutcome::Retired;
     }
-    let done = job.sim.steps_done();
-    let n = shared.cfg.slice_steps.min(job.total - done);
+    let prev = job.sim.steps_done();
+    let n = shared.cfg.slice_steps.min(job.total - prev);
+    let slice_start = Instant::now();
     if let Err(e) = job.sup.run(&mut job.sim, n) {
         finalize_failed(shared, job.id, &e.to_string());
         return SliceOutcome::Retired;
     }
+    let elapsed = slice_start.elapsed().as_secs_f64();
+    job.wall_s += elapsed;
+    shared.metrics.slices.inc();
+    shared.metrics.slice_ms.observe(elapsed * 1e3);
     let done = job.sim.steps_done();
-    {
+    let due: Vec<Arc<WatchShared>> = {
         let mut inner = shared.inner.lock().unwrap();
-        if let Some(entry) = inner.jobs.get_mut(&job.id.0) {
-            entry.record.steps_done = done;
-        }
+        let due = match inner.jobs.get_mut(&job.id.0) {
+            Some(entry) => {
+                entry.record.steps_done = done;
+                entry.record.wall_ms = (job.wall_s * 1e3) as u64;
+                entry.watchers.iter().filter(|w| w.due(prev, done)).cloned().collect()
+            }
+            None => Vec::new(),
+        };
         inner.trace.push((job.id, done));
+        due
+    };
+    if !due.is_empty() {
+        // One telemetry snapshot per slice, shared (cloned) across every
+        // due subscriber; the engine is only read here, on its own lane.
+        let doc = job.sim.telemetry().to_json_value();
+        for w in &due {
+            shared.metrics.watch_snapshots.inc();
+            if w.push(doc.clone()) {
+                shared.metrics.watch_dropped.inc();
+            }
+        }
     }
     if let Some(every) = job.persist_every {
         if done / every > job.last_persisted / every {
@@ -574,20 +848,33 @@ fn run_slice(_lane: usize, shared: &Arc<Shared>, job: &mut ActiveJob) -> SliceOu
 fn finalize_done(shared: &Arc<Shared>, job: &mut ActiveJob) {
     let energy = job.sim.total_energy();
     let store = job.sim.gather();
-    let (doc, metrics_doc) = {
+    let final_snapshot = job.sim.telemetry().to_json_value();
+    let (doc, metrics_doc, watchers) = {
         let mut inner = shared.inner.lock().unwrap();
         let Some(entry) = inner.jobs.get_mut(&job.id.0) else { return };
         let doc = observables_doc(&entry.spec.name, job.sim.steps_done(), &store, energy);
         entry.record.state = JobState::Done;
         entry.record.steps_done = job.sim.steps_done();
+        entry.record.wall_ms = (job.wall_s * 1e3) as u64;
         entry.results = Some(doc.clone());
         let metrics_doc = entry
             .spec
             .observability
             .metrics
             .then(|| sc_obs::json_value(&job.sim.metrics().snapshot()));
-        (doc, metrics_doc)
+        let watchers: Vec<_> = entry.watchers.drain(..).collect();
+        refresh_gauges(&inner, &shared.metrics);
+        (doc, metrics_doc, watchers)
     };
+    // Every subscriber sees the completed-state snapshot before End,
+    // whatever its cadence.
+    for w in &watchers {
+        shared.metrics.watch_snapshots.inc();
+        if w.push(final_snapshot.clone()) {
+            shared.metrics.watch_dropped.inc();
+        }
+        w.close(JobState::Done.as_str());
+    }
     if let Some(dir) = job_dir(&shared.cfg, job.id) {
         let _ = write_atomic(&dir.join("results.json"), &doc.to_string());
         // Telemetry is persisted separately: it carries wall times, which
@@ -609,6 +896,7 @@ fn finalize_failed(shared: &Arc<Shared>, id: JobId, why: &str) {
             entry.record.error = Some(why.to_string());
         }
     }
+    close_watchers(shared, id);
     persist_manifest(shared, id);
     shared.progress.notify_all();
 }
@@ -622,12 +910,18 @@ fn persist_manifest(shared: &Arc<Shared>, id: JobId) {
             None => return,
         }
     };
-    let _ = write_atomic(&dir.join("manifest.json"), &record.to_json().to_string());
+    if write_atomic(&dir.join("manifest.json"), &record.to_json().to_string()).is_ok() {
+        shared.metrics.manifests.inc();
+    }
 }
 
 /// Returns whether the labelled checkpoint actually hit disk.
 fn persist_checkpoint(shared: &Arc<Shared>, job: &ActiveJob) -> bool {
     let Some(dir) = job_dir(&shared.cfg, job.id) else { return false };
     let cp = job.sim.checkpoint().with_label(job.id.to_string());
-    cp.save(&dir.join("checkpoint.bin")).is_ok()
+    let saved = cp.save(&dir.join("checkpoint.bin")).is_ok();
+    if saved {
+        shared.metrics.checkpoints.inc();
+    }
+    saved
 }

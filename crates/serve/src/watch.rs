@@ -1,0 +1,205 @@
+//! Watch-stream subscriptions: bounded per-subscriber snapshot queues.
+//!
+//! A `Watch` subscriber gets a [`WatchHandle`] over a small bounded
+//! queue. The scheduler lane is the producer: at each slice boundary it
+//! pushes the job's `Telemetry` snapshot (when the subscriber's cadence
+//! is due) and never blocks — a full queue **drops the oldest** snapshot
+//! and counts the drop, so a slow or stuck client can never stall the
+//! lane or perturb the job's step cadence. The connection thread is the
+//! consumer, draining events and writing them to its socket at whatever
+//! pace the client sustains.
+
+use sc_obs::json::Json;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One event delivered to a watch subscriber.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatchEvent {
+    /// A telemetry snapshot (the `schema/metrics.schema.json` document).
+    Snapshot {
+        /// Snapshot sequence number (counts every snapshot produced for
+        /// this subscriber, including ones later dropped).
+        seq: u64,
+        /// Cumulative snapshots dropped to queue overflow so far.
+        dropped: u64,
+        /// The telemetry document.
+        doc: Json,
+    },
+    /// The job reached a terminal state (or the daemon is shutting
+    /// down); no further snapshots will arrive.
+    End {
+        /// The job's state name at stream end.
+        state: String,
+        /// Cumulative snapshots dropped over the stream's lifetime.
+        dropped: u64,
+    },
+    /// `recv` timed out with the stream still open.
+    TimedOut,
+}
+
+#[derive(Debug)]
+struct WatchState {
+    items: VecDeque<(u64, Json)>,
+    dropped: u64,
+    next_seq: u64,
+    end: Option<String>,
+}
+
+/// Producer/consumer shared core of one subscription.
+#[derive(Debug)]
+pub(crate) struct WatchShared {
+    state: Mutex<WatchState>,
+    cv: Condvar,
+    cap: usize,
+    /// Snapshot cadence in steps (`0`: every slice boundary).
+    pub(crate) every: u64,
+}
+
+impl WatchShared {
+    pub(crate) fn new(cap: usize, every: u64) -> Arc<WatchShared> {
+        Arc::new(WatchShared {
+            state: Mutex::new(WatchState {
+                items: VecDeque::new(),
+                dropped: 0,
+                next_seq: 0,
+                end: None,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+            every,
+        })
+    }
+
+    /// Whether `steps_done` advancing from `prev` to `now` crosses this
+    /// subscriber's cadence (always true for per-slice cadence 0).
+    pub(crate) fn due(&self, prev: u64, now: u64) -> bool {
+        self.every == 0 || now / self.every > prev / self.every
+    }
+
+    /// Enqueues a snapshot; drop-oldest on overflow, never blocks.
+    /// Returns whether an old snapshot was dropped.
+    pub(crate) fn push(&self, doc: Json) -> bool {
+        let mut s = self.state.lock().unwrap();
+        if s.end.is_some() {
+            return false;
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        let overflow = s.items.len() >= self.cap;
+        if overflow {
+            s.items.pop_front();
+            s.dropped += 1;
+        }
+        s.items.push_back((seq, doc));
+        drop(s);
+        self.cv.notify_all();
+        overflow
+    }
+
+    /// Marks the stream ended (terminal job state or daemon shutdown).
+    /// Queued snapshots stay drainable; `End` is delivered after them.
+    pub(crate) fn close(&self, state: &str) {
+        let mut s = self.state.lock().unwrap();
+        if s.end.is_none() {
+            s.end = Some(state.to_string());
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+}
+
+/// The consumer side of one watch subscription.
+#[derive(Debug)]
+pub struct WatchHandle {
+    pub(crate) shared: Arc<WatchShared>,
+}
+
+impl WatchHandle {
+    /// The effective snapshot cadence in steps (`0`: every slice).
+    pub fn every(&self) -> u64 {
+        self.shared.every
+    }
+
+    /// Snapshots dropped to queue overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.shared.state.lock().unwrap().dropped
+    }
+
+    /// Blocks up to `timeout` for the next event. Queued snapshots drain
+    /// in order; once the stream is closed and drained, returns
+    /// [`WatchEvent::End`] (repeatedly, if called again).
+    pub fn recv(&self, timeout: Duration) -> WatchEvent {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.shared.state.lock().unwrap();
+        loop {
+            if let Some((seq, doc)) = s.items.pop_front() {
+                return WatchEvent::Snapshot { seq, dropped: s.dropped, doc };
+            }
+            if let Some(state) = &s.end {
+                return WatchEvent::End { state: state.clone(), dropped: s.dropped };
+            }
+            let Some(left) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return WatchEvent::TimedOut;
+            };
+            let (guard, _) = self.shared.cv.wait_timeout(s, left).unwrap();
+            s = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(step: u64) -> Json {
+        Json::Obj(vec![("step".to_string(), Json::num(step as f64))])
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let shared = WatchShared::new(2, 0);
+        let handle = WatchHandle { shared: Arc::clone(&shared) };
+        assert!(!shared.push(doc(1)));
+        assert!(!shared.push(doc(2)));
+        assert!(shared.push(doc(3)), "third push must overflow a cap-2 queue");
+        // The oldest snapshot (seq 0) is gone; seq 1 and 2 survive with
+        // the drop counted.
+        match handle.recv(Duration::from_millis(10)) {
+            WatchEvent::Snapshot { seq: 1, dropped: 1, .. } => {}
+            other => panic!("unexpected event {other:?}"),
+        }
+        match handle.recv(Duration::from_millis(10)) {
+            WatchEvent::Snapshot { seq: 2, dropped: 1, .. } => {}
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(handle.recv(Duration::from_millis(1)), WatchEvent::TimedOut);
+        assert_eq!(handle.dropped(), 1);
+    }
+
+    #[test]
+    fn close_delivers_end_after_queued_snapshots() {
+        let shared = WatchShared::new(4, 0);
+        let handle = WatchHandle { shared: Arc::clone(&shared) };
+        shared.push(doc(1));
+        shared.close("done");
+        assert!(matches!(handle.recv(Duration::from_millis(10)), WatchEvent::Snapshot { .. }));
+        let end = WatchEvent::End { state: "done".to_string(), dropped: 0 };
+        assert_eq!(handle.recv(Duration::from_millis(10)), end);
+        // End is sticky and pushes after close are ignored.
+        assert!(!shared.push(doc(2)));
+        assert_eq!(handle.recv(Duration::from_millis(10)), end);
+    }
+
+    #[test]
+    fn cadence_triggers_on_multiple_crossings() {
+        let w = WatchShared::new(1, 10);
+        assert!(!w.due(0, 9));
+        assert!(w.due(9, 10));
+        assert!(w.due(15, 31), "a slice can cross several multiples");
+        assert!(!w.due(10, 19));
+        let every_slice = WatchShared::new(1, 0);
+        assert!(every_slice.due(3, 3), "cadence 0 fires at every slice");
+    }
+}

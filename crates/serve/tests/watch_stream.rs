@@ -1,0 +1,133 @@
+//! Watch-stream contract tests: backpressure on a slow subscriber drops
+//! the oldest snapshots (counted, lane never stalls) while the watched
+//! run's step cadence and final observables stay bitwise identical to an
+//! unwatched run of the same spec.
+
+use sc_serve::{Scheduler, SchedulerConfig, WatchError, WatchEvent};
+use sc_spec::ScenarioSpec;
+use std::time::Duration;
+
+const IDLE: Duration = Duration::from_secs(120);
+
+/// A small, fast LJ scenario (~500 atoms serial).
+fn lj_spec(name: &str, steps: u64) -> ScenarioSpec {
+    let doc = format!(
+        r#"{{
+            "schema": "sc-scenario/1",
+            "name": "{name}",
+            "system": {{"kind": "lj", "cells": 5, "temp": 1.0, "seed": 42}},
+            "potential": {{"kind": "lj", "cutoff": 2.5}},
+            "method": "sc",
+            "executor": {{"kind": "serial"}},
+            "dt": 0.002,
+            "steps": {steps}
+        }}"#
+    );
+    ScenarioSpec::from_json_str(&doc).unwrap()
+}
+
+fn tiny_queue_cfg() -> SchedulerConfig {
+    SchedulerConfig {
+        lanes: 1,
+        slice_steps: 4,
+        // Deliberately tiny: 40 steps at 4-step slices produce 10 per-slice
+        // snapshots plus the final one — a subscriber that never drains
+        // must overflow and lose its oldest.
+        watch_queue: 2,
+        start_paused: true,
+        ..SchedulerConfig::default()
+    }
+}
+
+#[test]
+fn slow_subscriber_drops_oldest_while_the_run_stays_bitwise_identical() {
+    // Baseline: the same spec, unwatched.
+    let sched = Scheduler::new(tiny_queue_cfg(), false).unwrap();
+    let id = sched.submit(lj_spec("watch-bp", 40)).unwrap();
+    sched.start();
+    assert!(sched.wait_idle(IDLE));
+    let baseline_results = sched.results(id).unwrap().to_string();
+    let baseline_trace = sched.trace();
+    sched.shutdown();
+
+    // Watched run: subscribe at per-slice cadence before the lanes start,
+    // then deliberately consume nothing until the job is done.
+    let sched = Scheduler::new(tiny_queue_cfg(), false).unwrap();
+    let id = sched.submit(lj_spec("watch-bp", 40)).unwrap();
+    let handle = sched.watch(id, Some(0)).unwrap();
+    sched.start();
+    assert!(sched.wait_idle(IDLE));
+
+    // The stalled subscriber lost snapshots — counted, not blocking.
+    assert!(handle.dropped() >= 1, "cap-2 queue must overflow, got {} drops", handle.dropped());
+
+    // Drain what survived: strictly increasing seq (gaps mark the drops),
+    // then End at the terminal state carrying the cumulative drop count.
+    let mut seqs = Vec::new();
+    let (end_state, end_dropped) = loop {
+        match handle.recv(Duration::from_secs(5)) {
+            WatchEvent::Snapshot { seq, doc, .. } => {
+                assert!(doc.get("step").is_some(), "snapshot is a telemetry document");
+                seqs.push(seq);
+            }
+            WatchEvent::End { state, dropped } => break (state, dropped),
+            WatchEvent::TimedOut => panic!("stream must end after the job completes"),
+        }
+    };
+    assert_eq!(end_state, "done");
+    assert!(end_dropped >= 1);
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "snapshots out of order: {seqs:?}");
+    assert!(
+        *seqs.last().unwrap() >= seqs.len() as u64,
+        "seq gaps must witness the {end_dropped} drops: {seqs:?}"
+    );
+
+    // Watching perturbed nothing: identical slice cadence, byte-identical
+    // observables.
+    assert_eq!(sched.trace(), baseline_trace, "watching changed the slice cadence");
+    assert_eq!(sched.results(id).unwrap().to_string(), baseline_results);
+}
+
+#[test]
+fn watch_cadence_skips_off_cycle_slices_and_terminal_jobs_are_refused() {
+    let cfg = SchedulerConfig {
+        lanes: 1,
+        slice_steps: 4,
+        watch_queue: 64,
+        start_paused: true,
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::new(cfg, false).unwrap();
+    let id = sched.submit(lj_spec("watch-cadence", 40)).unwrap();
+    // Cadence 16 over 40 steps: crossings at 16 and 32, plus the final
+    // completed-state snapshot every subscriber receives.
+    let handle = sched.watch(id, Some(16)).unwrap();
+    assert_eq!(handle.every(), 16);
+    sched.start();
+    assert!(sched.wait_idle(IDLE));
+    let mut steps = Vec::new();
+    loop {
+        match handle.recv(Duration::from_secs(5)) {
+            WatchEvent::Snapshot { doc, .. } => {
+                steps.push(doc.get("step").and_then(|v| v.as_f64()).unwrap() as u64);
+            }
+            WatchEvent::End { state, dropped } => {
+                assert_eq!(state, "done");
+                assert_eq!(dropped, 0, "a 64-deep queue must not overflow 3 snapshots");
+                break;
+            }
+            WatchEvent::TimedOut => panic!("stream must end after the job completes"),
+        }
+    }
+    assert_eq!(steps, vec![16, 32, 40]);
+
+    // The job is terminal now: a new subscription is refused, typed.
+    match sched.watch(id, None) {
+        Err(WatchError::Terminal(state)) => assert_eq!(state.as_str(), "done"),
+        other => panic!("expected Terminal refusal, got {other:?}"),
+    }
+    match sched.watch(sc_serve::JobId(99), None) {
+        Err(WatchError::UnknownJob) => {}
+        other => panic!("expected UnknownJob, got {other:?}"),
+    }
+}

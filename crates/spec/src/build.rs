@@ -426,14 +426,24 @@ impl ScenarioSpec {
         }
     }
 
-    fn registries(&self, label: Option<&str>) -> (Registry, Tracer) {
-        let ObservabilitySpec { metrics, trace } = self.observability;
+    fn registries(&self, label: Option<&str>, flight_ring: Option<usize>) -> (Registry, Tracer) {
+        let ObservabilitySpec { metrics, trace, ring, .. } = self.observability;
         let registry = match (metrics, label) {
             (false, _) => Registry::disabled(),
             (true, None) => Registry::new(),
             (true, Some(label)) => Registry::labeled(label),
         };
-        let tracer = if trace { Tracer::new() } else { Tracer::disabled() };
+        // The spec's explicit `ring` wins; otherwise `trace` arms a
+        // default-capacity ring, and a runner-supplied flight-recorder
+        // capacity (the job service's continuously armed ring) covers the
+        // remaining case. `ring: 0` explicitly disarms everything.
+        let tracer = match (ring, trace, flight_ring) {
+            (Some(0), _, _) => Tracer::disabled(),
+            (Some(n), _, _) => Tracer::with_capacity(n as usize),
+            (None, true, _) => Tracer::new(),
+            (None, false, Some(n)) if n > 0 => Tracer::with_capacity(n),
+            (None, false, _) => Tracer::disabled(),
+        };
         (registry, tracer)
     }
 
@@ -458,8 +468,22 @@ impl ScenarioSpec {
     /// Like [`ScenarioSpec::instantiate`], stamping `label` (a job id)
     /// onto the metrics registry so multiplexed jobs stay distinguishable.
     pub fn instantiate_labeled(&self, label: Option<&str>) -> Result<RunHandle, SpecError> {
+        self.instantiate_flight(label, None)
+    }
+
+    /// Like [`ScenarioSpec::instantiate_labeled`], additionally arming a
+    /// flight-recorder trace ring of `flight_ring` events per sink when
+    /// the spec itself leaves tracing unset — the job service keeps every
+    /// job's ring continuously armed this way so `Dump` can snapshot a
+    /// running job's recent past. A spec-level `observability.ring`
+    /// (including an explicit `0`) overrides the runner's choice.
+    pub fn instantiate_flight(
+        &self,
+        label: Option<&str>,
+        flight_ring: Option<usize>,
+    ) -> Result<RunHandle, SpecError> {
         let (store, bbox) = self.build_workload();
-        let (metrics, tracer) = self.registries(label);
+        let (metrics, tracer) = self.registries(label, flight_ring);
         match &self.executor {
             ExecutorSpec::Serial { threads } => {
                 let runtime = RuntimeConfig {
@@ -520,9 +544,8 @@ impl ScenarioSpec {
             }
             ExecutorSpec::Threaded { grid } => {
                 let pdims = IVec3::new(grid[0] as i32, grid[1] as i32, grid[2] as i32);
-                let mut sim =
-                    ThreadedSim::new(store, bbox, pdims, self.force_field(), self.dt)
-                        .map_err(|e| SpecError::Setup(e.to_string()))?;
+                let mut sim = ThreadedSim::new(store, bbox, pdims, self.force_field(), self.dt)
+                    .map_err(|e| SpecError::Setup(e.to_string()))?;
                 sim.set_resort_every(self.resort_every);
                 sim.set_comm_config(self.comm_config());
                 sim.set_metrics(metrics);
@@ -554,9 +577,8 @@ impl ScenarioSpec {
         };
         let (store, bbox) = self.build_workload();
         let pdims = IVec3::new(grid[0] as i32, grid[1] as i32, grid[2] as i32);
-        let mut sim =
-            ThreadedSim::new(store, bbox, pdims, self.force_field(), self.dt)
-                .map_err(|e| SpecError::Setup(e.to_string()))?;
+        let mut sim = ThreadedSim::new(store, bbox, pdims, self.force_field(), self.dt)
+            .map_err(|e| SpecError::Setup(e.to_string()))?;
         sim.set_resort_every(self.resort_every);
         sim.set_comm_config(self.comm_config());
         for _ in 0..self.steps {

@@ -218,6 +218,15 @@ pub struct ObservabilitySpec {
     pub metrics: bool,
     /// Enable the event tracer.
     pub trace: bool,
+    /// Steps between live `watch` telemetry snapshots when a subscriber
+    /// does not ask for its own cadence (`0`: one snapshot per scheduler
+    /// slice boundary).
+    pub watch_every: u64,
+    /// Flight-recorder ring capacity per trace sink, in events. `None`
+    /// leaves the choice to the runner (the job service arms its default
+    /// ring; standalone runs stay dark unless `trace` is set), `Some(0)`
+    /// disables the ring explicitly, `Some(n)` arms `n`-event rings.
+    pub ring: Option<u64>,
 }
 
 /// Checkpoint cadence for supervised / served runs.
@@ -590,10 +599,7 @@ impl ScenarioSpec {
                 Json::Obj(vec![
                     ("aggregation".to_string(), Json::Bool(self.comm.aggregation)),
                     ("overlap".to_string(), Json::Bool(self.comm.overlap)),
-                    (
-                        "rebalance_every".to_string(),
-                        Json::num(self.comm.rebalance_every as f64),
-                    ),
+                    ("rebalance_every".to_string(), Json::num(self.comm.rebalance_every as f64)),
                 ]),
             ),
         ];
@@ -618,10 +624,17 @@ impl ScenarioSpec {
         }
         fields.push((
             "observability".to_string(),
-            Json::Obj(vec![
-                ("metrics".to_string(), Json::Bool(self.observability.metrics)),
-                ("trace".to_string(), Json::Bool(self.observability.trace)),
-            ]),
+            Json::Obj({
+                let mut obs = vec![
+                    ("metrics".to_string(), Json::Bool(self.observability.metrics)),
+                    ("trace".to_string(), Json::Bool(self.observability.trace)),
+                    ("watch_every".to_string(), Json::num(self.observability.watch_every as f64)),
+                ];
+                if let Some(ring) = self.observability.ring {
+                    obs.push(("ring".to_string(), Json::num(ring as f64)));
+                }
+                obs
+            }),
         ));
         if let Some(cp) = &self.checkpoint {
             fields.push((
@@ -830,10 +843,15 @@ fn decode_fault_plan(f: &Fields) -> Result<FaultPlanSpec, SpecError> {
 }
 
 fn decode_observability(f: &Fields) -> Result<ObservabilitySpec, SpecError> {
-    f.deny_unknown(&["metrics", "trace"])?;
+    f.deny_unknown(&["metrics", "trace", "watch_every", "ring"])?;
     Ok(ObservabilitySpec {
         metrics: f.bool_or("metrics", false)?,
         trace: f.bool_or("trace", false)?,
+        watch_every: f.u64_or("watch_every", 0)?,
+        ring: match f.get("ring") {
+            None => None,
+            Some(_) => Some(f.u64("ring")?),
+        },
     })
 }
 

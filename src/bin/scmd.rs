@@ -10,9 +10,12 @@
 //! scmd chaos    [--cases lj,silica] [--spec PATH] [--storms N] [--seed S] [--steps N]
 //!               [--faults N] [--out DIR]
 //! scmd serve    [--socket PATH] [--lanes N] [--queue N] [--slice N] [--state DIR]
-//!               [--resume true]
+//!               [--resume true] [--metrics-addr HOST:PORT]
 //! scmd submit   --spec PATH [--socket PATH]      # returns the job id
 //! scmd status   [--id job-N] [--socket PATH]     # one job, or the whole table
+//! scmd watch    job-N [--every STEPS] [--count N] [--json true] [--socket PATH]
+//! scmd dump     job-N [--out PATH] [--socket PATH]   # flight-recorder snapshot
+//! scmd metrics  [--out PATH] [--socket PATH]     # Prometheus text exposition
 //! scmd cancel   --id job-N [--socket PATH]
 //! scmd results  --id job-N [--socket PATH] [--out PATH]
 //! scmd shutdown [--socket PATH]                  # checkpoint jobs, stop the daemon
@@ -43,6 +46,14 @@
 //! typed backpressure, per-job supervision (rollback recovery under fault
 //! storms), and checkpoint persistence so `--resume true` continues
 //! interrupted jobs bitwise-exactly after a restart.
+//!
+//! The live telemetry plane watches jobs without perturbing them:
+//! `scmd watch job-N` streams a running job's telemetry snapshots (same
+//! documents as `--metrics-json`, bounded queues that drop-oldest under
+//! backpressure), `scmd dump job-N` snapshots its flight-recorder trace
+//! ring into a Chrome Trace file mid-run, and `scmd metrics` (or the
+//! daemon's `--metrics-addr` HTTP listener) exports daemon- plus
+//! per-job Prometheus series.
 //!
 //! Malformed command lines exit with status 2 and an error naming the
 //! offending flag; runtime failures exit with status 1.
@@ -86,7 +97,15 @@ fn dispatch(args: &mut impl Iterator<Item = String>) -> Result<(), Error> {
         print_usage();
         return Ok(());
     }
-    let flags = parse_flags(args)?;
+    // `watch`/`dump` take their job id positionally (`scmd watch job-3`)
+    // as well as via `--id`.
+    let mut rest: Vec<String> = args.collect();
+    if matches!(cmd.as_str(), "watch" | "dump")
+        && rest.first().is_some_and(|a| !a.starts_with("--"))
+    {
+        rest.insert(0, "--id".to_string());
+    }
+    let flags = parse_flags(&mut rest.into_iter())?;
     match cmd.as_str() {
         "run" => run(&flags),
         "bench" => bench(&flags),
@@ -94,6 +113,9 @@ fn dispatch(args: &mut impl Iterator<Item = String>) -> Result<(), Error> {
         "serve" => serve(&flags),
         "submit" => submit(&flags),
         "status" => status(&flags),
+        "watch" => watch(&flags),
+        "dump" => dump(&flags),
+        "metrics" => metrics(&flags),
         "cancel" => cancel(&flags),
         "results" => results(&flags),
         "shutdown" => shutdown(&flags),
@@ -116,9 +138,13 @@ fn print_usage() {
          \x20 scmd chaos    [--cases lj,silica] [--spec PATH] [--storms N] [--seed S]\n\
          \x20               [--steps N] [--faults N] [--out DIR]\n\
          \x20 scmd serve    [--socket PATH] [--lanes N] [--queue N] [--slice N]\n\
-         \x20               [--state DIR] [--resume true]\n\
+         \x20               [--state DIR] [--resume true] [--metrics-addr HOST:PORT]\n\
          \x20 scmd submit   --spec PATH [--socket PATH]\n\
          \x20 scmd status   [--id job-N] [--socket PATH]\n\
+         \x20 scmd watch    job-N [--every STEPS] [--count N] [--json true]\n\
+         \x20               [--socket PATH]\n\
+         \x20 scmd dump     job-N [--out PATH] [--socket PATH]\n\
+         \x20 scmd metrics  [--out PATH] [--socket PATH]\n\
          \x20 scmd cancel   --id job-N [--socket PATH]\n\
          \x20 scmd results  --id job-N [--socket PATH] [--out PATH]\n\
          \x20 scmd shutdown [--socket PATH]\n\
@@ -199,6 +225,7 @@ fn run_scenario(flags: &Flags) -> Result<ScenarioSpec, Error> {
     let observability = ObservabilitySpec {
         metrics: flags.contains_key("metrics-json"),
         trace: flags.contains_key("trace"),
+        ..ObservabilitySpec::default()
     };
     if let Some(path) = flags.get("spec") {
         let mut spec = ScenarioSpec::from_path(Path::new(path)).map_err(spec_err)?;
@@ -506,7 +533,7 @@ fn socket_of(flags: &Flags) -> PathBuf {
 }
 
 fn serve(flags: &Flags) -> Result<(), Error> {
-    check_flags(flags, &["socket", "lanes", "queue", "slice", "state", "resume"])?;
+    check_flags(flags, &["socket", "lanes", "queue", "slice", "state", "resume", "metrics-addr"])?;
     let config = DaemonConfig {
         socket: socket_of(flags),
         scheduler: SchedulerConfig {
@@ -519,6 +546,7 @@ fn serve(flags: &Flags) -> Result<(), Error> {
             ..SchedulerConfig::default()
         },
         resume: get(flags, "resume", false, "true|false")?,
+        metrics_addr: flags.get("metrics-addr").cloned(),
     };
     let socket = config.socket.clone();
     let daemon = Daemon::bind(config)?;
@@ -527,6 +555,11 @@ fn serve(flags: &Flags) -> Result<(), Error> {
         socket.display(),
         daemon.job_count(),
     );
+    if let Some(addr) = daemon.metrics_local_addr() {
+        // Printed before `run` so scrapers (and tests binding port 0) can
+        // discover the resolved address.
+        println!("# metrics exposition on http://{addr}/metrics");
+    }
     daemon.run()?;
     println!("# daemon stopped");
     Ok(())
@@ -571,22 +604,133 @@ fn status(flags: &Flags) -> Result<(), Error> {
     match call(flags, &Request::Status { id: flags.get("id").cloned() })? {
         Response::Status { jobs } => {
             println!(
-                "{:<8} {:<10} {:>8} {:>6} {:<24} ERROR",
-                "ID", "STATE", "STEPS", "LANE", "SPEC"
+                "{:<8} {:<10} {:>8} {:>8} {:>6} {:<24} ERROR",
+                "ID", "STATE", "STEPS", "WALL", "LANE", "SPEC"
             );
             for j in &jobs {
                 let s = |k: &str| j.get(k).and_then(|v| v.as_str()).unwrap_or("?").to_string();
                 let n = |k: &str| j.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
                 println!(
-                    "{:<8} {:<10} {:>3}/{:<4} {:>6} {:<24} {}",
+                    "{:<8} {:<10} {:>3}/{:<4} {:>7.1}s {:>6} {:<24} {}",
                     s("id"),
                     s("state"),
                     n("steps_done"),
                     n("total_steps"),
+                    n("wall_ms") / 1e3,
                     n("lane"),
                     s("spec_name"),
                     j.get("error").and_then(|v| v.as_str()).unwrap_or(""),
                 );
+            }
+            Ok(())
+        }
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Streams a running job's telemetry to stdout. Human mode prints one
+/// line per snapshot; `--json true` prints the raw response lines
+/// (`watching`, `telemetry`, `watch-end`) for scripting. `--count N`
+/// disconnects after N snapshots; otherwise the stream runs until the
+/// job goes terminal.
+fn watch(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["id", "every", "count", "json", "socket"])?;
+    let id = required(flags, "id")?.clone();
+    let every = flags.get("every").map(|_| get(flags, "every", 0, "a step count")).transpose()?;
+    let count: Option<u64> =
+        flags.get("count").map(|_| get(flags, "count", 0, "a positive integer")).transpose()?;
+    let json = get(flags, "json", false, "true|false")?;
+    let socket = socket_of(flags);
+    let mut seen = 0u64;
+    let mut rejection: Option<Error> = None;
+    shift_collapse_md::serve::client::watch(&socket, &id, every, |resp| {
+        if json {
+            println!("{}", resp.to_json());
+        }
+        match resp {
+            Response::Watching { id, every } => {
+                if !json {
+                    match every {
+                        0 => println!("# watching {id} (snapshot every slice)"),
+                        n => println!("# watching {id} (snapshot every {n} steps)"),
+                    }
+                }
+                true
+            }
+            Response::Telemetry { seq, dropped, doc, .. } => {
+                if !json {
+                    let n = |k: &str| doc.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+                    let energy = doc
+                        .get("energy")
+                        .and_then(|e| e.get("total"))
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(f64::NAN);
+                    println!(
+                        "seq {seq:>4}  step {:>6}  E = {energy:>12.4}  dropped {dropped}",
+                        n("step"),
+                    );
+                }
+                seen += 1;
+                count.is_none_or(|c| seen < c)
+            }
+            Response::WatchEnd { id, state, dropped } => {
+                if !json {
+                    println!("# {id} is {state} ({dropped} snapshots dropped)");
+                }
+                false
+            }
+            Response::Error { code, message } => {
+                rejection = Some(Error::Runtime(
+                    format!("daemon rejected the request [{code}]: {message}").into(),
+                ));
+                false
+            }
+            _ => true,
+        }
+    })
+    .map_err(|e| {
+        Error::Io(std::io::Error::new(
+            e.kind(),
+            format!("{} (is a daemon serving on {}?)", e, socket.display()),
+        ))
+    })?;
+    match rejection {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Snapshots a running job's flight-recorder ring into a Chrome Trace
+/// file (default `job-N-trace.json`).
+fn dump(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["id", "out", "socket"])?;
+    let id = required(flags, "id")?;
+    match call(flags, &Request::Dump { id: id.clone() })? {
+        Response::Dump { id, step, events, dropped, trace } => {
+            let path = flags.get("out").cloned().unwrap_or_else(|| format!("{id}-trace.json"));
+            std::fs::write(&path, trace.to_string())?;
+            println!(
+                "# {id} flight recorder at step {step}: {events} events \
+                 ({dropped} overwritten) written to {path}"
+            );
+            Ok(())
+        }
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Fetches the daemon's merged Prometheus text exposition over the
+/// socket (no TCP listener required).
+fn metrics(flags: &Flags) -> Result<(), Error> {
+    check_flags(flags, &["out", "socket"])?;
+    match call(flags, &Request::Metrics)? {
+        Response::Metrics { text } => {
+            match flags.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &text)?;
+                    println!("# metrics exposition written to {path}");
+                }
+                None => print!("{text}"),
             }
             Ok(())
         }

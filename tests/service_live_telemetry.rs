@@ -1,0 +1,326 @@
+//! Acceptance test for the live telemetry plane: a real `scmd serve`
+//! daemon child with a Prometheus listener, driven end to end by the
+//! `scmd` client verbs while a job is in flight.
+//!
+//! Covers the contract the CI `service-smoke` job relies on:
+//! `scmd watch` streams ≥ 3 snapshots that validate against the
+//! checked-in `schema/metrics.schema.json`, the metrics endpoint
+//! reports daemon gauges plus `job`-labeled per-job series mid-run,
+//! `scmd dump` captures a valid Chrome trace from the running job, and
+//! none of that observation perturbs the run — the watched/dumped job's
+//! results stay byte-equal to a standalone `scmd run` of the same spec.
+
+use shift_collapse_md::obs::json::Json;
+use shift_collapse_md::obs::schema;
+use shift_collapse_md::serve::{client, Request, Response};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scmd() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_scmd"));
+    c.stdout(Stdio::piped()).stderr(Stdio::piped());
+    c
+}
+
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> TestDir {
+        let dir = std::env::temp_dir().join(format!("scmd-live-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        TestDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// A daemon child that is SIGKILLed if a panic unwinds past it.
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
+}
+
+/// Spawns `scmd serve --metrics-addr 127.0.0.1:0` and discovers the
+/// kernel-assigned scrape address from the daemon's startup banner.
+/// The stdout reader is returned alive: dropping the pipe would make a
+/// later daemon `println!` fail on a closed fd.
+fn spawn_daemon(socket: &Path, state: &Path) -> (DaemonGuard, BufReader<ChildStdout>, String) {
+    let mut child = scmd()
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--state",
+            state.to_str().unwrap(),
+            "--lanes",
+            "2",
+            "--slice",
+            "4",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("daemon stdout is piped");
+    let guard = DaemonGuard(child);
+    let mut reader = BufReader::new(stdout);
+
+    // `# metrics exposition on http://ADDR/metrics` is printed before the
+    // accept loop starts, so this read cannot hang on a healthy daemon.
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("daemon stdout readable");
+        assert!(n > 0, "daemon exited before announcing its metrics address");
+        if let Some(rest) = line.trim().strip_prefix("# metrics exposition on http://") {
+            break rest.trim_end_matches("/metrics").to_string();
+        }
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while Instant::now() < deadline {
+        if matches!(client::request(socket, &Request::Ping), Ok(Response::Pong { .. })) {
+            return (guard, reader, addr);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("daemon did not come up on {}", socket.display());
+}
+
+/// A long-enough LJ run (serial, ~500 atoms) with per-job metrics on, so
+/// the job is still in flight while we watch, scrape, and dump it.
+fn live_spec(steps: u64) -> String {
+    format!(
+        r#"{{
+            "schema": "sc-scenario/1",
+            "name": "live-telemetry",
+            "system": {{"kind": "lj", "cells": 5, "a": 1.5599, "temp": 1.0, "seed": 42}},
+            "potential": {{"kind": "lj", "cutoff": 2.5}},
+            "method": "sc",
+            "executor": {{"kind": "serial"}},
+            "dt": 0.002,
+            "steps": {steps},
+            "observability": {{"metrics": true}}
+        }}"#
+    )
+}
+
+fn job(socket: &Path, id: &str) -> Json {
+    match client::request(socket, &Request::Status { id: Some(id.into()) }).unwrap() {
+        Response::Status { jobs } => jobs.into_iter().next().expect("job exists"),
+        other => panic!("unexpected response {}", other.to_json()),
+    }
+}
+
+fn wait_for_state(socket: &Path, id: &str, want: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while Instant::now() < deadline {
+        if job(socket, id).get("state").and_then(|v| v.as_str()) == Some(want) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("{id} never reached {want}; job: {}", job(socket, id));
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("scmd runs");
+    assert!(
+        out.status.success(),
+        "scmd failed (status {:?}): {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// One plain-HTTP GET against the daemon's metrics listener.
+fn scrape(addr: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("metrics endpoint accepts");
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: scmd\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("metrics endpoint answers");
+    assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "unexpected response head:\n{raw}");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a header/body split");
+    assert!(
+        head.contains("Content-Type: text/plain"),
+        "exposition must be text/plain, got:\n{head}"
+    );
+    body.to_string()
+}
+
+#[test]
+fn live_daemon_streams_watch_scrapes_metrics_and_dumps_without_perturbing_results() {
+    let dir = TestDir::new("plane");
+    let socket = dir.path("scmd.sock");
+    let (_daemon, _daemon_stdout, addr) = spawn_daemon(&socket, &dir.path("state"));
+
+    let spec_path = dir.path("live.json");
+    std::fs::write(&spec_path, live_spec(4000)).unwrap();
+    let id = run_ok(scmd().args([
+        "submit",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--socket",
+        socket.to_str().unwrap(),
+    ]))
+    .trim()
+    .to_string();
+    assert!(id.starts_with("job-"), "unexpected submit output {id:?}");
+
+    // -- scmd watch: ≥ 3 schema-valid snapshots from the in-flight job --
+    let watch_out = run_ok(scmd().args([
+        "watch",
+        &id,
+        "--count",
+        "3",
+        "--json",
+        "true",
+        "--socket",
+        socket.to_str().unwrap(),
+    ]));
+    let metrics_schema = {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/schema/metrics.schema.json");
+        Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap()
+    };
+    let mut snapshots = 0u64;
+    let mut last_step = 0.0f64;
+    for (i, line) in watch_out.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let resp = Json::parse(line).unwrap_or_else(|e| panic!("watch line {i} is not JSON: {e}"));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "rejected: {line}");
+        if resp.get("verb").and_then(Json::as_str) != Some("telemetry") {
+            continue;
+        }
+        let doc = resp.get("telemetry").expect("telemetry responses carry the document");
+        schema::validate(doc, &metrics_schema)
+            .unwrap_or_else(|e| panic!("snapshot {i} violates metrics schema: {e}"));
+        let step = doc.get("step").and_then(|v| v.as_f64()).unwrap();
+        assert!(step > last_step, "snapshots must advance monotonically");
+        last_step = step;
+        snapshots += 1;
+    }
+    assert!(snapshots >= 3, "expected ≥ 3 telemetry snapshots, got {snapshots}:\n{watch_out}");
+    assert!(last_step < 4000.0, "the watched job must still be in flight");
+
+    // Live wall time: a running job's status already accumulates wall_ms.
+    let status = job(&socket, &id);
+    assert_eq!(status.get("state").and_then(|v| v.as_str()), Some("running"));
+    let wall_ms = status.get("wall_ms").and_then(|v| v.as_f64()).unwrap();
+    assert!(wall_ms > 0.0, "a running job reports live wall time, got {wall_ms}");
+
+    // -- Prometheus endpoint mid-run: daemon gauges + job-labeled series --
+    let body = scrape(&addr);
+    for needle in [
+        "scmd_build_info{version=\"",
+        "# TYPE serve_jobs_submitted_total counter",
+        "serve_jobs_submitted_total 1",
+        "serve_lanes_total 2",
+        "# TYPE serve_queue_depth gauge",
+        "serve_slice_duration_ms_bucket{",
+    ] {
+        assert!(body.contains(needle), "scrape is missing {needle:?}:\n{body}");
+    }
+    let job_series = format!("sim_steps{{job=\"{id}\",tenant=\"live-telemetry\"}}");
+    assert!(body.contains(&job_series), "scrape is missing {job_series:?}:\n{body}");
+
+    // -- scmd dump: a valid Chrome trace captured from the running job --
+    let trace_path = dir.path("live-trace.json");
+    let dump_out = run_ok(scmd().args([
+        "dump",
+        &id,
+        "--out",
+        trace_path.to_str().unwrap(),
+        "--socket",
+        socket.to_str().unwrap(),
+    ]));
+    assert!(dump_out.contains("flight recorder"), "unexpected dump output: {dump_out}");
+    let trace = Json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    let rows = trace.get("traceEvents").and_then(Json::as_array).expect("Chrome trace document");
+    let events: Vec<&Json> =
+        rows.iter().filter(|r| r.get("ph").and_then(Json::as_str) != Some("M")).collect();
+    assert!(!events.is_empty(), "an armed flight ring must have captured events");
+    for row in &events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(row.get(key).is_some(), "trace row missing '{key}': {row}");
+        }
+        let step = row.get("args").and_then(|a| a.get("step")).and_then(|v| v.as_f64()).unwrap();
+        assert!(step <= 4000.0, "event outside the run's step window: {row}");
+    }
+
+    // -- Observation changed nothing: byte-equal to a standalone run --
+    wait_for_state(&socket, &id, "done");
+    let served = dir.path("served.json");
+    run_ok(scmd().args([
+        "results",
+        "--id",
+        &id,
+        "--socket",
+        socket.to_str().unwrap(),
+        "--out",
+        served.to_str().unwrap(),
+    ]));
+    let standalone = dir.path("standalone.json");
+    run_ok(scmd().args([
+        "run",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--results",
+        standalone.to_str().unwrap(),
+    ]));
+    let (a, b) = (std::fs::read(&served).unwrap(), std::fs::read(&standalone).unwrap());
+    assert!(!a.is_empty() && a == b, "watched/dumped results drifted from the standalone run");
+
+    run_ok(scmd().args(["shutdown", "--socket", socket.to_str().unwrap()]));
+}
+
+/// The `Metrics` verb over the Unix socket mirrors the TCP exposition,
+/// and `scmd metrics` renders it; dump/watch against unknown or
+/// untraceable jobs answer with the typed error codes.
+#[test]
+fn metrics_verb_matches_endpoint_and_typed_errors_reach_the_cli() {
+    let dir = TestDir::new("verbs");
+    let socket = dir.path("scmd.sock");
+    let (_daemon, _daemon_stdout, addr) = spawn_daemon(&socket, &dir.path("state"));
+
+    let text = run_ok(scmd().args(["metrics", "--socket", socket.to_str().unwrap()]));
+    let body = scrape(&addr);
+    for out in [&text, &body] {
+        assert!(out.contains("scmd_build_info{version=\""), "missing build info:\n{out}");
+        assert!(out.contains("serve_jobs_submitted_total 0"), "fresh daemon scrape:\n{out}");
+    }
+
+    // Unknown job: both streaming and request/response verbs refuse.
+    let watch =
+        scmd().args(["watch", "job-99", "--socket", socket.to_str().unwrap()]).output().unwrap();
+    assert!(!watch.status.success());
+    assert!(
+        String::from_utf8_lossy(&watch.stderr).contains("unknown-job"),
+        "watch stderr: {}",
+        String::from_utf8_lossy(&watch.stderr)
+    );
+    let dump =
+        scmd().args(["dump", "job-99", "--socket", socket.to_str().unwrap()]).output().unwrap();
+    assert!(!dump.status.success());
+    assert!(
+        String::from_utf8_lossy(&dump.stderr).contains("unknown-job"),
+        "dump stderr: {}",
+        String::from_utf8_lossy(&dump.stderr)
+    );
+
+    run_ok(scmd().args(["shutdown", "--socket", socket.to_str().unwrap()]));
+}
